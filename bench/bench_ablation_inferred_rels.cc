@@ -1,0 +1,78 @@
+// Ablation A5 — replace CAIDA-style curated AS relationships with
+// relationships inferred from the AS paths in the RIB dumps themselves
+// (asgraph/infer.h, Gao-style valley-free heuristic). Measures how much
+// the classifier degrades when only self-bootstrapped topology knowledge
+// is available.
+#include <filesystem>
+
+#include "asgraph/infer.h"
+#include "common.h"
+#include "mrt/rib_file.h"
+
+using namespace sublet;
+
+int main() {
+  bench::print_banner(
+      "bench_ablation_inferred_rels — curated vs path-inferred topology",
+      "§4 'AS Relationships' dataset dependency (extension)");
+  std::string dir = bench::ensure_dataset();
+  auto bundle = leasing::load_dataset(dir);
+  auto truth = sim::GroundTruth::load(dir);
+
+  // Harvest AS paths straight from the MRT dumps.
+  std::vector<std::vector<Asn>> paths;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir + "/bgp")) {
+    if (entry.path().extension() != ".mrt") continue;
+    auto snapshot = mrt::read_rib_file(entry.path().string());
+    if (!snapshot) continue;
+    for (const auto& rec : snapshot->records) {
+      for (const auto& e : rec.entries) {
+        paths.push_back(e.attributes.as_path.flatten());
+      }
+    }
+  }
+  std::cerr << "[bench] harvested " << paths.size() << " AS paths\n";
+  auto inferred = asgraph::infer_relationships(paths);
+  std::cerr << "[bench] inferred " << inferred.edge_count()
+            << " edges vs curated " << bundle.as_rel.edge_count() << "\n";
+
+  TextTable table({"Topology source", "Edges", "Leased verdicts",
+                   "Lease recall vs truth", "Lease precision vs truth"});
+  struct Variant {
+    const char* name;
+    const asgraph::AsRelationships* rels;
+  };
+  for (const Variant& variant :
+       {Variant{"curated (as-rel.txt)", &bundle.as_rel},
+        Variant{"inferred from AS paths", &inferred}}) {
+    asgraph::AsGraph graph(variant.rels, &bundle.as2org);
+    leasing::Pipeline pipeline(bundle.rib, graph);
+    std::size_t flagged = 0, tp = 0, active_truth = 0;
+    for (const whois::WhoisDb& db : bundle.whois) {
+      for (const auto& r : pipeline.classify(db)) {
+        if (!r.leased()) continue;
+        ++flagged;
+        const sim::TruthRow* row = truth.find(r.prefix);
+        if (row && row->is_leased) ++tp;
+      }
+    }
+    for (const auto& row : truth.rows()) {
+      if (row.is_leased && row.active && !row.legacy) ++active_truth;
+    }
+    table.add_row({variant.name, with_commas(variant.rels->edge_count()),
+                   with_commas(flagged),
+                   percent(static_cast<double>(tp) / active_truth),
+                   flagged ? percent(static_cast<double>(tp) / flagged)
+                           : "n/a"});
+  }
+  std::cout << table.to_string();
+  std::cout << "\nIn this world every provider edge is exercised by the "
+               "collector paths, so path inference even recovers the edges "
+               "the curated snapshot randomly failed to observe (the "
+               "p_asrel_edge_dropped noise) — precision edges up. On the "
+               "real Internet the trade-off cuts both ways: backup/peering "
+               "links that never appear on collector paths stay invisible "
+               "to inference (§7 'Incomplete BGP Data').\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation A4 (§4 "BGP dataset") — the observation window: the paper
+// downloads RIBs over April 1-15 "to capture leased prefixes that were not
+// immediately originated". Classify with only the day-1 snapshots vs the
+// full window and measure the recall the window buys.
+#include <filesystem>
+
+#include "common.h"
+
+using namespace sublet;
+
+int main() {
+  bench::print_banner("bench_ablation_window — observation-window ablation",
+                      "§4 BGP dataset (April 1-15 window)");
+  std::string dir = bench::ensure_dataset();
+  auto bundle = leasing::load_dataset(dir);
+  auto truth = sim::GroundTruth::load(dir);
+  asgraph::AsGraph graph(&bundle.as_rel, &bundle.as2org);
+
+  std::size_t late_truth = 0, active_truth = 0;
+  for (const auto& row : truth.rows()) {
+    if (!row.is_leased || !row.active || row.legacy) continue;
+    ++active_truth;
+    if (row.late) ++late_truth;
+  }
+
+  TextTable table({"Window", "Routed pfx", "Leased found",
+                   "Late leases found", "Lease recall vs truth"});
+  for (int full_window = 0; full_window < 2; ++full_window) {
+    bgp::Rib rib;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(dir + "/bgp")) {
+      std::string name = entry.path().filename().string();
+      if (entry.path().extension() != ".mrt") continue;
+      if (!full_window && name.find(".t1.") != std::string::npos) continue;
+      if (auto err = rib.add_file(entry.path().string())) {
+        std::cerr << err->to_string() << "\n";
+        return 1;
+      }
+    }
+    leasing::Pipeline pipeline(rib, graph);
+    std::size_t tp = 0, late_found = 0;
+    for (const whois::WhoisDb& db : bundle.whois) {
+      for (const auto& r : pipeline.classify(db)) {
+        if (!r.leased()) continue;
+        const sim::TruthRow* row = truth.find(r.prefix);
+        if (row && row->is_leased) {
+          ++tp;
+          if (row->late) ++late_found;
+        }
+      }
+    }
+    table.add_row({full_window ? "day 1-15 (paper)" : "day 1 only",
+                   with_commas(rib.prefix_count()), with_commas(tp),
+                   with_commas(late_found),
+                   percent(static_cast<double>(tp) / active_truth)});
+  }
+  std::cout << table.to_string();
+  std::cout << "\nGround truth: " << with_commas(late_truth) << " of "
+            << with_commas(active_truth)
+            << " active leases only originate late in the window.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// §6.1 — comparison with the maintainer-difference baseline of
+// Prehn et al. (CoNEXT 2020): agreement matrix and the disagreement
+// classes the paper predicts.
+#include "leasing/baseline.h"
+
+#include "common.h"
+
+using namespace sublet;
+
+int main() {
+  bench::print_banner("bench_baseline — vs Prehn et al. maintainer method",
+                      "§6.1 'Comparison with Prior Work'");
+  bench::FullRun run;
+
+  leasing::MethodComparison total;
+  for (const whois::WhoisDb& db : run.bundle.whois) {
+    auto prior = leasing::maintainer_baseline(db);
+    auto ours = run.results_for(db.rir());
+    auto cmp = leasing::compare_methods(ours, prior);
+    total.both_leased += cmp.both_leased;
+    total.ours_only += cmp.ours_only;
+    total.baseline_only += cmp.baseline_only;
+    total.baseline_only_unused += cmp.baseline_only_unused;
+    total.neither += cmp.neither;
+  }
+
+  TextTable table({"Verdict pair", "Leaves", "Share"});
+  double n = static_cast<double>(total.total());
+  table.add_row({"both methods: leased", with_commas(total.both_leased),
+                 percent(total.both_leased / n)});
+  table.add_row({"BGP method only (direct leases baseline misses)",
+                 with_commas(total.ours_only), percent(total.ours_only / n)});
+  table.add_row({"baseline only", with_commas(total.baseline_only),
+                 percent(total.baseline_only / n)});
+  table.add_row({"neither", with_commas(total.neither),
+                 percent(total.neither / n)});
+  std::cout << table.to_string();
+  std::cout << "\nBaseline-only verdicts our method filed as Unused "
+               "(inactive leases the baseline catches — §6.1): "
+            << with_commas(total.baseline_only_unused) << "\n";
+
+  // Score both against ground truth for a headline comparison.
+  std::size_t ours_tp = 0, ours_fp = 0, base_tp = 0, base_fp = 0;
+  std::unordered_map<Prefix, bool, PrefixHash> ours_map;
+  for (const auto& r : run.results) ours_map[r.prefix] = r.leased();
+  for (const whois::WhoisDb& db : run.bundle.whois) {
+    for (const auto& b : leasing::maintainer_baseline(db)) {
+      const sim::TruthRow* row = run.truth.find(b.prefix);
+      if (!row) continue;
+      if (b.leased) (row->is_leased ? ++base_tp : ++base_fp);
+      auto it = ours_map.find(b.prefix);
+      if (it != ours_map.end() && it->second) {
+        (row->is_leased ? ++ours_tp : ++ours_fp);
+      }
+    }
+  }
+  auto prec = [](std::size_t tp, std::size_t fp) {
+    return tp + fp ? static_cast<double>(tp) / (tp + fp) : 0.0;
+  };
+  std::cout << "\nPrecision vs ground truth: BGP method "
+            << percent(prec(ours_tp, ours_fp)) << " ("
+            << with_commas(ours_tp + ours_fp) << " flagged), baseline "
+            << percent(prec(base_tp, base_fp)) << " ("
+            << with_commas(base_tp + base_fp) << " flagged)\n";
+  std::cout << "(the paper argues maintainer comparison misclassifies "
+               "customer blocks with own maintainers as leases)\n";
+  return 0;
+}

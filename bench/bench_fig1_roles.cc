@@ -1,0 +1,62 @@
+// Figure 1 — the IP-leasing business-model taxonomy: for every inferred
+// lease, identify the holder / facilitator / originator parties and the
+// acquisition path (brokered vs direct; self-facilitated holders).
+#include "leasing/ecosystem.h"
+
+#include <set>
+
+#include "common.h"
+
+using namespace sublet;
+
+int main() {
+  bench::print_banner("bench_fig1_roles — business-party taxonomy",
+                      "Figure 1 (§2.3) + top facilitators/originators (§6.3)");
+  bench::FullRun run;
+  leasing::Ecosystem eco(run.results, &run.bundle.as2org);
+
+  auto roles = eco.roles();
+  std::set<std::string> holders, facilitators;
+  std::set<std::uint32_t> originators;
+  std::size_t brokered = 0, self_facilitated = 0;
+  for (const auto& role : roles) {
+    holders.insert(role.holder);
+    if (!role.facilitator.empty()) {
+      facilitators.insert(role.facilitator);
+      ++brokered;
+    }
+    for (Asn asn : role.originators) originators.insert(asn.value());
+    if (role.self_facilitated) ++self_facilitated;
+  }
+
+  std::cout << "Inferred leases:            " << with_commas(roles.size())
+            << "\n";
+  std::cout << "Distinct IP holders:        " << with_commas(holders.size())
+            << "\n";
+  std::cout << "Distinct facilitators:      "
+            << with_commas(facilitators.size()) << "\n";
+  std::cout << "Distinct originators:       "
+            << with_commas(originators.size())
+            << " (paper: 9,217 for 47,318 leases)\n";
+  std::cout << "Self-facilitated leases:    " << with_commas(self_facilitated)
+            << " (" << percent(static_cast<double>(self_facilitated) /
+                               static_cast<double>(roles.size()))
+            << ", holder facilitates its own leasing — §2.3)\n\n";
+
+  std::cout << "Top facilitators per RIR (IPXO should top several):\n";
+  TextTable fac({"RIR", "Facilitator handle", "Leases"});
+  for (whois::Rir rir : whois::kAllRirs) {
+    for (const auto& f : eco.top_facilitators(rir, 3)) {
+      fac.add_row({std::string(rir_name(rir)), f.name, with_commas(f.count)});
+    }
+  }
+  std::cout << fac.to_string() << "\n";
+
+  std::cout << "Top originators of leased prefixes (global):\n";
+  TextTable orig({"Originator", "Leased prefixes"});
+  for (const auto& o : eco.top_originators(5)) {
+    orig.add_row({o.name, with_commas(o.count)});
+  }
+  std::cout << orig.to_string();
+  return 0;
+}

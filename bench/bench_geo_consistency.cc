@@ -1,0 +1,64 @@
+// Geolocation consistency — §8's anecdote: leased prefixes geolocate all
+// over the map because databases track the lessee with different lags
+// ("prefixes on the IPXO marketplace geolocate to four different
+// continents according to five geolocation databases").
+#include <map>
+
+#include "common.h"
+#include "geo/geodb.h"
+
+using namespace sublet;
+
+int main() {
+  bench::print_banner(
+      "bench_geo_consistency — cross-database geolocation disagreement",
+      "§8 discussion (geolocation inconsistency of leased space)");
+  bench::FullRun run;
+  if (run.bundle.geodbs.empty()) {
+    std::cout << "dataset has no geolocation snapshots\n";
+    return 0;
+  }
+  std::cerr << "[bench] " << run.bundle.geodbs.size()
+            << " geolocation databases loaded\n";
+
+  std::map<std::size_t, std::size_t> leased_hist, nonleased_hist;
+  std::size_t leased_disagree = 0, leased_total = 0;
+  std::size_t nonleased_disagree = 0, nonleased_total = 0;
+  for (const auto& r : run.results) {
+    auto consistency = geo::check_consistency(run.bundle.geodbs, r.prefix);
+    if (consistency.countries.empty()) continue;
+    if (r.leased()) {
+      ++leased_total;
+      ++leased_hist[consistency.distinct];
+      if (!consistency.consistent()) ++leased_disagree;
+    } else {
+      ++nonleased_total;
+      ++nonleased_hist[consistency.distinct];
+      if (!consistency.consistent()) ++nonleased_disagree;
+    }
+  }
+
+  TextTable table({"Distinct answers across DBs", "Leased", "Non-leased"});
+  std::size_t max_distinct = 0;
+  for (const auto& [k, v] : leased_hist) max_distinct = std::max(max_distinct, k);
+  for (const auto& [k, v] : nonleased_hist) {
+    max_distinct = std::max(max_distinct, k);
+  }
+  for (std::size_t k = 1; k <= max_distinct; ++k) {
+    table.add_row({std::to_string(k) + (k == 1 ? " (agree)" : ""),
+                   with_commas(leased_hist[k]),
+                   with_commas(nonleased_hist[k])});
+  }
+  std::cout << table.to_string();
+
+  double leased_rate =
+      static_cast<double>(leased_disagree) / static_cast<double>(leased_total);
+  double nonleased_rate = static_cast<double>(nonleased_disagree) /
+                          static_cast<double>(nonleased_total);
+  std::cout << "\nDatabases disagree on " << percent(leased_rate)
+            << " of leased prefixes vs " << percent(nonleased_rate)
+            << " of non-leased ("
+            << fixed(nonleased_rate > 0 ? leased_rate / nonleased_rate : 0, 1)
+            << "x) — leasing scrambles geolocation.\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Geography of the leasing market — the Table 3 narrative (§6.3):
+// "Resilans ... leases 806 prefixes within Sweden. Cyber Assets FZCO ...
+// leases prefixes to 44 countries, including 332 to the U.S." — i.e. some
+// holders lease domestically, others export address space worldwide.
+#include <map>
+#include <set>
+
+#include "common.h"
+
+using namespace sublet;
+
+int main() {
+  bench::print_banner("bench_geography — where leased space ends up",
+                      "§6.3 Table 3 narrative (domestic vs exported leases)");
+  bench::FullRun run;
+
+  // Per lease: holder country (WHOIS org) vs originator country (as2org).
+  std::map<std::string, std::size_t> holder_domestic, holder_exported;
+  std::map<std::string, std::set<std::string>> holder_destinations;
+  std::size_t domestic = 0, exported = 0, unknown = 0;
+  for (const auto& r : run.results) {
+    if (!r.leased()) continue;
+    std::string holder_country;
+    if (const whois::WhoisDb* db = run.bundle.db_for(r.rir)) {
+      if (const whois::OrgRec* org = db->org(r.holder_org)) {
+        holder_country = org->country;
+      }
+    }
+    std::string origin_country;
+    if (!r.leaf_origins.empty()) {
+      const std::string& org_id =
+          run.bundle.as2org.org_of(r.leaf_origins.front());
+      origin_country = run.bundle.as2org.org_country(org_id);
+    }
+    if (holder_country.empty() || origin_country.empty()) {
+      ++unknown;
+      continue;
+    }
+    if (holder_country == origin_country) {
+      ++domestic;
+      ++holder_domestic[r.holder_org];
+    } else {
+      ++exported;
+      ++holder_exported[r.holder_org];
+    }
+    holder_destinations[r.holder_org].insert(origin_country);
+  }
+
+  std::cout << "Leases used in the holder's own country: "
+            << with_commas(domestic) << "\n";
+  std::cout << "Leases exported to another country:      "
+            << with_commas(exported) << " ("
+            << percent(static_cast<double>(exported) /
+                       static_cast<double>(domestic + exported))
+            << ")\n";
+  std::cout << "Country unknown on one side:             "
+            << with_commas(unknown) << "\n\n";
+
+  // Rank exporters by destination spread (the Cyber-Assets profile) and
+  // find a domestic-only holder (the Resilans profile).
+  std::string top_exporter;
+  std::size_t top_spread = 0;
+  for (const auto& [holder, destinations] : holder_destinations) {
+    if (holder_exported[holder] > 0 && destinations.size() > top_spread) {
+      top_spread = destinations.size();
+      top_exporter = holder;
+    }
+  }
+  std::string domestic_holder;
+  std::size_t domestic_best = 0;
+  for (const auto& [holder, count] : holder_domestic) {
+    if (holder_exported[holder] == 0 && count > domestic_best) {
+      domestic_best = count;
+      domestic_holder = holder;
+    }
+  }
+  if (!top_exporter.empty()) {
+    std::cout << "Widest exporter: " << top_exporter << " leases into "
+              << top_spread << " countries ("
+              << with_commas(holder_exported[top_exporter])
+              << " cross-border leases) — the Cyber Assets FZCO profile\n";
+  }
+  if (!domestic_holder.empty()) {
+    std::cout << "Largest domestic-only holder: " << domestic_holder << " ("
+              << with_commas(domestic_best)
+              << " leases, all in-country) — the Resilans profile\n";
+  }
+  return 0;
+}

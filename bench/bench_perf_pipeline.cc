@@ -1,0 +1,148 @@
+// P1 — pipeline performance: generation, parse, and classification
+// throughput as the world grows (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+#include "asgraph/as_graph.h"
+#include "leasing/dataset.h"
+#include "leasing/pipeline.h"
+#include "mrt/rib_file.h"
+#include "simnet/builder.h"
+#include "simnet/emit.h"
+#include "whoisdb/parse.h"
+
+namespace {
+
+using namespace sublet;
+
+sim::WorldConfig config_for(int permille) {
+  sim::WorldConfig config;
+  config.seed = 77;
+  config.scale = permille / 1000.0;
+  return config;
+}
+
+/// Emit a world once per scale and cache the directory for the process.
+const std::string& dataset_for(int permille) {
+  static std::map<int, std::string> cache;
+  auto it = cache.find(permille);
+  if (it != cache.end()) return it->second;
+  std::string dir = "/tmp/sublet-perf-" + std::to_string(permille);
+  if (!std::filesystem::exists(dir + "/.complete")) {
+    std::filesystem::remove_all(dir);
+    sim::emit_world(sim::build_world(config_for(permille)), dir);
+    std::ofstream(dir + "/.complete") << "ok\n";
+  }
+  return cache.emplace(permille, dir).first->second;
+}
+
+void BM_WorldGeneration(benchmark::State& state) {
+  auto config = config_for(static_cast<int>(state.range(0)));
+  std::size_t leaves = 0;
+  for (auto _ : state) {
+    sim::World world = sim::build_world(config);
+    leaves = world.leaves.size();
+    benchmark::DoNotOptimize(world);
+  }
+  state.counters["leaves"] = static_cast<double>(leaves);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(leaves));
+}
+BENCHMARK(BM_WorldGeneration)->Arg(20)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_WhoisParse(benchmark::State& state) {
+  std::string path =
+      dataset_for(static_cast<int>(state.range(0))) + "/whois/ripe.db";
+  std::size_t blocks = 0;
+  for (auto _ : state) {
+    auto db = whois::load_whois_file(path, whois::Rir::kRipe);
+    blocks = db.block_count();
+    benchmark::DoNotOptimize(db);
+  }
+  state.counters["blocks"] = static_cast<double>(blocks);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(blocks));
+}
+BENCHMARK(BM_WhoisParse)->Arg(20)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_MrtParse(benchmark::State& state) {
+  std::string path =
+      dataset_for(static_cast<int>(state.range(0))) + "/bgp/rib.0.t0.mrt";
+  std::size_t bytes = std::filesystem::file_size(path);
+  std::size_t prefixes = 0;
+  for (auto _ : state) {
+    auto snapshot = mrt::read_rib_file(path);
+    prefixes = snapshot ? snapshot->records.size() : 0;
+    benchmark::DoNotOptimize(snapshot);
+  }
+  state.counters["prefixes"] = static_cast<double>(prefixes);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_MrtParse)->Arg(20)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_Classify(benchmark::State& state) {
+  std::string dir = dataset_for(static_cast<int>(state.range(0)));
+  auto bundle = leasing::load_dataset(dir);
+  asgraph::AsGraph graph(&bundle.as_rel, &bundle.as2org);
+  std::size_t classified = 0;
+  for (auto _ : state) {
+    leasing::Pipeline pipeline(bundle.rib, graph);
+    classified = 0;
+    for (const whois::WhoisDb& db : bundle.whois) {
+      classified += pipeline.classify(db).size();
+    }
+    benchmark::DoNotOptimize(classified);
+  }
+  state.counters["leaves"] = static_cast<double>(classified);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(classified));
+}
+BENCHMARK(BM_Classify)->Arg(20)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RpkiValidate(benchmark::State& state) {
+  std::string dir = dataset_for(100);
+  auto bundle = leasing::load_dataset(dir);
+  const rpki::VrpSet* vrps = bundle.current_vrps();
+  std::vector<std::pair<Prefix, Asn>> queries;
+  bundle.rib.visit([&](const Prefix& p, const bgp::RouteInfo& info) {
+    if (!info.origins.empty() && queries.size() < 10000) {
+      queries.emplace_back(p, info.origins.front());
+    }
+  });
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto v = vrps->validate(queries[i % queries.size()].first,
+                            queries[i % queries.size()].second);
+    benchmark::DoNotOptimize(v);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RpkiValidate);
+
+void BM_RibLookup(benchmark::State& state) {
+  std::string dir = dataset_for(100);
+  auto bundle = leasing::load_dataset(dir);
+  std::vector<Prefix> queries;
+  bundle.rib.visit([&](const Prefix& p, const bgp::RouteInfo&) {
+    if (queries.size() < 10000) queries.push_back(p);
+  });
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto* info = bundle.rib.exact(queries[i % queries.size()]);
+    benchmark::DoNotOptimize(info);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RibLookup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Table 1 — number of prefixes per inference group per RIR, and the
+// headline "4.1% of routed prefixes were leased".
+#include "common.h"
+
+using namespace sublet;
+
+int main() {
+  bench::print_banner("bench_table1 — leased address space per region",
+                      "Table 1 (§6.1)");
+  bench::FullRun run;
+
+  TextTable table({"Inference Group", "RIPE", "ARIN", "APNIC", "AFRINIC",
+                   "LACNIC", "All"});
+  std::array<leasing::GroupCounts, 5> per_rir;
+  leasing::GroupCounts all;
+  for (whois::Rir rir : whois::kAllRirs) {
+    per_rir[static_cast<std::size_t>(rir)] =
+        leasing::Pipeline::count_groups(run.results_for(rir));
+  }
+  for (const auto& inference : run.results) all.add(inference.group);
+
+  auto row = [&](const std::string& label, auto getter) {
+    std::vector<std::string> cells = {label};
+    for (whois::Rir rir : whois::kAllRirs) {
+      cells.push_back(
+          with_commas(getter(per_rir[static_cast<std::size_t>(rir)])));
+    }
+    cells.push_back(with_commas(getter(all)));
+    table.add_row(cells);
+  };
+  row("1 Unused", [](const auto& c) { return c.unused; });
+  row("2 Aggregated Customer",
+      [](const auto& c) { return c.aggregated_customer; });
+  row("3 ISP Customer", [](const auto& c) { return c.isp_customer; });
+  row("3 Leased", [](const auto& c) { return c.leased_g3; });
+  row("4 Delegated Customer",
+      [](const auto& c) { return c.delegated_customer; });
+  row("4 Leased", [](const auto& c) { return c.leased_g4; });
+  row("Leased total", [](const auto& c) { return c.leased(); });
+  row("Total leaves", [](const auto& c) { return c.total(); });
+  std::cout << table.to_string() << "\n";
+
+  std::size_t routed = run.bundle.rib.prefix_count();
+  double leased_share =
+      static_cast<double>(all.leased()) / static_cast<double>(routed);
+  std::cout << "Routed prefixes in BGP:        " << with_commas(routed)
+            << "\n";
+  std::cout << "Inferred leased prefixes:      " << with_commas(all.leased())
+            << " (" << percent(leased_share) << " of routed; paper: 4.1%)\n";
+
+  std::uint64_t routed_space = run.bundle.rib.routed_address_space();
+  std::uint64_t leased_space = 0;
+  for (const auto& r : run.results) {
+    if (r.leased()) leased_space += r.prefix.size();
+  }
+  std::cout << "Leased address space:          "
+            << percent(static_cast<double>(leased_space) /
+                       static_cast<double>(routed_space))
+            << " of routed space (paper: 0.9%)\n";
+
+  // Paper reference percentages for the RIPE column.
+  auto& ripe = per_rir[0];
+  double total = static_cast<double>(ripe.total());
+  std::cout << "\nRIPE mix (measured vs paper): unused "
+            << percent(ripe.unused / total) << " vs 17.9%, aggregated "
+            << percent(ripe.aggregated_customer / total)
+            << " vs 57.4%, leased " << percent(ripe.leased() / total)
+            << " vs 8.1%\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Table 2 — confusion matrix against the curated reference dataset
+// (broker positives + residential-ISP negatives), with the §6.2 error
+// anatomy: inactive-lease FNs, legacy FNs, subsidiary FPs.
+#include "leasing/evaluation.h"
+
+#include "common.h"
+
+using namespace sublet;
+
+int main() {
+  bench::print_banner("bench_table2 — evaluation against reference dataset",
+                      "Table 2 (§5.3, §6.2, appendix A)");
+  bench::FullRun run;
+
+  leasing::ReferenceDataset reference;
+  std::size_t broker_prefixes = 0, filtered = 0, direct = 0, fuzzy = 0,
+              unmatched = 0;
+  for (const whois::WhoisDb& db : run.bundle.whois) {
+    auto brokers = run.bundle.brokers.find(db.rir());
+    if (brokers == run.bundle.brokers.end()) continue;
+    auto match =
+        leasing::match_brokers(db, brokers->second, run.bundle.rib);
+    for (const Prefix& p : match.prefixes) reference.add(p, true);
+    broker_prefixes += match.prefixes.size();
+    filtered += match.filtered_not_leased;
+    direct += match.direct_matches;
+    fuzzy += match.fuzzy_matches;
+    unmatched += match.unmatched;
+  }
+  std::cout << "Broker mapping: " << direct << " direct + " << fuzzy
+            << " fuzzy org matches, " << unmatched
+            << " unmatched (paper RIPE: 46 direct + 39 manual, 30 "
+               "unmatched)\n";
+  std::cout << "Broker-managed prefixes kept as positives: "
+            << with_commas(broker_prefixes) << " (" << filtered
+            << " broker-as-ISP blocks filtered; paper filtered 1,621)\n";
+
+  std::size_t negatives = 0;
+  for (const whois::WhoisDb& db : run.bundle.whois) {
+    auto orgs = run.bundle.eval_isp_orgs.find(db.rir());
+    if (orgs == run.bundle.eval_isp_orgs.end()) continue;
+    auto tree = whois::AllocationTree::build(db);
+    for (const Prefix& p :
+         leasing::isp_negatives(db, orgs->second, tree, run.bundle.rib)) {
+      reference.add(p, false);
+      ++negatives;
+    }
+  }
+  std::cout << "Residential-ISP negatives: " << with_commas(negatives)
+            << " (paper: 5,378)\n\n";
+
+  auto m = leasing::evaluate(run.results, reference);
+  TextTable table({"", "Inferred Lease", "Inferred Non-lease", "Metric"});
+  table.add_row({"Actual Lease", with_commas(m.tp) + " (TP)",
+                 with_commas(m.fn) + " (FN)",
+                 "Recall " + fixed(m.recall(), 2)});
+  table.add_row({"Actual Non-lease", with_commas(m.fp) + " (FP)",
+                 with_commas(m.tn) + " (TN)",
+                 "Specificity " + fixed(m.specificity(), 2)});
+  table.add_row({"", "Precision " + fixed(m.precision(), 2),
+                 "NPV " + fixed(m.npv(), 2),
+                 "Accuracy " + fixed(m.accuracy(), 2)});
+  std::cout << table.to_string();
+  std::cout << "\nPaper Table 2: precision 0.98, recall 0.82, specificity "
+               "0.98, NPV 0.75, accuracy 0.88\n";
+
+  // Error anatomy (§6.2) via ground truth.
+  std::size_t fn_inactive = 0, fn_legacy = 0, fp_subsidiary = 0;
+  std::unordered_map<Prefix, bool, PrefixHash> predicted;
+  for (const auto& r : run.results) predicted[r.prefix] = r.leased();
+  for (const auto& [prefix, actual] : reference.labels) {
+    auto it = predicted.find(prefix);
+    bool said_leased = it != predicted.end() && it->second;
+    const sim::TruthRow* row = run.truth.find(prefix);
+    if (!row) continue;
+    if (actual && !said_leased) {
+      if (row->legacy) {
+        ++fn_legacy;
+      } else if (!row->active) {
+        ++fn_inactive;
+      }
+    }
+    if (!actual && said_leased && row->eval_negative) ++fp_subsidiary;
+  }
+  std::cout << "\nError anatomy: " << fn_inactive
+            << " FNs from inactive leases (paper: 1,605), " << fn_legacy
+            << " FNs from legacy blocks (paper: 138), " << fp_subsidiary
+            << " FPs from hidden ISP subsidiaries (paper: 110 Vodafone)\n";
+  return 0;
+}

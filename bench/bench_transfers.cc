@@ -1,0 +1,69 @@
+// Transfer-market context (§1, §3 — Livadariu et al., Giotsas et al.):
+// is leased space disproportionately space that changed hands on the IPv4
+// transfer market, and is transferred space more abused?
+#include "common.h"
+
+using namespace sublet;
+
+int main() {
+  bench::print_banner("bench_transfers — leases on transferred space",
+                      "§1/§3 transfer-market context (extension)");
+  bench::FullRun run;
+  const auto& transfers = run.bundle.transfers;
+  std::cerr << "[bench] transfer log: " << transfers.size() << " records\n";
+  if (transfers.size() == 0) {
+    std::cout << "dataset carries no transfer log\n";
+    return 0;
+  }
+
+  // Leased vs non-leased leaves inside/outside transferred space.
+  std::size_t leased_in = 0, leased_out = 0, other_in = 0, other_out = 0;
+  for (const auto& r : run.results) {
+    bool inside = transfers.covers(r.prefix);
+    if (r.leased()) {
+      (inside ? leased_in : leased_out) += 1;
+    } else {
+      (inside ? other_in : other_out) += 1;
+    }
+  }
+  double lease_rate_in =
+      static_cast<double>(leased_in) / (leased_in + other_in);
+  double lease_rate_out =
+      static_cast<double>(leased_out) / (leased_out + other_out);
+
+  TextTable table({"Sub-allocations", "On transferred space", "Elsewhere"});
+  table.add_row({"leased", with_commas(leased_in), with_commas(leased_out)});
+  table.add_row({"non-leased", with_commas(other_in), with_commas(other_out)});
+  table.add_row({"lease rate", percent(lease_rate_in),
+                 percent(lease_rate_out)});
+  std::cout << table.to_string();
+  std::cout << "\nLeases are "
+            << fixed(lease_rate_in / lease_rate_out, 1)
+            << "x more common inside transferred blocks — market-active "
+               "holders buy space to lease it out.\n\n";
+
+  // Abuse of transferred space (Giotsas et al. 2020's finding).
+  std::size_t transferred_routed = 0, transferred_drop = 0;
+  std::size_t other_routed = 0, other_drop = 0;
+  run.bundle.rib.visit([&](const Prefix& prefix,
+                           const bgp::RouteInfo& info) {
+    bool listed = false;
+    for (Asn origin : info.origins) {
+      if (run.bundle.drop.contains(origin)) listed = true;
+    }
+    if (transfers.covers(prefix)) {
+      ++transferred_routed;
+      if (listed) ++transferred_drop;
+    } else {
+      ++other_routed;
+      if (listed) ++other_drop;
+    }
+  });
+  double drop_in = static_cast<double>(transferred_drop) / transferred_routed;
+  double drop_out = static_cast<double>(other_drop) / other_routed;
+  std::cout << "DROP-originated prefixes: " << percent(drop_in)
+            << " of routed transferred space vs " << percent(drop_out)
+            << " elsewhere (" << fixed(drop_out > 0 ? drop_in / drop_out : 0, 1)
+            << "x — Giotsas et al. found transferred space more abused)\n";
+  return 0;
+}

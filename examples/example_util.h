@@ -1,0 +1,35 @@
+// Shared plumbing for the example programs: locate or generate a dataset.
+//
+// Every example takes an optional dataset directory as argv[1] (the layout
+// leasing/load_dataset() documents). Without one, a small synthetic world
+// is generated under /tmp so the examples run out of the box.
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "simnet/builder.h"
+#include "simnet/emit.h"
+
+namespace sublet::examples {
+
+inline std::string dataset_dir(int argc, char** argv,
+                               double default_scale = 0.1) {
+  if (argc > 1) return argv[1];
+  std::string dir = "/tmp/sublet-example-data";
+  if (!std::filesystem::exists(dir + "/.complete")) {
+    std::cerr << "[example] no dataset given; generating a demo world under "
+              << dir << " ...\n";
+    std::filesystem::remove_all(dir);
+    sim::WorldConfig config;
+    config.seed = 1;
+    config.scale = default_scale;
+    sim::emit_world(sim::build_world(config), dir);
+    std::ofstream(dir + "/.complete") << "ok\n";
+  }
+  return dir;
+}
+
+}  // namespace sublet::examples

@@ -1,0 +1,119 @@
+#include "abuse/asn_lists.h"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace sublet::abuse {
+
+std::vector<Asn> AsnSet::all() const {
+  std::vector<Asn> out;
+  out.reserve(asns_.size());
+  for (std::uint32_t v : asns_) out.push_back(Asn(v));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+namespace {
+
+/// Extract the number following `"asn":` in a JSON-lines record. A full
+/// JSON parser is unnecessary: the field is numeric and unescaped.
+std::optional<Asn> extract_json_asn(std::string_view line) {
+  auto pos = line.find("\"asn\"");
+  if (pos == std::string_view::npos) return std::nullopt;
+  pos = line.find(':', pos);
+  if (pos == std::string_view::npos) return std::nullopt;
+  ++pos;
+  while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+  std::size_t end = pos;
+  while (end < line.size() && line[end] >= '0' && line[end] <= '9') ++end;
+  if (end == pos) return std::nullopt;
+  return Asn::parse(line.substr(pos, end - pos));
+}
+
+}  // namespace
+
+AsnSet AsnSet::parse_drop(std::istream& in, std::string source,
+                          std::vector<Error>* diagnostics) {
+  AsnSet set;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view view = trim(line);
+    if (view.empty() || view.front() == ';' || view.front() == '#') continue;
+    if (view.front() == '{') {
+      if (auto asn = extract_json_asn(view)) {
+        set.add(*asn);
+        continue;
+      }
+      // Metadata records ({"type":"metadata",...}) carry no "asn" field.
+      if (view.find("\"type\"") != std::string_view::npos) continue;
+      if (diagnostics) {
+        diagnostics->push_back(fail("JSON record without asn", source, line_no));
+      }
+      continue;
+    }
+    // Historical "AS123 ; SOMENAME" format.
+    auto semi = view.find(';');
+    if (semi != std::string_view::npos) view = trim(view.substr(0, semi));
+    if (auto asn = Asn::parse(view)) {
+      set.add(*asn);
+    } else if (diagnostics) {
+      diagnostics->push_back(
+          fail("bad DROP line '" + std::string(view) + "'", source, line_no));
+    }
+  }
+  return set;
+}
+
+AsnSet AsnSet::parse_plain(std::istream& in, std::string source,
+                           std::vector<Error>* diagnostics) {
+  AsnSet set;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view view = trim(line);
+    if (view.empty() || view.front() == '#') continue;
+    if (auto asn = Asn::parse(view)) {
+      set.add(*asn);
+    } else if (diagnostics) {
+      diagnostics->push_back(
+          fail("bad ASN '" + std::string(view) + "'", source, line_no));
+    }
+  }
+  return set;
+}
+
+AsnSet AsnSet::load_drop(const std::string& path,
+                         std::vector<Error>* diagnostics) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open DROP list: " + path);
+  return parse_drop(in, path, diagnostics);
+}
+
+AsnSet AsnSet::load_plain(const std::string& path,
+                          std::vector<Error>* diagnostics) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open ASN list: " + path);
+  return parse_plain(in, path, diagnostics);
+}
+
+void AsnSet::write_drop(std::ostream& out) const {
+  for (Asn asn : all()) {
+    out << "{\"asn\":" << asn.value() << ",\"rir\":\"sim\",\"asname\":\"AS"
+        << asn.value() << "\"}\n";
+  }
+}
+
+void AsnSet::write_plain(std::ostream& out) const {
+  out << "# one ASN per line\n";
+  for (Asn asn : all()) out << asn.value() << '\n';
+}
+
+}  // namespace sublet::abuse

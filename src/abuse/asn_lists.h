@@ -1,0 +1,50 @@
+// Abusive-ASN list readers: Spamhaus ASN-DROP and serial-hijacker lists.
+//
+// ASN-DROP ships as JSON Lines ({"asn":213371,"rir":"ripencc",...}); the
+// historical format was "AS123 ; name". Both are accepted. The serial
+// hijacker list (Testart et al. IMC'19) is one ASN per line.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "netbase/asn.h"
+#include "util/expected.h"
+
+namespace sublet::abuse {
+
+/// A set of ASNs considered abusive, with provenance-free membership tests.
+class AsnSet {
+ public:
+  void add(Asn asn) { asns_.insert(asn.value()); }
+  bool contains(Asn asn) const { return asns_.contains(asn.value()); }
+  std::size_t size() const { return asns_.size(); }
+  std::vector<Asn> all() const;
+
+  /// Parse ASN-DROP: JSON Lines with an "asn" field, or "AS123 ; comment"
+  /// lines. Unparseable lines are diagnosed and skipped.
+  static AsnSet parse_drop(std::istream& in, std::string source = {},
+                           std::vector<Error>* diagnostics = nullptr);
+
+  /// Parse a plain list: one ASN per line ("123" or "AS123"), '#' comments.
+  static AsnSet parse_plain(std::istream& in, std::string source = {},
+                            std::vector<Error>* diagnostics = nullptr);
+
+  static AsnSet load_drop(const std::string& path,
+                          std::vector<Error>* diagnostics = nullptr);
+  static AsnSet load_plain(const std::string& path,
+                           std::vector<Error>* diagnostics = nullptr);
+
+  /// Serialize as JSON Lines in the ASN-DROP layout (sorted).
+  void write_drop(std::ostream& out) const;
+  /// Serialize as a plain list (sorted).
+  void write_plain(std::ostream& out) const;
+
+ private:
+  std::unordered_set<std::uint32_t> asns_;
+};
+
+}  // namespace sublet::abuse

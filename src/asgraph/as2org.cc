@@ -1,0 +1,122 @@
+#include "asgraph/as2org.h"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace sublet::asgraph {
+
+namespace {
+const std::string kEmpty;
+}
+
+void As2Org::add_mapping(Asn asn, std::string org_id, std::string as_name) {
+  org_to_asns_[org_id].push_back(asn);
+  asn_to_org_[asn.value()] = {std::move(org_id), std::move(as_name)};
+}
+
+void As2Org::add_org(std::string org_id, std::string name,
+                     std::string country) {
+  orgs_[std::move(org_id)] = {std::move(name), std::move(country)};
+}
+
+const std::string& As2Org::org_of(Asn asn) const {
+  auto it = asn_to_org_.find(asn.value());
+  return it == asn_to_org_.end() ? kEmpty : it->second.org_id;
+}
+
+const std::string& As2Org::org_name(const std::string& org_id) const {
+  auto it = orgs_.find(org_id);
+  if (it == orgs_.end() || it->second.name.empty()) return org_id;
+  return it->second.name;
+}
+
+const std::string& As2Org::org_country(const std::string& org_id) const {
+  auto it = orgs_.find(org_id);
+  return it == orgs_.end() ? kEmpty : it->second.country;
+}
+
+bool As2Org::siblings(Asn a, Asn b) const {
+  const std::string& org_a = org_of(a);
+  return !org_a.empty() && org_a == org_of(b);
+}
+
+std::vector<Asn> As2Org::asns_of_org(const std::string& org_id) const {
+  auto it = org_to_asns_.find(org_id);
+  return it == org_to_asns_.end() ? std::vector<Asn>{} : it->second;
+}
+
+As2Org As2Org::parse(std::istream& in, std::string source,
+                     std::vector<Error>* diagnostics) {
+  As2Org out;
+  enum class Section { kUnknown, kAut, kOrg } section = Section::kUnknown;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::string_view view = trim(line);
+    if (view.empty()) continue;
+    if (view.front() == '#') {
+      if (view.find("aut|") != std::string_view::npos) {
+        section = Section::kAut;
+      } else if (view.find("org_id|") != std::string_view::npos) {
+        section = Section::kOrg;
+      }
+      continue;
+    }
+    auto fields = split(view, '|');
+    if (section == Section::kAut && fields.size() >= 4) {
+      auto asn = Asn::parse(fields[0]);
+      if (!asn) {
+        if (diagnostics) {
+          diagnostics->push_back(fail("bad aut line", source, line_no));
+        }
+        continue;
+      }
+      out.add_mapping(*asn, std::string(fields[3]), std::string(fields[2]));
+    } else if (section == Section::kOrg && fields.size() >= 4) {
+      out.add_org(std::string(fields[0]), std::string(fields[2]),
+                  std::string(fields[3]));
+    } else {
+      if (diagnostics) {
+        diagnostics->push_back(
+            fail("line outside a recognized section", source, line_no));
+      }
+    }
+  }
+  return out;
+}
+
+As2Org As2Org::load(const std::string& path,
+                    std::vector<Error>* diagnostics) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open as2org: " + path);
+  return parse(in, path, diagnostics);
+}
+
+void As2Org::write(std::ostream& out) const {
+  out << "# format: aut|changed|aut_name|org_id|opaque_id|source\n";
+  std::map<std::uint32_t, const Mapping*> sorted_auts;
+  for (const auto& [asn, mapping] : asn_to_org_) {
+    sorted_auts[asn] = &mapping;
+  }
+  for (const auto& [asn, mapping] : sorted_auts) {
+    out << asn << "|20240401|" << mapping->as_name << '|' << mapping->org_id
+        << "|*|SIM\n";
+  }
+  out << "# format: org_id|changed|org_name|country|source\n";
+  std::map<std::string, const OrgInfo*> sorted_orgs;
+  for (const auto& [id, info] : orgs_) sorted_orgs[id] = &info;
+  for (const auto& [id, info] : sorted_orgs) {
+    out << id << "|20240401|" << info->name << '|' << info->country
+        << "|SIM\n";
+  }
+}
+
+}  // namespace sublet::asgraph

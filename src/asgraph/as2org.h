@@ -1,0 +1,64 @@
+// AS → organization mapping (CAIDA as2org flat format).
+//
+// File layout, two sections introduced by format comments:
+//   # format: aut|changed|aut_name|org_id|opaque_id|source
+//   64500|20240401|EXAMPLE-AS|ORG-1|*|SIM
+//   # format: org_id|changed|org_name|country|source
+//   ORG-1|20240401|Example Networks|SE|SIM
+// Sibling ASes (same org_id) extend the classifier's relatedness check and
+// drive the A2 subsidiary ablation.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netbase/asn.h"
+#include "util/expected.h"
+
+namespace sublet::asgraph {
+
+class As2Org {
+ public:
+  void add_mapping(Asn asn, std::string org_id, std::string as_name = {});
+  void add_org(std::string org_id, std::string name, std::string country = {});
+
+  /// Org handle for an AS, or empty if unmapped.
+  const std::string& org_of(Asn asn) const;
+
+  /// Human-readable org name for a handle (falls back to the handle).
+  const std::string& org_name(const std::string& org_id) const;
+
+  /// Registered country of an organization ("" if unknown).
+  const std::string& org_country(const std::string& org_id) const;
+
+  /// True when both ASes map to the same organization.
+  bool siblings(Asn a, Asn b) const;
+
+  /// All ASes of one organization.
+  std::vector<Asn> asns_of_org(const std::string& org_id) const;
+
+  std::size_t mapping_count() const { return asn_to_org_.size(); }
+
+  static As2Org parse(std::istream& in, std::string source = {},
+                      std::vector<Error>* diagnostics = nullptr);
+  static As2Org load(const std::string& path,
+                     std::vector<Error>* diagnostics = nullptr);
+  void write(std::ostream& out) const;
+
+ private:
+  struct Mapping {
+    std::string org_id;
+    std::string as_name;
+  };
+  struct OrgInfo {
+    std::string name;
+    std::string country;
+  };
+  std::unordered_map<std::uint32_t, Mapping> asn_to_org_;
+  std::unordered_map<std::string, OrgInfo> orgs_;
+  std::unordered_map<std::string, std::vector<Asn>> org_to_asns_;
+};
+
+}  // namespace sublet::asgraph

@@ -1,0 +1,57 @@
+// Combined relatedness view used by the lease classifier.
+//
+// Paper step 5 asks one question of the AS-level data: "is the leaf's BGP
+// origin related to the holder's ASes?". Related means the same AS, a
+// direct relationship edge (provider/customer/peer), or siblings under one
+// organization. The sibling component is exactly what the paper's Vodafone
+// false positives were missing (§6.2) — ablation A2 toggles it.
+#pragma once
+
+#include "asgraph/as2org.h"
+#include "asgraph/as_rel.h"
+
+namespace sublet::asgraph {
+
+struct RelatednessOptions {
+  bool use_relationships = true;
+  bool use_siblings = true;
+};
+
+class AsGraph {
+ public:
+  /// Both pointers may be null (that component is then skipped). Does not
+  /// take ownership; the datasets must outlive the graph.
+  AsGraph(const AsRelationships* relationships, const As2Org* orgs,
+          RelatednessOptions options = {})
+      : relationships_(relationships), orgs_(orgs), options_(options) {}
+
+  /// Self, direct edge, or sibling.
+  bool related(Asn a, Asn b) const {
+    if (a == b) return true;
+    if (options_.use_relationships && relationships_ &&
+        relationships_->has_edge(a, b)) {
+      return true;
+    }
+    if (options_.use_siblings && orgs_ && orgs_->siblings(a, b)) return true;
+    return false;
+  }
+
+  /// True if `asn` is related to any AS in `set`.
+  template <typename Container>
+  bool related_to_any(Asn asn, const Container& set) const {
+    for (Asn other : set) {
+      if (related(asn, other)) return true;
+    }
+    return false;
+  }
+
+  const AsRelationships* relationships() const { return relationships_; }
+  const As2Org* orgs() const { return orgs_; }
+
+ private:
+  const AsRelationships* relationships_;
+  const As2Org* orgs_;
+  RelatednessOptions options_;
+};
+
+}  // namespace sublet::asgraph

@@ -1,0 +1,130 @@
+#include "asgraph/as_rel.h"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace sublet::asgraph {
+
+void AsRelationships::add_p2c(Asn provider, Asn customer) {
+  if (provider == customer) return;
+  auto [it, inserted] =
+      edges_.emplace(key(provider, customer), Relationship::kProvider);
+  if (!inserted) return;
+  edges_[key(customer, provider)] = Relationship::kCustomer;
+  neighbors_[provider.value()].push_back(customer);
+  neighbors_[customer.value()].push_back(provider);
+}
+
+void AsRelationships::add_p2p(Asn a, Asn b) {
+  if (a == b) return;
+  auto [it, inserted] = edges_.emplace(key(a, b), Relationship::kPeer);
+  if (!inserted) return;
+  edges_[key(b, a)] = Relationship::kPeer;
+  neighbors_[a.value()].push_back(b);
+  neighbors_[b.value()].push_back(a);
+}
+
+Relationship AsRelationships::rel(Asn a, Asn b) const {
+  auto it = edges_.find(key(a, b));
+  return it == edges_.end() ? Relationship::kNone : it->second;
+}
+
+namespace {
+std::vector<Asn> filter_neighbors(
+    const AsRelationships& rels,
+    const std::unordered_map<std::uint32_t, std::vector<Asn>>& neighbors,
+    Asn asn, Relationship wanted) {
+  std::vector<Asn> out;
+  auto it = neighbors.find(asn.value());
+  if (it == neighbors.end()) return out;
+  for (Asn n : it->second) {
+    if (rels.rel(asn, n) == wanted) out.push_back(n);
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<Asn> AsRelationships::providers_of(Asn asn) const {
+  return filter_neighbors(*this, neighbors_, asn, Relationship::kCustomer);
+}
+
+std::vector<Asn> AsRelationships::customers_of(Asn asn) const {
+  return filter_neighbors(*this, neighbors_, asn, Relationship::kProvider);
+}
+
+std::vector<Asn> AsRelationships::peers_of(Asn asn) const {
+  return filter_neighbors(*this, neighbors_, asn, Relationship::kPeer);
+}
+
+std::size_t AsRelationships::degree(Asn asn) const {
+  auto it = neighbors_.find(asn.value());
+  return it == neighbors_.end() ? 0 : it->second.size();
+}
+
+AsRelationships AsRelationships::parse(std::istream& in, std::string source,
+                                       std::vector<Error>* diagnostics) {
+  AsRelationships rels;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::string_view view = trim(line);
+    if (view.empty() || view.front() == '#') continue;
+    auto fields = split(view, '|');
+    if (fields.size() < 3) {
+      if (diagnostics) {
+        diagnostics->push_back(fail("expected a|b|rel", source, line_no));
+      }
+      continue;
+    }
+    auto a = Asn::parse(fields[0]);
+    auto b = Asn::parse(fields[1]);
+    std::string_view rel_text = trim(fields[2]);
+    if (!a || !b || (rel_text != "-1" && rel_text != "0")) {
+      if (diagnostics) {
+        diagnostics->push_back(
+            fail("bad edge '" + std::string(view) + "'", source, line_no));
+      }
+      continue;
+    }
+    if (rel_text == "-1") {
+      rels.add_p2c(*a, *b);
+    } else {
+      rels.add_p2p(*a, *b);
+    }
+  }
+  return rels;
+}
+
+AsRelationships AsRelationships::load(const std::string& path,
+                                      std::vector<Error>* diagnostics) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open AS relationships: " + path);
+  return parse(in, path, diagnostics);
+}
+
+void AsRelationships::write(std::ostream& out) const {
+  out << "# AS relationships (serial-1): <a>|<b>|<-1:p2c, 0:p2p>\n";
+  std::map<std::pair<std::uint32_t, std::uint32_t>, int> sorted;
+  for (const auto& [k, rel] : edges_) {
+    std::uint32_t a = static_cast<std::uint32_t>(k >> 32);
+    std::uint32_t b = static_cast<std::uint32_t>(k);
+    if (rel == Relationship::kProvider) {
+      sorted[{a, b}] = -1;
+    } else if (rel == Relationship::kPeer && a < b) {
+      sorted[{a, b}] = 0;
+    }
+  }
+  for (const auto& [ab, rel] : sorted) {
+    out << ab.first << '|' << ab.second << '|' << rel << '\n';
+  }
+}
+
+}  // namespace sublet::asgraph

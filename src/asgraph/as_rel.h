@@ -1,0 +1,72 @@
+// AS relationship dataset (CAIDA serial-1 format) and queries.
+//
+// File format, one edge per line:
+//   # comment
+//   <provider-as>|<customer-as>|-1
+//   <peer-as>|<peer-as>|0
+// The classifier (paper step 5, groups 3-4) only asks whether a direct
+// relationship exists between two ASes; the directional queries support the
+// ecosystem analysis and the Gao-style inference extension.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "netbase/asn.h"
+#include "util/expected.h"
+
+namespace sublet::asgraph {
+
+enum class Relationship {
+  kNone,      ///< no direct edge
+  kProvider,  ///< a is a provider of b
+  kCustomer,  ///< a is a customer of b
+  kPeer,      ///< settlement-free peers
+};
+
+class AsRelationships {
+ public:
+  /// Add a provider→customer edge.
+  void add_p2c(Asn provider, Asn customer);
+  /// Add a peer edge (symmetric).
+  void add_p2p(Asn a, Asn b);
+
+  /// Relationship of `a` to `b`.
+  Relationship rel(Asn a, Asn b) const;
+
+  /// True if any direct edge (p2c, c2p, or p2p) connects the two.
+  bool has_edge(Asn a, Asn b) const { return rel(a, b) != Relationship::kNone; }
+
+  std::vector<Asn> providers_of(Asn asn) const;
+  std::vector<Asn> customers_of(Asn asn) const;
+  std::vector<Asn> peers_of(Asn asn) const;
+
+  /// Node degree (distinct neighbors), used by the Gao inference heuristic.
+  std::size_t degree(Asn asn) const;
+
+  /// Number of undirected relationship edges.
+  std::size_t edge_count() const { return edges_.size() / 2; }
+
+  /// Parse the serial-1 format. Bad lines are diagnosed and skipped.
+  static AsRelationships parse(std::istream& in, std::string source = {},
+                               std::vector<Error>* diagnostics = nullptr);
+  static AsRelationships load(const std::string& path,
+                              std::vector<Error>* diagnostics = nullptr);
+
+  /// Serialize back to serial-1 (sorted, deterministic).
+  void write(std::ostream& out) const;
+
+ private:
+  static std::uint64_t key(Asn a, Asn b) {
+    return (static_cast<std::uint64_t>(a.value()) << 32) | b.value();
+  }
+  // edge key (a<<32|b) -> relationship of a to b; both directions stored.
+  std::unordered_map<std::uint64_t, Relationship> edges_;
+  std::unordered_map<std::uint32_t, std::vector<Asn>> neighbors_;
+};
+
+}  // namespace sublet::asgraph

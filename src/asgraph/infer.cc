@@ -1,0 +1,78 @@
+#include "asgraph/infer.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace sublet::asgraph {
+
+AsRelationships infer_relationships(
+    const std::vector<std::vector<Asn>>& paths, InferOptions options) {
+  // Pass 1: node degree = number of distinct neighbors over all paths.
+  std::unordered_map<std::uint32_t, std::unordered_set<std::uint32_t>> adj;
+  for (const auto& path : paths) {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      if (path[i] == path[i + 1]) continue;  // prepending
+      adj[path[i].value()].insert(path[i + 1].value());
+      adj[path[i + 1].value()].insert(path[i].value());
+    }
+  }
+  auto degree = [&](Asn asn) {
+    auto it = adj.find(asn.value());
+    return it == adj.end() ? std::size_t{0} : it->second.size();
+  };
+
+  // Pass 2: vote per undirected edge. Positive = first-listed AS provides
+  // transit to the second (p2c in path order toward the origin).
+  std::map<std::pair<std::uint32_t, std::uint32_t>, int> votes;
+  auto vote = [&](Asn provider, Asn customer, int weight) {
+    std::uint32_t a = provider.value(), b = customer.value();
+    if (a < b) {
+      votes[{a, b}] += weight;
+    } else {
+      votes[{b, a}] -= weight;
+    }
+  };
+
+  for (const auto& path : paths) {
+    // De-duplicate prepending.
+    std::vector<Asn> p;
+    for (Asn asn : path) {
+      if (p.empty() || p.back() != asn) p.push_back(asn);
+    }
+    if (p.size() < 2) continue;
+    std::size_t top = 0;
+    for (std::size_t i = 1; i < p.size(); ++i) {
+      if (degree(p[i]) > degree(p[top])) top = i;
+    }
+    // Uphill: origin side of the path climbs toward the top. The path is
+    // stored collector-first, origin-last; the collector side [0..top] is
+    // downhill from top, the origin side [top..end] is downhill too — i.e.
+    // the top provides transit in both directions.
+    for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+      if (i + 1 <= top) {
+        vote(p[i + 1], p[i], 1);  // p[i+1] is closer to top: provider
+      } else {
+        vote(p[i], p[i + 1], 1);  // descending after top: provider first
+      }
+    }
+  }
+
+  AsRelationships rels;
+  for (const auto& [edge, net] : votes) {
+    Asn a(edge.first), b(edge.second);
+    if (std::abs(net) < options.min_votes && net != 0) continue;
+    if (std::abs(net) <= options.tie_margin) {
+      rels.add_p2p(a, b);
+    } else if (net > 0) {
+      rels.add_p2c(a, b);
+    } else {
+      rels.add_p2c(b, a);
+    }
+  }
+  return rels;
+}
+
+}  // namespace sublet::asgraph

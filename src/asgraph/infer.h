@@ -1,0 +1,32 @@
+// Valley-free (Gao-style) relationship inference from AS paths.
+//
+// Extension feature (DESIGN.md §5.4 / ablation A1): when a curated
+// relationship dataset is unavailable or deliberately degraded, an
+// approximation can be inferred from the observed AS paths themselves —
+// the same bootstrapping CAIDA's serial-1 dataset performs at scale.
+//
+// Heuristic: the highest-degree AS on each path is its "top"; edges on the
+// uphill side are customer→provider, on the downhill side provider→
+// customer. Votes are accumulated per edge across all paths and the
+// majority orientation wins; near-ties between high-degree neighbors of
+// the top become peer edges.
+#pragma once
+
+#include <vector>
+
+#include "asgraph/as_rel.h"
+
+namespace sublet::asgraph {
+
+struct InferOptions {
+  /// Minimum votes an edge needs before it is emitted.
+  int min_votes = 1;
+  /// |p2c votes - c2p votes| <= tie_margin → peer edge.
+  int tie_margin = 0;
+};
+
+/// Infer relationships from flattened AS paths (loop-free, origin last).
+AsRelationships infer_relationships(
+    const std::vector<std::vector<Asn>>& paths, InferOptions options = {});
+
+}  // namespace sublet::asgraph

@@ -1,0 +1,94 @@
+#include "bgp/origin_tracker.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "mrt/mrt.h"
+#include "util/log.h"
+
+namespace sublet::bgp {
+
+void OriginTracker::announce(std::uint32_t timestamp, const Prefix& prefix,
+                             std::vector<Asn> origins) {
+  std::sort(origins.begin(), origins.end());
+  origins.erase(std::unique(origins.begin(), origins.end()), origins.end());
+  auto& events = histories_[prefix];
+  if (!events.empty() && events.back().origins == origins) return;
+  events.push_back({timestamp, std::move(origins)});
+}
+
+void OriginTracker::withdraw(std::uint32_t timestamp, const Prefix& prefix) {
+  auto& events = histories_[prefix];
+  if (!events.empty() && events.back().origins.empty()) return;
+  events.push_back({timestamp, {}});
+}
+
+void OriginTracker::apply(std::uint32_t timestamp,
+                          const mrt::Bgp4mpMessage& message) {
+  if (!message.is_update()) return;
+  for (const Prefix& prefix : message.withdrawn) {
+    withdraw(timestamp, prefix);
+  }
+  if (!message.announced.empty()) {
+    auto origins = message.attributes.as_path.origin_asns();
+    for (const Prefix& prefix : message.announced) {
+      announce(timestamp, prefix, origins);
+    }
+  }
+}
+
+const std::vector<OriginEvent>* OriginTracker::history(
+    const Prefix& prefix) const {
+  auto it = histories_.find(prefix);
+  return it == histories_.end() ? nullptr : &it->second;
+}
+
+std::vector<Asn> OriginTracker::origins_at(const Prefix& prefix,
+                                           std::uint32_t timestamp) const {
+  const std::vector<OriginEvent>* events = history(prefix);
+  if (!events) return {};
+  std::vector<Asn> state;
+  for (const OriginEvent& event : *events) {
+    if (event.timestamp > timestamp) break;
+    state = event.origins;
+  }
+  return state;
+}
+
+std::vector<Asn> OriginTracker::ever_origins(const Prefix& prefix) const {
+  const std::vector<OriginEvent>* events = history(prefix);
+  if (!events) return {};
+  std::vector<Asn> out;
+  for (const OriginEvent& event : *events) {
+    out.insert(out.end(), event.origins.begin(), event.origins.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Expected<std::size_t> replay_updates_file(const std::string& path,
+                                          OriginTracker& tracker) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return fail("cannot open " + path);
+  mrt::MrtReader reader(in, path);
+  std::size_t applied = 0;
+  while (auto rec = reader.next()) {
+    if (rec->type != static_cast<std::uint16_t>(mrt::MrtType::kBgp4mp)) {
+      continue;
+    }
+    auto subtype = static_cast<mrt::Bgp4mpSubtype>(rec->subtype);
+    if (subtype != mrt::Bgp4mpSubtype::kMessage &&
+        subtype != mrt::Bgp4mpSubtype::kMessageAs4) {
+      continue;
+    }
+    auto message = mrt::decode_bgp4mp(rec->body, subtype);
+    if (!message) return message.error();
+    tracker.apply(rec->timestamp, *message);
+    if (message->is_update()) ++applied;
+  }
+  if (reader.error()) return *reader.error();
+  return applied;
+}
+
+}  // namespace sublet::bgp

@@ -1,0 +1,127 @@
+#include "bgp/rib.h"
+
+#include <algorithm>
+#include <istream>
+
+#include "mrt/bgpdump_text.h"
+#include "util/strings.h"
+
+namespace sublet::bgp {
+
+bool RouteInfo::originated_by(Asn asn) const {
+  return std::binary_search(origins.begin(), origins.end(), asn);
+}
+
+namespace {
+void insert_origin(RouteInfo& info, Asn origin) {
+  auto it = std::lower_bound(info.origins.begin(), info.origins.end(), origin);
+  if (it == info.origins.end() || *it != origin) {
+    info.origins.insert(it, origin);
+  }
+}
+}  // namespace
+
+void Rib::add_route(const Prefix& prefix, Asn origin) {
+  RouteInfo* info = trie_.find(prefix);
+  if (!info) info = &trie_.insert(prefix, RouteInfo{});
+  insert_origin(*info, origin);
+  ++info->peer_observations;
+}
+
+void Rib::add_snapshot(const mrt::RibSnapshot& snapshot) {
+  for (const mrt::RibPrefixRecord& rec : snapshot.records) {
+    RouteInfo* info = trie_.find(rec.prefix);
+    if (!info) info = &trie_.insert(rec.prefix, RouteInfo{});
+    for (const mrt::RibEntry& entry : rec.entries) {
+      for (Asn origin : entry.attributes.as_path.origin_asns()) {
+        insert_origin(*info, origin);
+      }
+      ++info->peer_observations;
+    }
+  }
+}
+
+std::optional<Error> Rib::add_file(const std::string& path) {
+  auto snapshot = mrt::read_rib_file(path);
+  if (!snapshot) return snapshot.error();
+  add_snapshot(*snapshot);
+  return std::nullopt;
+}
+
+Expected<std::size_t> Rib::add_bgpdump_text(std::istream& in,
+                                            std::string source) {
+  std::size_t merged = 0;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (trim(line).empty()) continue;
+    auto entry = mrt::parse_bgpdump_line(line);
+    if (!entry) {
+      if (entry.error().message.rfind("skip:", 0) == 0) continue;
+      Error error = entry.error();
+      error.source = std::move(source);
+      error.line = line_no;
+      return error;
+    }
+    if (entry->kind == mrt::BgpdumpEntry::Kind::kWithdraw) continue;
+    for (Asn origin : entry->origins()) {
+      add_route(entry->prefix, origin);
+    }
+    ++merged;
+  }
+  return merged;
+}
+
+const RouteInfo* Rib::exact(const Prefix& prefix) const {
+  return trie_.find(prefix);
+}
+
+std::optional<std::pair<Prefix, const RouteInfo*>>
+Rib::least_specific_covering(const Prefix& prefix) const {
+  return trie_.least_specific_covering(prefix);
+}
+
+std::optional<std::pair<Prefix, const RouteInfo*>>
+Rib::most_specific_covering(const Prefix& prefix) const {
+  return trie_.most_specific_covering(prefix);
+}
+
+std::uint64_t Rib::routed_address_space() const {
+  // Collect [first, last] intervals in address order and merge.
+  std::uint64_t total = 0;
+  std::uint64_t cur_start = 0, cur_end = 0;  // [start, end) in 64-bit space
+  bool open = false;
+  trie_.visit([&](const Prefix& p, const RouteInfo&) {
+    std::uint64_t start = p.first().value();
+    std::uint64_t end = static_cast<std::uint64_t>(p.last().value()) + 1;
+    if (!open) {
+      cur_start = start;
+      cur_end = end;
+      open = true;
+    } else if (start <= cur_end) {
+      cur_end = std::max(cur_end, end);
+    } else {
+      total += cur_end - cur_start;
+      cur_start = start;
+      cur_end = end;
+    }
+  });
+  if (open) total += cur_end - cur_start;
+  return total;
+}
+
+void Rib::visit(
+    const std::function<void(const Prefix&, const RouteInfo&)>& fn) const {
+  trie_.visit(fn);
+}
+
+std::set<Asn> Rib::all_origins() const {
+  std::set<Asn> out;
+  trie_.visit([&](const Prefix&, const RouteInfo& info) {
+    out.insert(info.origins.begin(), info.origins.end());
+  });
+  return out;
+}
+
+}  // namespace sublet::bgp

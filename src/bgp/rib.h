@@ -1,0 +1,81 @@
+// Multi-collector BGP RIB view — paper step 4's query surface.
+//
+// Routes from any number of MRT snapshots (RouteViews + RIS collectors over
+// the 15-day window) are unioned into one prefix-indexed view that answers:
+// "what origin ASes were observed for this exact prefix?" and "what is the
+// least-specific covering prefix and its origins?" (the root-node fallback
+// for holders who aggregate consecutive portable blocks).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "mrt/rib_file.h"
+#include "netbase/asn.h"
+#include "netbase/prefix_trie.h"
+
+namespace sublet::bgp {
+
+/// Observations accumulated for one prefix.
+struct RouteInfo {
+  std::vector<Asn> origins;        ///< sorted, unique
+  std::uint32_t peer_observations = 0;  ///< RIB entries seen (visibility)
+
+  bool originated_by(Asn asn) const;
+};
+
+class Rib {
+ public:
+  /// Merge one decoded MRT snapshot. Origin = last AS of each entry's
+  /// AS_PATH (every member for a trailing AS_SET). Call once per collector
+  /// file; duplicates union cleanly.
+  void add_snapshot(const mrt::RibSnapshot& snapshot);
+
+  /// Load an MRT RIB file from disk and merge it. Returns an Error for
+  /// unreadable/corrupt files.
+  std::optional<Error> add_file(const std::string& path);
+
+  /// Merge `bgpdump -m` text (TABLE_DUMP2 "B" lines; announce lines also
+  /// accepted, withdrawals and skippable lines ignored). Returns the
+  /// number of entries merged; damaged (non-skippable) lines error out.
+  Expected<std::size_t> add_bgpdump_text(std::istream& in,
+                                         std::string source = {});
+
+  /// Record a single observation (used by tests and the simulator's
+  /// in-memory path).
+  void add_route(const Prefix& prefix, Asn origin);
+
+  /// Origin ASes observed for exactly `prefix`; nullptr if never seen.
+  const RouteInfo* exact(const Prefix& prefix) const;
+
+  /// Least-specific covering prefix with its origins (includes exact).
+  std::optional<std::pair<Prefix, const RouteInfo*>> least_specific_covering(
+      const Prefix& prefix) const;
+
+  /// Most-specific covering prefix (longest match, includes exact).
+  std::optional<std::pair<Prefix, const RouteInfo*>> most_specific_covering(
+      const Prefix& prefix) const;
+
+  /// Number of distinct prefixes in the table.
+  std::size_t prefix_count() const { return trie_.size(); }
+
+  /// Total routed address space: size in addresses of the union of all
+  /// prefixes (covering prefixes counted once).
+  std::uint64_t routed_address_space() const;
+
+  /// Visit every (prefix, info) in address order.
+  void visit(
+      const std::function<void(const Prefix&, const RouteInfo&)>& fn) const;
+
+  /// All distinct origin ASes in the table.
+  std::set<Asn> all_origins() const;
+
+ private:
+  PrefixTrie<RouteInfo> trie_;
+};
+
+}  // namespace sublet::bgp

@@ -1,0 +1,84 @@
+#include "geo/geodb.h"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <set>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace sublet::geo {
+
+void GeoDb::add(const Prefix& prefix, std::string country) {
+  trie_.insert(prefix, std::move(country));
+}
+
+std::string GeoDb::lookup(const Prefix& prefix) const {
+  auto hit = trie_.most_specific_covering(prefix);
+  return hit ? *hit->second : std::string{};
+}
+
+GeoDb GeoDb::parse_csv(std::istream& in, std::string provider,
+                       std::vector<Error>* diagnostics) {
+  GeoDb db(std::move(provider));
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::string_view view = trim(line);
+    if (view.empty() || view.front() == '#') continue;
+    auto comma = view.find(',');
+    if (comma == std::string_view::npos) {
+      if (diagnostics) {
+        diagnostics->push_back(
+            fail("expected prefix,country", db.provider_, line_no));
+      }
+      continue;
+    }
+    auto prefix = Prefix::parse(trim(view.substr(0, comma)));
+    std::string_view country = trim(view.substr(comma + 1));
+    if (!prefix || country.empty()) {
+      if (diagnostics) {
+        diagnostics->push_back(
+            fail("bad row '" + std::string(view) + "'", db.provider_,
+                 line_no));
+      }
+      continue;
+    }
+    db.add(*prefix, std::string(country));
+  }
+  return db;
+}
+
+GeoDb GeoDb::load_csv(const std::string& path, std::string provider,
+                      std::vector<Error>* diagnostics) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open geodb: " + path);
+  return parse_csv(in, std::move(provider), diagnostics);
+}
+
+void GeoDb::write_csv(std::ostream& out) const {
+  out << "# prefix,country\n";
+  trie_.visit([&](const Prefix& prefix, const std::string& country) {
+    out << prefix.to_string() << ',' << country << '\n';
+  });
+}
+
+GeoConsistency check_consistency(const std::vector<GeoDb>& databases,
+                                 const Prefix& prefix) {
+  GeoConsistency out;
+  std::set<std::string> distinct;
+  for (const GeoDb& db : databases) {
+    std::string country = db.lookup(prefix);
+    if (country.empty()) continue;
+    out.countries.push_back(country);
+    distinct.insert(std::move(country));
+  }
+  out.distinct = distinct.size();
+  return out;
+}
+
+}  // namespace sublet::geo

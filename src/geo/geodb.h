@@ -1,0 +1,58 @@
+// IP geolocation databases and cross-database consistency.
+//
+// §8 of the paper observes that IP leasing feeds geolocation chaos:
+// "prefixes on the IPXO marketplace geolocate to four different continents
+// according to five geolocation databases". A GeoDb maps prefixes to
+// country codes with longest-match lookup; the consistency analysis counts
+// cross-database disagreement per prefix.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "netbase/prefix_trie.h"
+#include "util/expected.h"
+
+namespace sublet::geo {
+
+/// One provider's geolocation snapshot.
+class GeoDb {
+ public:
+  explicit GeoDb(std::string provider = {}) : provider_(std::move(provider)) {}
+
+  const std::string& provider() const { return provider_; }
+
+  void add(const Prefix& prefix, std::string country);
+
+  /// Country of the most specific entry covering `prefix` ("" = unmapped).
+  std::string lookup(const Prefix& prefix) const;
+
+  std::size_t size() const { return trie_.size(); }
+
+  /// CSV rows "prefix,country"; '#' comments allowed.
+  static GeoDb parse_csv(std::istream& in, std::string provider = {},
+                         std::vector<Error>* diagnostics = nullptr);
+  static GeoDb load_csv(const std::string& path, std::string provider = {},
+                        std::vector<Error>* diagnostics = nullptr);
+  void write_csv(std::ostream& out) const;
+
+ private:
+  std::string provider_;
+  PrefixTrie<std::string> trie_;
+};
+
+/// Cross-database answers for one prefix.
+struct GeoConsistency {
+  std::vector<std::string> countries;  ///< one per db that had an answer
+  std::size_t distinct = 0;            ///< number of distinct answers
+
+  bool consistent() const { return distinct <= 1; }
+};
+
+/// Look `prefix` up in every database and count disagreement.
+GeoConsistency check_consistency(const std::vector<GeoDb>& databases,
+                                 const Prefix& prefix);
+
+}  // namespace sublet::geo

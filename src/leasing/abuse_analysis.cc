@@ -1,0 +1,111 @@
+#include "leasing/abuse_analysis.h"
+
+#include <set>
+
+namespace sublet::leasing {
+
+AbuseAnalysis::AbuseAnalysis(const std::vector<LeaseInference>& inferences,
+                             const bgp::Rib& rib)
+    : rib_(rib) {
+  for (const LeaseInference& inference : inferences) {
+    if (!inference.leased()) continue;
+    leases_.push_back(&inference);
+    leased_by_prefix_.emplace(inference.prefix, &inference);
+  }
+}
+
+namespace {
+bool any_listed(const std::vector<Asn>& asns, const abuse::AsnSet& listed) {
+  for (Asn asn : asns) {
+    if (listed.contains(asn)) return true;
+  }
+  return false;
+}
+}  // namespace
+
+OverlapStats AbuseAnalysis::prefix_overlap(const abuse::AsnSet& listed) const {
+  OverlapStats stats;
+  stats.leased_total = leases_.size();
+  for (const LeaseInference* lease : leases_) {
+    if (any_listed(lease->leaf_origins, listed)) ++stats.leased_listed;
+  }
+  rib_.visit([&](const Prefix& prefix, const bgp::RouteInfo& info) {
+    if (leased_by_prefix_.contains(prefix)) return;
+    ++stats.nonleased_total;
+    if (any_listed(info.origins, listed)) ++stats.nonleased_listed;
+  });
+  return stats;
+}
+
+OriginatorStats AbuseAnalysis::originator_overlap(
+    const abuse::AsnSet& listed) const {
+  OriginatorStats stats;
+  std::set<Asn> originators;
+  for (const LeaseInference* lease : leases_) {
+    originators.insert(lease->leaf_origins.begin(),
+                       lease->leaf_origins.end());
+    ++stats.leased_prefixes_total;
+    if (any_listed(lease->leaf_origins, listed)) {
+      ++stats.leased_prefixes_by_listed;
+    }
+  }
+  stats.originators_total = originators.size();
+  for (Asn asn : originators) {
+    if (listed.contains(asn)) ++stats.originators_listed;
+  }
+  return stats;
+}
+
+RoaStats AbuseAnalysis::roa_overlap(const rpki::VrpSet& vrps,
+                                    const abuse::AsnSet& listed) const {
+  RoaStats stats;
+  std::set<rpki::Roa> leased_roas;
+  for (const LeaseInference* lease : leases_) {
+    auto covering = vrps.covering(lease->prefix);
+    if (!covering.empty()) ++stats.leased_with_roa;
+    leased_roas.insert(covering.begin(), covering.end());
+  }
+  stats.leased_roas_total = leased_roas.size();
+  for (const rpki::Roa& roa : leased_roas) {
+    if (listed.contains(roa.asn)) ++stats.leased_roas_listed;
+  }
+
+  std::set<rpki::Roa> nonleased_roas;
+  rib_.visit([&](const Prefix& prefix, const bgp::RouteInfo&) {
+    if (leased_by_prefix_.contains(prefix)) return;
+    auto covering = vrps.covering(prefix);
+    if (!covering.empty()) ++stats.nonleased_with_roa;
+    nonleased_roas.insert(covering.begin(), covering.end());
+  });
+  stats.nonleased_roas_total = nonleased_roas.size();
+  for (const rpki::Roa& roa : nonleased_roas) {
+    if (listed.contains(roa.asn)) ++stats.nonleased_roas_listed;
+  }
+  return stats;
+}
+
+ValidityBreakdown AbuseAnalysis::validity_breakdown(
+    const rpki::VrpSet& vrps) const {
+  ValidityBreakdown out;
+  auto tally = [&](rpki::Validity validity, bool leased) {
+    switch (validity) {
+      case rpki::Validity::kValid:
+        (leased ? out.leased_valid : out.nonleased_valid) += 1;
+        break;
+      case rpki::Validity::kInvalid:
+        (leased ? out.leased_invalid : out.nonleased_invalid) += 1;
+        break;
+      case rpki::Validity::kNotFound:
+        (leased ? out.leased_notfound : out.nonleased_notfound) += 1;
+        break;
+    }
+  };
+  rib_.visit([&](const Prefix& prefix, const bgp::RouteInfo& info) {
+    if (info.origins.empty()) return;
+    bool leased = leased_by_prefix_.contains(prefix);
+    tally(vrps.validate(prefix, info.origins.front()), leased);
+  });
+  return out;
+}
+
+}  // namespace sublet::leasing

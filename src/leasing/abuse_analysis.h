@@ -1,0 +1,101 @@
+// Abuse cross-referencing — paper §6.3 (serial hijackers) and §6.4
+// (Spamhaus ASN-DROP, ROAs authorizing blocklisted ASes).
+#pragma once
+
+#include <vector>
+
+#include "abuse/asn_lists.h"
+#include "bgp/rib.h"
+#include "leasing/types.h"
+#include "rpki/roa.h"
+
+namespace sublet::leasing {
+
+/// Leased-vs-non-leased overlap with a blocklist, by prefix counts.
+struct OverlapStats {
+  std::size_t leased_total = 0;
+  std::size_t leased_listed = 0;       ///< leased prefixes with listed origin
+  std::size_t nonleased_total = 0;
+  std::size_t nonleased_listed = 0;
+
+  double leased_fraction() const {
+    return leased_total ? static_cast<double>(leased_listed) / leased_total : 0;
+  }
+  double nonleased_fraction() const {
+    return nonleased_total
+               ? static_cast<double>(nonleased_listed) / nonleased_total
+               : 0;
+  }
+  /// The paper's headline "five times more likely" ratio.
+  double risk_ratio() const {
+    double base = nonleased_fraction();
+    return base > 0 ? leased_fraction() / base : 0;
+  }
+};
+
+/// Originator-level overlap (§6.3): how many lease-originating ASes are on
+/// the list, and what share of leased prefixes they originate.
+struct OriginatorStats {
+  std::size_t originators_total = 0;
+  std::size_t originators_listed = 0;
+  std::size_t leased_prefixes_total = 0;
+  std::size_t leased_prefixes_by_listed = 0;
+};
+
+/// ROA-level overlap (§6.4): prefixes with ROAs, and ROAs containing listed
+/// ASNs, split leased vs non-leased.
+struct RoaStats {
+  std::size_t leased_with_roa = 0;
+  std::size_t leased_roas_total = 0;      ///< distinct ROAs covering leases
+  std::size_t leased_roas_listed = 0;
+  std::size_t nonleased_with_roa = 0;
+  std::size_t nonleased_roas_total = 0;
+  std::size_t nonleased_roas_listed = 0;
+};
+
+/// RFC 6811 validation-state distribution, leased vs non-leased (§6.4
+/// extension: how RPKI-covered each population actually is).
+struct ValidityBreakdown {
+  std::size_t leased_valid = 0;
+  std::size_t leased_invalid = 0;
+  std::size_t leased_notfound = 0;
+  std::size_t nonleased_valid = 0;
+  std::size_t nonleased_invalid = 0;
+  std::size_t nonleased_notfound = 0;
+
+  std::size_t leased_total() const {
+    return leased_valid + leased_invalid + leased_notfound;
+  }
+  std::size_t nonleased_total() const {
+    return nonleased_valid + nonleased_invalid + nonleased_notfound;
+  }
+};
+
+class AbuseAnalysis {
+ public:
+  /// `inferences` must cover every classified leaf; non-leased prefixes are
+  /// everything in `rib` that is not an inferred lease.
+  AbuseAnalysis(const std::vector<LeaseInference>& inferences,
+                const bgp::Rib& rib);
+
+  /// Prefix-level overlap with a blocklist (DROP or hijacker list).
+  OverlapStats prefix_overlap(const abuse::AsnSet& listed) const;
+
+  /// Originator-level overlap (§6.3).
+  OriginatorStats originator_overlap(const abuse::AsnSet& listed) const;
+
+  /// ROA overlap (§6.4).
+  RoaStats roa_overlap(const rpki::VrpSet& vrps,
+                       const abuse::AsnSet& listed) const;
+
+  /// Per-route RFC 6811 validity (each routed prefix validated against its
+  /// first observed origin), split leased vs non-leased.
+  ValidityBreakdown validity_breakdown(const rpki::VrpSet& vrps) const;
+
+ private:
+  const bgp::Rib& rib_;
+  std::vector<const LeaseInference*> leases_;
+  std::unordered_map<Prefix, const LeaseInference*, PrefixHash> leased_by_prefix_;
+};
+
+}  // namespace sublet::leasing

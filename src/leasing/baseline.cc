@@ -1,0 +1,73 @@
+#include "leasing/baseline.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace sublet::leasing {
+
+namespace {
+std::set<std::string> maintainer_set(const whois::InetBlock& block) {
+  std::set<std::string> out;
+  for (const std::string& mnt : block.maintainers) out.insert(to_lower(mnt));
+  return out;
+}
+}  // namespace
+
+std::vector<BaselineInference> maintainer_baseline(
+    const whois::WhoisDb& db, whois::AllocOptions options) {
+  auto tree = whois::AllocationTree::build(db, options);
+  std::vector<BaselineInference> out;
+  out.reserve(tree.leaves().size());
+  for (const auto& [prefix, block] : tree.leaves()) {
+    if (block->portability == whois::Portability::kPortable) continue;
+    BaselineInference inference;
+    inference.prefix = prefix;
+    inference.rir = db.rir();
+    // Compare against the root (nearest portable ancestor) — Prehn et al.
+    // compare to the parent block; in our forests the root is the
+    // allocation the provider received, which carries their maintainer.
+    auto root = tree.root_of(prefix);
+    if (root && root->first != prefix) {
+      auto leaf_mnts = maintainer_set(*block);
+      auto root_mnts = maintainer_set(*root->second);
+      std::vector<std::string> common;
+      std::set_intersection(leaf_mnts.begin(), leaf_mnts.end(),
+                            root_mnts.begin(), root_mnts.end(),
+                            std::back_inserter(common));
+      inference.leased = common.empty() && !leaf_mnts.empty();
+    }
+    out.push_back(inference);
+  }
+  return out;
+}
+
+MethodComparison compare_methods(const std::vector<LeaseInference>& ours,
+                                 const std::vector<BaselineInference>& prior) {
+  std::unordered_map<Prefix, const LeaseInference*, PrefixHash> by_prefix;
+  for (const LeaseInference& inference : ours) {
+    by_prefix.emplace(inference.prefix, &inference);
+  }
+  MethodComparison cmp;
+  for (const BaselineInference& baseline : prior) {
+    auto it = by_prefix.find(baseline.prefix);
+    bool ours_leased = it != by_prefix.end() && it->second->leased();
+    bool ours_unused = it != by_prefix.end() &&
+                       it->second->group == InferenceGroup::kUnused;
+    if (ours_leased && baseline.leased) {
+      ++cmp.both_leased;
+    } else if (ours_leased) {
+      ++cmp.ours_only;
+    } else if (baseline.leased) {
+      ++cmp.baseline_only;
+      if (ours_unused) ++cmp.baseline_only_unused;
+    } else {
+      ++cmp.neither;
+    }
+  }
+  return cmp;
+}
+
+}  // namespace sublet::leasing

@@ -1,0 +1,50 @@
+// Maintainer-comparison baseline — Prehn et al., CoNEXT 2020 (§6.1).
+//
+// The prior method classifies an address block as leased when its
+// maintainers differ from its parent block's maintainers. The paper argues
+// this yields false positives (customers registering their own maintainer)
+// and false negatives (holders leasing directly under their own
+// maintainer), but detects inactive leases that the BGP-based method files
+// under Unused. This module implements the baseline and the comparison.
+#pragma once
+
+#include <vector>
+
+#include "leasing/types.h"
+#include "whoisdb/alloc_tree.h"
+#include "whoisdb/model.h"
+
+namespace sublet::leasing {
+
+/// One baseline verdict per leaf.
+struct BaselineInference {
+  Prefix prefix;
+  whois::Rir rir = whois::Rir::kRipe;
+  bool leased = false;  ///< maintainers differ from the parent block's
+};
+
+/// Classify every leaf of `db`'s allocation tree by maintainer comparison
+/// against the nearest ancestor block (the parent in the allocation tree).
+std::vector<BaselineInference> maintainer_baseline(
+    const whois::WhoisDb& db, whois::AllocOptions options = {});
+
+/// Agreement between the BGP-based method and the baseline on the same
+/// leaf set.
+struct MethodComparison {
+  std::size_t both_leased = 0;
+  std::size_t ours_only = 0;      ///< BGP method leased, baseline not
+  std::size_t baseline_only = 0;  ///< baseline leased, BGP method not
+  std::size_t neither = 0;
+  /// Baseline-only verdicts where our method said Unused: the inactive
+  /// leases the paper concedes the baseline catches.
+  std::size_t baseline_only_unused = 0;
+
+  std::size_t total() const {
+    return both_leased + ours_only + baseline_only + neither;
+  }
+};
+
+MethodComparison compare_methods(const std::vector<LeaseInference>& ours,
+                                 const std::vector<BaselineInference>& prior);
+
+}  // namespace sublet::leasing

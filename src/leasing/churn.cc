@@ -1,0 +1,41 @@
+#include "leasing/churn.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace sublet::leasing {
+
+LeaseChurn diff_inferences(const std::vector<LeaseInference>& before,
+                           const std::vector<LeaseInference>& after) {
+  std::unordered_map<Prefix, const LeaseInference*, PrefixHash> old_leases;
+  for (const LeaseInference& r : before) {
+    if (r.leased()) old_leases.emplace(r.prefix, &r);
+  }
+
+  LeaseChurn churn;
+  std::unordered_map<Prefix, bool, PrefixHash> seen_old(old_leases.size());
+  for (const LeaseInference& r : after) {
+    if (!r.leased()) continue;
+    auto it = old_leases.find(r.prefix);
+    if (it == old_leases.end()) {
+      churn.started.push_back(r.prefix);
+      continue;
+    }
+    seen_old[r.prefix] = true;
+    if (it->second->leaf_origins == r.leaf_origins) {
+      churn.stable.push_back(r.prefix);
+    } else {
+      churn.lessee_changed.push_back(r.prefix);
+    }
+  }
+  for (const auto& [prefix, inference] : old_leases) {
+    if (!seen_old.contains(prefix)) churn.ended.push_back(prefix);
+  }
+  std::sort(churn.started.begin(), churn.started.end());
+  std::sort(churn.ended.begin(), churn.ended.end());
+  std::sort(churn.lessee_changed.begin(), churn.lessee_changed.end());
+  std::sort(churn.stable.begin(), churn.stable.end());
+  return churn;
+}
+
+}  // namespace sublet::leasing

@@ -1,0 +1,43 @@
+// Lease-market dynamics: diff two inference runs — paper §8's future work
+// ("longitudinally assess IP leasing market dynamics").
+//
+// Short-term VPN leasing, BYOIP cycling, and blocklist-escape behavior all
+// show up as churn between monthly measurement epochs: leases that start,
+// end, or move to a different lessee.
+#pragma once
+
+#include <vector>
+
+#include "leasing/types.h"
+
+namespace sublet::leasing {
+
+struct LeaseChurn {
+  std::vector<Prefix> started;         ///< leased now, not in the old run
+  std::vector<Prefix> ended;           ///< leased before, not now
+  std::vector<Prefix> lessee_changed;  ///< leased in both, different origins
+  std::vector<Prefix> stable;          ///< leased in both, same origins
+
+  std::size_t total_before() const {
+    return ended.size() + lessee_changed.size() + stable.size();
+  }
+  std::size_t total_after() const {
+    return started.size() + lessee_changed.size() + stable.size();
+  }
+  /// Fraction of the old lease population that changed state.
+  double churn_rate() const {
+    std::size_t before = total_before();
+    return before ? static_cast<double>(ended.size() +
+                                        lessee_changed.size()) /
+                        static_cast<double>(before)
+                  : 0.0;
+  }
+};
+
+/// Compare two epochs of inference results on prefix identity and lease
+/// origin sets. Prefixes classified in only one run are considered
+/// non-leased in the other (registry changes between epochs).
+LeaseChurn diff_inferences(const std::vector<LeaseInference>& before,
+                           const std::vector<LeaseInference>& after);
+
+}  // namespace sublet::leasing

@@ -1,0 +1,154 @@
+#include "leasing/dataset.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/log.h"
+#include "util/strings.h"
+#include "whoisdb/parse.h"
+
+namespace sublet::leasing {
+
+namespace fs = std::filesystem;
+
+const rpki::VrpSet* DatasetBundle::current_vrps() const {
+  auto timestamps = rpki_archive.timestamps();
+  if (timestamps.empty()) return nullptr;
+  return rpki_archive.at(timestamps.back());
+}
+
+const whois::WhoisDb* DatasetBundle::db_for(whois::Rir rir) const {
+  for (const whois::WhoisDb& db : whois) {
+    if (db.rir() == rir) return &db;
+  }
+  return nullptr;
+}
+
+namespace {
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view view = trim(line);
+    if (view.empty() || view.front() == '#') continue;
+    out.emplace_back(view);
+  }
+  return out;
+}
+
+}  // namespace
+
+DatasetBundle load_dataset(const std::string& dir) {
+  if (!fs::is_directory(dir)) {
+    throw std::runtime_error("dataset directory missing: " + dir);
+  }
+  DatasetBundle bundle;
+
+  // WHOIS databases.
+  for (whois::Rir rir : whois::kAllRirs) {
+    std::string name = to_lower(rir_name(rir));
+    std::string path = dir + "/whois/" + name + ".db";
+    if (!fs::exists(path)) continue;
+    bundle.whois.push_back(
+        whois::load_whois_file(path, rir, &bundle.diagnostics));
+    SUBLET_LOG(kInfo) << "loaded " << rir_name(rir) << " WHOIS: "
+                      << bundle.whois.back().block_count() << " blocks";
+  }
+  if (bundle.whois.empty()) {
+    throw std::runtime_error("no WHOIS databases under " + dir + "/whois");
+  }
+
+  // BGP collectors.
+  std::string bgp_dir = dir + "/bgp";
+  if (fs::is_directory(bgp_dir)) {
+    std::vector<std::string> files;
+    for (const auto& entry : fs::directory_iterator(bgp_dir)) {
+      if (entry.path().extension() == ".mrt") {
+        files.push_back(entry.path().string());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    for (const std::string& path : files) {
+      if (auto error = bundle.rib.add_file(path)) {
+        bundle.diagnostics.push_back(*error);
+      }
+    }
+    SUBLET_LOG(kInfo) << "RIB: " << bundle.rib.prefix_count()
+                      << " prefixes from " << files.size() << " collectors";
+  }
+
+  // AS-level datasets.
+  std::string rel_path = dir + "/asgraph/as-rel.txt";
+  if (fs::exists(rel_path)) {
+    bundle.as_rel =
+        asgraph::AsRelationships::load(rel_path, &bundle.diagnostics);
+  }
+  std::string org_path = dir + "/asgraph/as2org.txt";
+  if (fs::exists(org_path)) {
+    bundle.as2org = asgraph::As2Org::load(org_path, &bundle.diagnostics);
+  }
+
+  // RPKI archive.
+  std::string rpki_dir = dir + "/rpki";
+  if (fs::is_directory(rpki_dir)) {
+    bundle.rpki_archive =
+        rpki::RpkiArchive::load_directory(rpki_dir, &bundle.diagnostics);
+  }
+
+  // Abuse lists.
+  std::string drop_path = dir + "/lists/asn-drop.json";
+  if (fs::exists(drop_path)) {
+    bundle.drop = abuse::AsnSet::load_drop(drop_path, &bundle.diagnostics);
+  }
+  std::string hijacker_path = dir + "/lists/serial-hijackers.txt";
+  if (fs::exists(hijacker_path)) {
+    bundle.hijackers =
+        abuse::AsnSet::load_plain(hijacker_path, &bundle.diagnostics);
+  }
+
+  std::string transfers_path = dir + "/lists/transfers.txt";
+  if (fs::exists(transfers_path)) {
+    bundle.transfers =
+        transfers::TransferLog::load(transfers_path, &bundle.diagnostics);
+  }
+
+  std::string geo_dir = dir + "/geo";
+  if (fs::is_directory(geo_dir)) {
+    std::vector<std::string> files;
+    for (const auto& entry : fs::directory_iterator(geo_dir)) {
+      if (entry.path().extension() == ".csv") {
+        files.push_back(entry.path().string());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    for (const std::string& path : files) {
+      std::string provider = fs::path(path).stem().string();
+      bundle.geodbs.push_back(
+          geo::GeoDb::load_csv(path, provider, &bundle.diagnostics));
+    }
+  }
+
+  // Broker lists and evaluation ISP orgs.
+  for (whois::Rir rir : whois::kAllRirs) {
+    std::string path =
+        dir + "/lists/brokers-" + to_lower(rir_name(rir)) + ".txt";
+    if (fs::exists(path)) bundle.brokers[rir] = read_lines(path);
+  }
+  std::string isp_path = dir + "/lists/eval-isp-orgs.txt";
+  if (fs::exists(isp_path)) {
+    for (const std::string& line : read_lines(isp_path)) {
+      auto fields = split(line, '|');
+      if (fields.size() != 2) continue;
+      auto rir = whois::rir_from_name(trim(fields[0]));
+      if (!rir) continue;
+      bundle.eval_isp_orgs[*rir].emplace_back(trim(fields[1]));
+    }
+  }
+  return bundle;
+}
+
+}  // namespace sublet::leasing

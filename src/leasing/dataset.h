@@ -1,0 +1,60 @@
+// Dataset bundle: everything the pipeline consumes, loaded from one
+// directory laid out the way the simulator (or a real-data fetcher) emits:
+//
+//   <dir>/whois/{ripe,arin,apnic,afrinic,lacnic}.db
+//   <dir>/bgp/*.mrt                 one TABLE_DUMP_V2 file per collector
+//   <dir>/rpki/vrps-<ts>.csv        dated VRP snapshots
+//   <dir>/asgraph/as-rel.txt        CAIDA serial-1
+//   <dir>/asgraph/as2org.txt        CAIDA flat as2org
+//   <dir>/lists/asn-drop.json       Spamhaus ASN-DROP (JSON Lines)
+//   <dir>/lists/serial-hijackers.txt
+//   <dir>/lists/brokers-<rir>.txt   registered broker company names
+//   <dir>/lists/eval-isp-orgs.txt   "<RIR>|<org-id>" negative-label orgs
+//
+// Missing optional pieces load as empty; missing WHOIS entirely is an
+// error. The simulator's ground-truth file lives outside this bundle on
+// purpose (simnet/ground_truth.h) so the classifier can never see it.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "abuse/asn_lists.h"
+#include "asgraph/as2org.h"
+#include "asgraph/as_rel.h"
+#include "bgp/rib.h"
+#include "geo/geodb.h"
+#include "rpki/archive.h"
+#include "transfers/transfer_log.h"
+#include "whoisdb/model.h"
+
+namespace sublet::leasing {
+
+struct DatasetBundle {
+  std::vector<whois::WhoisDb> whois;  ///< one per RIR found on disk
+  bgp::Rib rib;                       ///< union of all collectors
+  asgraph::AsRelationships as_rel;
+  asgraph::As2Org as2org;
+  rpki::RpkiArchive rpki_archive;
+  abuse::AsnSet drop;
+  abuse::AsnSet hijackers;
+  transfers::TransferLog transfers;  ///< RIR-reported transfers, if present
+  std::vector<geo::GeoDb> geodbs;    ///< geolocation snapshots, if present
+  std::map<whois::Rir, std::vector<std::string>> brokers;
+  std::map<whois::Rir, std::vector<std::string>> eval_isp_orgs;
+  std::vector<Error> diagnostics;     ///< non-fatal per-record problems
+
+  /// The measurement-window VRP set: the archive's latest snapshot (empty
+  /// set if there is no RPKI data).
+  const rpki::VrpSet* current_vrps() const;
+
+  const whois::WhoisDb* db_for(whois::Rir rir) const;
+};
+
+/// Load a bundle. Throws std::runtime_error when the directory is missing
+/// or contains no WHOIS databases.
+DatasetBundle load_dataset(const std::string& dir);
+
+}  // namespace sublet::leasing

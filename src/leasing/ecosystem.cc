@@ -1,0 +1,103 @@
+#include "leasing/ecosystem.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/strings.h"
+
+namespace sublet::leasing {
+
+Ecosystem::Ecosystem(const std::vector<LeaseInference>& inferences,
+                     const asgraph::As2Org* orgs)
+    : orgs_(orgs) {
+  for (const LeaseInference& inference : inferences) {
+    if (inference.leased()) leases_.push_back(&inference);
+  }
+}
+
+namespace {
+std::vector<RankedParty> rank(const std::map<std::string, std::size_t>& counts,
+                              std::size_t k) {
+  std::vector<RankedParty> out;
+  out.reserve(counts.size());
+  for (const auto& [name, count] : counts) out.push_back({name, count});
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.name < b.name;  // deterministic tie-break
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+}  // namespace
+
+std::vector<RankedParty> Ecosystem::top_holders(whois::Rir rir,
+                                                std::size_t k) const {
+  std::map<std::string, std::size_t> counts;
+  for (const LeaseInference* lease : leases_) {
+    if (lease->rir != rir || lease->holder_org.empty()) continue;
+    ++counts[lease->holder_org];
+  }
+  return rank(counts, k);
+}
+
+std::vector<RankedParty> Ecosystem::top_facilitators(whois::Rir rir,
+                                                     std::size_t k) const {
+  std::map<std::string, std::size_t> counts;
+  for (const LeaseInference* lease : leases_) {
+    if (lease->rir != rir) continue;
+    for (const std::string& mnt : lease->leaf_maintainers) {
+      ++counts[to_lower(mnt)];
+    }
+  }
+  return rank(counts, k);
+}
+
+std::vector<RankedParty> Ecosystem::top_originators(std::size_t k) const {
+  std::map<std::string, std::size_t> counts;
+  for (const LeaseInference* lease : leases_) {
+    for (Asn origin : lease->leaf_origins) {
+      std::string name = origin.to_string();
+      if (orgs_) {
+        const std::string& org_id = orgs_->org_of(origin);
+        if (!org_id.empty()) name = orgs_->org_name(org_id);
+      }
+      ++counts[name];
+    }
+  }
+  return rank(counts, k);
+}
+
+std::vector<Asn> Ecosystem::lease_originators() const {
+  std::set<Asn> unique;
+  for (const LeaseInference* lease : leases_) {
+    unique.insert(lease->leaf_origins.begin(), lease->leaf_origins.end());
+  }
+  return {unique.begin(), unique.end()};
+}
+
+std::vector<LeaseRoles> Ecosystem::roles() const {
+  std::vector<LeaseRoles> out;
+  out.reserve(leases_.size());
+  for (const LeaseInference* lease : leases_) {
+    LeaseRoles roles;
+    roles.holder = lease->holder_org;
+    if (!lease->leaf_maintainers.empty()) {
+      roles.facilitator = to_lower(lease->leaf_maintainers.front());
+    }
+    roles.originators = lease->leaf_origins;
+    // An IP holder that facilitates its own leases (Cloud-Innovation-style,
+    // §2.3/§6.3) — or leases directly with no broker: the leaf carries one
+    // of the root block's own maintainer handles.
+    for (const std::string& mnt : lease->root_maintainers) {
+      if (to_lower(mnt) == roles.facilitator) {
+        roles.self_facilitated = true;
+        break;
+      }
+    }
+    out.push_back(std::move(roles));
+  }
+  return out;
+}
+
+}  // namespace sublet::leasing

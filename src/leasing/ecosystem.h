@@ -1,0 +1,61 @@
+// Leasing-ecosystem analysis — paper §6.3 and the Figure 1 role taxonomy.
+//
+// For every inferred lease the three business parties are identifiable from
+// the inference evidence: the IP holder (root org), the facilitator (leaf
+// maintainer), and the originator (leaf BGP origin). This module ranks
+// them per RIR and assigns Figure 1 roles.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "asgraph/as2org.h"
+#include "leasing/types.h"
+
+namespace sublet::leasing {
+
+/// A ranked (name, lease count) row.
+struct RankedParty {
+  std::string name;
+  std::size_t count = 0;
+};
+
+/// Figure 1 roles of one lease.
+struct LeaseRoles {
+  std::string holder;                ///< IP holder org handle
+  std::string facilitator;           ///< leaf maintainer ("" = direct lease)
+  std::vector<Asn> originators;      ///< BGP origin ASes
+  bool self_facilitated = false;     ///< holder facilitates its own leasing
+};
+
+class Ecosystem {
+ public:
+  /// `orgs` (optional) supplies human-readable names for holder handles and
+  /// originator ASes. Referenced data must outlive the Ecosystem.
+  Ecosystem(const std::vector<LeaseInference>& inferences,
+            const asgraph::As2Org* orgs = nullptr);
+
+  /// Top IP holders by number of inferred leases (Table 3).
+  std::vector<RankedParty> top_holders(whois::Rir rir, std::size_t k) const;
+
+  /// Top facilitators = most frequent leaf maintainers of leases.
+  std::vector<RankedParty> top_facilitators(whois::Rir rir,
+                                            std::size_t k) const;
+
+  /// Top originators = most frequent lease origin ASes (global).
+  std::vector<RankedParty> top_originators(std::size_t k) const;
+
+  /// All distinct originator ASes of leases (for hijacker overlap, §6.3).
+  std::vector<Asn> lease_originators() const;
+
+  /// Role assignment per lease (Figure 1).
+  std::vector<LeaseRoles> roles() const;
+
+  std::size_t lease_count() const { return leases_.size(); }
+
+ private:
+  std::vector<const LeaseInference*> leases_;
+  const asgraph::As2Org* orgs_;
+};
+
+}  // namespace sublet::leasing

@@ -1,0 +1,145 @@
+#include "leasing/evaluation.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace sublet::leasing {
+
+std::size_t ReferenceDataset::positives() const {
+  std::size_t count = 0;
+  for (const auto& [prefix, leased] : labels) {
+    if (leased) ++count;
+  }
+  return count;
+}
+
+BrokerMatch match_brokers(const whois::WhoisDb& db,
+                          const std::vector<std::string>& broker_names,
+                          const bgp::Rib& rib, int max_prefix_len) {
+  BrokerMatch out;
+
+  // Index orgs by exact lowercase name and by normalized name.
+  std::unordered_map<std::string, const whois::OrgRec*> by_exact;
+  std::unordered_map<std::string, const whois::OrgRec*> by_normalized;
+  for (const whois::OrgRec* org : db.all_orgs()) {
+    if (org->name.empty()) continue;
+    by_exact.emplace(to_lower(org->name), org);
+    by_normalized.emplace(normalize_org_name(org->name), org);
+  }
+
+  std::set<std::string> maintainer_set;
+  std::set<std::string> broker_org_ids;
+  for (const std::string& name : broker_names) {
+    const whois::OrgRec* org = nullptr;
+    auto exact = by_exact.find(to_lower(name));
+    if (exact != by_exact.end()) {
+      org = exact->second;
+      ++out.direct_matches;
+    } else {
+      auto fuzzy = by_normalized.find(normalize_org_name(name));
+      if (fuzzy != by_normalized.end()) {
+        org = fuzzy->second;
+        ++out.fuzzy_matches;
+      }
+    }
+    if (!org) {
+      ++out.unmatched;
+      continue;
+    }
+    out.matched_org_ids.push_back(org->id);
+    broker_org_ids.insert(to_lower(org->id));
+    for (const std::string& mnt : org->maintainers) {
+      maintainer_set.insert(to_lower(mnt));
+    }
+  }
+  out.maintainers.assign(maintainer_set.begin(), maintainer_set.end());
+
+  // Broker ASNs, for the broker-as-ISP filter.
+  std::unordered_set<std::uint32_t> broker_asns;
+  for (const std::string& org_id : out.matched_org_ids) {
+    for (Asn asn : db.asns_for_org(org_id)) broker_asns.insert(asn.value());
+  }
+
+  // Blocks whose maintainers intersect the broker maintainer set. Scanning
+  // the raw database (not the allocation tree) keeps legacy blocks in the
+  // reference even though the pipeline cannot classify them.
+  for (const whois::InetBlock& block : db.blocks()) {
+    if (block.portability == whois::Portability::kPortable) continue;
+    bool managed = false;
+    for (const std::string& mnt : block.maintainers) {
+      if (maintainer_set.contains(to_lower(mnt))) {
+        managed = true;
+        break;
+      }
+    }
+    if (!managed) continue;
+    for (const Prefix& prefix : block.range.to_prefixes()) {
+      if (prefix.length() > max_prefix_len) continue;
+      // Manual filter modeled mechanically: a broker-maintained block whose
+      // BGP origin is a broker ASN is the broker acting as ISP, not a lease.
+      bool broker_originated = false;
+      if (const bgp::RouteInfo* info = rib.exact(prefix)) {
+        for (Asn origin : info->origins) {
+          if (broker_asns.contains(origin.value())) {
+            broker_originated = true;
+            break;
+          }
+        }
+      }
+      if (broker_originated) {
+        ++out.filtered_not_leased;
+        continue;
+      }
+      out.prefixes.push_back(prefix);
+    }
+  }
+  return out;
+}
+
+std::vector<Prefix> isp_negatives(const whois::WhoisDb& db,
+                                  const std::vector<std::string>& isp_org_ids,
+                                  const whois::AllocationTree& tree,
+                                  const bgp::Rib& rib) {
+  std::vector<Prefix> out;
+  for (const std::string& org_id : isp_org_ids) {
+    std::unordered_set<std::uint32_t> isp_asns;
+    for (Asn asn : db.asns_for_org(org_id)) isp_asns.insert(asn.value());
+    if (isp_asns.empty()) continue;
+    std::string org_lower = to_lower(org_id);
+
+    for (const auto& [prefix, block] : tree.leaves()) {
+      if (to_lower(block->org_id) != org_lower) continue;
+      const bgp::RouteInfo* info = rib.exact(prefix);
+      if (!info) continue;
+      bool own_origin = std::any_of(
+          info->origins.begin(), info->origins.end(),
+          [&](Asn origin) { return isp_asns.contains(origin.value()); });
+      if (own_origin) out.push_back(prefix);
+    }
+  }
+  return out;
+}
+
+ConfusionMatrix evaluate(const std::vector<LeaseInference>& results,
+                         const ReferenceDataset& reference) {
+  std::unordered_map<Prefix, bool, PrefixHash> predicted;
+  for (const LeaseInference& inference : results) {
+    predicted[inference.prefix] = inference.leased();
+  }
+  ConfusionMatrix matrix;
+  for (const auto& [prefix, actual_leased] : reference.labels) {
+    auto it = predicted.find(prefix);
+    bool predicted_leased = it != predicted.end() && it->second;
+    if (actual_leased) {
+      predicted_leased ? ++matrix.tp : ++matrix.fn;
+    } else {
+      predicted_leased ? ++matrix.fp : ++matrix.tn;
+    }
+  }
+  return matrix;
+}
+
+}  // namespace sublet::leasing

@@ -1,0 +1,86 @@
+// Evaluation against a curated reference dataset — paper §5.3, §6.2, §A.
+//
+// Positives come from registered IP brokers: broker company names are
+// matched (with normalization for legal-suffix variants) to WHOIS
+// organisation objects, the orgs' maintainer handles collected, and every
+// address block carrying one of those maintainers becomes a candidate
+// positive; blocks where the broker itself provides connectivity are
+// filtered out. Negatives are blocks of known residential ISPs originated
+// in BGP by the ISPs' own ASNs.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/rib.h"
+#include "leasing/types.h"
+#include "whoisdb/alloc_tree.h"
+#include "whoisdb/model.h"
+
+namespace sublet::leasing {
+
+/// Confusion matrix + the information-retrieval metrics of appendix A.
+struct ConfusionMatrix {
+  std::size_t tp = 0, fp = 0, tn = 0, fn = 0;
+
+  std::size_t total() const { return tp + fp + tn + fn; }
+  double precision() const { return ratio(tp, tp + fp); }
+  double recall() const { return ratio(tp, tp + fn); }
+  double specificity() const { return ratio(tn, tn + fp); }
+  double npv() const { return ratio(tn, tn + fn); }
+  double accuracy() const { return ratio(tp + tn, total()); }
+
+ private:
+  static double ratio(std::size_t num, std::size_t den) {
+    return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+  }
+};
+
+/// Labeled prefixes: true = actually leased.
+struct ReferenceDataset {
+  std::unordered_map<Prefix, bool, PrefixHash> labels;
+
+  std::size_t positives() const;
+  std::size_t negatives() const { return labels.size() - positives(); }
+  void add(const Prefix& prefix, bool leased) { labels[prefix] = leased; }
+};
+
+/// Result of mapping registered brokers into one RIR's database.
+struct BrokerMatch {
+  std::vector<std::string> matched_org_ids;  ///< orgs found for brokers
+  std::size_t direct_matches = 0;            ///< exact normalized-name hits
+  std::size_t fuzzy_matches = 0;             ///< suffix-normalized hits
+  std::size_t unmatched = 0;                 ///< brokers absent from the db
+  std::vector<std::string> maintainers;      ///< the orgs' handles
+  std::vector<Prefix> prefixes;              ///< blocks with those handles
+  std::size_t filtered_not_leased = 0;       ///< broker-as-ISP blocks removed
+};
+
+/// Map broker company names to orgs and their maintained blocks (§5.3).
+/// Candidate blocks are taken straight from the WHOIS database (so legacy
+/// blocks — which the pipeline cannot classify — still become reference
+/// positives, the paper's 138 legacy FNs). Portable blocks are skipped
+/// (brokers holding their own portable space are not leasing it *from*
+/// anyone at the granularity we label). A block is filtered out (broker
+/// acting as ISP) when its BGP origin is one of the broker org's own
+/// RIR-assigned ASNs. Hyper-specifics longer than `max_prefix_len` are
+/// ignored, mirroring the pipeline's step 2.
+BrokerMatch match_brokers(const whois::WhoisDb& db,
+                          const std::vector<std::string>& broker_names,
+                          const bgp::Rib& rib, int max_prefix_len = 24);
+
+/// Negative labels: blocks of the given ISP orgs that are originated in BGP
+/// by one of the org's own ASNs.
+std::vector<Prefix> isp_negatives(const whois::WhoisDb& db,
+                                  const std::vector<std::string>& isp_org_ids,
+                                  const whois::AllocationTree& tree,
+                                  const bgp::Rib& rib);
+
+/// Score inferences against the reference: a labeled prefix missing from
+/// `results` counts as predicted non-leased (this is how legacy blocks
+/// become false negatives in the paper).
+ConfusionMatrix evaluate(const std::vector<LeaseInference>& results,
+                         const ReferenceDataset& reference);
+
+}  // namespace sublet::leasing

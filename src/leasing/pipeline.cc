@@ -1,0 +1,167 @@
+#include "leasing/pipeline.h"
+
+#include <sstream>
+
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace sublet::leasing {
+
+void GroupCounts::add(InferenceGroup group) {
+  switch (group) {
+    case InferenceGroup::kUnused: ++unused; break;
+    case InferenceGroup::kAggregatedCustomer: ++aggregated_customer; break;
+    case InferenceGroup::kIspCustomer: ++isp_customer; break;
+    case InferenceGroup::kLeasedNoRoot: ++leased_g3; break;
+    case InferenceGroup::kDelegatedCustomer: ++delegated_customer; break;
+    case InferenceGroup::kLeasedWithRoot: ++leased_g4; break;
+  }
+}
+
+Pipeline::Pipeline(const bgp::Rib& rib, const asgraph::AsGraph& graph,
+                   PipelineOptions options)
+    : rib_(rib), graph_(graph), options_(options) {}
+
+LeaseInference Pipeline::classify_leaf(const whois::AllocEntry& leaf,
+                                       const whois::AllocationTree& tree,
+                                       const whois::WhoisDb& db) const {
+  LeaseInference out;
+  out.prefix = leaf.first;
+  out.rir = db.rir();
+  out.netname = leaf.second->netname;
+  out.leaf_maintainers = leaf.second->maintainers;
+
+  // Root of the leaf in the allocation tree (paper step 2).
+  auto root = tree.root_of(leaf.first);
+  if (root) {
+    out.root_prefix = root->first;
+    out.holder_org = root->second->org_id;
+    out.root_maintainers = root->second->maintainers;
+    // Step 3: the holder's RIR-assigned ASNs via the org join.
+    if (!out.holder_org.empty()) {
+      out.holder_asns = db.asns_for_org(out.holder_org);
+    }
+  }
+
+  // Step 4: BGP origins. Leaves require an exact match; roots fall back to
+  // the least-specific covering prefix (aggregated portable blocks).
+  if (const bgp::RouteInfo* info = rib_.exact(leaf.first)) {
+    out.leaf_origins = info->origins;
+  }
+  if (root) {
+    if (const bgp::RouteInfo* info = rib_.exact(root->first)) {
+      out.root_origins = info->origins;
+    } else if (options_.root_covering_fallback) {
+      if (auto hit = rib_.least_specific_covering(root->first)) {
+        out.root_origins = hit->second->origins;
+      }
+    }
+  }
+  // A leaf that is its own root has no separate parent origination: treat
+  // the root side as unoriginated so the leaf is judged on its own origin.
+  bool leaf_is_root = root && root->first == leaf.first;
+  static const std::vector<Asn> kNoOrigins;
+  const std::vector<Asn>& root_origins =
+      leaf_is_root ? kNoOrigins : out.root_origins;
+
+  // Step 5: the four-way decision.
+  bool leaf_lit = !out.leaf_origins.empty();
+  bool root_lit = !root_origins.empty();
+  if (!leaf_lit && !root_lit) {
+    out.group = InferenceGroup::kUnused;
+  } else if (!leaf_lit && root_lit) {
+    out.group = InferenceGroup::kAggregatedCustomer;
+  } else if (leaf_lit && !root_lit) {
+    bool related = false;
+    for (Asn origin : out.leaf_origins) {
+      if (graph_.related_to_any(origin, out.holder_asns)) {
+        related = true;
+        break;
+      }
+    }
+    out.group = related ? InferenceGroup::kIspCustomer
+                        : InferenceGroup::kLeasedNoRoot;
+  } else {
+    bool related = false;
+    for (Asn origin : out.leaf_origins) {
+      if (graph_.related_to_any(origin, out.holder_asns) ||
+          graph_.related_to_any(origin, root_origins)) {
+        related = true;
+        break;
+      }
+    }
+    out.group = related ? InferenceGroup::kDelegatedCustomer
+                        : InferenceGroup::kLeasedWithRoot;
+  }
+  return out;
+}
+
+std::vector<LeaseInference> Pipeline::classify(const whois::WhoisDb& db) const {
+  auto tree = whois::AllocationTree::build(db, options_.alloc);
+  SUBLET_LOG(kInfo) << rir_name(db.rir()) << ": " << tree.roots().size()
+                    << " roots, " << tree.leaves().size() << " leaves ("
+                    << tree.skipped_hyper_specific() << " hyper-specific, "
+                    << tree.skipped_legacy() << " legacy skipped)";
+  std::vector<LeaseInference> out;
+  out.reserve(tree.leaves().size());
+  for (const auto& leaf : tree.leaves()) {
+    // A leaf that is also a root is portable space with no sub-allocation:
+    // there is no provider/customer split to judge, so it is not a lease
+    // candidate (paper only classifies non-portable leaves).
+    if (leaf.second->portability == whois::Portability::kPortable) continue;
+    out.push_back(classify_leaf(leaf, tree, db));
+  }
+  return out;
+}
+
+GroupCounts Pipeline::count_groups(const std::vector<LeaseInference>& results) {
+  GroupCounts counts;
+  for (const auto& inference : results) counts.add(inference.group);
+  return counts;
+}
+
+namespace {
+std::string asn_list(const std::vector<Asn>& asns) {
+  if (asns.empty()) return "(none)";
+  std::vector<std::string> parts;
+  parts.reserve(asns.size());
+  for (Asn asn : asns) parts.push_back(asn.to_string());
+  return join(parts, ", ");
+}
+}  // namespace
+
+std::string Pipeline::explain(const Prefix& prefix,
+                              const whois::WhoisDb& db) const {
+  auto tree = whois::AllocationTree::build(db, options_.alloc);
+  const whois::InetBlock* block = tree.find(prefix);
+  if (!block) {
+    return prefix.to_string() + ": not present in the " +
+           std::string(rir_name(db.rir())) + " allocation tree\n";
+  }
+  auto inference = classify_leaf({prefix, block}, tree, db);
+
+  std::ostringstream out;
+  out << "Inference walkthrough for " << prefix.to_string() << " ("
+      << rir_name(db.rir()) << ")\n";
+  out << "  [1] WHOIS leaf: netname=" << (block->netname.empty() ? "-" : block->netname)
+      << " status='" << block->status << "' ("
+      << portability_name(block->portability) << ")\n";
+  out << "      maintainers (facilitator): "
+      << (inference.leaf_maintainers.empty()
+              ? "(none)"
+              : join(inference.leaf_maintainers, ", "))
+      << "\n";
+  out << "  [2] allocation tree root: " << inference.root_prefix.to_string()
+      << " held by org " << (inference.holder_org.empty() ? "(none)" : inference.holder_org)
+      << "\n";
+  out << "  [3] holder's RIR-assigned ASNs: " << asn_list(inference.holder_asns)
+      << "\n";
+  out << "  [4] BGP origins: leaf=" << asn_list(inference.leaf_origins)
+      << " root=" << asn_list(inference.root_origins) << "\n";
+  out << "  [5] verdict: group " << group_number(inference.group) << " — "
+      << group_name(inference.group)
+      << (inference.leased() ? "  ** LEASED **" : "") << "\n";
+  return out.str();
+}
+
+}  // namespace sublet::leasing

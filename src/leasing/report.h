@@ -1,0 +1,35 @@
+// Inference serialization — the released-artifact format.
+//
+// The paper publishes its inferred leases (appendix C); this module writes
+// and reads the same kind of artifact: one CSV row per classified leaf with
+// the verdict and the evidence columns, so downstream users (threat intel,
+// operators) can consume inferences without running the pipeline.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "leasing/types.h"
+#include "util/expected.h"
+
+namespace sublet::leasing {
+
+/// Write one row per inference:
+///   prefix,rir,group,leased,root_prefix,holder_org,holder_asns,
+///   leaf_origins,root_origins,facilitators,netname
+void write_inferences_csv(std::ostream& out,
+                          const std::vector<LeaseInference>& inferences);
+void save_inferences_csv(const std::string& path,
+                         const std::vector<LeaseInference>& inferences);
+
+/// Read the artifact back. Unknown group names or bad prefixes yield an
+/// Error (the artifact is machine-written; damage means the wrong file).
+Expected<std::vector<LeaseInference>> read_inferences_csv(std::istream& in);
+Expected<std::vector<LeaseInference>> load_inferences_csv(
+    const std::string& path);
+
+/// Parse a group label written by group_name().
+std::optional<InferenceGroup> group_from_name(std::string_view name);
+
+}  // namespace sublet::leasing

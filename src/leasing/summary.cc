@@ -1,0 +1,98 @@
+#include "leasing/summary.h"
+
+#include <sstream>
+
+#include "leasing/abuse_analysis.h"
+#include "leasing/ecosystem.h"
+#include "leasing/pipeline.h"
+#include "netbase/prefix_set.h"
+#include "util/table.h"
+
+namespace sublet::leasing {
+
+std::string render_summary(const DatasetBundle& bundle,
+                           const std::vector<LeaseInference>& results) {
+  std::ostringstream out;
+
+  // Per-RIR group breakdown.
+  TextTable groups({"RIR", "Unused", "Aggregated", "ISP cust", "Leased g3",
+                    "Delegated", "Leased g4", "Leased", "Total"});
+  GroupCounts all;
+  for (whois::Rir rir : whois::kAllRirs) {
+    GroupCounts counts;
+    for (const auto& r : results) {
+      if (r.rir == rir) counts.add(r.group);
+    }
+    if (counts.total() == 0) continue;
+    groups.add_row({std::string(rir_name(rir)), with_commas(counts.unused),
+                    with_commas(counts.aggregated_customer),
+                    with_commas(counts.isp_customer),
+                    with_commas(counts.leased_g3),
+                    with_commas(counts.delegated_customer),
+                    with_commas(counts.leased_g4),
+                    with_commas(counts.leased()),
+                    with_commas(counts.total())});
+  }
+  for (const auto& r : results) all.add(r.group);
+  out << "== Inference groups per region ==\n" << groups.to_string() << "\n";
+
+  // Headline shares.
+  std::size_t routed = bundle.rib.prefix_count();
+  PrefixSet leased_space;
+  for (const auto& r : results) {
+    if (r.leased()) leased_space.add(r.prefix);
+  }
+  std::uint64_t routed_space = bundle.rib.routed_address_space();
+  out << "Leased prefixes: " << with_commas(all.leased()) << " of "
+      << with_commas(routed) << " routed ("
+      << percent(routed ? static_cast<double>(all.leased()) / routed : 0)
+      << ")\n";
+  if (routed_space > 0) {
+    out << "Leased address space: "
+        << percent(static_cast<double>(leased_space.address_count()) /
+                   static_cast<double>(routed_space))
+        << " of routed space\n";
+  }
+
+  // Market leaders.
+  Ecosystem eco(results, &bundle.as2org);
+  out << "\n== Top holders ==\n";
+  for (whois::Rir rir : whois::kAllRirs) {
+    auto top = eco.top_holders(rir, 1);
+    if (top.empty()) continue;
+    std::string name = top[0].name;
+    if (const whois::WhoisDb* db = bundle.db_for(rir)) {
+      if (const whois::OrgRec* org = db->org(name)) {
+        if (!org->name.empty()) name = org->name;
+      }
+    }
+    out << "  " << rir_name(rir) << ": " << name << " ("
+        << with_commas(top[0].count) << " leases)\n";
+  }
+  auto facilitators = eco.top_facilitators(whois::Rir::kRipe, 3);
+  if (!facilitators.empty()) {
+    out << "\n== Top RIPE facilitators ==\n";
+    for (const auto& f : facilitators) {
+      out << "  " << f.name << " (" << with_commas(f.count) << ")\n";
+    }
+  }
+
+  // Abuse ratios, when lists are available.
+  if (bundle.drop.size() > 0) {
+    AbuseAnalysis analysis(results, bundle.rib);
+    auto drop = analysis.prefix_overlap(bundle.drop);
+    out << "\n== Abuse ==\n";
+    out << "  DROP-originated: leased " << percent(drop.leased_fraction())
+        << " vs non-leased " << percent(drop.nonleased_fraction()) << " ("
+        << fixed(drop.risk_ratio(), 1) << "x)\n";
+    if (bundle.hijackers.size() > 0) {
+      auto hijack = analysis.prefix_overlap(bundle.hijackers);
+      out << "  hijacker-originated: leased "
+          << percent(hijack.leased_fraction()) << " vs non-leased "
+          << percent(hijack.nonleased_fraction()) << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace sublet::leasing

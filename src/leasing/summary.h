@@ -1,0 +1,19 @@
+// One-call measurement summary: the Table-1-style overview an operator
+// wants from `sublet report` without stitching the analyses together.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "leasing/dataset.h"
+#include "leasing/types.h"
+
+namespace sublet::leasing {
+
+/// Render a per-RIR group breakdown, the headline leased shares, the top
+/// holders/facilitators, and (when the bundle carries the lists) the abuse
+/// ratios — as a monospace report.
+std::string render_summary(const DatasetBundle& bundle,
+                           const std::vector<LeaseInference>& results);
+
+}  // namespace sublet::leasing

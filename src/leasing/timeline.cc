@@ -1,0 +1,96 @@
+#include "leasing/timeline.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace sublet::leasing {
+
+OriginHistory LeaseTimeline::history_from_tracker(
+    const bgp::OriginTracker& tracker, const Prefix& prefix) {
+  OriginHistory out;
+  const std::vector<bgp::OriginEvent>* events = tracker.history(prefix);
+  if (!events) return out;
+  for (const bgp::OriginEvent& event : *events) {
+    out.emplace_back(event.timestamp, event.origins);
+  }
+  return out;
+}
+
+std::vector<TimelineEvent> LeaseTimeline::collect(
+    const Prefix& prefix, const rpki::RpkiArchive& archive,
+    const OriginHistory& bgp, std::uint32_t from, std::uint32_t to) {
+  std::vector<TimelineEvent> events;
+  for (const auto& [ts, asns] : archive.roa_history(prefix, from, to)) {
+    for (Asn asn : asns) {
+      events.push_back({ts, TimelineEvent::Source::kRpki, asn});
+    }
+  }
+  for (const auto& [ts, origins] : bgp) {
+    if (ts < from || ts > to) continue;
+    for (Asn asn : origins) {
+      events.push_back({ts, TimelineEvent::Source::kBgp, asn});
+    }
+  }
+  std::sort(events.begin(), events.end());
+  return events;
+}
+
+std::vector<LeasePeriod> LeaseTimeline::segment(
+    const std::vector<TimelineEvent>& events, std::uint32_t max_gap) {
+  std::vector<LeasePeriod> periods;
+  for (const TimelineEvent& event : events) {
+    if (!periods.empty() && periods.back().asn == event.asn &&
+        event.timestamp - periods.back().end <= max_gap) {
+      periods.back().end = std::max(periods.back().end, event.timestamp);
+      continue;
+    }
+    // A different AS (or a long silence) starts a new period; close the
+    // previous one at its last observation.
+    periods.push_back({event.timestamp, event.timestamp, event.asn});
+  }
+  return periods;
+}
+
+std::string LeaseTimeline::render(const std::vector<TimelineEvent>& events,
+                                  std::uint32_t from, std::uint32_t to,
+                                  int columns) {
+  if (to <= from || columns < 8) return "(empty timeline)\n";
+
+  // Row per ASN in first-seen order, matching the figure's y-axis.
+  std::vector<Asn> order;
+  std::map<Asn, std::pair<std::string, std::string>> rows;  // rpki, bgp lanes
+  for (const TimelineEvent& event : events) {
+    if (!rows.contains(event.asn)) {
+      order.push_back(event.asn);
+      rows[event.asn] = {std::string(static_cast<std::size_t>(columns), ' '),
+                         std::string(static_cast<std::size_t>(columns), ' ')};
+    }
+    double frac = static_cast<double>(event.timestamp - from) /
+                  static_cast<double>(to - from);
+    int col = std::min(columns - 1, static_cast<int>(frac * columns));
+    auto& [rpki_lane, bgp_lane] = rows[event.asn];
+    if (event.source == TimelineEvent::Source::kRpki) {
+      rpki_lane[static_cast<std::size_t>(col)] = '#';
+    } else {
+      bgp_lane[static_cast<std::size_t>(col)] = '=';
+    }
+  }
+
+  std::ostringstream out;
+  out << "ASN        lane  " << std::string(static_cast<std::size_t>(columns), '-')
+      << "\n";
+  for (Asn asn : order) {
+    const auto& [rpki_lane, bgp_lane] = rows[asn];
+    out << std::left;
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%-10u", asn.value());
+    out << buf << " RPKI |" << rpki_lane << "|\n";
+    out << "           BGP  |" << bgp_lane << "|\n";
+  }
+  out << "                 (# = ROA present, = = BGP origination; AS0 rows "
+         "mark inter-lease quarantine)\n";
+  return out.str();
+}
+
+}  // namespace sublet::leasing

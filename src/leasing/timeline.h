@@ -1,0 +1,75 @@
+// Lease-period reconstruction from RPKI + BGP history — paper Figure 3.
+//
+// The historical record of a leased prefix shows which AS held it when:
+// ROAs and BGP originations for the lessee's AS during a lease, AS0 ROAs
+// published by the facilitator between leases. This module merges the two
+// histories into per-AS activity spans and segments the lease periods.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bgp/origin_tracker.h"
+#include "netbase/asn.h"
+#include "netbase/ipv4.h"
+#include "rpki/archive.h"
+
+namespace sublet::leasing {
+
+/// A dated observation of one prefix from one data source.
+struct TimelineEvent {
+  enum class Source { kRpki, kBgp };
+  std::uint32_t timestamp = 0;
+  Source source = Source::kRpki;
+  Asn asn;
+
+  friend auto operator<=>(const TimelineEvent&,
+                          const TimelineEvent&) = default;
+};
+
+/// One inferred lease period: the prefix was held/used by `asn` in
+/// [start, end]. AS0 spans mark inter-lease quarantine.
+struct LeasePeriod {
+  std::uint32_t start = 0;
+  std::uint32_t end = 0;
+  Asn asn;
+  bool is_as0_gap() const { return asn.is_as0(); }
+
+  friend auto operator<=>(const LeasePeriod&, const LeasePeriod&) = default;
+};
+
+/// BGP origination history of one prefix: (timestamp, origins) samples,
+/// ascending. Produced by replaying dated RIB snapshots.
+using OriginHistory = std::vector<std::pair<std::uint32_t, std::vector<Asn>>>;
+
+class LeaseTimeline {
+ public:
+  /// Merge ROA history from `archive` and BGP history for `prefix` over
+  /// [from, to] into a sorted event list.
+  static std::vector<TimelineEvent> collect(const Prefix& prefix,
+                                            const rpki::RpkiArchive& archive,
+                                            const OriginHistory& bgp,
+                                            std::uint32_t from,
+                                            std::uint32_t to);
+
+  /// Segment events into per-AS periods: consecutive events for the same
+  /// AS (from either source) extend its period; a different AS opens a new
+  /// one. Sampling gaps longer than `max_gap` close the current period.
+  static std::vector<LeasePeriod> segment(
+      const std::vector<TimelineEvent>& events,
+      std::uint32_t max_gap = 0xFFFFFFFFu);
+
+  /// Render the figure as rows of "ASN  [RPKI ####  ] [BGP ####]" spans —
+  /// an ASCII Figure 3.
+  static std::string render(const std::vector<TimelineEvent>& events,
+                            std::uint32_t from, std::uint32_t to,
+                            int columns = 72);
+
+  /// Build an OriginHistory from a replayed BGP update stream — the
+  /// real-data path: `replay_updates_file()` then this.
+  static OriginHistory history_from_tracker(const bgp::OriginTracker& tracker,
+                                            const Prefix& prefix);
+};
+
+}  // namespace sublet::leasing

@@ -1,0 +1,73 @@
+// Core types of the lease-inference pipeline (paper §5.2).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netbase/asn.h"
+#include "netbase/ipv4.h"
+#include "whoisdb/rir.h"
+
+namespace sublet::leasing {
+
+/// The six outcomes of the paper's step-5 decision procedure.
+enum class InferenceGroup {
+  kUnused,              ///< group 1: neither leaf nor root originated
+  kAggregatedCustomer,  ///< group 2: only the root originated
+  kIspCustomer,         ///< group 3, origin related to the holder
+  kLeasedNoRoot,        ///< group 3, origin unrelated -> leased
+  kDelegatedCustomer,   ///< group 4, origin related to holder or root origin
+  kLeasedWithRoot,      ///< group 4, origin unrelated -> leased
+};
+
+constexpr bool is_leased(InferenceGroup group) {
+  return group == InferenceGroup::kLeasedNoRoot ||
+         group == InferenceGroup::kLeasedWithRoot;
+}
+
+constexpr std::string_view group_name(InferenceGroup group) {
+  switch (group) {
+    case InferenceGroup::kUnused: return "unused";
+    case InferenceGroup::kAggregatedCustomer: return "aggregated-customer";
+    case InferenceGroup::kIspCustomer: return "isp-customer";
+    case InferenceGroup::kLeasedNoRoot: return "leased(g3)";
+    case InferenceGroup::kDelegatedCustomer: return "delegated-customer";
+    case InferenceGroup::kLeasedWithRoot: return "leased(g4)";
+  }
+  return "?";
+}
+
+/// Numeric group (1-4) as the paper's Table 1 reports it.
+constexpr int group_number(InferenceGroup group) {
+  switch (group) {
+    case InferenceGroup::kUnused: return 1;
+    case InferenceGroup::kAggregatedCustomer: return 2;
+    case InferenceGroup::kIspCustomer:
+    case InferenceGroup::kLeasedNoRoot: return 3;
+    case InferenceGroup::kDelegatedCustomer:
+    case InferenceGroup::kLeasedWithRoot: return 4;
+  }
+  return 0;
+}
+
+/// One classified leaf prefix with the evidence behind the verdict.
+struct LeaseInference {
+  Prefix prefix;                    ///< the leaf (lease candidate)
+  whois::Rir rir = whois::Rir::kRipe;
+  InferenceGroup group = InferenceGroup::kUnused;
+
+  // Evidence (paper Figure 2's colored components).
+  Prefix root_prefix;               ///< covering portable block
+  std::string holder_org;           ///< root's org handle (IP holder, green)
+  std::vector<Asn> holder_asns;     ///< RIR-assigned ASes of the holder
+  std::vector<Asn> leaf_origins;    ///< leaf's BGP origins (originator, blue)
+  std::vector<Asn> root_origins;    ///< root's BGP origins
+  std::vector<std::string> leaf_maintainers;  ///< facilitator handle, purple
+  std::vector<std::string> root_maintainers;  ///< the holder's handles
+  std::string netname;
+
+  bool leased() const { return is_leased(group); }
+};
+
+}  // namespace sublet::leasing

@@ -1,0 +1,119 @@
+#include "mrt/bgp4mp.h"
+
+#include "mrt/bytes.h"
+#include "mrt/table_dump_v2.h"  // NLRI prefix helpers
+
+namespace sublet::mrt {
+
+namespace {
+constexpr std::uint16_t kAfiIpv4 = 1;
+constexpr std::size_t kBgpHeaderSize = 19;  // marker(16) + length(2) + type(1)
+
+Expected<std::vector<Prefix>> decode_nlri_list(
+    std::span<const std::uint8_t> data) {
+  std::vector<Prefix> out;
+  BufReader r(data);
+  while (r.remaining() > 0) {
+    auto prefix = decode_nlri_prefix(r);
+    if (!prefix) return prefix.error();
+    out.push_back(*prefix);
+  }
+  return out;
+}
+}  // namespace
+
+Expected<Bgp4mpMessage> decode_bgp4mp(std::span<const std::uint8_t> body,
+                                      Bgp4mpSubtype subtype) {
+  BufReader r(body);
+  Bgp4mpMessage msg;
+  bool as4 = subtype == Bgp4mpSubtype::kMessageAs4;
+  msg.peer_asn = Asn(as4 ? r.u32() : r.u16());
+  msg.local_asn = Asn(as4 ? r.u32() : r.u16());
+  msg.interface_index = r.u16();
+  std::uint16_t afi = r.u16();
+  if (!r.ok()) return fail("truncated BGP4MP header");
+  if (afi != kAfiIpv4) return fail("unsupported BGP4MP AFI");
+  msg.peer_ip = Ipv4Addr(r.u32());
+  msg.local_ip = Ipv4Addr(r.u32());
+
+  // Wrapped BGP message.
+  auto marker = r.bytes(16);
+  std::uint16_t length = r.u16();
+  std::uint8_t type = r.u8();
+  if (!r.ok()) return fail("truncated BGP message header");
+  (void)marker;  // all-ones per RFC 4271; not validated (collectors vary)
+  if (length < kBgpHeaderSize) return fail("bad BGP message length");
+  std::size_t payload_len = length - kBgpHeaderSize;
+  auto payload = r.bytes(payload_len);
+  if (!r.ok()) return fail("truncated BGP message payload");
+  msg.type = static_cast<BgpMessageType>(type);
+  if (msg.type != BgpMessageType::kUpdate) return msg;
+
+  BufReader u(payload);
+  std::uint16_t withdrawn_len = u.u16();
+  auto withdrawn_bytes = u.bytes(withdrawn_len);
+  if (!u.ok()) return fail("truncated withdrawn routes");
+  auto withdrawn = decode_nlri_list(withdrawn_bytes);
+  if (!withdrawn) return withdrawn.error();
+  msg.withdrawn = std::move(*withdrawn);
+
+  std::uint16_t attr_len = u.u16();
+  auto attr_bytes = u.bytes(attr_len);
+  if (!u.ok()) return fail("truncated path attributes");
+  auto attrs = decode_path_attributes(attr_bytes, /*four_byte_as=*/as4);
+  if (!attrs) return attrs.error();
+  msg.attributes = std::move(*attrs);
+
+  auto announced = decode_nlri_list(
+      std::span<const std::uint8_t>(payload.data() + u.position(),
+                                    payload.size() - u.position()));
+  if (!announced) return announced.error();
+  msg.announced = std::move(*announced);
+  return msg;
+}
+
+std::vector<std::uint8_t> encode_bgp4mp(const Bgp4mpMessage& message,
+                                        Bgp4mpSubtype subtype) {
+  bool as4 = subtype == Bgp4mpSubtype::kMessageAs4;
+  BufWriter w;
+  if (as4) {
+    w.u32(message.peer_asn.value());
+    w.u32(message.local_asn.value());
+  } else {
+    w.u16(static_cast<std::uint16_t>(message.peer_asn.value()));
+    w.u16(static_cast<std::uint16_t>(message.local_asn.value()));
+  }
+  w.u16(message.interface_index);
+  w.u16(kAfiIpv4);
+  w.u32(message.peer_ip.value());
+  w.u32(message.local_ip.value());
+
+  // BGP message: marker + length (patched) + type + payload.
+  std::size_t bgp_start = w.size();
+  for (int i = 0; i < 16; ++i) w.u8(0xFF);
+  std::size_t length_offset = w.size();
+  w.u16(0);  // length placeholder
+  w.u8(static_cast<std::uint8_t>(message.type));
+
+  if (message.type == BgpMessageType::kUpdate) {
+    BufWriter withdrawn;
+    for (const Prefix& prefix : message.withdrawn) {
+      encode_nlri_prefix(withdrawn, prefix);
+    }
+    w.u16(static_cast<std::uint16_t>(withdrawn.size()));
+    w.bytes(withdrawn.data());
+
+    auto attrs = encode_path_attributes(message.attributes, as4);
+    w.u16(static_cast<std::uint16_t>(attrs.size()));
+    w.bytes(attrs);
+
+    for (const Prefix& prefix : message.announced) {
+      encode_nlri_prefix(w, prefix);
+    }
+  }
+  w.patch_u16(length_offset,
+              static_cast<std::uint16_t>(w.size() - bgp_start));
+  return w.take();
+}
+
+}  // namespace sublet::mrt

@@ -1,0 +1,66 @@
+// BGP4MP message decoding/encoding — RFC 6396 §4.4.
+//
+// RouteViews/RIS "updates" files are MRT streams of BGP4MP_MESSAGE(_AS4)
+// records, each wrapping a raw BGP message (RFC 4271). The pipeline's
+// 15-day observation window and the Figure 3 history reconstruction can be
+// driven from updates instead of (or in addition to) RIB snapshots.
+//
+// Scope: IPv4 unicast UPDATE messages (announcements + withdrawals) and
+// tolerant pass-through of KEEPALIVE/OPEN/NOTIFICATION.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "mrt/bgp_attrs.h"
+#include "mrt/mrt.h"
+#include "netbase/asn.h"
+#include "netbase/ipv4.h"
+#include "util/expected.h"
+
+namespace sublet::mrt {
+
+/// BGP4MP subtypes we handle (RFC 6396 §4.4, RFC 8050 not included).
+enum class Bgp4mpSubtype : std::uint16_t {
+  kMessage = 1,      ///< 2-byte peer/local AS fields
+  kMessageAs4 = 4,   ///< 4-byte AS fields
+};
+
+/// BGP message types (RFC 4271 §4.1).
+enum class BgpMessageType : std::uint8_t {
+  kOpen = 1,
+  kUpdate = 2,
+  kNotification = 3,
+  kKeepalive = 4,
+};
+
+/// One decoded BGP4MP record.
+struct Bgp4mpMessage {
+  Asn peer_asn;
+  Asn local_asn;
+  std::uint16_t interface_index = 0;
+  Ipv4Addr peer_ip;
+  Ipv4Addr local_ip;
+  BgpMessageType type = BgpMessageType::kKeepalive;
+
+  // UPDATE payload (empty for other message types).
+  std::vector<Prefix> withdrawn;
+  PathAttributes attributes;
+  std::vector<Prefix> announced;
+
+  bool is_update() const { return type == BgpMessageType::kUpdate; }
+};
+
+/// Decode a BGP4MP(_AS4) record body. The subtype determines the AS field
+/// width; the wrapped BGP message's AS_PATH width follows it too (AS4
+/// sessions carry 4-byte paths).
+Expected<Bgp4mpMessage> decode_bgp4mp(std::span<const std::uint8_t> body,
+                                      Bgp4mpSubtype subtype);
+
+/// Encode back to an MRT record body (IPv4 AFI only).
+std::vector<std::uint8_t> encode_bgp4mp(const Bgp4mpMessage& message,
+                                        Bgp4mpSubtype subtype);
+
+}  // namespace sublet::mrt

@@ -1,0 +1,227 @@
+#include "mrt/bgp_attrs.h"
+
+#include "mrt/bytes.h"
+
+namespace sublet::mrt {
+
+namespace {
+constexpr std::uint8_t kFlagOptional = 0x80;
+constexpr std::uint8_t kFlagTransitive = 0x40;
+constexpr std::uint8_t kFlagExtendedLength = 0x10;
+}  // namespace
+
+std::vector<Asn> AsPath::origin_asns() const {
+  if (segments.empty()) return {};
+  const AsPathSegment& last = segments.back();
+  if (last.asns.empty()) return {};
+  if (last.type == AsPathSegmentType::kAsSet) return last.asns;
+  return {last.asns.back()};
+}
+
+std::vector<Asn> AsPath::flatten() const {
+  std::vector<Asn> out;
+  for (const auto& seg : segments) {
+    out.insert(out.end(), seg.asns.begin(), seg.asns.end());
+  }
+  return out;
+}
+
+namespace {
+
+Expected<AsPath> decode_as_path(std::span<const std::uint8_t> payload,
+                                bool four_byte_as) {
+  AsPath path;
+  BufReader r(payload);
+  while (r.remaining() > 0) {
+    AsPathSegment seg;
+    std::uint8_t type = r.u8();
+    std::uint8_t count = r.u8();
+    if (type != 1 && type != 2) {
+      return fail("bad AS_PATH segment type " + std::to_string(type));
+    }
+    seg.type = static_cast<AsPathSegmentType>(type);
+    for (int i = 0; i < count; ++i) {
+      std::uint32_t asn = four_byte_as ? r.u32() : r.u16();
+      seg.asns.push_back(Asn(asn));
+    }
+    if (!r.ok()) return fail("truncated AS_PATH segment");
+    path.segments.push_back(std::move(seg));
+  }
+  return path;
+}
+
+}  // namespace
+
+Expected<PathAttributes> decode_path_attributes(
+    std::span<const std::uint8_t> data, bool four_byte_as) {
+  PathAttributes attrs;
+  BufReader r(data);
+  while (r.remaining() > 0) {
+    std::uint8_t flags = r.u8();
+    std::uint8_t type = r.u8();
+    std::size_t length =
+        (flags & kFlagExtendedLength) ? r.u16() : r.u8();
+    auto payload = r.bytes(length);
+    if (!r.ok()) {
+      return fail("truncated attribute type " + std::to_string(type));
+    }
+    BufReader p(payload);
+    switch (static_cast<AttrType>(type)) {
+      case AttrType::kOrigin: {
+        std::uint8_t v = p.u8();
+        if (!p.ok() || v > 2) return fail("bad ORIGIN attribute");
+        attrs.origin = static_cast<BgpOrigin>(v);
+        break;
+      }
+      case AttrType::kAsPath: {
+        auto path = decode_as_path(payload, four_byte_as);
+        if (!path) return path.error();
+        attrs.as_path = std::move(*path);
+        break;
+      }
+      case AttrType::kAs4Path: {
+        // RFC 6793: when the main path is 2-byte, AS4_PATH carries the true
+        // 4-byte path; it overrides for origin extraction. Always 4-byte.
+        auto path = decode_as_path(payload, /*four_byte_as=*/true);
+        if (!path) return path.error();
+        // Prefer AS4_PATH only when the 2-byte path contains AS_TRANS
+        // placeholders; a simple and safe policy is: if present and the
+        // current path is 2-byte-decoded, take AS4_PATH.
+        if (!four_byte_as) attrs.as_path = std::move(*path);
+        break;
+      }
+      case AttrType::kNextHop: {
+        if (payload.size() != 4) return fail("bad NEXT_HOP length");
+        attrs.next_hop = Ipv4Addr(p.u32());
+        break;
+      }
+      case AttrType::kMed: {
+        if (payload.size() != 4) return fail("bad MED length");
+        attrs.med = p.u32();
+        break;
+      }
+      case AttrType::kLocalPref: {
+        if (payload.size() != 4) return fail("bad LOCAL_PREF length");
+        attrs.local_pref = p.u32();
+        break;
+      }
+      case AttrType::kAtomicAggregate: {
+        if (!payload.empty()) return fail("bad ATOMIC_AGGREGATE length");
+        attrs.atomic_aggregate = true;
+        break;
+      }
+      case AttrType::kAggregator:
+      case AttrType::kAs4Aggregator: {
+        bool four = four_byte_as ||
+                    static_cast<AttrType>(type) == AttrType::kAs4Aggregator;
+        std::uint32_t asn = four ? p.u32() : p.u16();
+        std::uint32_t ip = p.u32();
+        if (!p.ok()) return fail("bad AGGREGATOR length");
+        attrs.aggregator = {Asn(asn), Ipv4Addr(ip)};
+        break;
+      }
+      case AttrType::kCommunities: {
+        if (payload.size() % 4 != 0) return fail("bad COMMUNITIES length");
+        while (p.remaining() >= 4) attrs.communities.push_back(p.u32());
+        break;
+      }
+      default: {
+        attrs.unrecognized.push_back(
+            {flags, type,
+             std::vector<std::uint8_t>(payload.begin(), payload.end())});
+        break;
+      }
+    }
+  }
+  return attrs;
+}
+
+namespace {
+
+void encode_one(BufWriter& w, std::uint8_t flags, AttrType type,
+                const std::vector<std::uint8_t>& payload) {
+  bool extended = payload.size() > 255;
+  flags &= static_cast<std::uint8_t>(~kFlagExtendedLength);  // recomputed here
+  if (extended) flags |= kFlagExtendedLength;
+  w.u8(flags);
+  w.u8(static_cast<std::uint8_t>(type));
+  if (extended) {
+    w.u16(static_cast<std::uint16_t>(payload.size()));
+  } else {
+    w.u8(static_cast<std::uint8_t>(payload.size()));
+  }
+  w.bytes(payload);
+}
+
+std::vector<std::uint8_t> encode_as_path(const AsPath& path,
+                                         bool four_byte_as) {
+  BufWriter w;
+  for (const auto& seg : path.segments) {
+    w.u8(static_cast<std::uint8_t>(seg.type));
+    w.u8(static_cast<std::uint8_t>(seg.asns.size()));
+    for (Asn asn : seg.asns) {
+      if (four_byte_as) {
+        w.u32(asn.value());
+      } else {
+        w.u16(static_cast<std::uint16_t>(asn.value()));
+      }
+    }
+  }
+  return w.take();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_path_attributes(const PathAttributes& attrs,
+                                                 bool four_byte_as) {
+  BufWriter w;
+  if (attrs.origin) {
+    encode_one(w, kFlagTransitive, AttrType::kOrigin,
+               {static_cast<std::uint8_t>(*attrs.origin)});
+  }
+  if (!attrs.as_path.empty() || attrs.origin) {
+    encode_one(w, kFlagTransitive, AttrType::kAsPath,
+               encode_as_path(attrs.as_path, four_byte_as));
+  }
+  if (attrs.next_hop) {
+    BufWriter p;
+    p.u32(attrs.next_hop->value());
+    encode_one(w, kFlagTransitive, AttrType::kNextHop, p.take());
+  }
+  if (attrs.med) {
+    BufWriter p;
+    p.u32(*attrs.med);
+    encode_one(w, kFlagOptional, AttrType::kMed, p.take());
+  }
+  if (attrs.local_pref) {
+    BufWriter p;
+    p.u32(*attrs.local_pref);
+    encode_one(w, kFlagTransitive, AttrType::kLocalPref, p.take());
+  }
+  if (attrs.atomic_aggregate) {
+    encode_one(w, kFlagTransitive, AttrType::kAtomicAggregate, {});
+  }
+  if (attrs.aggregator) {
+    BufWriter p;
+    if (four_byte_as) {
+      p.u32(attrs.aggregator->first.value());
+    } else {
+      p.u16(static_cast<std::uint16_t>(attrs.aggregator->first.value()));
+    }
+    p.u32(attrs.aggregator->second.value());
+    encode_one(w, kFlagOptional | kFlagTransitive, AttrType::kAggregator,
+               p.take());
+  }
+  if (!attrs.communities.empty()) {
+    BufWriter p;
+    for (std::uint32_t c : attrs.communities) p.u32(c);
+    encode_one(w, kFlagOptional | kFlagTransitive, AttrType::kCommunities,
+               p.take());
+  }
+  for (const auto& raw : attrs.unrecognized) {
+    encode_one(w, raw.flags, static_cast<AttrType>(raw.type), raw.payload);
+  }
+  return w.take();
+}
+
+}  // namespace sublet::mrt

@@ -1,0 +1,87 @@
+// BGP path-attribute encoding/decoding (RFC 4271 §4.3, RFC 6793 for 4-byte
+// AS support) as embedded in MRT TABLE_DUMP_V2 RIB entries.
+//
+// The leasing pipeline only *needs* the origin AS (last AS_PATH element),
+// but we decode the full attribute set so the module is reusable and so
+// corrupt attributes are detected rather than silently skipped.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "netbase/asn.h"
+#include "netbase/ipv4.h"
+#include "util/expected.h"
+
+namespace sublet::mrt {
+
+enum class BgpOrigin : std::uint8_t { kIgp = 0, kEgp = 1, kIncomplete = 2 };
+
+enum class AsPathSegmentType : std::uint8_t { kAsSet = 1, kAsSequence = 2 };
+
+struct AsPathSegment {
+  AsPathSegmentType type = AsPathSegmentType::kAsSequence;
+  std::vector<Asn> asns;
+};
+
+struct AsPath {
+  std::vector<AsPathSegment> segments;
+
+  /// The origin ASes of this path: the single last AS of a trailing
+  /// AS_SEQUENCE, or every member of a trailing AS_SET (aggregated routes).
+  /// Empty path -> empty vector.
+  std::vector<Asn> origin_asns() const;
+
+  /// Flattened AS list (sets expanded in place), for display.
+  std::vector<Asn> flatten() const;
+
+  bool empty() const { return segments.empty(); }
+};
+
+/// Decoded attribute set. Unrecognized attributes are preserved raw so a
+/// decode → encode round trip is lossless.
+struct PathAttributes {
+  std::optional<BgpOrigin> origin;
+  AsPath as_path;
+  std::optional<Ipv4Addr> next_hop;
+  std::optional<std::uint32_t> med;
+  std::optional<std::uint32_t> local_pref;
+  bool atomic_aggregate = false;
+  std::optional<std::pair<Asn, Ipv4Addr>> aggregator;
+  std::vector<std::uint32_t> communities;
+
+  struct RawAttribute {
+    std::uint8_t flags = 0;
+    std::uint8_t type = 0;
+    std::vector<std::uint8_t> payload;
+  };
+  std::vector<RawAttribute> unrecognized;
+};
+
+/// Attribute type codes we understand.
+enum class AttrType : std::uint8_t {
+  kOrigin = 1,
+  kAsPath = 2,
+  kNextHop = 3,
+  kMed = 4,
+  kLocalPref = 5,
+  kAtomicAggregate = 6,
+  kAggregator = 7,
+  kCommunities = 8,
+  kAs4Path = 17,
+  kAs4Aggregator = 18,
+};
+
+/// Decode a BGP attribute blob. `four_byte_as` selects the AS_PATH word
+/// size: TABLE_DUMP_V2 always uses 4-byte ASes (RFC 6396 §4.3.4); classic
+/// BGP4MP without 4-byte capability uses 2 and carries AS4_PATH alongside.
+Expected<PathAttributes> decode_path_attributes(
+    std::span<const std::uint8_t> data, bool four_byte_as = true);
+
+/// Encode back to wire form. AS_PATH words follow `four_byte_as`.
+std::vector<std::uint8_t> encode_path_attributes(const PathAttributes& attrs,
+                                                 bool four_byte_as = true);
+
+}  // namespace sublet::mrt

@@ -1,0 +1,131 @@
+#include "mrt/bgpdump_text.h"
+
+#include <ostream>
+
+#include "util/strings.h"
+
+namespace sublet::mrt {
+
+std::string format_as_path(const AsPath& path) {
+  std::string out;
+  for (const AsPathSegment& seg : path.segments) {
+    if (seg.type == AsPathSegmentType::kAsSet) {
+      if (!out.empty()) out += ' ';
+      out += '{';
+      for (std::size_t i = 0; i < seg.asns.size(); ++i) {
+        if (i) out += ',';
+        out += std::to_string(seg.asns[i].value());
+      }
+      out += '}';
+    } else {
+      for (Asn asn : seg.asns) {
+        if (!out.empty()) out += ' ';
+        out += std::to_string(asn.value());
+      }
+    }
+  }
+  return out;
+}
+
+Expected<AsPath> parse_as_path_text(std::string_view text) {
+  AsPath path;
+  AsPathSegment sequence;
+  for (std::string_view token : split_ws(text)) {
+    if (token.front() == '{') {
+      if (token.back() != '}' || token.size() < 3) {
+        return fail("bad AS_SET token '" + std::string(token) + "'");
+      }
+      if (!sequence.asns.empty()) {
+        path.segments.push_back(std::move(sequence));
+        sequence = {};
+      }
+      AsPathSegment set;
+      set.type = AsPathSegmentType::kAsSet;
+      for (std::string_view member :
+           split(token.substr(1, token.size() - 2), ',')) {
+        auto asn = Asn::parse(member);
+        if (!asn) {
+          return fail("bad AS_SET member '" + std::string(member) + "'");
+        }
+        set.asns.push_back(*asn);
+      }
+      path.segments.push_back(std::move(set));
+    } else {
+      auto asn = Asn::parse(token);
+      if (!asn) return fail("bad AS '" + std::string(token) + "'");
+      sequence.asns.push_back(*asn);
+    }
+  }
+  if (!sequence.asns.empty()) path.segments.push_back(std::move(sequence));
+  return path;
+}
+
+Expected<BgpdumpEntry> parse_bgpdump_line(std::string_view line) {
+  auto fields = split(trim(line), '|');
+  if (fields.size() < 3) return fail("skip: short line");
+  std::string_view record = fields[0];
+  if (record != "TABLE_DUMP2" && record != "BGP4MP" &&
+      record != "TABLE_DUMP") {
+    return fail("skip: record type " + std::string(record));
+  }
+  auto ts = parse_u32(fields[1]);
+  if (!ts) return fail("bad timestamp");
+  std::string_view kind_text = fields[2];
+
+  BgpdumpEntry entry;
+  entry.timestamp = *ts;
+  if (kind_text == "B") {
+    entry.kind = BgpdumpEntry::Kind::kRibEntry;
+  } else if (kind_text == "A") {
+    entry.kind = BgpdumpEntry::Kind::kAnnounce;
+  } else if (kind_text == "W") {
+    entry.kind = BgpdumpEntry::Kind::kWithdraw;
+  } else {
+    return fail("skip: entry kind " + std::string(kind_text));
+  }
+
+  std::size_t needed =
+      entry.kind == BgpdumpEntry::Kind::kWithdraw ? 6u : 7u;
+  if (fields.size() < needed) return fail("truncated line");
+
+  auto peer_ip = Ipv4Addr::parse(fields[3]);
+  if (!peer_ip) return fail("skip: non-IPv4 peer");  // IPv6 collector peer
+  auto peer_asn = Asn::parse(fields[4]);
+  if (!peer_asn) return fail("bad peer AS");
+  auto prefix = Prefix::parse(fields[5]);
+  if (!prefix) {
+    // IPv6 NLRI comes through the same files; skip rather than error.
+    return fail("skip: non-IPv4 prefix " + std::string(fields[5]));
+  }
+  entry.peer_ip = *peer_ip;
+  entry.peer_asn = *peer_asn;
+  entry.prefix = *prefix;
+
+  if (entry.kind != BgpdumpEntry::Kind::kWithdraw) {
+    auto path = parse_as_path_text(fields[6]);
+    if (!path) return path.error();
+    entry.as_path = std::move(*path);
+  }
+  return entry;
+}
+
+void write_bgpdump_text(std::ostream& out, const RibSnapshot& snapshot) {
+  for (const RibPrefixRecord& rec : snapshot.records) {
+    for (const RibEntry& rib_entry : rec.entries) {
+      const Peer* peer =
+          rib_entry.peer_index < snapshot.peer_table.peers.size()
+              ? &snapshot.peer_table.peers[rib_entry.peer_index]
+              : nullptr;
+      out << "TABLE_DUMP2|" << snapshot.timestamp << "|B|"
+          << (peer ? peer->address.to_string() : "0.0.0.0") << '|'
+          << (peer ? peer->asn.value() : 0) << '|' << rec.prefix.to_string()
+          << '|' << format_as_path(rib_entry.attributes.as_path) << "|IGP|"
+          << (rib_entry.attributes.next_hop
+                  ? rib_entry.attributes.next_hop->to_string()
+                  : "0.0.0.0")
+          << "|0|0||NAG||\n";
+    }
+  }
+}
+
+}  // namespace sublet::mrt

@@ -1,0 +1,52 @@
+// bgpdump -m text format ("machine-readable" one-line-per-entry output).
+//
+// Nearly every measurement pipeline — including the paper's — consumes
+// RouteViews/RIS data through `bgpdump -m`, whose line format is:
+//
+//   TABLE_DUMP2|<ts>|B|<peer_ip>|<peer_as>|<prefix>|<as_path>|IGP|...
+//   BGP4MP|<ts>|A|<peer_ip>|<peer_as>|<prefix>|<as_path>|IGP|...
+//   BGP4MP|<ts>|W|<peer_ip>|<peer_as>|<prefix>
+//
+// AS paths are space-separated; AS_SETs appear as "{1,2,3}". This module
+// renders our decoded MRT structures into that format and parses it back,
+// so sublet interoperates with existing bgpdump-based tooling in both
+// directions.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "mrt/rib_file.h"
+#include "util/expected.h"
+
+namespace sublet::mrt {
+
+/// One parsed bgpdump line.
+struct BgpdumpEntry {
+  enum class Kind { kRibEntry, kAnnounce, kWithdraw };
+  Kind kind = Kind::kRibEntry;
+  std::uint32_t timestamp = 0;
+  Ipv4Addr peer_ip;
+  Asn peer_asn;
+  Prefix prefix;
+  AsPath as_path;  ///< empty for withdrawals
+
+  /// Origin ASes per AsPath::origin_asns().
+  std::vector<Asn> origins() const { return as_path.origin_asns(); }
+};
+
+/// Render an AS path in bgpdump notation ("3356 8851 {64500,64501}").
+std::string format_as_path(const AsPath& path);
+
+/// Parse bgpdump AS-path notation.
+Expected<AsPath> parse_as_path_text(std::string_view text);
+
+/// Parse one line. IPv6 lines and unhandled record types yield an Error
+/// with `message` starting with "skip:" so callers can ignore them cheaply.
+Expected<BgpdumpEntry> parse_bgpdump_line(std::string_view line);
+
+/// Render a whole RIB snapshot as TABLE_DUMP2 "B" lines.
+void write_bgpdump_text(std::ostream& out, const RibSnapshot& snapshot);
+
+}  // namespace sublet::mrt

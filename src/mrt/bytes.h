@@ -1,0 +1,108 @@
+// Big-endian byte-buffer reader/writer for wire formats (MRT, BGP).
+//
+// All multi-byte integers in MRT and BGP are network byte order. Reader is
+// bounds-checked and never reads past the view; callers detect truncation
+// via ok()/fail() rather than exceptions so a corrupt record aborts only
+// that record, not the whole dump.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sublet::mrt {
+
+/// Bounds-checked big-endian reader over a byte span (non-owning).
+class BufReader {
+ public:
+  explicit BufReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  bool ok() const { return !failed_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+
+  std::uint8_t u8() { return read_int<std::uint8_t>(); }
+  std::uint16_t u16() { return read_int<std::uint16_t>(); }
+  std::uint32_t u32() { return read_int<std::uint32_t>(); }
+  std::uint64_t u64() { return read_int<std::uint64_t>(); }
+
+  /// Read `n` raw bytes; returns empty span and sets failure on underrun.
+  std::span<const std::uint8_t> bytes(std::size_t n) {
+    if (failed_ || remaining() < n) {
+      failed_ = true;
+      return {};
+    }
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  std::string string(std::size_t n) {
+    auto b = bytes(n);
+    return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+  }
+
+  void skip(std::size_t n) { (void)bytes(n); }
+
+ private:
+  template <typename T>
+  T read_int() {
+    auto b = bytes(sizeof(T));
+    if (b.size() != sizeof(T)) return T{};
+    T value = 0;
+    for (std::uint8_t byte : b) value = static_cast<T>((value << 8) | byte);
+    return value;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+/// Appending big-endian writer.
+class BufWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { append_int(v); }
+  void u32(std::uint32_t v) { append_int(v); }
+  void u64(std::uint64_t v) { append_int(v); }
+
+  void bytes(std::span<const std::uint8_t> b) {
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+  void string(std::string_view s) {
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  /// Overwrite a previously written big-endian u16 at `offset` (used for
+  /// back-patching length fields).
+  void patch_u16(std::size_t offset, std::uint16_t v) {
+    buf_[offset] = static_cast<std::uint8_t>(v >> 8);
+    buf_[offset + 1] = static_cast<std::uint8_t>(v);
+  }
+  void patch_u32(std::size_t offset, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_[offset + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(v >> (24 - 8 * i));
+    }
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void append_int(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(
+          static_cast<std::uint8_t>(v >> (8 * (sizeof(T) - 1 - i))));
+    }
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+}  // namespace sublet::mrt

@@ -1,0 +1,60 @@
+#include "mrt/rib_file.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "mrt/mrt.h"
+#include "util/log.h"
+
+namespace sublet::mrt {
+
+void write_rib_file(const std::string& path, const RibSnapshot& snapshot) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  MrtWriter writer(out);
+
+  writer.write(snapshot.timestamp, MrtType::kTableDumpV2,
+               static_cast<std::uint16_t>(TableDumpV2Subtype::kPeerIndexTable),
+               encode_peer_index_table(snapshot.peer_table));
+
+  std::uint32_t sequence = 0;
+  for (const RibPrefixRecord& rec : snapshot.records) {
+    RibPrefixRecord numbered = rec;
+    numbered.sequence = sequence++;
+    writer.write(snapshot.timestamp, MrtType::kTableDumpV2,
+                 static_cast<std::uint16_t>(TableDumpV2Subtype::kRibIpv4Unicast),
+                 encode_rib_ipv4_unicast(numbered));
+  }
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+Expected<RibSnapshot> read_rib_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return fail("cannot open " + path);
+  MrtReader reader(in, path);
+
+  RibSnapshot snapshot;
+  bool saw_peer_table = false;
+  while (auto rec = reader.next()) {
+    snapshot.timestamp = rec->timestamp;
+    if (rec->is(MrtType::kTableDumpV2, TableDumpV2Subtype::kPeerIndexTable)) {
+      auto pit = decode_peer_index_table(rec->body);
+      if (!pit) return pit.error();
+      snapshot.peer_table = std::move(*pit);
+      saw_peer_table = true;
+    } else if (rec->is(MrtType::kTableDumpV2,
+                       TableDumpV2Subtype::kRibIpv4Unicast)) {
+      auto rib = decode_rib_ipv4_unicast(rec->body);
+      if (!rib) return rib.error();
+      snapshot.records.push_back(std::move(*rib));
+    } else {
+      SUBLET_LOG(kDebug) << "skipping MRT record type " << rec->type << "/"
+                         << rec->subtype << " in " << path;
+    }
+  }
+  if (reader.error()) return *reader.error();
+  if (!saw_peer_table) return fail("no PEER_INDEX_TABLE in " + path);
+  return snapshot;
+}
+
+}  // namespace sublet::mrt

@@ -1,0 +1,32 @@
+// Whole-file RIB dump reader/writer.
+//
+// A RouteViews/RIS "rib" file = one PEER_INDEX_TABLE record followed by
+// RIB_IPV4_UNICAST records in prefix order. These helpers move a whole
+// snapshot between disk and memory; bgp::Rib consumes the result.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mrt/table_dump_v2.h"
+#include "util/expected.h"
+
+namespace sublet::mrt {
+
+/// A decoded RIB dump: the peer table plus every prefix record.
+struct RibSnapshot {
+  std::uint32_t timestamp = 0;  ///< snapshot time (same on all records)
+  PeerIndexTable peer_table;
+  std::vector<RibPrefixRecord> records;
+};
+
+/// Serialize a snapshot to `path` as a standards-conformant TABLE_DUMP_V2
+/// file. Sequence numbers are (re)assigned in record order. Throws
+/// std::runtime_error on I/O failure.
+void write_rib_file(const std::string& path, const RibSnapshot& snapshot);
+
+/// Parse an entire RIB file. Unknown record types/subtypes are skipped;
+/// structural damage yields an Error.
+Expected<RibSnapshot> read_rib_file(const std::string& path);
+
+}  // namespace sublet::mrt

@@ -1,0 +1,15 @@
+#include "netbase/asn.h"
+
+#include "util/strings.h"
+
+namespace sublet {
+
+std::optional<Asn> Asn::parse(std::string_view text) {
+  text = trim(text);
+  if (istarts_with(text, "AS")) text.remove_prefix(2);
+  auto v = parse_u32(text);
+  if (!v) return std::nullopt;
+  return Asn(*v);
+}
+
+}  // namespace sublet

@@ -1,0 +1,44 @@
+// Autonomous System Number strong type.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sublet {
+
+/// 32-bit ASN (RFC 6793). AS0 is valid and meaningful: an AS0 ROA marks a
+/// prefix as not-to-be-originated (used between leases, see paper §6.5).
+class Asn {
+ public:
+  constexpr Asn() = default;
+  constexpr explicit Asn(std::uint32_t value) : value_(value) {}
+
+  constexpr std::uint32_t value() const { return value_; }
+  constexpr bool is_as0() const { return value_ == 0; }
+
+  /// Parse "64500" or "AS64500" (case-insensitive).
+  static std::optional<Asn> parse(std::string_view text);
+
+  /// "AS64500".
+  std::string to_string() const { return "AS" + std::to_string(value_); }
+
+  friend constexpr auto operator<=>(Asn, Asn) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+struct AsnHash {
+  std::size_t operator()(Asn asn) const {
+    std::uint64_t key = asn.value();
+    key ^= key >> 33;
+    key *= 0xFF51AFD7ED558CCDull;
+    key ^= key >> 33;
+    return static_cast<std::size_t>(key);
+  }
+};
+
+}  // namespace sublet

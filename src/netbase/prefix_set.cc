@@ -1,0 +1,70 @@
+#include "netbase/prefix_set.h"
+
+#include <algorithm>
+
+namespace sublet {
+
+void PrefixSet::add(const Prefix& prefix) {
+  members_.push_back(prefix);
+  sorted_ = false;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> PrefixSet::intervals()
+    const {
+  if (!sorted_) {
+    std::sort(members_.begin(), members_.end());
+    sorted_ = true;
+  }
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  for (const Prefix& prefix : members_) {
+    std::uint64_t start = prefix.first().value();
+    std::uint64_t end = static_cast<std::uint64_t>(prefix.last().value()) + 1;
+    if (!out.empty() && start <= out.back().second) {
+      out.back().second = std::max(out.back().second, end);
+    } else {
+      out.emplace_back(start, end);
+    }
+  }
+  return out;
+}
+
+bool PrefixSet::contains(Ipv4Addr addr) const {
+  auto merged = intervals();
+  std::uint64_t value = addr.value();
+  auto it = std::upper_bound(
+      merged.begin(), merged.end(), value,
+      [](std::uint64_t v, const auto& iv) { return v < iv.first; });
+  if (it == merged.begin()) return false;
+  --it;
+  return value < it->second;
+}
+
+bool PrefixSet::covers(const Prefix& prefix) const {
+  auto merged = intervals();
+  std::uint64_t start = prefix.first().value();
+  std::uint64_t end = static_cast<std::uint64_t>(prefix.last().value()) + 1;
+  auto it = std::upper_bound(
+      merged.begin(), merged.end(), start,
+      [](std::uint64_t v, const auto& iv) { return v < iv.first; });
+  if (it == merged.begin()) return false;
+  --it;
+  return start >= it->first && end <= it->second;
+}
+
+std::uint64_t PrefixSet::address_count() const {
+  std::uint64_t total = 0;
+  for (const auto& [start, end] : intervals()) total += end - start;
+  return total;
+}
+
+std::vector<Prefix> PrefixSet::aggregated() const {
+  std::vector<Prefix> out;
+  for (const auto& [start, end] : intervals()) {
+    AddrRange range{Ipv4Addr(static_cast<std::uint32_t>(start)),
+                    Ipv4Addr(static_cast<std::uint32_t>(end - 1))};
+    for (const Prefix& prefix : range.to_prefixes()) out.push_back(prefix);
+  }
+  return out;
+}
+
+}  // namespace sublet

@@ -1,0 +1,44 @@
+// PrefixSet: a set of CIDR prefixes with union/aggregation semantics.
+//
+// Used wherever a *population* of prefixes is treated as address space:
+// "0.9% of routed v4 space was leased" needs the union size with overlaps
+// counted once, and exports are tidier after aggregation (adjacent and
+// nested prefixes merged into the minimal equivalent set).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netbase/ipv4.h"
+
+namespace sublet {
+
+class PrefixSet {
+ public:
+  void add(const Prefix& prefix);
+
+  /// True if `addr` is inside any member prefix.
+  bool contains(Ipv4Addr addr) const;
+
+  /// True if `prefix` is entirely covered by the set's union.
+  bool covers(const Prefix& prefix) const;
+
+  /// Number of distinct addresses in the union (overlaps counted once).
+  std::uint64_t address_count() const;
+
+  /// Minimal CIDR set equal to the union: nested prefixes absorbed,
+  /// adjacent aligned siblings merged. Sorted by address.
+  std::vector<Prefix> aggregated() const;
+
+  std::size_t size() const { return members_.size(); }
+  bool empty() const { return members_.empty(); }
+
+ private:
+  /// Merged, sorted [start, end) intervals over 64-bit address space.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> intervals() const;
+
+  mutable std::vector<Prefix> members_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace sublet

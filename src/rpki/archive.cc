@@ -1,0 +1,89 @@
+#include "rpki/archive.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace sublet::rpki {
+
+void RpkiArchive::add_snapshot(std::uint32_t timestamp, VrpSet vrps) {
+  snapshots_[timestamp] = std::move(vrps);
+}
+
+const VrpSet* RpkiArchive::at(std::uint32_t timestamp) const {
+  auto it = snapshots_.upper_bound(timestamp);
+  if (it == snapshots_.begin()) return nullptr;
+  return &std::prev(it)->second;
+}
+
+std::vector<std::uint32_t> RpkiArchive::timestamps() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(snapshots_.size());
+  for (const auto& [ts, vrps] : snapshots_) out.push_back(ts);
+  return out;
+}
+
+std::vector<Roa> RpkiArchive::covering_in_window(const Prefix& prefix,
+                                                 std::uint32_t from,
+                                                 std::uint32_t to) const {
+  std::set<Roa> unique;
+  for (auto it = snapshots_.lower_bound(from);
+       it != snapshots_.end() && it->first <= to; ++it) {
+    for (const Roa& roa : it->second.covering(prefix)) unique.insert(roa);
+  }
+  return {unique.begin(), unique.end()};
+}
+
+std::vector<std::pair<std::uint32_t, std::vector<Asn>>>
+RpkiArchive::roa_history(const Prefix& prefix, std::uint32_t from,
+                         std::uint32_t to) const {
+  std::vector<std::pair<std::uint32_t, std::vector<Asn>>> out;
+  for (auto it = snapshots_.lower_bound(from);
+       it != snapshots_.end() && it->first <= to; ++it) {
+    std::vector<Asn> asns;
+    for (const Roa& roa : it->second.exact(prefix)) asns.push_back(roa.asn);
+    std::sort(asns.begin(), asns.end());
+    asns.erase(std::unique(asns.begin(), asns.end()), asns.end());
+    out.emplace_back(it->first, std::move(asns));
+  }
+  return out;
+}
+
+void RpkiArchive::save_directory(const std::string& dir) const {
+  std::filesystem::create_directories(dir);
+  for (const auto& [ts, vrps] : snapshots_) {
+    std::string path = dir + "/vrps-" + std::to_string(ts) + ".csv";
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot write " + path);
+    vrps.write_csv(out);
+  }
+}
+
+RpkiArchive RpkiArchive::load_directory(const std::string& dir,
+                                        std::vector<Error>* diagnostics) {
+  RpkiArchive archive;
+  if (!std::filesystem::is_directory(dir)) {
+    throw std::runtime_error("not a directory: " + dir);
+  }
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    std::string name = entry.path().filename().string();
+    if (name.rfind("vrps-", 0) != 0 || !name.ends_with(".csv")) continue;
+    auto ts = parse_u32(
+        std::string_view(name).substr(5, name.size() - 5 - 4));
+    if (!ts) {
+      if (diagnostics) {
+        diagnostics->push_back(fail("bad snapshot filename " + name, dir));
+      }
+      continue;
+    }
+    archive.add_snapshot(*ts,
+                         VrpSet::load_csv(entry.path().string(), diagnostics));
+  }
+  return archive;
+}
+
+}  // namespace sublet::rpki

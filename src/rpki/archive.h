@@ -1,0 +1,55 @@
+// Dated RPKI snapshot archive.
+//
+// The paper consumes Job Snijders' RPKI archive at 30-minute granularity
+// over the measurement window, and two years of history for Figure 3. The
+// archive is a time-indexed sequence of VRP sets with point-in-time and
+// interval queries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rpki/roa.h"
+
+namespace sublet::rpki {
+
+class RpkiArchive {
+ public:
+  /// Register a snapshot taken at `timestamp` (seconds since epoch).
+  /// Re-adding the same timestamp replaces the snapshot.
+  void add_snapshot(std::uint32_t timestamp, VrpSet vrps);
+
+  /// The snapshot in effect at `timestamp`: the latest snapshot at-or-
+  /// before it, or nullptr when `timestamp` precedes the archive.
+  const VrpSet* at(std::uint32_t timestamp) const;
+
+  /// All snapshot timestamps, ascending.
+  std::vector<std::uint32_t> timestamps() const;
+
+  /// Union of VRPs covering `prefix` across snapshots in
+  /// [from, to] — the "ROAs for leased prefixes over the window" query.
+  std::vector<Roa> covering_in_window(const Prefix& prefix,
+                                      std::uint32_t from,
+                                      std::uint32_t to) const;
+
+  /// History of exact-match ROA ASNs for a prefix: one (timestamp, asns)
+  /// row per snapshot in [from, to]. Feeds the Figure 3 timeline.
+  std::vector<std::pair<std::uint32_t, std::vector<Asn>>> roa_history(
+      const Prefix& prefix, std::uint32_t from, std::uint32_t to) const;
+
+  std::size_t snapshot_count() const { return snapshots_.size(); }
+
+  /// Save one file per snapshot under dir as vrps-<timestamp>.csv.
+  void save_directory(const std::string& dir) const;
+  /// Load every vrps-*.csv from a directory.
+  static RpkiArchive load_directory(const std::string& dir,
+                                    std::vector<Error>* diagnostics = nullptr);
+
+ private:
+  std::map<std::uint32_t, VrpSet> snapshots_;
+};
+
+}  // namespace sublet::rpki

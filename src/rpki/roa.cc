@@ -1,0 +1,107 @@
+#include "rpki/roa.h"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace sublet::rpki {
+
+void VrpSet::add(const Roa& roa) {
+  std::vector<Roa>* bucket = trie_.find(roa.prefix);
+  if (!bucket) bucket = &trie_.insert(roa.prefix, {});
+  if (std::find(bucket->begin(), bucket->end(), roa) != bucket->end()) return;
+  bucket->push_back(roa);
+  ++count_;
+}
+
+VrpSet VrpSet::clone() const {
+  VrpSet out;
+  trie_.visit([&](const Prefix&, const std::vector<Roa>& bucket) {
+    for (const Roa& roa : bucket) out.add(roa);
+  });
+  return out;
+}
+
+Validity VrpSet::validate(const Prefix& prefix, Asn origin) const {
+  auto covering_entries = trie_.all_covering(prefix);
+  if (covering_entries.empty()) return Validity::kNotFound;
+  for (const auto& [vrp_prefix, bucket] : covering_entries) {
+    for (const Roa& roa : *bucket) {
+      if (roa.asn == origin && !origin.is_as0() &&
+          prefix.length() <= roa.effective_max_length()) {
+        return Validity::kValid;
+      }
+    }
+  }
+  return Validity::kInvalid;
+}
+
+std::vector<Roa> VrpSet::covering(const Prefix& prefix) const {
+  std::vector<Roa> out;
+  for (const auto& [vrp_prefix, bucket] : trie_.all_covering(prefix)) {
+    out.insert(out.end(), bucket->begin(), bucket->end());
+  }
+  return out;
+}
+
+std::vector<Roa> VrpSet::exact(const Prefix& prefix) const {
+  const std::vector<Roa>* bucket = trie_.find(prefix);
+  return bucket ? *bucket : std::vector<Roa>{};
+}
+
+VrpSet VrpSet::parse_csv(std::istream& in, std::string source,
+                         std::vector<Error>* diagnostics) {
+  VrpSet set;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::string_view view = trim(line);
+    if (view.empty() || view.front() == '#') continue;
+    if (istarts_with(view, "ASN,")) continue;  // header row
+    auto fields = split(view, ',');
+    if (fields.size() < 3) {
+      if (diagnostics) {
+        diagnostics->push_back(
+            fail("expected ASN,prefix,maxlen", source, line_no));
+      }
+      continue;
+    }
+    auto asn = Asn::parse(trim(fields[0]));
+    auto prefix = Prefix::parse(trim(fields[1]));
+    auto max_len = parse_u32(trim(fields[2]));
+    if (!asn || !prefix || !max_len || *max_len > 32) {
+      if (diagnostics) {
+        diagnostics->push_back(
+            fail("bad VRP '" + std::string(view) + "'", source, line_no));
+      }
+      continue;
+    }
+    set.add({*prefix, static_cast<int>(*max_len), *asn});
+  }
+  return set;
+}
+
+VrpSet VrpSet::load_csv(const std::string& path,
+                        std::vector<Error>* diagnostics) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open VRP csv: " + path);
+  return parse_csv(in, path, diagnostics);
+}
+
+void VrpSet::write_csv(std::ostream& out) const {
+  out << "ASN,IP Prefix,Max Length,Trust Anchor\n";
+  trie_.visit([&](const Prefix&, const std::vector<Roa>& bucket) {
+    for (const Roa& roa : bucket) {
+      out << roa.asn.to_string() << ',' << roa.prefix.to_string() << ','
+          << roa.effective_max_length() << ",sim\n";
+    }
+  });
+}
+
+}  // namespace sublet::rpki

@@ -1,0 +1,84 @@
+// RPKI ROAs, VRP sets, and RFC 6811 route-origin validation.
+//
+// The abuse analysis (§6.4) asks which leased prefixes have ROAs and
+// whether those ROAs authorize blocklisted ASes; the Figure 3 timeline
+// walks ROA history including AS0 ROAs that facilitators like IPXO create
+// between leases (§6.5) to keep the space unroutable.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netbase/asn.h"
+#include "netbase/prefix_trie.h"
+#include "util/expected.h"
+
+namespace sublet::rpki {
+
+/// One Validated ROA Payload: (prefix, maxLength, asn).
+struct Roa {
+  Prefix prefix;
+  int max_length = 0;  ///< 0 or < prefix length means "= prefix length"
+  Asn asn;
+
+  int effective_max_length() const {
+    return max_length >= prefix.length() ? max_length : prefix.length();
+  }
+
+  friend auto operator<=>(const Roa&, const Roa&) = default;
+};
+
+/// RFC 6811 route validity states.
+enum class Validity { kValid, kInvalid, kNotFound };
+
+constexpr std::string_view validity_name(Validity v) {
+  switch (v) {
+    case Validity::kValid: return "valid";
+    case Validity::kInvalid: return "invalid";
+    case Validity::kNotFound: return "not-found";
+  }
+  return "?";
+}
+
+/// A set of VRPs with covering queries and origin validation.
+class VrpSet {
+ public:
+  void add(const Roa& roa);
+
+  /// RFC 6811: NotFound if no VRP covers the prefix; Valid if some covering
+  /// VRP matches origin and maxLength; Invalid otherwise. AS0 ROAs can
+  /// never validate a route (AS0 is reserved), so they force Invalid.
+  Validity validate(const Prefix& prefix, Asn origin) const;
+
+  /// All VRPs whose prefix covers `prefix` (regardless of maxLength).
+  std::vector<Roa> covering(const Prefix& prefix) const;
+
+  /// True if any ROA covers the prefix (the §6.4 "has a ROA" test).
+  bool any_roa_for(const Prefix& prefix) const {
+    return !covering(prefix).empty();
+  }
+
+  /// VRPs registered for exactly this prefix.
+  std::vector<Roa> exact(const Prefix& prefix) const;
+
+  std::size_t size() const { return count_; }
+
+  /// Deep copy (the underlying trie is move-only).
+  VrpSet clone() const;
+
+  /// CSV in the routinator `vrps` layout: "ASN,IP Prefix,Max Length,TA".
+  static VrpSet parse_csv(std::istream& in, std::string source = {},
+                          std::vector<Error>* diagnostics = nullptr);
+  static VrpSet load_csv(const std::string& path,
+                         std::vector<Error>* diagnostics = nullptr);
+  void write_csv(std::ostream& out) const;
+
+ private:
+  PrefixTrie<std::vector<Roa>> trie_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace sublet::rpki

@@ -1,0 +1,117 @@
+#include "rpsl/rpsl.h"
+
+#include <istream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace sublet::rpsl {
+
+std::string_view Object::get(std::string_view name) const {
+  for (const auto& attr : attributes) {
+    if (attr.name == name) return attr.value;
+  }
+  return {};
+}
+
+std::vector<std::string_view> Object::all(std::string_view name) const {
+  std::vector<std::string_view> out;
+  for (const auto& attr : attributes) {
+    if (attr.name == name) out.push_back(attr.value);
+  }
+  return out;
+}
+
+std::string_view strip_inline_comment(std::string_view value) {
+  auto hash = value.find('#');
+  if (hash != std::string_view::npos) value = value.substr(0, hash);
+  return trim(value);
+}
+
+Parser::Parser(std::istream& in, std::string source)
+    : in_(in), source_(std::move(source)) {}
+
+bool Parser::read_line(std::string& out) {
+  if (has_pending_) {
+    out = std::move(pending_);
+    has_pending_ = false;
+    return true;
+  }
+  if (!std::getline(in_, out)) return false;
+  if (!out.empty() && out.back() == '\r') out.pop_back();
+  ++line_no_;
+  return true;
+}
+
+void Parser::unread_line(std::string line) {
+  pending_ = std::move(line);
+  has_pending_ = true;
+}
+
+std::optional<Object> Parser::next() {
+  Object obj;
+  std::string line;
+  while (read_line(line)) {
+    std::string_view view = line;
+    bool is_comment = !view.empty() && view.front() == '%';
+    bool is_blank = trim(view).empty();
+
+    if (is_blank || is_comment) {
+      if (!obj.attributes.empty()) return obj;  // blank line ends the object
+      continue;
+    }
+
+    // Full-line '#' comment (only when not already inside an object value —
+    // a '#' at column 0 is always a comment in the dumps we model).
+    if (view.front() == '#') continue;
+
+    bool is_continuation =
+        view.front() == ' ' || view.front() == '\t' || view.front() == '+';
+    if (is_continuation) {
+      if (obj.attributes.empty()) {
+        diagnostics_.push_back(
+            fail("continuation line outside any object", source_, line_no_));
+        continue;
+      }
+      std::string_view cont = view.substr(1);
+      cont = strip_inline_comment(cont);
+      if (!cont.empty()) {
+        auto& value = obj.attributes.back().value;
+        if (!value.empty()) value += ' ';
+        value += cont;
+      }
+      continue;
+    }
+
+    auto colon = view.find(':');
+    if (colon == std::string_view::npos) {
+      diagnostics_.push_back(
+          fail("line without attribute separator: '" + line + "'", source_,
+               line_no_));
+      continue;
+    }
+    std::string_view name = trim(view.substr(0, colon));
+    if (name.empty()) {
+      diagnostics_.push_back(fail("empty attribute name", source_, line_no_));
+      continue;
+    }
+    std::string_view value = strip_inline_comment(view.substr(colon + 1));
+
+    if (obj.attributes.empty()) obj.line = line_no_;
+    obj.attributes.push_back({to_lower(name), std::string(value)});
+  }
+  if (!obj.attributes.empty()) return obj;
+  return std::nullopt;
+}
+
+std::vector<Object> parse_all(std::string_view text,
+                              std::vector<Error>* diagnostics) {
+  std::istringstream in{std::string(text)};
+  Parser parser(in, "<buffer>");
+  std::vector<Object> out;
+  while (auto obj = parser.next()) out.push_back(std::move(*obj));
+  if (diagnostics) *diagnostics = parser.diagnostics();
+  return out;
+}
+
+}  // namespace sublet::rpsl

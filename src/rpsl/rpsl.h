@@ -1,0 +1,87 @@
+// RPSL-style WHOIS database parsing (RFC 2622 object syntax subset).
+//
+// RIPE, APNIC, and AFRINIC publish their databases as RPSL object blocks;
+// ARIN's bulk format and LACNIC's export are close cousins (key: value
+// blocks with different vocabularies). This module parses the on-disk
+// syntax only; whoisdb/ interprets the objects.
+//
+// Syntax handled:
+//   - objects separated by one or more blank lines;
+//   - "attribute:  value" lines; attribute names are case-insensitive and
+//     are normalized to lowercase;
+//   - continuation lines starting with space, tab, or '+';
+//   - full-line comments starting with '%' or '#';
+//   - inline "# ..." comments stripped from values;
+//   - an object's class is the name of its first attribute.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/expected.h"
+
+namespace sublet::rpsl {
+
+struct Attribute {
+  std::string name;   ///< lowercased
+  std::string value;  ///< trimmed, continuations joined with a single space
+};
+
+struct Object {
+  std::vector<Attribute> attributes;
+  std::size_t line = 0;  ///< 1-based line of the first attribute
+
+  /// Class of the object = name of the first attribute ("inetnum", ...).
+  std::string_view cls() const {
+    return attributes.empty() ? std::string_view{} : attributes.front().name;
+  }
+
+  /// First value of `name` (lowercase), or empty view.
+  std::string_view get(std::string_view name) const;
+
+  /// All values of `name`, in order.
+  std::vector<std::string_view> all(std::string_view name) const;
+
+  bool has(std::string_view name) const { return !get(name).empty(); }
+};
+
+/// Streaming parser over an istream. Usage:
+///   Parser p(in, "ripe.db");
+///   while (auto obj = p.next()) { ... }
+/// Malformed lines are recorded in diagnostics() and skipped; parsing never
+/// throws on bad content (only on stream I/O failure upstream).
+class Parser {
+ public:
+  /// `source` is used in diagnostics only. Does not own the stream.
+  explicit Parser(std::istream& in, std::string source = {});
+
+  /// Next object, or nullopt at end of input.
+  std::optional<Object> next();
+
+  const std::vector<Error>& diagnostics() const { return diagnostics_; }
+
+ private:
+  std::istream& in_;
+  std::string source_;
+  std::size_t line_no_ = 0;
+  std::string pending_;     ///< lookahead line
+  bool has_pending_ = false;
+
+  bool read_line(std::string& out);
+  void unread_line(std::string line);
+
+  std::vector<Error> diagnostics_;
+};
+
+/// Parse an entire buffer (convenience for tests and small files).
+std::vector<Object> parse_all(std::string_view text,
+                              std::vector<Error>* diagnostics = nullptr);
+
+/// Strip an inline '#' comment from a value (respecting nothing fancier;
+/// RPSL has no quoting).
+std::string_view strip_inline_comment(std::string_view value);
+
+}  // namespace sublet::rpsl

@@ -1,0 +1,827 @@
+#include "simnet/builder.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <string>
+#include <unordered_map>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+#include <stdexcept>
+
+namespace sublet::sim {
+
+void WorldConfig::validate() const {
+  auto check_p = [](double p, const char* name) {
+    if (p < 0.0 || p > 1.0) {
+      throw std::invalid_argument(std::string("WorldConfig::") + name +
+                                  " must be in [0,1]");
+    }
+  };
+  if (scale <= 0.0) {
+    throw std::invalid_argument("WorldConfig::scale must be positive");
+  }
+  if (tier1_count < 2) {
+    throw std::invalid_argument("WorldConfig::tier1_count must be >= 2");
+  }
+  if (collectors < 1 || peers_per_collector < 1) {
+    throw std::invalid_argument("WorldConfig needs >= 1 collector and peer");
+  }
+  check_p(collector_visibility, "collector_visibility");
+  check_p(p_lease_late, "p_lease_late");
+  check_p(p_lease_inactive, "p_lease_inactive");
+  check_p(p_lease_legacy, "p_lease_legacy");
+  check_p(p_lease_brokered, "p_lease_brokered");
+  check_p(p_customer_own_maintainer, "p_customer_own_maintainer");
+  check_p(p_subsidiary_origin, "p_subsidiary_origin");
+  check_p(p_drop_origin_leased, "p_drop_origin_leased");
+  check_p(p_drop_origin_background, "p_drop_origin_background");
+  check_p(p_hijacker_origin_leased, "p_hijacker_origin_leased");
+  check_p(p_hijacker_origin_background, "p_hijacker_origin_background");
+  check_p(p_roa_leased_clean, "p_roa_leased_clean");
+  check_p(p_roa_leased_drop, "p_roa_leased_drop");
+  check_p(p_roa_background, "p_roa_background");
+  check_p(p_geo_updated, "p_geo_updated");
+  check_p(p_geo_noise, "p_geo_noise");
+  check_p(p_moas, "p_moas");
+  check_p(p_prepending, "p_prepending");
+  check_p(p_as_set, "p_as_set");
+  check_p(p_transit_peering, "p_transit_peering");
+  check_p(p_asrel_edge_dropped, "p_asrel_edge_dropped");
+  for (const RirProfile& profile : rirs) {
+    if (profile.leaves < 0 || profile.holders <= 0) {
+      throw std::invalid_argument("RirProfile needs holders > 0");
+    }
+    check_p(profile.top_holder_share, "top_holder_share");
+  }
+}
+
+const SimAs* World::find_as(Asn asn) const {
+  for (const SimAs& as : ases) {
+    if (as.asn == asn) return &as;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Sequential allocators for ASNs and address space.
+class Allocator {
+ public:
+  Asn next_asn() { return Asn(next_asn_++); }
+
+  /// Next /16 root block for a RIR (all RIRs share one arena; the RIR is a
+  /// property of the WHOIS record, not of the bits).
+  Prefix next_root() {
+    Prefix p = *Prefix::make(Ipv4Addr(root_cursor_), 16);
+    root_cursor_ += 1u << 16;
+    return p;
+  }
+
+  /// Next background /24.
+  Prefix next_background() {
+    Prefix p = *Prefix::make(Ipv4Addr(background_cursor_), 24);
+    background_cursor_ += 1u << 8;
+    return p;
+  }
+
+ private:
+  std::uint32_t next_asn_ = 100;
+  std::uint32_t root_cursor_ = 20u << 24;        // roots from 20.0.0.0
+  std::uint32_t background_cursor_ = 130u << 24; // background from 130.0.0.0
+};
+
+/// Per-root slab allocator for leaf prefixes.
+class RootSlab {
+ public:
+  explicit RootSlab(const Prefix& root) : root_(root) {}
+
+  /// Carve the next leaf of length `len` (<= /24 sized pieces expected);
+  /// nullopt when the root is full.
+  std::optional<Prefix> carve(int len) {
+    std::uint64_t size = std::uint64_t{1} << (32 - len);
+    // Align the cursor to the block size.
+    std::uint64_t aligned = (cursor_ + size - 1) & ~(size - 1);
+    if (aligned + size > root_.size()) return std::nullopt;
+    cursor_ = aligned + size;
+    return Prefix::make(Ipv4Addr(root_.network().value() +
+                                 static_cast<std::uint32_t>(aligned)),
+                        len);
+  }
+
+ private:
+  Prefix root_;
+  std::uint64_t cursor_ = 0;
+};
+
+std::string rir_tag(whois::Rir rir) {
+  switch (rir) {
+    case whois::Rir::kRipe: return "RIPE";
+    case whois::Rir::kArin: return "ARIN";
+    case whois::Rir::kApnic: return "AP";
+    case whois::Rir::kAfrinic: return "AFRINIC";
+    case whois::Rir::kLacnic: return "LACNIC";
+  }
+  return "X";
+}
+
+const char* country_for(whois::Rir rir, std::uint64_t salt) {
+  static constexpr std::array<std::array<const char*, 4>, 5> kCountries = {{
+      {"SE", "DE", "NL", "GB"},      // RIPE
+      {"US", "US", "CA", "US"},      // ARIN
+      {"JP", "SG", "AU", "HK"},      // APNIC
+      {"ZA", "TN", "EG", "MU"},      // AFRINIC
+      {"BR", "CR", "AR", "CL"},      // LACNIC
+  }};
+  return kCountries[static_cast<std::size_t>(rir)][salt % 4];
+}
+
+/// Builder state threaded through the generation phases.
+struct Builder {
+  const WorldConfig& config;
+  World world;
+  Rng rng;
+  Allocator alloc;
+
+  // Per-RIR AS pools (indexes into world.ases).
+  struct RirPools {
+    std::vector<std::size_t> transit;
+    std::vector<std::size_t> hosting_clean;
+    std::vector<std::size_t> hosting_drop;
+    std::vector<std::size_t> hosting_hijacker;
+    std::vector<std::size_t> holders_orgs;   // org indexes
+    std::vector<std::size_t> broker_orgs;    // org indexes
+    std::vector<std::size_t> stubs;          // generic customer stubs
+  };
+  std::array<RirPools, 5> pools;
+  std::vector<std::size_t> tier1;  // as indexes
+  std::unordered_map<std::size_t, Asn> org_to_asn;        // org -> its AS
+  std::unordered_map<std::uint32_t, std::vector<Asn>> stubs_by_holder;
+  std::unordered_map<std::uint32_t, Asn> affiliate_by_holder;
+
+  explicit Builder(const WorldConfig& cfg) : config(cfg), rng(cfg.seed) {
+    world.config = cfg;
+  }
+
+  RirPools& pool(whois::Rir rir) { return pools[static_cast<std::size_t>(rir)]; }
+
+  std::size_t add_org(SimOrg org) {
+    world.orgs.push_back(std::move(org));
+    return world.orgs.size() - 1;
+  }
+
+  std::size_t add_as(SimAs as) {
+    if (as.provider) world.true_rels.add_p2c(*as.provider, as.asn);
+    org_to_asn.emplace(as.org_index, as.asn);
+    world.ases.push_back(as);
+    return world.ases.size() - 1;
+  }
+
+  Asn asn_at(std::size_t index) const { return world.ases[index].asn; }
+
+  // ---- phase 1: topology --------------------------------------------
+
+  void build_topology() {
+    // Tier-1 clique.
+    for (int i = 0; i < config.tier1_count; ++i) {
+      std::size_t org = add_org({"ORG-T1-" + std::to_string(i),
+                                 "Tier1 Backbone " + std::to_string(i),
+                                 "MNT-T1-" + std::to_string(i),
+                                 whois::Rir::kArin, "US"});
+      SimAs as;
+      as.asn = alloc.next_asn();
+      as.org_index = org;
+      as.tier = AsTier::kTier1;
+      tier1.push_back(add_as(as));
+    }
+    for (std::size_t i = 0; i < tier1.size(); ++i) {
+      for (std::size_t j = i + 1; j < tier1.size(); ++j) {
+        world.true_rels.add_p2p(asn_at(tier1[i]), asn_at(tier1[j]));
+      }
+    }
+
+    for (whois::Rir rir : whois::kAllRirs) {
+      build_rir_ases(rir);
+    }
+
+    // Settlement-free peering among transit networks (within and across
+    // regions) — extra relationship edges that never appear on our
+    // collector paths, the asymmetry the A5 ablation talks about.
+    std::vector<std::size_t> all_transit;
+    for (whois::Rir rir : whois::kAllRirs) {
+      const auto& t = pool(rir).transit;
+      all_transit.insert(all_transit.end(), t.begin(), t.end());
+    }
+    for (std::size_t i = 0; i < all_transit.size(); ++i) {
+      if (!rng.chance(config.p_transit_peering)) continue;
+      std::size_t j = rng.next_below(all_transit.size());
+      if (i == j) continue;
+      world.true_rels.add_p2p(asn_at(all_transit[i]),
+                              asn_at(all_transit[j]));
+    }
+  }
+
+  Asn random_of(const std::vector<std::size_t>& as_indexes) {
+    return asn_at(as_indexes[rng.next_below(as_indexes.size())]);
+  }
+
+  void build_rir_ases(whois::Rir rir) {
+    RirPools& p = pool(rir);
+    std::string tag = rir_tag(rir);
+
+    for (int i = 0; i < config.scaled(config.transit_per_rir); ++i) {
+      std::size_t org = add_org({"ORG-TR-" + tag + "-" + std::to_string(i),
+                                 tag + " Transit " + std::to_string(i),
+                                 "MNT-TR-" + tag + "-" + std::to_string(i),
+                                 rir, country_for(rir, i)});
+      SimAs as;
+      as.asn = alloc.next_asn();
+      as.org_index = org;
+      as.rir = rir;
+      as.tier = AsTier::kTransit;
+      as.provider = random_of(tier1);
+      p.transit.push_back(add_as(as));
+    }
+
+    int hosting = std::max(8, config.scaled(config.hosting_per_rir));
+    for (int i = 0; i < hosting; ++i) {
+      std::size_t org = add_org({"ORG-HOST-" + tag + "-" + std::to_string(i),
+                                 tag + " Hosting " + std::to_string(i),
+                                 "MNT-HOST-" + tag + "-" + std::to_string(i),
+                                 rir, country_for(rir, i + 1)});
+      SimAs as;
+      as.asn = alloc.next_asn();
+      as.org_index = org;
+      as.rir = rir;
+      as.tier = AsTier::kHosting;
+      as.provider = random_of(p.transit);
+      // Flag the tail of the pool as abusive: ~7% DROP, ~13% hijackers
+      // (hijacker pool includes all DROP ASes — real lists overlap).
+      bool drop = i < std::max(1, hosting / 15);
+      bool hijacker = drop || (i < std::max(2, hosting / 7));
+      as.drop_listed = drop;
+      as.hijacker = hijacker;
+      std::size_t index = add_as(as);
+      if (drop) {
+        p.hosting_drop.push_back(index);
+      } else if (hijacker) {
+        p.hosting_hijacker.push_back(index);
+      } else {
+        p.hosting_clean.push_back(index);
+      }
+    }
+  }
+
+  // ---- phase 2: leasing-market actors -------------------------------
+
+  void build_market() {
+    for (whois::Rir rir : whois::kAllRirs) {
+      RirPools& p = pool(rir);
+      std::string tag = rir_tag(rir);
+      int brokers = std::max(4, config.scaled(config.brokers_per_rir));
+      for (int i = 0; i < brokers; ++i) {
+        SimOrg org;
+        org.rir = rir;
+        org.country = country_for(rir, i + 2);
+        org.is_broker = true;
+        if (i == 0) {
+          // The global IPXO-like facilitator: present in several RIRs with
+          // per-RIR org objects but one brand.
+          org.id = "ORG-IPXO-" + tag;
+          org.name = "IPXO LLC";
+          org.maintainer = "IPXO-MNT";
+          org.on_broker_list = rir == whois::Rir::kRipe ||
+                               rir == whois::Rir::kArin ||
+                               rir == whois::Rir::kApnic;
+          org.listed_name = "IPXO, L.L.C.";  // suffix-variant spelling
+        } else {
+          org.id = "ORG-BRK-" + tag + "-" + std::to_string(i);
+          org.name = tag + " Broker " + std::to_string(i) + " Ltd";
+          org.maintainer = "MNT-BRK-" + tag + "-" + std::to_string(i);
+          // Brokers are listed with varying fidelity: every third entry
+          // spells the legal suffix differently (fuzzy-match exercise).
+          org.on_broker_list = true;
+          org.listed_name =
+              i % 3 == 0
+                  ? tag + " Broker " + std::to_string(i) + " L.T.D."
+                  : org.name;
+        }
+        std::size_t org_index = add_org(org);
+        p.broker_orgs.push_back(org_index);
+
+        // Broker #1 doubles as an ISP (the broker-as-ISP filter, §5.3):
+        // give it an AS that will originate a few of its managed blocks.
+        if (i == 1) {
+          SimAs as;
+          as.asn = alloc.next_asn();
+          as.org_index = org_index;
+          as.rir = rir;
+          as.tier = AsTier::kTransit;
+          as.provider = random_of(p.transit);
+          p.transit.push_back(add_as(as));
+        }
+      }
+    }
+  }
+
+  // ---- phase 3: holders and their customer stubs --------------------
+
+  void build_holders() {
+    for (whois::Rir rir : whois::kAllRirs) {
+      const RirProfile& profile = config.profile(rir);
+      RirPools& p = pool(rir);
+      std::string tag = rir_tag(rir);
+      int holders = config.scaled(profile.holders);
+      for (int i = 0; i < holders; ++i) {
+        SimOrg org;
+        org.id = "ORG-H-" + tag + "-" + std::to_string(i);
+        org.name = tag + " Holder " + std::to_string(i);
+        org.maintainer = "MNT-H-" + tag + "-" + std::to_string(i);
+        org.rir = rir;
+        org.country = country_for(rir, i);
+        std::size_t org_index = add_org(org);
+        p.holders_orgs.push_back(org_index);
+
+        SimAs as;
+        as.asn = alloc.next_asn();
+        as.org_index = org_index;
+        as.rir = rir;
+        as.tier = AsTier::kHolder;
+        as.provider = random_of(p.transit);
+        std::size_t holder_as = add_as(as);
+
+        // A couple of reusable customer stubs per holder: they originate
+        // ISP-customer and delegated-customer leaves.
+        int stubs = static_cast<int>(rng.next_in(1, 3));
+        for (int s = 0; s < stubs; ++s) {
+          std::size_t stub_org = add_org(
+              {"ORG-C-" + tag + "-" + std::to_string(i) + "-" +
+                   std::to_string(s),
+               tag + " Customer " + std::to_string(i) + "." +
+                   std::to_string(s),
+               "MNT-C-" + tag + "-" + std::to_string(i) + "-" +
+                   std::to_string(s),
+               rir, org.country});
+          SimAs stub;
+          stub.asn = alloc.next_asn();
+          stub.org_index = stub_org;
+          stub.rir = rir;
+          stub.tier = AsTier::kStub;
+          stub.provider = asn_at(holder_as);
+          stubs_by_holder[asn_at(holder_as).value()].push_back(stub.asn);
+          p.stubs.push_back(add_as(stub));
+        }
+
+        // Some holders operate an affiliate AS registered under a separate
+        // WHOIS organisation (merger/acquisition residue) that as2org DOES
+        // link back — only the sibling check can relate it (ablation A2).
+        if (rng.chance(0.15)) {
+          std::size_t affiliate_org = add_org(
+              {"ORG-AFF-" + tag + "-" + std::to_string(i),
+               tag + " Holder " + std::to_string(i) + " Networks",
+               "MNT-AFF-" + tag + "-" + std::to_string(i), rir, org.country});
+          SimAs affiliate;
+          affiliate.asn = alloc.next_asn();
+          affiliate.org_index = affiliate_org;
+          affiliate.rir = rir;
+          affiliate.tier = AsTier::kStub;
+          affiliate.provider = random_of(p.transit);  // no edge to holder
+          affiliate.as2org_override = org_index;
+          affiliate_by_holder[asn_at(holder_as).value()] = affiliate.asn;
+          add_as(affiliate);
+        }
+      }
+    }
+  }
+
+  /// Customer stubs of a specific holder AS (provider edge).
+  const std::vector<Asn>& stubs_of(Asn holder) {
+    static const std::vector<Asn> kNone;
+    auto it = stubs_by_holder.find(holder.value());
+    return it == stubs_by_holder.end() ? kNone : it->second;
+  }
+
+  // ---- phase 4: allocation forest + leaf truth ----------------------
+
+  Asn pick_originator(whois::Rir rir, bool want_drop, bool want_hijacker) {
+    RirPools& p = pool(rir);
+    if (want_drop && !p.hosting_drop.empty()) {
+      return asn_at(p.hosting_drop[rng.next_below(p.hosting_drop.size())]);
+    }
+    if (want_hijacker) {
+      const auto& hij =
+          p.hosting_hijacker.empty() ? p.hosting_drop : p.hosting_hijacker;
+      if (!hij.empty()) return asn_at(hij[rng.next_below(hij.size())]);
+    }
+    // Heavy-tailed pick over the clean pool (M247-style concentration) —
+    // the pool is shared RIPE/ARIN-style by borrowing from RIPE's pool for
+    // a slice of picks, putting the same big originators in several RIRs.
+    const std::vector<std::size_t>* cleanpool = &p.hosting_clean;
+    if (rir != whois::Rir::kRipe && rng.chance(0.35)) {
+      cleanpool = &pool(whois::Rir::kRipe).hosting_clean;
+    }
+    if (cleanpool->empty()) cleanpool = &p.hosting_clean;
+    if (cleanpool->empty()) cleanpool = &p.hosting_hijacker;
+    std::size_t rank =
+        rng.next_zipf(cleanpool->size(), config.originator_zipf);
+    return asn_at((*cleanpool)[rank]);
+  }
+
+  std::size_t pick_facilitator(whois::Rir rir) {
+    RirPools& p = pool(rir);
+    if (rir == whois::Rir::kAfrinic) {
+      // Cloud-Innovation-style: the dominant AFRINIC holder facilitates
+      // its own leases. Favor the top holder org acting as facilitator.
+      if (rng.chance(0.7) && !p.holders_orgs.empty()) {
+        return p.holders_orgs[0];
+      }
+    }
+    std::size_t rank =
+        rng.next_zipf(p.broker_orgs.size(), config.facilitator_zipf);
+    return p.broker_orgs[rank];
+  }
+
+  void build_allocations() {
+    for (whois::Rir rir : whois::kAllRirs) {
+      build_rir_allocations(rir);
+    }
+  }
+
+  void build_rir_allocations(whois::Rir rir) {
+    const RirProfile& profile = config.profile(rir);
+    RirPools& p = pool(rir);
+
+    // Normalize Table 1 weights into per-leaf target counts.
+    int target = config.scaled(profile.leaves);
+    double wsum = profile.w_unused + profile.w_aggregated +
+                  profile.w_isp_customer + profile.w_leased_g3 +
+                  profile.w_delegated + profile.w_leased_g4;
+    auto count_for = [&](double w) {
+      return static_cast<long>(w / wsum * target + 0.5);
+    };
+    long n_unused = count_for(profile.w_unused);
+    long n_aggregated = count_for(profile.w_aggregated);
+    long n_ispc = count_for(profile.w_isp_customer);
+    long n_leased3 = count_for(profile.w_leased_g3);
+    long n_delegated = count_for(profile.w_delegated);
+    long n_leased4 = count_for(profile.w_leased_g4);
+
+    long dark_remaining = n_unused + n_ispc + n_leased3;
+    long lit_remaining = n_aggregated + n_delegated + n_leased4;
+
+    while (dark_remaining + lit_remaining > 0) {
+      bool dark = rng.next_below(
+                      static_cast<std::uint64_t>(dark_remaining +
+                                                 lit_remaining)) <
+                  static_cast<std::uint64_t>(dark_remaining);
+
+      // Root owned by a zipf-ranked holder; a configured share goes to the
+      // top holder outright (AFRINIC-style market dominance).
+      std::size_t holder_rank =
+          profile.top_holder_share > 0 && rng.chance(profile.top_holder_share)
+              ? 0
+              : rng.next_zipf(p.holders_orgs.size(), profile.holder_zipf);
+      std::size_t holder_org = p.holders_orgs[holder_rank];
+      SimRoot root;
+      root.prefix = alloc.next_root();
+      root.rir = rir;
+      root.holder_org = holder_org;
+      root.holder_asn = holder_asn_of(holder_org);
+      root.originated = !dark;
+      root.aggregated_announcement = !dark && rng.chance(0.08);
+      // Market-active (high-rank) holders disproportionately acquired
+      // their space on the transfer market.
+      double p_transfer = holder_rank < p.holders_orgs.size() / 8 + 1
+                              ? 0.45
+                              : 0.10;
+      if (rng.chance(p_transfer)) {
+        root.transferred = true;
+        root.transfer_date = config.snapshot_time -
+                             static_cast<std::uint32_t>(
+                                 rng.next_in(30, 3 * 365)) *
+                                 86400;
+        root.transfer_from_org =
+            "ORG-PREV-" + rir_tag(rir) + "-" +
+            std::to_string(world.roots.size());
+      }
+      std::size_t root_index = world.roots.size();
+      world.roots.push_back(root);
+
+      RootSlab slab(root.prefix);
+      int capacity = static_cast<int>(rng.next_in(6, 28));
+      for (int i = 0; i < capacity; ++i) {
+        long& side = dark ? dark_remaining : lit_remaining;
+        if (side == 0) break;
+        // Draw a category from this side's remaining counts.
+        long a = dark ? n_unused : n_aggregated;
+        long b = dark ? n_ispc : n_delegated;
+        long c = dark ? n_leased3 : n_leased4;
+        std::uint64_t pick =
+            rng.next_below(static_cast<std::uint64_t>(a + b + c));
+        // Space bought on the transfer market is bought to be leased out:
+        // steer lease draws toward transferred roots (global counts stay
+        // exact — only placement shifts).
+        if (root.transferred && c > 0 && rng.chance(0.5)) {
+          pick = static_cast<std::uint64_t>(a + b);  // the leased bucket
+        }
+        int leaf_len = rng.chance(0.8) ? 24 : static_cast<int>(rng.next_in(22, 23));
+        auto prefix = slab.carve(leaf_len);
+        if (!prefix) break;  // root full
+
+        SimLeaf leaf;
+        leaf.prefix = *prefix;
+        leaf.rir = rir;
+        leaf.root_index = root_index;
+        const SimOrg& holder = world.orgs[holder_org];
+
+        // Some customers register their own maintainer on their block —
+        // harmless to the BGP method, a false positive for the maintainer-
+        // comparison baseline (§6.1).
+        auto customer_maintainer = [&]() {
+          if (rng.chance(config.p_customer_own_maintainer)) {
+            return "MNT-CUST-" + rir_tag(rir) + "-" +
+                   std::to_string(world.leaves.size());
+          }
+          return holder.maintainer;
+        };
+
+        if (pick < static_cast<std::uint64_t>(a)) {
+          // unused / aggregated
+          leaf.truth = dark ? TruthCategory::kUnused
+                            : TruthCategory::kAggregatedCustomer;
+          leaf.maintainer = customer_maintainer();
+          (dark ? n_unused : n_aggregated) -= 1;
+        } else if (pick < static_cast<std::uint64_t>(a + b)) {
+          // isp customer / delegated customer
+          leaf.truth = dark ? TruthCategory::kIspCustomer
+                            : TruthCategory::kDelegatedCustomer;
+          auto affiliate = affiliate_by_holder.find(root.holder_asn.value());
+          if (affiliate != affiliate_by_holder.end() && rng.chance(0.3)) {
+            leaf.origin = affiliate->second;  // sibling-only relatedness
+          } else {
+            const auto& stubs = stubs_of(root.holder_asn);
+            leaf.origin = stubs.empty() ? root.holder_asn
+                                        : stubs[rng.next_below(stubs.size())];
+          }
+          leaf.maintainer = customer_maintainer();
+          (dark ? n_ispc : n_delegated) -= 1;
+        } else {
+          // leased
+          leaf.truth = TruthCategory::kLeased;
+          configure_lease(leaf, rir);
+          (dark ? n_leased3 : n_leased4) -= 1;
+        }
+        side -= 1;
+        world.leaves.push_back(std::move(leaf));
+      }
+    }
+  }
+
+  Asn holder_asn_of(std::size_t org_index) {
+    auto it = org_to_asn.find(org_index);
+    assert(it != org_to_asn.end() && "holder org without AS");
+    return it == org_to_asn.end() ? Asn(0) : it->second;
+  }
+
+  void configure_lease(SimLeaf& leaf, whois::Rir rir) {
+    bool brokered = rng.chance(config.p_lease_brokered);
+    if (brokered) {
+      std::size_t facilitator = pick_facilitator(rir);
+      leaf.facilitator_org = facilitator;
+      leaf.maintainer = world.orgs[facilitator].maintainer;
+    } else {
+      leaf.maintainer = world.orgs[world.roots[leaf.root_index].holder_org]
+                            .maintainer;
+    }
+    leaf.legacy = brokered && rng.chance(config.p_lease_legacy);
+    leaf.lease_active = !rng.chance(config.p_lease_inactive);
+    if (leaf.lease_active) {
+      bool drop = rng.chance(config.p_drop_origin_leased);
+      bool hijacker = drop || rng.chance(config.p_hijacker_origin_leased);
+      leaf.origin = pick_originator(rir, drop, hijacker);
+      leaf.late_origination = rng.chance(config.p_lease_late);
+    }
+  }
+
+  // ---- phase 4b: broker-as-ISP blocks --------------------------------
+
+  /// Broker #1 of each RIR also operates as an ISP: it holds a small root
+  /// and originates its customers' leaves itself. These blocks carry the
+  /// broker's maintainer but are NOT leases — the §5.3 manual filter
+  /// ("brokers that also served as ISPs") must remove them.
+  void build_broker_isp_blocks() {
+    for (whois::Rir rir : whois::kAllRirs) {
+      RirPools& p = pool(rir);
+      if (p.broker_orgs.size() < 2) continue;
+      std::size_t broker_org = p.broker_orgs[1];
+      auto it = org_to_asn.find(broker_org);
+      if (it == org_to_asn.end()) continue;
+      Asn broker_asn = it->second;
+
+      SimRoot root;
+      root.prefix = alloc.next_root();
+      root.rir = rir;
+      root.holder_org = broker_org;
+      root.holder_asn = broker_asn;
+      root.originated = false;  // dark root: only the leaves are announced
+      std::size_t root_index = world.roots.size();
+      world.roots.push_back(root);
+
+      RootSlab slab(root.prefix);
+      for (int i = 0; i < 6; ++i) {
+        auto prefix = slab.carve(24);
+        if (!prefix) break;
+        SimLeaf leaf;
+        leaf.prefix = *prefix;
+        leaf.rir = rir;
+        leaf.root_index = root_index;
+        leaf.truth = TruthCategory::kIspCustomer;
+        leaf.maintainer = world.orgs[broker_org].maintainer;
+        leaf.origin = broker_asn;
+        world.leaves.push_back(std::move(leaf));
+      }
+    }
+  }
+
+  // ---- phase 5: evaluation negatives (residential ISPs) --------------
+
+  void build_eval_negatives() {
+    struct IspSpec {
+      whois::Rir rir;
+      const char* name;
+      bool with_subsidiaries;
+    };
+    const std::array<IspSpec, 5> specs = {{
+        {whois::Rir::kRipe, "Orange S.A.", false},
+        {whois::Rir::kRipe, "Vodafone Group", true},  // the FP generator
+        {whois::Rir::kArin, "AT&T Services", false},
+        {whois::Rir::kArin, "Comcast Cable", false},
+        {whois::Rir::kApnic, "IIJ", false},
+    }};
+
+    int per_isp = config.scaled(config.eval_blocks_per_isp);
+    for (std::size_t spec_index = 0;
+         spec_index < static_cast<std::size_t>(config.eval_isp_count) &&
+         spec_index < specs.size();
+         ++spec_index) {
+      const IspSpec& spec = specs[spec_index];
+      std::string tag = rir_tag(spec.rir);
+      SimOrg org;
+      org.id = "ORG-ISP-" + tag + "-" + std::to_string(spec_index);
+      org.name = spec.name;
+      org.maintainer = "MNT-ISP-" + std::to_string(spec_index);
+      org.rir = spec.rir;
+      org.country = country_for(spec.rir, spec_index);
+      std::size_t org_index = add_org(org);
+      world.eval_isp_orgs.emplace_back(spec.rir, org.id);
+
+      SimAs as;
+      as.asn = alloc.next_asn();
+      as.org_index = org_index;
+      as.rir = spec.rir;
+      as.tier = AsTier::kTransit;
+      as.provider = random_of(tier1);
+      add_as(as);
+      Asn isp_asn = as.asn;
+
+      // Hidden subsidiaries: own org objects and ASes, no relationship
+      // edge to the parent, invisible siblings in as2org (paper §6.2).
+      std::vector<std::pair<std::size_t, Asn>> subsidiaries;
+      if (spec.with_subsidiaries) {
+        for (int s = 0; s < config.subsidiary_orgs; ++s) {
+          SimOrg sub;
+          sub.id = org.id + "-SUB" + std::to_string(s);
+          sub.name = std::string(spec.name) + " Subsidiary " +
+                     std::to_string(s);
+          sub.maintainer = org.maintainer;  // operated by the parent
+          sub.rir = spec.rir;
+          sub.country = country_for(spec.rir, s);
+          std::size_t sub_org = add_org(sub);
+          SimAs sub_as;
+          sub_as.asn = alloc.next_asn();
+          sub_as.org_index = sub_org;
+          sub_as.rir = spec.rir;
+          sub_as.tier = AsTier::kStub;
+          sub_as.provider = random_of(pool(spec.rir).transit);
+          add_as(sub_as);
+          subsidiaries.emplace_back(sub_org, sub_as.asn);
+          world.eval_isp_orgs.emplace_back(spec.rir, sub.id);
+        }
+      }
+
+      // The ISP's allocation: lit roots with customer leaves originated by
+      // the ISP's own AS (true negatives) or by a hidden subsidiary
+      // (false-positive bait).
+      int remaining = per_isp;
+      bool any_subsidiary_leaf = false;
+      while (remaining > 0) {
+        SimRoot root;
+        root.prefix = alloc.next_root();
+        root.rir = spec.rir;
+        root.holder_org = org_index;
+        root.holder_asn = isp_asn;
+        root.originated = true;
+        std::size_t root_index = world.roots.size();
+        world.roots.push_back(root);
+
+        RootSlab slab(root.prefix);
+        int capacity = static_cast<int>(rng.next_in(10, 30));
+        for (int i = 0; i < capacity && remaining > 0; ++i) {
+          auto prefix = slab.carve(24);
+          if (!prefix) break;
+          SimLeaf leaf;
+          leaf.prefix = *prefix;
+          leaf.rir = spec.rir;
+          leaf.root_index = root_index;
+          leaf.truth = TruthCategory::kDelegatedCustomer;
+          leaf.eval_negative = true;
+          leaf.maintainer = org.maintainer;
+          // The last leaf is forced through a subsidiary if none was drawn
+          // yet, so tiny worlds still contain the FP mechanism.
+          bool force_subsidiary =
+              !subsidiaries.empty() && !any_subsidiary_leaf && remaining == 1;
+          if (!subsidiaries.empty() &&
+              (force_subsidiary || rng.chance(config.p_subsidiary_origin))) {
+            const auto& [sub_org, sub_asn] =
+                subsidiaries[rng.next_below(subsidiaries.size())];
+            leaf.org_id = world.orgs[sub_org].id;
+            leaf.origin = sub_asn;
+            any_subsidiary_leaf = true;
+          } else {
+            leaf.org_id = org.id;
+            leaf.origin = isp_asn;
+          }
+          world.leaves.push_back(std::move(leaf));
+          --remaining;
+        }
+      }
+    }
+  }
+
+  // ---- phase 6: background routed prefixes ---------------------------
+
+  void build_background() {
+    for (whois::Rir rir : whois::kAllRirs) {
+      const RirProfile& profile = config.profile(rir);
+      RirPools& p = pool(rir);
+      int count = config.scaled(profile.background_prefixes);
+      for (int i = 0; i < count; ++i) {
+        BackgroundPrefix bg;
+        bg.prefix = alloc.next_background();
+        bool drop = rng.chance(config.p_drop_origin_background);
+        bool hijacker =
+            drop || rng.chance(config.p_hijacker_origin_background);
+        if (drop || hijacker) {
+          bg.origin = pick_originator(rir, drop, hijacker);
+        } else {
+          // Ordinary ISP space: transit, stubs, and holders all appear.
+          double dice = rng.next_double();
+          if (dice < 0.4 && !p.stubs.empty()) {
+            bg.origin = asn_at(p.stubs[rng.next_below(p.stubs.size())]);
+          } else if (dice < 0.7) {
+            bg.origin = asn_at(p.transit[rng.next_below(p.transit.size())]);
+          } else {
+            bg.origin = asn_at(
+                p.hosting_clean[rng.next_zipf(p.hosting_clean.size(), 1.0)]);
+          }
+        }
+        world.background.push_back(bg);
+      }
+    }
+  }
+
+  // ---- phase 7: aggregate announcements ------------------------------
+
+  void build_aggregates() {
+    for (SimRoot& root : world.roots) {
+      if (!root.aggregated_announcement) continue;
+      // Announce the covering /15 instead of the /16 itself.
+      auto covering = Prefix::make(root.prefix.network(), 15);
+      world.aggregates.push_back({*covering, root.holder_asn});
+    }
+  }
+
+  World finish() {
+    build_topology();
+    build_market();
+    build_holders();
+    build_allocations();
+    build_broker_isp_blocks();
+    build_eval_negatives();
+    build_background();
+    build_aggregates();
+    return std::move(world);
+  }
+};
+
+}  // namespace
+
+World build_world(const WorldConfig& config) {
+  config.validate();
+  Builder builder(config);
+  return builder.finish();
+}
+
+}  // namespace sublet::sim

@@ -1,0 +1,12 @@
+// World builder: grows a synthetic Internet from a WorldConfig.
+#pragma once
+
+#include "simnet/world.h"
+
+namespace sublet::sim {
+
+/// Deterministic for a given config (seed included). See config.h for the
+/// mechanisms each parameter drives.
+World build_world(const WorldConfig& config);
+
+}  // namespace sublet::sim

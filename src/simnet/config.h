@@ -1,0 +1,142 @@
+// Synthetic-world configuration.
+//
+// Defaults are tuned so the emitted world reproduces the *shape* of the
+// paper's April 2024 measurement at ~1/10 scale: per-RIR group mixes from
+// Table 1, broker-positive / ISP-negative evaluation labels with the FN/FP
+// mechanisms of §6.2, heavy-tailed holder/facilitator/originator markets
+// (Table 3, §6.3), and the §6.3/§6.4 abuse ratios. Scale knobs exist so
+// tests can run tiny worlds and ablations can stress single parameters.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "whoisdb/rir.h"
+
+namespace sublet::sim {
+
+/// Per-RIR scale and classification mix. Group weights are the paper's
+/// Table 1 counts (they are normalized internally, so any scale works).
+struct RirProfile {
+  int leaves = 0;              ///< non-portable leaf blocks to generate
+  double w_unused = 0;         ///< group 1
+  double w_aggregated = 0;     ///< group 2
+  double w_isp_customer = 0;   ///< group 3, related
+  double w_leased_g3 = 0;      ///< group 3, leased
+  double w_delegated = 0;      ///< group 4, related
+  double w_leased_g4 = 0;      ///< group 4, leased
+  int holders = 0;             ///< holder organisations
+  double holder_zipf = 1.1;    ///< root-ownership skew
+  /// Probability a root goes to holder #0 outright, before the zipf draw —
+  /// models Cloud Innovation's AFRINIC dominance (2,014 vs 38 leases).
+  double top_holder_share = 0.0;
+  int background_prefixes = 0; ///< non-leaf routed prefixes (ISP space)
+};
+
+struct WorldConfig {
+  std::uint64_t seed = 42;
+
+  /// Global multiplier on every per-RIR `leaves`/`background` count;
+  /// 1.0 = the ~1/10-of-paper default world, tests use ~0.01.
+  double scale = 1.0;
+
+  /// Group weights are Table 1 counts adjusted for inactive leases: the
+  /// paper's Unused/Aggregated rows *include* contracted-but-unrouted
+  /// leases (the classifier cannot see them), so the generator's leased
+  /// weights are inflated by 1/(1-p_lease_inactive) and the same mass is
+  /// taken back out of Unused (group 3 side) / Aggregated (group 4 side).
+  /// That way the classifier's output mix lands on Table 1 itself.
+  std::array<RirProfile, 5> rirs{
+      // leaves, unused, aggr, ispc, leas3, deleg, leas4,
+      //   holders, zipf, top-share, background
+      RirProfile{35575, 58186, 203954, 31484, 32258, 27610, 2255,
+                 320, 1.1, 0.0, 52000},  // RIPE
+      RirProfile{18689, 41639, 97162, 10302, 8069, 22927, 6787,
+                 200, 1.1, 0.0, 26000},  // ARIN
+      RirProfile{7019, 24766, 21484, 7725, 3946, 8291, 181,
+                 110, 1.1, 0.0, 11000},  // APNIC
+      RirProfile{4533, 28491, 1728, 777, 2617, 1236, 76,
+                 40, 1.4, 0.85, 2400},  // AFRINIC (Cloud-Innovation share)
+      RirProfile{4786, 27423, 11939, 2250, 755, 1294, 66,
+                 60, 1.1, 0.0, 4900},  // LACNIC
+  };
+
+  // ---- topology ----
+  int tier1_count = 8;
+  int transit_per_rir = 24;
+  int hosting_per_rir = 60;      ///< lease-originator pool
+  double originator_zipf = 1.25; ///< M247/Stark-style concentration
+
+  // ---- collectors ----
+  int collectors = 3;
+  int peers_per_collector = 2;
+  double collector_visibility = 0.97;  ///< per-collector prefix coverage
+  std::uint32_t snapshot_time = 1711929600;  ///< 2024-04-01T00:00:00Z
+  /// The paper collects BGP over April 1-15 "to capture leased prefixes
+  /// that were not immediately originated": each collector emits a second
+  /// snapshot 14 days later, and this fraction of active leases only
+  /// appears in that late snapshot.
+  double p_lease_late = 0.06;
+
+  // ---- leasing market ----
+  int brokers_per_rir = 10;
+  double facilitator_zipf = 1.3;   ///< IPXO-style concentration
+  double p_lease_inactive = 0.17;  ///< broker-managed lease not originated
+  double p_lease_legacy = 0.015;   ///< broker-managed block is legacy space
+  /// Fraction of genuine customer leaves (aggregated/ISP/delegated) that
+  /// register their own maintainer instead of the provider's — the false-
+  /// positive class the paper attributes to the maintainer-comparison
+  /// baseline (§6.1).
+  double p_customer_own_maintainer = 0.06;
+  /// Fraction of leased leaves carrying a broker (facilitator) maintainer;
+  /// the rest are direct holder->lessee leases (invisible to the broker-
+  /// based reference set, matching the paper's limited positive coverage).
+  double p_lease_brokered = 0.55;
+
+  // ---- evaluation negatives ----
+  int eval_isp_count = 5;          ///< residential ISP org groups
+  int eval_blocks_per_isp = 110;   ///< negative-label leaves per ISP
+  int subsidiary_orgs = 17;        ///< Vodafone-style hidden siblings
+  double p_subsidiary_origin = 0.12;  ///< negative leaf originated by one
+
+  // ---- abuse ----
+  double p_drop_origin_leased = 0.010;    ///< §6.4: ~1.1% of leases
+  double p_drop_origin_background = 0.002;  ///< 0.2% of non-leased
+  double p_hijacker_origin_leased = 0.133;  ///< §6.3: 13.3% of leases
+  double p_hijacker_origin_background = 0.031;
+  double p_roa_leased_clean = 0.62;   ///< ROA coverage of clean leases
+  double p_roa_leased_drop = 0.95;    ///< abusers create ROAs (§6.4)
+  double p_roa_background = 0.46;
+
+  // ---- geolocation databases (§8 consistency anecdote) ----
+  int geo_providers = 4;        ///< independent geolocation snapshots
+  double p_geo_updated = 0.5;   ///< provider tracked the lease (lessee cc)
+  double p_geo_noise = 0.02;    ///< provider has a plain-wrong answer
+
+  // ---- routing-table realism ----
+  double p_moas = 0.01;        ///< background prefixes with a second origin
+  double p_prepending = 0.08;  ///< paths with origin prepending
+  double p_as_set = 0.004;     ///< aggregated routes with a trailing AS_SET
+  double p_transit_peering = 0.15;  ///< extra p2p edges among transits
+
+  // ---- data-quality knobs (ablations) ----
+  double p_asrel_edge_dropped = 0.01;  ///< unobserved relationship edges
+  int hyper_specific_noise = 400;      ///< >/24 records to sprinkle in
+
+  /// Scale helper.
+  int scaled(int n) const {
+    int v = static_cast<int>(n * scale);
+    return v > 0 ? v : (n > 0 ? 1 : 0);
+  }
+
+  /// Throws std::invalid_argument when a knob is out of range (negative
+  /// scale, probabilities outside [0,1], empty topology). build_world()
+  /// calls this; call it yourself before shipping a config across an API.
+  void validate() const;
+
+  const RirProfile& profile(whois::Rir rir) const {
+    return rirs[static_cast<std::size_t>(rir)];
+  }
+};
+
+}  // namespace sublet::sim

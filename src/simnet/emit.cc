@@ -1,0 +1,598 @@
+#include "simnet/emit.h"
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "abuse/asn_lists.h"
+#include "asgraph/as2org.h"
+#include "asgraph/as_rel.h"
+#include "mrt/rib_file.h"
+#include "geo/geodb.h"
+#include "whoisdb/write.h"
+#include "rpki/archive.h"
+#include "transfers/transfer_log.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace sublet::sim {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  return out;
+}
+
+// ------------------------------------------------------------- WHOIS ------
+
+/// Status vocabulary per RIR and portability (paper §2.1).
+std::string status_text(whois::Rir rir, bool portable, bool legacy,
+                        bool assignment) {
+  if (legacy) return rir == whois::Rir::kArin ? "legacy" : "LEGACY";
+  switch (rir) {
+    case whois::Rir::kRipe:
+    case whois::Rir::kAfrinic:
+      if (portable) return "ALLOCATED PA";
+      return assignment ? "ASSIGNED PA" : "SUB-ALLOCATED PA";
+    case whois::Rir::kApnic:
+      if (portable) return "ALLOCATED PORTABLE";
+      return assignment ? "ASSIGNED NON-PORTABLE" : "ALLOCATED NON-PORTABLE";
+    case whois::Rir::kArin:
+      if (portable) return "Direct Allocation";
+      return assignment ? "Reassignment" : "Reallocation";
+    case whois::Rir::kLacnic:
+      if (portable) return "allocated";
+      return assignment ? "reassigned" : "reallocated";
+  }
+  return "?";
+}
+
+/// ARIN's managing handle is the OrgID itself; other RIRs use mnt-by.
+/// For ARIN/LACNIC the join handle goes into the block's org_id field and
+/// the maintainer list stays empty (whois::write_block then emits the
+/// right dialect fields).
+whois::InetBlock make_block(whois::Rir rir, const AddrRange& range,
+                            std::string netname, std::string status,
+                            const std::string& org_id,
+                            const std::string& maintainer,
+                            std::string country) {
+  whois::InetBlock block;
+  block.rir = rir;
+  block.range = range;
+  block.netname = std::move(netname);
+  block.status = std::move(status);
+  block.country = std::move(country);
+  if (rir == whois::Rir::kArin || rir == whois::Rir::kLacnic) {
+    block.org_id = org_id;
+  } else {
+    block.org_id = org_id;
+    if (!maintainer.empty()) block.maintainers = {maintainer};
+  }
+  return block;
+}
+
+void emit_whois(const World& world, const std::string& dir, Rng& rng) {
+  fs::create_directories(dir + "/whois");
+  for (whois::Rir rir : whois::kAllRirs) {
+    std::string path = dir + "/whois/" + to_lower(rir_name(rir)) + ".db";
+    auto out = open_out(path);
+    whois::write_db_header(out, rir);
+
+    // Organisations.
+    for (const SimOrg& org : world.orgs) {
+      if (org.rir != rir) continue;
+      whois::OrgRec rec;
+      rec.id = org.id;
+      rec.name = org.name;
+      rec.maintainers = {org.maintainer};
+      rec.country = org.country;
+      rec.rir = rir;
+      whois::write_org(out, rec);
+    }
+
+    // AS numbers.
+    for (const SimAs& as : world.ases) {
+      if (as.rir != rir) continue;
+      const SimOrg& org = world.org_of(as);
+      whois::AutNumRec rec;
+      rec.asn = as.asn;
+      rec.org_id = org.id;
+      rec.maintainers = {org.maintainer};
+      rec.rir = rir;
+      whois::write_autnum(out, rec, org.name);
+    }
+
+    // Roots.
+    for (std::size_t i = 0; i < world.roots.size(); ++i) {
+      const SimRoot& root = world.roots[i];
+      if (root.rir != rir) continue;
+      const SimOrg& holder = world.orgs[root.holder_org];
+      auto block = make_block(
+          rir, AddrRange{root.prefix.first(), root.prefix.last()},
+          "NET-ROOT-" + std::to_string(i),
+          status_text(rir, /*portable=*/true, root.legacy, false), holder.id,
+          holder.maintainer, holder.country);
+      whois::write_block(out, block, holder.name);
+    }
+
+    // Leaves.
+    for (std::size_t i = 0; i < world.leaves.size(); ++i) {
+      const SimLeaf& leaf = world.leaves[i];
+      if (leaf.rir != rir) continue;
+      const SimRoot& root = world.roots[leaf.root_index];
+      const SimOrg& holder = world.orgs[root.holder_org];
+      // The org field: customer org when known, broker org when the lease
+      // is brokered (ARIN/LACNIC join brokers through OrgID/ownerid).
+      std::string org_id;
+      if (!leaf.org_id.empty()) {
+        org_id = leaf.org_id;
+      } else if (leaf.facilitator_org) {
+        org_id = world.orgs[*leaf.facilitator_org].id;
+      }
+      auto block = make_block(
+          rir, AddrRange{leaf.prefix.first(), leaf.prefix.last()},
+          "NET-LEAF-" + std::to_string(i),
+          status_text(rir, /*portable=*/false, leaf.legacy,
+                      /*assignment=*/i % 3 != 0),
+          org_id, leaf.maintainer, holder.country);
+      whois::write_block(out, block, org_id.empty() ? holder.name : org_id);
+    }
+
+    // Hyper-specific noise (>/24 internal-infrastructure records).
+    std::vector<const SimRoot*> rir_roots;
+    for (const SimRoot& root : world.roots) {
+      if (root.rir == rir) rir_roots.push_back(&root);
+    }
+    int noise = rir_roots.empty()
+                    ? 0
+                    : world.config.scaled(world.config.hyper_specific_noise);
+    for (int i = 0; i < noise; ++i) {
+      const SimRoot& root = *rir_roots[rng.next_below(rir_roots.size())];
+      std::uint32_t base = root.prefix.network().value() +
+                           static_cast<std::uint32_t>(
+                               rng.next_below(root.prefix.size() - 16));
+      base &= ~0xFu;  // /28 aligned
+      const SimOrg& holder = world.orgs[root.holder_org];
+      auto block = make_block(
+          rir, AddrRange{Ipv4Addr(base), Ipv4Addr(base + 15)},
+          "NET-INFRA-" + std::to_string(i), status_text(rir, false, false, true),
+          rir == whois::Rir::kArin || rir == whois::Rir::kLacnic ? holder.id
+                                                                 : "",
+          holder.maintainer, holder.country);
+      whois::write_block(out, block, holder.name);
+    }
+  }
+}
+
+// --------------------------------------------------------------- BGP ------
+
+/// Index of ASes by number (World::find_as is a linear scan).
+std::unordered_map<std::uint32_t, const SimAs*> as_index(const World& world) {
+  std::unordered_map<std::uint32_t, const SimAs*> out;
+  out.reserve(world.ases.size());
+  for (const SimAs& as : world.ases) out.emplace(as.asn.value(), &as);
+  return out;
+}
+
+/// Provider chain from `origin` up to (and including) its tier-1.
+std::vector<Asn> chain_to_tier1(
+    const std::unordered_map<std::uint32_t, const SimAs*>& index,
+    Asn origin) {
+  std::vector<Asn> chain = {origin};
+  auto it = index.find(origin.value());
+  const SimAs* as = it == index.end() ? nullptr : it->second;
+  int guard = 0;
+  while (as && as->provider && ++guard < 16) {
+    chain.push_back(*as->provider);
+    auto next = index.find(as->provider->value());
+    as = next == index.end() ? nullptr : next->second;
+  }
+  return chain;  // origin first, tier1 last
+}
+
+struct RouteEntryPlan {
+  Prefix prefix;
+  Asn origin;
+  bool late = false;  ///< only present in the day-15 snapshot
+  std::optional<Asn> second_origin;  ///< MOAS: a second concurrent origin
+  bool as_set = false;  ///< announced as an aggregate with a trailing AS_SET
+};
+
+void emit_bgp(const World& world, const std::string& dir, Rng& rng) {
+  fs::create_directories(dir + "/bgp");
+  const WorldConfig& cfg = world.config;
+
+  // The routed table: lit roots (exact or aggregate), active leaves,
+  // background.
+  std::vector<RouteEntryPlan> routes;
+  for (const SimRoot& root : world.roots) {
+    if (root.originated && !root.aggregated_announcement) {
+      routes.push_back({root.prefix, root.holder_asn});
+    }
+  }
+  for (const BackgroundPrefix& agg : world.aggregates) {
+    routes.push_back({agg.prefix, agg.origin});
+  }
+  for (const SimLeaf& leaf : world.leaves) {
+    if (leaf.origin) {
+      routes.push_back({leaf.prefix, *leaf.origin, leaf.late_origination});
+    }
+  }
+  // Background prefixes pick up routing-table noise: a small share are
+  // MOAS (anycast / multi-site origination), some as AS_SET aggregates.
+  std::vector<Asn> moas_pool;
+  for (const SimAs& as : world.ases) {
+    if (as.tier == AsTier::kTransit || as.tier == AsTier::kStub) {
+      moas_pool.push_back(as.asn);
+    }
+  }
+  for (const BackgroundPrefix& bg : world.background) {
+    RouteEntryPlan plan{bg.prefix, bg.origin};
+    if (!moas_pool.empty() && rng.chance(cfg.p_moas)) {
+      plan.second_origin = moas_pool[rng.next_below(moas_pool.size())];
+      plan.as_set = rng.chance(0.4);
+    }
+    routes.push_back(plan);
+  }
+
+  // Cache provider chains per origin.
+  auto index = as_index(world);
+  std::map<std::uint32_t, std::vector<Asn>> chains;
+  auto chain_of = [&](Asn origin) -> const std::vector<Asn>& {
+    auto [it, inserted] = chains.try_emplace(origin.value());
+    if (inserted) it->second = chain_to_tier1(index, origin);
+    return it->second;
+  };
+
+  // Tier-1 peers: each collector picks peers_per_collector of them.
+  std::vector<Asn> tier1s;
+  for (const SimAs& as : world.ases) {
+    if (as.tier == AsTier::kTier1) tier1s.push_back(as.asn);
+  }
+
+  // Two snapshots per collector: day 1 (t0) excludes late-originating
+  // leases, day 15 (t1) has everything — the paper's observation window.
+  for (int c = 0; c < cfg.collectors; ++c) {
+    for (int day = 0; day < 2; ++day) {
+      mrt::RibSnapshot snap;
+      snap.timestamp = cfg.snapshot_time +
+                       static_cast<std::uint32_t>(c) * 900 +
+                       static_cast<std::uint32_t>(day) * 14 * 86400;
+      snap.peer_table.collector_bgp_id =
+          Ipv4Addr(0xC6336401u + static_cast<std::uint32_t>(c));
+      snap.peer_table.view_name = "collector-" + std::to_string(c) + ".sim";
+      std::vector<Asn> peers;
+      for (int k = 0; k < cfg.peers_per_collector; ++k) {
+        Asn peer =
+            tier1s[(static_cast<std::size_t>(c) *
+                        static_cast<std::size_t>(cfg.peers_per_collector) +
+                    static_cast<std::size_t>(k)) %
+                   tier1s.size()];
+        peers.push_back(peer);
+        snap.peer_table.peers.push_back(
+            {Ipv4Addr(0x0A000000u + static_cast<std::uint32_t>(peer.value())),
+             Ipv4Addr(0xCB007100u + static_cast<std::uint32_t>(k)),
+             peer});
+      }
+
+      for (const RouteEntryPlan& route : routes) {
+        if (day == 0 && route.late) continue;
+        // Collector dropout is a property of the (collector, prefix) pair:
+        // a vantage point that cannot see a prefix on day 1 cannot see it
+        // on day 15 either (stable per-collector blind spots).
+        std::uint64_t blind = world.config.seed ^
+                              (static_cast<std::uint64_t>(c + 1) << 40) ^
+                              ((static_cast<std::uint64_t>(
+                                    route.prefix.network().value())
+                                << 8) |
+                               static_cast<std::uint64_t>(
+                                   route.prefix.length()));
+        if (static_cast<double>(splitmix64(blind)) /
+                static_cast<double>(UINT64_MAX) >
+            cfg.collector_visibility) {
+          continue;
+        }
+        mrt::RibPrefixRecord rec;
+        rec.prefix = route.prefix;
+        for (std::size_t k = 0; k < peers.size(); ++k) {
+          // MOAS: alternate the origin different peers see.
+          Asn origin = route.origin;
+          if (route.second_origin && !route.as_set && k % 2 == 1) {
+            origin = *route.second_origin;
+          }
+          const std::vector<Asn>& chain = chain_of(origin);
+          mrt::RibEntry entry;
+          entry.peer_index = static_cast<std::uint16_t>(k);
+          entry.originated_time = snap.timestamp - 86400;
+          entry.attributes.origin = mrt::BgpOrigin::kIgp;
+          mrt::AsPathSegment seg;
+          seg.type = mrt::AsPathSegmentType::kAsSequence;
+          seg.asns.push_back(peers[k]);
+          // Chain is origin..tier1; walk down from the top. Skip the
+          // origin-side tier1 if it is the peer itself.
+          for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+            if (*it == peers[k]) continue;
+            seg.asns.push_back(*it);
+          }
+          if (route.as_set && route.second_origin) {
+            // Aggregate: the sequence stops at the aggregator and the
+            // origins ride in a trailing AS_SET.
+            seg.asns.pop_back();
+            entry.attributes.atomic_aggregate = true;
+            mrt::AsPathSegment set;
+            set.type = mrt::AsPathSegmentType::kAsSet;
+            set.asns = {origin, *route.second_origin};
+            entry.attributes.as_path.segments.push_back(std::move(seg));
+            entry.attributes.as_path.segments.push_back(std::move(set));
+          } else {
+            // Traffic engineering: some origins prepend themselves.
+            if (rng.chance(cfg.p_prepending)) {
+              int extra = static_cast<int>(rng.next_in(1, 2));
+              for (int r = 0; r < extra; ++r) seg.asns.push_back(origin);
+            }
+            entry.attributes.as_path.segments.push_back(std::move(seg));
+          }
+          entry.attributes.next_hop =
+              Ipv4Addr(0xCB007100u + static_cast<std::uint32_t>(k));
+          rec.entries.push_back(std::move(entry));
+        }
+        snap.records.push_back(std::move(rec));
+      }
+      std::sort(
+          snap.records.begin(), snap.records.end(),
+          [](const mrt::RibPrefixRecord& a, const mrt::RibPrefixRecord& b) {
+            return a.prefix < b.prefix;
+          });
+      mrt::write_rib_file(dir + "/bgp/rib." + std::to_string(c) + ".t" +
+                              std::to_string(day) + ".mrt",
+                          snap);
+    }
+  }
+}
+
+// -------------------------------------------------------------- RPKI ------
+
+void emit_rpki(const World& world, const std::string& dir, Rng& rng) {
+  const WorldConfig& cfg = world.config;
+  rpki::VrpSet vrps;
+  auto index = as_index(world);
+
+  for (const SimLeaf& leaf : world.leaves) {
+    if (!leaf.origin) continue;
+    double p_roa;
+    if (leaf.truth == TruthCategory::kLeased) {
+      auto it = index.find(leaf.origin->value());
+      const SimAs* as = it == index.end() ? nullptr : it->second;
+      bool drop = as && as->drop_listed;
+      p_roa = drop ? cfg.p_roa_leased_drop : cfg.p_roa_leased_clean;
+    } else {
+      p_roa = cfg.p_roa_background;
+    }
+    if (rng.chance(p_roa)) {
+      vrps.add({leaf.prefix, leaf.prefix.length(), *leaf.origin});
+    }
+  }
+  for (const SimRoot& root : world.roots) {
+    if (root.originated && rng.chance(0.5)) {
+      vrps.add({root.prefix, root.prefix.length(), root.holder_asn});
+    }
+  }
+  for (const BackgroundPrefix& bg : world.background) {
+    if (rng.chance(cfg.p_roa_background)) {
+      vrps.add({bg.prefix, bg.prefix.length(), bg.origin});
+    }
+  }
+
+  rpki::RpkiArchive archive;
+  archive.add_snapshot(cfg.snapshot_time, vrps.clone());
+  archive.add_snapshot(cfg.snapshot_time + 14 * 86400, std::move(vrps));
+  archive.save_directory(dir + "/rpki");
+}
+
+// ---------------------------------------------------------- AS graph ------
+
+void emit_asgraph(const World& world, const std::string& dir, Rng& rng) {
+  fs::create_directories(dir + "/asgraph");
+  const WorldConfig& cfg = world.config;
+
+  // Observed relationships: true provider edges with dropout, plus the
+  // tier-1 mesh (always observed — those edges are massively visible).
+  asgraph::AsRelationships observed;
+  std::vector<Asn> tier1s;
+  for (const SimAs& as : world.ases) {
+    if (as.tier == AsTier::kTier1) tier1s.push_back(as.asn);
+    if (as.provider && !rng.chance(cfg.p_asrel_edge_dropped)) {
+      observed.add_p2c(*as.provider, as.asn);
+    }
+  }
+  for (std::size_t i = 0; i < tier1s.size(); ++i) {
+    for (std::size_t j = i + 1; j < tier1s.size(); ++j) {
+      observed.add_p2p(tier1s[i], tier1s[j]);
+    }
+  }
+  auto rel_out = open_out(dir + "/asgraph/as-rel.txt");
+  observed.write(rel_out);
+
+  asgraph::As2Org as2org;
+  for (const SimAs& as : world.ases) {
+    const SimOrg& org = as.as2org_override
+                            ? world.orgs[*as.as2org_override]
+                            : world.org_of(as);
+    as2org.add_mapping(as.asn, org.id, "AS-" + std::to_string(as.asn.value()));
+  }
+  for (const SimOrg& org : world.orgs) {
+    as2org.add_org(org.id, org.name, org.country);
+  }
+  auto org_out = open_out(dir + "/asgraph/as2org.txt");
+  as2org.write(org_out);
+}
+
+// -------------------------------------------------------------- lists -----
+
+void emit_lists(const World& world, const std::string& dir) {
+  fs::create_directories(dir + "/lists");
+
+  abuse::AsnSet drop, hijackers;
+  for (const SimAs& as : world.ases) {
+    if (as.drop_listed) drop.add(as.asn);
+    if (as.hijacker) hijackers.add(as.asn);
+  }
+  {
+    auto out = open_out(dir + "/lists/asn-drop.json");
+    drop.write_drop(out);
+  }
+  {
+    auto out = open_out(dir + "/lists/serial-hijackers.txt");
+    hijackers.write_plain(out);
+  }
+
+  for (whois::Rir rir : whois::kAllRirs) {
+    std::vector<std::string> names;
+    for (const SimOrg& org : world.orgs) {
+      if (org.rir == rir && org.on_broker_list) {
+        names.push_back(org.listed_name.empty() ? org.name : org.listed_name);
+      }
+    }
+    if (names.empty()) continue;
+    // A few registered brokers have no database presence (the paper's 30
+    // unmatched RIPE brokers).
+    names.push_back("Phantom Address Partners LLC");
+    names.push_back("Unregistered IP Ventures Ltd");
+    auto out = open_out(dir + "/lists/brokers-" +
+                        to_lower(rir_name(rir)) + ".txt");
+    out << "# registered IP brokers (" << rir_name(rir) << ")\n";
+    for (const std::string& name : names) out << name << "\n";
+  }
+
+  // Transfer log: blocks that changed hands before the measurement.
+  transfers::TransferLog transfer_log;
+  for (const SimRoot& root : world.roots) {
+    if (!root.transferred) continue;
+    transfer_log.add({root.transfer_date, root.rir, root.prefix,
+                      root.transfer_from_org,
+                      world.orgs[root.holder_org].id,
+                      transfers::TransferType::kMarket});
+  }
+  {
+    auto out = open_out(dir + "/lists/transfers.txt");
+    transfer_log.write(out);
+  }
+
+  auto isp_out = open_out(dir + "/lists/eval-isp-orgs.txt");
+  isp_out << "# negative-label ISP organisations: <RIR>|<org-id>\n";
+  for (const auto& [rir, org_id] : world.eval_isp_orgs) {
+    isp_out << rir_name(rir) << '|' << org_id << '\n';
+  }
+}
+
+// ---------------------------------------------------------------- geo -----
+
+void emit_geo(const World& world, const std::string& dir, Rng& rng) {
+  fs::create_directories(dir + "/geo");
+  const WorldConfig& cfg = world.config;
+  auto index = as_index(world);
+
+  // A noise pool of plausible country codes.
+  static constexpr std::array<const char*, 10> kNoise = {
+      "US", "BR", "DE", "JP", "ZA", "IN", "FR", "KR", "MX", "NL"};
+
+  auto country_of_asn = [&](Asn asn) -> std::string {
+    auto it = index.find(asn.value());
+    if (it == index.end()) return {};
+    return world.orgs[it->second->org_index].country;
+  };
+
+  std::vector<geo::GeoDb> databases;
+  for (int p = 0; p < cfg.geo_providers; ++p) {
+    databases.emplace_back("provider-" + std::to_string(p));
+  }
+
+  auto place = [&](const Prefix& prefix, const std::string& registry_cc,
+                   const std::string& user_cc) {
+    for (geo::GeoDb& db : databases) {
+      std::string answer;
+      if (rng.chance(cfg.p_geo_noise)) {
+        answer = kNoise[rng.next_below(kNoise.size())];
+      } else if (!user_cc.empty() && user_cc != registry_cc &&
+                 rng.chance(cfg.p_geo_updated)) {
+        answer = user_cc;  // this provider tracked where the lessee is
+      } else {
+        answer = registry_cc;
+      }
+      if (!answer.empty()) db.add(prefix, answer);
+    }
+  };
+
+  for (const SimLeaf& leaf : world.leaves) {
+    const SimOrg& holder = world.orgs[world.roots[leaf.root_index].holder_org];
+    std::string user_cc;
+    if (leaf.truth == TruthCategory::kLeased && leaf.origin) {
+      user_cc = country_of_asn(*leaf.origin);
+    }
+    place(leaf.prefix, holder.country, user_cc);
+  }
+  for (const BackgroundPrefix& bg : world.background) {
+    place(bg.prefix, country_of_asn(bg.origin), {});
+  }
+
+  for (const geo::GeoDb& db : databases) {
+    auto out = open_out(dir + "/geo/" + db.provider() + ".csv");
+    db.write_csv(out);
+  }
+}
+
+// -------------------------------------------------------------- truth -----
+
+void emit_truth(const World& world, const std::string& dir) {
+  fs::create_directories(dir + "/truth");
+  auto out = open_out(dir + "/truth/leases.csv");
+  CsvWriter csv(out);
+  csv.write_row({"prefix", "rir", "truth", "is_leased", "active",
+                 "holder_org", "facilitator_org", "origin_asn",
+                 "eval_negative", "legacy", "late"});
+  for (const SimLeaf& leaf : world.leaves) {
+    const SimRoot& root = world.roots[leaf.root_index];
+    csv.write_row({
+        leaf.prefix.to_string(),
+        std::string(rir_name(leaf.rir)),
+        std::string(truth_name(leaf.truth)),
+        leaf.truth == TruthCategory::kLeased ? "1" : "0",
+        leaf.lease_active ? "1" : "0",
+        world.orgs[root.holder_org].id,
+        leaf.facilitator_org ? world.orgs[*leaf.facilitator_org].id : "",
+        leaf.origin ? std::to_string(leaf.origin->value()) : "",
+        leaf.eval_negative ? "1" : "0",
+        leaf.legacy ? "1" : "0",
+        leaf.late_origination ? "1" : "0",
+    });
+  }
+}
+
+}  // namespace
+
+void emit_world(const World& world, const std::string& dir) {
+  fs::create_directories(dir);
+  Rng rng(world.config.seed ^ 0xE317AA5ED1CEull);
+  Rng whois_rng = rng.fork(1);
+  Rng bgp_rng = rng.fork(2);
+  Rng rpki_rng = rng.fork(3);
+  Rng graph_rng = rng.fork(4);
+  Rng geo_rng = rng.fork(5);
+  emit_whois(world, dir, whois_rng);
+  emit_bgp(world, dir, bgp_rng);
+  emit_rpki(world, dir, rpki_rng);
+  emit_asgraph(world, dir, graph_rng);
+  emit_lists(world, dir);
+  emit_geo(world, dir, geo_rng);
+  emit_truth(world, dir);
+}
+
+}  // namespace sublet::sim

@@ -1,0 +1,19 @@
+// World emission: serialize a World into the on-disk dataset bundle the
+// pipeline consumes (leasing/dataset.h layout). Every emitter writes the
+// real dialect: RPSL / ARIN bulk / LACNIC WHOIS, binary MRT TABLE_DUMP_V2,
+// routinator-style VRP CSV, serial-1 AS relationships, CAIDA as2org,
+// Spamhaus JSON Lines.
+#pragma once
+
+#include <string>
+
+#include "simnet/world.h"
+
+namespace sublet::sim {
+
+/// Write the full bundle under `dir` (created if needed):
+///   whois/, bgp/, rpki/, asgraph/, lists/, truth/.
+/// Deterministic for a given world. Throws std::runtime_error on I/O error.
+void emit_world(const World& world, const std::string& dir);
+
+}  // namespace sublet::sim

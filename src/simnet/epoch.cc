@@ -1,0 +1,66 @@
+#include "simnet/epoch.h"
+
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace sublet::sim {
+
+World advance_epoch(const World& world, const EpochOptions& options) {
+  World next = world;
+  Rng rng(world.config.seed ^ (0xEE0C4ull * (options.epoch + 1)));
+
+  // Hosting pools per RIR for re-leasing, from the fixed AS population.
+  std::unordered_map<int, std::vector<Asn>> hosting;
+  for (const SimAs& as : next.ases) {
+    if (as.tier == AsTier::kHosting) {
+      hosting[static_cast<int>(as.rir)].push_back(as.asn);
+    }
+  }
+  auto pick_host = [&](whois::Rir rir) {
+    auto& pool = hosting[static_cast<int>(rir)];
+    return pool[rng.next_zipf(pool.size(),
+                              world.config.originator_zipf)];
+  };
+
+  // Broker orgs per RIR for newly brokered leases.
+  std::unordered_map<int, std::vector<std::size_t>> brokers;
+  for (std::size_t i = 0; i < next.orgs.size(); ++i) {
+    if (next.orgs[i].is_broker) {
+      brokers[static_cast<int>(next.orgs[i].rir)].push_back(i);
+    }
+  }
+
+  for (SimLeaf& leaf : next.leaves) {
+    if (leaf.eval_negative) continue;
+    if (leaf.truth == TruthCategory::kLeased && leaf.lease_active &&
+        leaf.origin) {
+      if (rng.chance(options.p_lease_end)) {
+        // Lease ends: the prefix is withdrawn and sits idle.
+        leaf.lease_active = false;
+        leaf.origin.reset();
+        leaf.late_origination = false;
+      } else if (rng.chance(options.p_lease_change)) {
+        Asn previous = *leaf.origin;
+        Asn replacement = pick_host(leaf.rir);
+        if (replacement != previous) leaf.origin = replacement;
+      }
+    } else if (leaf.truth == TruthCategory::kUnused &&
+               rng.chance(options.p_new_lease)) {
+      // Fresh lease on idle space; the new-lease market is broker-heavy.
+      leaf.truth = TruthCategory::kLeased;
+      leaf.lease_active = true;
+      leaf.origin = pick_host(leaf.rir);
+      auto& pool = brokers[static_cast<int>(leaf.rir)];
+      if (!pool.empty() && rng.chance(0.8)) {
+        std::size_t broker = pool[rng.next_zipf(
+            pool.size(), world.config.facilitator_zipf)];
+        leaf.facilitator_org = broker;
+        leaf.maintainer = next.orgs[broker].maintainer;
+      }
+    }
+  }
+  return next;
+}
+
+}  // namespace sublet::sim

@@ -1,0 +1,26 @@
+// Epoch advancement: evolve a world by one measurement interval.
+//
+// Drives the market-dynamics experiment (leasing/churn.h): between two
+// monthly snapshots some leases end (the space goes dark or returns to the
+// holder), some move to a new lessee (short-term VPN/BYOIP cycling), and
+// previously idle sub-allocations get leased out.
+#pragma once
+
+#include "simnet/world.h"
+
+namespace sublet::sim {
+
+struct EpochOptions {
+  double p_lease_end = 0.10;     ///< active lease ends (block goes dark)
+  double p_lease_change = 0.12;  ///< active lease moves to a new lessee
+  double p_new_lease = 0.035;    ///< unused leaf becomes a (brokered) lease
+  std::uint64_t epoch = 1;       ///< stirred into the RNG stream
+};
+
+/// Return a copy of `world` advanced by one epoch. Deterministic for
+/// (world.config.seed, options.epoch). Only lease state changes: topology,
+/// organisations, and the allocation forest stay fixed — exactly what a
+/// month of market activity looks like in the registries.
+World advance_epoch(const World& world, const EpochOptions& options = {});
+
+}  // namespace sublet::sim

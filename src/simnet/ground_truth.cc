@@ -1,0 +1,62 @@
+#include "simnet/ground_truth.h"
+
+#include <stdexcept>
+
+#include "util/csv.h"
+
+namespace sublet::sim {
+
+GroundTruth GroundTruth::load(const std::string& dataset_dir) {
+  auto table = read_delimited_file(dataset_dir + "/truth/leases.csv");
+  GroundTruth truth;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const auto& row = table[i];
+    if (i == 0 && !row.empty() && row[0] == "prefix") continue;  // header
+    if (row.size() < 11) {
+      throw std::runtime_error("malformed truth row in " + dataset_dir);
+    }
+    TruthRow out;
+    auto prefix = Prefix::parse(row[0]);
+    auto rir = whois::rir_from_name(row[1]);
+    if (!prefix || !rir) {
+      throw std::runtime_error("bad truth prefix/rir: " + row[0]);
+    }
+    out.prefix = *prefix;
+    out.rir = *rir;
+    out.truth = row[2];
+    out.is_leased = row[3] == "1";
+    out.active = row[4] == "1";
+    out.holder_org = row[5];
+    out.facilitator_org = row[6];
+    if (!row[7].empty()) out.origin = Asn::parse(row[7]);
+    out.eval_negative = row[8] == "1";
+    out.legacy = row[9] == "1";
+    out.late = row[10] == "1";
+    truth.index_.emplace(out.prefix, truth.rows_.size());
+    truth.rows_.push_back(std::move(out));
+  }
+  return truth;
+}
+
+const TruthRow* GroundTruth::find(const Prefix& prefix) const {
+  auto it = index_.find(prefix);
+  return it == index_.end() ? nullptr : &rows_[it->second];
+}
+
+std::size_t GroundTruth::leased_count() const {
+  std::size_t count = 0;
+  for (const TruthRow& row : rows_) {
+    if (row.is_leased) ++count;
+  }
+  return count;
+}
+
+std::size_t GroundTruth::active_leased_count() const {
+  std::size_t count = 0;
+  for (const TruthRow& row : rows_) {
+    if (row.is_leased && row.active) ++count;
+  }
+  return count;
+}
+
+}  // namespace sublet::sim

@@ -1,0 +1,49 @@
+// Ground-truth access for evaluation harnesses.
+//
+// The truth CSV is written by emit_world() into <dir>/truth/leases.csv and
+// is consumed ONLY by benches/tests scoring the pipeline — never by the
+// pipeline itself (DESIGN.md §5.5).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netbase/asn.h"
+#include "netbase/ipv4.h"
+#include "whoisdb/rir.h"
+
+namespace sublet::sim {
+
+struct TruthRow {
+  Prefix prefix;
+  whois::Rir rir = whois::Rir::kRipe;
+  std::string truth;        ///< truth_name() string
+  bool is_leased = false;
+  bool active = true;
+  std::string holder_org;
+  std::string facilitator_org;
+  std::optional<Asn> origin;
+  bool eval_negative = false;
+  bool legacy = false;
+  bool late = false;  ///< only announced late in the observation window
+};
+
+class GroundTruth {
+ public:
+  /// Load <dir>/truth/leases.csv. Throws on missing/corrupt file.
+  static GroundTruth load(const std::string& dataset_dir);
+
+  const std::vector<TruthRow>& rows() const { return rows_; }
+  const TruthRow* find(const Prefix& prefix) const;
+
+  std::size_t leased_count() const;
+  std::size_t active_leased_count() const;
+
+ private:
+  std::vector<TruthRow> rows_;
+  std::unordered_map<Prefix, std::size_t, PrefixHash> index_;
+};
+
+}  // namespace sublet::sim

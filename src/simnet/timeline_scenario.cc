@@ -1,0 +1,97 @@
+#include "simnet/timeline_scenario.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "mrt/bgp4mp.h"
+
+namespace sublet::sim {
+
+namespace {
+constexpr std::uint32_t kMonth = 30 * 86400;
+}
+
+TimelineScenario build_timeline_scenario(const TimelineOptions& options) {
+  TimelineScenario scenario;
+  scenario.prefix = *Prefix::parse("213.210.33.0/24");
+  scenario.start = options.start;
+  scenario.end = options.start + options.months * kMonth;
+
+  // Script: lease(lessee[i]) for months_per_lease, then AS0 quarantine.
+  struct Phase {
+    Asn asn;
+    bool quarantine;
+  };
+  std::vector<Phase> schedule;
+  for (std::uint32_t lessee : options.lessees) {
+    for (std::uint32_t m = 0; m < options.months_per_lease; ++m) {
+      schedule.push_back({Asn(lessee), false});
+    }
+    for (std::uint32_t m = 0; m < options.quarantine_months; ++m) {
+      schedule.push_back({Asn(0), true});
+    }
+  }
+
+  Asn current_truth_asn;
+  bool have_period = false;
+  for (std::uint32_t month = 0; month < options.months; ++month) {
+    std::uint32_t ts = options.start + month * kMonth;
+    const Phase& phase = schedule[month % schedule.size()];
+
+    rpki::VrpSet vrps;
+    vrps.add({scenario.prefix, scenario.prefix.length(), phase.asn});
+    scenario.archive.add_snapshot(ts, std::move(vrps));
+
+    // BGP: the lessee originates during a lease; nothing is announced
+    // during AS0 quarantine (the ROA keeps squatters RPKI-invalid).
+    if (phase.quarantine) {
+      scenario.bgp_history.push_back({ts, {}});
+    } else {
+      scenario.bgp_history.push_back({ts, {phase.asn}});
+    }
+
+    // Truth periods.
+    if (!have_period || current_truth_asn != phase.asn) {
+      scenario.truth.push_back({ts, ts, phase.asn});
+      current_truth_asn = phase.asn;
+      have_period = true;
+    } else {
+      scenario.truth.back().end = ts;
+    }
+  }
+  return scenario;
+}
+
+void write_updates_mrt(const TimelineScenario& scenario,
+                       const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  mrt::MrtWriter writer(out);
+
+  const Asn collector_peer(65000);
+  for (const auto& [ts, origins] : scenario.bgp_history) {
+    mrt::Bgp4mpMessage msg;
+    msg.peer_asn = collector_peer;
+    msg.local_asn = Asn(65001);
+    msg.peer_ip = *Ipv4Addr::parse("203.0.113.1");
+    msg.local_ip = *Ipv4Addr::parse("203.0.113.2");
+    msg.type = mrt::BgpMessageType::kUpdate;
+    if (origins.empty()) {
+      msg.withdrawn = {scenario.prefix};
+    } else {
+      msg.announced = {scenario.prefix};
+      msg.attributes.origin = mrt::BgpOrigin::kIgp;
+      mrt::AsPathSegment seg;
+      seg.type = mrt::AsPathSegmentType::kAsSequence;
+      seg.asns.push_back(collector_peer);
+      seg.asns.insert(seg.asns.end(), origins.begin(), origins.end());
+      msg.attributes.as_path.segments.push_back(std::move(seg));
+      msg.attributes.next_hop = msg.peer_ip;
+    }
+    writer.write(ts, mrt::MrtType::kBgp4mp,
+                 static_cast<std::uint16_t>(mrt::Bgp4mpSubtype::kMessageAs4),
+                 mrt::encode_bgp4mp(msg, mrt::Bgp4mpSubtype::kMessageAs4));
+  }
+}
+
+}  // namespace sublet::sim

@@ -1,0 +1,45 @@
+// Figure 3 scenario: the two-year RPKI + BGP history of one facilitator-
+// managed prefix cycling through successive lessees, with AS0 ROAs between
+// leases (the paper's IPXO example, §6.5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "leasing/timeline.h"
+#include "netbase/asn.h"
+#include "netbase/ipv4.h"
+#include "rpki/archive.h"
+
+namespace sublet::sim {
+
+struct TimelineScenario {
+  Prefix prefix;
+  std::uint32_t start = 0;  ///< scenario window
+  std::uint32_t end = 0;
+  rpki::RpkiArchive archive;          ///< monthly ROA snapshots
+  leasing::OriginHistory bgp_history; ///< monthly BGP origins
+  /// The scripted truth: (start, end, asn) lease periods; AS0 = quarantine.
+  std::vector<leasing::LeasePeriod> truth;
+};
+
+struct TimelineOptions {
+  std::uint32_t start = 1648771200;        ///< 2022-04-01
+  std::uint32_t months = 25;               ///< through 2024-04
+  /// Successive lessee ASes, in order (Figure 3's y-axis, bottom-up).
+  std::vector<std::uint32_t> lessees = {834, 8100, 61317, 212384, 211975,
+                                        1239};
+  std::uint32_t months_per_lease = 3;
+  std::uint32_t quarantine_months = 1;     ///< AS0 period between leases
+};
+
+/// Build the scenario deterministically from the options.
+TimelineScenario build_timeline_scenario(const TimelineOptions& options = {});
+
+/// Serialize the scenario's BGP side as a real MRT BGP4MP_MESSAGE_AS4
+/// updates file (announce on lease start, withdraw on quarantine), so the
+/// replay path (`bgp::replay_updates_file`) can be exercised end to end.
+void write_updates_mrt(const TimelineScenario& scenario,
+                       const std::string& path);
+
+}  // namespace sublet::sim

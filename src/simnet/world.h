@@ -1,0 +1,123 @@
+// In-memory synthetic world: the generator's private ground truth.
+//
+// Everything here is the *truth* the emitters serialize into the dataset
+// dialects. The classifier never sees these structures — it only reads the
+// emitted files (DESIGN.md §5.5, ground-truth quarantine).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asgraph/as_rel.h"
+#include "netbase/asn.h"
+#include "netbase/ipv4.h"
+#include "simnet/config.h"
+#include "whoisdb/rir.h"
+
+namespace sublet::sim {
+
+/// Ground-truth category of a leaf (what the world actually did, which the
+/// pipeline tries to recover).
+enum class TruthCategory {
+  kUnused,
+  kAggregatedCustomer,
+  kIspCustomer,
+  kLeased,
+  kDelegatedCustomer,
+};
+
+constexpr std::string_view truth_name(TruthCategory category) {
+  switch (category) {
+    case TruthCategory::kUnused: return "unused";
+    case TruthCategory::kAggregatedCustomer: return "aggregated-customer";
+    case TruthCategory::kIspCustomer: return "isp-customer";
+    case TruthCategory::kLeased: return "leased";
+    case TruthCategory::kDelegatedCustomer: return "delegated-customer";
+  }
+  return "?";
+}
+
+struct SimOrg {
+  std::string id;          ///< WHOIS handle, e.g. "ORG-RH17-RIPE"
+  std::string name;
+  std::string maintainer;  ///< primary maintainer handle
+  whois::Rir rir = whois::Rir::kRipe;
+  std::string country;
+  bool is_broker = false;
+  bool on_broker_list = false;
+  std::string listed_name;  ///< spelling on the RIR's broker list
+};
+
+enum class AsTier { kTier1, kTransit, kHosting, kStub, kHolder };
+
+struct SimAs {
+  Asn asn;
+  std::size_t org_index = 0;   ///< into World::orgs (WHOIS registration)
+  whois::Rir rir = whois::Rir::kRipe;
+  AsTier tier = AsTier::kStub;
+  std::optional<Asn> provider;  ///< transit provider (tier1s have none)
+  bool drop_listed = false;
+  bool hijacker = false;
+  /// as2org organisation when it differs from the WHOIS one — models
+  /// acquisitions/affiliates that CAIDA's as2org links but the registries
+  /// keep separate (paper §6.3's PSINet/Cogent case). Only sibling
+  /// knowledge can relate such an AS to its real owner.
+  std::optional<std::size_t> as2org_override;
+};
+
+struct SimRoot {
+  Prefix prefix;
+  whois::Rir rir = whois::Rir::kRipe;
+  std::size_t holder_org = 0;   ///< into World::orgs
+  Asn holder_asn;
+  bool originated = false;      ///< lit vs dark root
+  bool aggregated_announcement = false;  ///< announced via covering prefix
+  bool legacy = false;          ///< legacy space (excluded by pipeline)
+  /// Block changed hands on the transfer market before the measurement
+  /// (market-active holders buy space and lease it out — §1/§3 context).
+  bool transferred = false;
+  std::uint32_t transfer_date = 0;
+  std::string transfer_from_org;
+};
+
+struct SimLeaf {
+  Prefix prefix;
+  whois::Rir rir = whois::Rir::kRipe;
+  std::size_t root_index = 0;
+  TruthCategory truth = TruthCategory::kUnused;
+  bool lease_active = true;       ///< false: contracted but not originated
+  std::string maintainer;         ///< leaf's mnt-by handle
+  std::string org_id;             ///< leaf's org (often empty)
+  std::optional<Asn> origin;      ///< BGP originator, if any
+  std::optional<std::size_t> facilitator_org;  ///< broker, if brokered
+  bool eval_negative = false;     ///< part of the ISP negative label set
+  bool legacy = false;            ///< registered as legacy space
+  bool late_origination = false;  ///< first announced late in the window
+};
+
+/// Non-leaf routed prefix (ordinary ISP space forming the non-leased pool).
+struct BackgroundPrefix {
+  Prefix prefix;
+  Asn origin;
+};
+
+struct World {
+  WorldConfig config;
+  std::vector<SimOrg> orgs;
+  std::vector<SimAs> ases;
+  asgraph::AsRelationships true_rels;
+  std::vector<SimRoot> roots;
+  std::vector<SimLeaf> leaves;
+  std::vector<BackgroundPrefix> background;
+  /// Aggregate announcements covering several roots (exercises the paper's
+  /// step-4 least-specific fallback): (covering prefix, origin).
+  std::vector<BackgroundPrefix> aggregates;
+  /// Evaluation ISP orgs per RIR (negative labels), incl. subsidiaries.
+  std::vector<std::pair<whois::Rir, std::string>> eval_isp_orgs;
+
+  const SimAs* find_as(Asn asn) const;
+  const SimOrg& org_of(const SimAs& as) const { return orgs[as.org_index]; }
+};
+
+}  // namespace sublet::sim

@@ -1,0 +1,95 @@
+#include "transfers/transfer_log.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace sublet::transfers {
+
+void TransferLog::add(Transfer transfer) {
+  std::vector<std::size_t>* bucket = by_prefix_.find(transfer.prefix);
+  if (!bucket) bucket = &by_prefix_.insert(transfer.prefix, {});
+  bucket->push_back(transfers_.size());
+  transfers_.push_back(std::move(transfer));
+}
+
+bool TransferLog::covers(const Prefix& prefix) const {
+  return by_prefix_.least_specific_covering(prefix).has_value();
+}
+
+std::vector<const Transfer*> TransferLog::covering(
+    const Prefix& prefix) const {
+  std::vector<const Transfer*> out;
+  for (const auto& [block, bucket] : by_prefix_.all_covering(prefix)) {
+    for (std::size_t index : *bucket) out.push_back(&transfers_[index]);
+  }
+  return out;
+}
+
+std::vector<const Transfer*> TransferLog::in_window(std::uint32_t from,
+                                                    std::uint32_t to) const {
+  std::vector<const Transfer*> out;
+  for (const Transfer& transfer : transfers_) {
+    if (transfer.date >= from && transfer.date <= to) out.push_back(&transfer);
+  }
+  return out;
+}
+
+TransferLog TransferLog::parse(std::istream& in, std::string source,
+                               std::vector<Error>* diagnostics) {
+  TransferLog log;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::string_view view = trim(line);
+    if (view.empty() || view.front() == '#') continue;
+    auto fields = split(view, '|');
+    if (fields.size() < 6) {
+      if (diagnostics) {
+        diagnostics->push_back(
+            fail("expected date|rir|prefix|from|to|type", source, line_no));
+      }
+      continue;
+    }
+    auto date = parse_u32(trim(fields[0]));
+    auto rir = whois::rir_from_name(trim(fields[1]));
+    auto prefix = Prefix::parse(trim(fields[2]));
+    std::string_view type_text = trim(fields[5]);
+    bool market = iequals(type_text, "market");
+    bool merger = iequals(type_text, "merger");
+    if (!date || !rir || !prefix || (!market && !merger)) {
+      if (diagnostics) {
+        diagnostics->push_back(
+            fail("bad transfer '" + std::string(view) + "'", source, line_no));
+      }
+      continue;
+    }
+    log.add({*date, *rir, *prefix, std::string(trim(fields[3])),
+             std::string(trim(fields[4])),
+             market ? TransferType::kMarket : TransferType::kMerger});
+  }
+  return log;
+}
+
+TransferLog TransferLog::load(const std::string& path,
+                              std::vector<Error>* diagnostics) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open transfer log: " + path);
+  return parse(in, path, diagnostics);
+}
+
+void TransferLog::write(std::ostream& out) const {
+  out << "# date|rir|prefix|from_org|to_org|type\n";
+  for (const Transfer& t : transfers_) {
+    out << t.date << '|' << rir_name(t.rir) << '|' << t.prefix.to_string()
+        << '|' << t.from_org << '|' << t.to_org << '|'
+        << transfer_type_name(t.type) << '\n';
+  }
+}
+
+}  // namespace sublet::transfers

@@ -1,0 +1,68 @@
+// RIR transfer logs — the IPv4 transfer market the paper builds on (§1,
+// §3: Livadariu et al., Giotsas et al.).
+//
+// The RIRs publish completed transfers; this module models the log as
+// pipe-separated records:
+//   # date|rir|prefix|from_org|to_org|type
+//   1680000000|RIPE|213.210.0.0/18|ORG-OLD|ORG-GCI1-RIPE|market
+// `type` is "market" (policy transfer / sale) or "merger" (M&A).
+// Queries support the transfer-vs-lease overlap analysis: is leased space
+// disproportionately space that changed hands on the market?
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "netbase/prefix_trie.h"
+#include "util/expected.h"
+#include "whoisdb/rir.h"
+
+namespace sublet::transfers {
+
+enum class TransferType { kMarket, kMerger };
+
+constexpr std::string_view transfer_type_name(TransferType type) {
+  return type == TransferType::kMarket ? "market" : "merger";
+}
+
+struct Transfer {
+  std::uint32_t date = 0;
+  whois::Rir rir = whois::Rir::kRipe;
+  Prefix prefix;
+  std::string from_org;
+  std::string to_org;
+  TransferType type = TransferType::kMarket;
+};
+
+class TransferLog {
+ public:
+  void add(Transfer transfer);
+
+  const std::vector<Transfer>& transfers() const { return transfers_; }
+
+  /// True if `prefix` lies inside any transferred block.
+  bool covers(const Prefix& prefix) const;
+
+  /// Transfers whose block covers `prefix`, in log order.
+  std::vector<const Transfer*> covering(const Prefix& prefix) const;
+
+  /// Transfers completed inside [from, to].
+  std::vector<const Transfer*> in_window(std::uint32_t from,
+                                         std::uint32_t to) const;
+
+  std::size_t size() const { return transfers_.size(); }
+
+  static TransferLog parse(std::istream& in, std::string source = {},
+                           std::vector<Error>* diagnostics = nullptr);
+  static TransferLog load(const std::string& path,
+                          std::vector<Error>* diagnostics = nullptr);
+  void write(std::ostream& out) const;
+
+ private:
+  std::vector<Transfer> transfers_;
+  PrefixTrie<std::vector<std::size_t>> by_prefix_;  // indexes into transfers_
+};
+
+}  // namespace sublet::transfers

@@ -1,0 +1,82 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace sublet {
+
+CsvWriter::CsvWriter(std::ostream& out, char sep) : out_(out), sep_(sep) {}
+
+namespace {
+bool needs_quoting(std::string_view field, char sep) {
+  for (char c : field) {
+    if (c == sep || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+}  // namespace
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << sep_;
+    const std::string& f = fields[i];
+    if (needs_quoting(f, sep_)) {
+      out_ << '"';
+      for (char c : f) {
+        if (c == '"') out_ << '"';
+        out_ << c;
+      }
+      out_ << '"';
+    } else {
+      out_ << f;
+    }
+  }
+  out_ << '\n';
+}
+
+std::vector<std::string> parse_csv_line(std::string_view line, char sep) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"' && cur.empty()) {
+      in_quotes = true;
+    } else if (c == sep) {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+std::vector<std::vector<std::string>> read_delimited_file(
+    const std::string& path, char sep) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    rows.push_back(parse_csv_line(line, sep));
+  }
+  return rows;
+}
+
+}  // namespace sublet

@@ -1,0 +1,39 @@
+// CSV/TSV reading and writing.
+//
+// The pipeline's intermediate artifacts (inferred leases, ground truth,
+// evaluation labels) are exchanged as delimiter-separated files, mirroring
+// the paper's released artifacts. Quoting follows RFC 4180 for CSV; TSV is
+// written raw and must not contain tabs/newlines in fields.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sublet {
+
+/// Streaming writer. Rows are flushed as they are written.
+class CsvWriter {
+ public:
+  /// `sep` is ',' for CSV or '\t' for TSV. Does not own the stream.
+  explicit CsvWriter(std::ostream& out, char sep = ',');
+
+  /// Write one row; fields are quoted if they contain sep/quote/newline.
+  void write_row(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream& out_;
+  char sep_;
+};
+
+/// Parse one CSV line honoring RFC 4180 quoting. Multi-line quoted fields
+/// are not supported (none of our artifacts use them).
+std::vector<std::string> parse_csv_line(std::string_view line, char sep = ',');
+
+/// Read an entire delimiter-separated file into rows. Skips blank lines and
+/// lines starting with '#'. Throws std::runtime_error if unreadable.
+std::vector<std::vector<std::string>> read_delimited_file(
+    const std::string& path, char sep = ',');
+
+}  // namespace sublet

@@ -1,0 +1,85 @@
+// Minimal Expected<T> result type for per-record parse outcomes.
+//
+// The library's convention (see DESIGN.md §3): exceptions signal I/O and
+// programming errors; Expected carries recoverable per-record failures so a
+// malformed WHOIS object or MRT record can be diagnosed without aborting a
+// multi-gigabyte parse.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace sublet {
+
+/// Error payload: a human-readable message plus optional source location
+/// (file/line of the *input being parsed*, not of the C++ source).
+struct Error {
+  std::string message;
+  std::string source;      ///< e.g. input filename, or empty
+  std::size_t line = 0;    ///< 1-based line in `source`, 0 = unknown
+
+  /// Render as "source:line: message" (pieces omitted when absent).
+  std::string to_string() const {
+    std::string out;
+    if (!source.empty()) {
+      out += source;
+      if (line > 0) out += ':' + std::to_string(line);
+      out += ": ";
+    }
+    out += message;
+    return out;
+  }
+};
+
+/// Holds either a value or an Error. Cheap, move-friendly, no heap beyond
+/// what T and the error strings need.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : data_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Expected(Error error) : data_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  bool has_value() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return has_value(); }
+
+  T& value() & {
+    assert(has_value());
+    return std::get<T>(data_);
+  }
+  const T& value() const& {
+    assert(has_value());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(has_value());
+    return std::get<T>(std::move(data_));
+  }
+
+  const Error& error() const {
+    assert(!has_value());
+    return std::get<Error>(data_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Value or a fallback when this holds an error.
+  T value_or(T fallback) const& {
+    return has_value() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Convenience factory so call sites read `return fail("bad prefix")`.
+inline Error fail(std::string message, std::string source = {},
+                  std::size_t line = 0) {
+  return Error{std::move(message), std::move(source), line};
+}
+
+}  // namespace sublet

@@ -1,0 +1,46 @@
+// Minimal leveled logger.
+//
+// Parsers log per-record diagnostics at kDebug, pipeline stage summaries at
+// kInfo, and recoverable data problems at kWarn. There is intentionally no
+// kFatal: fatal conditions throw.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sublet {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; defaults to kWarn so library users are quiet
+/// by default. Benches/examples raise it to kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+/// Stream-style log statement: destructor emits the line.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace sublet
+
+#define SUBLET_LOG(level) ::sublet::detail::LogMessage(::sublet::LogLevel::level)

@@ -1,0 +1,23 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace sublet {
+
+std::uint64_t Rng::next_zipf(std::uint64_t n, double alpha) {
+  if (n <= 1) return 0;
+  // Inverse-transform on the continuous approximation of the Zipf CDF:
+  // P(X <= x) ~ H(x)/H(n) with H(x) = x^(1-alpha) for alpha != 1, ln(x) else.
+  double u = next_double();
+  double x;
+  if (alpha == 1.0) {
+    x = std::exp(u * std::log(static_cast<double>(n)));
+  } else {
+    double h_n = std::pow(static_cast<double>(n), 1.0 - alpha);
+    x = std::pow(u * (h_n - 1.0) + 1.0, 1.0 / (1.0 - alpha));
+  }
+  auto rank = static_cast<std::uint64_t>(x) - (x >= 1.0 ? 1 : 0);
+  return rank >= n ? n - 1 : rank;
+}
+
+}  // namespace sublet

@@ -1,0 +1,151 @@
+#include "util/strings.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace sublet {
+
+namespace {
+bool is_space(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' ||
+         c == '\v';
+}
+}  // namespace
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && is_space(s.front())) s.remove_prefix(1);
+  while (!s.empty() && is_space(s.back())) s.remove_suffix(1);
+  return s;
+}
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string_view> split_ws(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && is_space(s[i])) ++i;
+    std::size_t start = i;
+    while (i < s.size() && !is_space(s[i])) ++i;
+    if (i > start) out.push_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool istarts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && iequals(s.substr(0, prefix.size()), prefix);
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return std::nullopt;  // overflow
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+std::optional<std::uint32_t> parse_u32(std::string_view s) {
+  auto v = parse_u64(s);
+  if (!v || *v > UINT32_MAX) return std::nullopt;
+  return static_cast<std::uint32_t>(*v);
+}
+
+std::string normalize_org_name(std::string_view name) {
+  // Lowercase, keep only alphanumerics as word characters.
+  std::vector<std::string> words;
+  std::string cur;
+  for (char raw : name) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      cur.push_back(static_cast<char>(std::tolower(c)));
+    } else if (!cur.empty()) {
+      words.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) words.push_back(std::move(cur));
+
+  // Merge runs of single-letter tokens so dotted abbreviations compare equal
+  // to their plain forms: "L.T.D." -> [l,t,d] -> "ltd".
+  std::vector<std::string> merged;
+  for (std::size_t i = 0; i < words.size();) {
+    if (words[i].size() == 1) {
+      std::size_t j = i;
+      std::string run;
+      while (j < words.size() && words[j].size() == 1) run += words[j++];
+      if (run.size() > 1) {
+        merged.push_back(std::move(run));
+        i = j;
+        continue;
+      }
+    }
+    merged.push_back(std::move(words[i]));
+    ++i;
+  }
+  words = std::move(merged);
+
+  // Drop trailing legal-entity suffixes, possibly several ("co ltd").
+  static constexpr std::array<std::string_view, 16> kSuffixes = {
+      "ltd", "limited", "llc", "inc", "incorporated", "gmbh", "sa", "srl",
+      "bv",  "ab",      "as",  "co",  "corp",         "plc",  "pte", "fzco"};
+  while (!words.empty()) {
+    const std::string& last = words.back();
+    bool is_suffix = std::find(kSuffixes.begin(), kSuffixes.end(), last) !=
+                     kSuffixes.end();
+    if (!is_suffix) break;
+    if (words.size() == 1) break;  // never reduce a name to nothing
+    words.pop_back();
+  }
+
+  std::string out;
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    if (i) out.push_back(' ');
+    out += words[i];
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace sublet

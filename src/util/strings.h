@@ -1,0 +1,45 @@
+// Small string helpers shared across parsers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sublet {
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Split on a single character; keeps empty fields.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Split on runs of ASCII whitespace; never yields empty fields.
+std::vector<std::string_view> split_ws(std::string_view s);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool iequals(std::string_view a, std::string_view b);
+
+/// Parse an unsigned decimal integer; rejects junk, overflow, empty input.
+std::optional<std::uint64_t> parse_u64(std::string_view s);
+
+/// Parse an unsigned decimal that must fit in 32 bits.
+std::optional<std::uint32_t> parse_u32(std::string_view s);
+
+/// True if `s` starts with `prefix`, ignoring ASCII case.
+bool istarts_with(std::string_view s, std::string_view prefix);
+
+/// Normalize an organization name for fuzzy matching: lowercase, strip
+/// punctuation, collapse whitespace, and drop legal-entity suffixes
+/// (ltd, llc, inc, gmbh, ...). Used when mapping registered-broker company
+/// names to WHOIS organisation objects (§6.2 of the paper: "LTD vs L.T.D.").
+std::string normalize_org_name(std::string_view name);
+
+/// Join with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace sublet

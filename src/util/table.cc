@@ -1,0 +1,84 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+
+namespace sublet {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)), align_(header_.size(), Align::kRight) {
+  if (!align_.empty()) align_[0] = Align::kLeft;
+}
+
+void TextTable::set_align(std::size_t col, Align align) {
+  if (col < align_.size()) align_[col] = align;
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::to_string(int indent) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::string pad(static_cast<std::size_t>(indent), ' ');
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    out += pad;
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : header_[c];
+      std::size_t fill = width[c] - cell.size();
+      if (c) out += "  ";
+      if (align_[c] == Align::kRight) out.append(fill, ' ');
+      out += cell;
+      if (align_[c] == Align::kLeft && c + 1 < header_.size()) {
+        out.append(fill, ' ');
+      }
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  emit_row(header_, out);
+  out += pad;
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+std::string with_commas(std::uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string percent(double ratio, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, ratio * 100.0);
+  return buf;
+}
+
+std::string fixed(double v, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace sublet

@@ -1,0 +1,40 @@
+// Fixed-width text tables for bench/report output.
+//
+// Every bench binary prints its table/figure in the same layout the paper
+// uses, so EXPERIMENTS.md can be filled by copy-paste.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sublet {
+
+/// Column alignment for TextTable.
+enum class Align { kLeft, kRight };
+
+/// A simple monospace table: header row, separator, data rows, with columns
+/// sized to their widest cell.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Per-column alignment; defaults to left for col 0, right otherwise.
+  void set_align(std::size_t col, Align align);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Render to a string, `indent` spaces before every line.
+  std::string to_string(int indent = 0) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<Align> align_;
+};
+
+/// Format helpers used throughout reports.
+std::string with_commas(std::uint64_t n);          ///< 47318 -> "47,318"
+std::string percent(double ratio, int decimals = 1);  ///< 0.041 -> "4.1%"
+std::string fixed(double v, int decimals = 2);
+
+}  // namespace sublet

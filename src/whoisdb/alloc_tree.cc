@@ -1,0 +1,42 @@
+#include "whoisdb/alloc_tree.h"
+
+namespace sublet::whois {
+
+AllocationTree AllocationTree::build(const WhoisDb& db, AllocOptions options) {
+  AllocationTree tree;
+  for (const InetBlock& block : db.blocks()) {
+    if (!block.range.valid()) continue;
+    if (!options.include_legacy && block.portability == Portability::kLegacy) {
+      ++tree.skipped_legacy_;
+      continue;
+    }
+    for (const Prefix& prefix : block.range.to_prefixes()) {
+      if (prefix.length() > options.max_prefix_len) {
+        ++tree.skipped_hyper_;
+        continue;
+      }
+      tree.trie_.insert(prefix, &block);
+    }
+  }
+
+  for (auto& [prefix, value] : tree.trie_.roots()) {
+    tree.roots_.emplace_back(prefix, *value);
+  }
+  for (auto& [prefix, value] : tree.trie_.leaves()) {
+    tree.leaves_.emplace_back(prefix, *value);
+  }
+  return tree;
+}
+
+std::optional<AllocEntry> AllocationTree::root_of(const Prefix& prefix) const {
+  auto hit = trie_.least_specific_covering(prefix);
+  if (!hit) return std::nullopt;
+  return AllocEntry{hit->first, *hit->second};
+}
+
+const InetBlock* AllocationTree::find(const Prefix& prefix) const {
+  const InetBlock* const* entry = trie_.find(prefix);
+  return entry ? *entry : nullptr;
+}
+
+}  // namespace sublet::whois

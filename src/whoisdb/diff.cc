@@ -1,0 +1,79 @@
+#include "whoisdb/diff.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/strings.h"
+
+namespace sublet::whois {
+
+namespace {
+
+std::map<Prefix, const InetBlock*> index_blocks(const WhoisDb& db,
+                                                int max_prefix_len) {
+  std::map<Prefix, const InetBlock*> out;
+  for (const InetBlock& block : db.blocks()) {
+    if (!block.range.valid()) continue;
+    for (const Prefix& prefix : block.range.to_prefixes()) {
+      if (prefix.length() > max_prefix_len) continue;
+      out[prefix] = &block;  // later duplicate registrations shadow earlier
+    }
+  }
+  return out;
+}
+
+std::string maintainer_key(const InetBlock& block) {
+  std::set<std::string> set;
+  for (const std::string& mnt : block.maintainers) set.insert(to_lower(mnt));
+  std::vector<std::string> sorted(set.begin(), set.end());
+  return join(sorted, " ");
+}
+
+}  // namespace
+
+std::vector<BlockChange> diff_databases(const WhoisDb& before,
+                                        const WhoisDb& after,
+                                        int max_prefix_len) {
+  auto old_index = index_blocks(before, max_prefix_len);
+  auto new_index = index_blocks(after, max_prefix_len);
+
+  std::vector<BlockChange> changes;
+  for (const auto& [prefix, new_block] : new_index) {
+    auto it = old_index.find(prefix);
+    if (it == old_index.end()) {
+      changes.push_back({prefix, BlockChange::Kind::kAdded, "",
+                         maintainer_key(*new_block)});
+      continue;
+    }
+    const InetBlock* old_block = it->second;
+    std::string old_mnt = maintainer_key(*old_block);
+    std::string new_mnt = maintainer_key(*new_block);
+    if (old_mnt != new_mnt) {
+      changes.push_back({prefix, BlockChange::Kind::kMaintainerChanged,
+                         old_mnt, new_mnt});
+    }
+    if (!iequals(old_block->status, new_block->status)) {
+      changes.push_back({prefix, BlockChange::Kind::kStatusChanged,
+                         old_block->status, new_block->status});
+    }
+    if (!iequals(old_block->org_id, new_block->org_id)) {
+      changes.push_back({prefix, BlockChange::Kind::kOrgChanged,
+                         old_block->org_id, new_block->org_id});
+    }
+  }
+  for (const auto& [prefix, old_block] : old_index) {
+    if (!new_index.contains(prefix)) {
+      changes.push_back({prefix, BlockChange::Kind::kRemoved,
+                         maintainer_key(*old_block), ""});
+    }
+  }
+  std::sort(changes.begin(), changes.end(),
+            [](const BlockChange& a, const BlockChange& b) {
+              if (a.prefix != b.prefix) return a.prefix < b.prefix;
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            });
+  return changes;
+}
+
+}  // namespace sublet::whois

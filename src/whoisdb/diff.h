@@ -1,0 +1,50 @@
+// Registry churn: structural diff between two WHOIS database snapshots.
+//
+// Lease onboarding leaves registry fingerprints before BGP ever sees the
+// prefix: a new sub-allocation appears, or an existing block's maintainer
+// flips to a broker handle. Diffing monthly snapshots surfaces those
+// events (complements the BGP-driven churn in leasing/churn.h).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netbase/ipv4.h"
+#include "whoisdb/model.h"
+
+namespace sublet::whois {
+
+struct BlockChange {
+  enum class Kind {
+    kAdded,              ///< block present only in the newer snapshot
+    kRemoved,            ///< block present only in the older snapshot
+    kMaintainerChanged,  ///< same prefix, different maintainer set
+    kStatusChanged,      ///< same prefix, different status text
+    kOrgChanged,         ///< same prefix, different org handle
+  };
+  Prefix prefix;
+  Kind kind = Kind::kAdded;
+  std::string before;  ///< old value ("" for kAdded)
+  std::string after;   ///< new value ("" for kRemoved)
+};
+
+constexpr std::string_view change_kind_name(BlockChange::Kind kind) {
+  switch (kind) {
+    case BlockChange::Kind::kAdded: return "added";
+    case BlockChange::Kind::kRemoved: return "removed";
+    case BlockChange::Kind::kMaintainerChanged: return "maintainer-changed";
+    case BlockChange::Kind::kStatusChanged: return "status-changed";
+    case BlockChange::Kind::kOrgChanged: return "org-changed";
+  }
+  return "?";
+}
+
+/// Diff two snapshots of the same RIR's database. Blocks are keyed by
+/// their covering CIDR prefixes (hyper-specifics beyond `max_prefix_len`
+/// ignored, mirroring the pipeline's step 2). A prefix with several field
+/// changes yields several BlockChange rows, ordered by prefix then kind.
+std::vector<BlockChange> diff_databases(const WhoisDb& before,
+                                        const WhoisDb& after,
+                                        int max_prefix_len = 24);
+
+}  // namespace sublet::whois

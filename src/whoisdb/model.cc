@@ -1,0 +1,54 @@
+#include "whoisdb/model.h"
+
+#include "util/strings.h"
+
+namespace sublet::whois {
+
+std::optional<Rir> rir_from_name(std::string_view name) {
+  for (Rir rir : kAllRirs) {
+    if (iequals(name, rir_name(rir))) return rir;
+  }
+  return std::nullopt;
+}
+
+void WhoisDb::add_autnum(AutNumRec autnum) {
+  std::size_t index = autnums_.size();
+  asn_index_.emplace(autnum.asn.value(), index);
+  if (!autnum.org_id.empty()) {
+    org_to_autnums_[to_lower(autnum.org_id)].push_back(index);
+  }
+  autnums_.push_back(std::move(autnum));
+}
+
+void WhoisDb::add_org(OrgRec org) {
+  std::string key = to_lower(org.id);
+  orgs_[key] = std::move(org);
+}
+
+const OrgRec* WhoisDb::org(std::string_view id) const {
+  auto it = orgs_.find(to_lower(id));
+  return it == orgs_.end() ? nullptr : &it->second;
+}
+
+std::vector<const OrgRec*> WhoisDb::all_orgs() const {
+  std::vector<const OrgRec*> out;
+  out.reserve(orgs_.size());
+  for (const auto& [key, org] : orgs_) out.push_back(&org);
+  return out;
+}
+
+std::vector<Asn> WhoisDb::asns_for_org(std::string_view org_id) const {
+  auto it = org_to_autnums_.find(to_lower(org_id));
+  if (it == org_to_autnums_.end()) return {};
+  std::vector<Asn> out;
+  out.reserve(it->second.size());
+  for (std::size_t index : it->second) out.push_back(autnums_[index].asn);
+  return out;
+}
+
+const AutNumRec* WhoisDb::autnum(Asn asn) const {
+  auto it = asn_index_.find(asn.value());
+  return it == asn_index_.end() ? nullptr : &autnums_[it->second];
+}
+
+}  // namespace sublet::whois

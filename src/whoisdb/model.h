@@ -1,0 +1,106 @@
+// Typed WHOIS database model shared by all five RIR dialects.
+//
+// The paper's step 1 reduces each RIR database to three object kinds:
+// address blocks (inetnum/NetHandle), AS numbers (aut-num/ASHandle), and
+// organisations (organisation/OrgID/owner). Maintainer handles are kept on
+// blocks and organisations because the evaluation (§5.3) joins registered
+// brokers to their blocks through maintainers.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netbase/asn.h"
+#include "netbase/ipv4.h"
+#include "whoisdb/rir.h"
+
+namespace sublet::whois {
+
+/// RIR portability category (§2.1 of the paper).
+enum class Portability {
+  kPortable,     ///< directly distributed by the RIR; holder picks any ISP
+  kNonPortable,  ///< sub-allocated/assigned by an address provider
+  kLegacy,       ///< pre-RIR space; portability undefined
+  kUnknown,      ///< unrecognized status string
+};
+
+constexpr std::string_view portability_name(Portability p) {
+  switch (p) {
+    case Portability::kPortable: return "portable";
+    case Portability::kNonPortable: return "non-portable";
+    case Portability::kLegacy: return "legacy";
+    case Portability::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+/// One address block (inetnum / NetHandle / LACNIC inetnum).
+struct InetBlock {
+  AddrRange range{};                   ///< inclusive address range
+  std::string netname;
+  std::string status;                  ///< raw status / NetType text
+  Portability portability = Portability::kUnknown;
+  std::string org_id;                  ///< org / OrgID / ownerid (raw case)
+  std::vector<std::string> maintainers;  ///< mnt-by; ARIN/LACNIC: org handle
+  std::string country;
+  Rir rir = Rir::kRipe;
+};
+
+/// One AS number record (aut-num / ASHandle).
+struct AutNumRec {
+  Asn asn;
+  std::string as_name;
+  std::string org_id;
+  std::vector<std::string> maintainers;
+  Rir rir = Rir::kRipe;
+};
+
+/// One organisation record (organisation / OrgID / owner).
+struct OrgRec {
+  std::string id;                      ///< handle (raw case)
+  std::string name;
+  std::vector<std::string> maintainers;  ///< mnt-by + mnt-ref
+  std::string country;
+  Rir rir = Rir::kRipe;
+};
+
+/// A parsed single-RIR database with the joins the pipeline needs.
+class WhoisDb {
+ public:
+  explicit WhoisDb(Rir rir) : rir_(rir) {}
+
+  Rir rir() const { return rir_; }
+
+  void add_block(InetBlock block) { blocks_.push_back(std::move(block)); }
+  void add_autnum(AutNumRec autnum);
+  void add_org(OrgRec org);
+
+  const std::vector<InetBlock>& blocks() const { return blocks_; }
+  const std::vector<AutNumRec>& autnums() const { return autnums_; }
+
+  /// Organisation by handle (case-insensitive), or nullptr.
+  const OrgRec* org(std::string_view id) const;
+
+  /// All org records (iteration order unspecified).
+  std::vector<const OrgRec*> all_orgs() const;
+
+  /// RIR-assigned ASNs of an organisation: every aut-num whose org field
+  /// matches `org_id` (case-insensitive). Paper step 3.
+  std::vector<Asn> asns_for_org(std::string_view org_id) const;
+
+  /// aut-num record lookup.
+  const AutNumRec* autnum(Asn asn) const;
+
+  std::size_t block_count() const { return blocks_.size(); }
+
+ private:
+  Rir rir_;
+  std::vector<InetBlock> blocks_;
+  std::vector<AutNumRec> autnums_;
+  std::unordered_map<std::string, OrgRec> orgs_;             // key lowercased
+  std::unordered_map<std::string, std::vector<std::size_t>> org_to_autnums_;
+  std::unordered_map<std::uint32_t, std::size_t> asn_index_;
+};
+
+}  // namespace sublet::whois

@@ -1,0 +1,235 @@
+#include "whoisdb/parse.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "rpsl/rpsl.h"
+#include "util/strings.h"
+#include "whoisdb/status.h"
+
+namespace sublet::whois {
+
+namespace {
+
+void note(std::vector<Error>* diagnostics, Error error) {
+  if (diagnostics) diagnostics->push_back(std::move(error));
+}
+
+/// Parse an address block value that may be a range ("a - b") or CIDR.
+std::optional<AddrRange> parse_block_value(std::string_view value) {
+  if (auto range = AddrRange::parse(value)) return range;
+  if (auto prefix = Prefix::parse(trim(value))) {
+    return AddrRange{prefix->first(), prefix->last()};
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> collect_strings(
+    const std::vector<std::string_view>& views) {
+  return {views.begin(), views.end()};
+}
+
+// ---------------------------------------------------------------- RPSL ----
+
+void consume_rpsl_object(const rpsl::Object& obj, WhoisDb& db,
+                         const std::string& source,
+                         std::vector<Error>* diagnostics) {
+  Rir rir = db.rir();
+  if (obj.cls() == "inetnum") {
+    auto range = parse_block_value(obj.get("inetnum"));
+    if (!range) {
+      note(diagnostics, fail("bad inetnum range '" +
+                                 std::string(obj.get("inetnum")) + "'",
+                             source, obj.line));
+      return;
+    }
+    InetBlock block;
+    block.range = *range;
+    block.netname = std::string(obj.get("netname"));
+    block.status = std::string(obj.get("status"));
+    block.portability = classify_status(rir, block.status);
+    block.org_id = std::string(obj.get("org"));
+    block.maintainers = collect_strings(obj.all("mnt-by"));
+    block.country = std::string(obj.get("country"));
+    block.rir = rir;
+    db.add_block(std::move(block));
+  } else if (obj.cls() == "aut-num") {
+    auto asn = Asn::parse(obj.get("aut-num"));
+    if (!asn) {
+      note(diagnostics, fail("bad aut-num '" +
+                                 std::string(obj.get("aut-num")) + "'",
+                             source, obj.line));
+      return;
+    }
+    AutNumRec rec;
+    rec.asn = *asn;
+    rec.as_name = std::string(obj.get("as-name"));
+    rec.org_id = std::string(obj.get("org"));
+    rec.maintainers = collect_strings(obj.all("mnt-by"));
+    rec.rir = rir;
+    db.add_autnum(std::move(rec));
+  } else if (obj.cls() == "organisation") {
+    OrgRec org;
+    org.id = std::string(obj.get("organisation"));
+    if (org.id.empty()) {
+      note(diagnostics, fail("organisation without handle", source, obj.line));
+      return;
+    }
+    org.name = std::string(obj.get("org-name"));
+    org.maintainers = collect_strings(obj.all("mnt-by"));
+    for (auto ref : obj.all("mnt-ref")) org.maintainers.emplace_back(ref);
+    org.country = std::string(obj.get("country"));
+    org.rir = rir;
+    db.add_org(std::move(org));
+  }
+  // mntner, person, route, ... objects are irrelevant to the pipeline.
+}
+
+// ---------------------------------------------------------------- ARIN ----
+
+void consume_arin_object(const rpsl::Object& obj, WhoisDb& db,
+                         const std::string& source,
+                         std::vector<Error>* diagnostics) {
+  if (obj.cls() == "nethandle") {
+    auto range = parse_block_value(obj.get("netrange"));
+    if (!range) {
+      note(diagnostics, fail("bad NetRange '" +
+                                 std::string(obj.get("netrange")) + "'",
+                             source, obj.line));
+      return;
+    }
+    InetBlock block;
+    block.range = *range;
+    block.netname = std::string(obj.get("netname"));
+    block.status = std::string(obj.get("nettype"));
+    block.portability = classify_status(Rir::kArin, block.status);
+    block.org_id = std::string(obj.get("orgid"));
+    // ARIN has no maintainer objects: the managing handle is the OrgID.
+    if (!block.org_id.empty()) block.maintainers = {block.org_id};
+    block.country = std::string(obj.get("country"));
+    block.rir = Rir::kArin;
+    db.add_block(std::move(block));
+  } else if (obj.cls() == "ashandle") {
+    auto asn = Asn::parse(obj.get("ashandle"));
+    if (!asn) {
+      note(diagnostics, fail("bad ASHandle '" +
+                                 std::string(obj.get("ashandle")) + "'",
+                             source, obj.line));
+      return;
+    }
+    AutNumRec rec;
+    rec.asn = *asn;
+    rec.as_name = std::string(obj.get("asname"));
+    rec.org_id = std::string(obj.get("orgid"));
+    if (!rec.org_id.empty()) rec.maintainers = {rec.org_id};
+    rec.rir = Rir::kArin;
+    db.add_autnum(std::move(rec));
+  } else if (obj.cls() == "orgid") {
+    OrgRec org;
+    org.id = std::string(obj.get("orgid"));
+    if (org.id.empty()) {
+      note(diagnostics, fail("OrgID without handle", source, obj.line));
+      return;
+    }
+    org.name = std::string(obj.get("orgname"));
+    org.maintainers = {org.id};
+    org.country = std::string(obj.get("country"));
+    org.rir = Rir::kArin;
+    db.add_org(std::move(org));
+  }
+}
+
+// -------------------------------------------------------------- LACNIC ----
+
+void consume_lacnic_object(const rpsl::Object& obj, WhoisDb& db,
+                           const std::string& source,
+                           std::vector<Error>* diagnostics) {
+  if (obj.cls() == "inetnum") {
+    auto range = parse_block_value(obj.get("inetnum"));
+    if (!range) {
+      note(diagnostics, fail("bad LACNIC inetnum '" +
+                                 std::string(obj.get("inetnum")) + "'",
+                             source, obj.line));
+      return;
+    }
+    InetBlock block;
+    block.range = *range;
+    block.status = std::string(obj.get("status"));
+    block.portability = classify_status(Rir::kLacnic, block.status);
+    block.org_id = std::string(obj.get("ownerid"));
+    if (!block.org_id.empty()) block.maintainers = {block.org_id};
+    block.country = std::string(obj.get("country"));
+    block.rir = Rir::kLacnic;
+    std::string owner_id = block.org_id;
+    db.add_block(std::move(block));
+
+    // LACNIC embeds the organisation in the block (§5.1): synthesize it.
+    if (!owner_id.empty() && !db.org(owner_id)) {
+      OrgRec org;
+      org.id = owner_id;
+      org.name = std::string(obj.get("owner"));
+      org.maintainers = {org.id};
+      org.rir = Rir::kLacnic;
+      db.add_org(std::move(org));
+    }
+  } else if (obj.cls() == "aut-num") {
+    auto asn = Asn::parse(obj.get("aut-num"));
+    if (!asn) {
+      note(diagnostics, fail("bad LACNIC aut-num '" +
+                                 std::string(obj.get("aut-num")) + "'",
+                             source, obj.line));
+      return;
+    }
+    AutNumRec rec;
+    rec.asn = *asn;
+    rec.org_id = std::string(obj.get("ownerid"));
+    if (!rec.org_id.empty()) rec.maintainers = {rec.org_id};
+    rec.rir = Rir::kLacnic;
+    std::string owner_id = rec.org_id;
+    db.add_autnum(std::move(rec));
+    if (!owner_id.empty() && !db.org(owner_id)) {
+      OrgRec org;
+      org.id = owner_id;
+      org.name = std::string(obj.get("owner"));
+      org.maintainers = {org.id};
+      org.rir = Rir::kLacnic;
+      db.add_org(std::move(org));
+    }
+  }
+}
+
+}  // namespace
+
+WhoisDb parse_whois_db(std::istream& in, Rir rir, std::string source,
+                       std::vector<Error>* diagnostics) {
+  WhoisDb db(rir);
+  rpsl::Parser parser(in, source);
+  while (auto obj = parser.next()) {
+    switch (rir) {
+      case Rir::kRipe:
+      case Rir::kApnic:
+      case Rir::kAfrinic:
+        consume_rpsl_object(*obj, db, source, diagnostics);
+        break;
+      case Rir::kArin:
+        consume_arin_object(*obj, db, source, diagnostics);
+        break;
+      case Rir::kLacnic:
+        consume_lacnic_object(*obj, db, source, diagnostics);
+        break;
+    }
+  }
+  if (diagnostics) {
+    for (const auto& d : parser.diagnostics()) diagnostics->push_back(d);
+  }
+  return db;
+}
+
+WhoisDb load_whois_file(const std::string& path, Rir rir,
+                        std::vector<Error>* diagnostics) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open WHOIS database: " + path);
+  return parse_whois_db(in, rir, path, diagnostics);
+}
+
+}  // namespace sublet::whois

@@ -1,0 +1,34 @@
+// Dialect frontends: raw RPSL-style objects → typed WhoisDb.
+//
+// Three on-disk dialects cover the five RIRs:
+//  - RPSL (RIPE, APNIC, AFRINIC): inetnum / aut-num / organisation objects,
+//    address blocks as inclusive ranges, maintainers in mnt-by / mnt-ref;
+//  - ARIN bulk: NetHandle / ASHandle / OrgID blocks, NetRange + NetType,
+//    organisations joined by OrgID (ARIN has no maintainer objects, so the
+//    OrgID doubles as the "maintainer" handle, mirroring how the paper maps
+//    ARIN brokers);
+//  - LACNIC: inetnum blocks in CIDR notation with owner/ownerid inline
+//    (LACNIC does not store organisations independently — §5.1); org
+//    records are synthesized from the ownerid/owner pairs encountered.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/expected.h"
+#include "whoisdb/model.h"
+
+namespace sublet::whois {
+
+/// Parse one RIR's database from a stream. Per-record problems (bad range,
+/// unknown class, missing handle) are appended to `diagnostics` and the
+/// record skipped; parsing continues.
+WhoisDb parse_whois_db(std::istream& in, Rir rir, std::string source = {},
+                       std::vector<Error>* diagnostics = nullptr);
+
+/// Open and parse a database file. Throws std::runtime_error if unreadable.
+WhoisDb load_whois_file(const std::string& path, Rir rir,
+                        std::vector<Error>* diagnostics = nullptr);
+
+}  // namespace sublet::whois

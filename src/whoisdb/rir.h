@@ -1,0 +1,28 @@
+// The five Regional Internet Registries.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string_view>
+
+namespace sublet::whois {
+
+enum class Rir { kRipe = 0, kArin = 1, kApnic = 2, kAfrinic = 3, kLacnic = 4 };
+
+inline constexpr std::array<Rir, 5> kAllRirs = {
+    Rir::kRipe, Rir::kArin, Rir::kApnic, Rir::kAfrinic, Rir::kLacnic};
+
+constexpr std::string_view rir_name(Rir rir) {
+  switch (rir) {
+    case Rir::kRipe: return "RIPE";
+    case Rir::kArin: return "ARIN";
+    case Rir::kApnic: return "APNIC";
+    case Rir::kAfrinic: return "AFRINIC";
+    case Rir::kLacnic: return "LACNIC";
+  }
+  return "?";
+}
+
+std::optional<Rir> rir_from_name(std::string_view name);
+
+}  // namespace sublet::whois

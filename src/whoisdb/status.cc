@@ -1,0 +1,77 @@
+#include "whoisdb/status.h"
+
+#include "util/strings.h"
+
+namespace sublet::whois {
+
+namespace {
+
+Portability classify_ripe_style(std::string_view s) {
+  if (iequals(s, "ALLOCATED PA") || iequals(s, "ALLOCATED PI") ||
+      iequals(s, "ALLOCATED UNSPECIFIED") || iequals(s, "ASSIGNED PI") ||
+      iequals(s, "ASSIGNED ANYCAST")) {
+    return Portability::kPortable;
+  }
+  if (iequals(s, "SUB-ALLOCATED PA") || iequals(s, "ASSIGNED PA")) {
+    return Portability::kNonPortable;
+  }
+  if (iequals(s, "LEGACY")) return Portability::kLegacy;
+  return Portability::kUnknown;
+}
+
+Portability classify_apnic(std::string_view s) {
+  if (iequals(s, "ALLOCATED PORTABLE") || iequals(s, "ASSIGNED PORTABLE")) {
+    return Portability::kPortable;
+  }
+  if (iequals(s, "ALLOCATED NON-PORTABLE") ||
+      iequals(s, "ASSIGNED NON-PORTABLE")) {
+    return Portability::kNonPortable;
+  }
+  if (iequals(s, "LEGACY")) return Portability::kLegacy;
+  return Portability::kUnknown;
+}
+
+Portability classify_arin(std::string_view s) {
+  if (iequals(s, "allocation") || iequals(s, "assignment") ||
+      iequals(s, "direct allocation") || iequals(s, "direct assignment")) {
+    return Portability::kPortable;
+  }
+  if (iequals(s, "reallocation") || iequals(s, "reassignment")) {
+    return Portability::kNonPortable;
+  }
+  // ARIN marks legacy space as direct allocations with a legacy flag in the
+  // registration date era; our generator emits the explicit marker.
+  if (iequals(s, "legacy")) return Portability::kLegacy;
+  return Portability::kUnknown;
+}
+
+Portability classify_lacnic(std::string_view s) {
+  if (iequals(s, "allocated") || iequals(s, "assigned")) {
+    return Portability::kPortable;
+  }
+  if (iequals(s, "reallocated") || iequals(s, "reassigned")) {
+    return Portability::kNonPortable;
+  }
+  if (iequals(s, "legacy")) return Portability::kLegacy;
+  return Portability::kUnknown;
+}
+
+}  // namespace
+
+Portability classify_status(Rir rir, std::string_view status) {
+  std::string_view s = trim(status);
+  switch (rir) {
+    case Rir::kRipe:
+    case Rir::kAfrinic:
+      return classify_ripe_style(s);
+    case Rir::kApnic:
+      return classify_apnic(s);
+    case Rir::kArin:
+      return classify_arin(s);
+    case Rir::kLacnic:
+      return classify_lacnic(s);
+  }
+  return Portability::kUnknown;
+}
+
+}  // namespace sublet::whois

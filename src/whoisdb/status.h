@@ -1,0 +1,25 @@
+// Per-RIR status vocabulary → portability (paper §2.1).
+#pragma once
+
+#include <string_view>
+
+#include "whoisdb/model.h"
+
+namespace sublet::whois {
+
+/// Classify a raw status / NetType string for the given RIR.
+///
+/// Vocabulary (case-insensitive):
+///  - RIPE / AFRINIC: ALLOCATED PA, ALLOCATED PI, ALLOCATED UNSPECIFIED,
+///    ASSIGNED PI, ASSIGNED ANYCAST (portable); SUB-ALLOCATED PA,
+///    ASSIGNED PA (non-portable); LEGACY.
+///  - APNIC: ALLOCATED PORTABLE, ASSIGNED PORTABLE (portable);
+///    ALLOCATED NON-PORTABLE, ASSIGNED NON-PORTABLE (non-portable).
+///  - ARIN (NetType): allocation, assignment, direct allocation, direct
+///    assignment (portable); reallocation, reassignment (non-portable).
+///  - LACNIC: allocated, assigned (portable); reallocated, reassigned
+///    (non-portable).
+/// Anything else maps to kUnknown.
+Portability classify_status(Rir rir, std::string_view status);
+
+}  // namespace sublet::whois

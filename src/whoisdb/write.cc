@@ -1,0 +1,132 @@
+#include "whoisdb/write.h"
+
+#include <ostream>
+
+namespace sublet::whois {
+
+void write_db_header(std::ostream& out, Rir rir) {
+  out << "% " << rir_name(rir) << " database snapshot\n\n";
+}
+
+namespace {
+
+void write_rpsl_block(std::ostream& out, const InetBlock& block) {
+  out << "inetnum:        " << block.range.to_string() << "\n";
+  if (!block.netname.empty()) out << "netname:        " << block.netname << "\n";
+  if (!block.org_id.empty()) out << "org:            " << block.org_id << "\n";
+  if (!block.country.empty()) out << "country:        " << block.country << "\n";
+  out << "status:         " << block.status << "\n";
+  for (const std::string& mnt : block.maintainers) {
+    out << "mnt-by:         " << mnt << "\n";
+  }
+  out << "source:         " << rir_name(block.rir) << "\n\n";
+}
+
+void write_arin_block(std::ostream& out, const InetBlock& block,
+                      const std::string& net_handle) {
+  out << "NetHandle:      "
+      << (net_handle.empty() ? "NET-" + block.netname : net_handle) << "\n";
+  out << "NetRange:       " << block.range.to_string() << "\n";
+  out << "NetType:        " << block.status << "\n";
+  // ARIN's managing handle is the OrgID; fall back to the first maintainer.
+  const std::string& org = !block.org_id.empty()
+                               ? block.org_id
+                               : (block.maintainers.empty()
+                                      ? block.org_id
+                                      : block.maintainers.front());
+  if (!org.empty()) out << "OrgID:          " << org << "\n";
+  if (!block.netname.empty()) out << "NetName:        " << block.netname << "\n";
+  if (!block.country.empty()) out << "Country:        " << block.country << "\n";
+  out << "\n";
+}
+
+void write_lacnic_block(std::ostream& out, const InetBlock& block,
+                        const std::string& owner_name) {
+  for (const Prefix& prefix : block.range.to_prefixes()) {
+    out << "inetnum:        " << prefix.to_string() << "\n";
+    out << "status:         " << block.status << "\n";
+    if (!owner_name.empty()) out << "owner:          " << owner_name << "\n";
+    const std::string& owner_id = !block.org_id.empty()
+                                      ? block.org_id
+                                      : (block.maintainers.empty()
+                                             ? block.org_id
+                                             : block.maintainers.front());
+    if (!owner_id.empty()) out << "ownerid:        " << owner_id << "\n";
+    if (!block.country.empty()) out << "country:        " << block.country << "\n";
+    out << "\n";
+  }
+}
+
+}  // namespace
+
+void write_block(std::ostream& out, const InetBlock& block,
+                 const std::string& owner_name,
+                 const std::string& net_handle) {
+  switch (block.rir) {
+    case Rir::kArin:
+      write_arin_block(out, block, net_handle);
+      break;
+    case Rir::kLacnic:
+      write_lacnic_block(out, block, owner_name);
+      break;
+    default:
+      write_rpsl_block(out, block);
+      break;
+  }
+}
+
+void write_autnum(std::ostream& out, const AutNumRec& autnum,
+                  const std::string& owner_name) {
+  switch (autnum.rir) {
+    case Rir::kArin:
+      out << "ASHandle:       " << autnum.asn.to_string() << "\n";
+      if (!autnum.org_id.empty()) out << "OrgID:          " << autnum.org_id << "\n";
+      out << "ASName:         "
+          << (autnum.as_name.empty() ? "AS-" + std::to_string(autnum.asn.value())
+                                     : autnum.as_name)
+          << "\n\n";
+      break;
+    case Rir::kLacnic:
+      out << "aut-num:        " << autnum.asn.to_string() << "\n";
+      if (!owner_name.empty()) out << "owner:          " << owner_name << "\n";
+      if (!autnum.org_id.empty()) out << "ownerid:        " << autnum.org_id << "\n";
+      out << "\n";
+      break;
+    default:
+      out << "aut-num:        " << autnum.asn.to_string() << "\n";
+      out << "as-name:        "
+          << (autnum.as_name.empty() ? "AS-" + std::to_string(autnum.asn.value())
+                                     : autnum.as_name)
+          << "\n";
+      if (!autnum.org_id.empty()) out << "org:            " << autnum.org_id << "\n";
+      for (const std::string& mnt : autnum.maintainers) {
+        out << "mnt-by:         " << mnt << "\n";
+      }
+      out << "source:         " << rir_name(autnum.rir) << "\n\n";
+      break;
+  }
+}
+
+void write_org(std::ostream& out, const OrgRec& org) {
+  switch (org.rir) {
+    case Rir::kArin:
+      out << "OrgID:          " << org.id << "\n";
+      out << "OrgName:        " << org.name << "\n";
+      if (!org.country.empty()) out << "Country:        " << org.country << "\n";
+      out << "\n";
+      break;
+    case Rir::kLacnic:
+      break;  // no standalone organisation objects
+    default:
+      out << "organisation:   " << org.id << "\n";
+      out << "org-name:       " << org.name << "\n";
+      for (const std::string& mnt : org.maintainers) {
+        out << "mnt-by:         " << mnt << "\n";
+      }
+      if (!org.country.empty()) out << "country:        " << org.country << "\n";
+      out << "source:         " << rir_name(org.rir) << "\n\n";
+      break;
+  }
+}
+
+}  // namespace sublet::whois

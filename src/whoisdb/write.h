@@ -1,0 +1,34 @@
+// WHOIS database serialization — the write side of the three dialects.
+//
+// Complements parse.h: objects written here parse back identically through
+// parse_whois_db(). Used by the synthetic-Internet generator and by any
+// tool that needs to produce registry-shaped fixtures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "whoisdb/model.h"
+
+namespace sublet::whois {
+
+/// Write a file header comment appropriate for the dialect.
+void write_db_header(std::ostream& out, Rir rir);
+
+/// Serialize one address block in the RIR's dialect. For ARIN the first
+/// maintainer doubles as the OrgID (ARIN has no maintainer objects); for
+/// LACNIC multi-prefix ranges become one CIDR record each and the org name
+/// is embedded as `owner`.
+void write_block(std::ostream& out, const InetBlock& block,
+                 const std::string& owner_name = {},
+                 const std::string& net_handle = {});
+
+/// Serialize an AS number record (aut-num / ASHandle).
+void write_autnum(std::ostream& out, const AutNumRec& autnum,
+                  const std::string& owner_name = {});
+
+/// Serialize an organisation record. LACNIC has no standalone org objects
+/// (§5.1) — this is a no-op for LACNIC records.
+void write_org(std::ostream& out, const OrgRec& org);
+
+}  // namespace sublet::whois

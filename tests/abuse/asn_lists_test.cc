@@ -1,0 +1,88 @@
+#include "abuse/asn_lists.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sublet::abuse {
+namespace {
+
+TEST(AsnSet, BasicMembership) {
+  AsnSet set;
+  set.add(Asn(213371));
+  set.add(Asn(400990));
+  EXPECT_TRUE(set.contains(Asn(213371)));
+  EXPECT_FALSE(set.contains(Asn(15169)));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.all(), (std::vector<Asn>{Asn(213371), Asn(400990)}));
+}
+
+TEST(ParseDrop, JsonLines) {
+  std::istringstream in(
+      "{\"asn\":213371,\"rir\":\"ripencc\",\"domain\":null,\"cc\":\"SC\"}\n"
+      "{\"asn\": 400990, \"rir\":\"arin\"}\n"
+      "{\"type\":\"metadata\",\"timestamp\":1712000000}\n");
+  auto set = AsnSet::parse_drop(in);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(Asn(213371)));
+  EXPECT_TRUE(set.contains(Asn(400990)));
+}
+
+TEST(ParseDrop, HistoricalFormat) {
+  std::istringstream in(
+      "; Spamhaus ASN DROP List\n"
+      "AS213371 ; EVIL-NET\n"
+      "AS400990 ; WORSE-NET\n");
+  auto set = AsnSet::parse_drop(in);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(Asn(213371)));
+}
+
+TEST(ParseDrop, BadLinesDiagnosed) {
+  std::istringstream in("{\"no_asn_field\":1}\nnot-an-asn\n");
+  std::vector<Error> diags;
+  auto set = AsnSet::parse_drop(in, "t", &diags);
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_EQ(diags.size(), 2u);
+}
+
+TEST(ParsePlain, OneAsnPerLine) {
+  std::istringstream in("# serial hijackers\n123\nAS456\n\n789\n");
+  auto set = AsnSet::parse_plain(in);
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.contains(Asn(456)));
+}
+
+TEST(WriteDrop, RoundTrip) {
+  AsnSet set;
+  set.add(Asn(999));
+  set.add(Asn(111));
+  std::ostringstream out;
+  set.write_drop(out);
+  std::istringstream in(out.str());
+  auto loaded = AsnSet::parse_drop(in);
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_TRUE(loaded.contains(Asn(111)));
+  EXPECT_TRUE(loaded.contains(Asn(999)));
+}
+
+TEST(WritePlain, RoundTrip) {
+  AsnSet set;
+  set.add(Asn(42));
+  std::ostringstream out;
+  set.write_plain(out);
+  std::istringstream in(out.str());
+  auto loaded = AsnSet::parse_plain(in);
+  EXPECT_EQ(loaded.size(), 1u);
+  EXPECT_TRUE(loaded.contains(Asn(42)));
+}
+
+TEST(LoadLists, MissingFilesThrow) {
+  EXPECT_THROW(AsnSet::load_drop("/nonexistent/drop.json"),
+               std::runtime_error);
+  EXPECT_THROW(AsnSet::load_plain("/nonexistent/hijackers.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sublet::abuse

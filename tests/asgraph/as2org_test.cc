@@ -1,0 +1,73 @@
+#include "asgraph/as2org.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sublet::asgraph {
+namespace {
+
+TEST(As2Org, MappingAndSiblings) {
+  As2Org orgs;
+  orgs.add_mapping(Asn(100), "ORG-VOD", "VODAFONE-DE");
+  orgs.add_mapping(Asn(200), "ORG-VOD", "VODAFONE-UK");
+  orgs.add_mapping(Asn(300), "ORG-OTHER");
+  orgs.add_org("ORG-VOD", "Vodafone Group", "GB");
+
+  EXPECT_EQ(orgs.org_of(Asn(100)), "ORG-VOD");
+  EXPECT_TRUE(orgs.siblings(Asn(100), Asn(200)));
+  EXPECT_FALSE(orgs.siblings(Asn(100), Asn(300)));
+  EXPECT_FALSE(orgs.siblings(Asn(999), Asn(998)))
+      << "unmapped ASes are never siblings";
+  EXPECT_EQ(orgs.org_name("ORG-VOD"), "Vodafone Group");
+  EXPECT_EQ(orgs.org_name("ORG-UNKNOWN"), "ORG-UNKNOWN")
+      << "falls back to the handle";
+}
+
+TEST(As2Org, AsnsOfOrg) {
+  As2Org orgs;
+  orgs.add_mapping(Asn(1), "A");
+  orgs.add_mapping(Asn(2), "A");
+  orgs.add_mapping(Asn(3), "B");
+  EXPECT_EQ(orgs.asns_of_org("A").size(), 2u);
+  EXPECT_TRUE(orgs.asns_of_org("C").empty());
+}
+
+TEST(As2Org, ParseCaidaFlatFormat) {
+  std::istringstream in(
+      "# format: aut|changed|aut_name|org_id|opaque_id|source\n"
+      "8851|20240401|GCI-AS|ORG-GCI|*|SIM\n"
+      "15169|20240401|GOOGLE|ORG-GOOG|*|SIM\n"
+      "# format: org_id|changed|org_name|country|source\n"
+      "ORG-GCI|20240401|GCI Network|SE|SIM\n"
+      "ORG-GOOG|20240401|Google LLC|US|SIM\n");
+  auto orgs = As2Org::parse(in);
+  EXPECT_EQ(orgs.mapping_count(), 2u);
+  EXPECT_EQ(orgs.org_of(Asn(8851)), "ORG-GCI");
+  EXPECT_EQ(orgs.org_name("ORG-GOOG"), "Google LLC");
+}
+
+TEST(As2Org, LinesOutsideSectionDiagnosed) {
+  std::istringstream in("8851|20240401|X|ORG|*|SIM\n");
+  std::vector<Error> diags;
+  auto orgs = As2Org::parse(in, "t", &diags);
+  EXPECT_EQ(orgs.mapping_count(), 0u);
+  EXPECT_EQ(diags.size(), 1u);
+}
+
+TEST(As2Org, WriteParseRoundTrip) {
+  As2Org orgs;
+  orgs.add_mapping(Asn(64500), "ORG-A", "A-AS");
+  orgs.add_mapping(Asn(64501), "ORG-A", "A2-AS");
+  orgs.add_org("ORG-A", "Alpha Networks", "SE");
+
+  std::ostringstream out;
+  orgs.write(out);
+  std::istringstream in(out.str());
+  auto loaded = As2Org::parse(in);
+  EXPECT_TRUE(loaded.siblings(Asn(64500), Asn(64501)));
+  EXPECT_EQ(loaded.org_name("ORG-A"), "Alpha Networks");
+}
+
+}  // namespace
+}  // namespace sublet::asgraph

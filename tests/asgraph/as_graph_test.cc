@@ -1,0 +1,77 @@
+#include "asgraph/as_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sublet::asgraph {
+namespace {
+
+struct Fixture {
+  AsRelationships rels;
+  As2Org orgs;
+
+  Fixture() {
+    rels.add_p2c(Asn(3356), Asn(8851));  // provider-customer
+    rels.add_p2p(Asn(3356), Asn(174));
+    orgs.add_mapping(Asn(100), "ORG-VOD");
+    orgs.add_mapping(Asn(200), "ORG-VOD");  // siblings
+    orgs.add_mapping(Asn(300), "ORG-X");
+  }
+};
+
+TEST(AsGraph, SelfIsRelated) {
+  Fixture f;
+  AsGraph graph(&f.rels, &f.orgs);
+  EXPECT_TRUE(graph.related(Asn(42), Asn(42)));
+}
+
+TEST(AsGraph, DirectEdgesAreRelated) {
+  Fixture f;
+  AsGraph graph(&f.rels, &f.orgs);
+  EXPECT_TRUE(graph.related(Asn(3356), Asn(8851)));
+  EXPECT_TRUE(graph.related(Asn(8851), Asn(3356)));
+  EXPECT_TRUE(graph.related(Asn(174), Asn(3356)));
+  EXPECT_FALSE(graph.related(Asn(8851), Asn(174)))
+      << "relatedness is direct only, not transitive";
+}
+
+TEST(AsGraph, SiblingsAreRelated) {
+  Fixture f;
+  AsGraph graph(&f.rels, &f.orgs);
+  EXPECT_TRUE(graph.related(Asn(100), Asn(200)));
+  EXPECT_FALSE(graph.related(Asn(100), Asn(300)));
+}
+
+TEST(AsGraph, SiblingKnowledgeCanBeAblated) {
+  Fixture f;
+  AsGraph graph(&f.rels, &f.orgs, {.use_siblings = false});
+  EXPECT_FALSE(graph.related(Asn(100), Asn(200)))
+      << "A2 ablation: uncaptured subsidiaries look unrelated (Vodafone FPs)";
+  EXPECT_TRUE(graph.related(Asn(3356), Asn(8851)));
+}
+
+TEST(AsGraph, RelationshipKnowledgeCanBeAblated) {
+  Fixture f;
+  AsGraph graph(&f.rels, &f.orgs, {.use_relationships = false});
+  EXPECT_FALSE(graph.related(Asn(3356), Asn(8851)));
+  EXPECT_TRUE(graph.related(Asn(100), Asn(200)));
+}
+
+TEST(AsGraph, NullDatasetsAreSafe) {
+  AsGraph graph(nullptr, nullptr);
+  EXPECT_TRUE(graph.related(Asn(1), Asn(1)));
+  EXPECT_FALSE(graph.related(Asn(1), Asn(2)));
+}
+
+TEST(AsGraph, RelatedToAny) {
+  Fixture f;
+  AsGraph graph(&f.rels, &f.orgs);
+  std::vector<Asn> holder_asns = {Asn(3356), Asn(999)};
+  EXPECT_TRUE(graph.related_to_any(Asn(8851), holder_asns));
+  EXPECT_FALSE(graph.related_to_any(Asn(12345), holder_asns));
+  EXPECT_FALSE(graph.related_to_any(Asn(8851), std::vector<Asn>{}));
+}
+
+}  // namespace
+}  // namespace sublet::asgraph

@@ -1,0 +1,96 @@
+#include "asgraph/as_rel.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sublet::asgraph {
+namespace {
+
+TEST(AsRel, DirectionalQueries) {
+  AsRelationships rels;
+  rels.add_p2c(Asn(3356), Asn(8851));
+  rels.add_p2p(Asn(3356), Asn(174));
+
+  EXPECT_EQ(rels.rel(Asn(3356), Asn(8851)), Relationship::kProvider);
+  EXPECT_EQ(rels.rel(Asn(8851), Asn(3356)), Relationship::kCustomer);
+  EXPECT_EQ(rels.rel(Asn(3356), Asn(174)), Relationship::kPeer);
+  EXPECT_EQ(rels.rel(Asn(174), Asn(3356)), Relationship::kPeer);
+  EXPECT_EQ(rels.rel(Asn(8851), Asn(174)), Relationship::kNone);
+}
+
+TEST(AsRel, HasEdgeEitherDirection) {
+  AsRelationships rels;
+  rels.add_p2c(Asn(1), Asn(2));
+  EXPECT_TRUE(rels.has_edge(Asn(1), Asn(2)));
+  EXPECT_TRUE(rels.has_edge(Asn(2), Asn(1)));
+  EXPECT_FALSE(rels.has_edge(Asn(1), Asn(3)));
+}
+
+TEST(AsRel, NeighborLists) {
+  AsRelationships rels;
+  rels.add_p2c(Asn(10), Asn(20));
+  rels.add_p2c(Asn(10), Asn(30));
+  rels.add_p2c(Asn(5), Asn(10));
+  rels.add_p2p(Asn(10), Asn(11));
+
+  auto customers = rels.customers_of(Asn(10));
+  EXPECT_EQ(customers.size(), 2u);
+  auto providers = rels.providers_of(Asn(10));
+  ASSERT_EQ(providers.size(), 1u);
+  EXPECT_EQ(providers[0], Asn(5));
+  auto peers = rels.peers_of(Asn(10));
+  ASSERT_EQ(peers.size(), 1u);
+  EXPECT_EQ(peers[0], Asn(11));
+  EXPECT_EQ(rels.degree(Asn(10)), 4u);
+  EXPECT_EQ(rels.degree(Asn(999)), 0u);
+}
+
+TEST(AsRel, SelfEdgeAndDuplicateIgnored) {
+  AsRelationships rels;
+  rels.add_p2c(Asn(1), Asn(1));
+  EXPECT_EQ(rels.edge_count(), 0u);
+  rels.add_p2c(Asn(1), Asn(2));
+  rels.add_p2c(Asn(1), Asn(2));
+  EXPECT_EQ(rels.degree(Asn(1)), 1u);
+  // A conflicting re-add does not overwrite the first orientation.
+  rels.add_p2c(Asn(2), Asn(1));
+  EXPECT_EQ(rels.rel(Asn(1), Asn(2)), Relationship::kProvider);
+}
+
+TEST(AsRel, ParseSerial1) {
+  std::istringstream in(
+      "# CAIDA-style header\n"
+      "3356|8851|-1\n"
+      "3356|174|0\n"
+      "bogus line\n"
+      "1|2|7\n");
+  std::vector<Error> diags;
+  auto rels = AsRelationships::parse(in, "test", &diags);
+  EXPECT_EQ(rels.rel(Asn(3356), Asn(8851)), Relationship::kProvider);
+  EXPECT_EQ(rels.rel(Asn(174), Asn(3356)), Relationship::kPeer);
+  EXPECT_EQ(diags.size(), 2u);
+}
+
+TEST(AsRel, WriteParseRoundTrip) {
+  AsRelationships rels;
+  rels.add_p2c(Asn(3356), Asn(8851));
+  rels.add_p2c(Asn(174), Asn(8851));
+  rels.add_p2p(Asn(3356), Asn(174));
+
+  std::ostringstream out;
+  rels.write(out);
+  std::istringstream in(out.str());
+  auto loaded = AsRelationships::parse(in);
+  EXPECT_EQ(loaded.rel(Asn(3356), Asn(8851)), Relationship::kProvider);
+  EXPECT_EQ(loaded.rel(Asn(8851), Asn(174)), Relationship::kCustomer);
+  EXPECT_EQ(loaded.rel(Asn(174), Asn(3356)), Relationship::kPeer);
+}
+
+TEST(AsRel, LoadMissingThrows) {
+  EXPECT_THROW(AsRelationships::load("/nonexistent/rel.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sublet::asgraph

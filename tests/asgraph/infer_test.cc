@@ -1,0 +1,97 @@
+#include "asgraph/infer.h"
+
+#include <gtest/gtest.h>
+
+namespace sublet::asgraph {
+namespace {
+
+TEST(Infer, SimpleHierarchy) {
+  // Tier1 (high degree) in the middle of many paths.
+  std::vector<std::vector<Asn>> paths = {
+      {Asn(10), Asn(1), Asn(20)},
+      {Asn(11), Asn(1), Asn(21)},
+      {Asn(12), Asn(1), Asn(22)},
+      {Asn(13), Asn(1), Asn(20)},
+  };
+  auto rels = infer_relationships(paths);
+  // AS1 has degree 7, everyone else 1: AS1 is the top of each path and
+  // should be the provider on every edge.
+  EXPECT_EQ(rels.rel(Asn(1), Asn(10)), Relationship::kProvider);
+  EXPECT_EQ(rels.rel(Asn(1), Asn(20)), Relationship::kProvider);
+  EXPECT_EQ(rels.rel(Asn(22), Asn(1)), Relationship::kCustomer);
+}
+
+TEST(Infer, PrependingCollapsed) {
+  std::vector<std::vector<Asn>> paths = {
+      {Asn(10), Asn(1), Asn(1), Asn(1), Asn(20)},
+      {Asn(11), Asn(1), Asn(21)},
+      {Asn(12), Asn(1), Asn(22)},
+  };
+  auto rels = infer_relationships(paths);
+  EXPECT_EQ(rels.rel(Asn(1), Asn(20)), Relationship::kProvider);
+  EXPECT_EQ(rels.rel(Asn(1), Asn(1)), Relationship::kNone);
+}
+
+TEST(Infer, ChainBelowTop) {
+  // Collector peer -> tier1 -> regional -> stub: downhill after the top.
+  std::vector<std::vector<Asn>> paths = {
+      {Asn(50), Asn(1), Asn(30), Asn(40)},
+      {Asn(51), Asn(1), Asn(31)},
+      {Asn(52), Asn(1), Asn(30), Asn(41)},
+      {Asn(53), Asn(1), Asn(32)},
+  };
+  auto rels = infer_relationships(paths);
+  EXPECT_EQ(rels.rel(Asn(1), Asn(30)), Relationship::kProvider);
+  EXPECT_EQ(rels.rel(Asn(30), Asn(40)), Relationship::kProvider);
+  EXPECT_EQ(rels.rel(Asn(30), Asn(41)), Relationship::kProvider);
+}
+
+TEST(Infer, MiddleAsIsProviderOfBothEnds) {
+  std::vector<std::vector<Asn>> paths = {
+      {Asn(1), Asn(2), Asn(3)},
+      {Asn(3), Asn(2), Asn(1)},
+  };
+  // AS2 has degree 2, the ends degree 1: AS2 tops both paths and provides
+  // transit in both directions.
+  auto rels = infer_relationships(paths);
+  EXPECT_EQ(rels.rel(Asn(2), Asn(1)), Relationship::kProvider);
+  EXPECT_EQ(rels.rel(Asn(2), Asn(3)), Relationship::kProvider);
+}
+
+TEST(Infer, ConflictingVotesBecomePeers) {
+  // Equal-degree pair observed in both orders: the orientation votes
+  // cancel and the edge falls back to peer.
+  std::vector<std::vector<Asn>> paths = {
+      {Asn(1), Asn(2)},
+      {Asn(2), Asn(1)},
+  };
+  auto rels = infer_relationships(paths);
+  EXPECT_EQ(rels.rel(Asn(1), Asn(2)), Relationship::kPeer);
+}
+
+TEST(Infer, EmptyAndSingletonPaths) {
+  std::vector<std::vector<Asn>> paths = {{}, {Asn(1)}, {Asn(2), Asn(2)}};
+  auto rels = infer_relationships(paths);
+  EXPECT_EQ(rels.edge_count(), 0u);
+}
+
+TEST(Infer, AgreesWithTruthOnTree) {
+  // Build a 2-level tree: AS1 -> {AS10, AS11}, AS10 -> {AS100, AS101},
+  // AS11 -> {AS110}. Emit collector paths from a peer attached to AS1.
+  std::vector<std::vector<Asn>> paths;
+  auto emit = [&](std::vector<Asn> p) { paths.push_back(std::move(p)); };
+  emit({Asn(9), Asn(1), Asn(10)});
+  emit({Asn(9), Asn(1), Asn(10), Asn(100)});
+  emit({Asn(9), Asn(1), Asn(10), Asn(101)});
+  emit({Asn(9), Asn(1), Asn(11)});
+  emit({Asn(9), Asn(1), Asn(11), Asn(110)});
+  auto rels = infer_relationships(paths);
+  EXPECT_EQ(rels.rel(Asn(1), Asn(10)), Relationship::kProvider);
+  EXPECT_EQ(rels.rel(Asn(1), Asn(11)), Relationship::kProvider);
+  EXPECT_EQ(rels.rel(Asn(10), Asn(100)), Relationship::kProvider);
+  EXPECT_EQ(rels.rel(Asn(10), Asn(101)), Relationship::kProvider);
+  EXPECT_EQ(rels.rel(Asn(11), Asn(110)), Relationship::kProvider);
+}
+
+}  // namespace
+}  // namespace sublet::asgraph

@@ -1,0 +1,140 @@
+#include "bgp/origin_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "mrt/mrt.h"
+
+namespace sublet::bgp {
+namespace {
+
+Prefix P(const char* s) { return *Prefix::parse(s); }
+
+TEST(OriginTracker, AnnounceWithdrawHistory) {
+  OriginTracker tracker;
+  tracker.announce(100, P("10.0.0.0/24"), {Asn(1)});
+  tracker.withdraw(200, P("10.0.0.0/24"));
+  tracker.announce(300, P("10.0.0.0/24"), {Asn(2)});
+
+  const auto* history = tracker.history(P("10.0.0.0/24"));
+  ASSERT_NE(history, nullptr);
+  ASSERT_EQ(history->size(), 3u);
+  EXPECT_EQ((*history)[0].origins, std::vector<Asn>{Asn(1)});
+  EXPECT_TRUE((*history)[1].origins.empty());
+  EXPECT_EQ((*history)[2].origins, std::vector<Asn>{Asn(2)});
+}
+
+TEST(OriginTracker, DuplicateStateCollapses) {
+  OriginTracker tracker;
+  tracker.announce(100, P("10.0.0.0/24"), {Asn(1)});
+  tracker.announce(150, P("10.0.0.0/24"), {Asn(1)});  // no state change
+  tracker.withdraw(200, P("10.0.0.0/24"));
+  tracker.withdraw(250, P("10.0.0.0/24"));  // already withdrawn
+  EXPECT_EQ(tracker.history(P("10.0.0.0/24"))->size(), 2u);
+}
+
+TEST(OriginTracker, OriginsAtPointInTime) {
+  OriginTracker tracker;
+  tracker.announce(100, P("10.0.0.0/24"), {Asn(1)});
+  tracker.withdraw(200, P("10.0.0.0/24"));
+  tracker.announce(300, P("10.0.0.0/24"), {Asn(2)});
+
+  EXPECT_TRUE(tracker.origins_at(P("10.0.0.0/24"), 50).empty());
+  EXPECT_EQ(tracker.origins_at(P("10.0.0.0/24"), 100),
+            std::vector<Asn>{Asn(1)});
+  EXPECT_EQ(tracker.origins_at(P("10.0.0.0/24"), 199),
+            std::vector<Asn>{Asn(1)});
+  EXPECT_TRUE(tracker.origins_at(P("10.0.0.0/24"), 250).empty());
+  EXPECT_EQ(tracker.origins_at(P("10.0.0.0/24"), 999),
+            std::vector<Asn>{Asn(2)});
+}
+
+TEST(OriginTracker, EverOriginsUnion) {
+  OriginTracker tracker;
+  tracker.announce(100, P("10.0.0.0/24"), {Asn(2)});
+  tracker.withdraw(200, P("10.0.0.0/24"));
+  tracker.announce(300, P("10.0.0.0/24"), {Asn(1)});
+  EXPECT_EQ(tracker.ever_origins(P("10.0.0.0/24")),
+            (std::vector<Asn>{Asn(1), Asn(2)}));
+  EXPECT_TRUE(tracker.ever_origins(P("192.0.2.0/24")).empty());
+}
+
+TEST(OriginTracker, ApplyUpdateMessage) {
+  OriginTracker tracker;
+  mrt::Bgp4mpMessage msg;
+  msg.type = mrt::BgpMessageType::kUpdate;
+  msg.announced = {P("213.210.33.0/24")};
+  msg.attributes.as_path.segments = {
+      {mrt::AsPathSegmentType::kAsSequence, {Asn(3356), Asn(15169)}}};
+  tracker.apply(1000, msg);
+
+  mrt::Bgp4mpMessage withdraw;
+  withdraw.type = mrt::BgpMessageType::kUpdate;
+  withdraw.withdrawn = {P("213.210.33.0/24")};
+  tracker.apply(2000, withdraw);
+
+  EXPECT_EQ(tracker.origins_at(P("213.210.33.0/24"), 1500),
+            std::vector<Asn>{Asn(15169)});
+  EXPECT_TRUE(tracker.origins_at(P("213.210.33.0/24"), 2500).empty());
+}
+
+TEST(OriginTracker, NonUpdateMessagesIgnored) {
+  OriginTracker tracker;
+  mrt::Bgp4mpMessage keepalive;
+  keepalive.type = mrt::BgpMessageType::kKeepalive;
+  tracker.apply(1000, keepalive);
+  EXPECT_EQ(tracker.prefix_count(), 0u);
+}
+
+TEST(ReplayUpdatesFile, EndToEnd) {
+  std::string path = testing::TempDir() + "/sublet_updates.mrt";
+  {
+    std::ofstream out(path, std::ios::binary);
+    mrt::MrtWriter writer(out);
+    auto emit = [&](std::uint32_t ts, const mrt::Bgp4mpMessage& msg) {
+      writer.write(ts, mrt::MrtType::kBgp4mp,
+                   static_cast<std::uint16_t>(mrt::Bgp4mpSubtype::kMessageAs4),
+                   mrt::encode_bgp4mp(msg, mrt::Bgp4mpSubtype::kMessageAs4));
+    };
+    mrt::Bgp4mpMessage announce;
+    announce.peer_asn = Asn(3356);
+    announce.local_asn = Asn(65001);
+    announce.type = mrt::BgpMessageType::kUpdate;
+    announce.announced = {P("213.210.33.0/24")};
+    announce.attributes.as_path.segments = {
+        {mrt::AsPathSegmentType::kAsSequence, {Asn(3356), Asn(834)}}};
+    emit(100, announce);
+
+    mrt::Bgp4mpMessage keepalive;
+    keepalive.peer_asn = Asn(3356);
+    keepalive.local_asn = Asn(65001);
+    keepalive.type = mrt::BgpMessageType::kKeepalive;
+    emit(150, keepalive);
+
+    mrt::Bgp4mpMessage withdraw;
+    withdraw.peer_asn = Asn(3356);
+    withdraw.local_asn = Asn(65001);
+    withdraw.type = mrt::BgpMessageType::kUpdate;
+    withdraw.withdrawn = {P("213.210.33.0/24")};
+    emit(200, withdraw);
+  }
+
+  OriginTracker tracker;
+  auto applied = replay_updates_file(path, tracker);
+  ASSERT_TRUE(applied) << applied.error().to_string();
+  EXPECT_EQ(*applied, 2u) << "keepalive is not an update";
+  EXPECT_EQ(tracker.origins_at(P("213.210.33.0/24"), 120),
+            std::vector<Asn>{Asn(834)});
+  EXPECT_TRUE(tracker.origins_at(P("213.210.33.0/24"), 220).empty());
+  std::remove(path.c_str());
+}
+
+TEST(ReplayUpdatesFile, MissingFile) {
+  OriginTracker tracker;
+  EXPECT_FALSE(replay_updates_file("/nonexistent/updates.mrt", tracker));
+}
+
+}  // namespace
+}  // namespace sublet::bgp

@@ -1,0 +1,72 @@
+#include "geo/geodb.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sublet::geo {
+namespace {
+
+Prefix P(const char* s) { return *Prefix::parse(s); }
+
+TEST(GeoDb, LongestMatchLookup) {
+  GeoDb db("test");
+  db.add(P("213.210.0.0/18"), "SE");
+  db.add(P("213.210.33.0/24"), "US");
+  EXPECT_EQ(db.lookup(P("213.210.33.0/24")), "US");
+  EXPECT_EQ(db.lookup(P("213.210.2.0/24")), "SE") << "falls to the /18";
+  EXPECT_EQ(db.lookup(P("10.0.0.0/8")), "") << "unmapped";
+}
+
+TEST(GeoDb, CsvRoundTrip) {
+  GeoDb db("p0");
+  db.add(P("10.0.0.0/8"), "US");
+  db.add(P("213.210.33.0/24"), "BR");
+  std::ostringstream out;
+  db.write_csv(out);
+  std::istringstream in(out.str());
+  auto loaded = GeoDb::parse_csv(in, "p0");
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.lookup(P("213.210.33.0/24")), "BR");
+}
+
+TEST(GeoDb, BadRowsDiagnosed) {
+  std::istringstream in("# ok\n10.0.0.0/8,US\nnocomma\nbadprefix,DE\n,US\n");
+  std::vector<Error> diags;
+  auto db = GeoDb::parse_csv(in, "t", &diags);
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_EQ(diags.size(), 3u);
+}
+
+TEST(GeoDb, LoadMissingThrows) {
+  EXPECT_THROW(GeoDb::load_csv("/nonexistent/geo.csv"), std::runtime_error);
+}
+
+TEST(CheckConsistency, CountsDistinctAnswers) {
+  std::vector<GeoDb> dbs(3);
+  dbs[0].add(P("10.0.0.0/24"), "SE");
+  dbs[1].add(P("10.0.0.0/24"), "US");
+  dbs[2].add(P("10.0.0.0/24"), "SE");
+
+  auto result = check_consistency(dbs, P("10.0.0.0/24"));
+  EXPECT_EQ(result.countries.size(), 3u);
+  EXPECT_EQ(result.distinct, 2u);
+  EXPECT_FALSE(result.consistent());
+}
+
+TEST(CheckConsistency, AgreementAndMissingAnswers) {
+  std::vector<GeoDb> dbs(3);
+  dbs[0].add(P("10.0.0.0/24"), "SE");
+  dbs[1].add(P("10.0.0.0/24"), "SE");
+  // dbs[2] has no entry.
+  auto result = check_consistency(dbs, P("10.0.0.0/24"));
+  EXPECT_EQ(result.countries.size(), 2u);
+  EXPECT_TRUE(result.consistent());
+
+  auto missing = check_consistency(dbs, P("192.0.2.0/24"));
+  EXPECT_TRUE(missing.countries.empty());
+  EXPECT_TRUE(missing.consistent());
+}
+
+}  // namespace
+}  // namespace sublet::geo

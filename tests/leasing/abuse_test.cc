@@ -1,0 +1,110 @@
+#include "leasing/abuse_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+
+namespace sublet::leasing {
+namespace {
+
+using testutil::P;
+
+LeaseInference lease(const char* prefix, std::uint32_t origin) {
+  LeaseInference out;
+  out.prefix = P(prefix);
+  out.group = InferenceGroup::kLeasedNoRoot;
+  out.leaf_origins = {Asn(origin)};
+  return out;
+}
+
+struct AbuseFixture {
+  std::vector<LeaseInference> inferences;
+  bgp::Rib rib;
+  abuse::AsnSet drop;
+
+  AbuseFixture() {
+    // 4 leased prefixes, 1 with a DROP origin.
+    inferences = {lease("10.0.1.0/24", 100), lease("10.0.2.0/24", 101),
+                  lease("10.0.3.0/24", 102), lease("10.0.4.0/24", 666)};
+    for (const auto& inference : inferences) {
+      rib.add_route(inference.prefix, inference.leaf_origins[0]);
+    }
+    // 6 non-leased routed prefixes, 1 with a DROP origin.
+    rib.add_route(P("20.0.1.0/24"), Asn(200));
+    rib.add_route(P("20.0.2.0/24"), Asn(201));
+    rib.add_route(P("20.0.3.0/24"), Asn(202));
+    rib.add_route(P("20.0.4.0/24"), Asn(203));
+    rib.add_route(P("20.0.5.0/24"), Asn(204));
+    rib.add_route(P("20.0.6.0/24"), Asn(667));
+    drop.add(Asn(666));
+    drop.add(Asn(667));
+  }
+};
+
+TEST(AbuseAnalysis, PrefixOverlap) {
+  AbuseFixture f;
+  AbuseAnalysis analysis(f.inferences, f.rib);
+  auto stats = analysis.prefix_overlap(f.drop);
+  EXPECT_EQ(stats.leased_total, 4u);
+  EXPECT_EQ(stats.leased_listed, 1u);
+  EXPECT_EQ(stats.nonleased_total, 6u);
+  EXPECT_EQ(stats.nonleased_listed, 1u);
+  EXPECT_NEAR(stats.leased_fraction(), 0.25, 1e-9);
+  EXPECT_NEAR(stats.nonleased_fraction(), 1.0 / 6, 1e-9);
+  EXPECT_NEAR(stats.risk_ratio(), 1.5, 1e-9);
+}
+
+TEST(AbuseAnalysis, NonLeasedInferencesCountAsBackground) {
+  AbuseFixture f;
+  LeaseInference customer;
+  customer.prefix = P("20.0.1.0/24");
+  customer.group = InferenceGroup::kIspCustomer;
+  customer.leaf_origins = {Asn(200)};
+  f.inferences.push_back(customer);
+  AbuseAnalysis analysis(f.inferences, f.rib);
+  auto stats = analysis.prefix_overlap(f.drop);
+  EXPECT_EQ(stats.leased_total, 4u) << "ISP customer is not leased";
+  EXPECT_EQ(stats.nonleased_total, 6u);
+}
+
+TEST(AbuseAnalysis, OriginatorOverlap) {
+  AbuseFixture f;
+  // A second lease from the same abusive originator: prefix share rises,
+  // originator count stays per-AS.
+  f.inferences.push_back(lease("10.0.5.0/24", 666));
+  f.rib.add_route(P("10.0.5.0/24"), Asn(666));
+  AbuseAnalysis analysis(f.inferences, f.rib);
+  auto stats = analysis.originator_overlap(f.drop);
+  EXPECT_EQ(stats.originators_total, 4u);  // 100,101,102,666
+  EXPECT_EQ(stats.originators_listed, 1u);
+  EXPECT_EQ(stats.leased_prefixes_total, 5u);
+  EXPECT_EQ(stats.leased_prefixes_by_listed, 2u);
+}
+
+TEST(AbuseAnalysis, RoaOverlap) {
+  AbuseFixture f;
+  rpki::VrpSet vrps;
+  vrps.add({P("10.0.1.0/24"), 24, Asn(100)});   // leased, clean ROA
+  vrps.add({P("10.0.4.0/24"), 24, Asn(666)});   // leased, blocklisted ROA
+  vrps.add({P("20.0.1.0/24"), 24, Asn(200)});   // non-leased, clean
+  AbuseAnalysis analysis(f.inferences, f.rib);
+  auto stats = analysis.roa_overlap(vrps, f.drop);
+  EXPECT_EQ(stats.leased_with_roa, 2u);
+  EXPECT_EQ(stats.leased_roas_total, 2u);
+  EXPECT_EQ(stats.leased_roas_listed, 1u);
+  EXPECT_EQ(stats.nonleased_with_roa, 1u);
+  EXPECT_EQ(stats.nonleased_roas_listed, 0u);
+}
+
+TEST(AbuseAnalysis, EmptyWorld) {
+  std::vector<LeaseInference> none;
+  bgp::Rib rib;
+  AbuseAnalysis analysis(none, rib);
+  abuse::AsnSet drop;
+  auto stats = analysis.prefix_overlap(drop);
+  EXPECT_EQ(stats.leased_total, 0u);
+  EXPECT_EQ(stats.risk_ratio(), 0.0);
+}
+
+}  // namespace
+}  // namespace sublet::leasing

@@ -1,0 +1,103 @@
+#include "leasing/baseline.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "fixtures.h"
+#include "leasing/pipeline.h"
+
+namespace sublet::leasing {
+namespace {
+
+using testutil::Fixture;
+using testutil::P;
+
+std::map<std::string, bool> baseline_map(const whois::WhoisDb& db) {
+  std::map<std::string, bool> out;
+  for (const auto& b : maintainer_baseline(db)) {
+    out[b.prefix.to_string()] = b.leased;
+  }
+  return out;
+}
+
+TEST(Baseline, DifferentMaintainerIsLeased) {
+  Fixture f;
+  auto verdicts = baseline_map(f.db);
+  EXPECT_TRUE(verdicts.at("213.210.33.0/24"))
+      << "IPXO-MNT differs from MNT-GCICOM";
+  EXPECT_TRUE(verdicts.at("198.51.3.0/24"));
+}
+
+TEST(Baseline, SameMaintainerIsNotLeased) {
+  Fixture f;
+  auto verdicts = baseline_map(f.db);
+  EXPECT_FALSE(verdicts.at("213.210.2.0/23"));
+  EXPECT_FALSE(verdicts.at("198.51.1.0/24"));
+  EXPECT_FALSE(verdicts.at("203.0.5.0/24"));
+}
+
+TEST(Baseline, DetectsInactiveLeaseOursCallsUnused) {
+  Fixture f;
+  // A broker-maintained leaf that is NOT originated: the baseline flags it
+  // (maintainer differs), our method files it under Unused — the paper's
+  // §6.1 concession.
+  f.db.add_block(testutil::block("198.51.7.0 - 198.51.7.255",
+                                 whois::Portability::kNonPortable, "",
+                                 "BROKER-MNT"));
+  auto verdicts = baseline_map(f.db);
+  EXPECT_TRUE(verdicts.at("198.51.7.0/24"));
+
+  auto graph = f.graph();
+  Pipeline pipeline(f.rib, graph);
+  auto ours = pipeline.classify(f.db);
+  auto prior = maintainer_baseline(f.db);
+  auto cmp = compare_methods(ours, prior);
+  EXPECT_GE(cmp.baseline_only_unused, 1u);
+}
+
+TEST(Baseline, MissesDirectLeaseUnderHolderMaintainer) {
+  Fixture f;
+  // Holder leases directly under its own maintainer and the lessee
+  // originates: ours says leased, the baseline misses it (ours_only).
+  f.db.add_block(testutil::block("198.51.9.0 - 198.51.9.255",
+                                 whois::Portability::kNonPortable, "",
+                                 "MNT-DARK"));
+  f.rib.add_route(P("198.51.9.0/24"), Asn(55555));  // unrelated origin
+  auto verdicts = baseline_map(f.db);
+  EXPECT_FALSE(verdicts.at("198.51.9.0/24"));
+
+  auto graph = f.graph();
+  Pipeline pipeline(f.rib, graph);
+  auto cmp = compare_methods(pipeline.classify(f.db),
+                             maintainer_baseline(f.db));
+  EXPECT_GE(cmp.ours_only, 1u);
+}
+
+TEST(Baseline, CompareMethodsPartition) {
+  Fixture f;
+  auto graph = f.graph();
+  Pipeline pipeline(f.rib, graph);
+  auto ours = pipeline.classify(f.db);
+  auto prior = maintainer_baseline(f.db);
+  auto cmp = compare_methods(ours, prior);
+  EXPECT_EQ(cmp.total(), prior.size());
+  EXPECT_EQ(cmp.both_leased, 2u)
+      << "both flag the IPXO leaf and the 198.51.3.0/24 leaf";
+}
+
+TEST(Baseline, LeafWithNoMaintainersNotLeased) {
+  whois::WhoisDb db(whois::Rir::kRipe);
+  db.add_block(testutil::block("10.0.0.0 - 10.0.255.255",
+                               whois::Portability::kPortable, "ORG-A",
+                               "MNT-A"));
+  whois::InetBlock leaf = testutil::block(
+      "10.0.5.0 - 10.0.5.255", whois::Portability::kNonPortable, "", "");
+  db.add_block(leaf);
+  auto verdicts = baseline_map(db);
+  EXPECT_FALSE(verdicts.at("10.0.5.0/24"))
+      << "no maintainer data -> no lease signal";
+}
+
+}  // namespace
+}  // namespace sublet::leasing

@@ -1,0 +1,60 @@
+#include "leasing/churn.h"
+
+#include <gtest/gtest.h>
+
+namespace sublet::leasing {
+namespace {
+
+Prefix P(const char* s) { return *Prefix::parse(s); }
+
+LeaseInference entry(const char* prefix, bool leased, std::uint32_t origin) {
+  LeaseInference out;
+  out.prefix = P(prefix);
+  out.group = leased ? InferenceGroup::kLeasedNoRoot
+                     : InferenceGroup::kIspCustomer;
+  if (origin) out.leaf_origins = {Asn(origin)};
+  return out;
+}
+
+TEST(Churn, AllTransitionKinds) {
+  std::vector<LeaseInference> before = {
+      entry("10.0.1.0/24", true, 100),   // stays identical -> stable
+      entry("10.0.2.0/24", true, 100),   // re-leased to 200 -> changed
+      entry("10.0.3.0/24", true, 100),   // becomes non-leased -> ended
+      entry("10.0.4.0/24", false, 50),   // non-lease both -> ignored
+      entry("10.0.5.0/24", true, 100),   // vanishes entirely -> ended
+  };
+  std::vector<LeaseInference> after = {
+      entry("10.0.1.0/24", true, 100),
+      entry("10.0.2.0/24", true, 200),
+      entry("10.0.3.0/24", false, 0),
+      entry("10.0.4.0/24", false, 50),
+      entry("10.0.6.0/24", true, 300),   // new lease -> started
+  };
+  auto churn = diff_inferences(before, after);
+  EXPECT_EQ(churn.stable, std::vector<Prefix>{P("10.0.1.0/24")});
+  EXPECT_EQ(churn.lessee_changed, std::vector<Prefix>{P("10.0.2.0/24")});
+  EXPECT_EQ(churn.ended,
+            (std::vector<Prefix>{P("10.0.3.0/24"), P("10.0.5.0/24")}));
+  EXPECT_EQ(churn.started, std::vector<Prefix>{P("10.0.6.0/24")});
+  EXPECT_EQ(churn.total_before(), 4u);
+  EXPECT_EQ(churn.total_after(), 3u);
+  EXPECT_NEAR(churn.churn_rate(), 3.0 / 4.0, 1e-9);
+}
+
+TEST(Churn, EmptyRuns) {
+  auto churn = diff_inferences({}, {});
+  EXPECT_EQ(churn.total_before(), 0u);
+  EXPECT_EQ(churn.churn_rate(), 0.0);
+}
+
+TEST(Churn, IdenticalRunsAreStable) {
+  std::vector<LeaseInference> run = {entry("10.0.1.0/24", true, 1),
+                                     entry("10.0.2.0/24", true, 2)};
+  auto churn = diff_inferences(run, run);
+  EXPECT_EQ(churn.stable.size(), 2u);
+  EXPECT_EQ(churn.churn_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace sublet::leasing

@@ -1,0 +1,105 @@
+#include "leasing/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace sublet::leasing {
+namespace {
+
+namespace fs = std::filesystem;
+
+class DatasetLoader : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = testing::TempDir() + "/sublet_dataset_test";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_ + "/whois");
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  void write(const std::string& rel, const std::string& content) {
+    fs::create_directories(fs::path(dir_ + "/" + rel).parent_path());
+    std::ofstream out(dir_ + "/" + rel);
+    out << content;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(DatasetLoader, MissingDirectoryThrows) {
+  EXPECT_THROW(load_dataset("/nonexistent/dataset"), std::runtime_error);
+}
+
+TEST_F(DatasetLoader, EmptyWhoisDirectoryThrows) {
+  EXPECT_THROW(load_dataset(dir_), std::runtime_error);
+}
+
+TEST_F(DatasetLoader, MinimalBundleLoadsWithEmptyOptionalPieces) {
+  write("whois/ripe.db",
+        "inetnum: 10.0.0.0 - 10.0.255.255\nstatus: ALLOCATED PA\n"
+        "org: ORG-A\nmnt-by: MNT-A\n");
+  auto bundle = load_dataset(dir_);
+  ASSERT_EQ(bundle.whois.size(), 1u);
+  EXPECT_EQ(bundle.whois[0].rir(), whois::Rir::kRipe);
+  EXPECT_EQ(bundle.rib.prefix_count(), 0u);
+  EXPECT_EQ(bundle.as_rel.edge_count(), 0u);
+  EXPECT_EQ(bundle.drop.size(), 0u);
+  EXPECT_EQ(bundle.transfers.size(), 0u);
+  EXPECT_TRUE(bundle.geodbs.empty());
+  EXPECT_EQ(bundle.current_vrps(), nullptr);
+  EXPECT_EQ(bundle.db_for(whois::Rir::kArin), nullptr);
+  EXPECT_NE(bundle.db_for(whois::Rir::kRipe), nullptr);
+}
+
+TEST_F(DatasetLoader, OptionalPiecesAreLoadedWhenPresent) {
+  write("whois/arin.db",
+        "NetHandle: NET-1\nNetRange: 192.0.2.0 - 192.0.2.255\n"
+        "NetType: Direct Allocation\nOrgID: X\n");
+  write("asgraph/as-rel.txt", "1|2|-1\n");
+  write("asgraph/as2org.txt",
+        "# format: aut|changed|aut_name|org_id|opaque_id|source\n"
+        "1|20240401|A|ORG-1|*|SIM\n"
+        "# format: org_id|changed|org_name|country|source\n"
+        "ORG-1|20240401|One|US|SIM\n");
+  write("lists/asn-drop.json", "{\"asn\":666}\n");
+  write("lists/serial-hijackers.txt", "667\n");
+  write("lists/brokers-arin.txt", "Broker One LLC\n");
+  write("lists/eval-isp-orgs.txt", "ARIN|ORG-ISP\nBOGUS-LINE\nNOPE|X\n");
+  write("lists/transfers.txt", "100|ARIN|192.0.2.0/24|A|B|market\n");
+  write("geo/provider-0.csv", "192.0.2.0/24,US\n");
+  write("rpki/vrps-100.csv", "AS1,192.0.2.0/24,24,sim\n");
+
+  auto bundle = load_dataset(dir_);
+  EXPECT_EQ(bundle.as_rel.edge_count(), 1u);
+  EXPECT_EQ(bundle.as2org.mapping_count(), 1u);
+  EXPECT_TRUE(bundle.drop.contains(Asn(666)));
+  EXPECT_TRUE(bundle.hijackers.contains(Asn(667)));
+  ASSERT_TRUE(bundle.brokers.contains(whois::Rir::kArin));
+  EXPECT_EQ(bundle.brokers.at(whois::Rir::kArin).size(), 1u);
+  ASSERT_TRUE(bundle.eval_isp_orgs.contains(whois::Rir::kArin));
+  EXPECT_EQ(bundle.eval_isp_orgs.at(whois::Rir::kArin).size(), 1u)
+      << "malformed lines skipped";
+  EXPECT_EQ(bundle.transfers.size(), 1u);
+  ASSERT_EQ(bundle.geodbs.size(), 1u);
+  EXPECT_EQ(bundle.geodbs[0].provider(), "provider-0");
+  ASSERT_NE(bundle.current_vrps(), nullptr);
+  EXPECT_EQ(bundle.current_vrps()->size(), 1u);
+}
+
+TEST_F(DatasetLoader, CorruptMrtIsDiagnosedNotFatal) {
+  write("whois/ripe.db",
+        "inetnum: 10.0.0.0 - 10.0.255.255\nstatus: ALLOCATED PA\n");
+  fs::create_directories(dir_ + "/bgp");
+  {
+    std::ofstream out(dir_ + "/bgp/rib.0.t0.mrt", std::ios::binary);
+    out << "this is not MRT";
+  }
+  auto bundle = load_dataset(dir_);
+  EXPECT_EQ(bundle.rib.prefix_count(), 0u);
+  EXPECT_FALSE(bundle.diagnostics.empty());
+}
+
+}  // namespace
+}  // namespace sublet::leasing

@@ -1,0 +1,117 @@
+#include "leasing/ecosystem.h"
+
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+
+namespace sublet::leasing {
+namespace {
+
+using testutil::P;
+
+LeaseInference lease(const char* prefix, whois::Rir rir, const char* holder,
+                     const char* mnt, std::uint32_t origin,
+                     InferenceGroup group = InferenceGroup::kLeasedNoRoot) {
+  LeaseInference out;
+  out.prefix = P(prefix);
+  out.rir = rir;
+  out.group = group;
+  out.holder_org = holder;
+  out.root_maintainers = {holder};  // holders maintain their own roots here
+  if (*mnt) out.leaf_maintainers = {mnt};
+  out.leaf_origins = {Asn(origin)};
+  return out;
+}
+
+std::vector<LeaseInference> sample() {
+  return {
+      lease("10.0.1.0/24", whois::Rir::kRipe, "ORG-RES", "IPXO-MNT", 9009),
+      lease("10.0.2.0/24", whois::Rir::kRipe, "ORG-RES", "IPXO-MNT", 9009),
+      lease("10.0.3.0/24", whois::Rir::kRipe, "ORG-RES", "HEXA-MNT", 396998),
+      lease("10.0.4.0/24", whois::Rir::kRipe, "ORG-CYB", "IPXO-MNT", 44477),
+      lease("20.0.1.0/24", whois::Rir::kArin, "ORG-EGI", "EGI", 9009),
+      // Not leased: must be ignored by the ecosystem.
+      lease("30.0.1.0/24", whois::Rir::kRipe, "ORG-X", "X-MNT", 1,
+            InferenceGroup::kIspCustomer),
+      // Self-facilitated (Cloud-Innovation style).
+      lease("40.0.1.0/24", whois::Rir::kAfrinic, "CLOUDINNOV", "CLOUDINNOV",
+            328000),
+  };
+}
+
+TEST(Ecosystem, CountsOnlyLeases) {
+  auto inferences = sample();
+  Ecosystem eco(inferences);
+  EXPECT_EQ(eco.lease_count(), 6u);
+}
+
+TEST(Ecosystem, TopHoldersPerRir) {
+  auto inferences = sample();
+  Ecosystem eco(inferences);
+  auto top = eco.top_holders(whois::Rir::kRipe, 3);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].name, "ORG-RES");
+  EXPECT_EQ(top[0].count, 3u);
+  EXPECT_EQ(top[1].name, "ORG-CYB");
+
+  auto arin = eco.top_holders(whois::Rir::kArin, 3);
+  ASSERT_EQ(arin.size(), 1u);
+  EXPECT_EQ(arin[0].name, "ORG-EGI");
+}
+
+TEST(Ecosystem, TopFacilitators) {
+  auto inferences = sample();
+  Ecosystem eco(inferences);
+  auto top = eco.top_facilitators(whois::Rir::kRipe, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].name, "ipxo-mnt");
+  EXPECT_EQ(top[0].count, 3u);
+}
+
+TEST(Ecosystem, TopOriginatorsGlobalWithOrgNames) {
+  auto inferences = sample();
+  asgraph::As2Org orgs;
+  orgs.add_mapping(Asn(9009), "ORG-M247");
+  orgs.add_org("ORG-M247", "M247 Europe");
+  Ecosystem eco(inferences, &orgs);
+  auto top = eco.top_originators(2);
+  ASSERT_GE(top.size(), 1u);
+  EXPECT_EQ(top[0].name, "M247 Europe");
+  EXPECT_EQ(top[0].count, 3u);
+}
+
+TEST(Ecosystem, LeaseOriginatorsDeduplicated) {
+  auto inferences = sample();
+  Ecosystem eco(inferences);
+  auto originators = eco.lease_originators();
+  EXPECT_EQ(originators.size(), 4u);  // 9009, 44477, 328000, 396998
+}
+
+TEST(Ecosystem, RolesAndSelfFacilitation) {
+  auto inferences = sample();
+  Ecosystem eco(inferences);
+  auto roles = eco.roles();
+  ASSERT_EQ(roles.size(), 6u);
+  std::size_t self_count = 0;
+  for (const auto& role : roles) {
+    if (role.self_facilitated) {
+      ++self_count;
+      EXPECT_EQ(role.holder, "CLOUDINNOV");
+    }
+  }
+  EXPECT_EQ(self_count, 1u);
+}
+
+TEST(Ecosystem, DeterministicTieBreak) {
+  std::vector<LeaseInference> inferences = {
+      lease("10.0.1.0/24", whois::Rir::kRipe, "B-ORG", "M", 1),
+      lease("10.0.2.0/24", whois::Rir::kRipe, "A-ORG", "M", 1),
+  };
+  Ecosystem eco(inferences);
+  auto top = eco.top_holders(whois::Rir::kRipe, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].name, "A-ORG") << "equal counts sort by name";
+}
+
+}  // namespace
+}  // namespace sublet::leasing

@@ -1,0 +1,157 @@
+#include "leasing/evaluation.h"
+
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+#include "leasing/pipeline.h"
+
+namespace sublet::leasing {
+namespace {
+
+using testutil::Fixture;
+using testutil::P;
+
+TEST(ConfusionMatrix, PaperTable2Numbers) {
+  // The paper's exact Table 2 cells must reproduce its reported metrics.
+  ConfusionMatrix m;
+  m.tp = 7735;
+  m.fn = 1743;
+  m.fp = 121;
+  m.tn = 5257;
+  EXPECT_NEAR(m.precision(), 0.98, 0.005);
+  EXPECT_NEAR(m.recall(), 0.82, 0.005);
+  EXPECT_NEAR(m.specificity(), 0.98, 0.005);
+  EXPECT_NEAR(m.npv(), 0.75, 0.005);
+  EXPECT_NEAR(m.accuracy(), 0.88, 0.01);  // paper rounds 0.8745 up
+  EXPECT_EQ(m.total(), 14856u);
+}
+
+TEST(ConfusionMatrix, EmptyIsZeroNotNan) {
+  ConfusionMatrix m;
+  EXPECT_EQ(m.precision(), 0.0);
+  EXPECT_EQ(m.recall(), 0.0);
+  EXPECT_EQ(m.accuracy(), 0.0);
+}
+
+TEST(Evaluate, CountsAllFourCells) {
+  std::vector<LeaseInference> results;
+  LeaseInference a;  // predicted leased
+  a.prefix = P("10.0.0.0/24");
+  a.group = InferenceGroup::kLeasedNoRoot;
+  LeaseInference b;  // predicted non-leased
+  b.prefix = P("10.0.1.0/24");
+  b.group = InferenceGroup::kIspCustomer;
+  LeaseInference c;  // predicted leased
+  c.prefix = P("10.0.2.0/24");
+  c.group = InferenceGroup::kLeasedWithRoot;
+  results = {a, b, c};
+
+  ReferenceDataset ref;
+  ref.add(P("10.0.0.0/24"), true);    // TP
+  ref.add(P("10.0.1.0/24"), true);    // FN
+  ref.add(P("10.0.2.0/24"), false);   // FP
+  ref.add(P("10.0.3.0/24"), false);   // TN (not classified at all)
+  ref.add(P("10.0.4.0/24"), true);    // FN (not classified: legacy-style)
+
+  auto m = evaluate(results, ref);
+  EXPECT_EQ(m.tp, 1u);
+  EXPECT_EQ(m.fn, 2u);
+  EXPECT_EQ(m.fp, 1u);
+  EXPECT_EQ(m.tn, 1u);
+  EXPECT_EQ(ref.positives(), 3u);
+  EXPECT_EQ(ref.negatives(), 2u);
+}
+
+TEST(MatchBrokers, FindsOrgsByExactAndNormalizedName) {
+  Fixture f;
+  f.db.add_org({"ORG-IPXO", "IPXO LLC", {"IPXO-MNT"}, "LT",
+                whois::Rir::kRipe});
+  auto tree = whois::AllocationTree::build(f.db);
+  // Broker list spells the name differently (paper §6.2 suffix variants).
+  auto match = match_brokers(f.db, {"IPXO, L.L.C.", "Missing Broker Ltd"},
+                             f.rib);
+  EXPECT_EQ(match.direct_matches, 0u);
+  EXPECT_EQ(match.fuzzy_matches, 1u);
+  EXPECT_EQ(match.unmatched, 1u);
+  ASSERT_EQ(match.matched_org_ids.size(), 1u);
+  EXPECT_EQ(match.matched_org_ids[0], "ORG-IPXO");
+  ASSERT_EQ(match.maintainers.size(), 1u);
+  EXPECT_EQ(match.maintainers[0], "ipxo-mnt");
+  // The IPXO-maintained leaf from the fixture is collected.
+  ASSERT_EQ(match.prefixes.size(), 1u);
+  EXPECT_EQ(match.prefixes[0].to_string(), "213.210.33.0/24");
+}
+
+TEST(MatchBrokers, ExactNameIsDirectMatch) {
+  Fixture f;
+  f.db.add_org({"ORG-IPXO", "IPXO LLC", {"IPXO-MNT"}, "LT",
+                whois::Rir::kRipe});
+  auto tree = whois::AllocationTree::build(f.db);
+  auto match = match_brokers(f.db, {"ipxo llc"}, f.rib);
+  EXPECT_EQ(match.direct_matches, 1u);
+  EXPECT_EQ(match.fuzzy_matches, 0u);
+}
+
+TEST(MatchBrokers, BrokerAsIspBlocksFiltered) {
+  Fixture f;
+  // The broker also runs an ISP: its org owns AS64500, which originates
+  // the 198.51.3.0/24 leaf it maintains -> filtered out.
+  f.db.add_org({"ORG-BRK", "Broker and ISP", {"BROKER-MNT"}, "SE",
+                whois::Rir::kRipe});
+  f.db.add_autnum({Asn(64500), "BRK-AS", "ORG-BRK", {"BROKER-MNT"},
+                   whois::Rir::kRipe});
+  auto tree = whois::AllocationTree::build(f.db);
+  auto match = match_brokers(f.db, {"Broker and ISP"}, f.rib);
+  EXPECT_EQ(match.filtered_not_leased, 1u);
+  EXPECT_TRUE(match.prefixes.empty());
+}
+
+TEST(IspNegatives, OwnOriginatedBlocksOnly) {
+  Fixture f;
+  auto tree = whois::AllocationTree::build(f.db);
+  // ORG-DELEG's own block 203.0.0.0/16 is originated by its AS64497 — but
+  // it's a root, not a leaf with a distinct suballocation... its leaf
+  // 203.0.5.0/24 belongs to org "" so doesn't qualify. Register a leaf
+  // under the org to exercise the path.
+  whois::InetBlock leaf = testutil::block(
+      "203.0.9.0 - 203.0.9.255", whois::Portability::kNonPortable,
+      "ORG-DELEG", "MNT-DELEG");
+  f.db.add_block(leaf);
+  f.rib.add_route(P("203.0.9.0/24"), Asn(64497));
+  auto tree2 = whois::AllocationTree::build(f.db);
+  auto negatives = isp_negatives(f.db, {"ORG-DELEG"}, tree2, f.rib);
+  ASSERT_EQ(negatives.size(), 1u);
+  EXPECT_EQ(negatives[0].to_string(), "203.0.9.0/24");
+}
+
+TEST(IspNegatives, ForeignOriginExcluded) {
+  Fixture f;
+  whois::InetBlock leaf = testutil::block(
+      "203.0.9.0 - 203.0.9.255", whois::Portability::kNonPortable,
+      "ORG-DELEG", "MNT-DELEG");
+  f.db.add_block(leaf);
+  f.rib.add_route(P("203.0.9.0/24"), Asn(99999));  // not the ISP's AS
+  auto tree = whois::AllocationTree::build(f.db);
+  EXPECT_TRUE(isp_negatives(f.db, {"ORG-DELEG"}, tree, f.rib).empty());
+}
+
+TEST(EndToEnd, Figure2WorldEvaluatesCleanly) {
+  Fixture f;
+  f.db.add_org({"ORG-IPXO", "IPXO LLC", {"IPXO-MNT"}, "LT",
+                whois::Rir::kRipe});
+  auto graph = f.graph();
+  Pipeline pipeline(f.rib, graph);
+  auto results = pipeline.classify(f.db);
+
+  auto tree = whois::AllocationTree::build(f.db);
+  auto match = match_brokers(f.db, {"IPXO LLC"}, f.rib);
+  ReferenceDataset ref;
+  for (const Prefix& p : match.prefixes) ref.add(p, true);
+  auto m = evaluate(results, ref);
+  EXPECT_EQ(m.tp, 1u);
+  EXPECT_EQ(m.fn, 0u);
+  EXPECT_EQ(m.precision(), 1.0);
+}
+
+}  // namespace
+}  // namespace sublet::leasing

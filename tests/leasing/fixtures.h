@@ -1,0 +1,106 @@
+// Shared hand-built world for leasing unit tests: the paper's Figure 2
+// scenario plus variations covering every inference group.
+#pragma once
+
+#include "asgraph/as_graph.h"
+#include "bgp/rib.h"
+#include "whoisdb/model.h"
+
+namespace sublet::leasing::testutil {
+
+inline Prefix P(const char* s) { return *Prefix::parse(s); }
+
+inline whois::InetBlock block(const char* range, whois::Portability port,
+                              const char* org = "", const char* mnt = "",
+                              const char* netname = "") {
+  whois::InetBlock b;
+  b.range = *AddrRange::parse(range);
+  b.portability = port;
+  b.org_id = org;
+  if (*mnt) b.maintainers = {mnt};
+  b.netname = netname;
+  return b;
+}
+
+/// Figure 2 world:
+///   213.210.0.0/18  portable, ORG-GCI1-RIPE (AS8851), originated by AS8851
+///     213.210.2.0/23   non-portable, MNT-GCICOM, not originated
+///                      -> aggregated customer
+///     213.210.33.0/24  non-portable, IPXO-MNT, originated by AS15169
+///                      -> LEASED (group 4: root also originated)
+///   plus:
+///   198.51.0.0/16   portable, ORG-DARK (AS64511), NOT originated
+///     198.51.1.0/24   not originated            -> unused
+///     198.51.2.0/24   originated by AS64496 (customer of AS64511)
+///                                              -> ISP customer
+///     198.51.3.0/24   originated by AS64500 (unrelated) -> LEASED (group 3)
+///   203.0.0.0/16    portable, ORG-DELEG (AS64497), originated by AS64497
+///     203.0.5.0/24    originated by AS64498 (customer of AS64497)
+///                                              -> delegated customer
+struct Fixture {
+  whois::WhoisDb db{whois::Rir::kRipe};
+  bgp::Rib rib;
+  asgraph::AsRelationships rels;
+  asgraph::As2Org orgs;
+
+  Fixture() {
+    // --- WHOIS ---
+    db.add_block(block("213.210.0.0 - 213.210.63.255",
+                       whois::Portability::kPortable, "ORG-GCI1-RIPE",
+                       "MNT-GCICOM", "SE-GCI-NET"));
+    db.add_block(block("213.210.2.0 - 213.210.3.255",
+                       whois::Portability::kNonPortable, "", "MNT-GCICOM",
+                       "GCI-CUST"));
+    db.add_block(block("213.210.33.0 - 213.210.33.255",
+                       whois::Portability::kNonPortable, "", "IPXO-MNT",
+                       "IPXO-LEASE"));
+
+    db.add_block(block("198.51.0.0 - 198.51.255.255",
+                       whois::Portability::kPortable, "ORG-DARK",
+                       "MNT-DARK"));
+    db.add_block(block("198.51.1.0 - 198.51.1.255",
+                       whois::Portability::kNonPortable, "", "MNT-DARK"));
+    db.add_block(block("198.51.2.0 - 198.51.2.255",
+                       whois::Portability::kNonPortable, "", "MNT-DARK"));
+    db.add_block(block("198.51.3.0 - 198.51.3.255",
+                       whois::Portability::kNonPortable, "", "BROKER-MNT"));
+
+    db.add_block(block("203.0.0.0 - 203.0.255.255",
+                       whois::Portability::kPortable, "ORG-DELEG",
+                       "MNT-DELEG"));
+    db.add_block(block("203.0.5.0 - 203.0.5.255",
+                       whois::Portability::kNonPortable, "", "MNT-DELEG"));
+
+    db.add_autnum({Asn(8851), "GCI-AS", "ORG-GCI1-RIPE", {"MNT-GCICOM"},
+                   whois::Rir::kRipe});
+    db.add_autnum({Asn(64511), "DARK-AS", "ORG-DARK", {"MNT-DARK"},
+                   whois::Rir::kRipe});
+    db.add_autnum({Asn(64497), "DELEG-AS", "ORG-DELEG", {"MNT-DELEG"},
+                   whois::Rir::kRipe});
+
+    db.add_org({"ORG-GCI1-RIPE", "GCI Network", {"MNT-GCICOM"}, "SE",
+                whois::Rir::kRipe});
+    db.add_org({"ORG-DARK", "Dark Holdings", {"MNT-DARK"}, "SE",
+                whois::Rir::kRipe});
+    db.add_org({"ORG-DELEG", "Deleg ISP", {"MNT-DELEG"}, "SE",
+                whois::Rir::kRipe});
+
+    // --- BGP ---
+    rib.add_route(P("213.210.0.0/18"), Asn(8851));
+    rib.add_route(P("213.210.33.0/24"), Asn(15169));
+    rib.add_route(P("198.51.2.0/24"), Asn(64496));
+    rib.add_route(P("198.51.3.0/24"), Asn(64500));
+    rib.add_route(P("203.0.0.0/16"), Asn(64497));
+    rib.add_route(P("203.0.5.0/24"), Asn(64498));
+
+    // --- AS graph ---
+    rels.add_p2c(Asn(64511), Asn(64496));  // dark holder -> its customer
+    rels.add_p2c(Asn(64497), Asn(64498));  // deleg holder -> its customer
+    rels.add_p2c(Asn(3356), Asn(8851));    // unrelated transit edges
+    rels.add_p2c(Asn(3356), Asn(15169));
+  }
+
+  asgraph::AsGraph graph() const { return asgraph::AsGraph(&rels, &orgs); }
+};
+
+}  // namespace sublet::leasing::testutil

@@ -1,0 +1,97 @@
+#include "leasing/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sublet::leasing {
+namespace {
+
+Prefix P(const char* s) { return *Prefix::parse(s); }
+
+std::vector<LeaseInference> sample() {
+  LeaseInference a;
+  a.prefix = P("213.210.33.0/24");
+  a.rir = whois::Rir::kRipe;
+  a.group = InferenceGroup::kLeasedWithRoot;
+  a.root_prefix = P("213.210.0.0/18");
+  a.holder_org = "ORG-GCI1-RIPE";
+  a.holder_asns = {Asn(8851)};
+  a.leaf_origins = {Asn(15169)};
+  a.root_origins = {Asn(8851)};
+  a.leaf_maintainers = {"IPXO-MNT"};
+  a.netname = "IPXO-LEASE";
+
+  LeaseInference b;
+  b.prefix = P("198.51.1.0/24");
+  b.rir = whois::Rir::kArin;
+  b.group = InferenceGroup::kUnused;
+  b.root_prefix = P("198.51.0.0/16");
+  b.holder_org = "EGIH";
+  return {a, b};
+}
+
+TEST(Report, RoundTrip) {
+  std::ostringstream out;
+  write_inferences_csv(out, sample());
+  std::istringstream in(out.str());
+  auto loaded = read_inferences_csv(in);
+  ASSERT_TRUE(loaded) << loaded.error().to_string();
+  ASSERT_EQ(loaded->size(), 2u);
+
+  const LeaseInference& a = (*loaded)[0];
+  EXPECT_EQ(a.prefix.to_string(), "213.210.33.0/24");
+  EXPECT_EQ(a.rir, whois::Rir::kRipe);
+  EXPECT_EQ(a.group, InferenceGroup::kLeasedWithRoot);
+  EXPECT_TRUE(a.leased());
+  EXPECT_EQ(a.root_prefix.to_string(), "213.210.0.0/18");
+  EXPECT_EQ(a.holder_asns, std::vector<Asn>{Asn(8851)});
+  EXPECT_EQ(a.leaf_origins, std::vector<Asn>{Asn(15169)});
+  EXPECT_EQ(a.leaf_maintainers, std::vector<std::string>{"IPXO-MNT"});
+  EXPECT_EQ(a.netname, "IPXO-LEASE");
+
+  const LeaseInference& b = (*loaded)[1];
+  EXPECT_EQ(b.group, InferenceGroup::kUnused);
+  EXPECT_FALSE(b.leased());
+  EXPECT_TRUE(b.leaf_origins.empty());
+}
+
+TEST(Report, GroupNamesRoundTrip) {
+  for (auto group :
+       {InferenceGroup::kUnused, InferenceGroup::kAggregatedCustomer,
+        InferenceGroup::kIspCustomer, InferenceGroup::kLeasedNoRoot,
+        InferenceGroup::kDelegatedCustomer, InferenceGroup::kLeasedWithRoot}) {
+    auto parsed = group_from_name(group_name(group));
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(*parsed, group);
+  }
+  EXPECT_FALSE(group_from_name("not-a-group"));
+}
+
+TEST(Report, RejectsBadContent) {
+  std::istringstream bad_group(
+      "prefix,rir,group,leased,root_prefix,holder_org,holder_asns,"
+      "leaf_origins,root_origins,facilitators,netname\n"
+      "10.0.0.0/24,RIPE,bogus,0,,,,,,,\n");
+  EXPECT_FALSE(read_inferences_csv(bad_group));
+
+  std::istringstream short_row("10.0.0.0/24,RIPE,unused\n");
+  EXPECT_FALSE(read_inferences_csv(short_row));
+
+  std::istringstream bad_asn(
+      "10.0.0.0/24,RIPE,unused,0,10.0.0.0/16,ORG,xyz,,,,\n");
+  EXPECT_FALSE(read_inferences_csv(bad_asn));
+}
+
+TEST(Report, FileRoundTrip) {
+  std::string path = testing::TempDir() + "/sublet_report.csv";
+  save_inferences_csv(path, sample());
+  auto loaded = load_inferences_csv(path);
+  ASSERT_TRUE(loaded);
+  EXPECT_EQ(loaded->size(), 2u);
+  std::remove(path.c_str());
+  EXPECT_FALSE(load_inferences_csv(path));
+}
+
+}  // namespace
+}  // namespace sublet::leasing

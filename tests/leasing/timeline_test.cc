@@ -1,0 +1,119 @@
+#include "leasing/timeline.h"
+
+#include <gtest/gtest.h>
+
+namespace sublet::leasing {
+namespace {
+
+Prefix P(const char* s) { return *Prefix::parse(s); }
+
+rpki::RpkiArchive figure3_archive() {
+  // Lease to AS834, AS0 gap, lease to AS61317 — monthly snapshots.
+  rpki::RpkiArchive archive;
+  auto roa = [](std::uint32_t asn) {
+    rpki::VrpSet set;
+    set.add({*Prefix::parse("213.210.33.0/24"), 24, Asn(asn)});
+    return set;
+  };
+  archive.add_snapshot(100, roa(834));
+  archive.add_snapshot(200, roa(834));
+  archive.add_snapshot(300, roa(0));
+  archive.add_snapshot(400, roa(61317));
+  archive.add_snapshot(500, roa(61317));
+  return archive;
+}
+
+OriginHistory figure3_bgp() {
+  return {
+      {100, {Asn(834)}},
+      {200, {Asn(834)}},
+      {300, {}},          // withdrawn between leases
+      {400, {Asn(61317)}},
+      {500, {Asn(61317)}},
+  };
+}
+
+TEST(LeaseTimeline, CollectMergesAndSorts) {
+  auto events = LeaseTimeline::collect(P("213.210.33.0/24"),
+                                       figure3_archive(), figure3_bgp(), 0,
+                                       600);
+  // 5 RPKI events + 4 BGP events (t=300 has no origin).
+  ASSERT_EQ(events.size(), 9u);
+  EXPECT_TRUE(std::is_sorted(events.begin(), events.end()));
+  EXPECT_EQ(events.front().timestamp, 100u);
+  EXPECT_EQ(events.back().timestamp, 500u);
+}
+
+TEST(LeaseTimeline, CollectRespectsWindow) {
+  auto events = LeaseTimeline::collect(P("213.210.33.0/24"),
+                                       figure3_archive(), figure3_bgp(), 350,
+                                       450);
+  for (const auto& event : events) {
+    EXPECT_GE(event.timestamp, 350u);
+    EXPECT_LE(event.timestamp, 450u);
+  }
+}
+
+TEST(LeaseTimeline, SegmentSplitsOnAsChange) {
+  auto events = LeaseTimeline::collect(P("213.210.33.0/24"),
+                                       figure3_archive(), figure3_bgp(), 0,
+                                       600);
+  auto periods = LeaseTimeline::segment(events);
+  // AS834 [100..200], AS0 [300], AS61317 [400..500].
+  ASSERT_EQ(periods.size(), 3u);
+  EXPECT_EQ(periods[0].asn, Asn(834));
+  EXPECT_EQ(periods[0].start, 100u);
+  EXPECT_EQ(periods[0].end, 200u);
+  EXPECT_TRUE(periods[1].is_as0_gap());
+  EXPECT_EQ(periods[2].asn, Asn(61317));
+  EXPECT_EQ(periods[2].end, 500u);
+}
+
+TEST(LeaseTimeline, SegmentMaxGapClosesPeriod) {
+  std::vector<TimelineEvent> events = {
+      {100, TimelineEvent::Source::kBgp, Asn(5)},
+      {110, TimelineEvent::Source::kBgp, Asn(5)},
+      {900, TimelineEvent::Source::kBgp, Asn(5)},  // long silence
+  };
+  auto periods = LeaseTimeline::segment(events, /*max_gap=*/100);
+  ASSERT_EQ(periods.size(), 2u);
+  EXPECT_EQ(periods[0].end, 110u);
+  EXPECT_EQ(periods[1].start, 900u);
+}
+
+TEST(LeaseTimeline, SegmentInterleavedSourcesSamePeriod) {
+  std::vector<TimelineEvent> events = {
+      {100, TimelineEvent::Source::kRpki, Asn(5)},
+      {100, TimelineEvent::Source::kBgp, Asn(5)},
+      {200, TimelineEvent::Source::kRpki, Asn(5)},
+  };
+  auto periods = LeaseTimeline::segment(events);
+  ASSERT_EQ(periods.size(), 1u);
+  EXPECT_EQ(periods[0].start, 100u);
+  EXPECT_EQ(periods[0].end, 200u);
+}
+
+TEST(LeaseTimeline, SegmentEmpty) {
+  EXPECT_TRUE(LeaseTimeline::segment({}).empty());
+}
+
+TEST(LeaseTimeline, RenderShowsAsnsAndLanes) {
+  auto events = LeaseTimeline::collect(P("213.210.33.0/24"),
+                                       figure3_archive(), figure3_bgp(), 0,
+                                       600);
+  std::string figure = LeaseTimeline::render(events, 0, 600);
+  EXPECT_NE(figure.find("834"), std::string::npos);
+  EXPECT_NE(figure.find("61317"), std::string::npos);
+  EXPECT_NE(figure.find("0"), std::string::npos) << "AS0 row present";
+  EXPECT_NE(figure.find("RPKI"), std::string::npos);
+  EXPECT_NE(figure.find("BGP"), std::string::npos);
+  EXPECT_NE(figure.find('#'), std::string::npos);
+  EXPECT_NE(figure.find('='), std::string::npos);
+}
+
+TEST(LeaseTimeline, RenderEmptyWindow) {
+  EXPECT_EQ(LeaseTimeline::render({}, 100, 100), "(empty timeline)\n");
+}
+
+}  // namespace
+}  // namespace sublet::leasing

@@ -1,0 +1,108 @@
+#include "mrt/bgp4mp.h"
+
+#include <gtest/gtest.h>
+
+namespace sublet::mrt {
+namespace {
+
+Prefix P(const char* s) { return *Prefix::parse(s); }
+
+Bgp4mpMessage sample_update() {
+  Bgp4mpMessage msg;
+  msg.peer_asn = Asn(3356);
+  msg.local_asn = Asn(65001);
+  msg.interface_index = 2;
+  msg.peer_ip = *Ipv4Addr::parse("203.0.113.1");
+  msg.local_ip = *Ipv4Addr::parse("203.0.113.2");
+  msg.type = BgpMessageType::kUpdate;
+  msg.withdrawn = {P("198.51.100.0/24")};
+  msg.attributes.origin = BgpOrigin::kIgp;
+  msg.attributes.as_path.segments = {
+      {AsPathSegmentType::kAsSequence, {Asn(3356), Asn(8851), Asn(15169)}}};
+  msg.attributes.next_hop = *Ipv4Addr::parse("203.0.113.1");
+  msg.announced = {P("213.210.33.0/24"), P("213.210.34.0/24")};
+  return msg;
+}
+
+TEST(Bgp4mp, UpdateRoundTripAs4) {
+  auto wire = encode_bgp4mp(sample_update(), Bgp4mpSubtype::kMessageAs4);
+  auto decoded = decode_bgp4mp(wire, Bgp4mpSubtype::kMessageAs4);
+  ASSERT_TRUE(decoded) << decoded.error().to_string();
+  EXPECT_EQ(decoded->peer_asn, Asn(3356));
+  EXPECT_EQ(decoded->local_asn, Asn(65001));
+  EXPECT_EQ(decoded->peer_ip.to_string(), "203.0.113.1");
+  EXPECT_TRUE(decoded->is_update());
+  ASSERT_EQ(decoded->withdrawn.size(), 1u);
+  EXPECT_EQ(decoded->withdrawn[0].to_string(), "198.51.100.0/24");
+  ASSERT_EQ(decoded->announced.size(), 2u);
+  EXPECT_EQ(decoded->announced[1].to_string(), "213.210.34.0/24");
+  EXPECT_EQ(decoded->attributes.as_path.origin_asns(),
+            std::vector<Asn>{Asn(15169)});
+}
+
+TEST(Bgp4mp, UpdateRoundTripTwoByteAs) {
+  Bgp4mpMessage msg = sample_update();
+  auto wire = encode_bgp4mp(msg, Bgp4mpSubtype::kMessage);
+  auto decoded = decode_bgp4mp(wire, Bgp4mpSubtype::kMessage);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->peer_asn, Asn(3356));
+  EXPECT_EQ(decoded->attributes.as_path.origin_asns(),
+            std::vector<Asn>{Asn(15169)});
+}
+
+TEST(Bgp4mp, FourByteAsnNeedsAs4Subtype) {
+  Bgp4mpMessage msg = sample_update();
+  msg.peer_asn = Asn(4200000001);
+  auto decoded = decode_bgp4mp(encode_bgp4mp(msg, Bgp4mpSubtype::kMessageAs4),
+                               Bgp4mpSubtype::kMessageAs4);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->peer_asn, Asn(4200000001));
+}
+
+TEST(Bgp4mp, KeepaliveHasNoPayload) {
+  Bgp4mpMessage msg;
+  msg.peer_asn = Asn(1);
+  msg.local_asn = Asn(2);
+  msg.type = BgpMessageType::kKeepalive;
+  auto decoded = decode_bgp4mp(encode_bgp4mp(msg, Bgp4mpSubtype::kMessageAs4),
+                               Bgp4mpSubtype::kMessageAs4);
+  ASSERT_TRUE(decoded);
+  EXPECT_FALSE(decoded->is_update());
+  EXPECT_TRUE(decoded->announced.empty());
+  EXPECT_TRUE(decoded->withdrawn.empty());
+}
+
+TEST(Bgp4mp, WithdrawOnlyUpdate) {
+  Bgp4mpMessage msg;
+  msg.peer_asn = Asn(1);
+  msg.local_asn = Asn(2);
+  msg.type = BgpMessageType::kUpdate;
+  msg.withdrawn = {P("10.0.0.0/8")};
+  auto decoded = decode_bgp4mp(encode_bgp4mp(msg, Bgp4mpSubtype::kMessageAs4),
+                               Bgp4mpSubtype::kMessageAs4);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->withdrawn.size(), 1u);
+  EXPECT_TRUE(decoded->announced.empty());
+  EXPECT_TRUE(decoded->attributes.as_path.empty());
+}
+
+TEST(Bgp4mp, TruncatedIsError) {
+  auto wire = encode_bgp4mp(sample_update(), Bgp4mpSubtype::kMessageAs4);
+  for (std::size_t cut : {wire.size() - 1, wire.size() - 8, std::size_t{10}}) {
+    std::vector<std::uint8_t> truncated(wire.begin(),
+                                        wire.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(decode_bgp4mp(truncated, Bgp4mpSubtype::kMessageAs4))
+        << "cut at " << cut;
+  }
+}
+
+TEST(Bgp4mp, RejectsNonIpv4Afi) {
+  auto wire = encode_bgp4mp(sample_update(), Bgp4mpSubtype::kMessageAs4);
+  // AFI lives at offset 10 (4+4+2) for the AS4 subtype; flip it to IPv6.
+  wire[10] = 0;
+  wire[11] = 2;
+  EXPECT_FALSE(decode_bgp4mp(wire, Bgp4mpSubtype::kMessageAs4));
+}
+
+}  // namespace
+}  // namespace sublet::mrt

@@ -1,0 +1,146 @@
+#include "mrt/bgp_attrs.h"
+
+#include <gtest/gtest.h>
+
+namespace sublet::mrt {
+namespace {
+
+PathAttributes sample_attrs() {
+  PathAttributes attrs;
+  attrs.origin = BgpOrigin::kIgp;
+  attrs.as_path.segments = {
+      {AsPathSegmentType::kAsSequence, {Asn(3356), Asn(8851), Asn(15169)}}};
+  attrs.next_hop = *Ipv4Addr::parse("192.0.2.1");
+  attrs.med = 100;
+  attrs.communities = {(3356u << 16) | 3, (8851u << 16) | 100};
+  return attrs;
+}
+
+TEST(PathAttrs, RoundTripFourByte) {
+  auto wire = encode_path_attributes(sample_attrs());
+  auto decoded = decode_path_attributes(wire);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->origin, BgpOrigin::kIgp);
+  ASSERT_EQ(decoded->as_path.segments.size(), 1u);
+  EXPECT_EQ(decoded->as_path.segments[0].asns,
+            (std::vector<Asn>{Asn(3356), Asn(8851), Asn(15169)}));
+  EXPECT_EQ(decoded->next_hop->to_string(), "192.0.2.1");
+  EXPECT_EQ(decoded->med, 100u);
+  EXPECT_EQ(decoded->communities.size(), 2u);
+}
+
+TEST(PathAttrs, RoundTripTwoByte) {
+  PathAttributes attrs;
+  attrs.origin = BgpOrigin::kEgp;
+  attrs.as_path.segments = {
+      {AsPathSegmentType::kAsSequence, {Asn(701), Asn(7018)}}};
+  auto wire = encode_path_attributes(attrs, /*four_byte_as=*/false);
+  auto decoded = decode_path_attributes(wire, /*four_byte_as=*/false);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->as_path.origin_asns(), std::vector<Asn>{Asn(7018)});
+}
+
+TEST(PathAttrs, FourByteAsnSurvives) {
+  PathAttributes attrs;
+  attrs.as_path.segments = {
+      {AsPathSegmentType::kAsSequence, {Asn(4200000001)}}};
+  auto wire = encode_path_attributes(attrs);
+  auto decoded = decode_path_attributes(wire);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->as_path.origin_asns(), std::vector<Asn>{Asn(4200000001)});
+}
+
+TEST(OriginAsns, SequenceTakesLast) {
+  AsPath path;
+  path.segments = {
+      {AsPathSegmentType::kAsSequence, {Asn(1), Asn(2), Asn(3)}}};
+  EXPECT_EQ(path.origin_asns(), std::vector<Asn>{Asn(3)});
+}
+
+TEST(OriginAsns, TrailingSetTakesAllMembers) {
+  AsPath path;
+  path.segments = {
+      {AsPathSegmentType::kAsSequence, {Asn(1)}},
+      {AsPathSegmentType::kAsSet, {Asn(10), Asn(20)}}};
+  EXPECT_EQ(path.origin_asns(), (std::vector<Asn>{Asn(10), Asn(20)}));
+}
+
+TEST(OriginAsns, EmptyPath) {
+  EXPECT_TRUE(AsPath{}.origin_asns().empty());
+}
+
+TEST(PathAttrs, AsSetRoundTrip) {
+  PathAttributes attrs;
+  attrs.as_path.segments = {
+      {AsPathSegmentType::kAsSequence, {Asn(100)}},
+      {AsPathSegmentType::kAsSet, {Asn(200), Asn(300)}}};
+  auto decoded = decode_path_attributes(encode_path_attributes(attrs));
+  ASSERT_TRUE(decoded);
+  ASSERT_EQ(decoded->as_path.segments.size(), 2u);
+  EXPECT_EQ(decoded->as_path.segments[1].type, AsPathSegmentType::kAsSet);
+  EXPECT_EQ(decoded->as_path.flatten(),
+            (std::vector<Asn>{Asn(100), Asn(200), Asn(300)}));
+}
+
+TEST(PathAttrs, AggregatorAndAtomicAggregate) {
+  PathAttributes attrs;
+  attrs.atomic_aggregate = true;
+  attrs.aggregator = {Asn(8851), *Ipv4Addr::parse("10.0.0.1")};
+  auto decoded = decode_path_attributes(encode_path_attributes(attrs));
+  ASSERT_TRUE(decoded);
+  EXPECT_TRUE(decoded->atomic_aggregate);
+  ASSERT_TRUE(decoded->aggregator);
+  EXPECT_EQ(decoded->aggregator->first, Asn(8851));
+}
+
+TEST(PathAttrs, UnrecognizedAttributePreserved) {
+  PathAttributes attrs;
+  attrs.unrecognized.push_back({0xC0, 99, {1, 2, 3}});
+  auto wire = encode_path_attributes(attrs);
+  auto decoded = decode_path_attributes(wire);
+  ASSERT_TRUE(decoded);
+  ASSERT_EQ(decoded->unrecognized.size(), 1u);
+  EXPECT_EQ(decoded->unrecognized[0].type, 99);
+  EXPECT_EQ(decoded->unrecognized[0].payload, (std::vector<std::uint8_t>{1, 2, 3}));
+  // And the re-encoding is byte-identical.
+  EXPECT_EQ(encode_path_attributes(*decoded), wire);
+}
+
+TEST(PathAttrs, ExtendedLengthAttribute) {
+  PathAttributes attrs;
+  attrs.unrecognized.push_back(
+      {0xC0, 99, std::vector<std::uint8_t>(300, 0x5A)});
+  auto decoded = decode_path_attributes(encode_path_attributes(attrs));
+  ASSERT_TRUE(decoded);
+  ASSERT_EQ(decoded->unrecognized.size(), 1u);
+  EXPECT_EQ(decoded->unrecognized[0].payload.size(), 300u);
+}
+
+TEST(PathAttrs, TruncatedAttributeIsError) {
+  auto wire = encode_path_attributes(sample_attrs());
+  wire.resize(wire.size() - 3);
+  auto decoded = decode_path_attributes(wire);
+  EXPECT_FALSE(decoded);
+}
+
+TEST(PathAttrs, BadOriginValueIsError) {
+  // flags=0x40 type=ORIGIN len=1 value=9
+  std::vector<std::uint8_t> wire = {0x40, 1, 1, 9};
+  EXPECT_FALSE(decode_path_attributes(wire));
+}
+
+TEST(PathAttrs, BadSegmentTypeIsError) {
+  // AS_PATH with segment type 7
+  std::vector<std::uint8_t> wire = {0x40, 2, 6, 7, 1, 0, 0, 0, 1};
+  EXPECT_FALSE(decode_path_attributes(wire));
+}
+
+TEST(PathAttrs, EmptyInputYieldsEmptyAttrs) {
+  auto decoded = decode_path_attributes({});
+  ASSERT_TRUE(decoded);
+  EXPECT_FALSE(decoded->origin);
+  EXPECT_TRUE(decoded->as_path.empty());
+}
+
+}  // namespace
+}  // namespace sublet::mrt

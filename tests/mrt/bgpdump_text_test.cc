@@ -1,0 +1,118 @@
+#include "mrt/bgpdump_text.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sublet::mrt {
+namespace {
+
+Prefix P(const char* s) { return *Prefix::parse(s); }
+
+TEST(AsPathText, FormatSequenceAndSet) {
+  AsPath path;
+  path.segments = {
+      {AsPathSegmentType::kAsSequence, {Asn(3356), Asn(8851)}},
+      {AsPathSegmentType::kAsSet, {Asn(64500), Asn(64501)}}};
+  EXPECT_EQ(format_as_path(path), "3356 8851 {64500,64501}");
+}
+
+TEST(AsPathText, ParseRoundTrip) {
+  auto path = parse_as_path_text("3356 8851 {64500,64501}");
+  ASSERT_TRUE(path);
+  ASSERT_EQ(path->segments.size(), 2u);
+  EXPECT_EQ(path->segments[0].asns, (std::vector<Asn>{Asn(3356), Asn(8851)}));
+  EXPECT_EQ(path->segments[1].type, AsPathSegmentType::kAsSet);
+  EXPECT_EQ(format_as_path(*path), "3356 8851 {64500,64501}");
+}
+
+TEST(AsPathText, ParseRejectsJunk) {
+  EXPECT_FALSE(parse_as_path_text("3356 notanas"));
+  EXPECT_FALSE(parse_as_path_text("{64500"));
+  EXPECT_FALSE(parse_as_path_text("{a,b}"));
+}
+
+TEST(AsPathText, EmptyPath) {
+  auto path = parse_as_path_text("");
+  ASSERT_TRUE(path);
+  EXPECT_TRUE(path->empty());
+  EXPECT_EQ(format_as_path(*path), "");
+}
+
+TEST(BgpdumpLine, ParsesRibEntry) {
+  auto entry = parse_bgpdump_line(
+      "TABLE_DUMP2|1711929600|B|203.0.113.10|3356|213.210.33.0/24|"
+      "3356 8851 15169|IGP|203.0.113.10|0|0||NAG||");
+  ASSERT_TRUE(entry) << entry.error().to_string();
+  EXPECT_EQ(entry->kind, BgpdumpEntry::Kind::kRibEntry);
+  EXPECT_EQ(entry->timestamp, 1711929600u);
+  EXPECT_EQ(entry->peer_asn, Asn(3356));
+  EXPECT_EQ(entry->prefix.to_string(), "213.210.33.0/24");
+  EXPECT_EQ(entry->origins(), std::vector<Asn>{Asn(15169)});
+}
+
+TEST(BgpdumpLine, ParsesAnnounceAndWithdraw) {
+  auto announce = parse_bgpdump_line(
+      "BGP4MP|100|A|203.0.113.10|3356|10.0.0.0/8|3356 64500|IGP|"
+      "203.0.113.10|0|0||NAG||");
+  ASSERT_TRUE(announce);
+  EXPECT_EQ(announce->kind, BgpdumpEntry::Kind::kAnnounce);
+  EXPECT_EQ(announce->origins(), std::vector<Asn>{Asn(64500)});
+
+  auto withdraw =
+      parse_bgpdump_line("BGP4MP|200|W|203.0.113.10|3356|10.0.0.0/8");
+  ASSERT_TRUE(withdraw);
+  EXPECT_EQ(withdraw->kind, BgpdumpEntry::Kind::kWithdraw);
+  EXPECT_TRUE(withdraw->as_path.empty());
+}
+
+TEST(BgpdumpLine, SkipsIpv6AndForeignRecords) {
+  auto v6 = parse_bgpdump_line(
+      "TABLE_DUMP2|100|B|2001:db8::1|3356|2001:db8::/32|3356|IGP|x|0|0||||");
+  ASSERT_FALSE(v6);
+  EXPECT_EQ(v6.error().message.rfind("skip:", 0), 0u);
+
+  auto state = parse_bgpdump_line("BGP4MP|100|STATE|1.2.3.4|3356|5|6");
+  ASSERT_FALSE(state);
+  EXPECT_EQ(state.error().message.rfind("skip:", 0), 0u);
+}
+
+TEST(BgpdumpLine, ErrorsOnDamage) {
+  EXPECT_FALSE(parse_bgpdump_line(""));
+  EXPECT_FALSE(parse_bgpdump_line("TABLE_DUMP2|notatime|B|1.2.3.4|1|5/8|1"));
+  EXPECT_FALSE(parse_bgpdump_line("TABLE_DUMP2|1|B|1.2.3.4|1"));
+}
+
+TEST(BgpdumpText, WriteParsesBackEquivalently) {
+  RibSnapshot snap;
+  snap.timestamp = 1711929600;
+  snap.peer_table.peers = {
+      {Ipv4Addr(1), *Ipv4Addr::parse("203.0.113.10"), Asn(3356)}};
+  RibPrefixRecord rec;
+  rec.prefix = P("213.210.33.0/24");
+  RibEntry entry;
+  entry.peer_index = 0;
+  entry.attributes.as_path.segments = {
+      {AsPathSegmentType::kAsSequence, {Asn(3356), Asn(15169)}}};
+  entry.attributes.next_hop = *Ipv4Addr::parse("203.0.113.10");
+  rec.entries = {entry};
+  snap.records = {rec};
+
+  std::ostringstream out;
+  write_bgpdump_text(out, snap);
+  std::istringstream in(out.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    auto parsed = parse_bgpdump_line(line);
+    ASSERT_TRUE(parsed) << parsed.error().to_string();
+    EXPECT_EQ(parsed->prefix, rec.prefix);
+    EXPECT_EQ(parsed->peer_asn, Asn(3356));
+    EXPECT_EQ(parsed->origins(), std::vector<Asn>{Asn(15169)});
+    ++lines;
+  }
+  EXPECT_EQ(lines, 1u);
+}
+
+}  // namespace
+}  // namespace sublet::mrt

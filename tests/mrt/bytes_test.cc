@@ -1,0 +1,79 @@
+#include "mrt/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace sublet::mrt {
+namespace {
+
+TEST(BufWriter, BigEndianIntegers) {
+  BufWriter w;
+  w.u8(0xAB);
+  w.u16(0x0102);
+  w.u32(0x03040506);
+  ASSERT_EQ(w.size(), 7u);
+  const auto& b = w.data();
+  EXPECT_EQ(b[0], 0xAB);
+  EXPECT_EQ(b[1], 0x01);
+  EXPECT_EQ(b[2], 0x02);
+  EXPECT_EQ(b[3], 0x03);
+  EXPECT_EQ(b[6], 0x06);
+}
+
+TEST(BufReader, ReadsBackWhatWriterWrote) {
+  BufWriter w;
+  w.u8(7);
+  w.u16(65535);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.string("view");
+
+  BufReader r(w.data());
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u16(), 65535);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.string(4), "view");
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BufReader, UnderrunSetsFailureOnce) {
+  std::uint8_t data[] = {1, 2};
+  BufReader r(data);
+  EXPECT_EQ(r.u16(), 0x0102);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.u32(), 0u) << "underrun returns zero";
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u8(), 0u) << "failure is sticky";
+}
+
+TEST(BufReader, SkipAndPosition) {
+  std::uint8_t data[] = {1, 2, 3, 4, 5};
+  BufReader r(data);
+  r.skip(3);
+  EXPECT_EQ(r.position(), 3u);
+  EXPECT_EQ(r.u8(), 4);
+  r.skip(5);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BufWriter, PatchBack) {
+  BufWriter w;
+  w.u16(0);           // placeholder
+  w.u32(0);           // placeholder
+  w.patch_u16(0, 0xBEEF);
+  w.patch_u32(2, 0xCAFEBABE);
+  BufReader r(w.data());
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xCAFEBABEu);
+}
+
+TEST(BufReader, EmptyInput) {
+  BufReader r({});
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_EQ(r.u8(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace sublet::mrt

@@ -1,0 +1,140 @@
+#include "mrt/rib_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "mrt/mrt.h"
+
+namespace sublet::mrt {
+namespace {
+
+Prefix P(const char* s) { return *Prefix::parse(s); }
+
+RibSnapshot sample_snapshot() {
+  RibSnapshot snap;
+  snap.timestamp = 1711929600;  // 2024-04-01T00:00:00Z
+  snap.peer_table.collector_bgp_id = *Ipv4Addr::parse("198.51.100.1");
+  snap.peer_table.view_name = "route-views.sim";
+  snap.peer_table.peers = {
+      {*Ipv4Addr::parse("198.51.100.10"), *Ipv4Addr::parse("203.0.113.10"),
+       Asn(3356)}};
+
+  RibPrefixRecord rec;
+  rec.prefix = P("213.210.0.0/18");
+  RibEntry entry;
+  entry.peer_index = 0;
+  entry.originated_time = snap.timestamp;
+  entry.attributes.origin = BgpOrigin::kIgp;
+  entry.attributes.as_path.segments = {
+      {AsPathSegmentType::kAsSequence, {Asn(3356), Asn(8851)}}};
+  entry.attributes.next_hop = *Ipv4Addr::parse("203.0.113.10");
+  rec.entries = {entry};
+  snap.records.push_back(rec);
+
+  RibPrefixRecord rec2 = rec;
+  rec2.prefix = P("213.210.33.0/24");
+  rec2.entries[0].attributes.as_path.segments = {
+      {AsPathSegmentType::kAsSequence, {Asn(3356), Asn(15169)}}};
+  snap.records.push_back(rec2);
+  return snap;
+}
+
+TEST(RibFile, WriteReadRoundTrip) {
+  std::string path = testing::TempDir() + "/sublet_rib_test.mrt";
+  write_rib_file(path, sample_snapshot());
+
+  auto loaded = read_rib_file(path);
+  ASSERT_TRUE(loaded) << loaded.error().to_string();
+  EXPECT_EQ(loaded->timestamp, 1711929600u);
+  EXPECT_EQ(loaded->peer_table.view_name, "route-views.sim");
+  ASSERT_EQ(loaded->records.size(), 2u);
+  EXPECT_EQ(loaded->records[0].prefix.to_string(), "213.210.0.0/18");
+  EXPECT_EQ(loaded->records[0].sequence, 0u);
+  EXPECT_EQ(loaded->records[1].sequence, 1u);
+  EXPECT_EQ(loaded->records[1].entries[0].attributes.as_path.origin_asns(),
+            std::vector<Asn>{Asn(15169)});
+  std::remove(path.c_str());
+}
+
+TEST(RibFile, MissingFile) {
+  auto loaded = read_rib_file("/nonexistent/rib.mrt");
+  EXPECT_FALSE(loaded);
+}
+
+TEST(RibFile, EmptyFileHasNoPeerTable) {
+  std::string path = testing::TempDir() + "/sublet_rib_empty.mrt";
+  { std::ofstream out(path, std::ios::binary); }
+  auto loaded = read_rib_file(path);
+  EXPECT_FALSE(loaded);
+  EXPECT_NE(loaded.error().message.find("PEER_INDEX_TABLE"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(RibFile, TruncatedFileIsError) {
+  std::string path = testing::TempDir() + "/sublet_rib_trunc.mrt";
+  write_rib_file(path, sample_snapshot());
+  // Chop the last 5 bytes off.
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size() - 5));
+  }
+  auto loaded = read_rib_file(path);
+  EXPECT_FALSE(loaded);
+  std::remove(path.c_str());
+}
+
+TEST(RibFile, UnknownRecordTypesSkipped) {
+  std::string path = testing::TempDir() + "/sublet_rib_unknown.mrt";
+  {
+    std::ofstream out(path, std::ios::binary);
+    MrtWriter writer(out);
+    auto snap = sample_snapshot();
+    writer.write(snap.timestamp, MrtType::kTableDumpV2,
+                 static_cast<std::uint16_t>(TableDumpV2Subtype::kPeerIndexTable),
+                 encode_peer_index_table(snap.peer_table));
+    // An IPv6 RIB record we don't decode: skipped, not an error.
+    std::vector<std::uint8_t> junk = {0, 0, 0, 1, 0};
+    writer.write(snap.timestamp, MrtType::kTableDumpV2,
+                 static_cast<std::uint16_t>(TableDumpV2Subtype::kRibIpv6Unicast),
+                 junk);
+    writer.write(snap.timestamp, MrtType::kTableDumpV2,
+                 static_cast<std::uint16_t>(TableDumpV2Subtype::kRibIpv4Unicast),
+                 encode_rib_ipv4_unicast(snap.records[0]));
+  }
+  auto loaded = read_rib_file(path);
+  ASSERT_TRUE(loaded) << loaded.error().to_string();
+  EXPECT_EQ(loaded->records.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(MrtReader, HeaderFieldsSurface) {
+  std::string path = testing::TempDir() + "/sublet_mrt_hdr.mrt";
+  {
+    std::ofstream out(path, std::ios::binary);
+    MrtWriter writer(out);
+    std::vector<std::uint8_t> body = {1, 2, 3};
+    writer.write(1234567, MrtType::kBgp4mp, 4, body);
+  }
+  std::ifstream in(path, std::ios::binary);
+  MrtReader reader(in, path);
+  auto rec = reader.next();
+  ASSERT_TRUE(rec);
+  EXPECT_EQ(rec->timestamp, 1234567u);
+  EXPECT_EQ(rec->type, 16);
+  EXPECT_EQ(rec->subtype, 4);
+  EXPECT_EQ(rec->body, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_FALSE(reader.next());
+  EXPECT_FALSE(reader.error());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sublet::mrt

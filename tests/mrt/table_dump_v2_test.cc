@@ -1,0 +1,142 @@
+#include "mrt/table_dump_v2.h"
+
+#include <gtest/gtest.h>
+
+#include "mrt/bytes.h"
+
+namespace sublet::mrt {
+namespace {
+
+Prefix P(const char* s) { return *Prefix::parse(s); }
+
+TEST(NlriPrefix, RoundTripVariousLengths) {
+  for (const char* s : {"0.0.0.0/0", "10.0.0.0/8", "172.16.0.0/12",
+                        "192.168.4.0/22", "213.210.33.0/24", "1.2.3.4/32"}) {
+    BufWriter w;
+    encode_nlri_prefix(w, P(s));
+    BufReader r(w.data());
+    auto decoded = decode_nlri_prefix(r);
+    ASSERT_TRUE(decoded) << s;
+    EXPECT_EQ(decoded->to_string(), s);
+    EXPECT_EQ(r.remaining(), 0u) << "no trailing bytes for " << s;
+  }
+}
+
+TEST(NlriPrefix, MinimalOctets) {
+  BufWriter w;
+  encode_nlri_prefix(w, P("10.0.0.0/8"));
+  EXPECT_EQ(w.size(), 2u) << "/8 takes 1 length byte + 1 prefix octet";
+  BufWriter w2;
+  encode_nlri_prefix(w2, P("0.0.0.0/0"));
+  EXPECT_EQ(w2.size(), 1u) << "/0 takes only the length byte";
+}
+
+TEST(NlriPrefix, RejectsBadLength) {
+  std::uint8_t bad[] = {33, 0, 0, 0, 0, 0};
+  BufReader r(bad);
+  EXPECT_FALSE(decode_nlri_prefix(r));
+}
+
+TEST(NlriPrefix, RejectsHostBits) {
+  // /8 with a second octet bit set inside the encoded octet itself is
+  // impossible (only 1 octet carried), but /9 with low bits set is not.
+  std::uint8_t bad[] = {9, 0x0A, 0x7F};  // 10.127/9 -> host bits set
+  BufReader r(bad);
+  EXPECT_FALSE(decode_nlri_prefix(r));
+}
+
+PeerIndexTable sample_pit() {
+  PeerIndexTable pit;
+  pit.collector_bgp_id = *Ipv4Addr::parse("198.51.100.1");
+  pit.view_name = "rib.20240401";
+  pit.peers = {
+      {*Ipv4Addr::parse("198.51.100.10"), *Ipv4Addr::parse("203.0.113.10"),
+       Asn(3356)},
+      {*Ipv4Addr::parse("198.51.100.11"), *Ipv4Addr::parse("203.0.113.11"),
+       Asn(4200000001)},
+  };
+  return pit;
+}
+
+TEST(PeerIndexTable, RoundTrip) {
+  auto wire = encode_peer_index_table(sample_pit());
+  auto decoded = decode_peer_index_table(wire);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->collector_bgp_id.to_string(), "198.51.100.1");
+  EXPECT_EQ(decoded->view_name, "rib.20240401");
+  ASSERT_EQ(decoded->peers.size(), 2u);
+  EXPECT_EQ(decoded->peers[0].asn, Asn(3356));
+  EXPECT_EQ(decoded->peers[1].asn, Asn(4200000001));
+  EXPECT_EQ(decoded->peers[1].address.to_string(), "203.0.113.11");
+}
+
+TEST(PeerIndexTable, EmptyViewNameAndNoPeers) {
+  PeerIndexTable pit;
+  pit.collector_bgp_id = Ipv4Addr(1);
+  auto decoded = decode_peer_index_table(encode_peer_index_table(pit));
+  ASSERT_TRUE(decoded);
+  EXPECT_TRUE(decoded->view_name.empty());
+  EXPECT_TRUE(decoded->peers.empty());
+}
+
+TEST(PeerIndexTable, TruncatedIsError) {
+  auto wire = encode_peer_index_table(sample_pit());
+  wire.resize(wire.size() - 2);
+  EXPECT_FALSE(decode_peer_index_table(wire));
+}
+
+RibPrefixRecord sample_rib() {
+  RibPrefixRecord rec;
+  rec.sequence = 7;
+  rec.prefix = P("213.210.33.0/24");
+  RibEntry e1;
+  e1.peer_index = 0;
+  e1.originated_time = 1711929600;
+  e1.attributes.origin = BgpOrigin::kIgp;
+  e1.attributes.as_path.segments = {
+      {AsPathSegmentType::kAsSequence, {Asn(3356), Asn(15169)}}};
+  e1.attributes.next_hop = *Ipv4Addr::parse("203.0.113.10");
+  RibEntry e2 = e1;
+  e2.peer_index = 1;
+  e2.attributes.as_path.segments = {
+      {AsPathSegmentType::kAsSequence, {Asn(174), Asn(9009), Asn(15169)}}};
+  rec.entries = {e1, e2};
+  return rec;
+}
+
+TEST(RibIpv4Unicast, RoundTrip) {
+  auto wire = encode_rib_ipv4_unicast(sample_rib());
+  auto decoded = decode_rib_ipv4_unicast(wire);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->sequence, 7u);
+  EXPECT_EQ(decoded->prefix.to_string(), "213.210.33.0/24");
+  ASSERT_EQ(decoded->entries.size(), 2u);
+  EXPECT_EQ(decoded->entries[0].attributes.as_path.origin_asns(),
+            std::vector<Asn>{Asn(15169)});
+  EXPECT_EQ(decoded->entries[1].peer_index, 1);
+  EXPECT_EQ(decoded->entries[1].originated_time, 1711929600u);
+}
+
+TEST(RibIpv4Unicast, NoEntries) {
+  RibPrefixRecord rec;
+  rec.prefix = P("10.0.0.0/8");
+  auto decoded = decode_rib_ipv4_unicast(encode_rib_ipv4_unicast(rec));
+  ASSERT_TRUE(decoded);
+  EXPECT_TRUE(decoded->entries.empty());
+}
+
+TEST(RibIpv4Unicast, TruncatedEntryIsError) {
+  auto wire = encode_rib_ipv4_unicast(sample_rib());
+  wire.resize(wire.size() - 1);
+  EXPECT_FALSE(decode_rib_ipv4_unicast(wire));
+}
+
+TEST(RibIpv4Unicast, ReencodeIsByteIdentical) {
+  auto wire = encode_rib_ipv4_unicast(sample_rib());
+  auto decoded = decode_rib_ipv4_unicast(wire);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(encode_rib_ipv4_unicast(*decoded), wire);
+}
+
+}  // namespace
+}  // namespace sublet::mrt

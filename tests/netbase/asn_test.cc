@@ -1,0 +1,50 @@
+#include "netbase/asn.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace sublet {
+namespace {
+
+TEST(AsnParse, PlainAndPrefixed) {
+  EXPECT_EQ(Asn::parse("64500")->value(), 64500u);
+  EXPECT_EQ(Asn::parse("AS64500")->value(), 64500u);
+  EXPECT_EQ(Asn::parse("as64500")->value(), 64500u);
+  EXPECT_EQ(Asn::parse(" AS8851 ")->value(), 8851u);
+}
+
+TEST(AsnParse, FourByte) {
+  EXPECT_EQ(Asn::parse("AS4200000001")->value(), 4200000001u);
+  EXPECT_EQ(Asn::parse("4294967295")->value(), 4294967295u);
+  EXPECT_FALSE(Asn::parse("4294967296"));
+}
+
+TEST(AsnParse, RejectsJunk) {
+  EXPECT_FALSE(Asn::parse(""));
+  EXPECT_FALSE(Asn::parse("AS"));
+  EXPECT_FALSE(Asn::parse("ASN64500"));
+  EXPECT_FALSE(Asn::parse("64500x"));
+}
+
+TEST(AsnAs0, Semantics) {
+  EXPECT_TRUE(Asn(0).is_as0());
+  EXPECT_FALSE(Asn(1).is_as0());
+  EXPECT_EQ(Asn::parse("AS0")->value(), 0u);
+}
+
+TEST(AsnFormat, RoundTrip) {
+  EXPECT_EQ(Asn(8851).to_string(), "AS8851");
+  EXPECT_EQ(*Asn::parse(Asn(15169).to_string()), Asn(15169));
+}
+
+TEST(AsnHashing, UsableInUnorderedSet) {
+  std::unordered_set<Asn, AsnHash> set;
+  for (std::uint32_t i = 0; i < 1000; ++i) set.insert(Asn(i));
+  EXPECT_EQ(set.size(), 1000u);
+  EXPECT_TRUE(set.contains(Asn(500)));
+  EXPECT_FALSE(set.contains(Asn(1000)));
+}
+
+}  // namespace
+}  // namespace sublet

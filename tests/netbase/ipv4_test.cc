@@ -1,0 +1,41 @@
+#include "netbase/ipv4.h"
+
+#include <gtest/gtest.h>
+
+namespace sublet {
+namespace {
+
+TEST(Ipv4Parse, Valid) {
+  EXPECT_EQ(Ipv4Addr::parse("0.0.0.0")->value(), 0u);
+  EXPECT_EQ(Ipv4Addr::parse("255.255.255.255")->value(), 0xFFFFFFFFu);
+  EXPECT_EQ(Ipv4Addr::parse("213.210.0.0")->value(), 0xD5D20000u);
+  EXPECT_EQ(Ipv4Addr::parse("1.2.3.4")->value(), 0x01020304u);
+}
+
+TEST(Ipv4Parse, RejectsMalformed) {
+  EXPECT_FALSE(Ipv4Addr::parse(""));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4Addr::parse("256.0.0.1"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4 "));
+  EXPECT_FALSE(Ipv4Addr::parse("1..3.4"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3."));
+  EXPECT_FALSE(Ipv4Addr::parse("a.b.c.d"));
+  EXPECT_FALSE(Ipv4Addr::parse("0001.2.3.4"));
+}
+
+TEST(Ipv4RoundTrip, ParseFormat) {
+  for (const char* s : {"0.0.0.0", "10.0.0.1", "192.168.255.254",
+                        "255.255.255.255", "213.210.33.0"}) {
+    auto a = Ipv4Addr::parse(s);
+    ASSERT_TRUE(a) << s;
+    EXPECT_EQ(a->to_string(), s);
+  }
+}
+
+TEST(Ipv4Ordering, Numeric) {
+  EXPECT_LT(*Ipv4Addr::parse("9.255.255.255"), *Ipv4Addr::parse("10.0.0.0"));
+}
+
+}  // namespace
+}  // namespace sublet

@@ -1,0 +1,109 @@
+#include "netbase/prefix_set.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sublet {
+namespace {
+
+Prefix P(const char* s) { return *Prefix::parse(s); }
+
+TEST(PrefixSet, ContainsAndCovers) {
+  PrefixSet set;
+  set.add(P("10.0.0.0/8"));
+  set.add(P("192.0.2.0/24"));
+  EXPECT_TRUE(set.contains(*Ipv4Addr::parse("10.1.2.3")));
+  EXPECT_TRUE(set.contains(*Ipv4Addr::parse("192.0.2.255")));
+  EXPECT_FALSE(set.contains(*Ipv4Addr::parse("192.0.3.0")));
+  EXPECT_TRUE(set.covers(P("10.128.0.0/9")));
+  EXPECT_FALSE(set.covers(P("192.0.2.0/23")));
+}
+
+TEST(PrefixSet, AddressCountDeduplicatesOverlap) {
+  PrefixSet set;
+  set.add(P("10.0.0.0/8"));
+  set.add(P("10.1.0.0/16"));  // nested
+  set.add(P("10.0.0.0/8"));   // duplicate
+  set.add(P("192.0.2.0/24"));
+  EXPECT_EQ(set.address_count(), (1u << 24) + 256u);
+}
+
+TEST(PrefixSet, AggregatedMergesAdjacentSiblings) {
+  PrefixSet set;
+  set.add(P("10.0.0.0/24"));
+  set.add(P("10.0.1.0/24"));
+  auto agg = set.aggregated();
+  ASSERT_EQ(agg.size(), 1u);
+  EXPECT_EQ(agg[0].to_string(), "10.0.0.0/23");
+}
+
+TEST(PrefixSet, AggregatedAbsorbsNested) {
+  PrefixSet set;
+  set.add(P("10.0.0.0/16"));
+  set.add(P("10.0.3.0/24"));
+  auto agg = set.aggregated();
+  ASSERT_EQ(agg.size(), 1u);
+  EXPECT_EQ(agg[0].to_string(), "10.0.0.0/16");
+}
+
+TEST(PrefixSet, AggregatedKeepsNonMergeableApart) {
+  PrefixSet set;
+  // Adjacent but misaligned: 10.0.1.0/24 + 10.0.2.0/24 cannot merge into
+  // one CIDR block.
+  set.add(P("10.0.1.0/24"));
+  set.add(P("10.0.2.0/24"));
+  auto agg = set.aggregated();
+  ASSERT_EQ(agg.size(), 2u);
+  EXPECT_EQ(agg[0].to_string(), "10.0.1.0/24");
+  EXPECT_EQ(agg[1].to_string(), "10.0.2.0/24");
+}
+
+TEST(PrefixSet, Empty) {
+  PrefixSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.address_count(), 0u);
+  EXPECT_TRUE(set.aggregated().empty());
+  EXPECT_FALSE(set.contains(Ipv4Addr(0)));
+  EXPECT_FALSE(set.covers(P("0.0.0.0/0")));
+}
+
+// Property: aggregated() preserves the union exactly.
+class PrefixSetProperty : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrefixSetProperty, AggregationPreservesUnion) {
+  Rng rng(GetParam());
+  PrefixSet set;
+  std::vector<Prefix> members;
+  for (int i = 0; i < 120; ++i) {
+    int len = static_cast<int>(rng.next_in(10, 26));
+    auto prefix = *Prefix::make(
+        Ipv4Addr(static_cast<std::uint32_t>(rng.next_u64())), len);
+    set.add(prefix);
+    members.push_back(prefix);
+  }
+  auto agg = set.aggregated();
+  // Same address count.
+  PrefixSet reagg;
+  for (const Prefix& p : agg) reagg.add(p);
+  EXPECT_EQ(reagg.address_count(), set.address_count());
+  // Aggregated members are sorted and mutually non-overlapping.
+  for (std::size_t i = 1; i < agg.size(); ++i) {
+    EXPECT_GT(agg[i].first().value(), agg[i - 1].last().value());
+  }
+  // Sampled membership agrees with a brute-force check.
+  for (int q = 0; q < 300; ++q) {
+    Ipv4Addr addr(static_cast<std::uint32_t>(rng.next_u64()));
+    bool brute = false;
+    for (const Prefix& p : members) {
+      if (p.contains(addr)) brute = true;
+    }
+    EXPECT_EQ(set.contains(addr), brute) << addr.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrefixSetProperty,
+                         testing::Values(41, 42, 43));
+
+}  // namespace
+}  // namespace sublet

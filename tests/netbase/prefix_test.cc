@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "netbase/ipv4.h"
+
+namespace sublet {
+namespace {
+
+TEST(PrefixMake, CanonicalizesHostBits) {
+  auto p = Prefix::make(*Ipv4Addr::parse("10.1.2.3"), 8);
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->to_string(), "10.0.0.0/8");
+}
+
+TEST(PrefixMake, RejectsBadLength) {
+  EXPECT_FALSE(Prefix::make(Ipv4Addr(0), 33));
+  EXPECT_FALSE(Prefix::make(Ipv4Addr(0), -1));
+}
+
+TEST(PrefixParse, Valid) {
+  auto p = Prefix::parse("213.210.0.0/18");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->length(), 18);
+  EXPECT_EQ(p->network().to_string(), "213.210.0.0");
+}
+
+TEST(PrefixParse, RejectsNonCanonicalByDefault) {
+  EXPECT_FALSE(Prefix::parse("10.0.0.1/8"));
+  auto p = Prefix::parse("10.0.0.1/8", /*canonicalize=*/true);
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->to_string(), "10.0.0.0/8");
+}
+
+TEST(PrefixParse, RejectsMalformed) {
+  EXPECT_FALSE(Prefix::parse("10.0.0.0"));
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/33"));
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/"));
+  EXPECT_FALSE(Prefix::parse("/8"));
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/8/9"));
+}
+
+TEST(PrefixRange, FirstLastSize) {
+  auto p = *Prefix::parse("213.210.0.0/18");
+  EXPECT_EQ(p.first().to_string(), "213.210.0.0");
+  EXPECT_EQ(p.last().to_string(), "213.210.63.255");
+  EXPECT_EQ(p.size(), 16384u);
+}
+
+TEST(PrefixRange, SlashZeroCoversEverything) {
+  auto p = *Prefix::make(Ipv4Addr(0), 0);
+  EXPECT_EQ(p.size(), std::uint64_t{1} << 32);
+  EXPECT_TRUE(p.contains(*Ipv4Addr::parse("255.255.255.255")));
+}
+
+TEST(PrefixRange, Slash32IsOneAddress) {
+  auto p = *Prefix::parse("1.2.3.4/32");
+  EXPECT_EQ(p.size(), 1u);
+  EXPECT_EQ(p.first(), p.last());
+}
+
+TEST(PrefixContains, Boundary) {
+  auto p = *Prefix::parse("10.0.0.0/8");
+  EXPECT_TRUE(p.contains(*Ipv4Addr::parse("10.0.0.0")));
+  EXPECT_TRUE(p.contains(*Ipv4Addr::parse("10.255.255.255")));
+  EXPECT_FALSE(p.contains(*Ipv4Addr::parse("11.0.0.0")));
+  EXPECT_FALSE(p.contains(*Ipv4Addr::parse("9.255.255.255")));
+}
+
+TEST(PrefixCovers, SelfAndMoreSpecific) {
+  auto p18 = *Prefix::parse("213.210.0.0/18");
+  auto p24 = *Prefix::parse("213.210.33.0/24");
+  EXPECT_TRUE(p18.covers(p18));
+  EXPECT_TRUE(p18.covers(p24));
+  EXPECT_FALSE(p24.covers(p18));
+  EXPECT_FALSE(p24.covers(*Prefix::parse("213.210.34.0/24")));
+}
+
+TEST(PrefixOrdering, AddressThenLength) {
+  auto a = *Prefix::parse("10.0.0.0/8");
+  auto b = *Prefix::parse("10.0.0.0/16");
+  auto c = *Prefix::parse("11.0.0.0/8");
+  EXPECT_LT(a, b) << "same network: less specific first";
+  EXPECT_LT(b, c);
+}
+
+class PrefixSizeSweep : public testing::TestWithParam<int> {};
+
+TEST_P(PrefixSizeSweep, SizeIsPowerOfTwoComplement) {
+  int len = GetParam();
+  auto p = *Prefix::make(Ipv4Addr(0), len);
+  EXPECT_EQ(p.size(), std::uint64_t{1} << (32 - len));
+  // first/last span exactly size addresses
+  EXPECT_EQ(static_cast<std::uint64_t>(p.last().value()) -
+                p.first().value() + 1,
+            p.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLengths, PrefixSizeSweep,
+                         testing::Range(0, 33));
+
+}  // namespace
+}  // namespace sublet

@@ -1,0 +1,237 @@
+#include "netbase/prefix_trie.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace sublet {
+namespace {
+
+Prefix P(const char* s) { return *Prefix::parse(s); }
+
+TEST(PrefixTrie, InsertAndFindExact) {
+  PrefixTrie<std::string> trie;
+  trie.insert(P("10.0.0.0/8"), "a");
+  trie.insert(P("10.0.0.0/16"), "b");
+  EXPECT_EQ(*trie.find(P("10.0.0.0/8")), "a");
+  EXPECT_EQ(*trie.find(P("10.0.0.0/16")), "b");
+  EXPECT_EQ(trie.find(P("10.0.0.0/12")), nullptr);
+  EXPECT_EQ(trie.size(), 2u);
+}
+
+TEST(PrefixTrie, InsertOverwrites) {
+  PrefixTrie<int> trie;
+  trie.insert(P("10.0.0.0/8"), 1);
+  trie.insert(P("10.0.0.0/8"), 2);
+  EXPECT_EQ(*trie.find(P("10.0.0.0/8")), 2);
+  EXPECT_EQ(trie.size(), 1u);
+}
+
+TEST(PrefixTrie, DefaultRouteEntry) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::make(Ipv4Addr(0), 0), 99);
+  auto hit = trie.most_specific_covering(P("203.0.113.0/24"));
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(hit->first.length(), 0);
+  EXPECT_EQ(*hit->second, 99);
+}
+
+TEST(PrefixTrie, MostSpecificCovering) {
+  PrefixTrie<std::string> trie;
+  trie.insert(P("213.210.0.0/18"), "root");
+  trie.insert(P("213.210.32.0/19"), "mid");
+  auto hit = trie.most_specific_covering(P("213.210.33.0/24"));
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(*hit->second, "mid");
+  EXPECT_EQ(hit->first.to_string(), "213.210.32.0/19");
+}
+
+TEST(PrefixTrie, MostSpecificCoveringIncludesExact) {
+  PrefixTrie<std::string> trie;
+  trie.insert(P("213.210.33.0/24"), "exact");
+  trie.insert(P("213.210.0.0/18"), "root");
+  auto hit = trie.most_specific_covering(P("213.210.33.0/24"));
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(*hit->second, "exact");
+}
+
+TEST(PrefixTrie, LeastSpecificCovering) {
+  PrefixTrie<std::string> trie;
+  trie.insert(P("213.210.0.0/18"), "root");
+  trie.insert(P("213.210.32.0/19"), "mid");
+  trie.insert(P("213.210.33.0/24"), "leaf");
+  auto hit = trie.least_specific_covering(P("213.210.33.0/24"));
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(*hit->second, "root");
+  EXPECT_EQ(hit->first.to_string(), "213.210.0.0/18");
+}
+
+TEST(PrefixTrie, CoveringMissesSiblings) {
+  PrefixTrie<int> trie;
+  trie.insert(P("213.210.32.0/24"), 1);
+  EXPECT_FALSE(trie.most_specific_covering(P("213.210.33.0/24")));
+  EXPECT_FALSE(trie.least_specific_covering(P("213.210.33.0/24")));
+}
+
+TEST(PrefixTrie, AllCoveringOrder) {
+  PrefixTrie<int> trie;
+  trie.insert(P("0.0.0.0/0"), 0);
+  trie.insert(P("213.192.0.0/10"), 10);
+  trie.insert(P("213.210.0.0/18"), 18);
+  trie.insert(P("213.210.33.0/24"), 24);
+  auto hits = trie.all_covering(P("213.210.33.0/24"));
+  ASSERT_EQ(hits.size(), 4u);
+  EXPECT_EQ(*hits[0].second, 0);
+  EXPECT_EQ(*hits[1].second, 10);
+  EXPECT_EQ(*hits[2].second, 18);
+  EXPECT_EQ(*hits[3].second, 24);
+}
+
+TEST(PrefixTrie, Descendants) {
+  PrefixTrie<int> trie;
+  trie.insert(P("213.210.0.0/18"), 1);
+  trie.insert(P("213.210.2.0/23"), 2);
+  trie.insert(P("213.210.33.0/24"), 3);
+  trie.insert(P("10.0.0.0/8"), 4);
+  auto desc = trie.descendants(P("213.210.0.0/18"));
+  ASSERT_EQ(desc.size(), 2u);
+  EXPECT_EQ(*desc[0].second, 2);
+  EXPECT_EQ(*desc[1].second, 3);
+}
+
+TEST(PrefixTrie, RootsAndLeaves) {
+  // Mirror of the paper's Figure 2 allocation tree.
+  PrefixTrie<std::string> trie;
+  trie.insert(P("213.210.0.0/18"), "holder");       // portable root
+  trie.insert(P("213.210.2.0/23"), "customer");     // leaf
+  trie.insert(P("213.210.32.0/19"), "intermediate");
+  trie.insert(P("213.210.33.0/24"), "ipxo-leased"); // leaf under intermediate
+  trie.insert(P("198.51.100.0/24"), "lone");        // root that is also a leaf
+
+  auto roots = trie.roots();
+  ASSERT_EQ(roots.size(), 2u);
+  EXPECT_EQ(roots[0].first.to_string(), "198.51.100.0/24");
+  EXPECT_EQ(roots[1].first.to_string(), "213.210.0.0/18");
+
+  auto leaves = trie.leaves();
+  ASSERT_EQ(leaves.size(), 3u);
+  EXPECT_EQ(*leaves[0].second, "lone");
+  EXPECT_EQ(*leaves[1].second, "customer");
+  EXPECT_EQ(*leaves[2].second, "ipxo-leased");
+}
+
+TEST(PrefixTrie, VisitInAddressOrder) {
+  PrefixTrie<int> trie;
+  trie.insert(P("192.0.2.0/24"), 3);
+  trie.insert(P("10.0.0.0/8"), 1);
+  trie.insert(P("172.16.0.0/12"), 2);
+  std::vector<int> order;
+  trie.visit([&](const Prefix&, const int& v) { order.push_back(v); });
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(PrefixTrie, VisitLessSpecificBeforeMoreSpecific) {
+  PrefixTrie<int> trie;
+  trie.insert(P("10.0.0.0/16"), 2);
+  trie.insert(P("10.0.0.0/8"), 1);
+  std::vector<int> order;
+  trie.visit([&](const Prefix&, const int& v) { order.push_back(v); });
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(PrefixTrie, EmptyTrieQueries) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.empty());
+  EXPECT_FALSE(trie.most_specific_covering(P("10.0.0.0/8")));
+  EXPECT_TRUE(trie.roots().empty());
+  EXPECT_TRUE(trie.leaves().empty());
+  EXPECT_TRUE(trie.descendants(P("0.0.0.0/0")).empty());
+}
+
+// Property: for random entry sets, most_specific_covering agrees with a
+// brute-force scan.
+class TrieLookupProperty : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrieLookupProperty, MatchesBruteForce) {
+  Rng rng(GetParam());
+  PrefixTrie<int> trie;
+  std::vector<Prefix> entries;
+  for (int i = 0; i < 300; ++i) {
+    int len = static_cast<int>(rng.next_in(8, 28));
+    auto p = *Prefix::make(Ipv4Addr(static_cast<std::uint32_t>(rng.next_u64())),
+                           len);
+    trie.insert(p, i);
+    entries.push_back(p);
+  }
+  for (int q = 0; q < 200; ++q) {
+    int len = static_cast<int>(rng.next_in(16, 32));
+    auto query = *Prefix::make(
+        Ipv4Addr(static_cast<std::uint32_t>(rng.next_u64())), len);
+
+    std::optional<Prefix> best_most, best_least;
+    for (const auto& e : entries) {
+      if (!e.covers(query)) continue;
+      if (!best_most || e.length() > best_most->length()) best_most = e;
+      if (!best_least || e.length() < best_least->length()) best_least = e;
+    }
+    auto got_most = trie.most_specific_covering(query);
+    auto got_least = trie.least_specific_covering(query);
+    EXPECT_EQ(got_most.has_value(), best_most.has_value());
+    EXPECT_EQ(got_least.has_value(), best_least.has_value());
+    if (best_most && got_most) EXPECT_EQ(got_most->first, *best_most);
+    if (best_least && got_least) EXPECT_EQ(got_least->first, *best_least);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieLookupProperty,
+                         testing::Values(101, 202, 303, 404, 505));
+
+// Property: roots() and leaves() partition consistently with covers().
+class TrieForestProperty : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrieForestProperty, RootsCoverAllLeavesAreUncovered) {
+  Rng rng(GetParam());
+  PrefixTrie<int> trie;
+  std::vector<Prefix> entries;
+  for (int i = 0; i < 200; ++i) {
+    int len = static_cast<int>(rng.next_in(8, 24));
+    auto p = *Prefix::make(Ipv4Addr(static_cast<std::uint32_t>(rng.next_u64())),
+                           len);
+    if (!trie.find(p)) {
+      trie.insert(p, i);
+      entries.push_back(p);
+    }
+  }
+  auto roots = trie.roots();
+  auto leaves = trie.leaves();
+
+  // Every entry is covered by exactly one root.
+  for (const auto& e : entries) {
+    int covering_roots = 0;
+    for (const auto& [rp, rv] : roots) {
+      if (rp.covers(e)) ++covering_roots;
+    }
+    EXPECT_EQ(covering_roots, 1) << e.to_string();
+  }
+  // No leaf strictly covers another entry.
+  for (const auto& [lp, lv] : leaves) {
+    for (const auto& e : entries) {
+      if (e != lp) EXPECT_FALSE(lp.covers(e)) << lp.to_string() << " covers "
+                                              << e.to_string();
+    }
+  }
+  // Roots are mutually non-covering.
+  for (const auto& [a, av] : roots) {
+    for (const auto& [b, bv] : roots) {
+      if (a != b) EXPECT_FALSE(a.covers(b));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieForestProperty,
+                         testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace sublet

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "netbase/ipv4.h"
+#include "util/rng.h"
+
+namespace sublet {
+namespace {
+
+TEST(RangeParse, Valid) {
+  auto r = AddrRange::parse("213.210.0.0 - 213.210.63.255");
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->first.to_string(), "213.210.0.0");
+  EXPECT_EQ(r->last.to_string(), "213.210.63.255");
+}
+
+TEST(RangeParse, NoSpacesAroundDash) {
+  auto r = AddrRange::parse("10.0.0.0-10.0.0.255");
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->size(), 256u);
+}
+
+TEST(RangeParse, RejectsInverted) {
+  EXPECT_FALSE(AddrRange::parse("10.0.1.0 - 10.0.0.255"));
+}
+
+TEST(RangeParse, RejectsMalformed) {
+  EXPECT_FALSE(AddrRange::parse("10.0.0.0"));
+  EXPECT_FALSE(AddrRange::parse("10.0.0.0 -"));
+  EXPECT_FALSE(AddrRange::parse("- 10.0.0.0"));
+}
+
+TEST(RangeToPrefixes, AlignedRangeIsOnePrefix) {
+  auto r = *AddrRange::parse("213.210.0.0 - 213.210.63.255");
+  auto prefixes = r.to_prefixes();
+  ASSERT_EQ(prefixes.size(), 1u);
+  EXPECT_EQ(prefixes[0].to_string(), "213.210.0.0/18");
+}
+
+TEST(RangeToPrefixes, SingleAddress) {
+  auto r = *AddrRange::parse("1.2.3.4 - 1.2.3.4");
+  auto prefixes = r.to_prefixes();
+  ASSERT_EQ(prefixes.size(), 1u);
+  EXPECT_EQ(prefixes[0].to_string(), "1.2.3.4/32");
+}
+
+TEST(RangeToPrefixes, UnalignedSplits) {
+  // 10.0.0.1 - 10.0.0.6: /32, /31, /31, /32 -> minimal cover is 4 prefixes
+  auto r = *AddrRange::parse("10.0.0.1 - 10.0.0.6");
+  auto prefixes = r.to_prefixes();
+  ASSERT_EQ(prefixes.size(), 4u);
+  EXPECT_EQ(prefixes[0].to_string(), "10.0.0.1/32");
+  EXPECT_EQ(prefixes[1].to_string(), "10.0.0.2/31");
+  EXPECT_EQ(prefixes[2].to_string(), "10.0.0.4/31");
+  EXPECT_EQ(prefixes[3].to_string(), "10.0.0.6/32");
+}
+
+TEST(RangeToPrefixes, FullSpace) {
+  auto r = *AddrRange::parse("0.0.0.0 - 255.255.255.255");
+  auto prefixes = r.to_prefixes();
+  ASSERT_EQ(prefixes.size(), 1u);
+  EXPECT_EQ(prefixes[0].length(), 0);
+}
+
+TEST(RangeToPrefixes, WholeIsExactlyCoveredNoOverlap) {
+  auto r = *AddrRange::parse("192.168.1.77 - 192.168.130.2");
+  auto prefixes = r.to_prefixes();
+  ASSERT_FALSE(prefixes.empty());
+  // Contiguous, in order, no gaps or overlap, covering exactly the range.
+  EXPECT_EQ(prefixes.front().first(), r.first);
+  EXPECT_EQ(prefixes.back().last(), r.last);
+  for (std::size_t i = 1; i < prefixes.size(); ++i) {
+    EXPECT_EQ(prefixes[i].first().value(),
+              prefixes[i - 1].last().value() + 1);
+  }
+}
+
+// Property sweep: random ranges always produce a minimal exact cover.
+class RangeCoverProperty : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RangeCoverProperty, ExactContiguousCover) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    std::uint32_t a = static_cast<std::uint32_t>(rng.next_u64());
+    std::uint32_t b = static_cast<std::uint32_t>(rng.next_u64());
+    AddrRange r{Ipv4Addr(std::min(a, b)), Ipv4Addr(std::max(a, b))};
+    auto prefixes = r.to_prefixes();
+    ASSERT_FALSE(prefixes.empty());
+    EXPECT_EQ(prefixes.front().first(), r.first);
+    EXPECT_EQ(prefixes.back().last(), r.last);
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < prefixes.size(); ++i) {
+      total += prefixes[i].size();
+      if (i > 0) {
+        ASSERT_EQ(prefixes[i].first().value(),
+                  prefixes[i - 1].last().value() + 1);
+      }
+    }
+    EXPECT_EQ(total, r.size());
+    // Minimality: a CIDR-exact cover of any range needs at most 62 prefixes
+    // (2 per bit position); typical is far fewer.
+    EXPECT_LE(prefixes.size(), 62u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RangeCoverProperty,
+                         testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace sublet

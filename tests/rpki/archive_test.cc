@@ -1,0 +1,95 @@
+#include "rpki/archive.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace sublet::rpki {
+namespace {
+
+Prefix P(const char* s) { return *Prefix::parse(s); }
+
+VrpSet one_roa(const char* prefix, std::uint32_t asn) {
+  VrpSet set;
+  set.add({P(prefix), 24, Asn(asn)});
+  return set;
+}
+
+TEST(RpkiArchive, AtReturnsLatestAtOrBefore) {
+  RpkiArchive archive;
+  archive.add_snapshot(1000, one_roa("10.0.0.0/16", 1));
+  archive.add_snapshot(2000, one_roa("10.0.0.0/16", 2));
+
+  EXPECT_EQ(archive.at(999), nullptr);
+  ASSERT_NE(archive.at(1000), nullptr);
+  EXPECT_EQ(archive.at(1500)->exact(P("10.0.0.0/16"))[0].asn, Asn(1));
+  EXPECT_EQ(archive.at(2000)->exact(P("10.0.0.0/16"))[0].asn, Asn(2));
+  EXPECT_EQ(archive.at(99999)->exact(P("10.0.0.0/16"))[0].asn, Asn(2));
+}
+
+TEST(RpkiArchive, TimestampsSorted) {
+  RpkiArchive archive;
+  archive.add_snapshot(300, {});
+  archive.add_snapshot(100, {});
+  archive.add_snapshot(200, {});
+  EXPECT_EQ(archive.timestamps(), (std::vector<std::uint32_t>{100, 200, 300}));
+}
+
+TEST(RpkiArchive, CoveringInWindowUnions) {
+  RpkiArchive archive;
+  archive.add_snapshot(100, one_roa("10.0.0.0/16", 1));
+  archive.add_snapshot(200, one_roa("10.0.0.0/16", 2));
+  archive.add_snapshot(300, one_roa("10.0.0.0/16", 3));
+
+  auto roas = archive.covering_in_window(P("10.0.1.0/24"), 100, 200);
+  ASSERT_EQ(roas.size(), 2u);
+  EXPECT_EQ(roas[0].asn, Asn(1));
+  EXPECT_EQ(roas[1].asn, Asn(2));
+}
+
+TEST(RpkiArchive, RoaHistoryForTimeline) {
+  // Figure 3 shape: lease to AS A, AS0 between leases, lease to AS B.
+  RpkiArchive archive;
+  archive.add_snapshot(100, one_roa("213.210.33.0/24", 834));
+  archive.add_snapshot(200, one_roa("213.210.33.0/24", 0));     // AS0 marker
+  archive.add_snapshot(300, one_roa("213.210.33.0/24", 61317));
+
+  auto history = archive.roa_history(P("213.210.33.0/24"), 0, 400);
+  ASSERT_EQ(history.size(), 3u);
+  EXPECT_EQ(history[0].second, std::vector<Asn>{Asn(834)});
+  EXPECT_EQ(history[1].second, std::vector<Asn>{Asn(0)});
+  EXPECT_EQ(history[2].second, std::vector<Asn>{Asn(61317)});
+}
+
+TEST(RpkiArchive, RoaHistoryEmptyWhenNoRoa) {
+  RpkiArchive archive;
+  archive.add_snapshot(100, one_roa("10.0.0.0/16", 1));
+  auto history = archive.roa_history(P("192.0.2.0/24"), 0, 400);
+  ASSERT_EQ(history.size(), 1u);
+  EXPECT_TRUE(history[0].second.empty());
+}
+
+TEST(RpkiArchive, SaveLoadDirectoryRoundTrip) {
+  std::string dir = testing::TempDir() + "/sublet_rpki_archive";
+  std::filesystem::remove_all(dir);
+
+  RpkiArchive archive;
+  archive.add_snapshot(1000, one_roa("10.0.0.0/16", 64500));
+  archive.add_snapshot(2000, one_roa("10.0.0.0/16", 0));
+  archive.save_directory(dir);
+
+  auto loaded = RpkiArchive::load_directory(dir);
+  EXPECT_EQ(loaded.snapshot_count(), 2u);
+  ASSERT_NE(loaded.at(1500), nullptr);
+  EXPECT_EQ(loaded.at(1500)->exact(P("10.0.0.0/16"))[0].asn, Asn(64500));
+  EXPECT_EQ(loaded.at(2500)->exact(P("10.0.0.0/16"))[0].asn, Asn(0));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(RpkiArchive, LoadMissingDirectoryThrows) {
+  EXPECT_THROW(RpkiArchive::load_directory("/nonexistent/rpki"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sublet::rpki

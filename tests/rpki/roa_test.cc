@@ -1,0 +1,112 @@
+#include "rpki/roa.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sublet::rpki {
+namespace {
+
+Prefix P(const char* s) { return *Prefix::parse(s); }
+
+TEST(Roa, EffectiveMaxLength) {
+  EXPECT_EQ((Roa{P("10.0.0.0/16"), 24, Asn(1)}).effective_max_length(), 24);
+  EXPECT_EQ((Roa{P("10.0.0.0/16"), 0, Asn(1)}).effective_max_length(), 16)
+      << "absent maxLength defaults to the prefix length (RFC 6482)";
+  EXPECT_EQ((Roa{P("10.0.0.0/16"), 8, Asn(1)}).effective_max_length(), 16);
+}
+
+TEST(VrpValidate, NotFoundWithoutCoveringRoa) {
+  VrpSet set;
+  set.add({P("10.0.0.0/16"), 24, Asn(1)});
+  EXPECT_EQ(set.validate(P("192.0.2.0/24"), Asn(1)), Validity::kNotFound);
+}
+
+TEST(VrpValidate, ValidExactMatch) {
+  VrpSet set;
+  set.add({P("10.0.0.0/16"), 16, Asn(64500)});
+  EXPECT_EQ(set.validate(P("10.0.0.0/16"), Asn(64500)), Validity::kValid);
+}
+
+TEST(VrpValidate, MoreSpecificWithinMaxLength) {
+  VrpSet set;
+  set.add({P("10.0.0.0/16"), 24, Asn(64500)});
+  EXPECT_EQ(set.validate(P("10.0.3.0/24"), Asn(64500)), Validity::kValid);
+  EXPECT_EQ(set.validate(P("10.0.3.0/25"), Asn(64500)), Validity::kInvalid)
+      << "longer than maxLength";
+}
+
+TEST(VrpValidate, WrongOriginIsInvalid) {
+  VrpSet set;
+  set.add({P("10.0.0.0/16"), 24, Asn(64500)});
+  EXPECT_EQ(set.validate(P("10.0.0.0/16"), Asn(64501)), Validity::kInvalid);
+}
+
+TEST(VrpValidate, SecondRoaCanValidate) {
+  VrpSet set;
+  set.add({P("10.0.0.0/16"), 16, Asn(64500)});
+  set.add({P("10.0.0.0/16"), 16, Asn(64501)});
+  EXPECT_EQ(set.validate(P("10.0.0.0/16"), Asn(64501)), Validity::kValid);
+  EXPECT_EQ(set.validate(P("10.0.0.0/16"), Asn(64502)), Validity::kInvalid);
+}
+
+TEST(VrpValidate, As0RoaDisallowsEverything) {
+  // §6.5: facilitators publish AS0 ROAs between leases so any announcement
+  // of the prefix is RPKI-invalid.
+  VrpSet set;
+  set.add({P("213.210.33.0/24"), 24, Asn(0)});
+  EXPECT_EQ(set.validate(P("213.210.33.0/24"), Asn(15169)),
+            Validity::kInvalid);
+  EXPECT_EQ(set.validate(P("213.210.33.0/24"), Asn(0)), Validity::kInvalid)
+      << "AS0 itself can never be a valid origin";
+}
+
+TEST(VrpSet, CoveringCollectsAllLevels) {
+  VrpSet set;
+  set.add({P("10.0.0.0/8"), 24, Asn(1)});
+  set.add({P("10.0.0.0/16"), 24, Asn(2)});
+  set.add({P("10.1.0.0/16"), 24, Asn(3)});
+  auto roas = set.covering(P("10.0.3.0/24"));
+  ASSERT_EQ(roas.size(), 2u);
+  EXPECT_TRUE(set.any_roa_for(P("10.0.3.0/24")));
+  EXPECT_FALSE(set.any_roa_for(P("11.0.0.0/8")));
+}
+
+TEST(VrpSet, ExactAndDeduplication) {
+  VrpSet set;
+  set.add({P("10.0.0.0/16"), 24, Asn(1)});
+  set.add({P("10.0.0.0/16"), 24, Asn(1)});  // duplicate ignored
+  set.add({P("10.0.0.0/16"), 24, Asn(2)});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.exact(P("10.0.0.0/16")).size(), 2u);
+  EXPECT_TRUE(set.exact(P("10.0.0.0/17")).empty());
+}
+
+TEST(VrpSet, CsvRoundTrip) {
+  VrpSet set;
+  set.add({P("10.0.0.0/16"), 24, Asn(64500)});
+  set.add({P("213.210.33.0/24"), 24, Asn(0)});
+  std::ostringstream out;
+  set.write_csv(out);
+  std::istringstream in(out.str());
+  auto loaded = VrpSet::parse_csv(in);
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.validate(P("10.0.1.0/24"), Asn(64500)), Validity::kValid);
+  EXPECT_EQ(loaded.validate(P("213.210.33.0/24"), Asn(1)),
+            Validity::kInvalid);
+}
+
+TEST(VrpSet, CsvParsesAsnPrefixAndHeader) {
+  std::istringstream in(
+      "ASN,IP Prefix,Max Length,Trust Anchor\n"
+      "AS64500,10.0.0.0/16,24,ripe\n"
+      "64501,10.1.0.0/16,16,arin\n"
+      "garbage,line,here\n");
+  std::vector<Error> diags;
+  auto set = VrpSet::parse_csv(in, "t", &diags);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(diags.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sublet::rpki

@@ -1,0 +1,60 @@
+// Property: VrpSet::validate agrees with a brute-force RFC 6811
+// implementation over random ROA sets and random route queries.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rpki/roa.h"
+#include "util/rng.h"
+
+namespace sublet::rpki {
+namespace {
+
+Validity brute_force(const std::vector<Roa>& roas, const Prefix& prefix,
+                     Asn origin) {
+  bool covered = false;
+  for (const Roa& roa : roas) {
+    if (!roa.prefix.covers(prefix)) continue;
+    covered = true;
+    if (roa.asn == origin && !origin.is_as0() &&
+        prefix.length() <= roa.effective_max_length()) {
+      return Validity::kValid;
+    }
+  }
+  return covered ? Validity::kInvalid : Validity::kNotFound;
+}
+
+class ValidateProperty : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ValidateProperty, MatchesBruteForce) {
+  Rng rng(GetParam());
+  VrpSet set;
+  std::vector<Roa> roas;
+  // Cluster ROAs into a /12 so covering relations actually occur.
+  std::uint32_t base = 0x0A000000;  // 10.0.0.0
+  for (int i = 0; i < 200; ++i) {
+    int len = static_cast<int>(rng.next_in(12, 24));
+    std::uint32_t addr =
+        base | (static_cast<std::uint32_t>(rng.next_u64()) & 0x000FFFFF);
+    Roa roa{*Prefix::make(Ipv4Addr(addr), len),
+            static_cast<int>(rng.next_in(len, 26)),
+            Asn(static_cast<std::uint32_t>(rng.next_below(12)))};  // AS0..11
+    set.add(roa);
+    roas.push_back(roa);
+  }
+  for (int q = 0; q < 500; ++q) {
+    int len = static_cast<int>(rng.next_in(12, 28));
+    std::uint32_t addr =
+        base | (static_cast<std::uint32_t>(rng.next_u64()) & 0x000FFFFF);
+    Prefix query = *Prefix::make(Ipv4Addr(addr), len);
+    Asn origin(static_cast<std::uint32_t>(rng.next_below(12)));
+    EXPECT_EQ(set.validate(query, origin), brute_force(roas, query, origin))
+        << query.to_string() << " origin " << origin.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValidateProperty,
+                         testing::Values(3, 5, 8, 13));
+
+}  // namespace
+}  // namespace sublet::rpki

@@ -1,0 +1,146 @@
+#include "rpsl/rpsl.h"
+
+#include <gtest/gtest.h>
+
+namespace sublet::rpsl {
+namespace {
+
+TEST(RpslParse, SingleObject) {
+  auto objs = parse_all(
+      "inetnum:        213.210.0.0 - 213.210.63.255\n"
+      "netname:        SE-GCI-NET\n"
+      "org:            ORG-GCI1-RIPE\n"
+      "status:         ALLOCATED PA\n"
+      "mnt-by:         MNT-GCICOM\n"
+      "source:         RIPE\n");
+  ASSERT_EQ(objs.size(), 1u);
+  EXPECT_EQ(objs[0].cls(), "inetnum");
+  EXPECT_EQ(objs[0].get("inetnum"), "213.210.0.0 - 213.210.63.255");
+  EXPECT_EQ(objs[0].get("status"), "ALLOCATED PA");
+  EXPECT_EQ(objs[0].get("mnt-by"), "MNT-GCICOM");
+}
+
+TEST(RpslParse, MultipleObjectsSeparatedByBlankLines) {
+  auto objs = parse_all(
+      "inetnum: 10.0.0.0 - 10.0.0.255\nstatus: ASSIGNED PA\n"
+      "\n\n"
+      "aut-num: AS8851\norg: ORG-GCI1-RIPE\n");
+  ASSERT_EQ(objs.size(), 2u);
+  EXPECT_EQ(objs[0].cls(), "inetnum");
+  EXPECT_EQ(objs[1].cls(), "aut-num");
+  EXPECT_EQ(objs[1].get("aut-num"), "AS8851");
+}
+
+TEST(RpslParse, AttributeNamesAreCaseInsensitive) {
+  auto objs = parse_all("InetNum: 10.0.0.0 - 10.0.0.255\nStatus: LEGACY\n");
+  ASSERT_EQ(objs.size(), 1u);
+  EXPECT_EQ(objs[0].get("inetnum"), "10.0.0.0 - 10.0.0.255");
+  EXPECT_EQ(objs[0].get("status"), "LEGACY");
+}
+
+TEST(RpslParse, ContinuationLines) {
+  auto objs = parse_all(
+      "organisation: ORG-X1\n"
+      "address: 123 Example Way\n"
+      "         Building 4\n"
+      "+        Floor 2\n"
+      "\tSuite 9\n");
+  ASSERT_EQ(objs.size(), 1u);
+  EXPECT_EQ(objs[0].get("address"),
+            "123 Example Way Building 4 Floor 2 Suite 9");
+}
+
+TEST(RpslParse, RepeatedAttributes) {
+  auto objs = parse_all(
+      "inetnum: 10.0.0.0 - 10.0.0.255\n"
+      "mnt-by: MNT-ONE\n"
+      "mnt-by: MNT-TWO\n");
+  ASSERT_EQ(objs.size(), 1u);
+  auto mnts = objs[0].all("mnt-by");
+  ASSERT_EQ(mnts.size(), 2u);
+  EXPECT_EQ(mnts[0], "MNT-ONE");
+  EXPECT_EQ(mnts[1], "MNT-TWO");
+  EXPECT_EQ(objs[0].get("mnt-by"), "MNT-ONE") << "get returns first";
+}
+
+TEST(RpslParse, PercentCommentsIgnoredAndSeparateObjects) {
+  auto objs = parse_all(
+      "% RIPE database dump\n"
+      "inetnum: 10.0.0.0 - 10.0.0.255\n"
+      "% comment splits like a blank line\n"
+      "aut-num: AS1\n");
+  ASSERT_EQ(objs.size(), 2u);
+}
+
+TEST(RpslParse, HashCommentLinesIgnored) {
+  auto objs = parse_all("# dump header\ninetnum: 10.0.0.0 - 10.0.0.255\n");
+  ASSERT_EQ(objs.size(), 1u);
+}
+
+TEST(RpslParse, InlineCommentsStripped) {
+  auto objs = parse_all("inetnum: 10.0.0.0 - 10.0.0.255 # legacy block\n");
+  ASSERT_EQ(objs.size(), 1u);
+  EXPECT_EQ(objs[0].get("inetnum"), "10.0.0.0 - 10.0.0.255");
+}
+
+TEST(RpslParse, CrLfLineEndings) {
+  auto objs = parse_all("inetnum: 10.0.0.0 - 10.0.0.255\r\nstatus: X\r\n");
+  ASSERT_EQ(objs.size(), 1u);
+  EXPECT_EQ(objs[0].get("status"), "X");
+}
+
+TEST(RpslParse, MissingAttributeReturnsEmpty) {
+  auto objs = parse_all("inetnum: 10.0.0.0 - 10.0.0.255\n");
+  ASSERT_EQ(objs.size(), 1u);
+  EXPECT_EQ(objs[0].get("org"), "");
+  EXPECT_FALSE(objs[0].has("org"));
+  EXPECT_TRUE(objs[0].all("org").empty());
+}
+
+TEST(RpslParse, NoTrailingNewline) {
+  auto objs = parse_all("aut-num: AS42");
+  ASSERT_EQ(objs.size(), 1u);
+  EXPECT_EQ(objs[0].get("aut-num"), "AS42");
+}
+
+TEST(RpslParse, EmptyInput) {
+  EXPECT_TRUE(parse_all("").empty());
+  EXPECT_TRUE(parse_all("\n\n\n% only comments\n").empty());
+}
+
+TEST(RpslDiagnostics, BadLinesAreRecordedNotFatal) {
+  std::vector<Error> diags;
+  auto objs = parse_all(
+      "inetnum: 10.0.0.0 - 10.0.0.255\n"
+      "this line has no separator\n"
+      "status: ASSIGNED PA\n",
+      &diags);
+  ASSERT_EQ(objs.size(), 1u);
+  EXPECT_EQ(objs[0].get("status"), "ASSIGNED PA");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("separator"), std::string::npos);
+  EXPECT_EQ(diags[0].line, 2u);
+}
+
+TEST(RpslDiagnostics, OrphanContinuation) {
+  std::vector<Error> diags;
+  auto objs = parse_all("   floating continuation\naut-num: AS1\n", &diags);
+  ASSERT_EQ(objs.size(), 1u);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("continuation"), std::string::npos);
+}
+
+TEST(RpslParse, ObjectLineNumbersTracked) {
+  auto objs = parse_all("% header\n\ninetnum: 10.0.0.0 - 10.0.0.255\n");
+  ASSERT_EQ(objs.size(), 1u);
+  EXPECT_EQ(objs[0].line, 3u);
+}
+
+TEST(RpslParse, ValueContainingColon) {
+  auto objs = parse_all("remarks: see http://example.com/x\n");
+  ASSERT_EQ(objs.size(), 1u);
+  EXPECT_EQ(objs[0].get("remarks"), "see http://example.com/x");
+}
+
+}  // namespace
+}  // namespace sublet::rpsl

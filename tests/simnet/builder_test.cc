@@ -1,0 +1,258 @@
+#include "simnet/builder.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace sublet::sim {
+namespace {
+
+WorldConfig tiny_config(std::uint64_t seed = 7) {
+  WorldConfig config;
+  config.seed = seed;
+  config.scale = 0.02;
+  return config;
+}
+
+TEST(ConfigValidate, RejectsOutOfRangeKnobs) {
+  WorldConfig config = tiny_config();
+  config.scale = 0.0;
+  EXPECT_THROW(build_world(config), std::invalid_argument);
+
+  config = tiny_config();
+  config.p_lease_inactive = 1.5;
+  EXPECT_THROW(build_world(config), std::invalid_argument);
+
+  config = tiny_config();
+  config.tier1_count = 1;
+  EXPECT_THROW(build_world(config), std::invalid_argument);
+
+  config = tiny_config();
+  config.collectors = 0;
+  EXPECT_THROW(build_world(config), std::invalid_argument);
+
+  config = tiny_config();
+  config.rirs[0].top_holder_share = -0.1;
+  EXPECT_THROW(build_world(config), std::invalid_argument);
+
+  EXPECT_NO_THROW(tiny_config().validate());
+}
+
+TEST(Builder, DeterministicForSeed) {
+  World a = build_world(tiny_config());
+  World b = build_world(tiny_config());
+  ASSERT_EQ(a.leaves.size(), b.leaves.size());
+  ASSERT_EQ(a.ases.size(), b.ases.size());
+  for (std::size_t i = 0; i < a.leaves.size(); ++i) {
+    EXPECT_EQ(a.leaves[i].prefix, b.leaves[i].prefix);
+    EXPECT_EQ(a.leaves[i].truth, b.leaves[i].truth);
+    EXPECT_EQ(a.leaves[i].origin, b.leaves[i].origin);
+  }
+}
+
+TEST(Builder, DifferentSeedsDiffer) {
+  World a = build_world(tiny_config(1));
+  World b = build_world(tiny_config(2));
+  bool any_difference = a.leaves.size() != b.leaves.size();
+  for (std::size_t i = 0; !any_difference && i < a.leaves.size(); ++i) {
+    any_difference = a.leaves[i].truth != b.leaves[i].truth ||
+                     a.leaves[i].origin != b.leaves[i].origin;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Builder, LeafCountsNearTarget) {
+  WorldConfig config = tiny_config();
+  World world = build_world(config);
+  std::map<whois::Rir, std::size_t> per_rir;
+  for (const SimLeaf& leaf : world.leaves) ++per_rir[leaf.rir];
+  for (whois::Rir rir : whois::kAllRirs) {
+    int target = config.scaled(config.profile(rir).leaves);
+    // Eval negatives and broker-ISP blocks add extra leaves on top.
+    EXPECT_GE(per_rir[rir] + 5, static_cast<std::size_t>(target))
+        << rir_name(rir);
+  }
+}
+
+TEST(Builder, TruthMixMatchesProfileShape) {
+  WorldConfig config;
+  config.seed = 11;
+  config.scale = 0.1;  // enough leaves for stable fractions
+  World world = build_world(config);
+
+  std::size_t unused = 0, aggregated = 0, leased = 0, total = 0;
+  for (const SimLeaf& leaf : world.leaves) {
+    if (leaf.rir != whois::Rir::kRipe || leaf.eval_negative) continue;
+    ++total;
+    if (leaf.truth == TruthCategory::kUnused) ++unused;
+    if (leaf.truth == TruthCategory::kAggregatedCustomer) ++aggregated;
+    if (leaf.truth == TruthCategory::kLeased) ++leased;
+  }
+  ASSERT_GT(total, 1000u);
+  // RIPE Table 1 shape: aggregated ~57%, unused ~18%, leased ~8%.
+  EXPECT_NEAR(static_cast<double>(aggregated) / total, 0.574, 0.05);
+  EXPECT_NEAR(static_cast<double>(unused) / total, 0.179, 0.05);
+  EXPECT_NEAR(static_cast<double>(leased) / total, 0.0805, 0.03);
+}
+
+TEST(Builder, DarkLitConsistency) {
+  World world = build_world(tiny_config());
+  for (const SimLeaf& leaf : world.leaves) {
+    const SimRoot& root = world.roots[leaf.root_index];
+    ASSERT_TRUE(root.prefix.covers(leaf.prefix))
+        << leaf.prefix.to_string() << " not under "
+        << root.prefix.to_string();
+    switch (leaf.truth) {
+      case TruthCategory::kUnused:
+        EXPECT_FALSE(leaf.origin);
+        EXPECT_FALSE(root.originated);
+        break;
+      case TruthCategory::kAggregatedCustomer:
+        EXPECT_FALSE(leaf.origin);
+        EXPECT_TRUE(root.originated);
+        break;
+      case TruthCategory::kIspCustomer:
+        EXPECT_TRUE(leaf.origin);
+        break;
+      case TruthCategory::kDelegatedCustomer:
+        EXPECT_TRUE(leaf.origin);
+        break;
+      case TruthCategory::kLeased:
+        if (leaf.lease_active) EXPECT_TRUE(leaf.origin);
+        break;
+    }
+  }
+}
+
+TEST(Builder, LeavesDoNotOverlapWithinRoot) {
+  World world = build_world(tiny_config());
+  std::map<std::size_t, std::vector<Prefix>> by_root;
+  for (const SimLeaf& leaf : world.leaves) {
+    by_root[leaf.root_index].push_back(leaf.prefix);
+  }
+  for (auto& [root, prefixes] : by_root) {
+    std::sort(prefixes.begin(), prefixes.end());
+    for (std::size_t i = 1; i < prefixes.size(); ++i) {
+      EXPECT_GT(prefixes[i].first().value(),
+                prefixes[i - 1].last().value())
+          << prefixes[i].to_string() << " overlaps "
+          << prefixes[i - 1].to_string();
+    }
+  }
+}
+
+TEST(Builder, IspCustomerOriginsAreRelatedToHolder) {
+  World world = build_world(tiny_config());
+  for (const SimLeaf& leaf : world.leaves) {
+    if (leaf.truth != TruthCategory::kIspCustomer || !leaf.origin) continue;
+    const SimRoot& root = world.roots[leaf.root_index];
+    bool related = *leaf.origin == root.holder_asn ||
+                   world.true_rels.has_edge(*leaf.origin, root.holder_asn);
+    if (!related) {
+      // Affiliate ASes relate only through as2org (ablation A2 bait).
+      const SimAs* origin_as = world.find_as(*leaf.origin);
+      ASSERT_NE(origin_as, nullptr);
+      ASSERT_TRUE(origin_as->as2org_override.has_value())
+          << leaf.prefix.to_string();
+      EXPECT_EQ(*origin_as->as2org_override, root.holder_org);
+    }
+  }
+}
+
+TEST(Builder, LeasedOriginsAreUnrelatedToHolder) {
+  World world = build_world(tiny_config());
+  for (const SimLeaf& leaf : world.leaves) {
+    if (leaf.truth != TruthCategory::kLeased || !leaf.origin) continue;
+    const SimRoot& root = world.roots[leaf.root_index];
+    EXPECT_NE(*leaf.origin, root.holder_asn);
+    EXPECT_FALSE(world.true_rels.has_edge(*leaf.origin, root.holder_asn))
+        << leaf.prefix.to_string();
+  }
+}
+
+TEST(Builder, AbusiveAsesExist) {
+  World world = build_world(tiny_config());
+  std::size_t drop = 0, hijacker = 0;
+  for (const SimAs& as : world.ases) {
+    if (as.drop_listed) ++drop;
+    if (as.hijacker) ++hijacker;
+  }
+  EXPECT_GT(drop, 0u);
+  EXPECT_GE(hijacker, drop) << "hijacker pool includes DROP ASes";
+}
+
+TEST(Builder, EvalNegativesPresentWithSubsidiaries) {
+  World world = build_world(tiny_config());
+  std::size_t negatives = 0, subsidiary_originated = 0;
+  std::set<std::string> negative_orgs;
+  for (const SimLeaf& leaf : world.leaves) {
+    if (!leaf.eval_negative) continue;
+    ++negatives;
+    negative_orgs.insert(leaf.org_id);
+    if (leaf.org_id.find("SUB") != std::string::npos) {
+      ++subsidiary_originated;
+    }
+  }
+  EXPECT_GT(negatives, 0u);
+  EXPECT_GT(world.eval_isp_orgs.size(), 5u)
+      << "subsidiary orgs are on the negative-label org list";
+  EXPECT_GT(subsidiary_originated, 0u);
+}
+
+TEST(Builder, BrokerOrgsOnListsWithNameVariants) {
+  World world = build_world(tiny_config());
+  bool ipxo_in_ripe = false, variant_spelling = false;
+  for (const SimOrg& org : world.orgs) {
+    if (org.is_broker && org.rir == whois::Rir::kRipe && org.on_broker_list) {
+      if (org.name == "IPXO LLC") ipxo_in_ripe = true;
+      if (!org.listed_name.empty() && org.listed_name != org.name) {
+        variant_spelling = true;
+      }
+    }
+  }
+  EXPECT_TRUE(ipxo_in_ripe);
+  EXPECT_TRUE(variant_spelling);
+}
+
+TEST(Builder, AggregatedAnnouncementsCoverTheirRoots) {
+  WorldConfig config;
+  config.seed = 3;
+  config.scale = 0.05;
+  World world = build_world(config);
+  ASSERT_FALSE(world.aggregates.empty());
+  for (const BackgroundPrefix& agg : world.aggregates) {
+    bool covers_some_root = false;
+    for (const SimRoot& root : world.roots) {
+      if (agg.prefix.covers(root.prefix) &&
+          root.aggregated_announcement &&
+          root.holder_asn == agg.origin) {
+        covers_some_root = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covers_some_root) << agg.prefix.to_string();
+  }
+}
+
+TEST(Builder, ProviderChainsTerminateAtTier1) {
+  World world = build_world(tiny_config());
+  for (const SimAs& as : world.ases) {
+    Asn cursor = as.asn;
+    int hops = 0;
+    while (hops < 20) {
+      const SimAs* current = world.find_as(cursor);
+      ASSERT_NE(current, nullptr);
+      if (!current->provider) {
+        EXPECT_EQ(current->tier, AsTier::kTier1);
+        break;
+      }
+      cursor = *current->provider;
+      ++hops;
+    }
+    EXPECT_LT(hops, 20) << "provider loop for " << as.asn.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace sublet::sim

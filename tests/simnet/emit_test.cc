@@ -1,0 +1,203 @@
+#include "simnet/emit.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "leasing/dataset.h"
+#include "simnet/builder.h"
+#include "geo/geodb.h"
+#include "simnet/ground_truth.h"
+
+namespace sublet::sim {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct EmittedWorld {
+  std::string dir;
+  World world;
+
+  explicit EmittedWorld(double scale = 0.02, std::uint64_t seed = 7) {
+    dir = testing::TempDir() + "/sublet_emit_" + std::to_string(seed);
+    fs::remove_all(dir);
+    WorldConfig config;
+    config.seed = seed;
+    config.scale = scale;
+    world = build_world(config);
+    emit_world(world, dir);
+  }
+  ~EmittedWorld() { fs::remove_all(dir); }
+};
+
+TEST(Emit, ProducesBundleLayout) {
+  EmittedWorld e;
+  for (const char* path :
+       {"/whois/ripe.db", "/whois/arin.db", "/whois/apnic.db",
+        "/whois/afrinic.db", "/whois/lacnic.db", "/bgp/rib.0.t0.mrt",
+        "/bgp/rib.0.t1.mrt",
+        "/asgraph/as-rel.txt", "/asgraph/as2org.txt",
+        "/lists/asn-drop.json", "/lists/serial-hijackers.txt",
+        "/lists/brokers-ripe.txt", "/lists/eval-isp-orgs.txt",
+        "/truth/leases.csv"}) {
+    EXPECT_TRUE(fs::exists(e.dir + path)) << path;
+  }
+  // Two dated RPKI snapshots.
+  std::size_t rpki_files = 0;
+  for (const auto& entry : fs::directory_iterator(e.dir + "/rpki")) {
+    (void)entry;
+    ++rpki_files;
+  }
+  EXPECT_EQ(rpki_files, 2u);
+}
+
+TEST(Emit, BundleLoadsThroughDatasetLoader) {
+  EmittedWorld e;
+  auto bundle = leasing::load_dataset(e.dir);
+  EXPECT_EQ(bundle.whois.size(), 5u);
+  EXPECT_GT(bundle.rib.prefix_count(), 100u);
+  EXPECT_GT(bundle.as_rel.edge_count(), 10u);
+  EXPECT_GT(bundle.as2org.mapping_count(), 10u);
+  EXPECT_GT(bundle.drop.size(), 0u);
+  EXPECT_GT(bundle.hijackers.size(), 0u);
+  EXPECT_TRUE(bundle.brokers.contains(whois::Rir::kRipe));
+  EXPECT_TRUE(bundle.eval_isp_orgs.contains(whois::Rir::kRipe));
+  ASSERT_NE(bundle.current_vrps(), nullptr);
+  EXPECT_GT(bundle.current_vrps()->size(), 0u);
+}
+
+TEST(Emit, WhoisRoundTripPreservesBlocks) {
+  EmittedWorld e;
+  auto bundle = leasing::load_dataset(e.dir);
+  // Every leaf the world generated must parse back out of its RIR's db.
+  for (whois::Rir rir : whois::kAllRirs) {
+    std::size_t world_leaves = 0;
+    for (const SimLeaf& leaf : e.world.leaves) {
+      if (leaf.rir == rir) ++world_leaves;
+    }
+    std::size_t world_roots = 0;
+    for (const SimRoot& root : e.world.roots) {
+      if (root.rir == rir) ++world_roots;
+    }
+    const whois::WhoisDb* db = bundle.db_for(rir);
+    ASSERT_NE(db, nullptr) << rir_name(rir);
+    EXPECT_GE(db->block_count(), world_leaves + world_roots)
+        << rir_name(rir);
+  }
+}
+
+TEST(Emit, BgpOriginsMatchWorldTruth) {
+  EmittedWorld e;
+  auto bundle = leasing::load_dataset(e.dir);
+  std::size_t checked = 0;
+  for (const SimLeaf& leaf : e.world.leaves) {
+    if (!leaf.origin) continue;
+    const bgp::RouteInfo* info = bundle.rib.exact(leaf.prefix);
+    // Collector dropout can hide a prefix from one collector but the union
+    // of three essentially always sees it.
+    if (!info) continue;
+    EXPECT_TRUE(info->originated_by(*leaf.origin))
+        << leaf.prefix.to_string();
+    ++checked;
+  }
+  EXPECT_GT(checked, 50u);
+}
+
+TEST(Emit, UnusedLeavesAbsentFromRib) {
+  EmittedWorld e;
+  auto bundle = leasing::load_dataset(e.dir);
+  for (const SimLeaf& leaf : e.world.leaves) {
+    if (leaf.truth == TruthCategory::kUnused) {
+      EXPECT_EQ(bundle.rib.exact(leaf.prefix), nullptr)
+          << leaf.prefix.to_string();
+    }
+  }
+}
+
+TEST(Emit, DropListMatchesWorldFlags) {
+  EmittedWorld e;
+  auto bundle = leasing::load_dataset(e.dir);
+  for (const SimAs& as : e.world.ases) {
+    EXPECT_EQ(bundle.drop.contains(as.asn), as.drop_listed);
+    EXPECT_EQ(bundle.hijackers.contains(as.asn), as.hijacker);
+  }
+}
+
+TEST(Emit, GroundTruthRoundTrip) {
+  EmittedWorld e;
+  auto truth = GroundTruth::load(e.dir);
+  EXPECT_EQ(truth.rows().size(), e.world.leaves.size());
+  for (const SimLeaf& leaf : e.world.leaves) {
+    const TruthRow* row = truth.find(leaf.prefix);
+    ASSERT_NE(row, nullptr) << leaf.prefix.to_string();
+    EXPECT_EQ(row->is_leased, leaf.truth == TruthCategory::kLeased);
+    EXPECT_EQ(row->active, leaf.lease_active);
+    EXPECT_EQ(row->origin, leaf.origin);
+    EXPECT_EQ(row->eval_negative, leaf.eval_negative);
+    EXPECT_EQ(row->late, leaf.late_origination);
+  }
+  EXPECT_GT(truth.leased_count(), 0u);
+  EXPECT_GE(truth.leased_count(), truth.active_leased_count());
+}
+
+TEST(Emit, TransfersMatchWorldRoots) {
+  EmittedWorld e;
+  auto bundle = leasing::load_dataset(e.dir);
+  std::size_t world_transferred = 0;
+  for (const SimRoot& root : e.world.roots) {
+    if (!root.transferred) continue;
+    ++world_transferred;
+    EXPECT_TRUE(bundle.transfers.covers(root.prefix))
+        << root.prefix.to_string();
+    auto hits = bundle.transfers.covering(root.prefix);
+    ASSERT_FALSE(hits.empty());
+    EXPECT_EQ(hits[0]->to_org, e.world.orgs[root.holder_org].id);
+    EXPECT_EQ(hits[0]->date, root.transfer_date);
+  }
+  EXPECT_EQ(bundle.transfers.size(), world_transferred);
+  for (const SimRoot& root : e.world.roots) {
+    if (!root.transferred) {
+      EXPECT_FALSE(bundle.transfers.covers(root.prefix))
+          << root.prefix.to_string();
+    }
+  }
+}
+
+TEST(Emit, GeoSnapshotsCoverLeaves) {
+  EmittedWorld e;
+  auto bundle = leasing::load_dataset(e.dir);
+  ASSERT_EQ(bundle.geodbs.size(),
+            static_cast<std::size_t>(e.world.config.geo_providers));
+  std::size_t lease_disagreements = 0, leased_checked = 0;
+  for (const SimLeaf& leaf : e.world.leaves) {
+    auto consistency = geo::check_consistency(bundle.geodbs, leaf.prefix);
+    EXPECT_EQ(consistency.countries.size(), bundle.geodbs.size())
+        << "every provider places every leaf: " << leaf.prefix.to_string();
+    if (leaf.truth == TruthCategory::kLeased && leaf.origin) {
+      ++leased_checked;
+      if (!consistency.consistent()) ++lease_disagreements;
+    }
+  }
+  ASSERT_GT(leased_checked, 10u);
+  EXPECT_GT(lease_disagreements, 0u)
+      << "leased prefixes must show cross-database disagreement";
+}
+
+TEST(Emit, DeterministicBytes) {
+  EmittedWorld a(0.02, 99);
+  EmittedWorld b(0.02, 99);
+  for (const char* file : {"/whois/ripe.db", "/asgraph/as-rel.txt",
+                           "/truth/leases.csv", "/bgp/rib.0.t0.mrt"}) {
+    std::ifstream fa(a.dir + file, std::ios::binary);
+    std::ifstream fb(b.dir + file, std::ios::binary);
+    std::string ca((std::istreambuf_iterator<char>(fa)),
+                   std::istreambuf_iterator<char>());
+    std::string cb((std::istreambuf_iterator<char>(fb)),
+                   std::istreambuf_iterator<char>());
+    EXPECT_EQ(ca, cb) << file;
+  }
+}
+
+}  // namespace
+}  // namespace sublet::sim

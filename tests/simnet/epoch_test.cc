@@ -1,0 +1,94 @@
+#include "simnet/epoch.h"
+
+#include <gtest/gtest.h>
+
+#include "simnet/builder.h"
+
+namespace sublet::sim {
+namespace {
+
+World tiny_world() {
+  WorldConfig config;
+  config.seed = 5;
+  config.scale = 0.05;
+  return build_world(config);
+}
+
+TEST(Epoch, Deterministic) {
+  World base = tiny_world();
+  World a = advance_epoch(base, {.epoch = 1});
+  World b = advance_epoch(base, {.epoch = 1});
+  ASSERT_EQ(a.leaves.size(), b.leaves.size());
+  for (std::size_t i = 0; i < a.leaves.size(); ++i) {
+    EXPECT_EQ(a.leaves[i].origin, b.leaves[i].origin);
+    EXPECT_EQ(a.leaves[i].truth, b.leaves[i].truth);
+  }
+}
+
+TEST(Epoch, DifferentEpochsDiffer) {
+  World base = tiny_world();
+  World a = advance_epoch(base, {.epoch = 1});
+  World b = advance_epoch(base, {.epoch = 2});
+  bool any = false;
+  for (std::size_t i = 0; i < a.leaves.size() && !any; ++i) {
+    any = a.leaves[i].origin != b.leaves[i].origin;
+  }
+  EXPECT_TRUE(any);
+}
+
+TEST(Epoch, TopologyAndForestUntouched) {
+  World base = tiny_world();
+  World next = advance_epoch(base);
+  EXPECT_EQ(next.ases.size(), base.ases.size());
+  EXPECT_EQ(next.orgs.size(), base.orgs.size());
+  EXPECT_EQ(next.roots.size(), base.roots.size());
+  ASSERT_EQ(next.leaves.size(), base.leaves.size());
+  for (std::size_t i = 0; i < base.leaves.size(); ++i) {
+    EXPECT_EQ(next.leaves[i].prefix, base.leaves[i].prefix);
+  }
+}
+
+TEST(Epoch, ProducesAllTransitionKinds) {
+  World base = tiny_world();
+  World next = advance_epoch(base);
+  std::size_t ended = 0, changed = 0, started = 0;
+  for (std::size_t i = 0; i < base.leaves.size(); ++i) {
+    const SimLeaf& was = base.leaves[i];
+    const SimLeaf& now = next.leaves[i];
+    bool was_active = was.truth == TruthCategory::kLeased &&
+                      was.lease_active && was.origin.has_value();
+    bool now_active = now.truth == TruthCategory::kLeased &&
+                      now.lease_active && now.origin.has_value();
+    if (was_active && !now_active) ++ended;
+    if (was_active && now_active && was.origin != now.origin) ++changed;
+    if (!was_active && now_active) ++started;
+  }
+  EXPECT_GT(ended, 0u);
+  EXPECT_GT(changed, 0u);
+  EXPECT_GT(started, 0u);
+}
+
+TEST(Epoch, EvalNegativesUntouched) {
+  World base = tiny_world();
+  World next = advance_epoch(base);
+  for (std::size_t i = 0; i < base.leaves.size(); ++i) {
+    if (!base.leaves[i].eval_negative) continue;
+    EXPECT_EQ(next.leaves[i].origin, base.leaves[i].origin);
+    EXPECT_EQ(next.leaves[i].truth, base.leaves[i].truth);
+  }
+}
+
+TEST(Epoch, NewLeasesComeFromUnusedSpace) {
+  World base = tiny_world();
+  World next = advance_epoch(base);
+  for (std::size_t i = 0; i < base.leaves.size(); ++i) {
+    if (base.leaves[i].truth == TruthCategory::kUnused &&
+        next.leaves[i].truth == TruthCategory::kLeased) {
+      EXPECT_TRUE(next.leaves[i].origin.has_value());
+      EXPECT_TRUE(next.leaves[i].lease_active);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sublet::sim

@@ -1,0 +1,81 @@
+#include "simnet/timeline_scenario.h"
+
+#include <gtest/gtest.h>
+
+namespace sublet::sim {
+namespace {
+
+TEST(TimelineScenario, BuildsMonthlySnapshots) {
+  auto scenario = build_timeline_scenario();
+  EXPECT_EQ(scenario.archive.snapshot_count(), 25u);
+  EXPECT_EQ(scenario.bgp_history.size(), 25u);
+  EXPECT_EQ(scenario.prefix.to_string(), "213.210.33.0/24");
+}
+
+TEST(TimelineScenario, QuarantineMonthsHaveAs0RoaAndNoBgp) {
+  auto scenario = build_timeline_scenario();
+  std::size_t quarantine_months = 0;
+  for (const auto& [ts, origins] : scenario.bgp_history) {
+    const rpki::VrpSet* vrps = scenario.archive.at(ts);
+    ASSERT_NE(vrps, nullptr);
+    auto roas = vrps->exact(scenario.prefix);
+    ASSERT_EQ(roas.size(), 1u);
+    if (roas[0].asn.is_as0()) {
+      EXPECT_TRUE(origins.empty())
+          << "no BGP origination during AS0 quarantine";
+      ++quarantine_months;
+    } else {
+      ASSERT_EQ(origins.size(), 1u);
+      EXPECT_EQ(origins[0], roas[0].asn)
+          << "lessee's ROA matches its BGP origin";
+    }
+  }
+  EXPECT_GT(quarantine_months, 2u);
+}
+
+TEST(TimelineScenario, SegmentationRecoversScriptedPeriods) {
+  auto scenario = build_timeline_scenario();
+  auto events = leasing::LeaseTimeline::collect(
+      scenario.prefix, scenario.archive, scenario.bgp_history,
+      scenario.start, scenario.end);
+  auto periods = leasing::LeaseTimeline::segment(events);
+  ASSERT_EQ(periods.size(), scenario.truth.size());
+  for (std::size_t i = 0; i < periods.size(); ++i) {
+    EXPECT_EQ(periods[i].asn, scenario.truth[i].asn) << "period " << i;
+    EXPECT_EQ(periods[i].start, scenario.truth[i].start);
+    EXPECT_EQ(periods[i].end, scenario.truth[i].end);
+  }
+}
+
+TEST(TimelineScenario, LesseesAppearInScriptOrder) {
+  TimelineOptions options;
+  options.lessees = {834, 8100, 61317};
+  options.months = 12;
+  auto scenario = build_timeline_scenario(options);
+  auto events = leasing::LeaseTimeline::collect(
+      scenario.prefix, scenario.archive, scenario.bgp_history,
+      scenario.start, scenario.end);
+  auto periods = leasing::LeaseTimeline::segment(events);
+  std::vector<std::uint32_t> non_as0;
+  for (const auto& period : periods) {
+    if (!period.is_as0_gap()) non_as0.push_back(period.asn.value());
+  }
+  ASSERT_GE(non_as0.size(), 3u);
+  EXPECT_EQ(non_as0[0], 834u);
+  EXPECT_EQ(non_as0[1], 8100u);
+  EXPECT_EQ(non_as0[2], 61317u);
+}
+
+TEST(TimelineScenario, RenderableAsFigure) {
+  auto scenario = build_timeline_scenario();
+  auto events = leasing::LeaseTimeline::collect(
+      scenario.prefix, scenario.archive, scenario.bgp_history,
+      scenario.start, scenario.end);
+  std::string figure =
+      leasing::LeaseTimeline::render(events, scenario.start, scenario.end);
+  EXPECT_NE(figure.find("834"), std::string::npos);
+  EXPECT_NE(figure.find("61317"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sublet::sim

@@ -1,0 +1,82 @@
+#include "transfers/transfer_log.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sublet::transfers {
+namespace {
+
+Prefix P(const char* s) { return *Prefix::parse(s); }
+
+Transfer sample(std::uint32_t date = 1680000000) {
+  return {date, whois::Rir::kRipe, P("213.210.0.0/18"), "ORG-OLD",
+          "ORG-GCI1-RIPE", TransferType::kMarket};
+}
+
+TEST(TransferLog, CoversTransferredSpace) {
+  TransferLog log;
+  log.add(sample());
+  EXPECT_TRUE(log.covers(P("213.210.0.0/18")));
+  EXPECT_TRUE(log.covers(P("213.210.33.0/24"))) << "sub-block is covered";
+  EXPECT_FALSE(log.covers(P("213.211.0.0/18")));
+  EXPECT_FALSE(log.covers(P("213.210.0.0/17"))) << "covering block is not";
+}
+
+TEST(TransferLog, CoveringReturnsRecords) {
+  TransferLog log;
+  log.add(sample(100));
+  log.add({200, whois::Rir::kRipe, P("213.210.32.0/19"), "ORG-GCI1-RIPE",
+           "ORG-NEW", TransferType::kMerger});
+  auto hits = log.covering(P("213.210.33.0/24"));
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0]->date, 100u);
+  EXPECT_EQ(hits[1]->type, TransferType::kMerger);
+}
+
+TEST(TransferLog, WindowQuery) {
+  TransferLog log;
+  log.add(sample(100));
+  log.add(sample(200));
+  log.add(sample(300));
+  EXPECT_EQ(log.in_window(150, 250).size(), 1u);
+  EXPECT_EQ(log.in_window(0, 400).size(), 3u);
+  EXPECT_TRUE(log.in_window(400, 500).empty());
+}
+
+TEST(TransferLog, WriteParseRoundTrip) {
+  TransferLog log;
+  log.add(sample());
+  log.add({1690000000, whois::Rir::kArin, P("192.0.2.0/24"), "A", "B",
+           TransferType::kMerger});
+  std::ostringstream out;
+  log.write(out);
+  std::istringstream in(out.str());
+  auto loaded = TransferLog::parse(in);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.transfers()[0].to_org, "ORG-GCI1-RIPE");
+  EXPECT_EQ(loaded.transfers()[1].rir, whois::Rir::kArin);
+  EXPECT_EQ(loaded.transfers()[1].type, TransferType::kMerger);
+}
+
+TEST(TransferLog, BadLinesDiagnosed) {
+  std::istringstream in(
+      "# header\n"
+      "notanumber|RIPE|10.0.0.0/8|A|B|market\n"
+      "100|NOPE|10.0.0.0/8|A|B|market\n"
+      "100|RIPE|10.0.0.0/8|A|B|gift\n"
+      "100|RIPE|10.0.0.0/8|A|B\n"
+      "100|RIPE|10.0.0.0/8|A|B|market\n");
+  std::vector<Error> diags;
+  auto log = TransferLog::parse(in, "t", &diags);
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(diags.size(), 4u);
+}
+
+TEST(TransferLog, LoadMissingThrows) {
+  EXPECT_THROW(TransferLog::load("/nonexistent/transfers.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sublet::transfers

@@ -1,0 +1,87 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace sublet {
+namespace {
+
+TEST(CsvWriter, PlainFields) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_row({"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(CsvWriter, QuotesWhenNeeded) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_row({"a,b", "he said \"hi\"", "line\nbreak"});
+  EXPECT_EQ(out.str(), "\"a,b\",\"he said \"\"hi\"\"\",\"line\nbreak\"\n");
+}
+
+TEST(CsvWriter, TsvSeparator) {
+  std::ostringstream out;
+  CsvWriter w(out, '\t');
+  w.write_row({"a", "b,c"});
+  EXPECT_EQ(out.str(), "a\tb,c\n") << "commas need no quoting in TSV";
+}
+
+TEST(ParseCsvLine, Simple) {
+  auto f = parse_csv_line("a,b,c");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[1], "b");
+}
+
+TEST(ParseCsvLine, QuotedFieldWithSeparator) {
+  auto f = parse_csv_line("\"a,b\",c");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0], "a,b");
+  EXPECT_EQ(f[1], "c");
+}
+
+TEST(ParseCsvLine, EscapedQuote) {
+  auto f = parse_csv_line("\"say \"\"hi\"\"\"");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0], "say \"hi\"");
+}
+
+TEST(ParseCsvLine, EmptyFields) {
+  auto f = parse_csv_line(",,");
+  ASSERT_EQ(f.size(), 3u);
+  for (const auto& field : f) EXPECT_TRUE(field.empty());
+}
+
+TEST(ParseCsvLine, RoundTripsWriter) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  std::vector<std::string> row = {"plain", "with,comma", "with\"quote"};
+  w.write_row(row);
+  std::string line = out.str();
+  line.pop_back();  // trailing newline
+  EXPECT_EQ(parse_csv_line(line), row);
+}
+
+TEST(ReadDelimitedFile, SkipsCommentsAndBlanks) {
+  std::string path = testing::TempDir() + "/sublet_csv_test.csv";
+  {
+    std::ofstream f(path);
+    f << "# header comment\n\na,b\n# another\nc,d\n";
+  }
+  auto rows = read_delimited_file(path);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "a");
+  EXPECT_EQ(rows[1][1], "d");
+  std::remove(path.c_str());
+}
+
+TEST(ReadDelimitedFile, ThrowsOnMissingFile) {
+  EXPECT_THROW(read_delimited_file("/nonexistent/nope.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sublet

@@ -1,0 +1,44 @@
+#include "util/expected.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace sublet {
+namespace {
+
+TEST(Expected, HoldsValue) {
+  Expected<int> e(42);
+  ASSERT_TRUE(e);
+  EXPECT_EQ(*e, 42);
+  EXPECT_EQ(e.value_or(0), 42);
+}
+
+TEST(Expected, HoldsError) {
+  Expected<int> e(fail("boom", "input.txt", 3));
+  ASSERT_FALSE(e);
+  EXPECT_EQ(e.error().message, "boom");
+  EXPECT_EQ(e.value_or(-1), -1);
+}
+
+TEST(Expected, MoveOnlyValue) {
+  Expected<std::unique_ptr<int>> e(std::make_unique<int>(5));
+  ASSERT_TRUE(e);
+  auto p = std::move(e).value();
+  EXPECT_EQ(*p, 5);
+}
+
+TEST(Expected, ArrowOperator) {
+  Expected<std::string> e(std::string("hello"));
+  EXPECT_EQ(e->size(), 5u);
+}
+
+TEST(ErrorToString, AllPieces) {
+  EXPECT_EQ(fail("msg", "f.db", 7).to_string(), "f.db:7: msg");
+  EXPECT_EQ(fail("msg", "f.db").to_string(), "f.db: msg");
+  EXPECT_EQ(fail("msg").to_string(), "msg");
+}
+
+}  // namespace
+}  // namespace sublet

@@ -1,0 +1,109 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sublet {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextInInclusive) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.next_in(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, ForkIsIndependentAndStable) {
+  Rng a(23);
+  Rng child1 = a.fork(1);
+  Rng a2(23);
+  Rng child1_again = a2.fork(1);
+  EXPECT_EQ(child1.next_u64(), child1_again.next_u64());
+
+  Rng a3(23);
+  Rng child2 = a3.fork(2);
+  Rng a4(23);
+  Rng child1_b = a4.fork(1);
+  EXPECT_NE(child2.next_u64(), child1_b.next_u64());
+}
+
+TEST(Rng, ZipfInRangeAndSkewed) {
+  Rng rng(29);
+  std::uint64_t low = 0, total = 20000;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    auto r = rng.next_zipf(1000, 1.2);
+    EXPECT_LT(r, 1000u);
+    if (r < 10) ++low;
+  }
+  // Heavy tail: the top 1% of ranks should collect far more than 1% of mass.
+  EXPECT_GT(static_cast<double>(low) / static_cast<double>(total), 0.2);
+}
+
+TEST(Rng, ZipfDegenerateN) {
+  Rng rng(31);
+  EXPECT_EQ(rng.next_zipf(1), 0u);
+  EXPECT_EQ(rng.next_zipf(0), 0u);
+}
+
+}  // namespace
+}  // namespace sublet

@@ -1,0 +1,107 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace sublet {
+namespace {
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t\r\nx\n"), "x");
+}
+
+TEST(Trim, EmptyAndAllSpace) {
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   \t "), "");
+}
+
+TEST(Trim, NoOpWhenClean) { EXPECT_EQ(trim("abc"), "abc"); }
+
+TEST(Split, KeepsEmptyFields) {
+  auto parts = split("a|b||c", '|');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Split, SingleField) {
+  auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Split, TrailingSeparatorYieldsEmptyField) {
+  auto parts = split("a,", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(SplitWs, CollapsesRuns) {
+  auto parts = split_ws("  a \t b\n\nc ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitWs, EmptyInput) { EXPECT_TRUE(split_ws("   ").empty()); }
+
+TEST(ToLower, Ascii) { EXPECT_EQ(to_lower("MiXeD-42"), "mixed-42"); }
+
+TEST(IEquals, CaseInsensitive) {
+  EXPECT_TRUE(iequals("InetNum", "inetnum"));
+  EXPECT_FALSE(iequals("inetnum", "inetnums"));
+  EXPECT_FALSE(iequals("a", "b"));
+}
+
+TEST(IStartsWith, Basic) {
+  EXPECT_TRUE(istarts_with("AS64500", "as"));
+  EXPECT_FALSE(istarts_with("A", "AS"));
+}
+
+TEST(ParseU64, Valid) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("18446744073709551615"), UINT64_MAX);
+}
+
+TEST(ParseU64, RejectsJunkAndOverflow) {
+  EXPECT_FALSE(parse_u64(""));
+  EXPECT_FALSE(parse_u64("12a"));
+  EXPECT_FALSE(parse_u64("-1"));
+  EXPECT_FALSE(parse_u64("18446744073709551616"));  // 2^64
+}
+
+TEST(ParseU32, RejectsOver32Bits) {
+  EXPECT_EQ(parse_u32("4294967295"), UINT32_MAX);
+  EXPECT_FALSE(parse_u32("4294967296"));
+}
+
+TEST(NormalizeOrgName, DropsLegalSuffixes) {
+  EXPECT_EQ(normalize_org_name("Acme Networks LTD"), "acme networks");
+  EXPECT_EQ(normalize_org_name("Acme Networks L.T.D."), "acme networks")
+      << "dotted abbreviations merge, then drop as a legal suffix (paper "
+         "§6.2: 'LTD vs L.T.D.')";
+  EXPECT_EQ(normalize_org_name("Cyber Assets FZCO"), "cyber assets");
+}
+
+TEST(NormalizeOrgName, MultipleSuffixes) {
+  EXPECT_EQ(normalize_org_name("Foo Co. Ltd."), "foo");
+}
+
+TEST(NormalizeOrgName, NeverEmpty) {
+  EXPECT_EQ(normalize_org_name("Ltd"), "ltd");
+}
+
+TEST(NormalizeOrgName, PunctuationAndCase) {
+  EXPECT_EQ(normalize_org_name("  IPXO,   LLC "), "ipxo");
+  EXPECT_EQ(normalize_org_name("AT&T Services, Inc."), "at t services");
+}
+
+TEST(Join, Basic) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+}  // namespace
+}  // namespace sublet

@@ -1,0 +1,51 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace sublet {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"Name", "Count"});
+  t.add_row({"alpha", "5"});
+  t.add_row({"b", "12345"});
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("Name   Count"), std::string::npos);
+  EXPECT_NE(s.find("alpha      5"), std::string::npos);
+  EXPECT_NE(s.find("b      12345"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable t({"A", "B", "C"});
+  t.add_row({"x"});
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(TextTable, Indent) {
+  TextTable t({"A"});
+  t.add_row({"x"});
+  std::string s = t.to_string(2);
+  EXPECT_EQ(s.rfind("  A", 0), 0u);
+}
+
+TEST(WithCommas, GroupsDigits) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(47318), "47,318");
+  EXPECT_EQ(with_commas(1146921), "1,146,921");
+}
+
+TEST(Percent, Formats) {
+  EXPECT_EQ(percent(0.041), "4.1%");
+  EXPECT_EQ(percent(0.98, 0), "98%");
+  EXPECT_EQ(percent(0.0213, 2), "2.13%");
+}
+
+TEST(Fixed, Formats) {
+  EXPECT_EQ(fixed(5.0, 1), "5.0");
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+}
+
+}  // namespace
+}  // namespace sublet

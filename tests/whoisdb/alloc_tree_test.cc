@@ -1,0 +1,139 @@
+#include "whoisdb/alloc_tree.h"
+
+#include <gtest/gtest.h>
+
+namespace sublet::whois {
+namespace {
+
+InetBlock make_block(const char* range, Portability portability,
+                     const char* org = "", const char* mnt = "") {
+  InetBlock block;
+  block.range = *AddrRange::parse(range);
+  block.portability = portability;
+  block.org_id = org;
+  if (*mnt) block.maintainers = {mnt};
+  return block;
+}
+
+WhoisDb figure2_db() {
+  // The paper's Figure 2 example: a portable /18 with a customer /23 and a
+  // leased /24 underneath (via an intermediate /19).
+  WhoisDb db(Rir::kRipe);
+  db.add_block(make_block("213.210.0.0 - 213.210.63.255",
+                          Portability::kPortable, "ORG-GCI1-RIPE",
+                          "MNT-GCICOM"));
+  db.add_block(make_block("213.210.2.0 - 213.210.3.255",
+                          Portability::kNonPortable, "", "MNT-GCICOM"));
+  db.add_block(make_block("213.210.32.0 - 213.210.63.255",
+                          Portability::kNonPortable, "", "MNT-GCICOM"));
+  db.add_block(make_block("213.210.33.0 - 213.210.33.255",
+                          Portability::kNonPortable, "", "IPXO-MNT"));
+  return db;
+}
+
+TEST(AllocationTree, Figure2RootsAndLeaves) {
+  auto db = figure2_db();
+  auto tree = AllocationTree::build(db);
+  ASSERT_EQ(tree.roots().size(), 1u);
+  EXPECT_EQ(tree.roots()[0].first.to_string(), "213.210.0.0/18");
+  EXPECT_EQ(tree.roots()[0].second->org_id, "ORG-GCI1-RIPE");
+
+  ASSERT_EQ(tree.leaves().size(), 2u);
+  EXPECT_EQ(tree.leaves()[0].first.to_string(), "213.210.2.0/23");
+  EXPECT_EQ(tree.leaves()[1].first.to_string(), "213.210.33.0/24");
+  EXPECT_EQ(tree.leaves()[1].second->maintainers[0], "IPXO-MNT");
+}
+
+TEST(AllocationTree, RootOfLeaf) {
+  auto db = figure2_db();
+  auto tree = AllocationTree::build(db);
+  auto root = tree.root_of(*Prefix::parse("213.210.33.0/24"));
+  ASSERT_TRUE(root);
+  EXPECT_EQ(root->first.to_string(), "213.210.0.0/18");
+  EXPECT_FALSE(tree.root_of(*Prefix::parse("10.0.0.0/8")));
+}
+
+TEST(AllocationTree, IntermediateNodesAreNeitherRootNorLeaf) {
+  auto db = figure2_db();
+  auto tree = AllocationTree::build(db);
+  // 213.210.32.0/19 exists in the trie but is neither root nor leaf.
+  EXPECT_NE(tree.find(*Prefix::parse("213.210.32.0/19")), nullptr);
+  for (const auto& [p, b] : tree.roots()) {
+    EXPECT_NE(p.to_string(), "213.210.32.0/19");
+  }
+  for (const auto& [p, b] : tree.leaves()) {
+    EXPECT_NE(p.to_string(), "213.210.32.0/19");
+  }
+}
+
+TEST(AllocationTree, HyperSpecificsDropped) {
+  WhoisDb db(Rir::kRipe);
+  db.add_block(make_block("10.0.0.0 - 10.0.0.255", Portability::kPortable));
+  db.add_block(
+      make_block("10.0.0.16 - 10.0.0.31", Portability::kNonPortable));  // /28
+  auto tree = AllocationTree::build(db);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.skipped_hyper_specific(), 1u);
+  ASSERT_EQ(tree.leaves().size(), 1u);
+  EXPECT_EQ(tree.leaves()[0].first.to_string(), "10.0.0.0/24");
+}
+
+TEST(AllocationTree, HyperSpecificFilterConfigurable) {
+  WhoisDb db(Rir::kRipe);
+  db.add_block(make_block("10.0.0.0 - 10.0.0.255", Portability::kPortable));
+  db.add_block(
+      make_block("10.0.0.16 - 10.0.0.31", Portability::kNonPortable));
+  auto tree = AllocationTree::build(db, {.max_prefix_len = 32});
+  EXPECT_EQ(tree.size(), 2u);
+  EXPECT_EQ(tree.skipped_hyper_specific(), 0u);
+}
+
+TEST(AllocationTree, LegacyExcludedByDefault) {
+  WhoisDb db(Rir::kRipe);
+  db.add_block(make_block("44.0.0.0 - 44.255.255.255", Portability::kLegacy));
+  db.add_block(make_block("10.0.0.0 - 10.0.255.255", Portability::kPortable));
+  auto tree = AllocationTree::build(db);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.skipped_legacy(), 1u);
+
+  auto with_legacy = AllocationTree::build(db, {.include_legacy = true});
+  EXPECT_EQ(with_legacy.size(), 2u);
+}
+
+TEST(AllocationTree, UnalignedRangeBecomesMultiplePrefixes) {
+  WhoisDb db(Rir::kRipe);
+  // 10.0.0.0 - 10.0.2.255 = /23 + /24.
+  db.add_block(make_block("10.0.0.0 - 10.0.2.255", Portability::kPortable));
+  auto tree = AllocationTree::build(db);
+  EXPECT_EQ(tree.size(), 2u);
+  ASSERT_EQ(tree.roots().size(), 2u);
+  EXPECT_EQ(tree.roots()[0].first.to_string(), "10.0.0.0/23");
+  EXPECT_EQ(tree.roots()[1].first.to_string(), "10.0.2.0/24");
+  // Both fragments point to the same block record.
+  EXPECT_EQ(tree.roots()[0].second, tree.roots()[1].second);
+}
+
+TEST(AllocationTree, RootThatIsAlsoLeaf) {
+  WhoisDb db(Rir::kRipe);
+  db.add_block(make_block("198.51.100.0 - 198.51.100.255",
+                          Portability::kPortable));
+  auto tree = AllocationTree::build(db);
+  ASSERT_EQ(tree.roots().size(), 1u);
+  ASSERT_EQ(tree.leaves().size(), 1u);
+  EXPECT_EQ(tree.roots()[0].first, tree.leaves()[0].first);
+  // Its root is itself.
+  auto root = tree.root_of(tree.leaves()[0].first);
+  ASSERT_TRUE(root);
+  EXPECT_EQ(root->first, tree.roots()[0].first);
+}
+
+TEST(AllocationTree, EmptyDatabase) {
+  WhoisDb db(Rir::kRipe);
+  auto tree = AllocationTree::build(db);
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.roots().empty());
+  EXPECT_TRUE(tree.leaves().empty());
+}
+
+}  // namespace
+}  // namespace sublet::whois

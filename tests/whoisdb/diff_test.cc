@@ -1,0 +1,84 @@
+#include "whoisdb/diff.h"
+
+#include <gtest/gtest.h>
+
+namespace sublet::whois {
+namespace {
+
+InetBlock block(const char* range, const char* mnt, const char* status,
+                const char* org = "") {
+  InetBlock b;
+  b.range = *AddrRange::parse(range);
+  if (*mnt) b.maintainers = {mnt};
+  b.status = status;
+  b.org_id = org;
+  b.portability = Portability::kNonPortable;
+  return b;
+}
+
+TEST(WhoisDiff, DetectsAddRemove) {
+  WhoisDb before(Rir::kRipe), after(Rir::kRipe);
+  before.add_block(block("10.0.0.0 - 10.0.0.255", "MNT-A", "ASSIGNED PA"));
+  after.add_block(block("10.0.1.0 - 10.0.1.255", "MNT-B", "ASSIGNED PA"));
+
+  auto changes = diff_databases(before, after);
+  ASSERT_EQ(changes.size(), 2u);
+  EXPECT_EQ(changes[0].prefix.to_string(), "10.0.0.0/24");
+  EXPECT_EQ(changes[0].kind, BlockChange::Kind::kRemoved);
+  EXPECT_EQ(changes[1].prefix.to_string(), "10.0.1.0/24");
+  EXPECT_EQ(changes[1].kind, BlockChange::Kind::kAdded);
+  EXPECT_EQ(changes[1].after, "mnt-b");
+}
+
+TEST(WhoisDiff, DetectsMaintainerFlipToBroker) {
+  // The lease-onboarding fingerprint: the block moves under IPXO's handle.
+  WhoisDb before(Rir::kRipe), after(Rir::kRipe);
+  before.add_block(block("10.0.0.0 - 10.0.0.255", "MNT-HOLDER",
+                         "ASSIGNED PA"));
+  after.add_block(block("10.0.0.0 - 10.0.0.255", "IPXO-MNT", "ASSIGNED PA"));
+
+  auto changes = diff_databases(before, after);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_EQ(changes[0].kind, BlockChange::Kind::kMaintainerChanged);
+  EXPECT_EQ(changes[0].before, "mnt-holder");
+  EXPECT_EQ(changes[0].after, "ipxo-mnt");
+}
+
+TEST(WhoisDiff, DetectsStatusAndOrgChanges) {
+  WhoisDb before(Rir::kRipe), after(Rir::kRipe);
+  before.add_block(block("10.0.0.0 - 10.0.0.255", "M", "ASSIGNED PA",
+                         "ORG-A"));
+  after.add_block(block("10.0.0.0 - 10.0.0.255", "M", "SUB-ALLOCATED PA",
+                        "ORG-B"));
+  auto changes = diff_databases(before, after);
+  ASSERT_EQ(changes.size(), 2u);
+  EXPECT_EQ(changes[0].kind, BlockChange::Kind::kStatusChanged);
+  EXPECT_EQ(changes[1].kind, BlockChange::Kind::kOrgChanged);
+  EXPECT_EQ(changes[1].before, "ORG-A");
+  EXPECT_EQ(changes[1].after, "ORG-B");
+}
+
+TEST(WhoisDiff, IdenticalSnapshotsAreQuiet) {
+  WhoisDb a(Rir::kRipe), b(Rir::kRipe);
+  a.add_block(block("10.0.0.0 - 10.0.0.255", "M", "ASSIGNED PA"));
+  b.add_block(block("10.0.0.0 - 10.0.0.255", "m", "assigned pa"));
+  EXPECT_TRUE(diff_databases(a, b).empty())
+      << "maintainer and status compare case-insensitively";
+}
+
+TEST(WhoisDiff, HyperSpecificsIgnored) {
+  WhoisDb before(Rir::kRipe), after(Rir::kRipe);
+  after.add_block(block("10.0.0.16 - 10.0.0.31", "M", "ASSIGNED PA"));
+  EXPECT_TRUE(diff_databases(before, after).empty());
+  EXPECT_EQ(diff_databases(before, after, 32).size(), 1u);
+}
+
+TEST(WhoisDiff, MultiPrefixRangeDiffsPerPrefix) {
+  WhoisDb before(Rir::kRipe), after(Rir::kRipe);
+  before.add_block(block("10.0.0.0 - 10.0.2.255", "M", "ASSIGNED PA"));
+  auto changes = diff_databases(before, after);
+  ASSERT_EQ(changes.size(), 2u) << "/23 + /24 removed";
+}
+
+}  // namespace
+}  // namespace sublet::whois

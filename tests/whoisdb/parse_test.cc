@@ -1,0 +1,227 @@
+#include "whoisdb/parse.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sublet::whois {
+namespace {
+
+WhoisDb parse(const std::string& text, Rir rir,
+              std::vector<Error>* diags = nullptr) {
+  std::istringstream in(text);
+  return parse_whois_db(in, rir, "<test>", diags);
+}
+
+// ------------------------------------------------------------- RPSL -------
+
+constexpr const char* kRipeSample = R"(
+% RIPE database subset, mirrors Figure 2 of the paper
+
+inetnum:        213.210.0.0 - 213.210.63.255
+netname:        SE-GCI-NET
+org:            ORG-GCI1-RIPE
+status:         ALLOCATED PA
+mnt-by:         MNT-GCICOM
+country:        SE
+source:         RIPE
+
+inetnum:        213.210.2.0 - 213.210.3.255
+netname:        GCI-CUSTOMER
+status:         ASSIGNED PA
+mnt-by:         MNT-GCICOM
+source:         RIPE
+
+inetnum:        213.210.33.0 - 213.210.33.255
+netname:        IPXO-LEASE
+status:         ASSIGNED PA
+mnt-by:         IPXO-MNT
+source:         RIPE
+
+aut-num:        AS8851
+as-name:        GCI-AS
+org:            ORG-GCI1-RIPE
+mnt-by:         MNT-GCICOM
+source:         RIPE
+
+organisation:   ORG-GCI1-RIPE
+org-name:       GCI Network
+mnt-by:         MNT-GCICOM
+mnt-ref:        MNT-GCIREF
+country:        SE
+source:         RIPE
+
+person:         Irrelevant Person
+nic-hdl:        IP1-RIPE
+source:         RIPE
+)";
+
+TEST(RipeParse, BlocksWithPortability) {
+  auto db = parse(kRipeSample, Rir::kRipe);
+  ASSERT_EQ(db.blocks().size(), 3u);
+  const auto& root = db.blocks()[0];
+  EXPECT_EQ(root.netname, "SE-GCI-NET");
+  EXPECT_EQ(root.portability, Portability::kPortable);
+  EXPECT_EQ(root.org_id, "ORG-GCI1-RIPE");
+  EXPECT_EQ(root.range.to_string(), "213.210.0.0 - 213.210.63.255");
+
+  const auto& lease = db.blocks()[2];
+  EXPECT_EQ(lease.portability, Portability::kNonPortable);
+  ASSERT_EQ(lease.maintainers.size(), 1u);
+  EXPECT_EQ(lease.maintainers[0], "IPXO-MNT");
+}
+
+TEST(RipeParse, AutNumAndOrgJoin) {
+  auto db = parse(kRipeSample, Rir::kRipe);
+  ASSERT_EQ(db.autnums().size(), 1u);
+  EXPECT_EQ(db.autnums()[0].asn, Asn(8851));
+
+  auto asns = db.asns_for_org("ORG-GCI1-RIPE");
+  ASSERT_EQ(asns.size(), 1u);
+  EXPECT_EQ(asns[0], Asn(8851));
+
+  // Case-insensitive join.
+  EXPECT_EQ(db.asns_for_org("org-gci1-ripe").size(), 1u);
+  EXPECT_TRUE(db.asns_for_org("ORG-NONE").empty());
+}
+
+TEST(RipeParse, OrgRecordWithMntRef) {
+  auto db = parse(kRipeSample, Rir::kRipe);
+  const OrgRec* org = db.org("ORG-GCI1-RIPE");
+  ASSERT_NE(org, nullptr);
+  EXPECT_EQ(org->name, "GCI Network");
+  ASSERT_EQ(org->maintainers.size(), 2u);
+  EXPECT_EQ(org->maintainers[0], "MNT-GCICOM");
+  EXPECT_EQ(org->maintainers[1], "MNT-GCIREF");
+}
+
+TEST(RipeParse, PersonObjectsIgnored) {
+  auto db = parse(kRipeSample, Rir::kRipe);
+  EXPECT_EQ(db.blocks().size() + db.autnums().size(), 4u);
+}
+
+TEST(RipeParse, BadRangeIsDiagnosedAndSkipped) {
+  std::vector<Error> diags;
+  auto db = parse(
+      "inetnum: 10.0.1.0 - 10.0.0.0\nstatus: ASSIGNED PA\n\n"
+      "inetnum: 10.1.0.0 - 10.1.0.255\nstatus: ASSIGNED PA\n",
+      Rir::kRipe, &diags);
+  EXPECT_EQ(db.blocks().size(), 1u);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("bad inetnum"), std::string::npos);
+}
+
+TEST(RipeParse, BadAutNumDiagnosed) {
+  std::vector<Error> diags;
+  auto db = parse("aut-num: ASFOO\n", Rir::kRipe, &diags);
+  EXPECT_TRUE(db.autnums().empty());
+  EXPECT_EQ(diags.size(), 1u);
+}
+
+TEST(ApnicParse, PortableVocabulary) {
+  auto db = parse(
+      "inetnum: 1.0.0.0 - 1.0.255.255\nstatus: ALLOCATED PORTABLE\n\n"
+      "inetnum: 1.0.4.0 - 1.0.4.255\nstatus: ASSIGNED NON-PORTABLE\n",
+      Rir::kApnic);
+  ASSERT_EQ(db.blocks().size(), 2u);
+  EXPECT_EQ(db.blocks()[0].portability, Portability::kPortable);
+  EXPECT_EQ(db.blocks()[1].portability, Portability::kNonPortable);
+}
+
+// ------------------------------------------------------------- ARIN -------
+
+constexpr const char* kArinSample = R"(
+NetHandle:      NET-192-0-2-0-1
+OrgID:          EGIH
+Parent:         NET-192-0-0-0-0
+NetName:        EGI-NET
+NetRange:       192.0.2.0 - 192.0.2.255
+NetType:        Direct Allocation
+Country:        US
+
+NetHandle:      NET-192-0-2-128-1
+OrgID:          CUST-7
+Parent:         NET-192-0-2-0-1
+NetName:        CUSTOMER-NET
+NetRange:       192.0.2.128 - 192.0.2.255
+NetType:        Reassignment
+
+ASHandle:       AS64500
+OrgID:          EGIH
+ASName:         EGI-AS
+
+OrgID:          EGIH
+OrgName:        EGIHosting
+Country:        US
+)";
+
+TEST(ArinParse, NetHandleBlocks) {
+  auto db = parse(kArinSample, Rir::kArin);
+  ASSERT_EQ(db.blocks().size(), 2u);
+  EXPECT_EQ(db.blocks()[0].portability, Portability::kPortable);
+  EXPECT_EQ(db.blocks()[0].org_id, "EGIH");
+  EXPECT_EQ(db.blocks()[1].portability, Portability::kNonPortable);
+  // ARIN maintainer == OrgID.
+  ASSERT_EQ(db.blocks()[1].maintainers.size(), 1u);
+  EXPECT_EQ(db.blocks()[1].maintainers[0], "CUST-7");
+}
+
+TEST(ArinParse, AsHandleAndOrg) {
+  auto db = parse(kArinSample, Rir::kArin);
+  ASSERT_EQ(db.autnums().size(), 1u);
+  EXPECT_EQ(db.autnums()[0].asn, Asn(64500));
+  EXPECT_EQ(db.asns_for_org("EGIH"), std::vector<Asn>{Asn(64500)});
+  const OrgRec* org = db.org("EGIH");
+  ASSERT_NE(org, nullptr);
+  EXPECT_EQ(org->name, "EGIHosting");
+}
+
+// ----------------------------------------------------------- LACNIC -------
+
+constexpr const char* kLacnicSample = R"(
+inetnum:        200.0.0.0/16
+status:         allocated
+owner:          Radiografica Costarricense
+ownerid:        CR-RACS-LACNIC
+country:        CR
+
+inetnum:        200.0.4.0/24
+status:         reassigned
+owner:          Cliente Ejemplo
+ownerid:        CR-CLEJ-LACNIC
+country:        CR
+
+aut-num:        AS52263
+owner:          Radiografica Costarricense
+ownerid:        CR-RACS-LACNIC
+)";
+
+TEST(LacnicParse, CidrBlocksAndSynthesizedOrgs) {
+  auto db = parse(kLacnicSample, Rir::kLacnic);
+  ASSERT_EQ(db.blocks().size(), 2u);
+  EXPECT_EQ(db.blocks()[0].range.to_string(), "200.0.0.0 - 200.0.255.255");
+  EXPECT_EQ(db.blocks()[0].portability, Portability::kPortable);
+  EXPECT_EQ(db.blocks()[1].portability, Portability::kNonPortable);
+
+  const OrgRec* org = db.org("CR-RACS-LACNIC");
+  ASSERT_NE(org, nullptr);
+  EXPECT_EQ(org->name, "Radiografica Costarricense");
+  EXPECT_EQ(db.asns_for_org("CR-RACS-LACNIC"),
+            std::vector<Asn>{Asn(52263)});
+}
+
+TEST(LacnicParse, AutnumLookup) {
+  auto db = parse(kLacnicSample, Rir::kLacnic);
+  const AutNumRec* rec = db.autnum(Asn(52263));
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->org_id, "CR-RACS-LACNIC");
+  EXPECT_EQ(db.autnum(Asn(1)), nullptr);
+}
+
+TEST(LoadWhoisFile, ThrowsOnMissing) {
+  EXPECT_THROW(load_whois_file("/nonexistent/ripe.db", Rir::kRipe),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sublet::whois

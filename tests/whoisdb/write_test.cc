@@ -1,0 +1,179 @@
+#include "whoisdb/write.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/rng.h"
+#include "whoisdb/parse.h"
+#include "whoisdb/status.h"
+
+namespace sublet::whois {
+namespace {
+
+WhoisDb reparse(const std::string& text, Rir rir) {
+  std::istringstream in(text);
+  std::vector<Error> diags;
+  WhoisDb db = parse_whois_db(in, rir, "<roundtrip>", &diags);
+  EXPECT_TRUE(diags.empty()) << (diags.empty() ? "" : diags[0].to_string());
+  return db;
+}
+
+TEST(WhoisWrite, RpslBlockRoundTrip) {
+  InetBlock block;
+  block.rir = Rir::kRipe;
+  block.range = *AddrRange::parse("213.210.0.0 - 213.210.63.255");
+  block.netname = "SE-GCI-NET";
+  block.status = "ALLOCATED PA";
+  block.org_id = "ORG-GCI1-RIPE";
+  block.maintainers = {"MNT-GCICOM", "MNT-BACKUP"};
+  block.country = "SE";
+
+  std::ostringstream out;
+  write_block(out, block);
+  WhoisDb db = reparse(out.str(), Rir::kRipe);
+  ASSERT_EQ(db.blocks().size(), 1u);
+  const InetBlock& parsed = db.blocks()[0];
+  EXPECT_EQ(parsed.range, block.range);
+  EXPECT_EQ(parsed.netname, block.netname);
+  EXPECT_EQ(parsed.status, block.status);
+  EXPECT_EQ(parsed.portability, Portability::kPortable);
+  EXPECT_EQ(parsed.org_id, block.org_id);
+  EXPECT_EQ(parsed.maintainers, block.maintainers);
+  EXPECT_EQ(parsed.country, block.country);
+}
+
+TEST(WhoisWrite, ArinBlockRoundTrip) {
+  InetBlock block;
+  block.rir = Rir::kArin;
+  block.range = *AddrRange::parse("192.0.2.0 - 192.0.2.255");
+  block.netname = "EGI-NET";
+  block.status = "Reassignment";
+  block.org_id = "EGIH";
+  block.country = "US";
+
+  std::ostringstream out;
+  write_block(out, block);
+  WhoisDb db = reparse(out.str(), Rir::kArin);
+  ASSERT_EQ(db.blocks().size(), 1u);
+  const InetBlock& parsed = db.blocks()[0];
+  EXPECT_EQ(parsed.portability, Portability::kNonPortable);
+  EXPECT_EQ(parsed.org_id, "EGIH");
+  EXPECT_EQ(parsed.maintainers, std::vector<std::string>{"EGIH"})
+      << "ARIN's OrgID doubles as the maintainer handle";
+}
+
+TEST(WhoisWrite, LacnicBlockSplitsUnalignedRanges) {
+  InetBlock block;
+  block.rir = Rir::kLacnic;
+  block.range = *AddrRange::parse("200.0.0.0 - 200.0.2.255");  // /23 + /24
+  block.status = "reassigned";
+  block.org_id = "CR-X-LACNIC";
+
+  std::ostringstream out;
+  write_block(out, block, "Cliente Ejemplo");
+  WhoisDb db = reparse(out.str(), Rir::kLacnic);
+  ASSERT_EQ(db.blocks().size(), 2u) << "one CIDR record per covering prefix";
+  for (const InetBlock& parsed : db.blocks()) {
+    EXPECT_EQ(parsed.org_id, "CR-X-LACNIC");
+    EXPECT_EQ(parsed.portability, Portability::kNonPortable);
+  }
+  EXPECT_EQ(db.org("CR-X-LACNIC")->name, "Cliente Ejemplo");
+}
+
+TEST(WhoisWrite, AutnumRoundTripAllDialects) {
+  for (Rir rir : kAllRirs) {
+    AutNumRec rec;
+    rec.rir = rir;
+    rec.asn = Asn(64500);
+    rec.org_id = "ORG-X";
+    rec.maintainers = {"MNT-X"};
+    std::ostringstream out;
+    write_autnum(out, rec, "Example Org");
+    WhoisDb db = reparse(out.str(), rir);
+    ASSERT_EQ(db.autnums().size(), 1u) << rir_name(rir);
+    EXPECT_EQ(db.autnums()[0].asn, Asn(64500));
+    EXPECT_EQ(db.autnums()[0].org_id, "ORG-X");
+    EXPECT_EQ(db.asns_for_org("ORG-X"), std::vector<Asn>{Asn(64500)})
+        << rir_name(rir);
+  }
+}
+
+TEST(WhoisWrite, OrgRoundTripRpslAndArin) {
+  for (Rir rir : {Rir::kRipe, Rir::kApnic, Rir::kAfrinic, Rir::kArin}) {
+    OrgRec org;
+    org.rir = rir;
+    org.id = "ORG-Y";
+    org.name = "Y Networks";
+    org.maintainers = {"MNT-Y"};
+    org.country = "DE";
+    std::ostringstream out;
+    write_org(out, org);
+    WhoisDb db = reparse(out.str(), rir);
+    const OrgRec* parsed = db.org("ORG-Y");
+    ASSERT_NE(parsed, nullptr) << rir_name(rir);
+    EXPECT_EQ(parsed->name, "Y Networks");
+  }
+}
+
+TEST(WhoisWrite, LacnicOrgIsNoOp) {
+  OrgRec org;
+  org.rir = Rir::kLacnic;
+  org.id = "X";
+  std::ostringstream out;
+  write_org(out, org);
+  EXPECT_TRUE(out.str().empty());
+}
+
+// Property: random blocks survive the write->parse trip in every dialect.
+class WriteRoundTripProperty : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WriteRoundTripProperty, RandomBlocks) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 100; ++iter) {
+    Rir rir = kAllRirs[rng.next_below(5)];
+    // Aligned range so LACNIC emits a single record.
+    int len = static_cast<int>(rng.next_in(12, 24));
+    auto prefix = *Prefix::make(
+        Ipv4Addr(static_cast<std::uint32_t>(rng.next_u64())), len);
+    InetBlock block;
+    block.rir = rir;
+    block.range = AddrRange{prefix.first(), prefix.last()};
+    block.netname = "NET-" + std::to_string(iter);
+    bool portable = rng.chance(0.5);
+    // Use a status from the RIR's own vocabulary.
+    switch (rir) {
+      case Rir::kRipe:
+      case Rir::kAfrinic:
+        block.status = portable ? "ALLOCATED PA" : "ASSIGNED PA";
+        break;
+      case Rir::kApnic:
+        block.status = portable ? "ALLOCATED PORTABLE" : "ASSIGNED NON-PORTABLE";
+        break;
+      case Rir::kArin:
+        block.status = portable ? "Direct Allocation" : "Reallocation";
+        break;
+      case Rir::kLacnic:
+        block.status = portable ? "allocated" : "reallocated";
+        break;
+    }
+    block.org_id = "ORG-" + std::to_string(rng.next_below(100));
+    if (rir != Rir::kArin && rir != Rir::kLacnic) {
+      block.maintainers = {"MNT-" + std::to_string(rng.next_below(100))};
+    }
+    std::ostringstream out;
+    write_block(out, block, "Owner Name");
+    WhoisDb db = reparse(out.str(), rir);
+    ASSERT_EQ(db.blocks().size(), 1u);
+    const InetBlock& parsed = db.blocks()[0];
+    EXPECT_EQ(parsed.range, block.range);
+    EXPECT_EQ(parsed.org_id, block.org_id);
+    EXPECT_EQ(parsed.portability, classify_status(rir, block.status));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WriteRoundTripProperty,
+                         testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace sublet::whois

@@ -1,0 +1,66 @@
+# End-to-end smoke test for the `sublet` CLI, run under ctest:
+#   generate -> infer -> evaluate -> abuse -> report -> explain -> dump -> churn
+if(NOT DEFINED SUBLET_BIN)
+  message(FATAL_ERROR "pass -DSUBLET_BIN=<path to sublet>")
+endif()
+
+set(WORK "$ENV{TMPDIR}")
+if(WORK STREQUAL "")
+  set(WORK "/tmp")
+endif()
+set(DATA "${WORK}/sublet-cli-smoke")
+file(REMOVE_RECURSE "${DATA}")
+
+function(run_step)
+  execute_process(COMMAND ${ARGV}
+                  RESULT_VARIABLE code
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "step failed (${code}): ${ARGV}\n${out}\n${err}")
+  endif()
+  set(STEP_OUTPUT "${out}" PARENT_SCOPE)
+endfunction()
+
+run_step("${SUBLET_BIN}" generate "${DATA}" --scale 0.03 --seed 11)
+
+run_step("${SUBLET_BIN}" infer "${DATA}" -o "${DATA}/leases-a.csv")
+if(NOT STEP_OUTPUT MATCHES "inferred leased")
+  message(FATAL_ERROR "infer produced no summary: ${STEP_OUTPUT}")
+endif()
+
+run_step("${SUBLET_BIN}" evaluate "${DATA}")
+if(NOT STEP_OUTPUT MATCHES "precision")
+  message(FATAL_ERROR "evaluate printed no metrics: ${STEP_OUTPUT}")
+endif()
+
+run_step("${SUBLET_BIN}" abuse "${DATA}")
+if(NOT STEP_OUTPUT MATCHES "risk ratio")
+  message(FATAL_ERROR "abuse printed no ratio: ${STEP_OUTPUT}")
+endif()
+
+run_step("${SUBLET_BIN}" report "${DATA}")
+if(NOT STEP_OUTPUT MATCHES "Inference groups per region")
+  message(FATAL_ERROR "report missing sections: ${STEP_OUTPUT}")
+endif()
+
+run_step("${SUBLET_BIN}" explain "${DATA}" 20.0.0.0/24)
+if(NOT STEP_OUTPUT MATCHES "verdict")
+  message(FATAL_ERROR "explain printed no verdict: ${STEP_OUTPUT}")
+endif()
+
+file(GLOB MRT_FILES "${DATA}/bgp/*.mrt")
+list(GET MRT_FILES 0 FIRST_MRT)
+run_step("${SUBLET_BIN}" dump "${FIRST_MRT}")
+if(NOT STEP_OUTPUT MATCHES "TABLE_DUMP2")
+  message(FATAL_ERROR "dump produced no bgpdump lines")
+endif()
+
+# churn against itself: everything stable.
+run_step("${SUBLET_BIN}" churn "${DATA}/leases-a.csv" "${DATA}/leases-a.csv")
+if(NOT STEP_OUTPUT MATCHES "churn rate:      0.0%")
+  message(FATAL_ERROR "self-churn should be zero: ${STEP_OUTPUT}")
+endif()
+
+file(REMOVE_RECURSE "${DATA}")
+message(STATUS "cli smoke ok")

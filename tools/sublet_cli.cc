@@ -1,0 +1,291 @@
+// sublet — command-line front end to the lease-inference library.
+//
+//   sublet generate <dir> [--scale S] [--seed N]   emit a synthetic dataset
+//   sublet infer <dataset> [-o leases.csv]         run the pipeline
+//   sublet explain <dataset> <prefix>...           verdict walkthroughs
+//   sublet evaluate <dataset>                      Table-2 style evaluation
+//   sublet abuse <dataset>                         blocklist cross-reference
+//   sublet timeline <updates.mrt> <rpki-dir> <prefix> [from] [to]
+//                                                  lease-history (Figure 3)
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asgraph/as_graph.h"
+#include "bgp/origin_tracker.h"
+#include "mrt/bgpdump_text.h"
+#include "leasing/abuse_analysis.h"
+#include "leasing/dataset.h"
+#include "leasing/evaluation.h"
+#include "leasing/pipeline.h"
+#include "leasing/churn.h"
+#include "leasing/report.h"
+#include "leasing/summary.h"
+#include "leasing/timeline.h"
+#include "simnet/builder.h"
+#include "simnet/emit.h"
+#include "util/log.h"
+#include "util/table.h"
+
+using namespace sublet;
+
+namespace {
+
+int usage() {
+  std::cerr <<
+      "usage: sublet <command> [args]\n"
+      "  generate <dir> [--scale S] [--seed N]   emit a synthetic dataset\n"
+      "  infer <dataset> [-o leases.csv]         classify and export\n"
+      "  explain <dataset> <prefix>...           per-prefix walkthrough\n"
+      "  evaluate <dataset>                      broker/ISP reference eval\n"
+      "  abuse <dataset>                         blocklist cross-reference\n"
+      "  timeline <updates.mrt> <rpki-dir> <prefix> [from] [to]\n"
+      "                                          lease-history reconstruction\n"
+      "  churn <leases-a.csv> <leases-b.csv>     diff two inference exports\n"
+      "  report <dataset>                        full measurement summary\n"
+      "  dump <rib.mrt>                          MRT -> bgpdump -m text\n";
+  return 2;
+}
+
+struct LoadedRun {
+  leasing::DatasetBundle bundle;
+  asgraph::AsGraph graph;
+  std::vector<leasing::LeaseInference> results;
+
+  explicit LoadedRun(const std::string& dir)
+      : bundle(leasing::load_dataset(dir)),
+        graph(&bundle.as_rel, &bundle.as2org) {
+    leasing::Pipeline pipeline(bundle.rib, graph);
+    for (const whois::WhoisDb& db : bundle.whois) {
+      auto partial = pipeline.classify(db);
+      results.insert(results.end(), partial.begin(), partial.end());
+    }
+  }
+};
+
+int cmd_generate(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  sim::WorldConfig config;
+  config.scale = 0.1;
+  config.seed = 42;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--scale" && i + 1 < args.size()) {
+      config.scale = std::stod(args[++i]);
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
+      config.seed = std::stoull(args[++i]);
+    } else {
+      std::cerr << "unknown option " << args[i] << "\n";
+      return usage();
+    }
+  }
+  sim::World world = sim::build_world(config);
+  sim::emit_world(world, args[0]);
+  std::cout << "wrote dataset with " << world.leaves.size() << " leaves / "
+            << world.ases.size() << " ASes to " << args[0] << "\n";
+  return 0;
+}
+
+int cmd_infer(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  std::optional<std::string> out_path;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "-o" && i + 1 < args.size()) out_path = args[++i];
+  }
+  LoadedRun run(args[0]);
+  auto counts = leasing::Pipeline::count_groups(run.results);
+  std::cout << "classified " << with_commas(counts.total())
+            << " sub-allocations; " << with_commas(counts.leased())
+            << " inferred leased\n";
+  if (out_path) {
+    leasing::save_inferences_csv(*out_path, run.results);
+    std::cout << "inferences written to " << *out_path << "\n";
+  } else {
+    leasing::write_inferences_csv(std::cout, run.results);
+  }
+  return 0;
+}
+
+int cmd_explain(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  leasing::DatasetBundle bundle = leasing::load_dataset(args[0]);
+  asgraph::AsGraph graph(&bundle.as_rel, &bundle.as2org);
+  leasing::Pipeline pipeline(bundle.rib, graph);
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    auto prefix = Prefix::parse(args[i]);
+    if (!prefix) {
+      std::cerr << "bad prefix '" << args[i] << "'\n";
+      continue;
+    }
+    bool found = false;
+    for (const whois::WhoisDb& db : bundle.whois) {
+      auto tree = whois::AllocationTree::build(db);
+      if (!tree.root_of(*prefix)) continue;
+      std::cout << pipeline.explain(*prefix, db) << "\n";
+      found = true;
+      break;
+    }
+    if (!found) {
+      std::cout << prefix->to_string()
+                << ": not in any RIR's allocation tree\n\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_evaluate(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  LoadedRun run(args[0]);
+  leasing::ReferenceDataset reference;
+  for (const whois::WhoisDb& db : run.bundle.whois) {
+    auto brokers = run.bundle.brokers.find(db.rir());
+    if (brokers != run.bundle.brokers.end()) {
+      auto match =
+          leasing::match_brokers(db, brokers->second, run.bundle.rib);
+      for (const Prefix& p : match.prefixes) reference.add(p, true);
+    }
+    auto isps = run.bundle.eval_isp_orgs.find(db.rir());
+    if (isps != run.bundle.eval_isp_orgs.end()) {
+      auto tree = whois::AllocationTree::build(db);
+      for (const Prefix& p :
+           leasing::isp_negatives(db, isps->second, tree, run.bundle.rib)) {
+        reference.add(p, false);
+      }
+    }
+  }
+  if (reference.labels.empty()) {
+    std::cerr << "dataset has no broker/ISP reference lists\n";
+    return 1;
+  }
+  auto m = leasing::evaluate(run.results, reference);
+  std::cout << "reference: " << with_commas(reference.positives())
+            << " positives, " << with_commas(reference.negatives())
+            << " negatives\n";
+  std::cout << "TP=" << m.tp << " FN=" << m.fn << " FP=" << m.fp
+            << " TN=" << m.tn << "\n";
+  std::cout << "precision " << fixed(m.precision(), 3) << ", recall "
+            << fixed(m.recall(), 3) << ", specificity "
+            << fixed(m.specificity(), 3) << ", accuracy "
+            << fixed(m.accuracy(), 3) << "\n";
+  return 0;
+}
+
+int cmd_abuse(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  LoadedRun run(args[0]);
+  leasing::AbuseAnalysis analysis(run.results, run.bundle.rib);
+  auto drop = analysis.prefix_overlap(run.bundle.drop);
+  std::cout << "DROP-originated: leased " << percent(drop.leased_fraction())
+            << " vs non-leased " << percent(drop.nonleased_fraction())
+            << " (risk ratio " << fixed(drop.risk_ratio(), 1) << "x)\n";
+  auto hijack = analysis.prefix_overlap(run.bundle.hijackers);
+  std::cout << "hijacker-originated: leased "
+            << percent(hijack.leased_fraction()) << " vs non-leased "
+            << percent(hijack.nonleased_fraction()) << "\n";
+  if (const rpki::VrpSet* vrps = run.bundle.current_vrps()) {
+    auto roa = analysis.roa_overlap(*vrps, run.bundle.drop);
+    if (roa.leased_roas_total) {
+      std::cout << "ROAs authorizing DROP ASes: leased "
+                << percent(static_cast<double>(roa.leased_roas_listed) /
+                           roa.leased_roas_total)
+                << "\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_timeline(const std::vector<std::string>& args) {
+  if (args.size() < 3) return usage();
+  auto prefix = Prefix::parse(args[2]);
+  if (!prefix) {
+    std::cerr << "bad prefix '" << args[2] << "'\n";
+    return 1;
+  }
+  bgp::OriginTracker tracker;
+  auto applied = bgp::replay_updates_file(args[0], tracker);
+  if (!applied) {
+    std::cerr << applied.error().to_string() << "\n";
+    return 1;
+  }
+  auto archive = rpki::RpkiArchive::load_directory(args[1]);
+  auto timestamps = archive.timestamps();
+  std::uint32_t from = args.size() > 3
+                           ? static_cast<std::uint32_t>(std::stoul(args[3]))
+                           : (timestamps.empty() ? 0 : timestamps.front());
+  std::uint32_t to = args.size() > 4
+                         ? static_cast<std::uint32_t>(std::stoul(args[4]))
+                         : (timestamps.empty() ? UINT32_MAX
+                                               : timestamps.back());
+  auto history = leasing::LeaseTimeline::history_from_tracker(tracker,
+                                                              *prefix);
+  auto events =
+      leasing::LeaseTimeline::collect(*prefix, archive, history, from, to);
+  std::cout << leasing::LeaseTimeline::render(events, from, to);
+  for (const auto& period : leasing::LeaseTimeline::segment(events)) {
+    std::cout << (period.is_as0_gap() ? "AS0 quarantine"
+                                      : "lease " + period.asn.to_string())
+              << "  [" << period.start << " .. " << period.end << "]\n";
+  }
+  return 0;
+}
+
+int cmd_report(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  LoadedRun run(args[0]);
+  std::cout << leasing::render_summary(run.bundle, run.results);
+  return 0;
+}
+
+int cmd_dump(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  auto snapshot = mrt::read_rib_file(args[0]);
+  if (!snapshot) {
+    std::cerr << snapshot.error().to_string() << "\n";
+    return 1;
+  }
+  mrt::write_bgpdump_text(std::cout, *snapshot);
+  return 0;
+}
+
+int cmd_churn(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  auto before = leasing::load_inferences_csv(args[0]);
+  auto after = leasing::load_inferences_csv(args[1]);
+  if (!before || !after) {
+    std::cerr << (before ? after.error() : before.error()).to_string()
+              << "\n";
+    return 1;
+  }
+  auto churn = leasing::diff_inferences(*before, *after);
+  std::cout << "new leases:      " << churn.started.size() << "\n";
+  std::cout << "ended leases:    " << churn.ended.size() << "\n";
+  std::cout << "lessee changed:  " << churn.lessee_changed.size() << "\n";
+  std::cout << "stable:          " << churn.stable.size() << "\n";
+  std::cout << "churn rate:      " << percent(churn.churn_rate()) << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kWarn);
+  if (argc < 2) return usage();
+  std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "generate") return cmd_generate(args);
+    if (command == "infer") return cmd_infer(args);
+    if (command == "explain") return cmd_explain(args);
+    if (command == "evaluate") return cmd_evaluate(args);
+    if (command == "abuse") return cmd_abuse(args);
+    if (command == "timeline") return cmd_timeline(args);
+    if (command == "churn") return cmd_churn(args);
+    if (command == "report") return cmd_report(args);
+    if (command == "dump") return cmd_dump(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
