@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hyperspecific.dir/bench_ablation_hyperspecific.cc.o"
+  "CMakeFiles/bench_ablation_hyperspecific.dir/bench_ablation_hyperspecific.cc.o.d"
+  "bench_ablation_hyperspecific"
+  "bench_ablation_hyperspecific.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hyperspecific.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_inferred_rels.dir/bench_ablation_inferred_rels.cc.o"
+  "CMakeFiles/bench_ablation_inferred_rels.dir/bench_ablation_inferred_rels.cc.o.d"
+  "bench_ablation_inferred_rels"
+  "bench_ablation_inferred_rels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_inferred_rels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_siblings.dir/bench_ablation_siblings.cc.o"
+  "CMakeFiles/bench_ablation_siblings.dir/bench_ablation_siblings.cc.o.d"
+  "bench_ablation_siblings"
+  "bench_ablation_siblings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_siblings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

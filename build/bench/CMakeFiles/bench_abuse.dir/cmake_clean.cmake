@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abuse.dir/bench_abuse.cc.o"
+  "CMakeFiles/bench_abuse.dir/bench_abuse.cc.o.d"
+  "bench_abuse"
+  "bench_abuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

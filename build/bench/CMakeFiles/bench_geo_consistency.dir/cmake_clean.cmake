@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_geo_consistency.dir/bench_geo_consistency.cc.o"
+  "CMakeFiles/bench_geo_consistency.dir/bench_geo_consistency.cc.o.d"
+  "bench_geo_consistency"
+  "bench_geo_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_geo_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_geography.dir/bench_geography.cc.o"
+  "CMakeFiles/bench_geography.dir/bench_geography.cc.o.d"
+  "bench_geography"
+  "bench_geography.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_geography.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_transfers.dir/bench_transfers.cc.o"
+  "CMakeFiles/bench_transfers.dir/bench_transfers.cc.o.d"
+  "bench_transfers"
+  "bench_transfers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transfers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

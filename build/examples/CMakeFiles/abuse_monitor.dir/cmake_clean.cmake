@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abuse_monitor.dir/abuse_monitor.cpp.o"
+  "CMakeFiles/abuse_monitor.dir/abuse_monitor.cpp.o.d"
+  "abuse_monitor"
+  "abuse_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abuse_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/audit_prefix.cpp" "examples/CMakeFiles/audit_prefix.dir/audit_prefix.cpp.o" "gcc" "examples/CMakeFiles/audit_prefix.dir/audit_prefix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simnet/CMakeFiles/sublet_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/leasing/CMakeFiles/sublet_leasing.dir/DependInfo.cmake"
+  "/root/repo/build/src/transfers/CMakeFiles/sublet_transfers.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/sublet_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/whoisdb/CMakeFiles/sublet_whoisdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpsl/CMakeFiles/sublet_rpsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/sublet_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrt/CMakeFiles/sublet_mrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/asgraph/CMakeFiles/sublet_asgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpki/CMakeFiles/sublet_rpki.dir/DependInfo.cmake"
+  "/root/repo/build/src/abuse/CMakeFiles/sublet_abuse.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/sublet_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sublet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

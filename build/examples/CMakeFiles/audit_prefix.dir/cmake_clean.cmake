@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_prefix.dir/audit_prefix.cpp.o"
+  "CMakeFiles/audit_prefix.dir/audit_prefix.cpp.o.d"
+  "audit_prefix"
+  "audit_prefix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_prefix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

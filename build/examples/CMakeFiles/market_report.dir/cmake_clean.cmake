@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_report.dir/market_report.cpp.o"
+  "CMakeFiles/market_report.dir/market_report.cpp.o.d"
+  "market_report"
+  "market_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

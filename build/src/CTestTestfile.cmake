@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("netbase")
+subdirs("rpsl")
+subdirs("mrt")
+subdirs("whoisdb")
+subdirs("bgp")
+subdirs("asgraph")
+subdirs("rpki")
+subdirs("abuse")
+subdirs("transfers")
+subdirs("geo")
+subdirs("leasing")
+subdirs("simnet")

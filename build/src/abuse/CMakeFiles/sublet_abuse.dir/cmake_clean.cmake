@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sublet_abuse.dir/asn_lists.cc.o"
+  "CMakeFiles/sublet_abuse.dir/asn_lists.cc.o.d"
+  "libsublet_abuse.a"
+  "libsublet_abuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sublet_abuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

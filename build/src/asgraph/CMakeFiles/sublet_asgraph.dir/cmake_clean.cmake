@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sublet_asgraph.dir/as2org.cc.o"
+  "CMakeFiles/sublet_asgraph.dir/as2org.cc.o.d"
+  "CMakeFiles/sublet_asgraph.dir/as_rel.cc.o"
+  "CMakeFiles/sublet_asgraph.dir/as_rel.cc.o.d"
+  "CMakeFiles/sublet_asgraph.dir/infer.cc.o"
+  "CMakeFiles/sublet_asgraph.dir/infer.cc.o.d"
+  "libsublet_asgraph.a"
+  "libsublet_asgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sublet_asgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

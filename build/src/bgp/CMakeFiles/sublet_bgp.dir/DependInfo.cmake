@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/origin_tracker.cc" "src/bgp/CMakeFiles/sublet_bgp.dir/origin_tracker.cc.o" "gcc" "src/bgp/CMakeFiles/sublet_bgp.dir/origin_tracker.cc.o.d"
+  "/root/repo/src/bgp/rib.cc" "src/bgp/CMakeFiles/sublet_bgp.dir/rib.cc.o" "gcc" "src/bgp/CMakeFiles/sublet_bgp.dir/rib.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mrt/CMakeFiles/sublet_mrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/sublet_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sublet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sublet_bgp.dir/origin_tracker.cc.o"
+  "CMakeFiles/sublet_bgp.dir/origin_tracker.cc.o.d"
+  "CMakeFiles/sublet_bgp.dir/rib.cc.o"
+  "CMakeFiles/sublet_bgp.dir/rib.cc.o.d"
+  "libsublet_bgp.a"
+  "libsublet_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sublet_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sublet_geo.dir/geodb.cc.o"
+  "CMakeFiles/sublet_geo.dir/geodb.cc.o.d"
+  "libsublet_geo.a"
+  "libsublet_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sublet_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/leasing/abuse_analysis.cc" "src/leasing/CMakeFiles/sublet_leasing.dir/abuse_analysis.cc.o" "gcc" "src/leasing/CMakeFiles/sublet_leasing.dir/abuse_analysis.cc.o.d"
+  "/root/repo/src/leasing/baseline.cc" "src/leasing/CMakeFiles/sublet_leasing.dir/baseline.cc.o" "gcc" "src/leasing/CMakeFiles/sublet_leasing.dir/baseline.cc.o.d"
+  "/root/repo/src/leasing/churn.cc" "src/leasing/CMakeFiles/sublet_leasing.dir/churn.cc.o" "gcc" "src/leasing/CMakeFiles/sublet_leasing.dir/churn.cc.o.d"
+  "/root/repo/src/leasing/dataset.cc" "src/leasing/CMakeFiles/sublet_leasing.dir/dataset.cc.o" "gcc" "src/leasing/CMakeFiles/sublet_leasing.dir/dataset.cc.o.d"
+  "/root/repo/src/leasing/ecosystem.cc" "src/leasing/CMakeFiles/sublet_leasing.dir/ecosystem.cc.o" "gcc" "src/leasing/CMakeFiles/sublet_leasing.dir/ecosystem.cc.o.d"
+  "/root/repo/src/leasing/evaluation.cc" "src/leasing/CMakeFiles/sublet_leasing.dir/evaluation.cc.o" "gcc" "src/leasing/CMakeFiles/sublet_leasing.dir/evaluation.cc.o.d"
+  "/root/repo/src/leasing/pipeline.cc" "src/leasing/CMakeFiles/sublet_leasing.dir/pipeline.cc.o" "gcc" "src/leasing/CMakeFiles/sublet_leasing.dir/pipeline.cc.o.d"
+  "/root/repo/src/leasing/report.cc" "src/leasing/CMakeFiles/sublet_leasing.dir/report.cc.o" "gcc" "src/leasing/CMakeFiles/sublet_leasing.dir/report.cc.o.d"
+  "/root/repo/src/leasing/summary.cc" "src/leasing/CMakeFiles/sublet_leasing.dir/summary.cc.o" "gcc" "src/leasing/CMakeFiles/sublet_leasing.dir/summary.cc.o.d"
+  "/root/repo/src/leasing/timeline.cc" "src/leasing/CMakeFiles/sublet_leasing.dir/timeline.cc.o" "gcc" "src/leasing/CMakeFiles/sublet_leasing.dir/timeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/whoisdb/CMakeFiles/sublet_whoisdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/sublet_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/asgraph/CMakeFiles/sublet_asgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpki/CMakeFiles/sublet_rpki.dir/DependInfo.cmake"
+  "/root/repo/build/src/abuse/CMakeFiles/sublet_abuse.dir/DependInfo.cmake"
+  "/root/repo/build/src/transfers/CMakeFiles/sublet_transfers.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/sublet_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/sublet_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sublet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrt/CMakeFiles/sublet_mrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpsl/CMakeFiles/sublet_rpsl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sublet_leasing.dir/abuse_analysis.cc.o"
+  "CMakeFiles/sublet_leasing.dir/abuse_analysis.cc.o.d"
+  "CMakeFiles/sublet_leasing.dir/baseline.cc.o"
+  "CMakeFiles/sublet_leasing.dir/baseline.cc.o.d"
+  "CMakeFiles/sublet_leasing.dir/churn.cc.o"
+  "CMakeFiles/sublet_leasing.dir/churn.cc.o.d"
+  "CMakeFiles/sublet_leasing.dir/dataset.cc.o"
+  "CMakeFiles/sublet_leasing.dir/dataset.cc.o.d"
+  "CMakeFiles/sublet_leasing.dir/ecosystem.cc.o"
+  "CMakeFiles/sublet_leasing.dir/ecosystem.cc.o.d"
+  "CMakeFiles/sublet_leasing.dir/evaluation.cc.o"
+  "CMakeFiles/sublet_leasing.dir/evaluation.cc.o.d"
+  "CMakeFiles/sublet_leasing.dir/pipeline.cc.o"
+  "CMakeFiles/sublet_leasing.dir/pipeline.cc.o.d"
+  "CMakeFiles/sublet_leasing.dir/report.cc.o"
+  "CMakeFiles/sublet_leasing.dir/report.cc.o.d"
+  "CMakeFiles/sublet_leasing.dir/summary.cc.o"
+  "CMakeFiles/sublet_leasing.dir/summary.cc.o.d"
+  "CMakeFiles/sublet_leasing.dir/timeline.cc.o"
+  "CMakeFiles/sublet_leasing.dir/timeline.cc.o.d"
+  "libsublet_leasing.a"
+  "libsublet_leasing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sublet_leasing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsublet_leasing.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mrt/bgp4mp.cc" "src/mrt/CMakeFiles/sublet_mrt.dir/bgp4mp.cc.o" "gcc" "src/mrt/CMakeFiles/sublet_mrt.dir/bgp4mp.cc.o.d"
+  "/root/repo/src/mrt/bgp_attrs.cc" "src/mrt/CMakeFiles/sublet_mrt.dir/bgp_attrs.cc.o" "gcc" "src/mrt/CMakeFiles/sublet_mrt.dir/bgp_attrs.cc.o.d"
+  "/root/repo/src/mrt/bgpdump_text.cc" "src/mrt/CMakeFiles/sublet_mrt.dir/bgpdump_text.cc.o" "gcc" "src/mrt/CMakeFiles/sublet_mrt.dir/bgpdump_text.cc.o.d"
+  "/root/repo/src/mrt/mrt.cc" "src/mrt/CMakeFiles/sublet_mrt.dir/mrt.cc.o" "gcc" "src/mrt/CMakeFiles/sublet_mrt.dir/mrt.cc.o.d"
+  "/root/repo/src/mrt/rib_file.cc" "src/mrt/CMakeFiles/sublet_mrt.dir/rib_file.cc.o" "gcc" "src/mrt/CMakeFiles/sublet_mrt.dir/rib_file.cc.o.d"
+  "/root/repo/src/mrt/table_dump_v2.cc" "src/mrt/CMakeFiles/sublet_mrt.dir/table_dump_v2.cc.o" "gcc" "src/mrt/CMakeFiles/sublet_mrt.dir/table_dump_v2.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/sublet_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sublet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sublet_mrt.dir/bgp4mp.cc.o"
+  "CMakeFiles/sublet_mrt.dir/bgp4mp.cc.o.d"
+  "CMakeFiles/sublet_mrt.dir/bgp_attrs.cc.o"
+  "CMakeFiles/sublet_mrt.dir/bgp_attrs.cc.o.d"
+  "CMakeFiles/sublet_mrt.dir/bgpdump_text.cc.o"
+  "CMakeFiles/sublet_mrt.dir/bgpdump_text.cc.o.d"
+  "CMakeFiles/sublet_mrt.dir/mrt.cc.o"
+  "CMakeFiles/sublet_mrt.dir/mrt.cc.o.d"
+  "CMakeFiles/sublet_mrt.dir/rib_file.cc.o"
+  "CMakeFiles/sublet_mrt.dir/rib_file.cc.o.d"
+  "CMakeFiles/sublet_mrt.dir/table_dump_v2.cc.o"
+  "CMakeFiles/sublet_mrt.dir/table_dump_v2.cc.o.d"
+  "libsublet_mrt.a"
+  "libsublet_mrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sublet_mrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sublet_netbase.dir/asn.cc.o"
+  "CMakeFiles/sublet_netbase.dir/asn.cc.o.d"
+  "CMakeFiles/sublet_netbase.dir/ipv4.cc.o"
+  "CMakeFiles/sublet_netbase.dir/ipv4.cc.o.d"
+  "CMakeFiles/sublet_netbase.dir/prefix_set.cc.o"
+  "CMakeFiles/sublet_netbase.dir/prefix_set.cc.o.d"
+  "libsublet_netbase.a"
+  "libsublet_netbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sublet_netbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sublet_rpki.dir/archive.cc.o"
+  "CMakeFiles/sublet_rpki.dir/archive.cc.o.d"
+  "CMakeFiles/sublet_rpki.dir/roa.cc.o"
+  "CMakeFiles/sublet_rpki.dir/roa.cc.o.d"
+  "libsublet_rpki.a"
+  "libsublet_rpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sublet_rpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

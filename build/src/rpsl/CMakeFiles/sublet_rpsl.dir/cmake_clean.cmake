@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sublet_rpsl.dir/rpsl.cc.o"
+  "CMakeFiles/sublet_rpsl.dir/rpsl.cc.o.d"
+  "libsublet_rpsl.a"
+  "libsublet_rpsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sublet_rpsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sublet_simnet.dir/builder.cc.o"
+  "CMakeFiles/sublet_simnet.dir/builder.cc.o.d"
+  "CMakeFiles/sublet_simnet.dir/emit.cc.o"
+  "CMakeFiles/sublet_simnet.dir/emit.cc.o.d"
+  "CMakeFiles/sublet_simnet.dir/epoch.cc.o"
+  "CMakeFiles/sublet_simnet.dir/epoch.cc.o.d"
+  "CMakeFiles/sublet_simnet.dir/ground_truth.cc.o"
+  "CMakeFiles/sublet_simnet.dir/ground_truth.cc.o.d"
+  "CMakeFiles/sublet_simnet.dir/timeline_scenario.cc.o"
+  "CMakeFiles/sublet_simnet.dir/timeline_scenario.cc.o.d"
+  "libsublet_simnet.a"
+  "libsublet_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sublet_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

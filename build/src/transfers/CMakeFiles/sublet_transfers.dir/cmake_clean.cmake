@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sublet_transfers.dir/transfer_log.cc.o"
+  "CMakeFiles/sublet_transfers.dir/transfer_log.cc.o.d"
+  "libsublet_transfers.a"
+  "libsublet_transfers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sublet_transfers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sublet_util.dir/csv.cc.o"
+  "CMakeFiles/sublet_util.dir/csv.cc.o.d"
+  "CMakeFiles/sublet_util.dir/log.cc.o"
+  "CMakeFiles/sublet_util.dir/log.cc.o.d"
+  "CMakeFiles/sublet_util.dir/rng.cc.o"
+  "CMakeFiles/sublet_util.dir/rng.cc.o.d"
+  "CMakeFiles/sublet_util.dir/strings.cc.o"
+  "CMakeFiles/sublet_util.dir/strings.cc.o.d"
+  "CMakeFiles/sublet_util.dir/table.cc.o"
+  "CMakeFiles/sublet_util.dir/table.cc.o.d"
+  "libsublet_util.a"
+  "libsublet_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sublet_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/whoisdb/alloc_tree.cc" "src/whoisdb/CMakeFiles/sublet_whoisdb.dir/alloc_tree.cc.o" "gcc" "src/whoisdb/CMakeFiles/sublet_whoisdb.dir/alloc_tree.cc.o.d"
+  "/root/repo/src/whoisdb/diff.cc" "src/whoisdb/CMakeFiles/sublet_whoisdb.dir/diff.cc.o" "gcc" "src/whoisdb/CMakeFiles/sublet_whoisdb.dir/diff.cc.o.d"
+  "/root/repo/src/whoisdb/model.cc" "src/whoisdb/CMakeFiles/sublet_whoisdb.dir/model.cc.o" "gcc" "src/whoisdb/CMakeFiles/sublet_whoisdb.dir/model.cc.o.d"
+  "/root/repo/src/whoisdb/parse.cc" "src/whoisdb/CMakeFiles/sublet_whoisdb.dir/parse.cc.o" "gcc" "src/whoisdb/CMakeFiles/sublet_whoisdb.dir/parse.cc.o.d"
+  "/root/repo/src/whoisdb/status.cc" "src/whoisdb/CMakeFiles/sublet_whoisdb.dir/status.cc.o" "gcc" "src/whoisdb/CMakeFiles/sublet_whoisdb.dir/status.cc.o.d"
+  "/root/repo/src/whoisdb/write.cc" "src/whoisdb/CMakeFiles/sublet_whoisdb.dir/write.cc.o" "gcc" "src/whoisdb/CMakeFiles/sublet_whoisdb.dir/write.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rpsl/CMakeFiles/sublet_rpsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/sublet_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sublet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

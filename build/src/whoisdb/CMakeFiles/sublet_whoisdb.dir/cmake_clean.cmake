@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sublet_whoisdb.dir/alloc_tree.cc.o"
+  "CMakeFiles/sublet_whoisdb.dir/alloc_tree.cc.o.d"
+  "CMakeFiles/sublet_whoisdb.dir/diff.cc.o"
+  "CMakeFiles/sublet_whoisdb.dir/diff.cc.o.d"
+  "CMakeFiles/sublet_whoisdb.dir/model.cc.o"
+  "CMakeFiles/sublet_whoisdb.dir/model.cc.o.d"
+  "CMakeFiles/sublet_whoisdb.dir/parse.cc.o"
+  "CMakeFiles/sublet_whoisdb.dir/parse.cc.o.d"
+  "CMakeFiles/sublet_whoisdb.dir/status.cc.o"
+  "CMakeFiles/sublet_whoisdb.dir/status.cc.o.d"
+  "CMakeFiles/sublet_whoisdb.dir/write.cc.o"
+  "CMakeFiles/sublet_whoisdb.dir/write.cc.o.d"
+  "libsublet_whoisdb.a"
+  "libsublet_whoisdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sublet_whoisdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abuse.dir/abuse/asn_lists_test.cc.o"
+  "CMakeFiles/test_abuse.dir/abuse/asn_lists_test.cc.o.d"
+  "test_abuse"
+  "test_abuse.pdb"
+  "test_abuse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/asgraph/as2org_test.cc" "tests/CMakeFiles/test_asgraph.dir/asgraph/as2org_test.cc.o" "gcc" "tests/CMakeFiles/test_asgraph.dir/asgraph/as2org_test.cc.o.d"
+  "/root/repo/tests/asgraph/as_graph_test.cc" "tests/CMakeFiles/test_asgraph.dir/asgraph/as_graph_test.cc.o" "gcc" "tests/CMakeFiles/test_asgraph.dir/asgraph/as_graph_test.cc.o.d"
+  "/root/repo/tests/asgraph/as_rel_test.cc" "tests/CMakeFiles/test_asgraph.dir/asgraph/as_rel_test.cc.o" "gcc" "tests/CMakeFiles/test_asgraph.dir/asgraph/as_rel_test.cc.o.d"
+  "/root/repo/tests/asgraph/infer_test.cc" "tests/CMakeFiles/test_asgraph.dir/asgraph/infer_test.cc.o" "gcc" "tests/CMakeFiles/test_asgraph.dir/asgraph/infer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asgraph/CMakeFiles/sublet_asgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/sublet_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sublet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

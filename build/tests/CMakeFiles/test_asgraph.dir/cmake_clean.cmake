@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asgraph.dir/asgraph/as2org_test.cc.o"
+  "CMakeFiles/test_asgraph.dir/asgraph/as2org_test.cc.o.d"
+  "CMakeFiles/test_asgraph.dir/asgraph/as_graph_test.cc.o"
+  "CMakeFiles/test_asgraph.dir/asgraph/as_graph_test.cc.o.d"
+  "CMakeFiles/test_asgraph.dir/asgraph/as_rel_test.cc.o"
+  "CMakeFiles/test_asgraph.dir/asgraph/as_rel_test.cc.o.d"
+  "CMakeFiles/test_asgraph.dir/asgraph/infer_test.cc.o"
+  "CMakeFiles/test_asgraph.dir/asgraph/infer_test.cc.o.d"
+  "test_asgraph"
+  "test_asgraph.pdb"
+  "test_asgraph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bgp/origin_tracker_test.cc" "tests/CMakeFiles/test_bgp.dir/bgp/origin_tracker_test.cc.o" "gcc" "tests/CMakeFiles/test_bgp.dir/bgp/origin_tracker_test.cc.o.d"
+  "/root/repo/tests/bgp/rib_test.cc" "tests/CMakeFiles/test_bgp.dir/bgp/rib_test.cc.o" "gcc" "tests/CMakeFiles/test_bgp.dir/bgp/rib_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgp/CMakeFiles/sublet_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrt/CMakeFiles/sublet_mrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/sublet_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sublet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_leasing.dir/leasing/abuse_test.cc.o"
+  "CMakeFiles/test_leasing.dir/leasing/abuse_test.cc.o.d"
+  "CMakeFiles/test_leasing.dir/leasing/baseline_test.cc.o"
+  "CMakeFiles/test_leasing.dir/leasing/baseline_test.cc.o.d"
+  "CMakeFiles/test_leasing.dir/leasing/churn_test.cc.o"
+  "CMakeFiles/test_leasing.dir/leasing/churn_test.cc.o.d"
+  "CMakeFiles/test_leasing.dir/leasing/dataset_test.cc.o"
+  "CMakeFiles/test_leasing.dir/leasing/dataset_test.cc.o.d"
+  "CMakeFiles/test_leasing.dir/leasing/ecosystem_test.cc.o"
+  "CMakeFiles/test_leasing.dir/leasing/ecosystem_test.cc.o.d"
+  "CMakeFiles/test_leasing.dir/leasing/evaluation_test.cc.o"
+  "CMakeFiles/test_leasing.dir/leasing/evaluation_test.cc.o.d"
+  "CMakeFiles/test_leasing.dir/leasing/pipeline_test.cc.o"
+  "CMakeFiles/test_leasing.dir/leasing/pipeline_test.cc.o.d"
+  "CMakeFiles/test_leasing.dir/leasing/report_test.cc.o"
+  "CMakeFiles/test_leasing.dir/leasing/report_test.cc.o.d"
+  "CMakeFiles/test_leasing.dir/leasing/timeline_test.cc.o"
+  "CMakeFiles/test_leasing.dir/leasing/timeline_test.cc.o.d"
+  "test_leasing"
+  "test_leasing.pdb"
+  "test_leasing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_leasing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mrt/bgp4mp_test.cc" "tests/CMakeFiles/test_mrt.dir/mrt/bgp4mp_test.cc.o" "gcc" "tests/CMakeFiles/test_mrt.dir/mrt/bgp4mp_test.cc.o.d"
+  "/root/repo/tests/mrt/bgp_attrs_test.cc" "tests/CMakeFiles/test_mrt.dir/mrt/bgp_attrs_test.cc.o" "gcc" "tests/CMakeFiles/test_mrt.dir/mrt/bgp_attrs_test.cc.o.d"
+  "/root/repo/tests/mrt/bgpdump_text_test.cc" "tests/CMakeFiles/test_mrt.dir/mrt/bgpdump_text_test.cc.o" "gcc" "tests/CMakeFiles/test_mrt.dir/mrt/bgpdump_text_test.cc.o.d"
+  "/root/repo/tests/mrt/bytes_test.cc" "tests/CMakeFiles/test_mrt.dir/mrt/bytes_test.cc.o" "gcc" "tests/CMakeFiles/test_mrt.dir/mrt/bytes_test.cc.o.d"
+  "/root/repo/tests/mrt/rib_file_test.cc" "tests/CMakeFiles/test_mrt.dir/mrt/rib_file_test.cc.o" "gcc" "tests/CMakeFiles/test_mrt.dir/mrt/rib_file_test.cc.o.d"
+  "/root/repo/tests/mrt/robustness_test.cc" "tests/CMakeFiles/test_mrt.dir/mrt/robustness_test.cc.o" "gcc" "tests/CMakeFiles/test_mrt.dir/mrt/robustness_test.cc.o.d"
+  "/root/repo/tests/mrt/table_dump_v2_test.cc" "tests/CMakeFiles/test_mrt.dir/mrt/table_dump_v2_test.cc.o" "gcc" "tests/CMakeFiles/test_mrt.dir/mrt/table_dump_v2_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mrt/CMakeFiles/sublet_mrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/sublet_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sublet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

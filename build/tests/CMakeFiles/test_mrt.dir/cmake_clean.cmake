@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mrt.dir/mrt/bgp4mp_test.cc.o"
+  "CMakeFiles/test_mrt.dir/mrt/bgp4mp_test.cc.o.d"
+  "CMakeFiles/test_mrt.dir/mrt/bgp_attrs_test.cc.o"
+  "CMakeFiles/test_mrt.dir/mrt/bgp_attrs_test.cc.o.d"
+  "CMakeFiles/test_mrt.dir/mrt/bgpdump_text_test.cc.o"
+  "CMakeFiles/test_mrt.dir/mrt/bgpdump_text_test.cc.o.d"
+  "CMakeFiles/test_mrt.dir/mrt/bytes_test.cc.o"
+  "CMakeFiles/test_mrt.dir/mrt/bytes_test.cc.o.d"
+  "CMakeFiles/test_mrt.dir/mrt/rib_file_test.cc.o"
+  "CMakeFiles/test_mrt.dir/mrt/rib_file_test.cc.o.d"
+  "CMakeFiles/test_mrt.dir/mrt/robustness_test.cc.o"
+  "CMakeFiles/test_mrt.dir/mrt/robustness_test.cc.o.d"
+  "CMakeFiles/test_mrt.dir/mrt/table_dump_v2_test.cc.o"
+  "CMakeFiles/test_mrt.dir/mrt/table_dump_v2_test.cc.o.d"
+  "test_mrt"
+  "test_mrt.pdb"
+  "test_mrt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

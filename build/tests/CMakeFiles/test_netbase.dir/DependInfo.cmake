@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/netbase/asn_test.cc" "tests/CMakeFiles/test_netbase.dir/netbase/asn_test.cc.o" "gcc" "tests/CMakeFiles/test_netbase.dir/netbase/asn_test.cc.o.d"
+  "/root/repo/tests/netbase/ipv4_test.cc" "tests/CMakeFiles/test_netbase.dir/netbase/ipv4_test.cc.o" "gcc" "tests/CMakeFiles/test_netbase.dir/netbase/ipv4_test.cc.o.d"
+  "/root/repo/tests/netbase/prefix_set_test.cc" "tests/CMakeFiles/test_netbase.dir/netbase/prefix_set_test.cc.o" "gcc" "tests/CMakeFiles/test_netbase.dir/netbase/prefix_set_test.cc.o.d"
+  "/root/repo/tests/netbase/prefix_test.cc" "tests/CMakeFiles/test_netbase.dir/netbase/prefix_test.cc.o" "gcc" "tests/CMakeFiles/test_netbase.dir/netbase/prefix_test.cc.o.d"
+  "/root/repo/tests/netbase/prefix_trie_test.cc" "tests/CMakeFiles/test_netbase.dir/netbase/prefix_trie_test.cc.o" "gcc" "tests/CMakeFiles/test_netbase.dir/netbase/prefix_trie_test.cc.o.d"
+  "/root/repo/tests/netbase/range_test.cc" "tests/CMakeFiles/test_netbase.dir/netbase/range_test.cc.o" "gcc" "tests/CMakeFiles/test_netbase.dir/netbase/range_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/sublet_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sublet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netbase.dir/netbase/asn_test.cc.o"
+  "CMakeFiles/test_netbase.dir/netbase/asn_test.cc.o.d"
+  "CMakeFiles/test_netbase.dir/netbase/ipv4_test.cc.o"
+  "CMakeFiles/test_netbase.dir/netbase/ipv4_test.cc.o.d"
+  "CMakeFiles/test_netbase.dir/netbase/prefix_set_test.cc.o"
+  "CMakeFiles/test_netbase.dir/netbase/prefix_set_test.cc.o.d"
+  "CMakeFiles/test_netbase.dir/netbase/prefix_test.cc.o"
+  "CMakeFiles/test_netbase.dir/netbase/prefix_test.cc.o.d"
+  "CMakeFiles/test_netbase.dir/netbase/prefix_trie_test.cc.o"
+  "CMakeFiles/test_netbase.dir/netbase/prefix_trie_test.cc.o.d"
+  "CMakeFiles/test_netbase.dir/netbase/range_test.cc.o"
+  "CMakeFiles/test_netbase.dir/netbase/range_test.cc.o.d"
+  "test_netbase"
+  "test_netbase.pdb"
+  "test_netbase[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

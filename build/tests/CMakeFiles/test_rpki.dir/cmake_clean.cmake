@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rpki.dir/rpki/archive_test.cc.o"
+  "CMakeFiles/test_rpki.dir/rpki/archive_test.cc.o.d"
+  "CMakeFiles/test_rpki.dir/rpki/roa_test.cc.o"
+  "CMakeFiles/test_rpki.dir/rpki/roa_test.cc.o.d"
+  "CMakeFiles/test_rpki.dir/rpki/validate_property_test.cc.o"
+  "CMakeFiles/test_rpki.dir/rpki/validate_property_test.cc.o.d"
+  "test_rpki"
+  "test_rpki.pdb"
+  "test_rpki[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

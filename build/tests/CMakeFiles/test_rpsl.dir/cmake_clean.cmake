@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rpsl.dir/rpsl/rpsl_test.cc.o"
+  "CMakeFiles/test_rpsl.dir/rpsl/rpsl_test.cc.o.d"
+  "test_rpsl"
+  "test_rpsl.pdb"
+  "test_rpsl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rpsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_rpsl.
+# This may be replaced when dependencies are built.

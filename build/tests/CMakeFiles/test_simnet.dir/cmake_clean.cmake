@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simnet.dir/simnet/builder_test.cc.o"
+  "CMakeFiles/test_simnet.dir/simnet/builder_test.cc.o.d"
+  "CMakeFiles/test_simnet.dir/simnet/emit_test.cc.o"
+  "CMakeFiles/test_simnet.dir/simnet/emit_test.cc.o.d"
+  "CMakeFiles/test_simnet.dir/simnet/epoch_test.cc.o"
+  "CMakeFiles/test_simnet.dir/simnet/epoch_test.cc.o.d"
+  "CMakeFiles/test_simnet.dir/simnet/timeline_scenario_test.cc.o"
+  "CMakeFiles/test_simnet.dir/simnet/timeline_scenario_test.cc.o.d"
+  "test_simnet"
+  "test_simnet.pdb"
+  "test_simnet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

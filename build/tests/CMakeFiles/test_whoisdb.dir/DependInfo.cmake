@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/whoisdb/alloc_tree_test.cc" "tests/CMakeFiles/test_whoisdb.dir/whoisdb/alloc_tree_test.cc.o" "gcc" "tests/CMakeFiles/test_whoisdb.dir/whoisdb/alloc_tree_test.cc.o.d"
+  "/root/repo/tests/whoisdb/diff_test.cc" "tests/CMakeFiles/test_whoisdb.dir/whoisdb/diff_test.cc.o" "gcc" "tests/CMakeFiles/test_whoisdb.dir/whoisdb/diff_test.cc.o.d"
+  "/root/repo/tests/whoisdb/parse_test.cc" "tests/CMakeFiles/test_whoisdb.dir/whoisdb/parse_test.cc.o" "gcc" "tests/CMakeFiles/test_whoisdb.dir/whoisdb/parse_test.cc.o.d"
+  "/root/repo/tests/whoisdb/status_test.cc" "tests/CMakeFiles/test_whoisdb.dir/whoisdb/status_test.cc.o" "gcc" "tests/CMakeFiles/test_whoisdb.dir/whoisdb/status_test.cc.o.d"
+  "/root/repo/tests/whoisdb/write_test.cc" "tests/CMakeFiles/test_whoisdb.dir/whoisdb/write_test.cc.o" "gcc" "tests/CMakeFiles/test_whoisdb.dir/whoisdb/write_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/whoisdb/CMakeFiles/sublet_whoisdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpsl/CMakeFiles/sublet_rpsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/sublet_netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sublet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_whoisdb.dir/whoisdb/alloc_tree_test.cc.o"
+  "CMakeFiles/test_whoisdb.dir/whoisdb/alloc_tree_test.cc.o.d"
+  "CMakeFiles/test_whoisdb.dir/whoisdb/diff_test.cc.o"
+  "CMakeFiles/test_whoisdb.dir/whoisdb/diff_test.cc.o.d"
+  "CMakeFiles/test_whoisdb.dir/whoisdb/parse_test.cc.o"
+  "CMakeFiles/test_whoisdb.dir/whoisdb/parse_test.cc.o.d"
+  "CMakeFiles/test_whoisdb.dir/whoisdb/status_test.cc.o"
+  "CMakeFiles/test_whoisdb.dir/whoisdb/status_test.cc.o.d"
+  "CMakeFiles/test_whoisdb.dir/whoisdb/write_test.cc.o"
+  "CMakeFiles/test_whoisdb.dir/whoisdb/write_test.cc.o.d"
+  "test_whoisdb"
+  "test_whoisdb.pdb"
+  "test_whoisdb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_whoisdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

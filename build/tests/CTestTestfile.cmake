@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_netbase[1]_include.cmake")
+include("/root/repo/build/tests/test_rpsl[1]_include.cmake")
+include("/root/repo/build/tests/test_mrt[1]_include.cmake")
+include("/root/repo/build/tests/test_whoisdb[1]_include.cmake")
+include("/root/repo/build/tests/test_bgp[1]_include.cmake")
+include("/root/repo/build/tests/test_asgraph[1]_include.cmake")
+include("/root/repo/build/tests/test_rpki[1]_include.cmake")
+include("/root/repo/build/tests/test_abuse[1]_include.cmake")
+include("/root/repo/build/tests/test_leasing[1]_include.cmake")
+include("/root/repo/build/tests/test_simnet[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_transfers[1]_include.cmake")
+include("/root/repo/build/tests/test_geo[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sublet.dir/sublet_cli.cc.o"
+  "CMakeFiles/sublet.dir/sublet_cli.cc.o.d"
+  "sublet"
+  "sublet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sublet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
