@@ -26,14 +26,18 @@ sim::WorldConfig config_for(int permille) {
 }
 
 /// Emit a world once per scale and cache the directory for the process.
+/// The directory name carries the config seed: a cached world emitted by
+/// an older run with a different seed must never be silently reused.
 const std::string& dataset_for(int permille) {
   static std::map<int, std::string> cache;
   auto it = cache.find(permille);
   if (it != cache.end()) return it->second;
-  std::string dir = "/tmp/sublet-perf-" + std::to_string(permille);
+  auto config = config_for(permille);
+  std::string dir = "/tmp/sublet-perf-" + std::to_string(config.seed) + "-" +
+                    std::to_string(permille);
   if (!std::filesystem::exists(dir + "/.complete")) {
     std::filesystem::remove_all(dir);
-    sim::emit_world(sim::build_world(config_for(permille)), dir);
+    sim::emit_world(sim::build_world(config), dir);
     std::ofstream(dir + "/.complete") << "ok\n";
   }
   return cache.emplace(permille, dir).first->second;
@@ -54,20 +58,29 @@ void BM_WorldGeneration(benchmark::State& state) {
 BENCHMARK(BM_WorldGeneration)->Arg(20)->Arg(50)->Arg(100)
     ->Unit(benchmark::kMillisecond);
 
+/// Args: {permille, threads}.
 void BM_WhoisParse(benchmark::State& state) {
   std::string path =
       dataset_for(static_cast<int>(state.range(0))) + "/whois/ripe.db";
+  auto threads = static_cast<unsigned>(state.range(1));
   std::size_t blocks = 0;
   for (auto _ : state) {
-    auto db = whois::load_whois_file(path, whois::Rir::kRipe);
+    auto db = whois::load_whois_file(path, whois::Rir::kRipe, nullptr,
+                                     threads);
     blocks = db.block_count();
     benchmark::DoNotOptimize(db);
   }
   state.counters["blocks"] = static_cast<double>(blocks);
+  state.counters["threads"] = static_cast<double>(threads);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(blocks));
 }
-BENCHMARK(BM_WhoisParse)->Arg(20)->Arg(100)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WhoisParse)
+    ->Args({20, 1})
+    ->Args({100, 1})
+    ->Args({100, 2})
+    ->Args({100, 4})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_MrtParse(benchmark::State& state) {
   std::string path =
@@ -85,13 +98,16 @@ void BM_MrtParse(benchmark::State& state) {
 }
 BENCHMARK(BM_MrtParse)->Arg(20)->Arg(100)->Unit(benchmark::kMillisecond);
 
+/// Args: {permille, threads}.
 void BM_Classify(benchmark::State& state) {
   std::string dir = dataset_for(static_cast<int>(state.range(0)));
   auto bundle = leasing::load_dataset(dir);
   asgraph::AsGraph graph(&bundle.as_rel, &bundle.as2org);
+  leasing::PipelineOptions options;
+  options.threads = static_cast<unsigned>(state.range(1));
   std::size_t classified = 0;
   for (auto _ : state) {
-    leasing::Pipeline pipeline(bundle.rib, graph);
+    leasing::Pipeline pipeline(bundle.rib, graph, options);
     classified = 0;
     for (const whois::WhoisDb& db : bundle.whois) {
       classified += pipeline.classify(db).size();
@@ -99,10 +115,37 @@ void BM_Classify(benchmark::State& state) {
     benchmark::DoNotOptimize(classified);
   }
   state.counters["leaves"] = static_cast<double>(classified);
+  state.counters["threads"] = static_cast<double>(options.threads);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(classified));
 }
-BENCHMARK(BM_Classify)->Arg(20)->Arg(50)->Arg(100)
+BENCHMARK(BM_Classify)
+    ->Args({20, 1})
+    ->Args({50, 1})
+    ->Args({100, 1})
+    ->Args({100, 2})
+    ->Args({100, 4})
+    ->Unit(benchmark::kMillisecond);
+
+/// Args: {permille, threads} — the whole bundle load (five WHOIS files +
+/// all RIB collectors as concurrent tasks).
+void BM_DatasetLoad(benchmark::State& state) {
+  std::string dir = dataset_for(static_cast<int>(state.range(0)));
+  leasing::LoadOptions options;
+  options.threads = static_cast<unsigned>(state.range(1));
+  std::size_t prefixes = 0;
+  for (auto _ : state) {
+    auto bundle = leasing::load_dataset(dir, options);
+    prefixes = bundle.rib.prefix_count();
+    benchmark::DoNotOptimize(bundle);
+  }
+  state.counters["prefixes"] = static_cast<double>(prefixes);
+  state.counters["threads"] = static_cast<double>(options.threads);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DatasetLoad)
+    ->Args({100, 1})
+    ->Args({100, 4})
     ->Unit(benchmark::kMillisecond);
 
 void BM_RpkiValidate(benchmark::State& state) {

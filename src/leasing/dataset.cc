@@ -1,11 +1,15 @@
 #include "leasing/dataset.h"
 
 #include <algorithm>
+#include <array>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <stdexcept>
 
+#include "mrt/rib_file.h"
 #include "util/log.h"
+#include "util/parallel.h"
 #include "util/strings.h"
 #include "whoisdb/parse.h"
 
@@ -40,96 +44,173 @@ std::vector<std::string> read_lines(const std::string& path) {
   return out;
 }
 
+std::vector<std::string> sorted_files_with_extension(
+    const std::string& dir, const std::string& extension) {
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == extension) {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
 }  // namespace
 
-DatasetBundle load_dataset(const std::string& dir) {
+DatasetBundle load_dataset(const std::string& dir, LoadOptions options) {
   if (!fs::is_directory(dir)) {
     throw std::runtime_error("dataset directory missing: " + dir);
   }
+  unsigned threads = par::resolve_threads(options.threads);
   DatasetBundle bundle;
 
+  // Every independent file loads as one task. Each task writes its own
+  // result slot and diagnostic sink; after the join, slots merge in the
+  // serial load order so the bundle (including diagnostics order) is
+  // identical to a single-threaded load.
+  par::TaskGroup group(threads);
+
   // WHOIS databases.
-  for (whois::Rir rir : whois::kAllRirs) {
-    std::string name = to_lower(rir_name(rir));
-    std::string path = dir + "/whois/" + name + ".db";
+  constexpr std::size_t kRirCount = whois::kAllRirs.size();
+  std::array<std::optional<whois::WhoisDb>, kRirCount> whois_dbs;
+  std::array<std::vector<Error>, kRirCount> whois_diags;
+  std::array<std::string, kRirCount> whois_paths;
+  std::size_t whois_present = 0;
+  for (std::size_t i = 0; i < kRirCount; ++i) {
+    std::string path =
+        dir + "/whois/" + to_lower(rir_name(whois::kAllRirs[i])) + ".db";
     if (!fs::exists(path)) continue;
-    bundle.whois.push_back(
-        whois::load_whois_file(path, rir, &bundle.diagnostics));
-    SUBLET_LOG(kInfo) << "loaded " << rir_name(rir) << " WHOIS: "
-                      << bundle.whois.back().block_count() << " blocks";
+    whois_paths[i] = std::move(path);
+    ++whois_present;
+  }
+  // Databases are also chunk-parallel internally; split the budget so the
+  // fan-out stays near `threads` total workers.
+  unsigned per_db_threads = std::max<unsigned>(
+      1, threads / static_cast<unsigned>(std::max<std::size_t>(
+             whois_present, 1)));
+  for (std::size_t i = 0; i < kRirCount; ++i) {
+    if (whois_paths[i].empty()) continue;
+    group.run([&, i] {
+      whois_dbs[i] = whois::load_whois_file(
+          whois_paths[i], whois::kAllRirs[i], &whois_diags[i],
+          per_db_threads);
+    });
+  }
+
+  // BGP collectors: decode every MRT file concurrently, then union the
+  // snapshots into the RIB in file order.
+  std::string bgp_dir = dir + "/bgp";
+  std::vector<std::string> bgp_files;
+  if (fs::is_directory(bgp_dir)) {
+    bgp_files = sorted_files_with_extension(bgp_dir, ".mrt");
+  }
+  std::vector<std::optional<Expected<mrt::RibSnapshot>>> snapshots(
+      bgp_files.size());
+  for (std::size_t i = 0; i < bgp_files.size(); ++i) {
+    group.run([&, i] { snapshots[i] = mrt::read_rib_file(bgp_files[i]); });
+  }
+
+  // AS-level datasets.
+  std::vector<Error> as_rel_diags, as2org_diags;
+  std::string rel_path = dir + "/asgraph/as-rel.txt";
+  if (fs::exists(rel_path)) {
+    group.run([&] {
+      bundle.as_rel = asgraph::AsRelationships::load(rel_path, &as_rel_diags);
+    });
+  }
+  std::string org_path = dir + "/asgraph/as2org.txt";
+  if (fs::exists(org_path)) {
+    group.run(
+        [&] { bundle.as2org = asgraph::As2Org::load(org_path, &as2org_diags); });
+  }
+
+  // RPKI archive.
+  std::vector<Error> rpki_diags;
+  std::string rpki_dir = dir + "/rpki";
+  if (fs::is_directory(rpki_dir)) {
+    group.run([&] {
+      bundle.rpki_archive =
+          rpki::RpkiArchive::load_directory(rpki_dir, &rpki_diags);
+    });
+  }
+
+  // Abuse lists.
+  std::vector<Error> drop_diags, hijacker_diags, transfer_diags;
+  std::string drop_path = dir + "/lists/asn-drop.json";
+  if (fs::exists(drop_path)) {
+    group.run(
+        [&] { bundle.drop = abuse::AsnSet::load_drop(drop_path, &drop_diags); });
+  }
+  std::string hijacker_path = dir + "/lists/serial-hijackers.txt";
+  if (fs::exists(hijacker_path)) {
+    group.run([&] {
+      bundle.hijackers =
+          abuse::AsnSet::load_plain(hijacker_path, &hijacker_diags);
+    });
+  }
+
+  std::string transfers_path = dir + "/lists/transfers.txt";
+  if (fs::exists(transfers_path)) {
+    group.run([&] {
+      bundle.transfers =
+          transfers::TransferLog::load(transfers_path, &transfer_diags);
+    });
+  }
+
+  // Geolocation snapshots, one task per provider CSV.
+  std::string geo_dir = dir + "/geo";
+  std::vector<std::string> geo_files;
+  if (fs::is_directory(geo_dir)) {
+    geo_files = sorted_files_with_extension(geo_dir, ".csv");
+  }
+  std::vector<std::optional<geo::GeoDb>> geodbs(geo_files.size());
+  std::vector<std::vector<Error>> geo_diags(geo_files.size());
+  for (std::size_t i = 0; i < geo_files.size(); ++i) {
+    group.run([&, i] {
+      geodbs[i] = geo::GeoDb::load_csv(
+          geo_files[i], fs::path(geo_files[i]).stem().string(), &geo_diags[i]);
+    });
+  }
+
+  group.wait();
+
+  // Merge barrier: everything below replays the serial load order.
+  for (std::size_t i = 0; i < kRirCount; ++i) {
+    if (!whois_dbs[i]) continue;
+    bundle.whois.push_back(std::move(*whois_dbs[i]));
+    bundle.diagnostics.insert(bundle.diagnostics.end(),
+                              whois_diags[i].begin(), whois_diags[i].end());
+    SUBLET_LOG(kInfo) << "loaded " << rir_name(whois::kAllRirs[i])
+                      << " WHOIS: " << bundle.whois.back().block_count()
+                      << " blocks";
   }
   if (bundle.whois.empty()) {
     throw std::runtime_error("no WHOIS databases under " + dir + "/whois");
   }
 
-  // BGP collectors.
-  std::string bgp_dir = dir + "/bgp";
-  if (fs::is_directory(bgp_dir)) {
-    std::vector<std::string> files;
-    for (const auto& entry : fs::directory_iterator(bgp_dir)) {
-      if (entry.path().extension() == ".mrt") {
-        files.push_back(entry.path().string());
-      }
+  for (auto& snapshot : snapshots) {
+    if (!*snapshot) {
+      bundle.diagnostics.push_back(snapshot->error());
+    } else {
+      bundle.rib.add_snapshot(**snapshot);
     }
-    std::sort(files.begin(), files.end());
-    for (const std::string& path : files) {
-      if (auto error = bundle.rib.add_file(path)) {
-        bundle.diagnostics.push_back(*error);
-      }
-    }
+  }
+  if (!bgp_files.empty()) {
     SUBLET_LOG(kInfo) << "RIB: " << bundle.rib.prefix_count()
-                      << " prefixes from " << files.size() << " collectors";
+                      << " prefixes from " << bgp_files.size()
+                      << " collectors";
   }
 
-  // AS-level datasets.
-  std::string rel_path = dir + "/asgraph/as-rel.txt";
-  if (fs::exists(rel_path)) {
-    bundle.as_rel =
-        asgraph::AsRelationships::load(rel_path, &bundle.diagnostics);
+  for (auto* diags : {&as_rel_diags, &as2org_diags, &rpki_diags, &drop_diags,
+                      &hijacker_diags, &transfer_diags}) {
+    bundle.diagnostics.insert(bundle.diagnostics.end(), diags->begin(),
+                              diags->end());
   }
-  std::string org_path = dir + "/asgraph/as2org.txt";
-  if (fs::exists(org_path)) {
-    bundle.as2org = asgraph::As2Org::load(org_path, &bundle.diagnostics);
-  }
-
-  // RPKI archive.
-  std::string rpki_dir = dir + "/rpki";
-  if (fs::is_directory(rpki_dir)) {
-    bundle.rpki_archive =
-        rpki::RpkiArchive::load_directory(rpki_dir, &bundle.diagnostics);
-  }
-
-  // Abuse lists.
-  std::string drop_path = dir + "/lists/asn-drop.json";
-  if (fs::exists(drop_path)) {
-    bundle.drop = abuse::AsnSet::load_drop(drop_path, &bundle.diagnostics);
-  }
-  std::string hijacker_path = dir + "/lists/serial-hijackers.txt";
-  if (fs::exists(hijacker_path)) {
-    bundle.hijackers =
-        abuse::AsnSet::load_plain(hijacker_path, &bundle.diagnostics);
-  }
-
-  std::string transfers_path = dir + "/lists/transfers.txt";
-  if (fs::exists(transfers_path)) {
-    bundle.transfers =
-        transfers::TransferLog::load(transfers_path, &bundle.diagnostics);
-  }
-
-  std::string geo_dir = dir + "/geo";
-  if (fs::is_directory(geo_dir)) {
-    std::vector<std::string> files;
-    for (const auto& entry : fs::directory_iterator(geo_dir)) {
-      if (entry.path().extension() == ".csv") {
-        files.push_back(entry.path().string());
-      }
-    }
-    std::sort(files.begin(), files.end());
-    for (const std::string& path : files) {
-      std::string provider = fs::path(path).stem().string();
-      bundle.geodbs.push_back(
-          geo::GeoDb::load_csv(path, provider, &bundle.diagnostics));
-    }
+  for (std::size_t i = 0; i < geo_files.size(); ++i) {
+    bundle.geodbs.push_back(std::move(*geodbs[i]));
+    bundle.diagnostics.insert(bundle.diagnostics.end(), geo_diags[i].begin(),
+                              geo_diags[i].end());
   }
 
   // Broker lists and evaluation ISP orgs.
@@ -149,6 +230,10 @@ DatasetBundle load_dataset(const std::string& dir) {
     }
   }
   return bundle;
+}
+
+DatasetBundle load_dataset(const std::string& dir) {
+  return load_dataset(dir, LoadOptions{});
 }
 
 }  // namespace sublet::leasing

@@ -53,8 +53,17 @@ struct DatasetBundle {
   const whois::WhoisDb* db_for(whois::Rir rir) const;
 };
 
+struct LoadOptions {
+  /// Worker threads for the bundle load: the five WHOIS databases, the
+  /// per-collector RIB files, and the auxiliary datasets load as
+  /// concurrent tasks. 0 = process default (--threads), 1 = serial legacy
+  /// order. Results and diagnostics order are identical either way.
+  unsigned threads = 0;
+};
+
 /// Load a bundle. Throws std::runtime_error when the directory is missing
 /// or contains no WHOIS databases.
+DatasetBundle load_dataset(const std::string& dir, LoadOptions options);
 DatasetBundle load_dataset(const std::string& dir);
 
 }  // namespace sublet::leasing

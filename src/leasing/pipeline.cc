@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "util/log.h"
+#include "util/parallel.h"
 #include "util/strings.h"
 
 namespace sublet::leasing {
@@ -102,16 +103,24 @@ std::vector<LeaseInference> Pipeline::classify(const whois::WhoisDb& db) const {
                     << " roots, " << tree.leaves().size() << " leaves ("
                     << tree.skipped_hyper_specific() << " hyper-specific, "
                     << tree.skipped_legacy() << " legacy skipped)";
-  std::vector<LeaseInference> out;
-  out.reserve(tree.leaves().size());
+  std::vector<whois::AllocEntry> candidates;
+  candidates.reserve(tree.leaves().size());
   for (const auto& leaf : tree.leaves()) {
     // A leaf that is also a root is portable space with no sub-allocation:
     // there is no provider/customer split to judge, so it is not a lease
     // candidate (paper only classifies non-portable leaves).
     if (leaf.second->portability == whois::Portability::kPortable) continue;
-    out.push_back(classify_leaf(leaf, tree, db));
+    candidates.push_back(leaf);
   }
-  return out;
+  // Each leaf only reads rib_/graph_/db/tree; parallel_map keeps the
+  // documented leaf-address-order output, so results are byte-identical
+  // to a serial run at any thread count.
+  return par::parallel_map(
+      candidates,
+      [&](const whois::AllocEntry& leaf) {
+        return classify_leaf(leaf, tree, db);
+      },
+      options_.threads);
 }
 
 GroupCounts Pipeline::count_groups(const std::vector<LeaseInference>& results) {

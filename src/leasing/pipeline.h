@@ -32,6 +32,11 @@ struct PipelineOptions {
   /// match, use its least-specific covering prefix (holders aggregating
   /// consecutive portable blocks). Ablation knob.
   bool root_covering_fallback = true;
+  /// Worker threads for classify(): 0 = process default (--threads),
+  /// 1 = serial. Leaf classification only reads the RIB, the AS graph and
+  /// the WhoisDb, and the output contract (leaf address order) is kept
+  /// byte-identical across thread counts.
+  unsigned threads = 0;
 };
 
 /// Per-RIR classification summary (one Table 1 column).

@@ -28,8 +28,8 @@ std::string_view strip_inline_comment(std::string_view value) {
   return trim(value);
 }
 
-Parser::Parser(std::istream& in, std::string source)
-    : in_(in), source_(std::move(source)) {}
+Parser::Parser(std::istream& in, std::string source, std::size_t line_offset)
+    : in_(in), source_(std::move(source)), line_no_(line_offset) {}
 
 bool Parser::read_line(std::string& out) {
   if (has_pending_) {
@@ -97,7 +97,10 @@ std::optional<Object> Parser::next() {
     }
     std::string_view value = strip_inline_comment(view.substr(colon + 1));
 
-    if (obj.attributes.empty()) obj.line = line_no_;
+    if (obj.attributes.empty()) {
+      obj.line = line_no_;
+      obj.attributes.reserve(8);  // typical objects carry 5-8 attributes
+    }
     obj.attributes.push_back({to_lower(name), std::string(value)});
   }
   if (!obj.attributes.empty()) return obj;

@@ -56,7 +56,11 @@ struct Object {
 class Parser {
  public:
   /// `source` is used in diagnostics only. Does not own the stream.
-  explicit Parser(std::istream& in, std::string source = {});
+  /// `line_offset` is added to every reported line number — chunked
+  /// parsing hands each worker a mid-file slice plus the slice's starting
+  /// line so diagnostics match a whole-file parse exactly.
+  explicit Parser(std::istream& in, std::string source = {},
+                  std::size_t line_offset = 0);
 
   /// Next object, or nullopt at end of input.
   std::optional<Object> next();

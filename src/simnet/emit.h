@@ -13,7 +13,12 @@ namespace sublet::sim {
 
 /// Write the full bundle under `dir` (created if needed):
 ///   whois/, bgp/, rpki/, asgraph/, lists/, truth/.
-/// Deterministic for a given world. Throws std::runtime_error on I/O error.
-void emit_world(const World& world, const std::string& dir);
+/// Deterministic for a given world — every emitter stage owns a forked
+/// RNG stream and a disjoint subdirectory, so the stages run as
+/// concurrent tasks (`threads`: 0 = process default, 1 = serial) and the
+/// emitted bytes are identical at any thread count. Throws
+/// std::runtime_error on I/O error.
+void emit_world(const World& world, const std::string& dir,
+                unsigned threads = 0);
 
 }  // namespace sublet::sim

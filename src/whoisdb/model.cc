@@ -25,6 +25,31 @@ void WhoisDb::add_org(OrgRec org) {
   orgs_[key] = std::move(org);
 }
 
+void WhoisDb::reserve(std::size_t blocks, std::size_t autnums) {
+  blocks_.reserve(blocks_.size() + blocks);
+  if (autnums) {
+    autnums_.reserve(autnums_.size() + autnums);
+    asn_index_.reserve(asn_index_.size() + autnums);
+  }
+}
+
+void WhoisDb::merge(WhoisDb&& other, OrgMerge org_merge) {
+  blocks_.insert(blocks_.end(),
+                 std::make_move_iterator(other.blocks_.begin()),
+                 std::make_move_iterator(other.blocks_.end()));
+  // add_autnum rebuilds asn_index_/org_to_autnums_ against the combined
+  // indices; emplace semantics keep the first-seen record per ASN.
+  autnums_.reserve(autnums_.size() + other.autnums_.size());
+  for (AutNumRec& autnum : other.autnums_) add_autnum(std::move(autnum));
+  for (auto& [key, org] : other.orgs_) {
+    if (org_merge == OrgMerge::kKeepExisting) {
+      orgs_.emplace(key, std::move(org));
+    } else {
+      orgs_[key] = std::move(org);
+    }
+  }
+}
+
 const OrgRec* WhoisDb::org(std::string_view id) const {
   auto it = orgs_.find(to_lower(id));
   return it == orgs_.end() ? nullptr : &it->second;

@@ -76,6 +76,25 @@ class WhoisDb {
   void add_autnum(AutNumRec autnum);
   void add_org(OrgRec org);
 
+  /// Pre-size the record vectors (bulk parsers estimate counts from the
+  /// input size before inserting).
+  void reserve(std::size_t blocks, std::size_t autnums = 0);
+
+  /// How merge() resolves two org records with the same handle.
+  enum class OrgMerge {
+    kOverwrite,     ///< `other` wins — matches re-parsing explicit objects
+                    ///  where the most recently parsed record shadows
+    kKeepExisting,  ///< this db wins — matches LACNIC's synthesized orgs,
+                    ///  where only the first owner/ownerid pair counts
+  };
+
+  /// Append every record of `other` (same RIR) after this database's
+  /// records, preserving insertion order — the chunk-merge step of the
+  /// parallel parser. Block and aut-num order is concatenation; duplicate
+  /// ASNs keep the first-seen record (as in a serial parse); org conflicts
+  /// resolve per `org_merge`.
+  void merge(WhoisDb&& other, OrgMerge org_merge);
+
   const std::vector<InetBlock>& blocks() const { return blocks_; }
   const std::vector<AutNumRec>& autnums() const { return autnums_; }
 

@@ -10,10 +10,18 @@
 //  - LACNIC: inetnum blocks in CIDR notation with owner/ownerid inline
 //    (LACNIC does not store organisations independently — §5.1); org
 //    records are synthesized from the ownerid/owner pairs encountered.
+//
+// Parsing is parallel by default: inputs are split at paragraph (blank
+// line) boundaries — an RPSL object can never span one — the slices are
+// parsed on a thread pool, and the per-slice databases are merged back in
+// input order. The result (records, joins, diagnostics, and their order)
+// is identical to a serial parse; `threads = 1` runs the untouched
+// streaming path. See docs/THREADING.md.
 #pragma once
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/expected.h"
@@ -23,12 +31,24 @@ namespace sublet::whois {
 
 /// Parse one RIR's database from a stream. Per-record problems (bad range,
 /// unknown class, missing handle) are appended to `diagnostics` and the
-/// record skipped; parsing continues.
+/// record skipped; parsing continues. `threads`: 0 = process default
+/// (par::set_default_threads / --threads), 1 = serial streaming parse,
+/// N = parse paragraph chunks on N threads (the stream is slurped first).
 WhoisDb parse_whois_db(std::istream& in, Rir rir, std::string source = {},
-                       std::vector<Error>* diagnostics = nullptr);
+                       std::vector<Error>* diagnostics = nullptr,
+                       unsigned threads = 1);
 
-/// Open and parse a database file. Throws std::runtime_error if unreadable.
+/// Parse a whole in-memory database. Same semantics as parse_whois_db;
+/// the natural entry point for the chunked parallel path.
+WhoisDb parse_whois_text(std::string_view text, Rir rir,
+                         std::string source = {},
+                         std::vector<Error>* diagnostics = nullptr,
+                         unsigned threads = 0);
+
+/// Open and parse a database file. Throws std::runtime_error if
+/// unreadable. `threads` as in parse_whois_text (default: process-wide).
 WhoisDb load_whois_file(const std::string& path, Rir rir,
-                        std::vector<Error>* diagnostics = nullptr);
+                        std::vector<Error>* diagnostics = nullptr,
+                        unsigned threads = 0);
 
 }  // namespace sublet::whois

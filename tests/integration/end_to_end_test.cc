@@ -3,6 +3,8 @@
 // check the paper-shape properties that the benches report at full scale.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 
 #include "leasing/abuse_analysis.h"
@@ -23,7 +25,10 @@ namespace fs = std::filesystem;
 class EndToEnd : public testing::Test {
  protected:
   static void SetUpTestSuite() {
-    dir_ = new std::string(testing::TempDir() + "/sublet_e2e");
+    // ctest runs each discovered test in its own process; the scratch dir
+    // must be per-process or concurrent emit/remove_all calls race.
+    dir_ = new std::string(testing::TempDir() + "/sublet_e2e." +
+                           std::to_string(::getpid()));
     fs::remove_all(*dir_);
     sim::WorldConfig config;
     config.seed = 20240401;
@@ -44,7 +49,8 @@ class EndToEnd : public testing::Test {
   }
 
   static void TearDownTestSuite() {
-    fs::remove_all(*dir_);
+    std::error_code ec;
+    fs::remove_all(*dir_, ec);  // best effort; never throw from teardown
     delete results_;
     delete graph_;
     delete truth_;

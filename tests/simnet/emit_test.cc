@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
 
@@ -20,7 +22,10 @@ struct EmittedWorld {
   World world;
 
   explicit EmittedWorld(double scale = 0.02, std::uint64_t seed = 7) {
-    dir = testing::TempDir() + "/sublet_emit_" + std::to_string(seed);
+    // ctest runs each discovered test in its own process; key the scratch
+    // dir by pid too, or concurrent emit/remove_all calls race.
+    dir = testing::TempDir() + "/sublet_emit_" + std::to_string(seed) + "." +
+          std::to_string(::getpid());
     fs::remove_all(dir);
     WorldConfig config;
     config.seed = seed;
@@ -28,7 +33,10 @@ struct EmittedWorld {
     world = build_world(config);
     emit_world(world, dir);
   }
-  ~EmittedWorld() { fs::remove_all(dir); }
+  ~EmittedWorld() {
+    std::error_code ec;
+    fs::remove_all(dir, ec);  // best effort; never throw from a destructor
+  }
 };
 
 TEST(Emit, ProducesBundleLayout) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 namespace sublet::whois {
@@ -221,6 +222,146 @@ TEST(LacnicParse, AutnumLookup) {
 TEST(LoadWhoisFile, ThrowsOnMissing) {
   EXPECT_THROW(load_whois_file("/nonexistent/ripe.db", Rir::kRipe),
                std::runtime_error);
+}
+
+// ------------------------------------------- chunked-parse determinism ----
+
+/// Full-content fingerprint of a parsed db: record order matters for
+/// blocks/autnums (serial file order), orgs sort by handle because the org
+/// map's iteration order is unspecified.
+std::string fingerprint(const WhoisDb& db) {
+  std::ostringstream out;
+  for (const InetBlock& b : db.blocks()) {
+    out << "B|" << b.range.to_string() << '|' << b.netname << '|' << b.status
+        << '|' << portability_name(b.portability) << '|' << b.org_id << '|'
+        << b.country << '|';
+    for (const auto& m : b.maintainers) out << m << ',';
+    out << '\n';
+  }
+  for (const AutNumRec& a : db.autnums()) {
+    out << "A|" << a.asn.value() << '|' << a.as_name << '|' << a.org_id
+        << '\n';
+  }
+  auto orgs = db.all_orgs();
+  std::sort(orgs.begin(), orgs.end(),
+            [](const OrgRec* a, const OrgRec* b) { return a->id < b->id; });
+  for (const OrgRec* o : orgs) {
+    out << "O|" << o->id << '|' << o->name << '|' << o->country << '|';
+    for (const auto& m : o->maintainers) out << m << ',';
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string render(const std::vector<Error>& diags) {
+  std::string out;
+  for (const Error& e : diags) {
+    out += e.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+/// A RIPE-dialect text large enough (>64 KiB) that the paragraph splitter
+/// produces several slices, with malformed objects sprinkled in so the
+/// diagnostics stream is exercised too.
+std::string big_ripe_text() {
+  std::ostringstream out;
+  out << "% synthetic RIPE dump for chunked-parse determinism tests\n\n";
+  for (int i = 0; i < 2000; ++i) {
+    int a = i / 256, b = i % 256;
+    out << "inetnum:        10." << a << "." << b << ".0 - 10." << a << "."
+        << b << ".255\n"
+        << "netname:        NET-" << i << "\n"
+        << "org:            ORG-SYN" << (i % 37) << "-RIPE\n"
+        << "status:         " << (i % 3 == 0 ? "ALLOCATED PA" : "ASSIGNED PA")
+        << "\nmnt-by:         MNT-" << (i % 11) << "\n"
+        << "country:        DE\nsource:         RIPE\n\n";
+    if (i % 97 == 0) {
+      // Malformed range: emits a consume diagnostic at a known line.
+      out << "inetnum:        not-a-range-" << i << "\n"
+          << "netname:        BROKEN-" << i << "\nsource:         RIPE\n\n";
+    }
+    if (i % 50 == 0) {
+      out << "aut-num:        AS" << (64496 + i) << "\n"
+          << "as-name:        SYN-AS-" << i << "\n"
+          << "org:            ORG-SYN" << (i % 37) << "-RIPE\n"
+          << "source:         RIPE\n\n";
+    }
+    if (i % 100 == 0) {
+      // Same handle re-registered: the serial parser keeps the last record.
+      out << "organisation:   ORG-SYN" << (i % 37) << "-RIPE\n"
+          << "org-name:       Synth Org v" << i << "\n"
+          << "country:        DE\nsource:         RIPE\n\n";
+    }
+  }
+  return out.str();
+}
+
+TEST(ChunkedParse, RipeIdenticalAcrossThreadCounts) {
+  std::string text = big_ripe_text();
+  ASSERT_GT(text.size(), std::size_t{64} * 1024)
+      << "text must be large enough to engage the paragraph splitter";
+
+  std::vector<Error> serial_diags;
+  auto serial =
+      parse_whois_text(text, Rir::kRipe, "<big>", &serial_diags, 1);
+  EXPECT_FALSE(serial_diags.empty()) << "malformed objects should diagnose";
+  std::string want_db = fingerprint(serial);
+  std::string want_diags = render(serial_diags);
+
+  for (unsigned threads : {2u, 8u}) {
+    std::vector<Error> diags;
+    auto db = parse_whois_text(text, Rir::kRipe, "<big>", &diags, threads);
+    EXPECT_EQ(fingerprint(db), want_db) << "threads=" << threads;
+    EXPECT_EQ(render(diags), want_diags) << "threads=" << threads;
+  }
+}
+
+TEST(ChunkedParse, StreamAndTextAgree) {
+  std::string text = big_ripe_text();
+  std::istringstream in(text);
+  std::vector<Error> stream_diags, text_diags;
+  auto from_stream = parse_whois_db(in, Rir::kRipe, "<big>", &stream_diags, 4);
+  auto from_text = parse_whois_text(text, Rir::kRipe, "<big>", &text_diags, 1);
+  EXPECT_EQ(fingerprint(from_stream), fingerprint(from_text));
+  EXPECT_EQ(render(stream_diags), render(text_diags));
+}
+
+TEST(ChunkedParse, LacnicKeepsFirstOwnerNameAcrossChunks) {
+  // Thousands of LACNIC blocks sharing one ownerid with evolving owner
+  // names. The serial parser synthesizes the org from the FIRST block; a
+  // chunked parse must not let a later chunk's name win.
+  std::ostringstream out;
+  for (int i = 0; i < 4000; ++i) {
+    out << "inetnum:        200." << (i / 256) << "." << (i % 256)
+        << ".0/24\nstatus:         reassigned\n"
+        << "owner:          Owner Name v" << i << "\n"
+        << "ownerid:        BR-SHARED-LACNIC\ncountry:        BR\n\n";
+  }
+  std::string text = out.str();
+  ASSERT_GT(text.size(), std::size_t{64} * 1024);
+
+  for (unsigned threads : {1u, 2u, 8u}) {
+    auto db = parse_whois_text(text, Rir::kLacnic, "<lacnic>", nullptr,
+                               threads);
+    ASSERT_EQ(db.block_count(), 4000u) << "threads=" << threads;
+    const OrgRec* org = db.org("BR-SHARED-LACNIC");
+    ASSERT_NE(org, nullptr) << "threads=" << threads;
+    EXPECT_EQ(org->name, "Owner Name v0") << "threads=" << threads;
+  }
+}
+
+TEST(ChunkedParse, DiagnosticLineNumbersMatchSerial) {
+  std::string text = big_ripe_text();
+  std::vector<Error> serial_diags, par_diags;
+  parse_whois_text(text, Rir::kRipe, "<big>", &serial_diags, 1);
+  parse_whois_text(text, Rir::kRipe, "<big>", &par_diags, 8);
+  ASSERT_EQ(serial_diags.size(), par_diags.size());
+  for (std::size_t i = 0; i < serial_diags.size(); ++i) {
+    EXPECT_EQ(serial_diags[i].line, par_diags[i].line) << "diag " << i;
+    EXPECT_GT(par_diags[i].line, 0u) << "diag " << i;
+  }
 }
 
 }  // namespace

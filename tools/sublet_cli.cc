@@ -27,6 +27,8 @@
 #include "simnet/builder.h"
 #include "simnet/emit.h"
 #include "util/log.h"
+#include "util/parallel.h"
+#include "util/strings.h"
 #include "util/table.h"
 
 using namespace sublet;
@@ -35,7 +37,9 @@ namespace {
 
 int usage() {
   std::cerr <<
-      "usage: sublet <command> [args]\n"
+      "usage: sublet [--threads N] <command> [args]\n"
+      "  --threads N   worker threads for parse/load/classify/emit\n"
+      "                (default: hardware concurrency; 1 = serial)\n"
       "  generate <dir> [--scale S] [--seed N]   emit a synthetic dataset\n"
       "  infer <dataset> [-o leases.csv]         classify and export\n"
       "  explain <dataset> <prefix>...           per-prefix walkthrough\n"
@@ -270,9 +274,34 @@ int cmd_churn(const std::vector<std::string>& args) {
 
 int main(int argc, char** argv) {
   set_log_level(LogLevel::kWarn);
-  if (argc < 2) return usage();
-  std::string command = argv[1];
-  std::vector<std::string> args(argv + 2, argv + argc);
+  // Global --threads flag: accepted anywhere, consumed before dispatch.
+  std::vector<std::string> all(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < all.size();) {
+    std::optional<std::uint32_t> threads;
+    if (all[i] == "--threads" && i + 1 < all.size()) {
+      threads = parse_u32(all[i + 1]);
+      if (!threads || *threads == 0) {
+        std::cerr << "--threads expects a positive integer\n";
+        return 2;
+      }
+      all.erase(all.begin() + static_cast<std::ptrdiff_t>(i),
+                all.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    } else if (all[i].rfind("--threads=", 0) == 0) {
+      threads = parse_u32(std::string_view(all[i]).substr(10));
+      if (!threads || *threads == 0) {
+        std::cerr << "--threads expects a positive integer\n";
+        return 2;
+      }
+      all.erase(all.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+      continue;
+    }
+    par::set_default_threads(*threads);
+  }
+  if (all.empty()) return usage();
+  std::string command = all[0];
+  std::vector<std::string> args(all.begin() + 1, all.end());
   try {
     if (command == "generate") return cmd_generate(args);
     if (command == "infer") return cmd_infer(args);
