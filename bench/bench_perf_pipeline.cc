@@ -5,13 +5,18 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <type_traits>
 
 #include "asgraph/as_graph.h"
 #include "leasing/dataset.h"
 #include "leasing/pipeline.h"
+#include "memstats.h"
 #include "mrt/rib_file.h"
+#include "netbase/legacy_prefix_trie.h"
+#include "netbase/prefix_trie.h"
 #include "simnet/builder.h"
 #include "simnet/emit.h"
+#include "util/rng.h"
 #include "whoisdb/parse.h"
 
 namespace {
@@ -43,6 +48,187 @@ const std::string& dataset_for(int permille) {
   return cache.emplace(permille, dir).first->second;
 }
 
+// ---------------------------------------------------------------------------
+// Trie microbenchmarks: the arena Patricia trie (PrefixTrie) vs the retained
+// one-node-per-bit reference (LegacyPrefixTrie). Same deterministic corpus
+// and query stream for both, so rows are directly comparable: build cost,
+// exact find, covering walk, and per-structure node memory at 10k/100k/1M
+// entries (legacy capped at 100k — a million entries costs it ~30M heap
+// nodes).
+// ---------------------------------------------------------------------------
+
+/// Deterministic allocation-tree-shaped corpus: /8../24 entries plus /32
+/// queries that land inside corpus entries so covering walks do real work.
+struct TrieWorkload {
+  std::vector<std::pair<Prefix, int>> entries;
+  std::vector<Prefix> queries;
+};
+
+const TrieWorkload& trie_workload(std::size_t n) {
+  static std::map<std::size_t, TrieWorkload> cache;
+  auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+  Rng rng(4242);
+  TrieWorkload w;
+  w.entries.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    int len = static_cast<int>(rng.next_in(8, 24));
+    auto addr = Ipv4Addr(static_cast<std::uint32_t>(rng.next_u64()));
+    w.entries.emplace_back(*Prefix::make(addr, len), static_cast<int>(i));
+  }
+  w.queries.reserve(8192);
+  for (std::size_t q = 0; q < 8192; ++q) {
+    const Prefix& base =
+        w.entries[static_cast<std::size_t>(rng.next_u64()) % n].first;
+    std::uint32_t offset = static_cast<std::uint32_t>(
+        rng.next_u64() & (base.size() - 1));
+    w.queries.push_back(
+        *Prefix::make(Ipv4Addr(base.network().value() + offset), 32));
+  }
+  return cache.emplace(n, std::move(w)).first->second;
+}
+
+template <typename Trie>
+const Trie& built_trie(std::size_t n) {
+  static std::map<std::size_t, Trie> cache;
+  auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+  Trie trie;
+  for (const auto& [prefix, value] : trie_workload(n).entries) {
+    trie.insert(prefix, value);
+  }
+  return cache.emplace(n, std::move(trie)).first->second;
+}
+
+/// Lookup benchmarks measure each trie as deployed: the arena trie is
+/// freeze-built (the AllocationTree production path, which lays nodes out
+/// in DFS pre-order for locality), the legacy trie only has incremental
+/// insert.
+template <typename Trie>
+const Trie& lookup_trie(std::size_t n) {
+  if constexpr (std::is_same_v<Trie, PrefixTrie<int>>) {
+    static std::map<std::size_t, Trie> cache;
+    auto it = cache.find(n);
+    if (it == cache.end()) {
+      it = cache.emplace(n, Trie::freeze(trie_workload(n).entries)).first;
+    }
+    return it->second;
+  } else {
+    return built_trie<Trie>(n);
+  }
+}
+
+template <typename Trie>
+void trie_build_incremental(benchmark::State& state) {
+  const auto& workload = trie_workload(static_cast<std::size_t>(state.range(0)));
+  std::size_t nodes = 0, bytes = 0;
+  for (auto _ : state) {
+    Trie trie;
+    for (const auto& [prefix, value] : workload.entries) {
+      trie.insert(prefix, value);
+    }
+    nodes = trie.node_count();
+    bytes = trie.memory_bytes();
+    benchmark::DoNotOptimize(trie);
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.counters["mem_mb"] = static_cast<double>(bytes) / 1e6;
+  state.counters["peak_rss_mb"] = bench::peak_rss_megabytes();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(workload.entries.size()));
+}
+
+void BM_TrieBuildArena(benchmark::State& state) {
+  trie_build_incremental<PrefixTrie<int>>(state);
+}
+BENCHMARK(BM_TrieBuildArena)
+    ->Arg(10000)->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TrieBuildLegacy(benchmark::State& state) {
+  trie_build_incremental<LegacyPrefixTrie<int>>(state);
+}
+BENCHMARK(BM_TrieBuildLegacy)
+    ->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TrieBuildFreeze(benchmark::State& state) {
+  const auto& workload = trie_workload(static_cast<std::size_t>(state.range(0)));
+  std::size_t nodes = 0, bytes = 0;
+  for (auto _ : state) {
+    auto trie = PrefixTrie<int>::freeze(workload.entries);
+    nodes = trie.node_count();
+    bytes = trie.memory_bytes();
+    benchmark::DoNotOptimize(trie);
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.counters["mem_mb"] = static_cast<double>(bytes) / 1e6;
+  state.counters["peak_rss_mb"] = bench::peak_rss_megabytes();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(workload.entries.size()));
+}
+BENCHMARK(BM_TrieBuildFreeze)
+    ->Arg(10000)->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+template <typename Trie>
+void trie_exact_find(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto& workload = trie_workload(n);
+  const Trie& trie = lookup_trie<Trie>(n);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const int* hit = trie.find(workload.entries[i % n].first);
+    benchmark::DoNotOptimize(hit);
+    ++i;
+  }
+  state.counters["peak_rss_mb"] = bench::peak_rss_megabytes();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_TrieExactFindArena(benchmark::State& state) {
+  trie_exact_find<PrefixTrie<int>>(state);
+}
+BENCHMARK(BM_TrieExactFindArena)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_TrieExactFindLegacy(benchmark::State& state) {
+  trie_exact_find<LegacyPrefixTrie<int>>(state);
+}
+BENCHMARK(BM_TrieExactFindLegacy)->Arg(10000)->Arg(100000);
+
+/// One most-specific + one least-specific covering walk per iteration on a
+/// /32 query — the shape of the paper's step-4 lookups (exact origin plus
+/// root-origin fallback).
+template <typename Trie>
+void trie_covering_walk(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto& workload = trie_workload(n);
+  const Trie& trie = lookup_trie<Trie>(n);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Prefix& q = workload.queries[i % workload.queries.size()];
+    auto most = trie.most_specific_covering(q);
+    auto least = trie.least_specific_covering(q);
+    benchmark::DoNotOptimize(most);
+    benchmark::DoNotOptimize(least);
+    ++i;
+  }
+  state.counters["nodes"] = static_cast<double>(trie.node_count());
+  state.counters["mem_mb"] = static_cast<double>(trie.memory_bytes()) / 1e6;
+  state.counters["peak_rss_mb"] = bench::peak_rss_megabytes();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_TrieCoveringWalkArena(benchmark::State& state) {
+  trie_covering_walk<PrefixTrie<int>>(state);
+}
+BENCHMARK(BM_TrieCoveringWalkArena)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+void BM_TrieCoveringWalkLegacy(benchmark::State& state) {
+  trie_covering_walk<LegacyPrefixTrie<int>>(state);
+}
+BENCHMARK(BM_TrieCoveringWalkLegacy)->Arg(10000)->Arg(100000);
+
 void BM_WorldGeneration(benchmark::State& state) {
   auto config = config_for(static_cast<int>(state.range(0)));
   std::size_t leaves = 0;
@@ -52,6 +238,7 @@ void BM_WorldGeneration(benchmark::State& state) {
     benchmark::DoNotOptimize(world);
   }
   state.counters["leaves"] = static_cast<double>(leaves);
+  state.counters["peak_rss_mb"] = bench::peak_rss_megabytes();
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(leaves));
 }
@@ -72,6 +259,7 @@ void BM_WhoisParse(benchmark::State& state) {
   }
   state.counters["blocks"] = static_cast<double>(blocks);
   state.counters["threads"] = static_cast<double>(threads);
+  state.counters["peak_rss_mb"] = bench::peak_rss_megabytes();
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(blocks));
 }
@@ -93,6 +281,7 @@ void BM_MrtParse(benchmark::State& state) {
     benchmark::DoNotOptimize(snapshot);
   }
   state.counters["prefixes"] = static_cast<double>(prefixes);
+  state.counters["peak_rss_mb"] = bench::peak_rss_megabytes();
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(bytes));
 }
@@ -116,6 +305,7 @@ void BM_Classify(benchmark::State& state) {
   }
   state.counters["leaves"] = static_cast<double>(classified);
   state.counters["threads"] = static_cast<double>(options.threads);
+  state.counters["peak_rss_mb"] = bench::peak_rss_megabytes();
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(classified));
 }
@@ -141,6 +331,7 @@ void BM_DatasetLoad(benchmark::State& state) {
   }
   state.counters["prefixes"] = static_cast<double>(prefixes);
   state.counters["threads"] = static_cast<double>(options.threads);
+  state.counters["peak_rss_mb"] = bench::peak_rss_megabytes();
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_DatasetLoad)

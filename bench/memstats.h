@@ -1,0 +1,33 @@
+// Process memory readings for benchmark counters.
+//
+// BENCH_perf_pipeline.json rows carry a "peak_rss_mb" counter so the memory
+// side of a perf change is visible in the trajectory, not just wall time.
+// Peak RSS is a process-wide high-water mark (monotonic across the run), so
+// compare it between whole-run JSONs, not between rows of one run; the
+// per-structure "mem_mb" counters on the trie benchmarks are the
+// apples-to-apples comparison within a run.
+#pragma once
+
+#include <cstdio>
+
+namespace sublet::bench {
+
+/// VmHWM (peak resident set size) of this process in megabytes, read from
+/// /proc/self/status. Returns 0.0 where that interface does not exist.
+inline double peak_rss_megabytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (!f) return 0.0;
+  char line[256];
+  double mb = 0.0;
+  while (std::fgets(line, sizeof line, f)) {
+    long kb = 0;
+    if (std::sscanf(line, "VmHWM: %ld", &kb) == 1) {
+      mb = static_cast<double>(kb) / 1024.0;
+      break;
+    }
+  }
+  std::fclose(f);
+  return mb;
+}
+
+}  // namespace sublet::bench

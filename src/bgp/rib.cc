@@ -12,20 +12,23 @@ bool RouteInfo::originated_by(Asn asn) const {
   return std::binary_search(origins.begin(), origins.end(), asn);
 }
 
-namespace {
-void insert_origin(RouteInfo& info, Asn origin) {
-  auto it = std::lower_bound(info.origins.begin(), info.origins.end(), origin);
-  if (it == info.origins.end() || *it != origin) {
-    info.origins.insert(it, origin);
-  }
+Rib::Rib(Rib&& other) noexcept
+    : trie_(std::move(other.trie_)),
+      finalized_(other.finalized_.load(std::memory_order_relaxed)) {}
+
+Rib& Rib::operator=(Rib&& other) noexcept {
+  trie_ = std::move(other.trie_);
+  finalized_.store(other.finalized_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  return *this;
 }
-}  // namespace
 
 void Rib::add_route(const Prefix& prefix, Asn origin) {
   RouteInfo* info = trie_.find(prefix);
   if (!info) info = &trie_.insert(prefix, RouteInfo{});
-  insert_origin(*info, origin);
+  info->origins.push_back(origin);
   ++info->peer_observations;
+  finalized_.store(false, std::memory_order_release);
 }
 
 void Rib::add_snapshot(const mrt::RibSnapshot& snapshot) {
@@ -34,11 +37,31 @@ void Rib::add_snapshot(const mrt::RibSnapshot& snapshot) {
     if (!info) info = &trie_.insert(rec.prefix, RouteInfo{});
     for (const mrt::RibEntry& entry : rec.entries) {
       for (Asn origin : entry.attributes.as_path.origin_asns()) {
-        insert_origin(*info, origin);
+        info->origins.push_back(origin);
       }
       ++info->peer_observations;
     }
   }
+  finalized_.store(false, std::memory_order_release);
+}
+
+void Rib::freeze() {
+  trie_.for_each_value([](RouteInfo& info) {
+    std::sort(info.origins.begin(), info.origins.end());
+    info.origins.erase(std::unique(info.origins.begin(), info.origins.end()),
+                       info.origins.end());
+  });
+  // Loading is done, so enable the trie's level-compressed covering fast
+  // path before classification threads start querying.
+  trie_.build_jump_table();
+  finalized_.store(true, std::memory_order_release);
+}
+
+void Rib::ensure_finalized() const {
+  if (finalized_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(finalize_mu_);
+  if (finalized_.load(std::memory_order_acquire)) return;
+  const_cast<Rib*>(this)->freeze();
 }
 
 std::optional<Error> Rib::add_file(const std::string& path) {
@@ -74,16 +97,19 @@ Expected<std::size_t> Rib::add_bgpdump_text(std::istream& in,
 }
 
 const RouteInfo* Rib::exact(const Prefix& prefix) const {
+  ensure_finalized();
   return trie_.find(prefix);
 }
 
 std::optional<std::pair<Prefix, const RouteInfo*>>
 Rib::least_specific_covering(const Prefix& prefix) const {
+  ensure_finalized();
   return trie_.least_specific_covering(prefix);
 }
 
 std::optional<std::pair<Prefix, const RouteInfo*>>
 Rib::most_specific_covering(const Prefix& prefix) const {
+  ensure_finalized();
   return trie_.most_specific_covering(prefix);
 }
 
@@ -113,10 +139,12 @@ std::uint64_t Rib::routed_address_space() const {
 
 void Rib::visit(
     const std::function<void(const Prefix&, const RouteInfo&)>& fn) const {
+  ensure_finalized();
   trie_.visit(fn);
 }
 
 std::set<Asn> Rib::all_origins() const {
+  ensure_finalized();
   std::set<Asn> out;
   trie_.visit([&](const Prefix&, const RouteInfo& info) {
     out.insert(info.origins.begin(), info.origins.end());

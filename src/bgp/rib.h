@@ -7,8 +7,11 @@
 // for holders who aggregate consecutive portable blocks).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -22,7 +25,10 @@ namespace sublet::bgp {
 
 /// Observations accumulated for one prefix.
 struct RouteInfo {
-  std::vector<Asn> origins;        ///< sorted, unique
+  /// Sorted and unique once the owning Rib is frozen. During load the Rib
+  /// appends raw observations here and defers the sort/unique to freeze()
+  /// — one pass at the end instead of a lower_bound+insert per route.
+  std::vector<Asn> origins;
   std::uint32_t peer_observations = 0;  ///< RIB entries seen (visibility)
 
   bool originated_by(Asn asn) const;
@@ -30,6 +36,10 @@ struct RouteInfo {
 
 class Rib {
  public:
+  Rib() = default;
+  Rib(Rib&& other) noexcept;
+  Rib& operator=(Rib&& other) noexcept;
+
   /// Merge one decoded MRT snapshot. Origin = last AS of each entry's
   /// AS_PATH (every member for a trailing AS_SET). Call once per collector
   /// file; duplicates union cleanly.
@@ -48,6 +58,12 @@ class Rib {
   /// Record a single observation (used by tests and the simulator's
   /// in-memory path).
   void add_route(const Prefix& prefix, Asn origin);
+
+  /// Sort/unique the per-prefix origin sets accumulated by the add_* calls.
+  /// Queries finalize lazily (and thread-safely) on first use, so calling
+  /// this is optional — but doing it once after the bulk load keeps the
+  /// cost out of the first query and off the classification threads.
+  void freeze();
 
   /// Origin ASes observed for exactly `prefix`; nullptr if never seen.
   const RouteInfo* exact(const Prefix& prefix) const;
@@ -75,7 +91,14 @@ class Rib {
   std::set<Asn> all_origins() const;
 
  private:
+  /// Freeze on first query if an add_* call left origin sets unsorted.
+  /// Double-checked so the steady state (shared read-only Rib across
+  /// classification threads) is a single relaxed-ish atomic load.
+  void ensure_finalized() const;
+
   PrefixTrie<RouteInfo> trie_;
+  mutable std::atomic<bool> finalized_{true};
+  mutable std::mutex finalize_mu_;
 };
 
 }  // namespace sublet::bgp

@@ -196,6 +196,9 @@ DatasetBundle load_dataset(const std::string& dir, LoadOptions options) {
       bundle.rib.add_snapshot(**snapshot);
     }
   }
+  // One sort/unique pass over all origin sets, instead of paying it lazily
+  // under the first query (which may come from a classification thread).
+  bundle.rib.freeze();
   if (!bgp_files.empty()) {
     SUBLET_LOG(kInfo) << "RIB: " << bundle.rib.prefix_count()
                       << " prefixes from " << bgp_files.size()

@@ -8,6 +8,14 @@
 
 namespace sublet::leasing {
 
+namespace {
+// Shared "no origins" placeholder for leaves that are their own root. At
+// namespace scope (not function-local static) so classify_leaf — the
+// per-leaf hot path on every classification thread — skips the thread-safe
+// initialization guard a local static would re-check on each call.
+const std::vector<Asn> kNoOrigins;
+}  // namespace
+
 void GroupCounts::add(InferenceGroup group) {
   switch (group) {
     case InferenceGroup::kUnused: ++unused; break;
@@ -61,7 +69,6 @@ LeaseInference Pipeline::classify_leaf(const whois::AllocEntry& leaf,
   // A leaf that is its own root has no separate parent origination: treat
   // the root side as unoriginated so the leaf is judged on its own origin.
   bool leaf_is_root = root && root->first == leaf.first;
-  static const std::vector<Asn> kNoOrigins;
   const std::vector<Asn>& root_origins =
       leaf_is_root ? kNoOrigins : out.root_origins;
 

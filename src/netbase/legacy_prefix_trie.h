@@ -1,0 +1,233 @@
+// The original one-node-per-bit prefix trie, kept verbatim as a reference
+// implementation. Production code uses PrefixTrie (netbase/prefix_trie.h),
+// the path-compressed arena trie; this copy exists so that
+//  - differential tests can check the new trie against the old semantics
+//    on random workloads, and
+//  - bench_perf_pipeline can report old-vs-new build/lookup/memory numbers.
+//
+// It is a plain bit trie (one heap node per prefix bit, path not
+// compressed): depth is bounded by 32 so lookups are O(32); every traversal
+// goes through std::function. Do not use it in new code.
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "netbase/ipv4.h"
+
+namespace sublet {
+
+template <typename T>
+class LegacyPrefixTrie {
+ public:
+  LegacyPrefixTrie() : root_(std::make_unique<Node>()) {}
+
+  /// Insert or overwrite the value at `prefix`. Returns a reference to the
+  /// stored value.
+  T& insert(const Prefix& prefix, T value) {
+    Node* node = descend_create(prefix);
+    node->value = std::move(value);
+    if (!node->has_value) {
+      node->has_value = true;
+      ++size_;
+    }
+    return *node->value;
+  }
+
+  /// Value stored exactly at `prefix`, or nullptr.
+  T* find(const Prefix& prefix) {
+    Node* node = descend(prefix);
+    return node && node->has_value ? &*node->value : nullptr;
+  }
+  const T* find(const Prefix& prefix) const {
+    return const_cast<LegacyPrefixTrie*>(this)->find(prefix);
+  }
+
+  /// Entry whose prefix covers `prefix` with the greatest length —
+  /// longest-prefix match. Includes an exact match.
+  std::optional<std::pair<Prefix, const T*>> most_specific_covering(
+      const Prefix& prefix) const {
+    std::optional<std::pair<Prefix, const T*>> best;
+    walk_path(prefix, [&](const Prefix& p, const Node& n) {
+      best = {p, &*n.value};
+    });
+    return best;
+  }
+
+  /// Entry whose prefix covers `prefix` with the smallest length.
+  std::optional<std::pair<Prefix, const T*>> least_specific_covering(
+      const Prefix& prefix) const {
+    std::optional<std::pair<Prefix, const T*>> best;
+    walk_path(prefix, [&](const Prefix& p, const Node& n) {
+      if (!best) best = {p, &*n.value};
+    });
+    return best;
+  }
+
+  /// All entries covering `prefix`, least specific first (includes exact).
+  std::vector<std::pair<Prefix, const T*>> all_covering(
+      const Prefix& prefix) const {
+    std::vector<std::pair<Prefix, const T*>> out;
+    walk_path(prefix, [&](const Prefix& p, const Node& n) {
+      out.emplace_back(p, &*n.value);
+    });
+    return out;
+  }
+
+  /// All entries covered by `prefix` (strictly more specific; excludes the
+  /// entry at `prefix` itself), in address order.
+  std::vector<std::pair<Prefix, const T*>> descendants(
+      const Prefix& prefix) const {
+    std::vector<std::pair<Prefix, const T*>> out;
+    const Node* node = const_cast<LegacyPrefixTrie*>(this)->descend(prefix);
+    if (!node) return out;
+    visit_subtree(node, prefix, [&](const Prefix& p, const T& v) {
+      if (p != prefix) out.emplace_back(p, &v);
+    });
+    return out;
+  }
+
+  /// Entries with a value whose nearest valued ancestor does not exist.
+  std::vector<std::pair<Prefix, const T*>> roots() const {
+    std::vector<std::pair<Prefix, const T*>> out;
+    collect_roots(root_.get(), Prefix{}, out);
+    return out;
+  }
+
+  /// Entries with a value and no valued descendant — the leaves.
+  std::vector<std::pair<Prefix, const T*>> leaves() const {
+    std::vector<std::pair<Prefix, const T*>> out;
+    collect_leaves(root_.get(), *Prefix::make(Ipv4Addr(0), 0), out);
+    return out;
+  }
+
+  /// Visit every (prefix, value) entry in address order.
+  void visit(const std::function<void(const Prefix&, const T&)>& fn) const {
+    visit_subtree(root_.get(), *Prefix::make(Ipv4Addr(0), 0), fn);
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Heap node count / footprint, for old-vs-new benchmark comparisons.
+  /// (Undercounts real usage: each node is a separate allocation, so
+  /// allocator headers and fragmentation come on top.)
+  std::size_t node_count() const { return count_nodes(root_.get()); }
+  std::size_t memory_bytes() const {
+    return node_count() * sizeof(Node);
+  }
+
+ private:
+  struct Node {
+    std::unique_ptr<Node> child[2];
+    std::optional<T> value;
+    bool has_value = false;
+  };
+
+  static int bit_at(Ipv4Addr addr, int depth) {
+    // depth 0 examines the most significant bit.
+    return (addr.value() >> (31 - depth)) & 1u;
+  }
+
+  Node* descend(const Prefix& prefix) {
+    Node* node = root_.get();
+    for (int d = 0; d < prefix.length(); ++d) {
+      node = node->child[bit_at(prefix.network(), d)].get();
+      if (!node) return nullptr;
+    }
+    return node;
+  }
+
+  Node* descend_create(const Prefix& prefix) {
+    Node* node = root_.get();
+    for (int d = 0; d < prefix.length(); ++d) {
+      auto& next = node->child[bit_at(prefix.network(), d)];
+      if (!next) next = std::make_unique<Node>();
+      node = next.get();
+    }
+    return node;
+  }
+
+  /// Call `fn` for every valued node on the path from the root down to (and
+  /// including) `prefix`, least specific first.
+  void walk_path(const Prefix& prefix,
+                 const std::function<void(const Prefix&, const Node&)>& fn)
+      const {
+    const Node* node = root_.get();
+    std::uint32_t bits = 0;
+    for (int d = 0; d <= prefix.length(); ++d) {
+      if (node->has_value) {
+        fn(*Prefix::make(Ipv4Addr(bits), d), *node);
+      }
+      if (d == prefix.length()) break;
+      int b = bit_at(prefix.network(), d);
+      node = node->child[b].get();
+      if (!node) break;
+      if (b) bits |= 1u << (31 - d);
+    }
+  }
+
+  static void visit_subtree(
+      const Node* node, const Prefix& at,
+      const std::function<void(const Prefix&, const T&)>& fn) {
+    if (node->has_value) fn(at, *node->value);
+    for (int b = 0; b < 2; ++b) {
+      if (!node->child[b]) continue;
+      std::uint32_t bits = at.network().value();
+      if (b) bits |= 1u << (31 - at.length());
+      visit_subtree(node->child[b].get(),
+                    *Prefix::make(Ipv4Addr(bits), at.length() + 1), fn);
+    }
+  }
+
+  /// Returns true if the subtree rooted at `node` contains any valued node.
+  static bool collect_leaves(const Node* node, const Prefix& at,
+                             std::vector<std::pair<Prefix, const T*>>& out) {
+    bool below = false;
+    std::size_t mark = out.size();
+    for (int b = 0; b < 2; ++b) {
+      if (!node->child[b]) continue;
+      std::uint32_t bits = at.network().value();
+      if (b) bits |= 1u << (31 - at.length());
+      below |= collect_leaves(node->child[b].get(),
+                              *Prefix::make(Ipv4Addr(bits), at.length() + 1),
+                              out);
+    }
+    if (node->has_value && !below) {
+      out.insert(out.begin() + static_cast<std::ptrdiff_t>(mark),
+                 {at, &*node->value});
+    }
+    return below || node->has_value;
+  }
+
+  void collect_roots(const Node* node, const Prefix& at,
+                     std::vector<std::pair<Prefix, const T*>>& out) const {
+    if (node->has_value) {
+      out.emplace_back(at, &*node->value);
+      return;  // everything below is covered by this root
+    }
+    for (int b = 0; b < 2; ++b) {
+      if (!node->child[b]) continue;
+      std::uint32_t bits = at.network().value();
+      if (b) bits |= 1u << (31 - at.length());
+      collect_roots(node->child[b].get(),
+                    *Prefix::make(Ipv4Addr(bits), at.length() + 1), out);
+    }
+  }
+
+  static std::size_t count_nodes(const Node* node) {
+    std::size_t n = 1;
+    for (int b = 0; b < 2; ++b) {
+      if (node->child[b]) n += count_nodes(node->child[b].get());
+    }
+    return n;
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace sublet

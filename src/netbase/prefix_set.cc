@@ -6,30 +6,30 @@ namespace sublet {
 
 void PrefixSet::add(const Prefix& prefix) {
   members_.push_back(prefix);
-  sorted_ = false;
+  merged_ = false;
 }
 
-std::vector<std::pair<std::uint64_t, std::uint64_t>> PrefixSet::intervals()
-    const {
-  if (!sorted_) {
+const std::vector<std::pair<std::uint64_t, std::uint64_t>>&
+PrefixSet::intervals() const {
+  if (!merged_) {
     std::sort(members_.begin(), members_.end());
-    sorted_ = true;
-  }
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
-  for (const Prefix& prefix : members_) {
-    std::uint64_t start = prefix.first().value();
-    std::uint64_t end = static_cast<std::uint64_t>(prefix.last().value()) + 1;
-    if (!out.empty() && start <= out.back().second) {
-      out.back().second = std::max(out.back().second, end);
-    } else {
-      out.emplace_back(start, end);
+    intervals_.clear();
+    for (const Prefix& prefix : members_) {
+      std::uint64_t start = prefix.first().value();
+      std::uint64_t end = static_cast<std::uint64_t>(prefix.last().value()) + 1;
+      if (!intervals_.empty() && start <= intervals_.back().second) {
+        intervals_.back().second = std::max(intervals_.back().second, end);
+      } else {
+        intervals_.emplace_back(start, end);
+      }
     }
+    merged_ = true;
   }
-  return out;
+  return intervals_;
 }
 
 bool PrefixSet::contains(Ipv4Addr addr) const {
-  auto merged = intervals();
+  const auto& merged = intervals();
   std::uint64_t value = addr.value();
   auto it = std::upper_bound(
       merged.begin(), merged.end(), value,
@@ -40,7 +40,7 @@ bool PrefixSet::contains(Ipv4Addr addr) const {
 }
 
 bool PrefixSet::covers(const Prefix& prefix) const {
-  auto merged = intervals();
+  const auto& merged = intervals();
   std::uint64_t start = prefix.first().value();
   std::uint64_t end = static_cast<std::uint64_t>(prefix.last().value()) + 1;
   auto it = std::upper_bound(

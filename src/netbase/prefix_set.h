@@ -35,10 +35,14 @@ class PrefixSet {
 
  private:
   /// Merged, sorted [start, end) intervals over 64-bit address space.
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> intervals() const;
+  /// Built lazily on first query and cached until the next add() — the
+  /// query methods used to rebuild (sort + merge) this vector per call.
+  const std::vector<std::pair<std::uint64_t, std::uint64_t>>& intervals()
+      const;
 
   mutable std::vector<Prefix> members_;
-  mutable bool sorted_ = true;
+  mutable std::vector<std::pair<std::uint64_t, std::uint64_t>> intervals_;
+  mutable bool merged_ = true;
 };
 
 }  // namespace sublet

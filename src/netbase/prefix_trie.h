@@ -1,19 +1,38 @@
-// Binary radix trie keyed by CIDR prefixes.
+// Path-compressed binary radix (Patricia) trie keyed by CIDR prefixes,
+// stored in one contiguous arena.
 //
 // This single structure backs both sides of the paper's pipeline:
 //  - the WHOIS address-allocation tree (step 2: roots = portable blocks,
 //    leaves = non-portable sub-allocations), and
 //  - RIB lookups (step 4: exact match and least-specific covering origin).
 //
-// It is a plain bit trie (one level per prefix bit, path not compressed):
-// depth is bounded by 32 so lookups are O(32); memory is fine at the scale
-// of RIR databases (~1M entries) and keeps the code simple enough to verify.
+// Layout (docs/PERF.md has the full story):
+//  - Nodes live in one `std::vector<Node>` arena; children are 32-bit
+//    indices, not pointers. A node covers a whole run of prefix bits
+//    (`key` + `len`), so a /24 entry costs at most two nodes (one leaf plus
+//    at most one fork), not 24 heap allocations as in the old
+//    one-node-per-bit trie (kept as LegacyPrefixTrie for benchmarks).
+//  - Values live in a parallel slot vector; nodes hold a slot index, so
+//    pure branch nodes pay no per-node `std::optional<T>`.
+//  - All traversals are templated on the callback, so walks inline instead
+//    of bouncing through `std::function`.
+//
+// Construction is either incremental (`insert`, used by OriginTracker-style
+// streaming callers and tests) or bulk (`freeze`, one pass over a sorted
+// entry vector — used by AllocationTree after WHOIS parse). Both produce
+// the same canonical structure: `roots()`, `leaves()` and `visit()` agree.
+//
+// Reference caveat: values live in a vector, so pointers/references
+// returned by `insert`/`find` are invalidated by any later `insert` or
+// `freeze`. Use them before the next mutation (all in-tree callers do).
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
-#include <functional>
-#include <memory>
+#include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "netbase/ipv4.h"
@@ -23,24 +42,116 @@ namespace sublet {
 template <typename T>
 class PrefixTrie {
  public:
-  PrefixTrie() : root_(std::make_unique<Node>()) {}
+  PrefixTrie() { nodes_.push_back(Node{}); }  // arena slot 0 is the /0 root
+
+  /// Pre-size the arena for `entries` prefixes (at most one fork per entry).
+  void reserve(std::size_t entries) {
+    nodes_.reserve(2 * entries + 1);
+    values_.reserve(entries);
+  }
+
+  /// Bulk-build: sort the entries and construct the trie in one pass by
+  /// maintaining the rightmost path as a stack — no per-entry root-down
+  /// descent. Duplicate prefixes keep the last occurrence, matching
+  /// repeated `insert` overwrite semantics.
+  static PrefixTrie freeze(std::vector<std::pair<Prefix, T>> entries) {
+    std::stable_sort(
+        entries.begin(), entries.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    PrefixTrie trie;
+    trie.reserve(entries.size());
+    std::uint32_t stack[34];  // rightmost path; depth <= 33 (len 0..32)
+    int depth = 0;
+    stack[0] = 0;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (i + 1 < entries.size() && entries[i + 1].first == entries[i].first) {
+        continue;  // duplicate prefix: the last one wins
+      }
+      const std::uint32_t key = entries[i].first.network().value();
+      const int len = entries[i].first.length();
+      std::uint32_t popped = kNil;
+      while (!trie.covers(trie.nodes_[stack[depth]], key, len)) {
+        popped = stack[depth];
+        --depth;
+      }
+      const std::uint32_t top = stack[depth];
+      if (len_of(trie.nodes_[top]) == len) {  // only reachable via duplicates
+        trie.assign(top, std::move(entries[i].second));
+        continue;
+      }
+      if (popped == kNil) {
+        // `top` is the most recent node; its branch toward `key` is free.
+        const std::uint32_t leaf = trie.new_node(key, len);
+        trie.nodes_[top].child[bit_at(key, len_of(trie.nodes_[top]))] = leaf;
+        trie.assign(leaf, std::move(entries[i].second));
+        stack[++depth] = leaf;
+        continue;
+      }
+      // `popped` shares `cl` leading bits with the new entry; either they
+      // split right at `top` or an internal fork is spliced in between.
+      const int cl = common_len(trie.nodes_[popped].key, key,
+                                std::min(len_of(trie.nodes_[popped]), len));
+      const std::uint32_t leaf = trie.new_node(key, len);
+      if (cl == len_of(trie.nodes_[top])) {
+        trie.nodes_[top].child[bit_at(key, cl)] = leaf;
+      } else {
+        const std::uint32_t fork = trie.new_node(key & mask(cl), cl);
+        trie.nodes_[fork].child[bit_at(trie.nodes_[popped].key, cl)] = popped;
+        trie.nodes_[fork].child[bit_at(key, cl)] = leaf;
+        trie.nodes_[top].child[bit_at(key, len_of(trie.nodes_[top]))] = fork;
+        stack[++depth] = fork;
+      }
+      trie.assign(leaf, std::move(entries[i].second));
+      stack[++depth] = leaf;
+    }
+    trie.build_jump_table();
+    return trie;
+  }
 
   /// Insert or overwrite the value at `prefix`. Returns a reference to the
-  /// stored value.
+  /// stored value (valid until the next insert/freeze).
   T& insert(const Prefix& prefix, T value) {
-    Node* node = descend_create(prefix);
-    node->value = std::move(value);
-    if (!node->has_value) {
-      node->has_value = true;
-      ++size_;
+    jump_.clear();  // structure changes; the fast path would be stale
+    const std::uint32_t key = prefix.network().value();
+    const int len = prefix.length();
+    std::uint32_t cur = 0;
+    for (;;) {
+      // Invariant: nodes_[cur] covers `prefix`.
+      if (len_of(nodes_[cur]) == len) return assign(cur, std::move(value));
+      const int b = bit_at(key, len_of(nodes_[cur]));
+      const std::uint32_t c = nodes_[cur].child[b];
+      if (c == kNil) {
+        const std::uint32_t leaf = new_node(key, len);
+        nodes_[cur].child[b] = leaf;
+        return assign(leaf, std::move(value));
+      }
+      const int cl =
+          common_len(nodes_[c].key, key, std::min(len_of(nodes_[c]), len));
+      if (cl == len_of(nodes_[c])) {  // child covers prefix: keep descending
+        cur = c;
+        continue;
+      }
+      if (cl == len) {  // prefix covers child: splice a node above it
+        const std::uint32_t mid = new_node(key, len);
+        nodes_[mid].child[bit_at(nodes_[c].key, len)] = c;
+        nodes_[cur].child[b] = mid;
+        return assign(mid, std::move(value));
+      }
+      // Paths diverge inside the child's edge: fork at the common prefix.
+      const std::uint32_t fork = new_node(key & mask(cl), cl);
+      const std::uint32_t leaf = new_node(key, len);
+      nodes_[fork].child[bit_at(nodes_[c].key, cl)] = c;
+      nodes_[fork].child[bit_at(key, cl)] = leaf;
+      nodes_[cur].child[b] = fork;
+      return assign(leaf, std::move(value));
     }
-    return *node->value;
   }
 
   /// Value stored exactly at `prefix`, or nullptr.
   T* find(const Prefix& prefix) {
-    Node* node = descend(prefix);
-    return node && node->has_value ? &*node->value : nullptr;
+    const std::uint32_t idx = locate(prefix);
+    if (idx == kNil || slot_of(nodes_[idx]) == kNoSlot) return nullptr;
+    return &values_[slot_of(nodes_[idx])];
   }
   const T* find(const Prefix& prefix) const {
     return const_cast<PrefixTrie*>(this)->find(prefix);
@@ -51,32 +162,66 @@ class PrefixTrie {
   /// entry covers it.
   std::optional<std::pair<Prefix, const T*>> most_specific_covering(
       const Prefix& prefix) const {
-    std::optional<std::pair<Prefix, const T*>> best;
-    walk_path(prefix, [&](const Prefix& p, const Node& n) {
-      best = {p, &*n.value};
-    });
-    return best;
+    const std::uint32_t key = prefix.network().value();
+    const int len = prefix.length();
+    std::uint32_t best = kNil;
+    if (!jump_.empty() && len >= kJumpBits) {
+      const JumpEntry& e = jump_[key >> (32 - kJumpBits)];
+      best = e.deep;
+      walk_below(e.start, key, len, [&](std::uint32_t idx) { best = idx; });
+    } else {
+      walk_path(key, len, [&](std::uint32_t idx) { best = idx; });
+    }
+    return entry_at(best);
   }
 
   /// Entry whose prefix covers `prefix` with the smallest length — the
   /// least-specific covering entry (paper step 4's root-origin fallback).
   std::optional<std::pair<Prefix, const T*>> least_specific_covering(
       const Prefix& prefix) const {
-    std::optional<std::pair<Prefix, const T*>> best;
-    walk_path(prefix, [&](const Prefix& p, const Node& n) {
-      if (!best) best = {p, &*n.value};
-    });
-    return best;
+    const std::uint32_t key = prefix.network().value();
+    const int len = prefix.length();
+    std::uint32_t best = kNil;
+    if (!jump_.empty() && len >= kJumpBits) {
+      const JumpEntry& e = jump_[key >> (32 - kJumpBits)];
+      best = e.shallow;  // least-specific covering at depth <= kJumpBits
+      if (best == kNil) {
+        walk_below(e.start, key, len, [&](std::uint32_t idx) {
+          if (best == kNil) best = idx;
+        });
+      }
+    } else {
+      walk_path(key, len, [&](std::uint32_t idx) {
+        if (best == kNil) best = idx;
+      });
+    }
+    return entry_at(best);
   }
 
   /// All entries covering `prefix`, least specific first (includes exact).
   std::vector<std::pair<Prefix, const T*>> all_covering(
       const Prefix& prefix) const {
     std::vector<std::pair<Prefix, const T*>> out;
-    walk_path(prefix, [&](const Prefix& p, const Node& n) {
-      out.emplace_back(p, &*n.value);
-    });
+    walk_path(prefix.network().value(), prefix.length(),
+              [&](std::uint32_t idx) {
+                out.emplace_back(prefix_of(nodes_[idx]),
+                                 &values_[slot_of(nodes_[idx])]);
+              });
     return out;
+  }
+
+  /// Precompute the level-compressed fast path for covering queries: one
+  /// table bucket per top-`kJumpBits` bit pattern holding the deepest trie
+  /// node at depth <= kJumpBits covering that bucket plus the first/last
+  /// valued nodes on the path down to it. Covering walks on queries of
+  /// length >= kJumpBits then start ~kJumpBits levels deep instead of at
+  /// the root, skipping most of the pointer-chasing. `freeze()` calls this
+  /// automatically; incremental builders (e.g. Rib) call it once the trie
+  /// is final. Any later `insert` drops the table (queries fall back to the
+  /// root walk) — rebuild when mutation stops.
+  void build_jump_table() {
+    jump_.assign(std::size_t{1} << kJumpBits, JumpEntry{});
+    fill_jump(0, kNil, kNil);
   }
 
   /// All entries covered by `prefix` (strictly more specific; excludes the
@@ -84,9 +229,24 @@ class PrefixTrie {
   std::vector<std::pair<Prefix, const T*>> descendants(
       const Prefix& prefix) const {
     std::vector<std::pair<Prefix, const T*>> out;
-    const Node* node = const_cast<PrefixTrie*>(this)->descend(prefix);
-    if (!node) return out;
-    visit_subtree(node, prefix, [&](const Prefix& p, const T& v) {
+    const std::uint32_t key = prefix.network().value();
+    const int len = prefix.length();
+    std::uint32_t cur = 0;
+    while (len_of(nodes_[cur]) < len) {
+      const std::uint32_t c =
+          nodes_[cur].child[bit_at(key, len_of(nodes_[cur]))];
+      if (c == kNil) return out;
+      if (len_of(nodes_[c]) >= len) {
+        // The edge to `c` crosses the query length; the whole subtree is
+        // covered iff the child's key matches the query through `len` bits.
+        if ((nodes_[c].key & mask(len)) != key) return out;
+        cur = c;
+        break;
+      }
+      if ((key & mask(len_of(nodes_[c]))) != nodes_[c].key) return out;
+      cur = c;
+    }
+    visit_subtree(cur, [&](const Prefix& p, const T& v) {
       if (p != prefix) out.emplace_back(p, &v);
     });
     return out;
@@ -96,134 +256,241 @@ class PrefixTrie {
   /// the roots of the allocation forest.
   std::vector<std::pair<Prefix, const T*>> roots() const {
     std::vector<std::pair<Prefix, const T*>> out;
-    collect_roots(root_.get(), Prefix{}, out);
+    collect_roots(0, out);
     return out;
   }
 
   /// Entries with a value and no valued descendant — the leaves.
   std::vector<std::pair<Prefix, const T*>> leaves() const {
     std::vector<std::pair<Prefix, const T*>> out;
-    collect_leaves(root_.get(), *Prefix::make(Ipv4Addr(0), 0), out);
+    collect_leaves(0, out);
     return out;
   }
 
-  /// Visit every (prefix, value) entry in address order.
-  void visit(const std::function<void(const Prefix&, const T&)>& fn) const {
-    visit_subtree(root_.get(), *Prefix::make(Ipv4Addr(0), 0), fn);
+  /// Visit every (prefix, value) entry in address order. `fn` is any
+  /// callable taking (const Prefix&, const T&); it inlines.
+  template <typename Fn>
+  void visit(Fn&& fn) const {
+    visit_subtree(0, fn);
+  }
+
+  /// Visit every stored value mutably, in arena (insertion) order — for
+  /// freeze-time normalization passes that don't care about address order.
+  template <typename Fn>
+  void for_each_value(Fn&& fn) {
+    for (T& value : values_) fn(value);
   }
 
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  /// Arena footprint, for benchmarks and capacity planning.
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t memory_bytes() const {
+    return nodes_.size() * sizeof(Node) + values_.size() * sizeof(T) +
+           jump_.size() * sizeof(JumpEntry);
+  }
+
  private:
-  struct Node {
-    std::unique_ptr<Node> child[2];
-    std::optional<T> value;
-    bool has_value = false;
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;   // child sentinel
+  static constexpr std::uint32_t kSlotMask = (1u << 26) - 1;
+  static constexpr std::uint32_t kNoSlot = kSlotMask;   // "no value" slot
+
+  /// Exactly 16 bytes and 16-aligned: four nodes per cache line, and a node
+  /// never straddles a line boundary. The prefix length (0..32) is packed
+  /// into the top 6 bits of `meta`; the value slot takes the low 26 bits
+  /// (up to ~67M valued entries, far beyond RIR/RIB scale).
+  struct alignas(16) Node {
+    std::uint32_t key = 0;  // network bits (host bits zero)
+    std::uint32_t child[2] = {kNil, kNil};
+    std::uint32_t meta = kNoSlot;  // [31:26] length, [25:0] value slot
+  };
+  static_assert(sizeof(Node) == 16);
+
+  static int len_of(const Node& n) { return static_cast<int>(n.meta >> 26); }
+  static std::uint32_t slot_of(const Node& n) { return n.meta & kSlotMask; }
+
+  /// Covering-query fast path: one bucket per top-kJumpBits bit pattern.
+  /// 2^13 buckets x 12 bytes = 96 KiB — small next to the arena it
+  /// accelerates, and shared by every query.
+  static constexpr int kJumpBits = 13;
+  struct JumpEntry {
+    std::uint32_t start = 0;        // deepest depth<=kJumpBits covering node
+    std::uint32_t shallow = kNil;   // first valued node on root..start path
+    std::uint32_t deep = kNil;      // last valued node on root..start path
   };
 
-  static int bit_at(Ipv4Addr addr, int depth) {
-    // depth 0 examines the most significant bit.
-    return (addr.value() >> (31 - depth)) & 1u;
+  static int bit_at(std::uint32_t key, int pos) {
+    // pos 0 examines the most significant bit; callers guarantee pos < 32.
+    return (key >> (31 - pos)) & 1u;
   }
 
-  Node* descend(const Prefix& prefix) {
-    Node* node = root_.get();
-    for (int d = 0; d < prefix.length(); ++d) {
-      node = node->child[bit_at(prefix.network(), d)].get();
-      if (!node) return nullptr;
+  static std::uint32_t mask(int len) {
+    return len == 0 ? 0u : ~std::uint32_t{0} << (32 - len);
+  }
+
+  /// Length of the common leading bit run of `a` and `b`, capped at `cap`.
+  static int common_len(std::uint32_t a, std::uint32_t b, int cap) {
+    return std::min(std::countl_zero(a ^ b), cap);
+  }
+
+  static bool covers(const Node& n, std::uint32_t key, int len) {
+    return len_of(n) <= len && (key & mask(len_of(n))) == n.key;
+  }
+
+  static Prefix prefix_of(const Node& n) {
+    return *Prefix::make(Ipv4Addr(n.key), len_of(n));
+  }
+
+  std::uint32_t new_node(std::uint32_t key, int len) {
+    nodes_.push_back(Node{key, {kNil, kNil},
+                          (static_cast<std::uint32_t>(len) << 26) | kNoSlot});
+    return static_cast<std::uint32_t>(nodes_.size() - 1);
+  }
+
+  T& assign(std::uint32_t idx, T value) {
+    std::uint32_t slot = slot_of(nodes_[idx]);
+    if (slot == kNoSlot) {
+      slot = static_cast<std::uint32_t>(values_.size());
+      assert(slot < kNoSlot);
+      values_.push_back(std::move(value));
+      nodes_[idx].meta = (nodes_[idx].meta & ~kSlotMask) | slot;
+      ++size_;
+    } else {
+      values_[slot] = std::move(value);
     }
-    return node;
+    return values_[slot];
   }
 
-  Node* descend_create(const Prefix& prefix) {
-    Node* node = root_.get();
-    for (int d = 0; d < prefix.length(); ++d) {
-      auto& next = node->child[bit_at(prefix.network(), d)];
-      if (!next) next = std::make_unique<Node>();
-      node = next.get();
+  std::optional<std::pair<Prefix, const T*>> entry_at(std::uint32_t idx) const {
+    if (idx == kNil) return std::nullopt;
+    return std::pair<Prefix, const T*>{prefix_of(nodes_[idx]),
+                                       &values_[slot_of(nodes_[idx])]};
+  }
+
+  /// Index of the node holding exactly `prefix`, or kNil. Descends blindly
+  /// by the query's bits and verifies the key once at the end (the classic
+  /// Patricia trick) — one child load per step, no per-step key compare.
+  std::uint32_t locate(const Prefix& prefix) const {
+    const std::uint32_t key = prefix.network().value();
+    const int len = prefix.length();
+    std::uint32_t cur = 0;
+    int cl = 0;  // root length
+    if (!jump_.empty() && len >= kJumpBits) {
+      // A node holding `prefix` exactly would sit in the start node's
+      // subtree (every shallower covering node covers its whole bucket),
+      // so the blind descent can begin there.
+      cur = jump_[key >> (32 - kJumpBits)].start;
+      cl = len_of(nodes_[cur]);
     }
-    return node;
+    while (cl < len) {
+      const std::uint32_t c = nodes_[cur].child[bit_at(key, cl)];
+      if (c == kNil) return kNil;
+      cur = c;
+      cl = len_of(nodes_[cur]);
+    }
+    return (cl == len && nodes_[cur].key == key) ? cur : kNil;
   }
 
-  /// Call `fn` for every valued node on the path from the root down to (and
-  /// including) `prefix`, least specific first.
-  void walk_path(const Prefix& prefix,
-                 const std::function<void(const Prefix&, const Node&)>& fn)
-      const {
-    const Node* node = root_.get();
-    std::uint32_t bits = 0;
-    for (int d = 0; d <= prefix.length(); ++d) {
-      if (node->has_value) {
-        fn(*Prefix::make(Ipv4Addr(bits), d), *node);
+  /// Call `fn(node index)` for every valued node whose prefix covers the
+  /// (key, len) query (including an exact match), least specific first.
+  template <typename Fn>
+  void walk_path(std::uint32_t key, int len, Fn&& fn) const {
+    if (slot_of(nodes_[0]) != kNoSlot) fn(0);
+    walk_below(0, key, len, fn);
+  }
+
+  /// Covering walk from `cur` downward: reports valued nodes strictly below
+  /// `cur` whose prefix covers the query, in root-to-leaf order. `cur` must
+  /// itself cover the query (callers start at the root or a jump-table
+  /// node). The hot inner loop touches only the current node's cache line;
+  /// callers that need the Prefix or value materialize them once from the
+  /// index.
+  template <typename Fn>
+  void walk_below(std::uint32_t cur, std::uint32_t key, int len,
+                  Fn&& fn) const {
+    for (;;) {
+      const Node& n = nodes_[cur];
+      if (len_of(n) == len) return;
+      const std::uint32_t c = n.child[bit_at(key, len_of(n))];
+      if (c == kNil) return;
+      const Node& cn = nodes_[c];
+      const int cl = len_of(cn);
+      // Divergence check: cn covers the query iff its key matches the
+      // query's leading cl bits (cl >= 1 here, so the shift is defined).
+      if (cl > len || ((key ^ cn.key) >> (32 - cl)) != 0) return;
+      if (slot_of(cn) != kNoSlot) fn(c);
+      cur = c;
+    }
+  }
+
+  /// DFS over the depth <= kJumpBits top of the trie: each node overwrites
+  /// its bucket range with itself as the walk start plus the valued-node
+  /// summary of the path so far, so deeper nodes win.
+  void fill_jump(std::uint32_t idx, std::uint32_t shallow,
+                 std::uint32_t deep) {
+    const Node& n = nodes_[idx];
+    if (slot_of(n) != kNoSlot) {
+      if (shallow == kNil) shallow = idx;
+      deep = idx;
+    }
+    const std::size_t lo = n.key >> (32 - kJumpBits);
+    const std::size_t count = std::size_t{1} << (kJumpBits - len_of(n));
+    for (std::size_t b = lo; b < lo + count; ++b) {
+      jump_[b] = JumpEntry{idx, shallow, deep};
+    }
+    for (int side = 0; side < 2; ++side) {
+      const std::uint32_t c = n.child[side];
+      if (c != kNil && len_of(nodes_[c]) <= kJumpBits) {
+        fill_jump(c, shallow, deep);
       }
-      if (d == prefix.length()) break;
-      int b = bit_at(prefix.network(), d);
-      node = node->child[b].get();
-      if (!node) break;
-      if (b) bits |= 1u << (31 - d);
     }
   }
 
-  static void visit_subtree(
-      const Node* node, const Prefix& at,
-      const std::function<void(const Prefix&, const T&)>& fn) {
-    if (node->has_value) fn(at, *node->value);
-    for (int b = 0; b < 2; ++b) {
-      if (!node->child[b]) continue;
-      std::uint32_t bits = at.network().value();
-      if (b) bits |= 1u << (31 - at.length());
-      visit_subtree(node->child[b].get(),
-                    *Prefix::make(Ipv4Addr(bits), at.length() + 1), fn);
-    }
+  /// Pre-order (node, then 0-branch, then 1-branch) == address order: a
+  /// node's prefix sorts before everything below it, and the whole 0-branch
+  /// sorts before the 1-branch. Depth is bounded by 33, so recursion is
+  /// safe.
+  template <typename Fn>
+  void visit_subtree(std::uint32_t idx, Fn&& fn) const {
+    const Node& n = nodes_[idx];
+    if (slot_of(n) != kNoSlot) fn(prefix_of(n), values_[slot_of(n)]);
+    if (n.child[0] != kNil) visit_subtree(n.child[0], fn);
+    if (n.child[1] != kNil) visit_subtree(n.child[1], fn);
   }
 
-  static bool has_valued_descendant(const Node* node) {
-    for (int b = 0; b < 2; ++b) {
-      const Node* c = node->child[b].get();
-      if (c && (c->has_value || has_valued_descendant(c))) return true;
-    }
-    return false;
-  }
-
-  /// Returns true if the subtree rooted at `node` contains any valued node.
-  static bool collect_leaves(const Node* node, const Prefix& at,
-                             std::vector<std::pair<Prefix, const T*>>& out) {
-    bool below = false;
-    std::size_t mark = out.size();
-    for (int b = 0; b < 2; ++b) {
-      if (!node->child[b]) continue;
-      std::uint32_t bits = at.network().value();
-      if (b) bits |= 1u << (31 - at.length());
-      below |= collect_leaves(node->child[b].get(),
-                              *Prefix::make(Ipv4Addr(bits), at.length() + 1),
-                              out);
-    }
-    if (node->has_value && !below) {
-      // Emit in address order: this node sorts before its (non-existent)
-      // valued descendants, so inserting at `mark` keeps ordering stable.
-      out.insert(out.begin() + static_cast<std::ptrdiff_t>(mark),
-                 {at, &*node->value});
-    }
-    return below || node->has_value;
-  }
-
-  void collect_roots(const Node* node, const Prefix& at,
+  void collect_roots(std::uint32_t idx,
                      std::vector<std::pair<Prefix, const T*>>& out) const {
-    if (node->has_value) {
-      out.emplace_back(at, &*node->value);
+    const Node& n = nodes_[idx];
+    if (slot_of(n) != kNoSlot) {
+      out.emplace_back(prefix_of(n), &values_[slot_of(n)]);
       return;  // everything below is covered by this root
     }
-    for (int b = 0; b < 2; ++b) {
-      if (!node->child[b]) continue;
-      std::uint32_t bits = at.network().value();
-      if (b) bits |= 1u << (31 - at.length());
-      collect_roots(node->child[b].get(),
-                    *Prefix::make(Ipv4Addr(bits), at.length() + 1), out);
-    }
+    if (n.child[0] != kNil) collect_roots(n.child[0], out);
+    if (n.child[1] != kNil) collect_roots(n.child[1], out);
   }
 
-  std::unique_ptr<Node> root_;
+  /// Returns true if the subtree at `idx` contains any valued node. A leaf
+  /// is appended *after* its children are scanned, but that is still a
+  /// plain push_back in address order: if the node qualifies, its subtree
+  /// contributed no entries, so the append position equals the pre-order
+  /// position (unlike the old trie's O(n) mid-vector insert).
+  bool collect_leaves(std::uint32_t idx,
+                      std::vector<std::pair<Prefix, const T*>>& out) const {
+    const Node& n = nodes_[idx];
+    bool below = false;
+    if (n.child[0] != kNil) below |= collect_leaves(n.child[0], out);
+    if (n.child[1] != kNil) below |= collect_leaves(n.child[1], out);
+    const bool valued = slot_of(n) != kNoSlot;
+    if (valued && !below) {
+      out.emplace_back(prefix_of(n), &values_[slot_of(n)]);
+    }
+    return below || valued;
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<T> values_;
+  std::vector<JumpEntry> jump_;  // empty until build_jump_table()
   std::size_t size_ = 0;
 };
 

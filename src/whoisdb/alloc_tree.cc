@@ -4,6 +4,11 @@ namespace sublet::whois {
 
 AllocationTree AllocationTree::build(const WhoisDb& db, AllocOptions options) {
   AllocationTree tree;
+  // Collect (prefix, block) pairs in parse order and bulk-build the trie in
+  // one freeze() pass. freeze() keeps the last occurrence of a duplicate
+  // prefix, which preserves the documented re-registration shadowing rule.
+  std::vector<std::pair<Prefix, const InetBlock*>> entries;
+  entries.reserve(db.blocks().size());
   for (const InetBlock& block : db.blocks()) {
     if (!block.range.valid()) continue;
     if (!options.include_legacy && block.portability == Portability::kLegacy) {
@@ -15,9 +20,10 @@ AllocationTree AllocationTree::build(const WhoisDb& db, AllocOptions options) {
         ++tree.skipped_hyper_;
         continue;
       }
-      tree.trie_.insert(prefix, &block);
+      entries.emplace_back(prefix, &block);
     }
   }
+  tree.trie_ = PrefixTrie<const InetBlock*>::freeze(std::move(entries));
 
   for (auto& [prefix, value] : tree.trie_.roots()) {
     tree.roots_.emplace_back(prefix, *value);

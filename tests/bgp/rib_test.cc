@@ -193,5 +193,44 @@ TEST(Rib, AddFileMissing) {
   EXPECT_TRUE(err);
 }
 
+TEST(Rib, FreezeSortsAndUniquesBatchedOrigins) {
+  Rib rib;
+  // Load-time appends arrive unsorted and with duplicates; freeze() must
+  // leave the same sorted/unique origin set the old per-route insertion
+  // maintained.
+  rib.add_route(P("10.0.0.0/8"), Asn(64500));
+  rib.add_route(P("10.0.0.0/8"), Asn(3));
+  rib.add_route(P("10.0.0.0/8"), Asn(64500));
+  rib.add_route(P("10.0.0.0/8"), Asn(7));
+  rib.freeze();
+  const RouteInfo* info = rib.exact(P("10.0.0.0/8"));
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->origins, (std::vector<Asn>{Asn(3), Asn(7), Asn(64500)}));
+  EXPECT_EQ(info->peer_observations, 4u);
+  EXPECT_TRUE(info->originated_by(Asn(7)));
+  EXPECT_FALSE(info->originated_by(Asn(8)));
+  // freeze() is idempotent and re-batching after a freeze works too.
+  rib.freeze();
+  rib.add_route(P("10.0.0.0/8"), Asn(5));
+  info = rib.exact(P("10.0.0.0/8"));
+  EXPECT_EQ(info->origins,
+            (std::vector<Asn>{Asn(3), Asn(5), Asn(7), Asn(64500)}));
+}
+
+TEST(Rib, QueriesFinalizeLazilyWithoutExplicitFreeze) {
+  Rib rib;
+  rib.add_route(P("10.0.0.0/8"), Asn(9));
+  rib.add_route(P("10.0.0.0/8"), Asn(2));
+  // No freeze() call: the const accessors must still see sorted origins.
+  auto hit = rib.most_specific_covering(P("10.1.0.0/16"));
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(hit->second->origins, (std::vector<Asn>{Asn(2), Asn(9)}));
+  std::vector<Asn> visited;
+  rib.visit([&](const Prefix&, const RouteInfo& info) {
+    visited = info.origins;
+  });
+  EXPECT_EQ(visited, (std::vector<Asn>{Asn(2), Asn(9)}));
+}
+
 }  // namespace
 }  // namespace sublet::bgp

@@ -105,5 +105,20 @@ TEST_P(PrefixSetProperty, AggregationPreservesUnion) {
 INSTANTIATE_TEST_SUITE_P(Seeds, PrefixSetProperty,
                          testing::Values(41, 42, 43));
 
+TEST(PrefixSet, CachedIntervalsInvalidateOnAdd) {
+  PrefixSet set;
+  set.add(*Prefix::parse("10.0.0.0/8"));
+  // Query once to populate the interval cache, then mutate and re-query:
+  // results must reflect the new member, not the cached merge.
+  EXPECT_TRUE(set.contains(*Ipv4Addr::parse("10.1.2.3")));
+  EXPECT_FALSE(set.contains(*Ipv4Addr::parse("192.0.2.1")));
+  EXPECT_EQ(set.address_count(), std::uint64_t{1} << 24);
+  set.add(*Prefix::parse("192.0.2.0/24"));
+  EXPECT_TRUE(set.contains(*Ipv4Addr::parse("192.0.2.1")));
+  EXPECT_TRUE(set.covers(*Prefix::parse("192.0.2.128/25")));
+  EXPECT_EQ(set.address_count(), (std::uint64_t{1} << 24) + 256);
+  EXPECT_EQ(set.aggregated().size(), 2u);
+}
+
 }  // namespace
 }  // namespace sublet

@@ -3,13 +3,29 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
+#include "netbase/legacy_prefix_trie.h"
 #include "util/rng.h"
 
 namespace sublet {
 namespace {
 
 Prefix P(const char* s) { return *Prefix::parse(s); }
+
+// Covering queries return (Prefix, const T*) pairs; deref the pointers so
+// results from two different tries compare by value, not by address.
+std::optional<std::pair<Prefix, int>> deref(
+    const std::optional<std::pair<Prefix, const int*>>& hit) {
+  if (!hit) return std::nullopt;
+  return std::pair<Prefix, int>{hit->first, *hit->second};
+}
+std::vector<std::pair<Prefix, int>> deref(
+    const std::vector<std::pair<Prefix, const int*>>& hits) {
+  std::vector<std::pair<Prefix, int>> out;
+  for (const auto& [p, v] : hits) out.emplace_back(p, *v);
+  return out;
+}
 
 TEST(PrefixTrie, InsertAndFindExact) {
   PrefixTrie<std::string> trie;
@@ -149,6 +165,245 @@ TEST(PrefixTrie, EmptyTrieQueries) {
   EXPECT_TRUE(trie.leaves().empty());
   EXPECT_TRUE(trie.descendants(P("0.0.0.0/0")).empty());
 }
+
+TEST(PrefixTrie, SlashZeroIsUniversalCover) {
+  PrefixTrie<int> trie;
+  trie.insert(P("0.0.0.0/0"), 1);
+  trie.insert(P("213.210.0.0/18"), 2);
+  for (const char* q : {"0.0.0.0/32", "255.255.255.255/32", "10.0.0.0/8",
+                        "213.210.33.0/24", "0.0.0.0/0"}) {
+    auto least = trie.least_specific_covering(P(q));
+    ASSERT_TRUE(least) << q;
+    EXPECT_EQ(least->first.length(), 0) << q;
+    EXPECT_EQ(*least->second, 1) << q;
+  }
+  // /0 is also in every all_covering chain, first.
+  auto chain = trie.all_covering(P("213.210.32.0/20"));
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(*chain[0].second, 1);
+  EXPECT_EQ(*chain[1].second, 2);
+}
+
+TEST(PrefixTrie, HostRoutesAtAddressSpaceEdges) {
+  PrefixTrie<std::string> trie;
+  trie.insert(P("0.0.0.0/32"), "zero");
+  trie.insert(P("255.255.255.255/32"), "ones");
+  EXPECT_EQ(*trie.find(P("0.0.0.0/32")), "zero");
+  EXPECT_EQ(*trie.find(P("255.255.255.255/32")), "ones");
+  EXPECT_EQ(trie.find(P("128.0.0.0/32")), nullptr);
+  auto hit = trie.most_specific_covering(P("255.255.255.255/32"));
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(*hit->second, "ones");
+  // Address-order visit: 0.0.0.0/32 first, 255.255.255.255/32 last.
+  std::vector<std::string> order;
+  trie.visit([&](const Prefix&, const std::string& v) { order.push_back(v); });
+  EXPECT_EQ(order, (std::vector<std::string>{"zero", "ones"}));
+  auto leaves = trie.leaves();
+  ASSERT_EQ(leaves.size(), 2u);
+  EXPECT_EQ(leaves[0].first.to_string(), "0.0.0.0/32");
+  EXPECT_EQ(leaves[1].first.to_string(), "255.255.255.255/32");
+}
+
+TEST(PrefixTrie, DescendantsExcludeQueryPrefix) {
+  PrefixTrie<int> trie;
+  trie.insert(P("213.210.0.0/18"), 1);  // valued at the query itself
+  trie.insert(P("213.210.2.0/23"), 2);
+  auto desc = trie.descendants(P("213.210.0.0/18"));
+  ASSERT_EQ(desc.size(), 1u);
+  EXPECT_EQ(*desc[0].second, 2);
+  // Also when the query prefix has no node of its own (mid-edge query).
+  auto mid = trie.descendants(P("213.210.0.0/16"));
+  ASSERT_EQ(mid.size(), 2u);
+  EXPECT_EQ(*mid[0].second, 1);
+  EXPECT_EQ(*mid[1].second, 2);
+  // Sibling space: no descendants.
+  EXPECT_TRUE(trie.descendants(P("213.211.0.0/16")).empty());
+}
+
+// Regression for the old collect_leaves O(n²) shape: a deep chain where
+// every node on the path is valued must yield exactly the deepest entry,
+// in one linear pass.
+TEST(PrefixTrie, LeavesDeepValuedChain) {
+  PrefixTrie<int> trie;
+  std::uint32_t base = 0x0A000000;  // 10.0.0.0
+  for (int len = 8; len <= 32; ++len) {
+    trie.insert(*Prefix::make(Ipv4Addr(base), len), len);
+  }
+  auto leaves = trie.leaves();
+  ASSERT_EQ(leaves.size(), 1u);
+  EXPECT_EQ(leaves[0].first.length(), 32);
+  EXPECT_EQ(*leaves[0].second, 32);
+  auto roots = trie.roots();
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0].first.length(), 8);
+  // Many deep valued chains side by side stay address-ordered.
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    std::uint32_t net = 0xC0000000 | (i << 16);  // 192.i/16 chains
+    for (int len = 16; len <= 24; ++len) {
+      trie.insert(*Prefix::make(Ipv4Addr(net), len), static_cast<int>(i));
+    }
+  }
+  leaves = trie.leaves();
+  ASSERT_EQ(leaves.size(), 65u);
+  for (std::size_t i = 1; i < leaves.size(); ++i) {
+    EXPECT_LT(leaves[i - 1].first, leaves[i].first);
+  }
+}
+
+TEST(PrefixTrie, FreezeMatchesIncrementalConstruction) {
+  std::vector<std::pair<Prefix, int>> entries = {
+      {P("213.210.0.0/18"), 1},  {P("213.210.2.0/23"), 2},
+      {P("213.210.32.0/19"), 3}, {P("213.210.33.0/24"), 4},
+      {P("198.51.100.0/24"), 5}, {P("0.0.0.0/0"), 6},
+      {P("10.0.0.0/8"), 7},      {P("10.128.0.0/9"), 8},
+  };
+  PrefixTrie<int> incremental;
+  for (const auto& [p, v] : entries) incremental.insert(p, v);
+  auto frozen = PrefixTrie<int>::freeze(entries);
+
+  EXPECT_EQ(frozen.size(), incremental.size());
+  auto dump = [](const PrefixTrie<int>& t) {
+    std::vector<std::pair<Prefix, int>> out;
+    t.visit([&](const Prefix& p, const int& v) { out.emplace_back(p, v); });
+    return out;
+  };
+  EXPECT_EQ(dump(frozen), dump(incremental));
+  auto pairs = [](const std::vector<std::pair<Prefix, const int*>>& v) {
+    std::vector<std::pair<Prefix, int>> out;
+    for (const auto& [p, ptr] : v) out.emplace_back(p, *ptr);
+    return out;
+  };
+  EXPECT_EQ(pairs(frozen.roots()), pairs(incremental.roots()));
+  EXPECT_EQ(pairs(frozen.leaves()), pairs(incremental.leaves()));
+  for (const auto& [p, v] : entries) {
+    ASSERT_NE(frozen.find(p), nullptr);
+    EXPECT_EQ(*frozen.find(p), v);
+  }
+}
+
+TEST(PrefixTrie, FreezeDuplicateKeepsLast) {
+  std::vector<std::pair<Prefix, int>> entries = {
+      {P("10.0.0.0/8"), 1}, {P("192.0.2.0/24"), 2}, {P("10.0.0.0/8"), 3}};
+  auto trie = PrefixTrie<int>::freeze(entries);
+  EXPECT_EQ(trie.size(), 2u);
+  EXPECT_EQ(*trie.find(P("10.0.0.0/8")), 3);
+}
+
+TEST(PrefixTrie, InsertAfterFreezeInvalidatesJumpTable) {
+  // freeze() enables the level-compressed covering fast path; a later
+  // insert must not serve covering queries from the stale table.
+  auto trie = PrefixTrie<int>::freeze(
+      {{P("10.0.0.0/8"), 1}, {P("10.20.30.0/24"), 2}});
+  auto q = P("10.20.30.40/32");
+  ASSERT_TRUE(trie.most_specific_covering(q));
+  EXPECT_EQ(*trie.most_specific_covering(q)->second, 2);
+  trie.insert(P("10.20.30.40/31"), 3);   // deeper than the frozen entries
+  trie.insert(P("0.0.0.0/0"), 4);        // shallower than all of them
+  EXPECT_EQ(*trie.most_specific_covering(q)->second, 3);
+  EXPECT_EQ(*trie.least_specific_covering(q)->second, 4);
+  trie.build_jump_table();  // re-enable the fast path; answers must hold
+  EXPECT_EQ(*trie.most_specific_covering(q)->second, 3);
+  EXPECT_EQ(*trie.least_specific_covering(q)->second, 4);
+}
+
+// Property: incremental insert and bulk freeze agree on the whole query
+// surface for random entry sets.
+class TrieFreezeProperty : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrieFreezeProperty, FreezeEquivalentToInsert) {
+  Rng rng(GetParam());
+  PrefixTrie<int> incremental;
+  std::vector<std::pair<Prefix, int>> entries;
+  for (int i = 0; i < 400; ++i) {
+    int len = static_cast<int>(rng.next_in(0, 32));
+    auto p = *Prefix::make(Ipv4Addr(static_cast<std::uint32_t>(rng.next_u64())),
+                           len);
+    incremental.insert(p, i);
+    entries.emplace_back(p, i);
+  }
+  auto frozen = PrefixTrie<int>::freeze(entries);
+  EXPECT_EQ(frozen.size(), incremental.size());
+  EXPECT_EQ(frozen.node_count(), incremental.node_count());
+
+  std::vector<std::pair<Prefix, int>> a, b;
+  incremental.visit([&](const Prefix& p, const int& v) { a.emplace_back(p, v); });
+  frozen.visit([&](const Prefix& p, const int& v) { b.emplace_back(p, v); });
+  EXPECT_EQ(a, b);
+
+  auto keys = [](const std::vector<std::pair<Prefix, const int*>>& v) {
+    std::vector<Prefix> out;
+    for (const auto& [p, ptr] : v) out.push_back(p);
+    return out;
+  };
+  EXPECT_EQ(keys(frozen.roots()), keys(incremental.roots()));
+  EXPECT_EQ(keys(frozen.leaves()), keys(incremental.leaves()));
+
+  for (int q = 0; q < 200; ++q) {
+    int len = static_cast<int>(rng.next_in(0, 32));
+    auto query = *Prefix::make(
+        Ipv4Addr(static_cast<std::uint32_t>(rng.next_u64())), len);
+    auto fi = frozen.find(query);
+    auto ii = incremental.find(query);
+    ASSERT_EQ(fi != nullptr, ii != nullptr);
+    if (fi) EXPECT_EQ(*fi, *ii);
+    EXPECT_EQ(deref(frozen.most_specific_covering(query)),
+              deref(incremental.most_specific_covering(query)));
+    EXPECT_EQ(deref(frozen.least_specific_covering(query)),
+              deref(incremental.least_specific_covering(query)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieFreezeProperty,
+                         testing::Values(7, 77, 777));
+
+// Differential property: the arena trie agrees with the retained legacy
+// one-node-per-bit trie on every query type, for random workloads.
+class TrieLegacyDifferential : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrieLegacyDifferential, MatchesLegacyTrie) {
+  Rng rng(GetParam());
+  PrefixTrie<int> trie;
+  LegacyPrefixTrie<int> legacy;
+  for (int i = 0; i < 300; ++i) {
+    int len = static_cast<int>(rng.next_in(0, 30));
+    auto p = *Prefix::make(Ipv4Addr(static_cast<std::uint32_t>(rng.next_u64())),
+                           len);
+    trie.insert(p, i);
+    legacy.insert(p, i);
+  }
+  ASSERT_EQ(trie.size(), legacy.size());
+
+  std::vector<std::pair<Prefix, int>> a, b;
+  trie.visit([&](const Prefix& p, const int& v) { a.emplace_back(p, v); });
+  legacy.visit([&](const Prefix& p, const int& v) { b.emplace_back(p, v); });
+  EXPECT_EQ(a, b);
+
+  auto keys = [](const std::vector<std::pair<Prefix, const int*>>& v) {
+    std::vector<Prefix> out;
+    for (const auto& [p, ptr] : v) out.push_back(p);
+    return out;
+  };
+  EXPECT_EQ(keys(trie.roots()), keys(legacy.roots()));
+  EXPECT_EQ(keys(trie.leaves()), keys(legacy.leaves()));
+
+  for (int q = 0; q < 300; ++q) {
+    int len = static_cast<int>(rng.next_in(0, 32));
+    auto query = *Prefix::make(
+        Ipv4Addr(static_cast<std::uint32_t>(rng.next_u64())), len);
+    EXPECT_EQ(deref(trie.most_specific_covering(query)),
+              deref(legacy.most_specific_covering(query)));
+    EXPECT_EQ(deref(trie.least_specific_covering(query)),
+              deref(legacy.least_specific_covering(query)));
+    EXPECT_EQ(deref(trie.all_covering(query)), deref(legacy.all_covering(query)));
+    EXPECT_EQ(keys(trie.descendants(query)), keys(legacy.descendants(query)));
+  }
+  // The arena layout should be dramatically smaller than the per-bit heap
+  // trie for the same entries.
+  EXPECT_LT(trie.memory_bytes() * 2, legacy.memory_bytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieLegacyDifferential,
+                         testing::Values(13, 29, 31337));
 
 // Property: for random entry sets, most_specific_covering agrees with a
 // brute-force scan.
