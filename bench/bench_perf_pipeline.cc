@@ -1,21 +1,30 @@
-// P1 — pipeline performance: generation, parse, and classification
-// throughput as the world grows (google-benchmark).
+// P1 — pipeline performance: generation, parse, classification, snapshot,
+// and serving throughput as the world grows (google-benchmark).
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <thread>
 #include <type_traits>
 
 #include "asgraph/as_graph.h"
 #include "leasing/dataset.h"
 #include "leasing/pipeline.h"
+#include "leasing/report.h"
 #include "memstats.h"
 #include "mrt/rib_file.h"
 #include "netbase/legacy_prefix_trie.h"
 #include "netbase/prefix_trie.h"
+#include "serve/client.h"
+#include "serve/query_engine.h"
+#include "serve/server.h"
 #include "simnet/builder.h"
 #include "simnet/emit.h"
+#include "snapshot/snapshot.h"
+#include "snapshot/writer.h"
 #include "util/rng.h"
 #include "whoisdb/parse.h"
 
@@ -337,6 +346,215 @@ void BM_DatasetLoad(benchmark::State& state) {
 BENCHMARK(BM_DatasetLoad)
     ->Args({100, 1})
     ->Args({100, 4})
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Snapshot + serving: pack/load throughput of the binary inference snapshot
+// (vs re-parsing the CSV artifact) and loopback queries/sec as the server's
+// handler-thread count grows (docs/SERVING.md).
+// ---------------------------------------------------------------------------
+
+/// Deterministic classified-world-shaped records: unique /24 leaves with
+/// realistically repetitive org/netname/maintainer strings.
+std::vector<leasing::LeaseInference> synthetic_inferences(std::size_t n) {
+  std::vector<leasing::LeaseInference> out;
+  out.reserve(n);
+  Rng rng(20240406);
+  for (std::size_t i = 0; i < n; ++i) {
+    leasing::LeaseInference r;
+    r.prefix = *Prefix::make(
+        Ipv4Addr(static_cast<std::uint32_t>(i) << 8), 24);
+    r.root_prefix = *Prefix::make(
+        Ipv4Addr((static_cast<std::uint32_t>(i) << 8) & 0xFFFF0000u), 16);
+    r.rir = static_cast<whois::Rir>(i % 5);
+    r.group = leasing::kAllInferenceGroups[rng.next_u64() %
+                                           leasing::kAllInferenceGroups
+                                               .size()];
+    r.holder_org = "ORG-BENCH-" + std::to_string(rng.next_u64() % 997);
+    r.holder_asns = {Asn(static_cast<std::uint32_t>(
+        64512 + rng.next_u64() % 1024))};
+    r.leaf_origins = {Asn(static_cast<std::uint32_t>(
+        65000 + rng.next_u64() % 512))};
+    r.root_origins = r.holder_asns;
+    r.leaf_maintainers = {"MNT-" + std::to_string(rng.next_u64() % 53)};
+    r.netname = "NET-" + std::to_string(rng.next_u64() % 499);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+struct SnapshotBenchFiles {
+  std::string csv;
+  std::string snap;
+};
+
+/// Write the CSV artifact and the snapshot once per (count, format version)
+/// and cache them for the process, mirroring dataset_for().
+const SnapshotBenchFiles& snapshot_bench_files(std::size_t n) {
+  static std::map<std::size_t, SnapshotBenchFiles> cache;
+  auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+  std::string base = "/tmp/sublet-snapbench-v" +
+                     std::to_string(snapshot::kVersion) + "-" +
+                     std::to_string(n);
+  SnapshotBenchFiles files{base + ".csv", base + ".snap"};
+  if (!std::filesystem::exists(base + ".complete")) {
+    auto inferences = synthetic_inferences(n);
+    leasing::save_inferences_csv(files.csv, inferences);
+    snapshot::write_snapshot_file(files.snap, inferences);
+    std::ofstream(base + ".complete") << "ok\n";
+  }
+  return cache.emplace(n, std::move(files)).first->second;
+}
+
+void BM_SnapshotWrite(benchmark::State& state) {
+  auto inferences = synthetic_inferences(
+      static_cast<std::size_t>(state.range(0)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    auto encoded = snapshot::encode_snapshot(inferences);
+    bytes = encoded.size();
+    benchmark::DoNotOptimize(encoded);
+  }
+  state.counters["snap_mb"] = static_cast<double>(bytes) / 1e6;
+  state.counters["peak_rss_mb"] = bench::peak_rss_megabytes();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inferences.size()));
+}
+BENCHMARK(BM_SnapshotWrite)
+    ->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+/// Loading the snapshot must beat re-parsing the CSV artifact by >= 10x at
+/// 100k records — the acceptance bar for the serving layer. The counters
+/// record both sides so BENCH_perf_pipeline.json carries the margin.
+void BM_SnapshotLoadVsCsv(benchmark::State& state) {
+  const auto& files =
+      snapshot_bench_files(static_cast<std::size_t>(state.range(0)));
+  std::size_t records = 0;
+  for (auto _ : state) {
+    auto snap = snapshot::Snapshot::open(files.snap,
+                                         snapshot::Snapshot::Mode::kRead);
+    if (!snap) {
+      state.SkipWithError("snapshot load failed");
+      return;
+    }
+    records = snap->record_count();
+    benchmark::DoNotOptimize(snap);
+  }
+  using clock = std::chrono::steady_clock;
+  // Best-of-three wall times for each side, measured outside the benchmark
+  // loop so the ratio is not polluted by timer overhead.
+  double snap_ns = 1e18, csv_ns = 1e18;
+  for (int round = 0; round < 3; ++round) {
+    auto t0 = clock::now();
+    auto snap = snapshot::Snapshot::open(files.snap,
+                                         snapshot::Snapshot::Mode::kRead);
+    auto t1 = clock::now();
+    benchmark::DoNotOptimize(snap);
+    snap_ns = std::min(
+        snap_ns, static_cast<double>(
+                     std::chrono::nanoseconds(t1 - t0).count()));
+    auto t2 = clock::now();
+    auto parsed = leasing::load_inferences_csv(files.csv);
+    auto t3 = clock::now();
+    if (!parsed || parsed->size() != records) {
+      state.SkipWithError("CSV artifact failed to parse");
+      return;
+    }
+    benchmark::DoNotOptimize(parsed);
+    csv_ns = std::min(
+        csv_ns, static_cast<double>(
+                    std::chrono::nanoseconds(t3 - t2).count()));
+  }
+  double speedup = csv_ns / snap_ns;
+  state.counters["records"] = static_cast<double>(records);
+  state.counters["csv_parse_ms"] = csv_ns / 1e6;
+  state.counters["snap_load_ms"] = snap_ns / 1e6;
+  state.counters["speedup_vs_csv"] = speedup;
+  state.counters["peak_rss_mb"] = bench::peak_rss_megabytes();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records));
+  if (state.range(0) >= 100000 && speedup < 10.0) {
+    state.SkipWithError("snapshot load is not >= 10x faster than CSV parse");
+  }
+}
+BENCHMARK(BM_SnapshotLoadVsCsv)
+    ->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+/// Arg: server handler threads. Eight loopback clients fan requests at the
+/// server; items/sec is end-to-end queries/sec including the TCP hop.
+void BM_ServeQueries(benchmark::State& state) {
+  const auto& files = snapshot_bench_files(100000);
+  auto snap = snapshot::Snapshot::open(files.snap);
+  if (!snap) {
+    state.SkipWithError("snapshot load failed");
+    return;
+  }
+  auto engine = serve::QueryEngine::create(&*snap);
+  if (!engine) {
+    state.SkipWithError("engine build failed");
+    return;
+  }
+  serve::QueryServer::Options options;
+  options.threads = static_cast<unsigned>(state.range(0));
+  serve::QueryServer server(*engine, options);
+  auto port = server.start();
+  if (!port) {
+    state.SkipWithError("server failed to start");
+    return;
+  }
+  // Query stream: EXACT hits over a cycle of known leaves.
+  std::vector<std::string> queries;
+  for (std::uint32_t i = 0; i < 1024; ++i) {
+    queries.push_back(
+        "EXACT " +
+        Prefix::make(Ipv4Addr((i * 97u % 100000u) << 8), 24)->to_string());
+  }
+  // Each worker opens its own connection per iteration and closes it when
+  // done — required for the threads=1 (inline pool) server, which serves
+  // one connection to completion before accepting the next.
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 128;
+  std::atomic<int> failures{0};
+  for (auto _ : state) {
+    std::vector<std::thread> workers;
+    workers.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      workers.emplace_back([&, c] {
+        auto client = serve::QueryClient::connect("127.0.0.1", *port);
+        if (!client) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        for (int i = 0; i < kPerClient; ++i) {
+          auto response = client->request(
+              queries[static_cast<std::size_t>(c * kPerClient + i) %
+                      queries.size()]);
+          if (!response) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  server.stop();
+  if (failures.load() != 0) {
+    state.SkipWithError("request round trips failed");
+    return;
+  }
+  state.counters["server_threads"] =
+      static_cast<double>(state.range(0));
+  state.counters["clients"] = kClients;
+  state.counters["peak_rss_mb"] = bench::peak_rss_megabytes();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kClients * kPerClient);
+}
+BENCHMARK(BM_ServeQueries)
+    ->Arg(1)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
 void BM_RpkiValidate(benchmark::State& state) {

@@ -1,6 +1,5 @@
 #include "leasing/report.h"
 
-#include <array>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -11,11 +10,6 @@
 namespace sublet::leasing {
 
 namespace {
-
-constexpr std::array<InferenceGroup, 6> kAllGroups = {
-    InferenceGroup::kUnused,           InferenceGroup::kAggregatedCustomer,
-    InferenceGroup::kIspCustomer,      InferenceGroup::kLeasedNoRoot,
-    InferenceGroup::kDelegatedCustomer, InferenceGroup::kLeasedWithRoot};
 
 std::string join_asns(const std::vector<Asn>& asns) {
   std::vector<std::string> parts;
@@ -42,13 +36,6 @@ std::vector<std::string> parse_handles(std::string_view field) {
 }
 
 }  // namespace
-
-std::optional<InferenceGroup> group_from_name(std::string_view name) {
-  for (InferenceGroup group : kAllGroups) {
-    if (name == group_name(group)) return group;
-  }
-  return std::nullopt;
-}
 
 void write_inferences_csv(std::ostream& out,
                           const std::vector<LeaseInference>& inferences) {
@@ -84,9 +71,11 @@ Expected<std::vector<LeaseInference>> read_inferences_csv(std::istream& in) {
   std::vector<LeaseInference> out;
   std::string line;
   std::size_t line_no = 0;
-  while (std::getline(in, line)) {
+  // read_csv_record keeps quoted fields intact across embedded newlines, so
+  // org names and netnames containing commas, quotes, or line breaks
+  // round-trip byte-for-byte through write_inferences_csv.
+  while (read_csv_record(in, line)) {
     ++line_no;
-    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() || line[0] == '#') continue;
     auto fields = parse_csv_line(line);
     if (line_no == 1 && !fields.empty() && fields[0] == "prefix") continue;

@@ -25,11 +25,10 @@ void save_inferences_csv(const std::string& path,
 
 /// Read the artifact back. Unknown group names or bad prefixes yield an
 /// Error (the artifact is machine-written; damage means the wrong file).
+/// Quoted fields round-trip exactly, including embedded separators,
+/// quotes, and newlines (group_from_name lives in leasing/types.h).
 Expected<std::vector<LeaseInference>> read_inferences_csv(std::istream& in);
 Expected<std::vector<LeaseInference>> load_inferences_csv(
     const std::string& path);
-
-/// Parse a group label written by group_name().
-std::optional<InferenceGroup> group_from_name(std::string_view name);
 
 }  // namespace sublet::leasing

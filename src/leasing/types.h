@@ -1,8 +1,10 @@
 // Core types of the lease-inference pipeline (paper §5.2).
 #pragma once
 
+#include <array>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "netbase/asn.h"
@@ -37,6 +39,37 @@ constexpr std::string_view group_name(InferenceGroup group) {
   }
   return "?";
 }
+
+/// Every enumerator, in declaration order. A new group must be added here
+/// (and given a label) or the static_assert below fails to compile.
+inline constexpr std::array<InferenceGroup, 6> kAllInferenceGroups = {
+    InferenceGroup::kUnused,           InferenceGroup::kAggregatedCustomer,
+    InferenceGroup::kIspCustomer,      InferenceGroup::kLeasedNoRoot,
+    InferenceGroup::kDelegatedCustomer, InferenceGroup::kLeasedWithRoot};
+
+/// Parse a group label written by group_name().
+constexpr std::optional<InferenceGroup> group_from_name(
+    std::string_view name) {
+  for (InferenceGroup group : kAllInferenceGroups) {
+    if (name == group_name(group)) return group;
+  }
+  return std::nullopt;
+}
+
+// Exhaustiveness: every enumerator has a real label (not the "?" fallback)
+// and round-trips through group_from_name, so a future group can't silently
+// serialize as "?" and fail to parse back. kAllInferenceGroups itself is
+// kept complete by -Wswitch on the switches above: an unlisted enumerator
+// shows up as an unhandled case the moment group_name() is touched.
+static_assert(
+    [] {
+      for (InferenceGroup group : kAllInferenceGroups) {
+        if (group_name(group) == "?") return false;
+        if (group_from_name(group_name(group)) != group) return false;
+      }
+      return true;
+    }(),
+    "every InferenceGroup must round-trip through group_name/group_from_name");
 
 /// Numeric group (1-4) as the paper's Table 1 reports it.
 constexpr int group_number(InferenceGroup group) {

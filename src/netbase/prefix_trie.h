@@ -31,11 +31,15 @@
 #include <bit>
 #include <cassert>
 #include <cstdint>
+#include <cstring>
 #include <optional>
+#include <span>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "netbase/ipv4.h"
+#include "util/expected.h"
 
 namespace sublet {
 
@@ -283,6 +287,93 @@ class PrefixTrie {
 
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
+
+  // ---- Raw-arena (de)serialization hooks (src/snapshot/) ----------------
+  //
+  // The arena is already one contiguous block of trivially copyable nodes
+  // plus a parallel value vector, so a frozen trie round-trips through a
+  // snapshot file as two bulk byte sections — no per-node parsing. Only
+  // available when T itself is trivially copyable (the snapshot stores
+  // record indices). The jump table is rebuilt on adoption, not stored.
+
+  /// Raw bytes of the node arena (includes the root at index 0).
+  std::span<const std::uint8_t> node_bytes() const {
+    static_assert(std::is_trivially_copyable_v<Node>);
+    return {reinterpret_cast<const std::uint8_t*>(nodes_.data()),
+            nodes_.size() * sizeof(Node)};
+  }
+
+  /// Raw bytes of the value slot vector, parallel to the valued nodes.
+  std::span<const std::uint8_t> value_bytes() const {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "arena serialization requires a trivially copyable T");
+    return {reinterpret_cast<const std::uint8_t*>(values_.data()),
+            values_.size() * sizeof(T)};
+  }
+
+  /// Rebuild a trie from arena bytes written by node_bytes()/value_bytes().
+  /// The bytes are untrusted (they come from a file): every structural
+  /// invariant that keeps traversals in-bounds and loop-free is checked —
+  /// child indices in range, prefix lengths strictly increasing downward,
+  /// canonical keys, value slots in range. Returns Error, never crashes.
+  static Expected<PrefixTrie> from_arena(std::span<const std::uint8_t> nodes,
+                                         std::span<const std::uint8_t> values) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "arena adoption requires a trivially copyable T");
+    if (nodes.size() % sizeof(Node) != 0 || nodes.empty()) {
+      return fail("trie node section is not a whole number of nodes");
+    }
+    if (values.size() % sizeof(T) != 0) {
+      return fail("trie value section is not a whole number of values");
+    }
+    PrefixTrie trie;
+    trie.nodes_.resize(nodes.size() / sizeof(Node));
+    std::memcpy(trie.nodes_.data(), nodes.data(), nodes.size());
+    trie.values_.resize(values.size() / sizeof(T));
+    if (!values.empty()) {
+      std::memcpy(trie.values_.data(), values.data(), values.size());
+    }
+    const std::uint32_t node_count =
+        static_cast<std::uint32_t>(trie.nodes_.size());
+    const std::uint32_t value_count =
+        static_cast<std::uint32_t>(trie.values_.size());
+    if (len_of(trie.nodes_[0]) != 0 || trie.nodes_[0].key != 0) {
+      return fail("trie root is not the /0 node");
+    }
+    std::size_t valued = 0;
+    for (std::uint32_t i = 0; i < node_count; ++i) {
+      const Node& n = trie.nodes_[i];
+      if (len_of(n) > 32) return fail("trie node has length > 32");
+      if ((n.key & ~mask(len_of(n))) != 0) {
+        return fail("trie node key has host bits set");
+      }
+      for (int side = 0; side < 2; ++side) {
+        const std::uint32_t c = n.child[side];
+        if (c == kNil) continue;
+        if (c == 0 || c >= node_count) {
+          return fail("trie child index out of range");
+        }
+        if (len_of(trie.nodes_[c]) <= len_of(n)) {
+          return fail("trie child does not deepen the prefix");
+        }
+        if (bit_at(trie.nodes_[c].key, len_of(n)) != side) {
+          return fail("trie child hangs off the wrong branch");
+        }
+      }
+      if (slot_of(n) != kNoSlot) {
+        if (slot_of(n) >= value_count) {
+          return fail("trie value slot out of range");
+        }
+        ++valued;
+      }
+    }
+    if (valued != value_count) {
+      return fail("trie value count does not match valued nodes");
+    }
+    trie.size_ = valued;
+    trie.build_jump_table();
+    return trie;
+  }
 
   /// Arena footprint, for benchmarks and capacity planning.
   std::size_t node_count() const { return nodes_.size(); }

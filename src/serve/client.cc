@@ -1,0 +1,83 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace sublet::serve {
+
+QueryClient::QueryClient(QueryClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+QueryClient& QueryClient::operator=(QueryClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+QueryClient::~QueryClient() { close(); }
+
+void QueryClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Expected<QueryClient> QueryClient::connect(const std::string& host,
+                                           std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return fail("socket(): " + std::string(strerror(errno)));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return fail("bad host address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::string message = "connect(): " + std::string(strerror(errno));
+    ::close(fd);
+    return fail(std::move(message));
+  }
+  return QueryClient(fd);
+}
+
+Expected<std::string> QueryClient::request(std::string_view line) {
+  if (fd_ < 0) return fail("client is closed");
+  std::string out(line);
+  out += '\n';
+  std::string_view data = out;
+  while (!data.empty()) {
+    ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return fail("send(): connection lost");
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  char chunk[4096];
+  for (;;) {
+    std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string response = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!response.empty() && response.back() == '\r') response.pop_back();
+      return response;
+    }
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return fail("recv(): connection closed mid-response");
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace sublet::serve

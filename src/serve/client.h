@@ -1,0 +1,41 @@
+// Loopback client for the prefix-query wire protocol.
+//
+// One blocking TCP connection, one request line in, one response line out —
+// used by the tests, the CLI `query` subcommand, and the serving benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/expected.h"
+
+namespace sublet::serve {
+
+class QueryClient {
+ public:
+  QueryClient(QueryClient&& other) noexcept;
+  QueryClient& operator=(QueryClient&& other) noexcept;
+  ~QueryClient();
+
+  QueryClient(const QueryClient&) = delete;
+  QueryClient& operator=(const QueryClient&) = delete;
+
+  /// Connect to `host:port` (host is a dotted-quad, e.g. "127.0.0.1").
+  static Expected<QueryClient> connect(const std::string& host,
+                                       std::uint16_t port);
+
+  /// Send one request line and read the one-line response (returned
+  /// without the trailing newline). Error on a broken connection.
+  Expected<std::string> request(std::string_view line);
+
+  void close();
+
+ private:
+  explicit QueryClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string buffer_;  // bytes past the last returned response line
+};
+
+}  // namespace sublet::serve

@@ -1,0 +1,43 @@
+#include "serve/query_engine.h"
+
+#include "serve/json.h"
+
+namespace sublet::serve {
+
+Expected<QueryEngine> QueryEngine::create(const snapshot::Snapshot* snap) {
+  auto trie = snap->build_trie();
+  if (!trie) return trie.error();
+  return QueryEngine(snap, std::move(*trie));
+}
+
+std::string QueryEngine::record_json(std::uint32_t idx) const {
+  const snapshot::RecordRow& row = snap_->record(idx);
+  JsonWriter json;
+  json.begin_object();
+  json.key("found").value(true);
+  json.key("prefix").value(snap_->prefix_of(row).to_string());
+  json.key("rir").value(whois::rir_name(static_cast<whois::Rir>(row.rir)));
+  json.key("group").value(
+      leasing::group_name(static_cast<leasing::InferenceGroup>(row.group)));
+  json.key("leased").value(
+      leasing::is_leased(static_cast<leasing::InferenceGroup>(row.group)));
+  json.key("root_prefix").value(snap_->root_prefix_of(row).to_string());
+  json.key("holder_org").value(snap_->string_at(row.holder_org));
+  leasing::LeaseInference full = snap_->materialize(idx);
+  auto asn_array = [&](std::string_view key, const std::vector<Asn>& asns) {
+    json.begin_array(key);
+    for (Asn asn : asns) json.value(std::uint64_t{asn.value()});
+    json.end_array();
+  };
+  asn_array("holder_asns", full.holder_asns);
+  asn_array("leaf_origins", full.leaf_origins);
+  asn_array("root_origins", full.root_origins);
+  json.begin_array("facilitators");
+  for (const std::string& h : full.leaf_maintainers) json.value(h);
+  json.end_array();
+  json.key("netname").value(snap_->string_at(row.netname));
+  json.end_object();
+  return json.take();
+}
+
+}  // namespace sublet::serve

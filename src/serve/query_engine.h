@@ -1,0 +1,62 @@
+// In-memory query engine over a loaded snapshot.
+//
+// Wraps the adopted leaf-prefix trie and answers the two lookups the wire
+// protocol exposes: exact match and longest-prefix match, each returning
+// the record index whose full inference (evidence included) the caller can
+// materialize or render as JSON. Everything is const after construction —
+// one engine is shared by every server thread without locks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "netbase/prefix_trie.h"
+#include "snapshot/snapshot.h"
+#include "util/expected.h"
+
+namespace sublet::serve {
+
+class QueryEngine {
+ public:
+  /// Build from a loaded snapshot (adopts the trie arena). The snapshot
+  /// must outlive the engine; Error if the trie section is corrupt.
+  static Expected<QueryEngine> create(const snapshot::Snapshot* snap);
+
+  /// Record stored exactly at `prefix`.
+  std::optional<std::uint32_t> exact(const Prefix& prefix) const {
+    const std::uint32_t* idx = trie_.find(prefix);
+    if (idx == nullptr) return std::nullopt;
+    return *idx;
+  }
+
+  /// Most specific record covering `prefix` (longest-prefix match;
+  /// includes an exact hit). Returns the matched leaf and record index.
+  std::optional<std::pair<Prefix, std::uint32_t>> longest_match(
+      const Prefix& prefix) const {
+    auto hit = trie_.most_specific_covering(prefix);
+    if (!hit) return std::nullopt;
+    return std::pair<Prefix, std::uint32_t>{hit->first, *hit->second};
+  }
+
+  /// Full inference record for `idx`, identical to the pipeline's output.
+  leasing::LeaseInference materialize(std::uint32_t idx) const {
+    return snap_->materialize(idx);
+  }
+
+  /// One-line JSON rendering of record `idx` (the wire response body).
+  std::string record_json(std::uint32_t idx) const;
+
+  const snapshot::Snapshot& snapshot() const { return *snap_; }
+  std::size_t size() const { return trie_.size(); }
+
+ private:
+  QueryEngine(const snapshot::Snapshot* snap, PrefixTrie<std::uint32_t> trie)
+      : snap_(snap), trie_(std::move(trie)) {}
+
+  const snapshot::Snapshot* snap_;
+  PrefixTrie<std::uint32_t> trie_;
+};
+
+}  // namespace sublet::serve

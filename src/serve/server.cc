@@ -1,0 +1,264 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "serve/json.h"
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace sublet::serve {
+
+namespace {
+
+/// One request line must fit in this much buffered input; a client that
+/// streams more without a newline is cut off (defensive bound, not a
+/// protocol limit any legitimate request approaches).
+constexpr std::size_t kMaxBufferedInput = 1 << 20;
+
+bool write_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+std::string error_json(std::string_view message) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("error").value(message);
+  json.end_object();
+  return json.take();
+}
+
+}  // namespace
+
+std::string StatsSnapshot::to_json() const {
+  JsonWriter json;
+  json.begin_object();
+  json.key("requests").value(requests);
+  json.key("hits").value(hits);
+  json.key("misses").value(misses);
+  json.key("malformed").value(malformed);
+  json.key("p50_us").value(p50_us);
+  json.key("p99_us").value(p99_us);
+  json.end_object();
+  return json.take();
+}
+
+double LatencyHistogram::quantile_us(double q) const {
+  std::uint64_t total = 0;
+  for (const auto& bucket : buckets_) {
+    total += bucket.load(std::memory_order_relaxed);
+  }
+  if (total == 0) return 0.0;
+  auto target = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  if (target >= total) target = total - 1;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen > target) {
+      if (b == 0) return 0.0;
+      // Bucket b holds [2^(b-1), 2^b) ns; report the midpoint in us.
+      return 1.5 * static_cast<double>(std::uint64_t{1} << (b - 1)) / 1000.0;
+    }
+  }
+  return 0.0;
+}
+
+QueryServer::QueryServer(const QueryEngine& engine, Options options)
+    : engine_(engine), options_(options) {}
+
+QueryServer::~QueryServer() { stop(); }
+
+Expected<std::uint16_t> QueryServer::start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket(): " + std::string(strerror(errno)));
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    std::string message = "bind(): " + std::string(strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return fail(std::move(message));
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    std::string message = "listen(): " + std::string(strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return fail(std::move(message));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  pool_ = std::make_unique<par::ThreadPool>(options_.threads);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return port_;
+}
+
+void QueryServer::accept_loop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down (stop()) or fatal error
+    }
+    if (stop_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.insert(fd);
+    }
+    pool_->submit([this, fd] { handle_connection(fd); });
+  }
+}
+
+void QueryServer::handle_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    std::size_t nl = buffer.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      std::string response = handle_request(line);
+      response += '\n';
+      if (!write_all(fd, response)) break;
+      if (stop_.load(std::memory_order_acquire)) break;
+      continue;
+    }
+    if (buffer.size() > kMaxBufferedInput) break;
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // client closed, or stop() shut the socket down
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.erase(fd);
+  }
+  ::close(fd);
+}
+
+std::string QueryServer::handle_request(std::string_view line) {
+  const auto start = std::chrono::steady_clock::now();
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  std::string response;
+  std::vector<std::string_view> parts = split_ws(line);
+  const std::string_view verb = parts.empty() ? std::string_view() : parts[0];
+  auto parse_query = [](std::string_view text) -> std::optional<Prefix> {
+    if (auto prefix = Prefix::parse(text, /*canonicalize=*/true)) {
+      return prefix;
+    }
+    if (auto addr = Ipv4Addr::parse(text)) return Prefix::make(*addr, 32);
+    return std::nullopt;
+  };
+  if (iequals(verb, "STATS") && parts.size() == 1) {
+    response = stats().to_json();
+  } else if (iequals(verb, "SHUTDOWN") && parts.size() == 1) {
+    JsonWriter json;
+    json.begin_object();
+    json.key("ok").value(true);
+    json.key("stopping").value(true);
+    json.end_object();
+    response = json.take();
+    stop_.store(true, std::memory_order_release);
+    stop_cv_.notify_all();
+  } else if ((iequals(verb, "EXACT") || iequals(verb, "LPM")) &&
+             parts.size() == 2) {
+    std::optional<Prefix> query = parse_query(parts[1]);
+    if (!query) {
+      malformed_.fetch_add(1, std::memory_order_relaxed);
+      response = error_json("bad prefix '" + std::string(parts[1]) + "'");
+    } else {
+      std::optional<std::uint32_t> idx;
+      if (iequals(verb, "EXACT")) {
+        idx = engine_.exact(*query);
+      } else if (auto hit = engine_.longest_match(*query)) {
+        idx = hit->second;
+      }
+      if (idx) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        response = engine_.record_json(*idx);
+      } else {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        JsonWriter json;
+        json.begin_object();
+        json.key("found").value(false);
+        json.end_object();
+        response = json.take();
+      }
+    }
+  } else {
+    malformed_.fetch_add(1, std::memory_order_relaxed);
+    response = error_json("unknown request '" + std::string(verb) +
+                          "' (want EXACT|LPM|STATS|SHUTDOWN)");
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  latency_.record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
+  return response;
+}
+
+StatsSnapshot QueryServer::stats() const {
+  StatsSnapshot out;
+  out.requests = requests_.load(std::memory_order_relaxed);
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.malformed = malformed_.load(std::memory_order_relaxed);
+  out.p50_us = latency_.quantile_us(0.50);
+  out.p99_us = latency_.quantile_us(0.99);
+  return out;
+}
+
+void QueryServer::wait(const std::function<bool()>& predicate) {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  while (!stop_requested() && !(predicate && predicate())) {
+    stop_cv_.wait_for(lock, std::chrono::milliseconds(100));
+  }
+}
+
+void QueryServer::stop() {
+  stop_.store(true, std::memory_order_release);
+  stop_cv_.notify_all();
+  {
+    // Unblock every in-flight recv() so handlers drain promptly.
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (int fd : conns_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // Connections accepted while stop() was running registered after the
+    // first pass; the accept thread is joined, so this pass is complete.
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (int fd : conns_) ::shutdown(fd, SHUT_RDWR);
+  }
+  pool_.reset();  // drains queued handlers, then joins the workers
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+}  // namespace sublet::serve

@@ -1,0 +1,134 @@
+// Multi-threaded TCP prefix-query server (docs/SERVING.md).
+//
+// Wire protocol: newline-delimited requests, one single-line JSON response
+// per request:
+//
+//   EXACT <prefix>        record stored exactly at the prefix
+//   LPM <prefix|address>  longest-prefix match (an address means /32)
+//   STATS                 counters + latency percentiles
+//   SHUTDOWN              acknowledge, then ask the owner to stop
+//
+// The accept loop runs on its own thread; each accepted connection is
+// handled on the PR-1 ThreadPool (threads == 1 keeps the pool in inline
+// mode: connections are served one at a time on the accept thread, the
+// exact serial semantics the rest of the codebase uses for --threads 1).
+// Per-request counters — requests, hits, misses, malformed, p50/p99
+// latency — are lock-free atomics shared by all handler threads; the CLI
+// dumps them on SIGTERM and any client can read them via STATS.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+
+#include "serve/query_engine.h"
+#include "util/expected.h"
+#include "util/parallel.h"
+
+namespace sublet::serve {
+
+/// Point-in-time view of the per-request counters.
+struct StatsSnapshot {
+  std::uint64_t requests = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t malformed = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+
+  std::string to_json() const;
+};
+
+/// Lock-free latency histogram: one bucket per power-of-two nanosecond
+/// range. Percentiles are bucket-midpoint approximations — plenty for the
+/// p50/p99 the STATS command reports.
+class LatencyHistogram {
+ public:
+  void record(std::uint64_t nanos) {
+    int bucket = nanos == 0 ? 0 : 64 - std::countl_zero(nanos);
+    buckets_[static_cast<std::size_t>(bucket)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  /// Approximate `q`-quantile (0 < q < 1) in microseconds.
+  double quantile_us(double q) const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, 65> buckets_{};
+};
+
+class QueryServer {
+ public:
+  struct Options {
+    std::uint16_t port = 0;  ///< 0 = ephemeral; read back via port()
+    unsigned threads = 0;    ///< handler threads; 0 = default, 1 = inline
+  };
+
+  QueryServer(const QueryEngine& engine, Options options);
+  explicit QueryServer(const QueryEngine& engine)
+      : QueryServer(engine, Options{}) {}
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Bind 127.0.0.1, listen, and spawn the accept loop. Returns the bound
+  /// port (useful with port 0) or an Error if the socket setup fails.
+  Expected<std::uint16_t> start();
+
+  std::uint16_t port() const { return port_; }
+  StatsSnapshot stats() const;
+
+  /// True once a SHUTDOWN request was served (or stop() began).
+  bool stop_requested() const {
+    return stop_.load(std::memory_order_acquire);
+  }
+
+  /// Block until SHUTDOWN arrives or `predicate()` returns true. The
+  /// predicate is polled every ~100ms so signal handlers can set a flag
+  /// without needing async-signal-safe condition variables.
+  void wait(const std::function<bool()>& predicate = {});
+
+  /// Stop accepting, unblock every in-flight connection, and join all
+  /// threads. Idempotent; also run by the destructor.
+  void stop();
+
+  /// Handle one request line (no trailing newline) and return the JSON
+  /// response body. Public so tests can exercise the protocol without a
+  /// socket; counters are updated exactly as for a network request.
+  std::string handle_request(std::string_view line);
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+
+  const QueryEngine& engine_;
+  Options options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::unique_ptr<par::ThreadPool> pool_;
+
+  std::atomic<bool> stop_{false};
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+
+  std::mutex conns_mu_;
+  std::unordered_set<int> conns_;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> malformed_{0};
+  LatencyHistogram latency_;
+};
+
+}  // namespace sublet::serve

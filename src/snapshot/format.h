@@ -1,0 +1,97 @@
+// On-disk layout of the inference snapshot (docs/SERVING.md).
+//
+// A snapshot flattens a classified world — the LeaseInference records plus
+// the frozen leaf-prefix trie — into one little-endian file built for O(1)
+// load: read the header, validate magic/version/CRC, then bulk-read (or
+// mmap) each section straight into the in-memory arena layout. Nothing in
+// the payload needs per-record parsing:
+//
+//   header (32 bytes)
+//     magic            8 bytes  "SUBLSNAP"
+//     version          u16      kVersion
+//     flags            u16      bit 0: payload is little-endian (always set)
+//     section_count    u32
+//     payload_size     u64      bytes after the section table
+//     payload_crc32    u32      CRC-32 of section table + payload
+//     reserved         u32      zero
+//   section table (section_count x 24 bytes)
+//     id               u32      SectionId
+//     reserved         u32      zero
+//     offset           u64      from payload start; 16-byte aligned
+//     length           u64      bytes
+//   payload sections
+//     kMeta            varints: record/string/asn/handle/trie-node/
+//                      trie-value counts (cross-checked against sections)
+//     kStringBlob      concatenated deduplicated string bytes
+//     kStringOffsets   u32[string_count + 1] offsets into the blob
+//     kAsnPool         u32[] ASN values; records reference (off, count)
+//     kHandlePool      u32[] string-pool ids; records reference (off, count)
+//     kRecords         RecordRow[record_count]
+//     kTrieNodes       PrefixTrie node arena (16-byte nodes)
+//     kTrieValues      u32[] record indices, parallel to valued trie nodes
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+namespace sublet::snapshot {
+
+inline constexpr char kMagic[8] = {'S', 'U', 'B', 'L', 'S', 'N', 'A', 'P'};
+inline constexpr std::uint16_t kVersion = 1;
+inline constexpr std::uint16_t kFlagLittleEndian = 1u << 0;
+inline constexpr std::size_t kHeaderSize = 32;
+inline constexpr std::size_t kSectionEntrySize = 24;
+inline constexpr std::size_t kSectionAlignment = 16;
+
+enum class SectionId : std::uint32_t {
+  kMeta = 1,
+  kStringBlob = 2,
+  kStringOffsets = 3,
+  kAsnPool = 4,
+  kHandlePool = 5,
+  kRecords = 6,
+  kTrieNodes = 7,
+  kTrieValues = 8,
+};
+inline constexpr std::uint32_t kSectionCount = 8;
+
+/// One flattened LeaseInference. Strings live in the deduplicated pool
+/// (referenced by id), ASN and maintainer-handle lists in shared pools
+/// (referenced by offset + count), so the row itself is fixed-size and
+/// trivially copyable — the records section is a plain array of these.
+struct RecordRow {
+  std::uint32_t prefix_key = 0;  // network bits, host-order value
+  std::uint32_t root_key = 0;
+  std::uint8_t prefix_len = 0;
+  std::uint8_t root_len = 0;
+  std::uint8_t rir = 0;
+  std::uint8_t group = 0;
+  std::uint32_t holder_org = 0;  // string-pool id
+  std::uint32_t netname = 0;     // string-pool id
+  std::uint32_t holder_asns_off = 0;
+  std::uint32_t holder_asns_count = 0;
+  std::uint32_t leaf_origins_off = 0;
+  std::uint32_t leaf_origins_count = 0;
+  std::uint32_t root_origins_off = 0;
+  std::uint32_t root_origins_count = 0;
+  std::uint32_t leaf_maint_off = 0;  // handle-pool span
+  std::uint32_t leaf_maint_count = 0;
+  std::uint32_t root_maint_off = 0;
+  std::uint32_t root_maint_count = 0;
+};
+static_assert(sizeof(RecordRow) == 60);
+static_assert(std::is_trivially_copyable_v<RecordRow>);
+
+/// Counts carried in the kMeta section, cross-checked against the byte
+/// length of every bulk section at load time.
+struct MetaCounts {
+  std::uint64_t records = 0;
+  std::uint64_t strings = 0;
+  std::uint64_t string_blob_bytes = 0;
+  std::uint64_t asn_pool = 0;
+  std::uint64_t handle_pool = 0;
+  std::uint64_t trie_node_bytes = 0;
+  std::uint64_t trie_values = 0;
+};
+
+}  // namespace sublet::snapshot

@@ -1,0 +1,357 @@
+#include "snapshot/snapshot.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "util/binio.h"
+
+namespace sublet::snapshot {
+
+static_assert(std::endian::native == std::endian::little,
+              "snapshot bulk sections are raw little-endian arenas");
+
+// ------------------------------------------------------------------ Buffer --
+
+Buffer::Buffer(std::vector<std::uint8_t> bytes) : owned_(std::move(bytes)) {}
+
+Buffer::Buffer(Buffer&& other) noexcept
+    : owned_(std::move(other.owned_)),
+      map_(std::exchange(other.map_, nullptr)),
+      map_len_(std::exchange(other.map_len_, 0)) {}
+
+Buffer& Buffer::operator=(Buffer&& other) noexcept {
+  if (this != &other) {
+    if (map_ != nullptr) ::munmap(map_, map_len_);
+    owned_ = std::move(other.owned_);
+    map_ = std::exchange(other.map_, nullptr);
+    map_len_ = std::exchange(other.map_len_, 0);
+  }
+  return *this;
+}
+
+Buffer::~Buffer() {
+  if (map_ != nullptr) ::munmap(map_, map_len_);
+}
+
+std::span<const std::uint8_t> Buffer::bytes() const {
+  if (map_ != nullptr) {
+    return {static_cast<const std::uint8_t*>(map_), map_len_};
+  }
+  return owned_;
+}
+
+Expected<Buffer> Buffer::read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return fail("cannot open " + path);
+  auto size = static_cast<std::size_t>(in.tellg());
+  std::vector<std::uint8_t> bytes(size);
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(size));
+  if (!in) return fail("short read from " + path);
+  return Buffer(std::move(bytes));
+}
+
+Expected<Buffer> Buffer::map_file(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return fail("cannot open " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return fail("cannot stat " + path);
+  }
+  auto size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return fail(path + " is empty");
+  }
+  void* p = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (p == MAP_FAILED) return fail("mmap failed for " + path);
+  Buffer buffer;
+  buffer.map_ = p;
+  buffer.map_len_ = size;
+  return buffer;
+}
+
+// ---------------------------------------------------------------- Snapshot --
+
+namespace {
+
+struct SectionView {
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  bool present = false;
+};
+
+}  // namespace
+
+Expected<Snapshot> Snapshot::open(const std::string& path, Mode mode) {
+  auto buffer = mode == Mode::kMap ? Buffer::map_file(path)
+                                   : Buffer::read_file(path);
+  if (!buffer) return buffer.error();
+  auto snap = parse(std::move(*buffer));
+  if (!snap) {
+    Error error = snap.error();
+    error.source = path;
+    return error;
+  }
+  return snap;
+}
+
+Expected<Snapshot> Snapshot::from_bytes(std::vector<std::uint8_t> bytes) {
+  return parse(Buffer(std::move(bytes)));
+}
+
+Expected<Snapshot> Snapshot::parse(Buffer buffer) {
+  const std::span<const std::uint8_t> file = buffer.bytes();
+  if (file.size() < kHeaderSize) return fail("truncated snapshot header");
+  ByteReader header(file.subspan(0, kHeaderSize));
+  if (std::memcmp(header.bytes(sizeof(kMagic)).data(), kMagic,
+                  sizeof(kMagic)) != 0) {
+    return fail("bad snapshot magic");
+  }
+  const std::uint16_t version = header.u16();
+  if (version != kVersion) {
+    return fail("unsupported snapshot version " + std::to_string(version));
+  }
+  const std::uint16_t flags = header.u16();
+  if ((flags & kFlagLittleEndian) == 0) {
+    return fail("snapshot is not little-endian");
+  }
+  const std::uint32_t section_count = header.u32();
+  const std::uint64_t payload_size = header.u64();
+  const std::uint32_t expect_crc = header.u32();
+  if (section_count != kSectionCount) {
+    return fail("unexpected section count " + std::to_string(section_count));
+  }
+  const std::uint64_t table_bytes =
+      std::uint64_t{section_count} * kSectionEntrySize;
+  if (file.size() - kHeaderSize < table_bytes ||
+      file.size() - kHeaderSize - table_bytes != payload_size) {
+    return fail("snapshot payload size does not match the file");
+  }
+  const std::span<const std::uint8_t> rest = file.subspan(kHeaderSize);
+  if (crc32(rest) != expect_crc) return fail("snapshot checksum mismatch");
+
+  const std::span<const std::uint8_t> payload =
+      rest.subspan(static_cast<std::size_t>(table_bytes));
+  ByteReader table(rest.subspan(0, static_cast<std::size_t>(table_bytes)));
+  SectionView sections[kSectionCount + 1];
+  for (std::uint32_t i = 0; i < section_count; ++i) {
+    const std::uint32_t id = table.u32();
+    table.u32();  // reserved
+    const std::uint64_t offset = table.u64();
+    const std::uint64_t length = table.u64();
+    if (id == 0 || id > kSectionCount) {
+      return fail("unknown snapshot section id " + std::to_string(id));
+    }
+    if (offset > payload_size || length > payload_size - offset) {
+      return fail("snapshot section overruns the payload");
+    }
+    if (offset % kSectionAlignment != 0) {
+      return fail("snapshot section is misaligned");
+    }
+    if (sections[id].present) {
+      return fail("duplicate snapshot section id " + std::to_string(id));
+    }
+    sections[id] = SectionView{offset, length, true};
+  }
+  auto section = [&](SectionId id) {
+    const SectionView& s = sections[static_cast<std::uint32_t>(id)];
+    return payload.subspan(static_cast<std::size_t>(s.offset),
+                           static_cast<std::size_t>(s.length));
+  };
+  for (std::uint32_t id = 1; id <= kSectionCount; ++id) {
+    if (!sections[id].present) {
+      return fail("missing snapshot section id " + std::to_string(id));
+    }
+  }
+
+  ByteReader meta(section(SectionId::kMeta));
+  MetaCounts counts;
+  counts.records = meta.varint();
+  counts.strings = meta.varint();
+  counts.string_blob_bytes = meta.varint();
+  counts.asn_pool = meta.varint();
+  counts.handle_pool = meta.varint();
+  counts.trie_node_bytes = meta.varint();
+  counts.trie_values = meta.varint();
+  if (!meta.ok()) return fail("corrupt snapshot meta section");
+
+  // Cross-check every bulk section's byte length against the meta counts —
+  // an oversized or undersized length is corruption, not a bigger payload.
+  auto expect_len = [&](SectionId id, std::uint64_t want,
+                        const char* what) -> std::optional<Error> {
+    const SectionView& s = sections[static_cast<std::uint32_t>(id)];
+    if (s.length != want) {
+      return fail(std::string("snapshot ") + what +
+                  " section length mismatch");
+    }
+    return std::nullopt;
+  };
+  if (auto e = expect_len(SectionId::kStringBlob, counts.string_blob_bytes,
+                          "string blob")) {
+    return *e;
+  }
+  if (auto e = expect_len(SectionId::kStringOffsets,
+                          (counts.strings + 1) * sizeof(std::uint32_t),
+                          "string offsets")) {
+    return *e;
+  }
+  if (auto e = expect_len(SectionId::kAsnPool,
+                          counts.asn_pool * sizeof(std::uint32_t),
+                          "ASN pool")) {
+    return *e;
+  }
+  if (auto e = expect_len(SectionId::kHandlePool,
+                          counts.handle_pool * sizeof(std::uint32_t),
+                          "handle pool")) {
+    return *e;
+  }
+  if (auto e = expect_len(SectionId::kRecords,
+                          counts.records * sizeof(RecordRow), "records")) {
+    return *e;
+  }
+  if (auto e = expect_len(SectionId::kTrieNodes, counts.trie_node_bytes,
+                          "trie nodes")) {
+    return *e;
+  }
+  if (auto e = expect_len(SectionId::kTrieValues,
+                          counts.trie_values * sizeof(std::uint32_t),
+                          "trie values")) {
+    return *e;
+  }
+  if (counts.strings == 0) return fail("snapshot string pool is empty");
+
+  Snapshot snap;
+  snap.buffer_ = std::move(buffer);
+  snap.version_ = version;
+  // Re-derive the views against the moved-into buffer (same addresses for
+  // mmap and heap buffers — the move transfers ownership, not storage).
+  const std::span<const std::uint8_t> base =
+      snap.buffer_.bytes().subspan(kHeaderSize +
+                                   static_cast<std::size_t>(table_bytes));
+  auto view = [&](SectionId id) {
+    const SectionView& s = sections[static_cast<std::uint32_t>(id)];
+    return base.subspan(static_cast<std::size_t>(s.offset),
+                        static_cast<std::size_t>(s.length));
+  };
+  auto records = view(SectionId::kRecords);
+  snap.records_ = {reinterpret_cast<const RecordRow*>(records.data()),
+                   static_cast<std::size_t>(counts.records)};
+  auto blob = view(SectionId::kStringBlob);
+  snap.string_blob_ = {reinterpret_cast<const char*>(blob.data()),
+                       blob.size()};
+  auto offsets = view(SectionId::kStringOffsets);
+  snap.string_offsets_ = {
+      reinterpret_cast<const std::uint32_t*>(offsets.data()),
+      static_cast<std::size_t>(counts.strings + 1)};
+  auto asns = view(SectionId::kAsnPool);
+  snap.asn_pool_ = {reinterpret_cast<const std::uint32_t*>(asns.data()),
+                    static_cast<std::size_t>(counts.asn_pool)};
+  auto handles = view(SectionId::kHandlePool);
+  snap.handle_pool_ = {reinterpret_cast<const std::uint32_t*>(handles.data()),
+                       static_cast<std::size_t>(counts.handle_pool)};
+  snap.trie_nodes_ = view(SectionId::kTrieNodes);
+  snap.trie_values_ = view(SectionId::kTrieValues);
+
+  // Validate cross-references so accessors can be unchecked on the hot
+  // path: string offsets monotone and in-blob, record fields in-pool.
+  if (snap.string_offsets_[0] != 0 ||
+      snap.string_offsets_[counts.strings] != blob.size()) {
+    return fail("snapshot string offsets do not span the blob");
+  }
+  for (std::size_t i = 0; i < counts.strings; ++i) {
+    if (snap.string_offsets_[i] > snap.string_offsets_[i + 1]) {
+      return fail("snapshot string offsets are not monotone");
+    }
+  }
+  auto span_ok = [](std::uint32_t off, std::uint32_t count,
+                    std::size_t pool) {
+    return off <= pool && count <= pool - off;
+  };
+  for (const RecordRow& row : snap.records_) {
+    if (row.prefix_len > 32 || row.root_len > 32 ||
+        row.rir >= whois::kAllRirs.size() ||
+        row.group > static_cast<std::uint8_t>(
+                        leasing::InferenceGroup::kLeasedWithRoot)) {
+      return fail("snapshot record has out-of-range fields");
+    }
+    if (row.holder_org >= counts.strings || row.netname >= counts.strings) {
+      return fail("snapshot record references a missing string");
+    }
+    if (!span_ok(row.holder_asns_off, row.holder_asns_count,
+                 snap.asn_pool_.size()) ||
+        !span_ok(row.leaf_origins_off, row.leaf_origins_count,
+                 snap.asn_pool_.size()) ||
+        !span_ok(row.root_origins_off, row.root_origins_count,
+                 snap.asn_pool_.size()) ||
+        !span_ok(row.leaf_maint_off, row.leaf_maint_count,
+                 snap.handle_pool_.size()) ||
+        !span_ok(row.root_maint_off, row.root_maint_count,
+                 snap.handle_pool_.size())) {
+      return fail("snapshot record evidence span out of range");
+    }
+  }
+  for (std::uint32_t id : snap.handle_pool_) {
+    if (id >= counts.strings) {
+      return fail("snapshot handle pool references a missing string");
+    }
+  }
+  for (std::size_t i = 0; i < static_cast<std::size_t>(counts.trie_values);
+       ++i) {
+    const std::uint32_t rec = reinterpret_cast<const std::uint32_t*>(
+        snap.trie_values_.data())[i];
+    if (rec >= counts.records) {
+      return fail("snapshot trie value references a missing record");
+    }
+  }
+  return snap;
+}
+
+leasing::LeaseInference Snapshot::materialize(std::size_t idx) const {
+  const RecordRow& row = records_[idx];
+  leasing::LeaseInference r;
+  r.prefix = prefix_of(row);
+  r.root_prefix = root_prefix_of(row);
+  r.rir = static_cast<whois::Rir>(row.rir);
+  r.group = static_cast<leasing::InferenceGroup>(row.group);
+  r.holder_org = std::string(string_at(row.holder_org));
+  r.netname = std::string(string_at(row.netname));
+  auto asns = [&](std::uint32_t off, std::uint32_t count) {
+    std::vector<Asn> out;
+    out.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      out.push_back(Asn(asn_pool_[off + i]));
+    }
+    return out;
+  };
+  auto handles = [&](std::uint32_t off, std::uint32_t count) {
+    std::vector<std::string> out;
+    out.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      out.emplace_back(string_at(handle_pool_[off + i]));
+    }
+    return out;
+  };
+  r.holder_asns = asns(row.holder_asns_off, row.holder_asns_count);
+  r.leaf_origins = asns(row.leaf_origins_off, row.leaf_origins_count);
+  r.root_origins = asns(row.root_origins_off, row.root_origins_count);
+  r.leaf_maintainers = handles(row.leaf_maint_off, row.leaf_maint_count);
+  r.root_maintainers = handles(row.root_maint_off, row.root_maint_count);
+  return r;
+}
+
+Expected<PrefixTrie<std::uint32_t>> Snapshot::build_trie() const {
+  return PrefixTrie<std::uint32_t>::from_arena(trie_nodes_, trie_values_);
+}
+
+}  // namespace sublet::snapshot

@@ -1,0 +1,166 @@
+#include "snapshot/writer.h"
+
+#include <bit>
+#include <fstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "netbase/prefix_trie.h"
+#include "snapshot/format.h"
+#include "util/binio.h"
+
+namespace sublet::snapshot {
+
+static_assert(std::endian::native == std::endian::little,
+              "snapshot bulk sections are raw little-endian arenas");
+
+namespace {
+
+/// Deduplicating string pool: id = insertion index.
+class StringPool {
+ public:
+  std::uint32_t intern(const std::string& s) {
+    auto [it, inserted] =
+        ids_.emplace(s, static_cast<std::uint32_t>(offsets_.size() - 1));
+    if (inserted) {
+      blob_ += s;
+      offsets_.push_back(static_cast<std::uint32_t>(blob_.size()));
+    }
+    return it->second;
+  }
+
+  const std::string& blob() const { return blob_; }
+  const std::vector<std::uint32_t>& offsets() const { return offsets_; }
+  std::size_t count() const { return offsets_.size() - 1; }
+
+ private:
+  std::unordered_map<std::string, std::uint32_t> ids_;
+  std::string blob_;
+  std::vector<std::uint32_t> offsets_ = {0};
+};
+
+struct SectionEntry {
+  SectionId id;
+  std::uint64_t offset;
+  std::uint64_t length;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_snapshot(
+    const std::vector<leasing::LeaseInference>& inferences) {
+  StringPool strings;
+  strings.intern(std::string());  // id 0 = empty string
+  std::vector<std::uint32_t> asn_pool;
+  std::vector<std::uint32_t> handle_pool;
+  std::vector<RecordRow> rows;
+  rows.reserve(inferences.size());
+
+  auto pack_asns = [&](const std::vector<Asn>& asns, std::uint32_t& off,
+                       std::uint32_t& count) {
+    off = static_cast<std::uint32_t>(asn_pool.size());
+    count = static_cast<std::uint32_t>(asns.size());
+    for (Asn asn : asns) asn_pool.push_back(asn.value());
+  };
+  auto pack_handles = [&](const std::vector<std::string>& handles,
+                          std::uint32_t& off, std::uint32_t& count) {
+    off = static_cast<std::uint32_t>(handle_pool.size());
+    count = static_cast<std::uint32_t>(handles.size());
+    for (const std::string& h : handles) handle_pool.push_back(strings.intern(h));
+  };
+
+  std::vector<std::pair<Prefix, std::uint32_t>> trie_entries;
+  trie_entries.reserve(inferences.size());
+  for (const leasing::LeaseInference& r : inferences) {
+    RecordRow row;
+    row.prefix_key = r.prefix.network().value();
+    row.prefix_len = static_cast<std::uint8_t>(r.prefix.length());
+    row.root_key = r.root_prefix.network().value();
+    row.root_len = static_cast<std::uint8_t>(r.root_prefix.length());
+    row.rir = static_cast<std::uint8_t>(r.rir);
+    row.group = static_cast<std::uint8_t>(r.group);
+    row.holder_org = strings.intern(r.holder_org);
+    row.netname = strings.intern(r.netname);
+    pack_asns(r.holder_asns, row.holder_asns_off, row.holder_asns_count);
+    pack_asns(r.leaf_origins, row.leaf_origins_off, row.leaf_origins_count);
+    pack_asns(r.root_origins, row.root_origins_off, row.root_origins_count);
+    pack_handles(r.leaf_maintainers, row.leaf_maint_off, row.leaf_maint_count);
+    pack_handles(r.root_maintainers, row.root_maint_off, row.root_maint_count);
+    trie_entries.emplace_back(r.prefix,
+                              static_cast<std::uint32_t>(rows.size()));
+    rows.push_back(row);
+  }
+  auto trie = PrefixTrie<std::uint32_t>::freeze(std::move(trie_entries));
+
+  ByteWriter meta;
+  meta.varint(rows.size());
+  meta.varint(strings.count());
+  meta.varint(strings.blob().size());
+  meta.varint(asn_pool.size());
+  meta.varint(handle_pool.size());
+  meta.varint(trie.node_bytes().size());
+  meta.varint(trie.value_bytes().size() / sizeof(std::uint32_t));
+
+  auto as_bytes = [](const auto& vec) {
+    return std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(vec.data()),
+        vec.size() * sizeof(vec[0]));
+  };
+
+  // Payload: every section 16-byte aligned so mapped views can be cast to
+  // their element types directly.
+  ByteWriter payload;
+  std::vector<SectionEntry> sections;
+  auto emit = [&](SectionId id, std::span<const std::uint8_t> bytes) {
+    payload.pad_to(kSectionAlignment);
+    sections.push_back(SectionEntry{id, payload.size(), bytes.size()});
+    payload.bytes(bytes);
+  };
+  emit(SectionId::kMeta, meta.data());
+  emit(SectionId::kStringBlob,
+       {reinterpret_cast<const std::uint8_t*>(strings.blob().data()),
+        strings.blob().size()});
+  emit(SectionId::kStringOffsets, as_bytes(strings.offsets()));
+  emit(SectionId::kAsnPool, as_bytes(asn_pool));
+  emit(SectionId::kHandlePool, as_bytes(handle_pool));
+  emit(SectionId::kRecords, as_bytes(rows));
+  emit(SectionId::kTrieNodes, trie.node_bytes());
+  emit(SectionId::kTrieValues, trie.value_bytes());
+
+  ByteWriter table;
+  for (const SectionEntry& s : sections) {
+    table.u32(static_cast<std::uint32_t>(s.id));
+    table.u32(0);
+    table.u64(s.offset);
+    table.u64(s.length);
+  }
+
+  std::uint32_t crc = crc32(table.data());
+  crc = crc32(payload.data(), crc);
+
+  ByteWriter out;
+  out.string(std::string_view(kMagic, sizeof(kMagic)));
+  out.u16(kVersion);
+  out.u16(kFlagLittleEndian);
+  out.u32(kSectionCount);
+  out.u64(payload.size());
+  out.u32(crc);
+  out.u32(0);  // reserved
+  out.bytes(table.data());
+  out.bytes(payload.data());
+  return out.take();
+}
+
+void write_snapshot_file(
+    const std::string& path,
+    const std::vector<leasing::LeaseInference>& inferences) {
+  std::vector<std::uint8_t> bytes = encode_snapshot(inferences);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("short write to " + path);
+}
+
+}  // namespace sublet::snapshot

@@ -1,0 +1,27 @@
+// Snapshot writer: flatten classified inferences into the binary format.
+//
+// The writer deduplicates every string (org handles, netnames, maintainer
+// handles) into one pooled arena, packs the evidence lists into shared
+// pools, and freezes a PrefixTrie keyed by leaf prefix whose values are
+// record indices — the exact structure the query engine serves from.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "leasing/types.h"
+
+namespace sublet::snapshot {
+
+/// Serialize `inferences` into snapshot bytes. Duplicate leaf prefixes
+/// keep the last record, matching PrefixTrie overwrite semantics.
+std::vector<std::uint8_t> encode_snapshot(
+    const std::vector<leasing::LeaseInference>& inferences);
+
+/// encode_snapshot + write to `path`. Throws std::runtime_error on I/O
+/// failure (DESIGN.md §3: exceptions for I/O, Expected for bad records).
+void write_snapshot_file(const std::string& path,
+                         const std::vector<leasing::LeaseInference>& inferences);
+
+}  // namespace sublet::snapshot

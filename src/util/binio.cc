@@ -1,0 +1,59 @@
+#include "util/binio.h"
+
+#include <array>
+
+namespace sublet {
+
+namespace {
+
+// Slicing-by-8 CRC-32: table[0] is the classic byte-at-a-time table;
+// table[k][b] is the CRC of byte b followed by k zero bytes. Eight input
+// bytes are then folded per step instead of one, which matters because the
+// snapshot loader checksums the whole payload on open (docs/SERVING.md).
+constexpr std::array<std::array<std::uint32_t, 256>, 8> make_crc_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> tables{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    tables[0][i] = c;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = tables[0][i];
+    for (std::size_t k = 1; k < 8; ++k) {
+      c = tables[0][c & 0xFFu] ^ (c >> 8);
+      tables[k][i] = c;
+    }
+  }
+  return tables;
+}
+
+constexpr std::array<std::array<std::uint32_t, 256>, 8> kCrc =
+    make_crc_tables();
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t crc) {
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  while (n >= 8) {
+    // Little-endian load of the first word, folded with the running CRC.
+    std::uint32_t lo = c ^ (static_cast<std::uint32_t>(p[0]) |
+                            static_cast<std::uint32_t>(p[1]) << 8 |
+                            static_cast<std::uint32_t>(p[2]) << 16 |
+                            static_cast<std::uint32_t>(p[3]) << 24);
+    c = kCrc[7][lo & 0xFFu] ^ kCrc[6][(lo >> 8) & 0xFFu] ^
+        kCrc[5][(lo >> 16) & 0xFFu] ^ kCrc[4][lo >> 24] ^ kCrc[3][p[4]] ^
+        kCrc[2][p[5]] ^ kCrc[1][p[6]] ^ kCrc[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    c = kCrc[0][(c ^ *p++) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace sublet

@@ -1,0 +1,140 @@
+// Little-endian byte-buffer I/O for the snapshot format.
+//
+// mrt/bytes.h speaks the network's big-endian dialect; artifacts we design
+// ourselves (src/snapshot/) are little-endian so sections can be bulk-read
+// straight into in-memory arenas on the machines we run on. The reader is
+// bounds-checked like mrt::BufReader: corruption sets a sticky failure flag
+// instead of throwing, and callers turn ok()==false into an Error.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sublet {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `data`, continuing from
+/// `crc` so large payloads can be checksummed in pieces. Start from 0.
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t crc = 0);
+
+/// Appending little-endian writer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { append_int(v); }
+  void u32(std::uint32_t v) { append_int(v); }
+  void u64(std::uint64_t v) { append_int(v); }
+
+  /// LEB128 variable-length unsigned integer (1..10 bytes).
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void bytes(std::span<const std::uint8_t> b) {
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+  void string(std::string_view s) {
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  /// Zero-pad so the next write lands on an `alignment`-byte boundary.
+  void pad_to(std::size_t alignment) {
+    while (buf_.size() % alignment != 0) buf_.push_back(0);
+  }
+
+  /// Overwrite a previously written u32 at `offset` (for back-patching).
+  void patch_u32(std::size_t offset, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_[offset + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(v >> (8 * i));
+    }
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  std::span<const std::uint8_t> data() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void append_int(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian reader over a byte span (non-owning).
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  bool ok() const { return !failed_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+
+  std::uint8_t u8() { return read_int<std::uint8_t>(); }
+  std::uint16_t u16() { return read_int<std::uint16_t>(); }
+  std::uint32_t u32() { return read_int<std::uint32_t>(); }
+  std::uint64_t u64() { return read_int<std::uint64_t>(); }
+
+  /// LEB128 decode; fails on truncation or encodings longer than 10 bytes.
+  std::uint64_t varint() {
+    std::uint64_t value = 0;
+    for (int shift = 0; shift < 70; shift += 7) {
+      if (failed_ || remaining() == 0) {
+        failed_ = true;
+        return 0;
+      }
+      std::uint8_t byte = data_[pos_++];
+      value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) return value;
+    }
+    failed_ = true;  // unterminated encoding
+    return 0;
+  }
+
+  /// Read `n` raw bytes; returns empty span and sets failure on underrun.
+  std::span<const std::uint8_t> bytes(std::size_t n) {
+    if (failed_ || remaining() < n) {
+      failed_ = true;
+      return {};
+    }
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  std::string string(std::size_t n) {
+    auto b = bytes(n);
+    return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+  }
+
+  void skip(std::size_t n) { (void)bytes(n); }
+
+ private:
+  template <typename T>
+  T read_int() {
+    auto b = bytes(sizeof(T));
+    if (b.size() != sizeof(T)) return T{};
+    T value = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      value |= static_cast<T>(static_cast<T>(b[i]) << (8 * i));
+    }
+    return value;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace sublet

@@ -65,6 +65,51 @@ std::vector<std::string> parse_csv_line(std::string_view line, char sep) {
   return fields;
 }
 
+namespace {
+/// True if `text` ends inside an open quoted field.
+bool quote_open(std::string_view text, char sep) {
+  bool in_quotes = false;
+  std::string cur;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      }
+      cur.push_back(c);
+    } else if (c == '"' && cur.empty()) {
+      in_quotes = true;
+    } else if (c == sep) {
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  return in_quotes;
+}
+}  // namespace
+
+bool read_csv_record(std::istream& in, std::string& record, char sep) {
+  record.clear();
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  for (;;) {
+    record += line;
+    if (!quote_open(record, sep)) break;
+    if (!std::getline(in, line)) break;  // unterminated quote at EOF
+    record += '\n';  // the break was field content
+  }
+  // A CR from a CRLF line ending is transport, not content: quoted fields
+  // carry their CRs mid-record (the closing quote follows them), so a
+  // trailing CR here can only come from the line terminator.
+  if (!record.empty() && record.back() == '\r') record.pop_back();
+  return true;
+}
+
 std::vector<std::vector<std::string>> read_delimited_file(
     const std::string& path, char sep) {
   std::ifstream in(path);

@@ -27,9 +27,17 @@ class CsvWriter {
   char sep_;
 };
 
-/// Parse one CSV line honoring RFC 4180 quoting. Multi-line quoted fields
-/// are not supported (none of our artifacts use them).
+/// Parse one CSV record honoring RFC 4180 quoting. The record may contain
+/// embedded newlines inside quoted fields when read via read_csv_record.
 std::vector<std::string> parse_csv_line(std::string_view line, char sep = ',');
+
+/// Read one logical CSV record from `in` into `record`, continuing across
+/// physical lines while a quoted field is open (RFC 4180 §2.6), so fields
+/// written by CsvWriter round-trip even when they contain newlines. The
+/// stored record has no trailing newline; a bare '\r' before each joined
+/// line break is kept (it is field content). Returns false at EOF with no
+/// data. An unterminated quote at EOF yields the partial record as-is.
+bool read_csv_record(std::istream& in, std::string& record, char sep = ',');
 
 /// Read an entire delimiter-separated file into rows. Skips blank lines and
 /// lines starting with '#'. Throws std::runtime_error if unreadable.

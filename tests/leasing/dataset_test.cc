@@ -1,6 +1,7 @@
 #include "leasing/dataset.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
@@ -13,7 +14,10 @@ namespace fs = std::filesystem;
 class DatasetLoader : public testing::Test {
  protected:
   void SetUp() override {
-    dir_ = testing::TempDir() + "/sublet_dataset_test";
+    // Pid-suffixed: ctest runs each case as its own process, possibly in
+    // parallel, and a shared directory makes sibling cases race.
+    dir_ = testing::TempDir() + "/sublet_dataset_test_" +
+           std::to_string(::getpid());
     fs::remove_all(dir_);
     fs::create_directories(dir_ + "/whois");
   }

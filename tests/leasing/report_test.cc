@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
 #include <sstream>
 
 namespace sublet::leasing {
@@ -57,15 +58,80 @@ TEST(Report, RoundTrip) {
 }
 
 TEST(Report, GroupNamesRoundTrip) {
-  for (auto group :
-       {InferenceGroup::kUnused, InferenceGroup::kAggregatedCustomer,
-        InferenceGroup::kIspCustomer, InferenceGroup::kLeasedNoRoot,
-        InferenceGroup::kDelegatedCustomer, InferenceGroup::kLeasedWithRoot}) {
+  // kAllInferenceGroups is the exhaustive list (enforced at compile time by
+  // the static_assert in leasing/types.h); iterating it means a future
+  // group gets this coverage automatically instead of silently mapping to
+  // "?" in the artifact.
+  for (InferenceGroup group : kAllInferenceGroups) {
+    EXPECT_NE(group_name(group), "?");
     auto parsed = group_from_name(group_name(group));
     ASSERT_TRUE(parsed);
     EXPECT_EQ(*parsed, group);
   }
   EXPECT_FALSE(group_from_name("not-a-group"));
+  EXPECT_FALSE(group_from_name("?"));
+}
+
+TEST(Report, QuotedFieldsRoundTrip) {
+  LeaseInference r;
+  r.prefix = P("203.0.113.0/24");
+  r.rir = whois::Rir::kApnic;
+  r.group = InferenceGroup::kLeasedNoRoot;
+  r.root_prefix = P("203.0.0.0/16");
+  r.holder_org = "Acme, \"Networks\" Ltd";
+  r.netname = "NET\nWITH\r\nBREAKS";
+  std::ostringstream out;
+  write_inferences_csv(out, {r});
+  std::istringstream in(out.str());
+  auto loaded = read_inferences_csv(in);
+  ASSERT_TRUE(loaded) << loaded.error().to_string();
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ((*loaded)[0].holder_org, r.holder_org);
+  EXPECT_EQ((*loaded)[0].netname, r.netname);
+}
+
+TEST(Report, RandomStringsSurviveRoundTrip) {
+  // Property test: any printable content in the free-text columns — commas,
+  // quotes, CR/LF, separators — must survive write -> read byte-for-byte.
+  std::mt19937 rng(0xC5Fu);
+  const std::string alphabet =
+      "abcXYZ012 ,\"\n\r;'\\|\t#-_.:/()";
+  std::uniform_int_distribution<std::size_t> pick(0, alphabet.size() - 1);
+  std::uniform_int_distribution<std::size_t> len(0, 24);
+  auto random_string = [&] {
+    std::string s(len(rng), '\0');
+    for (char& c : s) c = alphabet[pick(rng)];
+    return s;
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<LeaseInference> records;
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      LeaseInference r;
+      r.prefix = *Prefix::make(
+          Ipv4Addr((198u << 24) | (static_cast<std::uint32_t>(trial) << 10) |
+                   (i << 8)),
+          24);
+      r.rir = whois::Rir::kRipe;
+      r.group = kAllInferenceGroups[i % kAllInferenceGroups.size()];
+      r.root_prefix = P("198.0.0.0/8");
+      r.holder_org = random_string();
+      r.netname = random_string();
+      records.push_back(std::move(r));
+    }
+    std::ostringstream out;
+    write_inferences_csv(out, records);
+    std::istringstream in(out.str());
+    auto loaded = read_inferences_csv(in);
+    ASSERT_TRUE(loaded) << "trial " << trial << ": "
+                        << loaded.error().to_string();
+    ASSERT_EQ(loaded->size(), records.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      EXPECT_EQ((*loaded)[i].holder_org, records[i].holder_org)
+          << "trial " << trial;
+      EXPECT_EQ((*loaded)[i].netname, records[i].netname)
+          << "trial " << trial;
+    }
+  }
 }
 
 TEST(Report, RejectsBadContent) {

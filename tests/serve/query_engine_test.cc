@@ -1,0 +1,126 @@
+#include "serve/query_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "snapshot/writer.h"
+
+namespace sublet::serve {
+namespace {
+
+using leasing::InferenceGroup;
+using leasing::LeaseInference;
+
+Prefix P(const char* s) { return *Prefix::parse(s); }
+
+std::vector<LeaseInference> sample() {
+  LeaseInference a;
+  a.prefix = P("10.1.2.0/24");
+  a.root_prefix = P("10.0.0.0/8");
+  a.rir = whois::Rir::kRipe;
+  a.group = InferenceGroup::kLeasedWithRoot;
+  a.holder_org = "ORG-A";
+  a.holder_asns = {Asn(64512)};
+  a.leaf_origins = {Asn(65001)};
+  a.root_origins = {Asn(64512)};
+  a.leaf_maintainers = {"MNT-A"};
+  a.netname = "NET-A";
+
+  LeaseInference b;
+  b.prefix = P("10.1.0.0/16");
+  b.root_prefix = P("10.0.0.0/8");
+  b.rir = whois::Rir::kRipe;
+  b.group = InferenceGroup::kIspCustomer;
+  b.holder_org = "Org, \"Quoted\" & Co\n(multi-line)";
+  b.netname = "NET-B";
+
+  LeaseInference c;
+  c.prefix = P("172.16.0.0/12");
+  c.root_prefix = P("172.16.0.0/12");
+  c.rir = whois::Rir::kArin;
+  c.group = InferenceGroup::kUnused;
+  return {a, b, c};
+}
+
+class ServeEngine : public testing::Test {
+ protected:
+  void SetUp() override {
+    auto snap = snapshot::Snapshot::from_bytes(
+        snapshot::encode_snapshot(sample()));
+    ASSERT_TRUE(snap) << snap.error().to_string();
+    snap_ = std::make_unique<snapshot::Snapshot>(std::move(*snap));
+    auto engine = QueryEngine::create(snap_.get());
+    ASSERT_TRUE(engine) << engine.error().to_string();
+    engine_ = std::make_unique<QueryEngine>(std::move(*engine));
+  }
+
+  std::unique_ptr<snapshot::Snapshot> snap_;
+  std::unique_ptr<QueryEngine> engine_;
+};
+
+TEST_F(ServeEngine, ExactMatch) {
+  auto hit = engine_->exact(P("10.1.2.0/24"));
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(*hit, 0u);
+  EXPECT_FALSE(engine_->exact(P("10.1.2.0/25")));
+  EXPECT_FALSE(engine_->exact(P("192.0.2.0/24")));
+}
+
+TEST_F(ServeEngine, LongestPrefixMatch) {
+  // A /32 inside the /24 resolves to the /24, not the enclosing /16.
+  auto hit = engine_->longest_match(P("10.1.2.77/32"));
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(hit->first, P("10.1.2.0/24"));
+  EXPECT_EQ(hit->second, 0u);
+
+  // Outside the /24 but inside the /16.
+  hit = engine_->longest_match(P("10.1.9.1/32"));
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(hit->first, P("10.1.0.0/16"));
+  EXPECT_EQ(hit->second, 1u);
+
+  // An exact leaf is its own longest match.
+  hit = engine_->longest_match(P("172.16.0.0/12"));
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(hit->second, 2u);
+
+  EXPECT_FALSE(engine_->longest_match(P("8.8.8.8/32")));
+}
+
+TEST_F(ServeEngine, MaterializeMatchesSnapshot) {
+  auto record = engine_->materialize(0);
+  EXPECT_EQ(record.prefix, P("10.1.2.0/24"));
+  EXPECT_EQ(record.group, InferenceGroup::kLeasedWithRoot);
+  EXPECT_EQ(record.holder_org, "ORG-A");
+  EXPECT_EQ(record.leaf_maintainers, std::vector<std::string>{"MNT-A"});
+}
+
+TEST_F(ServeEngine, RecordJsonShape) {
+  std::string json = engine_->record_json(0);
+  EXPECT_EQ(json,
+            "{\"found\":true,\"prefix\":\"10.1.2.0/24\",\"rir\":\"RIPE\","
+            "\"group\":\"leased(g4)\",\"leased\":true,"
+            "\"root_prefix\":\"10.0.0.0/8\",\"holder_org\":\"ORG-A\","
+            "\"holder_asns\":[64512],\"leaf_origins\":[65001],"
+            "\"root_origins\":[64512],\"facilitators\":[\"MNT-A\"],"
+            "\"netname\":\"NET-A\"}");
+}
+
+TEST_F(ServeEngine, RecordJsonEscapesStrings) {
+  std::string json = engine_->record_json(1);
+  // The org contains a comma, double quotes, and a newline — all must be
+  // escaped per RFC 8259 so the response stays a single line.
+  EXPECT_NE(json.find("Org, \\\"Quoted\\\" & Co\\n(multi-line)"),
+            std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+TEST_F(ServeEngine, SizeMatchesRecords) {
+  EXPECT_EQ(engine_->size(), 3u);
+}
+
+}  // namespace
+}  // namespace sublet::serve

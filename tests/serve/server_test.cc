@@ -1,0 +1,313 @@
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "leasing/dataset.h"
+#include "leasing/pipeline.h"
+#include "leasing/report.h"
+#include "serve/client.h"
+#include "simnet/builder.h"
+#include "simnet/emit.h"
+#include "snapshot/writer.h"
+
+namespace sublet::serve {
+namespace {
+
+using leasing::InferenceGroup;
+using leasing::LeaseInference;
+
+Prefix P(const char* s) { return *Prefix::parse(s); }
+
+std::vector<LeaseInference> sample() {
+  std::vector<LeaseInference> out;
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    LeaseInference r;
+    r.prefix = *Prefix::make(Ipv4Addr((10u << 24) | (i << 8)), 24);
+    r.root_prefix = P("10.0.0.0/8");
+    r.rir = whois::Rir::kRipe;
+    r.group = i % 2 ? InferenceGroup::kLeasedWithRoot
+                    : InferenceGroup::kAggregatedCustomer;
+    r.holder_org = "ORG-" + std::to_string(i);
+    r.holder_asns = {Asn(64512 + i)};
+    r.netname = "NET-" + std::to_string(i);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+/// Snapshot + engine + server wired together for one test.
+struct Rig {
+  explicit Rig(const std::vector<LeaseInference>& records,
+               QueryServer::Options options = {}) {
+    auto loaded =
+        snapshot::Snapshot::from_bytes(snapshot::encode_snapshot(records));
+    EXPECT_TRUE(loaded) << loaded.error().to_string();
+    snap = std::make_unique<snapshot::Snapshot>(std::move(*loaded));
+    auto built = QueryEngine::create(snap.get());
+    EXPECT_TRUE(built) << built.error().to_string();
+    engine = std::make_unique<QueryEngine>(std::move(*built));
+    server = std::make_unique<QueryServer>(*engine, options);
+  }
+
+  std::unique_ptr<snapshot::Snapshot> snap;
+  std::unique_ptr<QueryEngine> engine;
+  std::unique_ptr<QueryServer> server;
+};
+
+// --- protocol semantics, no sockets involved ---
+
+TEST(ServeProtocol, ExactHitAndMiss) {
+  Rig rig(sample());
+  std::string hit = rig.server->handle_request("EXACT 10.0.0.0/24");
+  EXPECT_NE(hit.find("\"found\":true"), std::string::npos);
+  EXPECT_NE(hit.find("\"prefix\":\"10.0.0.0/24\""), std::string::npos);
+  EXPECT_EQ(rig.server->handle_request("EXACT 192.0.2.0/24"),
+            "{\"found\":false}");
+}
+
+TEST(ServeProtocol, LpmAddressMeansSlash32) {
+  Rig rig(sample());
+  std::string hit = rig.server->handle_request("LPM 10.0.3.200");
+  EXPECT_NE(hit.find("\"prefix\":\"10.0.3.0/24\""), std::string::npos);
+  EXPECT_EQ(rig.server->handle_request("LPM 8.8.8.8"), "{\"found\":false}");
+}
+
+TEST(ServeProtocol, VerbsAreCaseInsensitive) {
+  Rig rig(sample());
+  EXPECT_NE(rig.server->handle_request("exact 10.0.0.0/24").find(
+                "\"found\":true"),
+            std::string::npos);
+  EXPECT_NE(rig.server->handle_request("lpm 10.0.0.7").find("\"found\":true"),
+            std::string::npos);
+  EXPECT_NE(rig.server->handle_request("stats").find("\"requests\":"),
+            std::string::npos);
+}
+
+TEST(ServeProtocol, MalformedRequests) {
+  Rig rig(sample());
+  EXPECT_NE(rig.server->handle_request("FROB 10.0.0.0/24").find("\"error\""),
+            std::string::npos);
+  EXPECT_NE(rig.server->handle_request("EXACT not-a-prefix").find("\"error\""),
+            std::string::npos);
+  EXPECT_NE(rig.server->handle_request("EXACT").find("\"error\""),
+            std::string::npos);
+  EXPECT_NE(rig.server->handle_request("EXACT 1.2.3.0/24 extra")
+                .find("\"error\""),
+            std::string::npos);
+  EXPECT_EQ(rig.server->stats().malformed, 4u);
+}
+
+TEST(ServeProtocol, StatsCountersAdvance) {
+  Rig rig(sample());
+  rig.server->handle_request("EXACT 10.0.0.0/24");   // hit
+  rig.server->handle_request("EXACT 192.0.2.0/24");  // miss
+  rig.server->handle_request("BOGUS");               // malformed
+  StatsSnapshot stats = rig.server->stats();
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.malformed, 1u);
+  std::string json = rig.server->handle_request("STATS");
+  EXPECT_NE(json.find("\"requests\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"p99_us\":"), std::string::npos);
+}
+
+TEST(ServeProtocol, ShutdownRequestsStop) {
+  Rig rig(sample());
+  EXPECT_FALSE(rig.server->stop_requested());
+  std::string ack = rig.server->handle_request("SHUTDOWN");
+  EXPECT_NE(ack.find("\"stopping\":true"), std::string::npos);
+  EXPECT_TRUE(rig.server->stop_requested());
+}
+
+// --- real sockets on the loopback interface ---
+
+TEST(ServeServer, ClientRoundTrip) {
+  Rig rig(sample());
+  auto port = rig.server->start();
+  ASSERT_TRUE(port) << port.error().to_string();
+  auto client = QueryClient::connect("127.0.0.1", *port);
+  ASSERT_TRUE(client) << client.error().to_string();
+  auto response = client->request("EXACT 10.0.5.0/24");
+  ASSERT_TRUE(response) << response.error().to_string();
+  EXPECT_EQ(*response, rig.engine->record_json(5));
+  // Several requests over one connection.
+  for (int i = 0; i < 10; ++i) {
+    auto again = client->request("LPM 10.0.5.99");
+    ASSERT_TRUE(again);
+    EXPECT_EQ(*again, rig.engine->record_json(5));
+  }
+  rig.server->stop();
+}
+
+TEST(ServeServer, EphemeralPortsAreIndependent) {
+  Rig a(sample());
+  Rig b(sample());
+  auto port_a = a.server->start();
+  auto port_b = b.server->start();
+  ASSERT_TRUE(port_a);
+  ASSERT_TRUE(port_b);
+  EXPECT_NE(*port_a, *port_b);
+}
+
+TEST(ServeServer, ShutdownUnblocksWait) {
+  Rig rig(sample());
+  auto port = rig.server->start();
+  ASSERT_TRUE(port);
+  std::thread waiter([&] { rig.server->wait(); });
+  auto client = QueryClient::connect("127.0.0.1", *port);
+  ASSERT_TRUE(client);
+  auto ack = client->request("SHUTDOWN");
+  ASSERT_TRUE(ack);
+  waiter.join();
+  EXPECT_TRUE(rig.server->stop_requested());
+}
+
+void hammer(std::uint16_t port, const QueryEngine& engine, int rounds,
+            std::atomic<int>& failures) {
+  auto client = QueryClient::connect("127.0.0.1", port);
+  if (!client) {
+    failures.fetch_add(1);
+    return;
+  }
+  for (int i = 0; i < rounds; ++i) {
+    std::uint32_t leaf = static_cast<std::uint32_t>(i) % 32;
+    auto response =
+        client->request("EXACT 10.0." + std::to_string(leaf) + ".0/24");
+    if (!response || *response != engine.record_json(leaf)) {
+      failures.fetch_add(1);
+      return;
+    }
+  }
+}
+
+TEST(ServeConcurrency, ManyClientsOneSnapshot) {
+  for (unsigned threads : {1u, 8u}) {
+    Rig rig(sample(), QueryServer::Options{.port = 0, .threads = threads});
+    auto port = rig.server->start();
+    ASSERT_TRUE(port) << port.error().to_string();
+    std::atomic<int> failures{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 8; ++c) {
+      clients.emplace_back(
+          [&, c] { hammer(*port, *rig.engine, 50 + c, failures); });
+    }
+    for (auto& t : clients) t.join();
+    EXPECT_EQ(failures.load(), 0) << "server threads=" << threads;
+    StatsSnapshot stats = rig.server->stats();
+    EXPECT_GE(stats.requests, 8u * 50u);
+    EXPECT_EQ(stats.requests, stats.hits);
+    rig.server->stop();
+  }
+}
+
+TEST(ServeConcurrency, StopWithClientsConnected) {
+  Rig rig(sample(), QueryServer::Options{.port = 0, .threads = 4});
+  auto port = rig.server->start();
+  ASSERT_TRUE(port);
+  std::vector<QueryClient> idle;
+  for (int i = 0; i < 4; ++i) {
+    auto client = QueryClient::connect("127.0.0.1", *port);
+    ASSERT_TRUE(client);
+    auto response = client->request("EXACT 10.0.0.0/24");
+    ASSERT_TRUE(response);
+    idle.push_back(std::move(*client));
+  }
+  rig.server->stop();  // must unblock the 4 parked handlers and join
+}
+
+// --- the paper-pipeline end-to-end: dataset -> classify -> CSV artifact
+// -> snapshot -> serve -> every leaf over TCP, byte-equivalent at 1 and 8
+// server threads ---
+
+class ServeEndToEnd : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new std::string(testing::TempDir() + "/sublet_serve_e2e_" +
+                           std::to_string(::getpid()));
+    sim::WorldConfig config;
+    config.scale = 0.03;
+    config.seed = 20240401;
+    sim::World world = sim::build_world(config);
+    sim::emit_world(world, *dir_);
+    leasing::DatasetBundle bundle = leasing::load_dataset(*dir_);
+    asgraph::AsGraph graph(&bundle.as_rel, &bundle.as2org);
+    leasing::Pipeline pipeline(bundle.rib, graph);
+    std::vector<LeaseInference> results;
+    for (const whois::WhoisDb& db : bundle.whois) {
+      auto partial = pipeline.classify(db);
+      results.insert(results.end(), partial.begin(), partial.end());
+    }
+    // The released artifact is the CSV; the snapshot is built from a fresh
+    // parse of it, exactly like `sublet snapshot write`.
+    std::ostringstream csv;
+    leasing::write_inferences_csv(csv, results);
+    std::istringstream in(csv.str());
+    auto parsed = leasing::read_inferences_csv(in);
+    ASSERT_TRUE(parsed) << parsed.error().to_string();
+    artifact_ = new std::vector<LeaseInference>(std::move(*parsed));
+    ASSERT_FALSE(artifact_->empty());
+  }
+
+  static void TearDownTestSuite() {
+    delete artifact_;
+    artifact_ = nullptr;
+    delete dir_;
+    dir_ = nullptr;
+  }
+
+  static std::string* dir_;
+  static std::vector<LeaseInference>* artifact_;
+};
+
+std::string* ServeEndToEnd::dir_ = nullptr;
+std::vector<LeaseInference>* ServeEndToEnd::artifact_ = nullptr;
+
+TEST_F(ServeEndToEnd, EveryLeafByteEquivalent) {
+  for (unsigned threads : {1u, 8u}) {
+    Rig rig(*artifact_, QueryServer::Options{.port = 0, .threads = threads});
+    auto port = rig.server->start();
+    ASSERT_TRUE(port) << port.error().to_string();
+    // Expected responses come straight from the CSV-derived records.
+    std::vector<std::string> expected;
+    expected.reserve(artifact_->size());
+    for (std::uint32_t i = 0; i < artifact_->size(); ++i) {
+      expected.push_back(rig.engine->record_json(i));
+    }
+    const unsigned kClients = 8;
+    std::atomic<int> failures{0};
+    std::vector<std::thread> clients;
+    for (unsigned c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        auto client = QueryClient::connect("127.0.0.1", *port);
+        if (!client) {
+          failures.fetch_add(1);
+          return;
+        }
+        for (std::size_t i = c; i < artifact_->size(); i += kClients) {
+          auto response = client->request(
+              "EXACT " + (*artifact_)[i].prefix.to_string());
+          if (!response || *response != expected[i]) {
+            failures.fetch_add(1);
+            return;
+          }
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    EXPECT_EQ(failures.load(), 0) << "server threads=" << threads;
+    rig.server->stop();
+  }
+}
+
+}  // namespace
+}  // namespace sublet::serve

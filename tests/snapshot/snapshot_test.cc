@@ -1,0 +1,267 @@
+#include "snapshot/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "snapshot/format.h"
+#include "snapshot/writer.h"
+#include "util/binio.h"
+
+namespace sublet::snapshot {
+namespace {
+
+using leasing::InferenceGroup;
+using leasing::LeaseInference;
+
+Prefix P(const char* s) { return *Prefix::parse(s); }
+
+std::vector<LeaseInference> sample(std::size_t n) {
+  std::vector<LeaseInference> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    LeaseInference r;
+    r.prefix = *Prefix::make(
+        Ipv4Addr((10u << 24) | (static_cast<std::uint32_t>(i) << 8)), 24);
+    r.root_prefix = P("10.0.0.0/8");
+    r.rir = static_cast<whois::Rir>(i % 5);
+    r.group = leasing::kAllInferenceGroups[i % leasing::kAllInferenceGroups
+                                                   .size()];
+    r.holder_org = "ORG-SHARED-" + std::to_string(i % 3);
+    r.holder_asns = {Asn(64512 + static_cast<std::uint32_t>(i % 7))};
+    r.leaf_origins = {Asn(65001), Asn(65002)};
+    r.root_origins = {Asn(64512)};
+    r.leaf_maintainers = {"MNT-" + std::to_string(i % 3), "MNT-COMMON"};
+    r.root_maintainers = {"MNT-ROOT"};
+    r.netname = "NET, \"quoted\"\nname-" + std::to_string(i % 4);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+void expect_equal(const LeaseInference& a, const LeaseInference& b) {
+  EXPECT_EQ(a.prefix, b.prefix);
+  EXPECT_EQ(a.root_prefix, b.root_prefix);
+  EXPECT_EQ(a.rir, b.rir);
+  EXPECT_EQ(a.group, b.group);
+  EXPECT_EQ(a.holder_org, b.holder_org);
+  EXPECT_EQ(a.holder_asns, b.holder_asns);
+  EXPECT_EQ(a.leaf_origins, b.leaf_origins);
+  EXPECT_EQ(a.root_origins, b.root_origins);
+  EXPECT_EQ(a.leaf_maintainers, b.leaf_maintainers);
+  EXPECT_EQ(a.root_maintainers, b.root_maintainers);
+  EXPECT_EQ(a.netname, b.netname);
+}
+
+// Little-endian in-place patches for forging header/table fields in
+// corruption tests.
+void patch_u16(std::vector<std::uint8_t>& b, std::size_t off,
+               std::uint16_t v) {
+  b[off] = static_cast<std::uint8_t>(v);
+  b[off + 1] = static_cast<std::uint8_t>(v >> 8);
+}
+void patch_u32(std::vector<std::uint8_t>& b, std::size_t off,
+               std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    b[off + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+void patch_u64(std::vector<std::uint8_t>& b, std::size_t off,
+               std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    b[off + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+/// Recompute and patch the header CRC so edits *below* the header survive
+/// the checksum gate and reach the structural validators.
+void forge_crc(std::vector<std::uint8_t>& b) {
+  std::span<const std::uint8_t> rest(b.data() + kHeaderSize,
+                                     b.size() - kHeaderSize);
+  patch_u32(b, 24, crc32(rest));
+}
+
+TEST(Snapshot, RoundTripInMemory) {
+  auto inferences = sample(50);
+  auto snap = Snapshot::from_bytes(encode_snapshot(inferences));
+  ASSERT_TRUE(snap) << snap.error().to_string();
+  ASSERT_EQ(snap->record_count(), inferences.size());
+  for (std::size_t i = 0; i < inferences.size(); ++i) {
+    expect_equal(snap->materialize(i), inferences[i]);
+  }
+}
+
+TEST(Snapshot, EmptyInput) {
+  auto snap = Snapshot::from_bytes(encode_snapshot({}));
+  ASSERT_TRUE(snap) << snap.error().to_string();
+  EXPECT_EQ(snap->record_count(), 0u);
+  auto trie = snap->build_trie();
+  ASSERT_TRUE(trie) << trie.error().to_string();
+  EXPECT_EQ(trie->size(), 0u);
+}
+
+TEST(Snapshot, StringsAreDeduplicated) {
+  // 60 records, but orgs cycle mod 3, maintainers mod 3 (+2 shared),
+  // netnames mod 4 — the pool must stay tiny.
+  auto snap = Snapshot::from_bytes(encode_snapshot(sample(60)));
+  ASSERT_TRUE(snap);
+  EXPECT_LT(snap->string_count(), 16u);
+}
+
+TEST(Snapshot, TrieResolvesEveryLeaf) {
+  auto inferences = sample(40);
+  auto snap = Snapshot::from_bytes(encode_snapshot(inferences));
+  ASSERT_TRUE(snap);
+  auto trie = snap->build_trie();
+  ASSERT_TRUE(trie) << trie.error().to_string();
+  EXPECT_EQ(trie->size(), inferences.size());
+  for (std::size_t i = 0; i < inferences.size(); ++i) {
+    const std::uint32_t* idx = trie->find(inferences[i].prefix);
+    ASSERT_NE(idx, nullptr);
+    EXPECT_EQ(*idx, i);
+  }
+  EXPECT_EQ(trie->find(P("192.0.2.0/24")), nullptr);
+}
+
+class SnapshotFileTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = testing::TempDir() + "/sublet_snapshot_test_" +
+            std::to_string(::getpid()) + ".snap";
+    inferences_ = sample(25);
+    write_snapshot_file(path_, inferences_);
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+  std::vector<LeaseInference> inferences_;
+};
+
+TEST_F(SnapshotFileTest, ReadMode) {
+  auto snap = Snapshot::open(path_, Snapshot::Mode::kRead);
+  ASSERT_TRUE(snap) << snap.error().to_string();
+  EXPECT_FALSE(snap->mapped());
+  ASSERT_EQ(snap->record_count(), inferences_.size());
+  expect_equal(snap->materialize(7), inferences_[7]);
+}
+
+TEST_F(SnapshotFileTest, MapMode) {
+  auto snap = Snapshot::open(path_, Snapshot::Mode::kMap);
+  ASSERT_TRUE(snap) << snap.error().to_string();
+  EXPECT_TRUE(snap->mapped());
+  ASSERT_EQ(snap->record_count(), inferences_.size());
+  for (std::size_t i = 0; i < inferences_.size(); ++i) {
+    expect_equal(snap->materialize(i), inferences_[i]);
+  }
+}
+
+TEST_F(SnapshotFileTest, MissingFile) {
+  EXPECT_FALSE(Snapshot::open(path_ + ".nope", Snapshot::Mode::kRead));
+  EXPECT_FALSE(Snapshot::open(path_ + ".nope", Snapshot::Mode::kMap));
+}
+
+// --- corruption: every damaged input must yield Error, never a crash ---
+
+class SnapshotCorruptionTest : public testing::Test {
+ protected:
+  void SetUp() override { bytes_ = encode_snapshot(sample(20)); }
+
+  std::vector<std::uint8_t> bytes_;
+};
+
+TEST_F(SnapshotCorruptionTest, Truncated) {
+  for (std::size_t keep :
+       {std::size_t{0}, std::size_t{5}, kHeaderSize - 1, kHeaderSize,
+        kHeaderSize + 3 * kSectionEntrySize, bytes_.size() - 1}) {
+    std::vector<std::uint8_t> cut(bytes_.begin(),
+                                  bytes_.begin() + static_cast<long>(keep));
+    EXPECT_FALSE(Snapshot::from_bytes(std::move(cut))) << "kept " << keep;
+  }
+}
+
+TEST_F(SnapshotCorruptionTest, WrongMagic) {
+  bytes_[0] ^= 0xFF;
+  EXPECT_FALSE(Snapshot::from_bytes(std::move(bytes_)));
+}
+
+TEST_F(SnapshotCorruptionTest, WrongVersion) {
+  patch_u16(bytes_, 8, kVersion + 1);
+  EXPECT_FALSE(Snapshot::from_bytes(std::move(bytes_)));
+}
+
+TEST_F(SnapshotCorruptionTest, MissingLittleEndianFlag) {
+  patch_u16(bytes_, 10, 0);
+  EXPECT_FALSE(Snapshot::from_bytes(std::move(bytes_)));
+}
+
+TEST_F(SnapshotCorruptionTest, FlippedCrcByte) {
+  bytes_[24] ^= 0x01;  // stored checksum no longer matches the payload
+  EXPECT_FALSE(Snapshot::from_bytes(std::move(bytes_)));
+}
+
+TEST_F(SnapshotCorruptionTest, FlippedPayloadByte) {
+  bytes_[bytes_.size() - 1] ^= 0x40;  // payload no longer matches checksum
+  EXPECT_FALSE(Snapshot::from_bytes(std::move(bytes_)));
+}
+
+TEST_F(SnapshotCorruptionTest, OversizedSectionLength) {
+  // Blow up each section's length in turn, re-forging the CRC so the edit
+  // reaches the bounds validator rather than the checksum gate.
+  for (std::uint32_t entry = 0; entry < kSectionCount; ++entry) {
+    auto copy = bytes_;
+    std::size_t len_off = kHeaderSize + entry * kSectionEntrySize + 16;
+    patch_u64(copy, len_off, 1ull << 40);
+    forge_crc(copy);
+    EXPECT_FALSE(Snapshot::from_bytes(std::move(copy))) << "entry " << entry;
+  }
+}
+
+TEST_F(SnapshotCorruptionTest, SectionOffsetPastPayload) {
+  auto copy = bytes_;
+  patch_u64(copy, kHeaderSize + 2 * kSectionEntrySize + 8, 1ull << 40);
+  forge_crc(copy);
+  EXPECT_FALSE(Snapshot::from_bytes(std::move(copy)));
+}
+
+TEST_F(SnapshotCorruptionTest, DuplicateSectionId) {
+  auto copy = bytes_;
+  // Rewrite entry 1's id to match entry 0's.
+  patch_u32(copy, kHeaderSize + 1 * kSectionEntrySize, 1);
+  forge_crc(copy);
+  EXPECT_FALSE(Snapshot::from_bytes(std::move(copy)));
+}
+
+TEST_F(SnapshotCorruptionTest, RecordFieldOutOfRange) {
+  // Corrupt the first RecordRow's string id inside the records section;
+  // the CRC is forged so only semantic validation can reject it.
+  ByteReader header(bytes_);
+  header.skip(kHeaderSize);
+  std::size_t records_off = 0;
+  for (std::uint32_t entry = 0; entry < kSectionCount; ++entry) {
+    std::uint32_t id = header.u32();
+    header.u32();
+    std::uint64_t off = header.u64();
+    header.u64();
+    if (id == static_cast<std::uint32_t>(SectionId::kRecords)) {
+      records_off = kHeaderSize + kSectionCount * kSectionEntrySize +
+                    static_cast<std::size_t>(off);
+    }
+  }
+  ASSERT_TRUE(header.ok());
+  ASSERT_NE(records_off, 0u);
+  auto copy = bytes_;
+  patch_u32(copy, records_off + offsetof(RecordRow, holder_org), 0xFFFFFF);
+  forge_crc(copy);
+  EXPECT_FALSE(Snapshot::from_bytes(std::move(copy)));
+}
+
+}  // namespace
+}  // namespace sublet::snapshot

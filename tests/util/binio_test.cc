@@ -1,0 +1,147 @@
+#include "util/binio.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace sublet {
+namespace {
+
+TEST(Binio, LittleEndianLayout) {
+  ByteWriter w;
+  w.u8(0x01);
+  w.u16(0x0203);
+  w.u32(0x04050607);
+  w.u64(0x08090A0B0C0D0E0FULL);
+  std::vector<std::uint8_t> expected = {0x01, 0x03, 0x02, 0x07, 0x06,
+                                        0x05, 0x04, 0x0F, 0x0E, 0x0D,
+                                        0x0C, 0x0B, 0x0A, 0x09, 0x08};
+  EXPECT_EQ(w.take(), expected);
+}
+
+TEST(Binio, IntRoundTrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFULL);
+  auto bytes = w.take();
+  ByteReader r(bytes);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Binio, VarintRoundTrip) {
+  std::vector<std::uint64_t> values = {
+      0,   1,   127, 128,  129,  300,  16383, 16384,
+      1u << 20, 1ull << 35, 1ull << 62,
+      std::numeric_limits<std::uint64_t>::max()};
+  ByteWriter w;
+  for (std::uint64_t v : values) w.varint(v);
+  auto bytes = w.take();
+  ByteReader r(bytes);
+  for (std::uint64_t v : values) {
+    EXPECT_EQ(r.varint(), v);
+    EXPECT_TRUE(r.ok());
+  }
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Binio, VarintEncodingSizes) {
+  ByteWriter one, two, ten;
+  one.varint(127);
+  two.varint(128);
+  ten.varint(std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(one.size(), 1u);
+  EXPECT_EQ(two.size(), 2u);
+  EXPECT_EQ(ten.size(), 10u);
+}
+
+TEST(Binio, VarintTruncatedFails) {
+  std::vector<std::uint8_t> truncated = {0x80, 0x80};  // continuation, no end
+  ByteReader r(truncated);
+  r.varint();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Binio, VarintOverlongFails) {
+  // Eleven continuation bytes can never be a valid 64-bit LEB128.
+  std::vector<std::uint8_t> overlong(11, 0x80);
+  overlong.push_back(0x00);
+  ByteReader r(overlong);
+  r.varint();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Binio, ReaderUnderrunIsSticky) {
+  std::vector<std::uint8_t> two = {0x01, 0x02};
+  ByteReader r(two);
+  EXPECT_EQ(r.u32(), 0u);  // needs 4 bytes, only 2 present
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u8(), 0u);  // still failed even though a byte "exists"
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Binio, BytesAndStringAndSkip) {
+  ByteWriter w;
+  w.string("abc");
+  w.u8(0xFF);
+  w.string("xyz");
+  auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.string(3), "abc");
+  r.skip(1);
+  auto tail = r.bytes(3);
+  ASSERT_EQ(tail.size(), 3u);
+  EXPECT_EQ(tail[0], 'x');
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.bytes(1).size(), 0u);  // past end
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Binio, PadToAndPatch) {
+  ByteWriter w;
+  w.u8(1);
+  w.pad_to(16);
+  EXPECT_EQ(w.size(), 16u);
+  w.u32(0);
+  w.patch_u32(16, 0xCAFEBABEu);
+  auto bytes = w.take();
+  ByteReader r(bytes);
+  r.skip(16);
+  EXPECT_EQ(r.u32(), 0xCAFEBABEu);
+}
+
+TEST(Binio, Crc32KnownVectors) {
+  // The classic check value: CRC-32("123456789") == 0xCBF43926.
+  const char* check = "123456789";
+  std::span<const std::uint8_t> data(
+      reinterpret_cast<const std::uint8_t*>(check), 9);
+  EXPECT_EQ(crc32(data), 0xCBF43926u);
+  EXPECT_EQ(crc32({}), 0u);
+}
+
+TEST(Binio, Crc32Incremental) {
+  std::vector<std::uint8_t> payload(1024);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  }
+  std::uint32_t whole = crc32(payload);
+  std::span<const std::uint8_t> view(payload);
+  std::uint32_t pieces = crc32(view.subspan(0, 100));
+  pieces = crc32(view.subspan(100, 500), pieces);
+  pieces = crc32(view.subspan(600), pieces);
+  EXPECT_EQ(pieces, whole);
+  // Any flipped bit must change the checksum.
+  payload[512] ^= 0x10;
+  EXPECT_NE(crc32(payload), whole);
+}
+
+}  // namespace
+}  // namespace sublet

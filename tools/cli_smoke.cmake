@@ -1,5 +1,7 @@
 # End-to-end smoke test for the `sublet` CLI, run under ctest:
-#   generate -> infer -> evaluate -> abuse -> report -> explain -> dump -> churn
+#   generate -> infer -> evaluate -> abuse -> report -> explain -> dump ->
+#   churn -> snapshot write/verify/read -> serve/query/shutdown, plus
+#   exit-code checks for unknown subcommands and bad flags.
 if(NOT DEFINED SUBLET_BIN)
   message(FATAL_ERROR "pass -DSUBLET_BIN=<path to sublet>")
 endif()
@@ -20,6 +22,21 @@ function(run_step)
     message(FATAL_ERROR "step failed (${code}): ${ARGV}\n${out}\n${err}")
   endif()
   set(STEP_OUTPUT "${out}" PARENT_SCOPE)
+endfunction()
+
+# Assert the command exits non-zero AND prints usage to stderr — the
+# contract for unknown subcommands and unrecognized flags.
+function(run_fail)
+  execute_process(COMMAND ${ARGV}
+                  RESULT_VARIABLE code
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(code EQUAL 0)
+    message(FATAL_ERROR "expected failure but got exit 0: ${ARGV}\n${out}")
+  endif()
+  if(NOT err MATCHES "usage: sublet")
+    message(FATAL_ERROR "expected usage on stderr (${ARGV}):\n${err}")
+  endif()
 endfunction()
 
 run_step("${SUBLET_BIN}" generate "${DATA}" --scale 0.03 --seed 11)
@@ -60,6 +77,113 @@ endif()
 run_step("${SUBLET_BIN}" churn "${DATA}/leases-a.csv" "${DATA}/leases-a.csv")
 if(NOT STEP_OUTPUT MATCHES "churn rate:      0.0%")
   message(FATAL_ERROR "self-churn should be zero: ${STEP_OUTPUT}")
+endif()
+
+# --- exit codes: unknown subcommand / bad flags must refuse loudly ---
+run_fail("${SUBLET_BIN}")
+run_fail("${SUBLET_BIN}" frobnicate)
+run_fail("${SUBLET_BIN}" infer "${DATA}" --bogus-flag)
+run_fail("${SUBLET_BIN}" snapshot frob "${DATA}/leases-a.csv")
+run_fail("${SUBLET_BIN}" snapshot write "${DATA}/leases-a.csv")
+run_fail("${SUBLET_BIN}" serve)
+run_fail("${SUBLET_BIN}" serve "${DATA}/nope.snap" --bad-flag)
+run_fail("${SUBLET_BIN}" query not-a-host-port)
+
+# --- snapshot round trip: write -> verify -> read -> byte-compare ---
+run_step("${SUBLET_BIN}" snapshot write "${DATA}/leases-a.csv"
+         "${DATA}/leases.snap")
+if(NOT STEP_OUTPUT MATCHES "records to")
+  message(FATAL_ERROR "snapshot write printed no summary: ${STEP_OUTPUT}")
+endif()
+
+run_step("${SUBLET_BIN}" snapshot verify "${DATA}/leases.snap")
+if(NOT STEP_OUTPUT MATCHES "ok: version 1")
+  message(FATAL_ERROR "snapshot verify rejected fresh file: ${STEP_OUTPUT}")
+endif()
+
+run_step("${SUBLET_BIN}" snapshot read "${DATA}/leases.snap"
+         -o "${DATA}/leases-roundtrip.csv")
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                "${DATA}/leases-a.csv" "${DATA}/leases-roundtrip.csv"
+                RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "snapshot read is not byte-identical to the artifact")
+endif()
+
+# A damaged snapshot must be refused (not crash).
+file(READ "${DATA}/leases.snap" SNAP_HEX LIMIT 256 HEX)
+string(SUBSTRING "${SNAP_HEX}" 0 100 SNAP_HEX)
+file(WRITE "${DATA}/leases-truncated.snap" "${SNAP_HEX}")
+execute_process(COMMAND "${SUBLET_BIN}" snapshot verify
+                "${DATA}/leases-truncated.snap"
+                RESULT_VARIABLE code OUTPUT_QUIET ERROR_QUIET)
+if(code EQUAL 0)
+  message(FATAL_ERROR "snapshot verify accepted a truncated file")
+endif()
+
+# --- serving: background server -> port file -> query -> shutdown ---
+find_program(SH_BIN sh)
+if(SH_BIN)
+  file(REMOVE "${DATA}/port.txt")
+  execute_process(
+    COMMAND "${SH_BIN}" -c
+      "'${SUBLET_BIN}' serve '${DATA}/leases.snap' --port-file '${DATA}/port.txt' > '${DATA}/serve.log' 2>&1 &"
+    RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "failed to launch background server")
+  endif()
+  set(PORT "")
+  foreach(attempt RANGE 100)
+    if(EXISTS "${DATA}/port.txt")
+      file(READ "${DATA}/port.txt" PORT)
+      string(STRIP "${PORT}" PORT)
+      if(NOT PORT STREQUAL "")
+        break()
+      endif()
+    endif()
+    execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+  endforeach()
+  if(PORT STREQUAL "")
+    file(READ "${DATA}/serve.log" SERVE_LOG)
+    message(FATAL_ERROR "server never published its port:\n${SERVE_LOG}")
+  endif()
+
+  run_step("${SUBLET_BIN}" query "127.0.0.1:${PORT}" 20.0.0.0/24)
+  if(NOT STEP_OUTPUT MATCHES "\"found\":true")
+    message(FATAL_ERROR "query missed a known leaf: ${STEP_OUTPUT}")
+  endif()
+  if(NOT STEP_OUTPUT MATCHES "\"prefix\":\"20.0.0.0/24\"")
+    message(FATAL_ERROR "query returned the wrong record: ${STEP_OUTPUT}")
+  endif()
+
+  run_step("${SUBLET_BIN}" query "127.0.0.1:${PORT}" --lpm 20.0.0.99)
+  if(NOT STEP_OUTPUT MATCHES "\"prefix\":\"20.0.0.0/24\"")
+    message(FATAL_ERROR "LPM did not resolve to the covering leaf: ${STEP_OUTPUT}")
+  endif()
+
+  run_step("${SUBLET_BIN}" query "127.0.0.1:${PORT}" --stats --shutdown)
+  if(NOT STEP_OUTPUT MATCHES "\"requests\":")
+    message(FATAL_ERROR "STATS returned no counters: ${STEP_OUTPUT}")
+  endif()
+  if(NOT STEP_OUTPUT MATCHES "\"stopping\":true")
+    message(FATAL_ERROR "SHUTDOWN was not acknowledged: ${STEP_OUTPUT}")
+  endif()
+
+  # The server exits after SHUTDOWN; a fresh connect must now fail.
+  foreach(attempt RANGE 50)
+    execute_process(COMMAND "${SUBLET_BIN}" query "127.0.0.1:${PORT}"
+                    20.0.0.0/24
+                    RESULT_VARIABLE code OUTPUT_QUIET ERROR_QUIET)
+    if(NOT code EQUAL 0)
+      break()
+    endif()
+    execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+  endforeach()
+  if(code EQUAL 0)
+    message(FATAL_ERROR "server still accepting after SHUTDOWN")
+  endif()
+else()
+  message(STATUS "sh not found; skipping background server smoke")
 endif()
 
 file(REMOVE_RECURSE "${DATA}")

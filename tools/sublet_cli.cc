@@ -7,7 +7,13 @@
 //   sublet abuse <dataset>                         blocklist cross-reference
 //   sublet timeline <updates.mrt> <rpki-dir> <prefix> [from] [to]
 //                                                  lease-history (Figure 3)
+//   sublet snapshot write|read|verify ...          binary inference snapshots
+//   sublet serve <file.snap> [--port N]            TCP prefix-query server
+//   sublet query <host:port> <prefix>...           one-shot protocol client
+#include <atomic>
+#include <csignal>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -24,8 +30,13 @@
 #include "leasing/report.h"
 #include "leasing/summary.h"
 #include "leasing/timeline.h"
+#include "serve/client.h"
+#include "serve/query_engine.h"
+#include "serve/server.h"
 #include "simnet/builder.h"
 #include "simnet/emit.h"
+#include "snapshot/snapshot.h"
+#include "snapshot/writer.h"
 #include "util/log.h"
 #include "util/parallel.h"
 #include "util/strings.h"
@@ -49,7 +60,15 @@ int usage() {
       "                                          lease-history reconstruction\n"
       "  churn <leases-a.csv> <leases-b.csv>     diff two inference exports\n"
       "  report <dataset>                        full measurement summary\n"
-      "  dump <rib.mrt>                          MRT -> bgpdump -m text\n";
+      "  dump <rib.mrt>                          MRT -> bgpdump -m text\n"
+      "  snapshot write <leases.csv> <out.snap>  pack inferences for serving\n"
+      "  snapshot read <in.snap> [-o out.csv]    unpack back to the artifact\n"
+      "  snapshot verify <in.snap>               check magic/version/CRC\n"
+      "  serve <in.snap> [--port N] [--port-file F]\n"
+      "                                          prefix-query server (see\n"
+      "                                          docs/SERVING.md for protocol)\n"
+      "  query <host:port> [--lpm|--stats|--shutdown] <prefix>...\n"
+      "                                          one-shot loopback client\n";
   return 2;
 }
 
@@ -95,7 +114,12 @@ int cmd_infer(const std::vector<std::string>& args) {
   if (args.empty()) return usage();
   std::optional<std::string> out_path;
   for (std::size_t i = 1; i < args.size(); ++i) {
-    if (args[i] == "-o" && i + 1 < args.size()) out_path = args[++i];
+    if (args[i] == "-o" && i + 1 < args.size()) {
+      out_path = args[++i];
+    } else {
+      std::cerr << "unknown option " << args[i] << "\n";
+      return usage();
+    }
   }
   LoadedRun run(args[0]);
   auto counts = leasing::Pipeline::count_groups(run.results);
@@ -270,6 +294,190 @@ int cmd_churn(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_snapshot(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const std::string& verb = args[0];
+  if (verb == "write") {
+    if (args.size() != 3) return usage();
+    auto inferences = leasing::load_inferences_csv(args[1]);
+    if (!inferences) {
+      std::cerr << inferences.error().to_string() << "\n";
+      return 1;
+    }
+    snapshot::write_snapshot_file(args[2], *inferences);
+    std::cout << "wrote " << with_commas(inferences->size())
+              << " records to " << args[2] << "\n";
+    return 0;
+  }
+  if (verb == "read") {
+    std::optional<std::string> out_path;
+    std::vector<std::string> rest;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      if (args[i] == "-o" && i + 1 < args.size()) {
+        out_path = args[++i];
+      } else if (!args[i].empty() && args[i][0] == '-') {
+        std::cerr << "unknown option " << args[i] << "\n";
+        return usage();
+      } else {
+        rest.push_back(args[i]);
+      }
+    }
+    if (rest.size() != 1) return usage();
+    auto snap = snapshot::Snapshot::open(rest[0]);
+    if (!snap) {
+      std::cerr << snap.error().to_string() << "\n";
+      return 1;
+    }
+    std::vector<leasing::LeaseInference> inferences;
+    inferences.reserve(snap->record_count());
+    for (std::size_t i = 0; i < snap->record_count(); ++i) {
+      inferences.push_back(snap->materialize(i));
+    }
+    if (out_path) {
+      leasing::save_inferences_csv(*out_path, inferences);
+      std::cout << "inferences written to " << *out_path << "\n";
+    } else {
+      leasing::write_inferences_csv(std::cout, inferences);
+    }
+    return 0;
+  }
+  if (verb == "verify") {
+    if (args.size() != 2) return usage();
+    auto snap =
+        snapshot::Snapshot::open(args[1], snapshot::Snapshot::Mode::kRead);
+    if (!snap) {
+      std::cerr << "invalid snapshot: " << snap.error().to_string() << "\n";
+      return 1;
+    }
+    std::cout << "ok: version " << snap->version() << ", "
+              << with_commas(snap->record_count()) << " records, "
+              << with_commas(snap->string_count()) << " strings, "
+              << with_commas(snap->file_bytes()) << " bytes\n";
+    return 0;
+  }
+  std::cerr << "unknown snapshot verb '" << verb << "'\n";
+  return usage();
+}
+
+// Signal handlers may only touch lock-free atomics; the server's wait()
+// polls this flag so SIGTERM/SIGINT still dump the final counters.
+std::atomic<int> g_signal{0};
+
+extern "C" void sublet_on_signal(int sig) {
+  g_signal.store(sig, std::memory_order_relaxed);
+}
+
+int cmd_serve(const std::vector<std::string>& args) {
+  serve::QueryServer::Options options;
+  std::optional<std::string> port_file;
+  std::vector<std::string> rest;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--port" && i + 1 < args.size()) {
+      auto port = parse_u32(args[++i]);
+      if (!port || *port > 65535) {
+        std::cerr << "--port expects an integer in [0, 65535]\n";
+        return usage();
+      }
+      options.port = static_cast<std::uint16_t>(*port);
+    } else if (args[i] == "--port-file" && i + 1 < args.size()) {
+      port_file = args[++i];
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      std::cerr << "unknown option " << args[i] << "\n";
+      return usage();
+    } else {
+      rest.push_back(args[i]);
+    }
+  }
+  if (rest.size() != 1) return usage();
+  auto snap = snapshot::Snapshot::open(rest[0]);
+  if (!snap) {
+    std::cerr << snap.error().to_string() << "\n";
+    return 1;
+  }
+  auto engine = serve::QueryEngine::create(&*snap);
+  if (!engine) {
+    std::cerr << engine.error().to_string() << "\n";
+    return 1;
+  }
+  serve::QueryServer server(*engine, options);
+  auto port = server.start();
+  if (!port) {
+    std::cerr << port.error().to_string() << "\n";
+    return 1;
+  }
+  if (port_file) {
+    std::ofstream out(*port_file);
+    if (!out) {
+      std::cerr << "cannot write " << *port_file << "\n";
+      return 1;
+    }
+    out << *port << "\n";
+  }
+  std::cout << "serving " << with_commas(snap->record_count())
+            << " records on 127.0.0.1:" << *port << "\n"
+            << std::flush;
+  std::signal(SIGTERM, sublet_on_signal);
+  std::signal(SIGINT, sublet_on_signal);
+  server.wait([] { return g_signal.load(std::memory_order_relaxed) != 0; });
+  server.stop();
+  std::cout << server.stats().to_json() << "\n";
+  return 0;
+}
+
+int cmd_query(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  bool lpm = false, stats = false, shutdown = false;
+  std::vector<std::string> rest;
+  for (const std::string& arg : args) {
+    if (arg == "--lpm") {
+      lpm = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--shutdown") {
+      shutdown = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option " << arg << "\n";
+      return usage();
+    } else {
+      rest.push_back(arg);
+    }
+  }
+  if (rest.empty()) return usage();
+  std::size_t colon = rest[0].rfind(':');
+  std::optional<std::uint32_t> port;
+  if (colon != std::string::npos) {
+    port = parse_u32(std::string_view(rest[0]).substr(colon + 1));
+  }
+  if (!port || *port == 0 || *port > 65535) {
+    std::cerr << "expected <host:port>, got '" << rest[0] << "'\n";
+    return usage();
+  }
+  std::string host = rest[0].substr(0, colon);
+  std::vector<std::string> prefixes(rest.begin() + 1, rest.end());
+  if (prefixes.empty() && !stats && !shutdown) return usage();
+  auto client =
+      serve::QueryClient::connect(host, static_cast<std::uint16_t>(*port));
+  if (!client) {
+    std::cerr << client.error().to_string() << "\n";
+    return 1;
+  }
+  auto round_trip = [&](const std::string& line) -> bool {
+    auto response = client->request(line);
+    if (!response) {
+      std::cerr << response.error().to_string() << "\n";
+      return false;
+    }
+    std::cout << *response << "\n";
+    return true;
+  };
+  for (const std::string& prefix : prefixes) {
+    if (!round_trip((lpm ? "LPM " : "EXACT ") + prefix)) return 1;
+  }
+  if (stats && !round_trip("STATS")) return 1;
+  if (shutdown && !round_trip("SHUTDOWN")) return 1;
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -312,6 +520,9 @@ int main(int argc, char** argv) {
     if (command == "churn") return cmd_churn(args);
     if (command == "report") return cmd_report(args);
     if (command == "dump") return cmd_dump(args);
+    if (command == "snapshot") return cmd_snapshot(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "query") return cmd_query(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
