@@ -19,6 +19,7 @@
 #include "netbase/legacy_prefix_trie.h"
 #include "netbase/prefix_trie.h"
 #include "serve/client.h"
+#include "serve/engine_state.h"
 #include "serve/query_engine.h"
 #include "serve/server.h"
 #include "simnet/builder.h"
@@ -487,19 +488,14 @@ BENCHMARK(BM_SnapshotLoadVsCsv)
 /// server; items/sec is end-to-end queries/sec including the TCP hop.
 void BM_ServeQueries(benchmark::State& state) {
   const auto& files = snapshot_bench_files(100000);
-  auto snap = snapshot::Snapshot::open(files.snap);
-  if (!snap) {
+  auto engine_state = serve::EngineState::load(files.snap);
+  if (!engine_state) {
     state.SkipWithError("snapshot load failed");
-    return;
-  }
-  auto engine = serve::QueryEngine::create(&*snap);
-  if (!engine) {
-    state.SkipWithError("engine build failed");
     return;
   }
   serve::QueryServer::Options options;
   options.threads = static_cast<unsigned>(state.range(0));
-  serve::QueryServer server(*engine, options);
+  serve::QueryServer server(*engine_state, options);
   auto port = server.start();
   if (!port) {
     state.SkipWithError("server failed to start");
@@ -556,6 +552,126 @@ void BM_ServeQueries(benchmark::State& state) {
 BENCHMARK(BM_ServeQueries)
     ->Arg(1)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
+
+/// Query latency while the engine is hot-swapped underneath the clients:
+/// 8 hammer clients stream EXACT hits as the main thread RELOADs between a
+/// 10k- and a 100k-record snapshot every iteration. p99_us covers the
+/// queries issued *during* the swaps — the acceptance number for the
+/// RCU-style reload (a failed query or reload aborts the bench).
+void BM_ServeReloadUnderLoad(benchmark::State& state) {
+  const auto& small = snapshot_bench_files(10000);
+  const auto& large = snapshot_bench_files(100000);
+  auto engine_state = serve::EngineState::load(small.snap);
+  if (!engine_state) {
+    state.SkipWithError("snapshot load failed");
+    return;
+  }
+  serve::QueryServer::Options options;
+  // Thread-per-connection: 8 persistent hammer clients + the control
+  // connection need headroom so a RELOAD is never queued behind them.
+  options.threads = 12;
+  serve::QueryServer server(*engine_state, options);
+  auto port = server.start();
+  if (!port) {
+    state.SkipWithError("server failed to start");
+    return;
+  }
+  // Keys present in BOTH snapshots (records 0..9999 are identical), so
+  // every query must hit regardless of which generation answers it.
+  std::vector<std::string> queries;
+  for (std::uint32_t i = 0; i < 1024; ++i) {
+    queries.push_back(
+        "EXACT " +
+        Prefix::make(Ipv4Addr((i * 97u % 10000u) << 8), 24)->to_string());
+  }
+  constexpr int kClients = 8;
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  std::atomic<std::int64_t> queries_sent{0};
+  // Latency histogram in 1us buckets up to 100ms, shared by the hammers.
+  constexpr std::size_t kBuckets = 100000;
+  std::vector<std::atomic<std::uint32_t>> histogram(kBuckets);
+  std::vector<std::thread> hammers;
+  hammers.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    hammers.emplace_back([&, c] {
+      auto client = serve::QueryClient::connect("127.0.0.1", *port);
+      if (!client) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      std::size_t i = static_cast<std::size_t>(c) * 131;
+      while (!done.load(std::memory_order_relaxed)) {
+        auto t0 = std::chrono::steady_clock::now();
+        auto response = client->request(queries[i++ % queries.size()]);
+        auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+        if (!response ||
+            response->find("\"found\":true") == std::string::npos) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        queries_sent.fetch_add(1, std::memory_order_relaxed);
+        auto bucket = std::min<std::size_t>(
+            static_cast<std::size_t>(us), kBuckets - 1);
+        histogram[bucket].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  auto control = serve::QueryClient::connect("127.0.0.1", *port);
+  if (!control) {
+    done.store(true);
+    for (auto& h : hammers) h.join();
+    state.SkipWithError("control client failed to connect");
+    return;
+  }
+  std::uint64_t reloads = 0;
+  bool to_large = true;
+  for (auto _ : state) {
+    auto ack = control->request(
+        "RELOAD " + (to_large ? large.snap : small.snap));
+    if (!ack || ack->find("\"ok\":true") == std::string::npos) {
+      done.store(true);
+      for (auto& h : hammers) h.join();
+      state.SkipWithError("RELOAD failed under load");
+      return;
+    }
+    to_large = !to_large;
+    ++reloads;
+  }
+  done.store(true);
+  for (auto& h : hammers) h.join();
+  server.stop();
+  if (failures.load() != 0) {
+    state.SkipWithError("queries failed during reload");
+    return;
+  }
+  // p99 from the shared histogram.
+  std::uint64_t total = 0;
+  for (const auto& b : histogram) {
+    total += b.load(std::memory_order_relaxed);
+  }
+  double p99 = 0.0;
+  if (total > 0) {
+    std::uint64_t target = total - total / 100;  // ceil-ish 99th
+    std::uint64_t seen = 0;
+    for (std::size_t us = 0; us < kBuckets; ++us) {
+      seen += histogram[us].load(std::memory_order_relaxed);
+      if (seen >= target) {
+        p99 = static_cast<double>(us);
+        break;
+      }
+    }
+  }
+  state.counters["reloads"] = static_cast<double>(reloads);
+  state.counters["queries_during_swaps"] =
+      static_cast<double>(queries_sent.load());
+  state.counters["hammer_p99_us"] = p99;
+  state.counters["peak_rss_mb"] = bench::peak_rss_megabytes();
+  state.SetItemsProcessed(static_cast<std::int64_t>(reloads));
+}
+BENCHMARK(BM_ServeReloadUnderLoad)->Unit(benchmark::kMillisecond);
 
 void BM_RpkiValidate(benchmark::State& state) {
   std::string dir = dataset_for(100);

@@ -1,23 +1,67 @@
 #include "serve/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
+
+#include "util/faultinject.h"
+#include "util/rng.h"
 
 namespace sublet::serve {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Milliseconds left before `deadline`, clamped to >= 0; -1 = no deadline.
+int remaining_ms(bool has_deadline, Clock::time_point deadline) {
+  if (!has_deadline) return -1;
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  deadline - Clock::now())
+                  .count();
+  return static_cast<int>(std::max<long long>(left, 0));
+}
+
+/// poll() one fd for `events`; >0 ready, 0 deadline hit, <0 hard error.
+/// timeout_ms < 0 blocks indefinitely. EINTR is retried.
+int wait_fd(int fd, short events, int timeout_ms) {
+  pollfd pfd{fd, events, 0};
+  for (;;) {
+    int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0 && errno == EINTR) continue;
+    return rc;
+  }
+}
+
+bool set_nonblocking(int fd, bool on) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  int next = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd, F_SETFL, next) >= 0;
+}
+
+}  // namespace
+
 QueryClient::QueryClient(QueryClient&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+    : fd_(std::exchange(other.fd_, -1)),
+      timeouts_(other.timeouts_),
+      buffer_(std::move(other.buffer_)) {}
 
 QueryClient& QueryClient::operator=(QueryClient&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
+    timeouts_ = other.timeouts_;
     buffer_ = std::move(other.buffer_);
   }
   return *this;
@@ -33,7 +77,13 @@ void QueryClient::close() {
 }
 
 Expected<QueryClient> QueryClient::connect(const std::string& host,
-                                           std::uint16_t port) {
+                                           std::uint16_t port,
+                                           Timeouts timeouts) {
+  if (int injected = 0; fault::inject("client.connect", &injected)) {
+    return fail_code(
+        "connect(): " + std::string(strerror(injected)) + " (injected)",
+        injected);
+  }
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return fail("socket(): " + std::string(strerror(errno)));
   sockaddr_in addr{};
@@ -43,23 +93,64 @@ Expected<QueryClient> QueryClient::connect(const std::string& host,
     ::close(fd);
     return fail("bad host address '" + host + "'");
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  // Non-blocking connect + poll gives us a real connect deadline; the fd is
+  // switched back to blocking afterwards (request() does its own polling).
+  if (timeouts.connect_ms > 0 && !set_nonblocking(fd, true)) {
+    std::string message = "fcntl(): " + std::string(strerror(errno));
+    ::close(fd);
+    return fail(std::move(message));
+  }
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
     std::string message = "connect(): " + std::string(strerror(errno));
     ::close(fd);
     return fail(std::move(message));
   }
-  return QueryClient(fd);
+  if (rc != 0) {
+    int ready = wait_fd(fd, POLLOUT, timeouts.connect_ms);
+    if (ready == 0) {
+      ::close(fd);
+      return fail_code("timeout: connect to " + host + " took longer than " +
+                           std::to_string(timeouts.connect_ms) + "ms",
+                       ETIMEDOUT);
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (ready < 0 ||
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      if (err == 0) err = errno;
+      ::close(fd);
+      return fail("connect(): " + std::string(strerror(err)));
+    }
+  }
+  if (timeouts.connect_ms > 0 && !set_nonblocking(fd, false)) {
+    std::string message = "fcntl(): " + std::string(strerror(errno));
+    ::close(fd);
+    return fail(std::move(message));
+  }
+  return QueryClient(fd, timeouts);
 }
 
 Expected<std::string> QueryClient::request(std::string_view line) {
   if (fd_ < 0) return fail("client is closed");
+  const bool has_deadline = timeouts_.io_ms > 0;
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(
+                         has_deadline ? timeouts_.io_ms : 0);
   std::string out(line);
   out += '\n';
   std::string_view data = out;
   while (!data.empty()) {
+    int ready = wait_fd(fd_, POLLOUT, remaining_ms(has_deadline, deadline));
+    if (ready == 0) {
+      return fail_code("timeout: request write exceeded " +
+                           std::to_string(timeouts_.io_ms) + "ms",
+                       ETIMEDOUT);
+    }
+    if (ready < 0) return fail("poll(): " + std::string(strerror(errno)));
     ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
     if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
       return fail("send(): connection lost");
     }
     data.remove_prefix(static_cast<std::size_t>(n));
@@ -73,11 +164,52 @@ Expected<std::string> QueryClient::request(std::string_view line) {
       if (!response.empty() && response.back() == '\r') response.pop_back();
       return response;
     }
+    int ready = wait_fd(fd_, POLLIN, remaining_ms(has_deadline, deadline));
+    if (ready == 0) {
+      return fail_code("timeout: no response within " +
+                           std::to_string(timeouts_.io_ms) + "ms",
+                       ETIMEDOUT);
+    }
+    if (ready < 0) return fail("poll(): " + std::string(strerror(errno)));
+    if (int injected = 0; fault::inject("client.recv", &injected)) {
+      return fail_code(
+          "recv(): " + std::string(strerror(injected)) + " (injected)",
+          injected);
+    }
     ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
     if (n <= 0) return fail("recv(): connection closed mid-response");
     buffer_.append(chunk, static_cast<std::size_t>(n));
   }
+}
+
+Expected<std::string> QueryClient::request_with_retry(
+    const std::string& host, std::uint16_t port, std::string_view line,
+    const RetryPolicy& policy, Timeouts timeouts) {
+  Rng rng(policy.seed);
+  Error last = fail("request_with_retry: no attempts configured");
+  int attempts = std::max(policy.attempts, 1);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      // Exponential backoff with +/- jitter so retrying clients desynchronize.
+      double base = static_cast<double>(policy.base_backoff_ms) *
+                    static_cast<double>(1u << std::min(attempt - 1, 20));
+      base = std::min(base, static_cast<double>(policy.max_backoff_ms));
+      double spread = std::clamp(policy.jitter, 0.0, 1.0);
+      double factor = 1.0 + spread * (2.0 * rng.next_double() - 1.0);
+      auto sleep_ms = static_cast<long long>(std::max(base * factor, 0.0));
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    }
+    auto client = connect(host, port, timeouts);
+    if (!client) {
+      last = client.error();
+      continue;
+    }
+    auto response = client->request(line);
+    if (response) return response;
+    last = response.error();
+  }
+  return last;
 }
 
 }  // namespace sublet::serve

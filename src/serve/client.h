@@ -1,9 +1,16 @@
 // Loopback client for the prefix-query wire protocol.
 //
-// One blocking TCP connection, one request line in, one response line out —
-// used by the tests, the CLI `query` subcommand, and the serving benches.
+// One TCP connection, one request line in, one response line out — used by
+// the tests, the CLI `query` subcommand, and the serving benches.
+//
+// Robustness (docs/ROBUSTNESS.md): connect and per-request I/O run under
+// poll-based deadlines, so a stalled server surfaces a typed timeout error
+// (Error::code == ETIMEDOUT, see is_timeout) instead of blocking forever;
+// request_with_retry layers exponential backoff + deterministic jitter on
+// top for transient failures.
 #pragma once
 
+#include <cerrno>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -12,8 +19,32 @@
 
 namespace sublet::serve {
 
+/// True when `error` came from a client-side deadline (connect or I/O).
+inline bool is_timeout(const Error& error) { return error.code == ETIMEDOUT; }
+
+/// Client-side deadlines (namespace scope so `= {}` defaults work; use
+/// the QueryClient::Timeouts alias at call sites).
+struct ClientTimeouts {
+  int connect_ms = 5000;  ///< 0 = block until the kernel gives up
+  int io_ms = 10000;      ///< per-request send+receive deadline; 0 = none
+};
+
+/// Reconnect-per-attempt retry policy for request_with_retry. Backoff
+/// doubles per attempt, capped, with +/- `jitter` fraction randomized
+/// (deterministically from `seed`) so synchronized clients spread out.
+struct ClientRetryPolicy {
+  int attempts = 3;
+  int base_backoff_ms = 10;
+  int max_backoff_ms = 1000;
+  double jitter = 0.5;
+  std::uint64_t seed = 0x5eedu;
+};
+
 class QueryClient {
  public:
+  using Timeouts = ClientTimeouts;
+  using RetryPolicy = ClientRetryPolicy;
+
   QueryClient(QueryClient&& other) noexcept;
   QueryClient& operator=(QueryClient&& other) noexcept;
   ~QueryClient();
@@ -21,20 +52,33 @@ class QueryClient {
   QueryClient(const QueryClient&) = delete;
   QueryClient& operator=(const QueryClient&) = delete;
 
-  /// Connect to `host:port` (host is a dotted-quad, e.g. "127.0.0.1").
+  /// Connect to `host:port` (host is a dotted-quad, e.g. "127.0.0.1")
+  /// within timeouts.connect_ms; the returned client applies
+  /// timeouts.io_ms to every request.
   static Expected<QueryClient> connect(const std::string& host,
-                                       std::uint16_t port);
+                                       std::uint16_t port,
+                                       Timeouts timeouts = {});
 
   /// Send one request line and read the one-line response (returned
-  /// without the trailing newline). Error on a broken connection.
+  /// without the trailing newline). Error on a broken connection; a typed
+  /// timeout error (is_timeout) when the deadline passes first.
   Expected<std::string> request(std::string_view line);
+
+  /// One-shot round trip with retries: each attempt opens a fresh
+  /// connection, sends `line`, and reads the response; failed attempts
+  /// back off exponentially with jitter. Returns the first successful
+  /// response or the last attempt's error.
+  static Expected<std::string> request_with_retry(
+      const std::string& host, std::uint16_t port, std::string_view line,
+      const RetryPolicy& policy = {}, Timeouts timeouts = {});
 
   void close();
 
  private:
-  explicit QueryClient(int fd) : fd_(fd) {}
+  QueryClient(int fd, Timeouts timeouts) : fd_(fd), timeouts_(timeouts) {}
 
   int fd_ = -1;
+  Timeouts timeouts_;
   std::string buffer_;  // bytes past the last returned response line
 };
 

@@ -1,0 +1,23 @@
+#include "serve/engine_state.h"
+
+namespace sublet::serve {
+
+Expected<std::shared_ptr<const EngineState>> EngineState::load(
+    const std::string& path, snapshot::Snapshot::Mode mode,
+    std::uint64_t generation) {
+  auto snap = snapshot::Snapshot::open(path, mode);
+  if (!snap) return snap.error();
+  return adopt(std::make_unique<snapshot::Snapshot>(std::move(*snap)), path,
+               generation);
+}
+
+Expected<std::shared_ptr<const EngineState>> EngineState::adopt(
+    std::unique_ptr<snapshot::Snapshot> snap, std::string path,
+    std::uint64_t generation) {
+  auto engine = QueryEngine::create(snap.get());
+  if (!engine) return engine.error();
+  return std::shared_ptr<const EngineState>(new EngineState(
+      std::move(snap), std::move(*engine), std::move(path), generation));
+}
+
+}  // namespace sublet::serve

@@ -1,0 +1,58 @@
+// One generation of serving state: a loaded snapshot plus the query engine
+// built over it, immutable after construction.
+//
+// The server holds the current generation behind a std::shared_ptr and
+// swaps it atomically on RELOAD (RCU style): in-flight requests keep the
+// shared_ptr they grabbed and finish on the old engine; the old snapshot
+// is retired automatically when the last reference drops. A failed load
+// never touches the currently-served state (docs/ROBUSTNESS.md).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "serve/query_engine.h"
+#include "snapshot/snapshot.h"
+#include "util/expected.h"
+
+namespace sublet::serve {
+
+class EngineState {
+ public:
+  /// Open + fully validate the snapshot at `path`, then build the engine.
+  /// On any failure nothing is swapped anywhere — the caller keeps serving
+  /// whatever it served before.
+  static Expected<std::shared_ptr<const EngineState>> load(
+      const std::string& path,
+      snapshot::Snapshot::Mode mode = snapshot::Snapshot::Mode::kMap,
+      std::uint64_t generation = 1);
+
+  /// Adopt an already-validated snapshot (tests, benches, in-memory use).
+  static Expected<std::shared_ptr<const EngineState>> adopt(
+      std::unique_ptr<snapshot::Snapshot> snap, std::string path,
+      std::uint64_t generation = 1);
+
+  const QueryEngine& engine() const { return engine_; }
+  const snapshot::Snapshot& snapshot() const { return *snap_; }
+  std::uint64_t generation() const { return generation_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  EngineState(std::unique_ptr<snapshot::Snapshot> snap, QueryEngine engine,
+              std::string path, std::uint64_t generation)
+      : snap_(std::move(snap)),
+        engine_(std::move(engine)),
+        path_(std::move(path)),
+        generation_(generation) {}
+
+  // unique_ptr keeps the snapshot's address stable: the engine's trie and
+  // record accessors point into it.
+  std::unique_ptr<snapshot::Snapshot> snap_;
+  QueryEngine engine_;
+  std::string path_;
+  std::uint64_t generation_;
+};
+
+}  // namespace sublet::serve

@@ -2,14 +2,19 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <optional>
+#include <vector>
 
 #include "serve/json.h"
+#include "util/faultinject.h"
 #include "util/log.h"
 #include "util/strings.h"
 
@@ -17,22 +22,16 @@ namespace sublet::serve {
 
 namespace {
 
+using std::chrono::steady_clock;
+
 /// One request line must fit in this much buffered input; a client that
 /// streams more without a newline is cut off (defensive bound, not a
 /// protocol limit any legitimate request approaches).
 constexpr std::size_t kMaxBufferedInput = 1 << 20;
 
-bool write_all(int fd, std::string_view data) {
-  while (!data.empty()) {
-    ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    data.remove_prefix(static_cast<std::size_t>(n));
-  }
-  return true;
-}
+/// Handlers and the accept loop poll in slices of at most this long so
+/// stop() and deadline checks stay responsive.
+constexpr int kPollSliceMs = 100;
 
 std::string error_json(std::string_view message) {
   JsonWriter json;
@@ -40,6 +39,26 @@ std::string error_json(std::string_view message) {
   json.key("error").value(message);
   json.end_object();
   return json.take();
+}
+
+/// Wait for `events` on `fd` for up to `timeout_ms`. Returns >0 ready,
+/// 0 timeout, <0 error (EINTR already retried).
+int wait_fd(int fd, short events, int timeout_ms) {
+  pollfd pfd{fd, events, 0};
+  for (;;) {
+    int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0 && errno == EINTR) continue;
+    return rc;
+  }
+}
+
+/// accept() errors the loop must survive: resource exhaustion and peers
+/// that gave up while queued. Everything else (EBADF/EINVAL once stop()
+/// shut the listener down) ends the loop.
+bool transient_accept_error(int err) {
+  return err == EMFILE || err == ENFILE || err == ECONNABORTED ||
+         err == EAGAIN || err == EWOULDBLOCK || err == ENOBUFS ||
+         err == ENOMEM || err == EPROTO;
 }
 
 }  // namespace
@@ -51,6 +70,12 @@ std::string StatsSnapshot::to_json() const {
   json.key("hits").value(hits);
   json.key("misses").value(misses);
   json.key("malformed").value(malformed);
+  json.key("shed").value(shed);
+  json.key("timeouts").value(timeouts);
+  json.key("accept_retries").value(accept_retries);
+  json.key("reloads").value(reloads);
+  json.key("reload_failures").value(reload_failures);
+  json.key("generation").value(generation);
   json.key("p50_us").value(p50_us);
   json.key("p99_us").value(p99_us);
   json.end_object();
@@ -77,10 +102,21 @@ double LatencyHistogram::quantile_us(double q) const {
   return 0.0;
 }
 
-QueryServer::QueryServer(const QueryEngine& engine, Options options)
-    : engine_(engine), options_(options) {}
+QueryServer::QueryServer(std::shared_ptr<const EngineState> engine,
+                         Options options)
+    : options_(options), engine_(std::move(engine)) {}
 
 QueryServer::~QueryServer() { stop(); }
+
+std::shared_ptr<const EngineState> QueryServer::engine() const {
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  return engine_;
+}
+
+std::size_t QueryServer::active_connections() const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  return conns_.size();
+}
 
 Expected<std::uint16_t> QueryServer::start() {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -107,21 +143,57 @@ Expected<std::uint16_t> QueryServer::start() {
   socklen_t len = sizeof(addr);
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
+  start_time_ = steady_clock::now();
   pool_ = std::make_unique<par::ThreadPool>(options_.threads);
   accept_thread_ = std::thread([this] { accept_loop(); });
   return port_;
 }
 
 void QueryServer::accept_loop() {
+  int backoff_ms = 0;
   for (;;) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (stop_.load(std::memory_order_acquire)) return;
+    int ready = wait_fd(listen_fd_, POLLIN, kPollSliceMs);
+    if (ready == 0) continue;  // slice expired; re-check stop_
+    if (ready < 0) return;     // listener gone
+    int injected = 0;
+    int fd;
+    if (fault::inject("serve.accept", &injected)) {
+      fd = -1;
+      errno = injected;
+    } else {
+      fd = ::accept(listen_fd_, nullptr, nullptr);
+    }
     if (fd < 0) {
       if (errno == EINTR) continue;
-      return;  // listener shut down (stop()) or fatal error
+      if (stop_.load(std::memory_order_acquire)) return;
+      if (transient_accept_error(errno)) {
+        accept_retries_.fetch_add(1, std::memory_order_relaxed);
+        backoff_ms = backoff_ms == 0 ? 1 : std::min(backoff_ms * 2, 200);
+        SUBLET_LOG(kWarn) << "accept(): " << strerror(errno)
+                          << "; retrying in " << backoff_ms << "ms";
+        std::unique_lock<std::mutex> lock(stop_mu_);
+        stop_cv_.wait_for(lock, std::chrono::milliseconds(backoff_ms), [this] {
+          return stop_.load(std::memory_order_acquire);
+        });
+        continue;
+      }
+      SUBLET_LOG(kError) << "accept(): " << strerror(errno)
+                         << "; accept loop exiting";
+      return;
     }
+    backoff_ms = 0;
     if (stop_.load(std::memory_order_acquire)) {
       ::close(fd);
       return;
+    }
+    if (options_.max_conns > 0 &&
+        active_connections() >= options_.max_conns) {
+      // Shed instead of queueing unboundedly: one line, then close.
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      write_deadline(fd, "{\"error\":\"overloaded\"}\n");
+      ::close(fd);
+      continue;
     }
     {
       std::lock_guard<std::mutex> lock(conns_mu_);
@@ -131,9 +203,46 @@ void QueryServer::accept_loop() {
   }
 }
 
+bool QueryServer::write_deadline(int fd, std::string_view data) {
+  const auto deadline =
+      steady_clock::now() + std::chrono::milliseconds(options_.io_timeout_ms);
+  while (!data.empty()) {
+    if (options_.io_timeout_ms > 0) {
+      auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           deadline - steady_clock::now())
+                           .count();
+      if (remaining <= 0) {
+        timeouts_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      int ready = wait_fd(fd, POLLOUT, static_cast<int>(remaining));
+      if (ready == 0) {
+        timeouts_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      if (ready < 0) return false;
+    }
+    int injected = 0;
+    ssize_t n;
+    if (fault::inject("serve.write", &injected)) {
+      n = -1;
+      errno = injected;
+    } else {
+      n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    }
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
 void QueryServer::handle_connection(int fd) {
   std::string buffer;
   char chunk[4096];
+  auto last_activity = steady_clock::now();
   for (;;) {
     std::size_t nl = buffer.find('\n');
     if (nl != std::string::npos) {
@@ -143,21 +252,107 @@ void QueryServer::handle_connection(int fd) {
       if (line.empty()) continue;
       std::string response = handle_request(line);
       response += '\n';
-      if (!write_all(fd, response)) break;
+      if (!write_deadline(fd, response)) break;
       if (stop_.load(std::memory_order_acquire)) break;
+      last_activity = steady_clock::now();
       continue;
     }
     if (buffer.size() > kMaxBufferedInput) break;
-    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    // Wait for more input in short slices so both the idle deadline and a
+    // concurrent stop() are honored promptly.
+    bool idle_expired = false;
+    int ready = -1;
+    for (;;) {
+      if (stop_.load(std::memory_order_acquire)) break;
+      int slice = kPollSliceMs;
+      if (options_.idle_timeout_ms > 0) {
+        auto idle_ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                steady_clock::now() - last_activity)
+                .count();
+        auto remaining = options_.idle_timeout_ms - idle_ms;
+        if (remaining <= 0) {
+          idle_expired = true;
+          break;
+        }
+        slice = static_cast<int>(std::min<long long>(slice, remaining));
+      }
+      ready = wait_fd(fd, POLLIN, slice);
+      if (ready != 0) break;  // readable, hung up, or error
+    }
+    if (stop_.load(std::memory_order_acquire)) break;
+    if (idle_expired) {
+      // A slow-loris peer (bytes but never a newline, or silence) is cut
+      // at the deadline; the notice is best-effort.
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+      write_deadline(fd, "{\"error\":\"idle timeout\"}\n");
+      break;
+    }
+    if (ready < 0) break;
+    int injected = 0;
+    ssize_t n;
+    if (fault::inject("serve.read", &injected)) {
+      n = -1;
+      errno = injected;
+    } else {
+      n = ::recv(fd, chunk, sizeof(chunk), 0);
+    }
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;  // client closed, or stop() shut the socket down
     buffer.append(chunk, static_cast<std::size_t>(n));
+    last_activity = steady_clock::now();
   }
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
     conns_.erase(fd);
   }
   ::close(fd);
+}
+
+Expected<std::uint64_t> QueryServer::reload(const std::string& path) {
+  // One RELOAD at a time; the load + validation runs here, off the other
+  // handlers' hot path — they keep answering from the current engine.
+  std::lock_guard<std::mutex> reload_lock(reload_mu_);
+  const std::uint64_t next_generation = engine()->generation() + 1;
+  auto next = EngineState::load(path, options_.reload_mode, next_generation);
+  if (!next) {
+    reload_failures_.fetch_add(1, std::memory_order_relaxed);
+    SUBLET_LOG(kWarn) << "reload of " << path
+                      << " rejected: " << next.error().to_string()
+                      << " (keeping generation "
+                      << next_generation - 1 << ")";
+    return next.error();
+  }
+  {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    engine_ = std::move(*next);
+  }
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  SUBLET_LOG(kInfo) << "reloaded generation " << next_generation << " from "
+                    << path;
+  return next_generation;
+}
+
+std::string QueryServer::health_json() const {
+  std::shared_ptr<const EngineState> state = engine();
+  const double uptime =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          steady_clock::now() - start_time_)
+          .count();
+  JsonWriter json;
+  json.begin_object();
+  json.key("ok").value(true);
+  json.key("generation").value(state->generation());
+  json.key("snapshot").value(state->path());
+  json.key("records").value(
+      static_cast<std::uint64_t>(state->snapshot().record_count()));
+  json.key("uptime_s").value(uptime);
+  json.key("draining").value(stop_.load(std::memory_order_acquire));
+  json.key("active_conns").value(
+      static_cast<std::uint64_t>(active_connections()));
+  json.key("reloads").value(reloads_.load(std::memory_order_relaxed));
+  json.end_object();
+  return json.take();
 }
 
 std::string QueryServer::handle_request(std::string_view line) {
@@ -175,6 +370,22 @@ std::string QueryServer::handle_request(std::string_view line) {
   };
   if (iequals(verb, "STATS") && parts.size() == 1) {
     response = stats().to_json();
+  } else if (iequals(verb, "HEALTH") && parts.size() == 1) {
+    response = health_json();
+  } else if (iequals(verb, "RELOAD") && parts.size() == 2) {
+    auto swapped = reload(std::string(parts[1]));
+    if (swapped) {
+      JsonWriter json;
+      json.begin_object();
+      json.key("ok").value(true);
+      json.key("generation").value(*swapped);
+      json.key("records").value(
+          static_cast<std::uint64_t>(engine()->snapshot().record_count()));
+      json.end_object();
+      response = json.take();
+    } else {
+      response = error_json("reload failed: " + swapped.error().to_string());
+    }
   } else if (iequals(verb, "SHUTDOWN") && parts.size() == 1) {
     JsonWriter json;
     json.begin_object();
@@ -191,15 +402,18 @@ std::string QueryServer::handle_request(std::string_view line) {
       malformed_.fetch_add(1, std::memory_order_relaxed);
       response = error_json("bad prefix '" + std::string(parts[1]) + "'");
     } else {
+      // One shared_ptr acquire per request: a concurrent RELOAD swap can
+      // retire the old state only after this request drops its reference.
+      std::shared_ptr<const EngineState> state = engine();
       std::optional<std::uint32_t> idx;
       if (iequals(verb, "EXACT")) {
-        idx = engine_.exact(*query);
-      } else if (auto hit = engine_.longest_match(*query)) {
+        idx = state->engine().exact(*query);
+      } else if (auto hit = state->engine().longest_match(*query)) {
         idx = hit->second;
       }
       if (idx) {
         hits_.fetch_add(1, std::memory_order_relaxed);
-        response = engine_.record_json(*idx);
+        response = state->engine().record_json(*idx);
       } else {
         misses_.fetch_add(1, std::memory_order_relaxed);
         JsonWriter json;
@@ -211,8 +425,9 @@ std::string QueryServer::handle_request(std::string_view line) {
     }
   } else {
     malformed_.fetch_add(1, std::memory_order_relaxed);
-    response = error_json("unknown request '" + std::string(verb) +
-                          "' (want EXACT|LPM|STATS|SHUTDOWN)");
+    response = error_json(
+        "unknown request '" + std::string(verb) +
+        "' (want EXACT|LPM|STATS|HEALTH|RELOAD|SHUTDOWN)");
   }
   const auto elapsed = std::chrono::steady_clock::now() - start;
   latency_.record(static_cast<std::uint64_t>(
@@ -226,6 +441,12 @@ StatsSnapshot QueryServer::stats() const {
   out.hits = hits_.load(std::memory_order_relaxed);
   out.misses = misses_.load(std::memory_order_relaxed);
   out.malformed = malformed_.load(std::memory_order_relaxed);
+  out.shed = shed_.load(std::memory_order_relaxed);
+  out.timeouts = timeouts_.load(std::memory_order_relaxed);
+  out.accept_retries = accept_retries_.load(std::memory_order_relaxed);
+  out.reloads = reloads_.load(std::memory_order_relaxed);
+  out.reload_failures = reload_failures_.load(std::memory_order_relaxed);
+  out.generation = engine()->generation();
   out.p50_us = latency_.quantile_us(0.50);
   out.p99_us = latency_.quantile_us(0.99);
   return out;
@@ -241,12 +462,21 @@ void QueryServer::wait(const std::function<bool()>& predicate) {
 void QueryServer::stop() {
   stop_.store(true, std::memory_order_release);
   stop_cv_.notify_all();
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  // Graceful drain: handlers notice stop_ within one poll slice, finish
+  // the request in flight, and close. Only connections still open at the
+  // deadline are forced.
+  const auto deadline =
+      steady_clock::now() +
+      std::chrono::milliseconds(std::max(0, options_.drain_timeout_ms));
+  while (steady_clock::now() < deadline) {
+    if (active_connections() == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
   {
-    // Unblock every in-flight recv() so handlers drain promptly.
     std::lock_guard<std::mutex> lock(conns_mu_);
     for (int fd : conns_) ::shutdown(fd, SHUT_RDWR);
   }
-  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
   if (accept_thread_.joinable()) accept_thread_.join();
   {
     // Connections accepted while stop() was running registered after the

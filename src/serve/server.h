@@ -1,4 +1,5 @@
-// Multi-threaded TCP prefix-query server (docs/SERVING.md).
+// Multi-threaded TCP prefix-query server (docs/SERVING.md,
+// docs/ROBUSTNESS.md).
 //
 // Wire protocol: newline-delimited requests, one single-line JSON response
 // per request:
@@ -6,20 +7,34 @@
 //   EXACT <prefix>        record stored exactly at the prefix
 //   LPM <prefix|address>  longest-prefix match (an address means /32)
 //   STATS                 counters + latency percentiles
+//   HEALTH                engine generation, snapshot path, uptime, drain
+//   RELOAD <path>         hot-swap to a freshly validated snapshot
 //   SHUTDOWN              acknowledge, then ask the owner to stop
 //
 // The accept loop runs on its own thread; each accepted connection is
 // handled on the PR-1 ThreadPool (threads == 1 keeps the pool in inline
 // mode: connections are served one at a time on the accept thread, the
 // exact serial semantics the rest of the codebase uses for --threads 1).
-// Per-request counters — requests, hits, misses, malformed, p50/p99
-// latency — are lock-free atomics shared by all handler threads; the CLI
-// dumps them on SIGTERM and any client can read them via STATS.
+//
+// Fault tolerance:
+//  - the serving state (snapshot + engine) lives behind an RCU-style
+//    shared_ptr; RELOAD validates the new snapshot off the hot path and
+//    swaps atomically — in-flight queries finish on the old engine and a
+//    failed load keeps the old generation serving;
+//  - per-connection poll-based idle/write deadlines disconnect slow-loris
+//    peers instead of parking a handler forever;
+//  - a max-concurrent-connections cap sheds load with a one-line
+//    {"error":"overloaded"} response instead of queueing unboundedly;
+//  - transient accept() errors (EMFILE/ENFILE/ECONNABORTED/EAGAIN) log,
+//    back off, and continue rather than killing the accept thread;
+//  - stop() drains gracefully: in-flight requests finish, then remaining
+//    sockets are forced closed at the drain deadline.
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <bit>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -29,7 +44,7 @@
 #include <thread>
 #include <unordered_set>
 
-#include "serve/query_engine.h"
+#include "serve/engine_state.h"
 #include "util/expected.h"
 #include "util/parallel.h"
 
@@ -41,6 +56,12 @@ struct StatsSnapshot {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t malformed = 0;
+  std::uint64_t shed = 0;            ///< connections refused at the cap
+  std::uint64_t timeouts = 0;        ///< connections cut at a deadline
+  std::uint64_t accept_retries = 0;  ///< transient accept() errors survived
+  std::uint64_t reloads = 0;         ///< successful hot swaps
+  std::uint64_t reload_failures = 0; ///< rejected RELOADs (old state kept)
+  std::uint64_t generation = 0;      ///< current engine generation
   double p50_us = 0.0;
   double p99_us = 0.0;
 
@@ -70,11 +91,25 @@ class QueryServer {
   struct Options {
     std::uint16_t port = 0;  ///< 0 = ephemeral; read back via port()
     unsigned threads = 0;    ///< handler threads; 0 = default, 1 = inline
+    /// Max concurrently accepted connections; one over the cap is answered
+    /// {"error":"overloaded"} and closed. 0 = unlimited (legacy).
+    unsigned max_conns = 256;
+    /// Close a connection after this long with no complete request.
+    /// 0 = no idle deadline.
+    int idle_timeout_ms = 60000;
+    /// Per-response write deadline (a peer that stops reading is cut).
+    /// 0 = no write deadline.
+    int io_timeout_ms = 10000;
+    /// How long stop() waits for in-flight connections to finish before
+    /// forcing them closed.
+    int drain_timeout_ms = 2000;
+    /// Snapshot load mode used by RELOAD.
+    snapshot::Snapshot::Mode reload_mode = snapshot::Snapshot::Mode::kMap;
   };
 
-  QueryServer(const QueryEngine& engine, Options options);
-  explicit QueryServer(const QueryEngine& engine)
-      : QueryServer(engine, Options{}) {}
+  QueryServer(std::shared_ptr<const EngineState> engine, Options options);
+  explicit QueryServer(std::shared_ptr<const EngineState> engine)
+      : QueryServer(std::move(engine), Options{}) {}
   ~QueryServer();
 
   QueryServer(const QueryServer&) = delete;
@@ -87,6 +122,19 @@ class QueryServer {
   std::uint16_t port() const { return port_; }
   StatsSnapshot stats() const;
 
+  /// The current serving generation. Request handlers grab one shared_ptr
+  /// per request, so a concurrent RELOAD never invalidates what they read.
+  std::shared_ptr<const EngineState> engine() const;
+
+  /// Load + fully validate the snapshot at `path` off the hot path, then
+  /// atomically swap it in. Returns the new generation number, or an Error
+  /// — in which case the previous engine keeps serving untouched. Serialized:
+  /// concurrent RELOADs run one at a time.
+  Expected<std::uint64_t> reload(const std::string& path);
+
+  /// One-line JSON for the HEALTH verb (also usable without a socket).
+  std::string health_json() const;
+
   /// True once a SHUTDOWN request was served (or stop() began).
   bool stop_requested() const {
     return stop_.load(std::memory_order_acquire);
@@ -97,8 +145,9 @@ class QueryServer {
   /// without needing async-signal-safe condition variables.
   void wait(const std::function<bool()>& predicate = {});
 
-  /// Stop accepting, unblock every in-flight connection, and join all
-  /// threads. Idempotent; also run by the destructor.
+  /// Stop accepting, drain in-flight connections for up to
+  /// drain_timeout_ms, then force the rest closed and join all threads.
+  /// Idempotent; also run by the destructor.
   void stop();
 
   /// Handle one request line (no trailing newline) and return the JSON
@@ -109,25 +158,37 @@ class QueryServer {
  private:
   void accept_loop();
   void handle_connection(int fd);
+  /// Send all of `data` within the write deadline; false cuts the peer.
+  bool write_deadline(int fd, std::string_view data);
+  std::size_t active_connections() const;
 
-  const QueryEngine& engine_;
   Options options_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::thread accept_thread_;
   std::unique_ptr<par::ThreadPool> pool_;
+  std::chrono::steady_clock::time_point start_time_;
+
+  mutable std::mutex engine_mu_;
+  std::shared_ptr<const EngineState> engine_;
+  std::mutex reload_mu_;  ///< serializes RELOADs (not the swap itself)
 
   std::atomic<bool> stop_{false};
   std::mutex stop_mu_;
   std::condition_variable stop_cv_;
 
-  std::mutex conns_mu_;
+  mutable std::mutex conns_mu_;
   std::unordered_set<int> conns_;
 
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> malformed_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
+  std::atomic<std::uint64_t> accept_retries_{0};
+  std::atomic<std::uint64_t> reloads_{0};
+  std::atomic<std::uint64_t> reload_failures_{0};
   LatencyHistogram latency_;
 };
 

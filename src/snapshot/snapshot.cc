@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "util/binio.h"
+#include "util/faultinject.h"
 
 namespace sublet::snapshot {
 
@@ -48,6 +49,11 @@ std::span<const std::uint8_t> Buffer::bytes() const {
 }
 
 Expected<Buffer> Buffer::read_file(const std::string& path) {
+  int injected = 0;
+  if (fault::inject("snapshot.read", &injected)) {
+    return fail_code("cannot read " + path + ": " + strerror(injected),
+                     injected);
+  }
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) return fail("cannot open " + path);
   auto size = static_cast<std::size_t>(in.tellg());
@@ -60,6 +66,11 @@ Expected<Buffer> Buffer::read_file(const std::string& path) {
 }
 
 Expected<Buffer> Buffer::map_file(const std::string& path) {
+  int injected = 0;
+  if (fault::inject("snapshot.mmap", &injected)) {
+    return fail_code("cannot map " + path + ": " + strerror(injected),
+                     injected);
+  }
   int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) return fail("cannot open " + path);
   struct stat st;

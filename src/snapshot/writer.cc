@@ -1,7 +1,11 @@
 #include "snapshot/writer.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <bit>
-#include <fstream>
+#include <cerrno>
+#include <cstring>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
@@ -9,6 +13,7 @@
 #include "netbase/prefix_trie.h"
 #include "snapshot/format.h"
 #include "util/binio.h"
+#include "util/faultinject.h"
 
 namespace sublet::snapshot {
 
@@ -152,15 +157,88 @@ std::vector<std::uint8_t> encode_snapshot(
   return out.take();
 }
 
+namespace {
+
+/// POSIX write(2) loop with a fault point, so tests can simulate a crash
+/// mid-write without a real power cut.
+bool write_fully(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    int injected = 0;
+    ssize_t n;
+    if (fault::inject("snapshot.write", &injected)) {
+      n = -1;
+      errno = injected;
+    } else {
+      n = ::write(fd, data + written, size - written);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
 void write_snapshot_file(
     const std::string& path,
     const std::vector<leasing::LeaseInference>& inferences) {
   std::vector<std::uint8_t> bytes = encode_snapshot(inferences);
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot write " + path);
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  if (!out) throw std::runtime_error("short write to " + path);
+  // Crash-safe publish: write <path>.tmp, fsync, then rename into place.
+  // A crash (or injected fault) at any step leaves the previous snapshot
+  // at `path` untouched — a reader never sees a truncated file.
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    throw std::runtime_error("cannot write " + tmp + ": " +
+                             std::strerror(errno));
+  }
+  auto abort_with = [&](const std::string& what) {
+    int saved = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw std::runtime_error(what + " " + tmp + ": " +
+                             std::strerror(saved));
+  };
+  if (!write_fully(fd, bytes.data(), bytes.size())) {
+    abort_with("short write to");
+  }
+  int injected = 0;
+  int rc;
+  if (fault::inject("snapshot.fsync", &injected)) {
+    rc = -1;
+    errno = injected;
+  } else {
+    rc = ::fsync(fd);
+  }
+  if (rc != 0) abort_with("fsync failed for");
+  ::close(fd);
+  if (fault::inject("snapshot.rename", &injected)) {
+    rc = -1;
+    errno = injected;
+  } else {
+    rc = ::rename(tmp.c_str(), path.c_str());
+  }
+  if (rc != 0) {
+    int saved = errno;
+    ::unlink(tmp.c_str());
+    throw std::runtime_error("cannot rename " + tmp + " to " + path + ": " +
+                             std::strerror(saved));
+  }
+  // Make the rename itself durable (best-effort: some filesystems refuse
+  // O_RDONLY directory fsync, and the data is already safe at `path`).
+  std::string dir = path;
+  std::size_t slash = dir.find_last_of('/');
+  dir = slash == std::string::npos ? "." : dir.substr(0, slash + 1);
+  int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dirfd >= 0) {
+    ::fsync(dirfd);
+    ::close(dirfd);
+  }
 }
 
 }  // namespace sublet::snapshot

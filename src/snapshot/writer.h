@@ -19,8 +19,11 @@ namespace sublet::snapshot {
 std::vector<std::uint8_t> encode_snapshot(
     const std::vector<leasing::LeaseInference>& inferences);
 
-/// encode_snapshot + write to `path`. Throws std::runtime_error on I/O
-/// failure (DESIGN.md §3: exceptions for I/O, Expected for bad records).
+/// encode_snapshot + crash-safe write to `path`: the bytes go to
+/// `<path>.tmp`, are fsynced, and are renamed into place, so a crash
+/// mid-write never leaves a truncated snapshot at `path`. Throws
+/// std::runtime_error on I/O failure (DESIGN.md §3: exceptions for I/O,
+/// Expected for bad records).
 void write_snapshot_file(const std::string& path,
                          const std::vector<leasing::LeaseInference>& inferences);
 

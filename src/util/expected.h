@@ -19,6 +19,7 @@ struct Error {
   std::string message;
   std::string source;      ///< e.g. input filename, or empty
   std::size_t line = 0;    ///< 1-based line in `source`, 0 = unknown
+  int code = 0;            ///< optional errno-style code, 0 = unset
 
   /// Render as "source:line: message" (pieces omitted when absent).
   std::string to_string() const {
@@ -80,6 +81,13 @@ class Expected {
 inline Error fail(std::string message, std::string source = {},
                   std::size_t line = 0) {
   return Error{std::move(message), std::move(source), line};
+}
+
+/// Factory for errors a caller dispatches on: `code` is errno-style (e.g.
+/// ETIMEDOUT from a client deadline) so callers can branch without string
+/// matching.
+inline Error fail_code(std::string message, int code) {
+  return Error{std::move(message), {}, 0, code};
 }
 
 }  // namespace sublet

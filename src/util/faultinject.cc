@@ -1,0 +1,144 @@
+#include "util/faultinject.h"
+
+#if SUBLET_FAULT_INJECTION
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace sublet::fault {
+
+namespace {
+
+struct Site {
+  int error = EIO;
+  std::uint64_t skip = 0;
+  std::int64_t times = -1;  ///< remaining injections; -1 = unbounded
+  std::uint64_t trips = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Site> sites;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: outlives static-dtor order
+  return *r;
+}
+
+/// Number of armed sites; inject()'s fast path is one relaxed load of this.
+std::atomic<std::size_t> g_armed{0};
+
+std::once_flag g_env_once;
+
+/// Symbolic errno names the env grammar accepts (plus raw numbers).
+int parse_errno(std::string_view name) {
+  static const std::unordered_map<std::string_view, int> kNames = {
+      {"EIO", EIO},           {"EMFILE", EMFILE},
+      {"ENFILE", ENFILE},     {"ECONNABORTED", ECONNABORTED},
+      {"EAGAIN", EAGAIN},     {"ETIMEDOUT", ETIMEDOUT},
+      {"ECONNRESET", ECONNRESET}, {"ECONNREFUSED", ECONNREFUSED},
+      {"ENOMEM", ENOMEM},     {"ENOSPC", ENOSPC},
+      {"EINTR", EINTR},       {"EPIPE", EPIPE},
+  };
+  auto it = kNames.find(name);
+  if (it != kNames.end()) return it->second;
+  if (auto number = parse_u32(name)) return static_cast<int>(*number);
+  return 0;
+}
+
+}  // namespace
+
+bool inject(const char* site, int* injected_errno) {
+  std::call_once(g_env_once, [] { load_env(); });
+  if (g_armed.load(std::memory_order_relaxed) == 0) return false;
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.sites.find(site);
+  if (it == reg.sites.end()) return false;
+  Site& s = it->second;
+  if (s.skip > 0) {
+    --s.skip;
+    return false;
+  }
+  if (s.times == 0) return false;
+  if (s.times > 0) --s.times;
+  ++s.trips;
+  if (injected_errno != nullptr) *injected_errno = s.error;
+  return true;
+}
+
+void arm(const std::string& site, int error, std::uint64_t skip,
+         std::int64_t times) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  Site& s = reg.sites[site];
+  s.error = error;
+  s.skip = skip;
+  s.times = times;
+  g_armed.store(reg.sites.size(), std::memory_order_relaxed);
+}
+
+void disarm(const std::string& site) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.sites.erase(site);
+  g_armed.store(reg.sites.size(), std::memory_order_relaxed);
+}
+
+void disarm_all() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.sites.clear();
+  g_armed.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t trip_count(const std::string& site) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.sites.find(site);
+  return it == reg.sites.end() ? 0 : it->second.trips;
+}
+
+std::size_t load_env(const char* var) {
+  const char* value = std::getenv(var);
+  if (value == nullptr || *value == '\0') return 0;
+  std::size_t armed = 0;
+  for (std::string_view entry : split(value, ',')) {
+    entry = trim(entry);
+    if (entry.empty()) continue;
+    std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) continue;
+    std::string site(trim(entry.substr(0, eq)));
+    std::vector<std::string_view> fields = split(entry.substr(eq + 1), ':');
+    if (fields.empty()) continue;
+    int error = parse_errno(trim(fields[0]));
+    if (error == 0) continue;
+    std::int64_t times = -1;
+    std::uint64_t skip = 0;
+    if (fields.size() > 1) {
+      auto t = parse_u32(trim(fields[1]));
+      if (!t) continue;
+      times = *t;
+    }
+    if (fields.size() > 2) {
+      auto s = parse_u32(trim(fields[2]));
+      if (!s) continue;
+      skip = *s;
+    }
+    arm(site, error, skip, times);
+    ++armed;
+  }
+  return armed;
+}
+
+}  // namespace sublet::fault
+
+#endif  // SUBLET_FAULT_INJECTION

@@ -1,0 +1,97 @@
+// Fault-injection harness for robustness testing (docs/ROBUSTNESS.md).
+//
+// Syscall-adjacent code declares named failure points:
+//
+//   int err = 0;
+//   if (fault::inject("serve.accept", &err)) { fd = -1; errno = err; }
+//   else fd = ::accept(listen_fd, nullptr, nullptr);
+//
+// Tests arm a point programmatically (arm / ScopedFault) or via the
+// SUBLET_FAULTS environment variable:
+//
+//   SUBLET_FAULTS="serve.accept=EMFILE:3,snapshot.read=EIO:1:2"
+//                       site   = errno [: times [: skip]]
+//
+// `times` is how many calls fail (-1 / omitted = every call), `skip` lets
+// the first N calls through first. Armed sites count their trips so tests
+// can assert a point actually fired (trip_count).
+//
+// When the build disables SUBLET_FAULT_INJECTION (release deployments),
+// every function here is an inline no-op returning "no fault" and the
+// branches at the failure points fold away.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sublet::fault {
+
+#if SUBLET_FAULT_INJECTION
+
+/// True when the harness is compiled in (tests skip themselves otherwise).
+constexpr bool enabled() { return true; }
+
+/// Should the failure point `site` fail right now? When true, the armed
+/// errno value is stored through `injected_errno` (if non-null) and the
+/// site's trip count advances. One relaxed atomic load when nothing is
+/// armed — safe on hot paths.
+bool inject(const char* site, int* injected_errno);
+
+/// Arm `site`: after letting `skip` calls through, fail `times` calls
+/// (-1 = every call) with `error`. Re-arming an armed site replaces it
+/// but keeps its accumulated trip count.
+void arm(const std::string& site, int error, std::uint64_t skip = 0,
+         std::int64_t times = -1);
+
+/// Disarm one site / every site (trip counts are discarded).
+void disarm(const std::string& site);
+void disarm_all();
+
+/// How many times `site` actually injected a failure since it was armed.
+std::uint64_t trip_count(const std::string& site);
+
+/// Parse `SUBLET_FAULTS` (or the named variable) and arm each entry.
+/// Returns the number of sites armed; unparseable entries are skipped.
+/// The first inject() call runs this automatically, once per process.
+std::size_t load_env(const char* var = "SUBLET_FAULTS");
+
+/// RAII arming for tests: arms in the constructor, disarms that one site
+/// in the destructor.
+class ScopedFault {
+ public:
+  ScopedFault(std::string site, int error, std::uint64_t skip = 0,
+              std::int64_t times = -1)
+      : site_(std::move(site)) {
+    arm(site_, error, skip, times);
+  }
+  ~ScopedFault() { disarm(site_); }
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+  std::uint64_t trips() const { return trip_count(site_); }
+
+ private:
+  std::string site_;
+};
+
+#else  // SUBLET_FAULT_INJECTION off: everything is a no-op.
+
+constexpr bool enabled() { return false; }
+inline bool inject(const char*, int*) { return false; }
+inline void arm(const std::string&, int, std::uint64_t = 0,
+                std::int64_t = -1) {}
+inline void disarm(const std::string&) {}
+inline void disarm_all() {}
+inline std::uint64_t trip_count(const std::string&) { return 0; }
+inline std::size_t load_env(const char* = "SUBLET_FAULTS") { return 0; }
+
+class ScopedFault {
+ public:
+  ScopedFault(std::string, int, std::uint64_t = 0, std::int64_t = -1) {}
+  std::uint64_t trips() const { return 0; }
+};
+
+#endif
+
+}  // namespace sublet::fault

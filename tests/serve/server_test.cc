@@ -15,6 +15,7 @@
 #include "leasing/pipeline.h"
 #include "leasing/report.h"
 #include "serve/client.h"
+#include "serve/engine_state.h"
 #include "simnet/builder.h"
 #include "simnet/emit.h"
 #include "snapshot/writer.h"
@@ -51,15 +52,17 @@ struct Rig {
     auto loaded =
         snapshot::Snapshot::from_bytes(snapshot::encode_snapshot(records));
     EXPECT_TRUE(loaded) << loaded.error().to_string();
-    snap = std::make_unique<snapshot::Snapshot>(std::move(*loaded));
-    auto built = QueryEngine::create(snap.get());
+    auto built = EngineState::adopt(
+        std::make_unique<snapshot::Snapshot>(std::move(*loaded)),
+        "<memory>");
     EXPECT_TRUE(built) << built.error().to_string();
-    engine = std::make_unique<QueryEngine>(std::move(*built));
-    server = std::make_unique<QueryServer>(*engine, options);
+    state = std::move(*built);
+    engine = &state->engine();
+    server = std::make_unique<QueryServer>(state, options);
   }
 
-  std::unique_ptr<snapshot::Snapshot> snap;
-  std::unique_ptr<QueryEngine> engine;
+  std::shared_ptr<const EngineState> state;
+  const QueryEngine* engine = nullptr;
   std::unique_ptr<QueryServer> server;
 };
 

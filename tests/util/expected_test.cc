@@ -40,5 +40,17 @@ TEST(ErrorToString, AllPieces) {
   EXPECT_EQ(fail("msg").to_string(), "msg");
 }
 
+TEST(ErrorCode, FailCodeCarriesErrnoStyleCode) {
+  Error plain = fail("no code");
+  EXPECT_EQ(plain.code, 0);
+  Error typed = fail_code("timed out", 110);  // ETIMEDOUT on Linux
+  EXPECT_EQ(typed.code, 110);
+  EXPECT_EQ(typed.to_string(), "timed out");
+  // The code survives a trip through Expected.
+  Expected<int> e(typed);
+  ASSERT_FALSE(e);
+  EXPECT_EQ(e.error().code, 110);
+}
+
 }  // namespace
 }  // namespace sublet

@@ -1,0 +1,99 @@
+#include "util/faultinject.h"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace sublet::fault {
+namespace {
+
+class FaultHarness : public testing::Test {
+ protected:
+  void SetUp() override {
+    if (!enabled()) GTEST_SKIP() << "fault injection compiled out";
+    disarm_all();
+  }
+  void TearDown() override { disarm_all(); }
+};
+
+TEST_F(FaultHarness, UnarmedSitesNeverFire) {
+  int err = 0;
+  EXPECT_FALSE(inject("nothing.armed", &err));
+  EXPECT_EQ(err, 0);
+  EXPECT_EQ(trip_count("nothing.armed"), 0u);
+}
+
+TEST_F(FaultHarness, ArmedSiteFiresWithItsErrno) {
+  arm("io.read", EIO);
+  int err = 0;
+  EXPECT_TRUE(inject("io.read", &err));
+  EXPECT_EQ(err, EIO);
+  // Other sites are unaffected.
+  EXPECT_FALSE(inject("io.write", &err));
+  EXPECT_EQ(trip_count("io.read"), 1u);
+  disarm("io.read");
+  EXPECT_FALSE(inject("io.read", &err));
+}
+
+TEST_F(FaultHarness, SkipAndTimesBoundTheFailureWindow) {
+  // Let 2 calls through, then fail 2, then pass again.
+  arm("io.read", EIO, /*skip=*/2, /*times=*/2);
+  int err = 0;
+  EXPECT_FALSE(inject("io.read", &err));
+  EXPECT_FALSE(inject("io.read", &err));
+  EXPECT_TRUE(inject("io.read", &err));
+  EXPECT_TRUE(inject("io.read", &err));
+  EXPECT_FALSE(inject("io.read", &err));
+  EXPECT_FALSE(inject("io.read", &err));
+  EXPECT_EQ(trip_count("io.read"), 2u);
+}
+
+TEST_F(FaultHarness, NullErrnoPointerIsAllowed) {
+  arm("io.read", EPIPE);
+  EXPECT_TRUE(inject("io.read", nullptr));
+}
+
+TEST_F(FaultHarness, ScopedFaultDisarmsOnExit) {
+  {
+    ScopedFault fault("scoped.site", ECONNRESET, /*skip=*/0, /*times=*/-1);
+    int err = 0;
+    EXPECT_TRUE(inject("scoped.site", &err));
+    EXPECT_EQ(err, ECONNRESET);
+    EXPECT_EQ(fault.trips(), 1u);
+  }
+  int err = 0;
+  EXPECT_FALSE(inject("scoped.site", &err));
+  EXPECT_EQ(trip_count("scoped.site"), 0u);
+}
+
+TEST_F(FaultHarness, LoadEnvParsesTheFaultGrammar) {
+  ::setenv("SUBLET_FAULTS_TEST",
+           "a.read=EIO:1, b.accept=EMFILE:2:1 ,c.numeric=104,broken,=EIO,"
+           "d.bad=NOTANERRNO",
+           1);
+  EXPECT_EQ(load_env("SUBLET_FAULTS_TEST"), 3u);
+  int err = 0;
+  // a.read: one EIO.
+  EXPECT_TRUE(inject("a.read", &err));
+  EXPECT_EQ(err, EIO);
+  EXPECT_FALSE(inject("a.read", &err));
+  // b.accept: skip 1, then two EMFILEs.
+  EXPECT_FALSE(inject("b.accept", &err));
+  EXPECT_TRUE(inject("b.accept", &err));
+  EXPECT_EQ(err, EMFILE);
+  EXPECT_TRUE(inject("b.accept", &err));
+  EXPECT_FALSE(inject("b.accept", &err));
+  // c.numeric: raw errno number (104 = ECONNRESET on Linux).
+  EXPECT_TRUE(inject("c.numeric", &err));
+  EXPECT_EQ(err, 104);
+  ::unsetenv("SUBLET_FAULTS_TEST");
+}
+
+TEST_F(FaultHarness, MissingEnvVarArmsNothing) {
+  ::unsetenv("SUBLET_FAULTS_ABSENT");
+  EXPECT_EQ(load_env("SUBLET_FAULTS_ABSENT"), 0u);
+}
+
+}  // namespace
+}  // namespace sublet::fault

@@ -87,7 +87,9 @@ run_fail("${SUBLET_BIN}" snapshot frob "${DATA}/leases-a.csv")
 run_fail("${SUBLET_BIN}" snapshot write "${DATA}/leases-a.csv")
 run_fail("${SUBLET_BIN}" serve)
 run_fail("${SUBLET_BIN}" serve "${DATA}/nope.snap" --bad-flag)
+run_fail("${SUBLET_BIN}" serve "${DATA}/nope.snap" --max-conns junk)
 run_fail("${SUBLET_BIN}" query not-a-host-port)
+run_fail("${SUBLET_BIN}" query 127.0.0.1:1 --reload)
 
 # --- snapshot round trip: write -> verify -> read -> byte-compare ---
 run_step("${SUBLET_BIN}" snapshot write "${DATA}/leases-a.csv"
@@ -159,6 +161,41 @@ if(SH_BIN)
   run_step("${SUBLET_BIN}" query "127.0.0.1:${PORT}" --lpm 20.0.0.99)
   if(NOT STEP_OUTPUT MATCHES "\"prefix\":\"20.0.0.0/24\"")
     message(FATAL_ERROR "LPM did not resolve to the covering leaf: ${STEP_OUTPUT}")
+  endif()
+
+  # --- robustness surface: HEALTH, hot RELOAD, generation bump ---
+  run_step("${SUBLET_BIN}" query "127.0.0.1:${PORT}" --health)
+  if(NOT STEP_OUTPUT MATCHES "\"generation\":1")
+    message(FATAL_ERROR "HEALTH missing generation 1: ${STEP_OUTPUT}")
+  endif()
+  if(NOT STEP_OUTPUT MATCHES "\"draining\":false")
+    message(FATAL_ERROR "HEALTH claims draining on a live server: ${STEP_OUTPUT}")
+  endif()
+
+  run_step("${SUBLET_BIN}" query "127.0.0.1:${PORT}"
+           --reload "${DATA}/leases.snap" --timeout-ms 10000 --retries 3)
+  if(NOT STEP_OUTPUT MATCHES "\"ok\":true")
+    message(FATAL_ERROR "RELOAD was not acknowledged: ${STEP_OUTPUT}")
+  endif()
+  if(NOT STEP_OUTPUT MATCHES "\"generation\":2")
+    message(FATAL_ERROR "RELOAD did not advance the generation: ${STEP_OUTPUT}")
+  endif()
+
+  run_step("${SUBLET_BIN}" query "127.0.0.1:${PORT}" --health)
+  if(NOT STEP_OUTPUT MATCHES "\"generation\":2")
+    message(FATAL_ERROR "HEALTH does not reflect the reload: ${STEP_OUTPUT}")
+  endif()
+
+  # A RELOAD pointing at garbage is refused and generation 2 keeps serving.
+  execute_process(COMMAND "${SUBLET_BIN}" query "127.0.0.1:${PORT}"
+                  --reload "${DATA}/leases-truncated.snap"
+                  OUTPUT_VARIABLE RELOAD_BAD ERROR_QUIET)
+  if(NOT RELOAD_BAD MATCHES "reload failed")
+    message(FATAL_ERROR "bad RELOAD was not rejected: ${RELOAD_BAD}")
+  endif()
+  run_step("${SUBLET_BIN}" query "127.0.0.1:${PORT}" 20.0.0.0/24)
+  if(NOT STEP_OUTPUT MATCHES "\"found\":true")
+    message(FATAL_ERROR "server stopped serving after a bad RELOAD: ${STEP_OUTPUT}")
   endif()
 
   run_step("${SUBLET_BIN}" query "127.0.0.1:${PORT}" --stats --shutdown)

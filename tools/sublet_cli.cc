@@ -31,7 +31,7 @@
 #include "leasing/summary.h"
 #include "leasing/timeline.h"
 #include "serve/client.h"
-#include "serve/query_engine.h"
+#include "serve/engine_state.h"
 #include "serve/server.h"
 #include "simnet/builder.h"
 #include "simnet/emit.h"
@@ -64,11 +64,15 @@ int usage() {
       "  snapshot write <leases.csv> <out.snap>  pack inferences for serving\n"
       "  snapshot read <in.snap> [-o out.csv]    unpack back to the artifact\n"
       "  snapshot verify <in.snap>               check magic/version/CRC\n"
-      "  serve <in.snap> [--port N] [--port-file F]\n"
+      "  serve <in.snap> [--port N] [--port-file F] [--max-conns N]\n"
+      "        [--idle-timeout-ms N] [--io-timeout-ms N] [--drain-ms N]\n"
+      "        [--reload-on-sighup]\n"
       "                                          prefix-query server (see\n"
-      "                                          docs/SERVING.md for protocol)\n"
-      "  query <host:port> [--lpm|--stats|--shutdown] <prefix>...\n"
-      "                                          one-shot loopback client\n";
+      "                                          docs/SERVING.md and\n"
+      "                                          docs/ROBUSTNESS.md)\n"
+      "  query <host:port> [--lpm|--stats|--health|--shutdown]\n"
+      "        [--reload <path.snap>] [--timeout-ms N] [--retries N]\n"
+      "        <prefix>...                       one-shot loopback client\n";
   return 2;
 }
 
@@ -370,7 +374,18 @@ extern "C" void sublet_on_signal(int sig) {
 int cmd_serve(const std::vector<std::string>& args) {
   serve::QueryServer::Options options;
   std::optional<std::string> port_file;
+  bool reload_on_sighup = false;
   std::vector<std::string> rest;
+  auto int_flag = [&](std::size_t& i, const char* name,
+                      int* out) -> bool {  // consumes the value on success
+    auto value = parse_u32(args[++i]);
+    if (!value) {
+      std::cerr << name << " expects a non-negative integer\n";
+      return false;
+    }
+    *out = static_cast<int>(*value);
+    return true;
+  };
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--port" && i + 1 < args.size()) {
       auto port = parse_u32(args[++i]);
@@ -381,6 +396,27 @@ int cmd_serve(const std::vector<std::string>& args) {
       options.port = static_cast<std::uint16_t>(*port);
     } else if (args[i] == "--port-file" && i + 1 < args.size()) {
       port_file = args[++i];
+    } else if (args[i] == "--max-conns" && i + 1 < args.size()) {
+      auto cap = parse_u32(args[++i]);
+      if (!cap) {
+        std::cerr << "--max-conns expects a non-negative integer\n";
+        return usage();
+      }
+      options.max_conns = *cap;
+    } else if (args[i] == "--idle-timeout-ms" && i + 1 < args.size()) {
+      if (!int_flag(i, "--idle-timeout-ms", &options.idle_timeout_ms)) {
+        return usage();
+      }
+    } else if (args[i] == "--io-timeout-ms" && i + 1 < args.size()) {
+      if (!int_flag(i, "--io-timeout-ms", &options.io_timeout_ms)) {
+        return usage();
+      }
+    } else if (args[i] == "--drain-ms" && i + 1 < args.size()) {
+      if (!int_flag(i, "--drain-ms", &options.drain_timeout_ms)) {
+        return usage();
+      }
+    } else if (args[i] == "--reload-on-sighup") {
+      reload_on_sighup = true;
     } else if (!args[i].empty() && args[i][0] == '-') {
       std::cerr << "unknown option " << args[i] << "\n";
       return usage();
@@ -389,17 +425,13 @@ int cmd_serve(const std::vector<std::string>& args) {
     }
   }
   if (rest.size() != 1) return usage();
-  auto snap = snapshot::Snapshot::open(rest[0]);
-  if (!snap) {
-    std::cerr << snap.error().to_string() << "\n";
+  const std::string snapshot_path = rest[0];
+  auto state = serve::EngineState::load(snapshot_path);
+  if (!state) {
+    std::cerr << state.error().to_string() << "\n";
     return 1;
   }
-  auto engine = serve::QueryEngine::create(&*snap);
-  if (!engine) {
-    std::cerr << engine.error().to_string() << "\n";
-    return 1;
-  }
-  serve::QueryServer server(*engine, options);
+  serve::QueryServer server(*state, options);
   auto port = server.start();
   if (!port) {
     std::cerr << port.error().to_string() << "\n";
@@ -413,12 +445,33 @@ int cmd_serve(const std::vector<std::string>& args) {
     }
     out << *port << "\n";
   }
-  std::cout << "serving " << with_commas(snap->record_count())
+  std::cout << "serving "
+            << with_commas(server.engine()->snapshot().record_count())
             << " records on 127.0.0.1:" << *port << "\n"
             << std::flush;
   std::signal(SIGTERM, sublet_on_signal);
   std::signal(SIGINT, sublet_on_signal);
-  server.wait([] { return g_signal.load(std::memory_order_relaxed) != 0; });
+  if (reload_on_sighup) std::signal(SIGHUP, sublet_on_signal);
+  for (;;) {
+    server.wait(
+        [] { return g_signal.load(std::memory_order_relaxed) != 0; });
+    int sig = g_signal.exchange(0, std::memory_order_relaxed);
+    if (sig == SIGHUP && reload_on_sighup && !server.stop_requested()) {
+      // Hot reload: re-read the snapshot path we were started with. A
+      // failed load logs and keeps the old generation serving.
+      auto generation = server.reload(snapshot_path);
+      if (generation) {
+        std::cout << "reloaded " << snapshot_path << " (generation "
+                  << *generation << ")\n"
+                  << std::flush;
+      } else {
+        std::cerr << "reload failed: " << generation.error().to_string()
+                  << "\n";
+      }
+      continue;
+    }
+    break;
+  }
   server.stop();
   std::cout << server.stats().to_json() << "\n";
   return 0;
@@ -426,15 +479,43 @@ int cmd_serve(const std::vector<std::string>& args) {
 
 int cmd_query(const std::vector<std::string>& args) {
   if (args.empty()) return usage();
-  bool lpm = false, stats = false, shutdown = false;
+  bool lpm = false, stats = false, health = false, shutdown = false;
+  std::optional<std::string> reload_path;
+  serve::QueryClient::Timeouts timeouts;
+  serve::QueryClient::RetryPolicy retry;
+  retry.attempts = 1;
   std::vector<std::string> rest;
-  for (const std::string& arg : args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
     if (arg == "--lpm") {
       lpm = true;
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--health") {
+      health = true;
     } else if (arg == "--shutdown") {
       shutdown = true;
+    } else if (arg == "--reload") {
+      if (i + 1 >= args.size()) {
+        std::cerr << "--reload expects a snapshot path\n";
+        return usage();
+      }
+      reload_path = args[++i];
+    } else if (arg == "--timeout-ms" && i + 1 < args.size()) {
+      auto ms = parse_u32(args[++i]);
+      if (!ms) {
+        std::cerr << "--timeout-ms expects a non-negative integer\n";
+        return usage();
+      }
+      timeouts.connect_ms = static_cast<int>(*ms);
+      timeouts.io_ms = static_cast<int>(*ms);
+    } else if (arg == "--retries" && i + 1 < args.size()) {
+      auto n = parse_u32(args[++i]);
+      if (!n || *n == 0) {
+        std::cerr << "--retries expects a positive integer\n";
+        return usage();
+      }
+      retry.attempts = static_cast<int>(*n);
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown option " << arg << "\n";
       return usage();
@@ -454,15 +535,21 @@ int cmd_query(const std::vector<std::string>& args) {
   }
   std::string host = rest[0].substr(0, colon);
   std::vector<std::string> prefixes(rest.begin() + 1, rest.end());
-  if (prefixes.empty() && !stats && !shutdown) return usage();
-  auto client =
-      serve::QueryClient::connect(host, static_cast<std::uint16_t>(*port));
-  if (!client) {
-    std::cerr << client.error().to_string() << "\n";
-    return 1;
+  if (prefixes.empty() && !stats && !health && !reload_path && !shutdown) {
+    return usage();
   }
+  auto port16 = static_cast<std::uint16_t>(*port);
   auto round_trip = [&](const std::string& line) -> bool {
-    auto response = client->request(line);
+    auto response =
+        retry.attempts > 1
+            ? serve::QueryClient::request_with_retry(host, port16, line,
+                                                     retry, timeouts)
+            : [&]() -> Expected<std::string> {
+                auto client =
+                    serve::QueryClient::connect(host, port16, timeouts);
+                if (!client) return client.error();
+                return client->request(line);
+              }();
     if (!response) {
       std::cerr << response.error().to_string() << "\n";
       return false;
@@ -473,6 +560,8 @@ int cmd_query(const std::vector<std::string>& args) {
   for (const std::string& prefix : prefixes) {
     if (!round_trip((lpm ? "LPM " : "EXACT ") + prefix)) return 1;
   }
+  if (reload_path && !round_trip("RELOAD " + *reload_path)) return 1;
+  if (health && !round_trip("HEALTH")) return 1;
   if (stats && !round_trip("STATS")) return 1;
   if (shutdown && !round_trip("SHUTDOWN")) return 1;
   return 0;
