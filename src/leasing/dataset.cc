@@ -8,6 +8,8 @@
 #include <stdexcept>
 
 #include "mrt/rib_file.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/log.h"
 #include "util/parallel.h"
 #include "util/strings.h"
@@ -64,6 +66,10 @@ DatasetBundle load_dataset(const std::string& dir, LoadOptions options) {
   }
   unsigned threads = par::resolve_threads(options.threads);
   DatasetBundle bundle;
+  obs::ScopedSpan load_span("dataset.load");
+  // TaskGroup tasks run on pool threads; hand them the stage span id so
+  // their spans nest under dataset.load in the trace.
+  obs::SpanId load_id = load_span.id();
 
   // Every independent file loads as one task. Each task writes its own
   // result slot and diagnostic sink; after the join, slots merge in the
@@ -92,9 +98,11 @@ DatasetBundle load_dataset(const std::string& dir, LoadOptions options) {
   for (std::size_t i = 0; i < kRirCount; ++i) {
     if (whois_paths[i].empty()) continue;
     group.run([&, i] {
+      obs::ScopedSpan task("dataset.whois", load_id);
       whois_dbs[i] = whois::load_whois_file(
           whois_paths[i], whois::kAllRirs[i], &whois_diags[i],
           per_db_threads);
+      task.add_records(whois_dbs[i]->block_count());
     });
   }
 
@@ -108,7 +116,10 @@ DatasetBundle load_dataset(const std::string& dir, LoadOptions options) {
   std::vector<std::optional<Expected<mrt::RibSnapshot>>> snapshots(
       bgp_files.size());
   for (std::size_t i = 0; i < bgp_files.size(); ++i) {
-    group.run([&, i] { snapshots[i] = mrt::read_rib_file(bgp_files[i]); });
+    group.run([&, i] {
+      obs::ScopedSpan task("dataset.mrt", load_id);
+      snapshots[i] = mrt::read_rib_file(bgp_files[i]);
+    });
   }
 
   // AS-level datasets.
@@ -189,16 +200,30 @@ DatasetBundle load_dataset(const std::string& dir, LoadOptions options) {
     throw std::runtime_error("no WHOIS databases under " + dir + "/whois");
   }
 
-  for (auto& snapshot : snapshots) {
-    if (!*snapshot) {
-      bundle.diagnostics.push_back(snapshot->error());
-    } else {
-      bundle.rib.add_snapshot(**snapshot);
+  {
+    obs::ScopedSpan rib_span("rib.load");
+    std::size_t rib_snapshots = 0;
+    for (auto& snapshot : snapshots) {
+      if (!*snapshot) {
+        bundle.diagnostics.push_back(snapshot->error());
+      } else {
+        bundle.rib.add_snapshot(**snapshot);
+        ++rib_snapshots;
+      }
     }
+    // One sort/unique pass over all origin sets, instead of paying it
+    // lazily under the first query (which may come from a classification
+    // thread).
+    bundle.rib.freeze();
+    rib_span.add_records(bundle.rib.prefix_count());
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("sublet_rib_snapshots_total",
+                "MRT RIB snapshots merged into the routing table")
+        .add(rib_snapshots);
+    reg.gauge("sublet_rib_prefixes",
+              "Prefixes in the most recently loaded RIB")
+        .set(static_cast<std::int64_t>(bundle.rib.prefix_count()));
   }
-  // One sort/unique pass over all origin sets, instead of paying it lazily
-  // under the first query (which may come from a classification thread).
-  bundle.rib.freeze();
   if (!bgp_files.empty()) {
     SUBLET_LOG(kInfo) << "RIB: " << bundle.rib.prefix_count()
                       << " prefixes from " << bgp_files.size()

@@ -1,7 +1,10 @@
 #include "leasing/pipeline.h"
 
+#include <array>
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/log.h"
 #include "util/parallel.h"
 #include "util/strings.h"
@@ -14,6 +17,29 @@ namespace {
 // per-leaf hot path on every classification thread — skips the thread-safe
 // initialization guard a local static would re-check on each call.
 const std::vector<Asn> kNoOrigins;
+
+/// Per-group classification counters, indexed by enumerator order.
+obs::Counter& classify_counter(InferenceGroup group) {
+  static std::array<obs::Counter*, kAllInferenceGroups.size()> counters = [] {
+    std::array<obs::Counter*, kAllInferenceGroups.size()> out{};
+    auto& reg = obs::MetricsRegistry::global();
+    for (std::size_t i = 0; i < kAllInferenceGroups.size(); ++i) {
+      out[i] = &reg.counter(
+          obs::labeled("sublet_classify_leaves_total", "group",
+                       group_name(kAllInferenceGroups[i])),
+          "Classified leaf allocations by inference group");
+    }
+    return out;
+  }();
+  return *counters[static_cast<std::size_t>(group)];
+}
+
+/// Register the family at program start so a process that never classifies
+/// (e.g. `sublet serve`) still exports it at zero.
+const bool g_classify_metrics_registered = [] {
+  classify_counter(InferenceGroup::kUnused);
+  return true;
+}();
 }  // namespace
 
 void GroupCounts::add(InferenceGroup group) {
@@ -105,6 +131,7 @@ LeaseInference Pipeline::classify_leaf(const whois::AllocEntry& leaf,
 }
 
 std::vector<LeaseInference> Pipeline::classify(const whois::WhoisDb& db) const {
+  obs::ScopedSpan span("classify");
   auto tree = whois::AllocationTree::build(db, options_.alloc);
   SUBLET_LOG(kInfo) << rir_name(db.rir()) << ": " << tree.roots().size()
                     << " roots, " << tree.leaves().size() << " leaves ("
@@ -122,12 +149,22 @@ std::vector<LeaseInference> Pipeline::classify(const whois::WhoisDb& db) const {
   // Each leaf only reads rib_/graph_/db/tree; parallel_map keeps the
   // documented leaf-address-order output, so results are byte-identical
   // to a serial run at any thread count.
-  return par::parallel_map(
+  auto results = par::parallel_map(
       candidates,
       [&](const whois::AllocEntry& leaf) {
         return classify_leaf(leaf, tree, db);
       },
       options_.threads);
+  // One aggregation pass instead of a relaxed add per leaf on the hot path.
+  std::array<std::uint64_t, kAllInferenceGroups.size()> by_group{};
+  for (const LeaseInference& inference : results) {
+    ++by_group[static_cast<std::size_t>(inference.group)];
+  }
+  for (std::size_t i = 0; i < kAllInferenceGroups.size(); ++i) {
+    if (by_group[i] != 0) classify_counter(kAllInferenceGroups[i]).add(by_group[i]);
+  }
+  span.add_records(results.size());
+  return results;
 }
 
 GroupCounts Pipeline::count_groups(const std::vector<LeaseInference>& results) {

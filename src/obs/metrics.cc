@@ -1,0 +1,388 @@
+#include "obs/metrics.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/faultinject.h"
+#include "util/log.h"
+
+namespace sublet::obs {
+
+namespace detail {
+std::atomic<bool> g_metrics_enabled{true};
+}  // namespace detail
+
+void set_metrics_enabled(bool on) {
+  detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& bucket : buckets_) {
+    total += bucket.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::quantile(double q) const {
+  HistogramSnapshot snap = snapshot();
+  if (snap.count == 0) return 0.0;
+  auto target =
+      static_cast<std::uint64_t>(q * static_cast<double>(snap.count));
+  if (target >= snap.count) target = snap.count - 1;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += snap.buckets[b];
+    if (seen > target) {
+      if (b == 0) return 0.0;
+      // Midpoint of [2^(b-1), 2^b) — matches the serving layer's historical
+      // latency quantile estimate exactly.
+      return 1.5 * static_cast<double>(std::uint64_t{1} << (b - 1));
+    }
+  }
+  return 0.0;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    snap.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+    snap.count += snap.buckets[b];
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+std::string label_escape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string labeled(std::string_view family, std::string_view key,
+                    std::string_view value) {
+  std::string out(family);
+  out += '{';
+  out += key;
+  out += "=\"";
+  out += label_escape(value);
+  out += "\"}";
+  return out;
+}
+
+namespace {
+
+const char* type_name(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+/// Shared fallbacks for botched registrations: the call site gets a working
+/// metric of the type it asked for, it just isn't exported anywhere.
+Counter& sink_counter() {
+  static Counter sink;
+  return sink;
+}
+Gauge& sink_gauge() {
+  static Gauge sink;
+  return sink;
+}
+Histogram& sink_histogram() {
+  static Histogram sink;
+  return sink;
+}
+
+/// Split a registered name into family and label block:
+/// "fam{a=\"b\"}" -> ("fam", "a=\"b\""); "fam" -> ("fam", "").
+void split_name(std::string_view name, std::string_view& family,
+                std::string_view& labels) {
+  auto brace = name.find('{');
+  if (brace == std::string_view::npos || name.back() != '}') {
+    family = name;
+    labels = {};
+    return;
+  }
+  family = name.substr(0, brace);
+  labels = name.substr(brace + 1, name.size() - brace - 2);
+}
+
+/// "_sum{labels}" / "_sum" style suffixed sample name.
+std::string sample_name(std::string_view family, std::string_view labels,
+                        std::string_view suffix) {
+  std::string out(family);
+  out += suffix;
+  if (!labels.empty()) {
+    out += '{';
+    out += labels;
+    out += '}';
+  }
+  return out;
+}
+
+std::string help_escape(std::string_view help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void emit_sample(std::string& out, const MetricValue& value);
+
+}  // namespace
+
+MetricsRegistry::Entry* MetricsRegistry::resolve(std::string_view name,
+                                                 MetricType type) {
+  // Callers hold mu_.
+  int unused_errno = 0;
+  bool collide = fault::inject("obs.register", &unused_errno);
+  auto it = index_.find(name);
+  if (it == index_.end() && !collide) return nullptr;
+  if (it != index_.end()) {
+    Entry& entry = *entries_[it->second];
+    if (entry.type == type && !collide) return &entry;
+    SUBLET_LOGC(kWarn, "obs")
+            .kv("metric", std::string(name))
+            .kv("registered", type_name(entry.type))
+            .kv("requested", type_name(type))
+        << "metric registered twice with conflicting types; "
+           "returning unexported sink";
+  } else {
+    SUBLET_LOGC(kWarn, "obs").kv("metric", std::string(name))
+        << "metric registration fault injected; returning unexported sink";
+  }
+  static Entry sink_entry{"", "", MetricType::kCounter, nullptr, nullptr,
+                          nullptr};
+  return &sink_entry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name,
+                                  std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* existing = resolve(name, MetricType::kCounter)) {
+    if (!existing->counter) return sink_counter();
+    if (existing->help.empty() && !help.empty()) existing->help = help;
+    return *existing->counter;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->help = help;
+  entry->type = MetricType::kCounter;
+  entry->counter = std::make_unique<Counter>();
+  Counter& out = *entry->counter;
+  index_.emplace(std::string_view(entry->name), entries_.size());
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* existing = resolve(name, MetricType::kGauge)) {
+    if (!existing->gauge) return sink_gauge();
+    if (existing->help.empty() && !help.empty()) existing->help = help;
+    return *existing->gauge;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->help = help;
+  entry->type = MetricType::kGauge;
+  entry->gauge = std::make_unique<Gauge>();
+  Gauge& out = *entry->gauge;
+  index_.emplace(std::string_view(entry->name), entries_.size());
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* existing = resolve(name, MetricType::kHistogram)) {
+    if (!existing->histogram) return sink_histogram();
+    if (existing->help.empty() && !help.empty()) existing->help = help;
+    return *existing->histogram;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->help = help;
+  entry->type = MetricType::kHistogram;
+  entry->histogram = std::make_unique<Histogram>();
+  Histogram& out = *entry->histogram;
+  index_.emplace(std::string_view(entry->name), entries_.size());
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::vector<MetricValue> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricValue> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    MetricValue value;
+    value.name = entry->name;
+    value.help = entry->help;
+    value.type = entry->type;
+    switch (entry->type) {
+      case MetricType::kCounter:
+        value.counter_value = entry->counter->value();
+        break;
+      case MetricType::kGauge:
+        value.gauge_value = entry->gauge->value();
+        break;
+      case MetricType::kHistogram:
+        value.histogram = entry->histogram->snapshot();
+        break;
+    }
+    out.push_back(std::move(value));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::prometheus_text() const {
+  std::vector<MetricValue> values = snapshot();
+  // All samples of a family must sit under a single # TYPE header, so group
+  // by family in first-seen order even if registrations interleaved.
+  std::vector<std::string_view> family_order;
+  std::unordered_map<std::string_view, std::vector<std::size_t>> by_family;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    std::string_view family;
+    std::string_view labels;
+    split_name(values[i].name, family, labels);
+    auto [it, fresh] = by_family.try_emplace(family);
+    if (fresh) family_order.push_back(family);
+    it->second.push_back(i);
+  }
+  std::string out;
+  out.reserve(values.size() * 64);
+  for (std::string_view family : family_order) {
+    const std::vector<std::size_t>& members = by_family[family];
+    std::string_view help;
+    for (std::size_t i : members) {
+      if (!values[i].help.empty()) {
+        help = values[i].help;
+        break;
+      }
+    }
+    if (!help.empty()) {
+      out += "# HELP ";
+      out += family;
+      out += ' ';
+      out += help_escape(help);
+      out += '\n';
+    }
+    out += "# TYPE ";
+    out += family;
+    out += ' ';
+    out += type_name(values[members.front()].type);
+    out += '\n';
+    for (std::size_t i : members) {
+      emit_sample(out, values[i]);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void emit_sample(std::string& out, const MetricValue& value) {
+  std::string_view family;
+  std::string_view labels;
+  split_name(value.name, family, labels);
+  switch (value.type) {
+      case MetricType::kCounter: {
+        out += value.name;
+        out += ' ';
+        append_u64(out, value.counter_value);
+        out += '\n';
+        break;
+      }
+      case MetricType::kGauge: {
+        out += value.name;
+        out += ' ';
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "%" PRId64, value.gauge_value);
+        out += buf;
+        out += '\n';
+        break;
+      }
+      case MetricType::kHistogram: {
+        const HistogramSnapshot& hist = value.histogram;
+        // Trim the tail: emit cumulative buckets up to the last non-empty
+        // one, then +Inf. An empty histogram emits just +Inf/_sum/_count.
+        std::size_t top = 0;
+        for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+          if (hist.buckets[b] != 0) top = b + 1;
+        }
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < top; ++b) {
+          cumulative += hist.buckets[b];
+          std::string le;
+          append_u64(le, Histogram::bucket_upper_bound(b));
+          std::string bucket_labels(labels);
+          if (!bucket_labels.empty()) bucket_labels += ',';
+          bucket_labels += "le=\"";
+          bucket_labels += le;
+          bucket_labels += '"';
+          out += sample_name(family, bucket_labels, "_bucket");
+          out += ' ';
+          append_u64(out, cumulative);
+          out += '\n';
+        }
+        std::string inf_labels(labels);
+        if (!inf_labels.empty()) inf_labels += ',';
+        inf_labels += "le=\"+Inf\"";
+        out += sample_name(family, inf_labels, "_bucket");
+        out += ' ';
+        append_u64(out, hist.count);
+        out += '\n';
+        out += sample_name(family, labels, "_sum");
+        out += ' ';
+        append_u64(out, hist.sum);
+        out += '\n';
+        out += sample_name(family, labels, "_count");
+        out += ' ';
+        append_u64(out, hist.count);
+        out += '\n';
+        break;
+      }
+  }
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace sublet::obs

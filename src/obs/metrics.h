@@ -1,0 +1,203 @@
+// Process-wide metrics registry (docs/OBSERVABILITY.md).
+//
+// Named counters, gauges, and power-of-two histograms with relaxed-atomic
+// hot paths: updating a metric is one (or two) relaxed fetch_adds, safe on
+// every hot path in the pipeline and the server. Registration is the only
+// locked operation and happens once per call site (keep the returned
+// reference; do not re-look-up per update).
+//
+//   auto& parsed = obs::MetricsRegistry::global().counter(
+//       obs::labeled("sublet_whois_records_total", "rir", "ripe"),
+//       "WHOIS records parsed");
+//   parsed.add(blocks);
+//
+// Readers take a point-in-time snapshot (snapshot() /
+// prometheus_text()) without stopping writers: values are relaxed loads, so
+// a snapshot is per-metric consistent, not a cross-metric barrier — exactly
+// the guarantee a scrape needs.
+//
+// Registering the same name twice with the same type returns the same
+// instance (idempotent, so static-init call sites in different TUs
+// compose). A name re-registered with a *different* type is a bug in the
+// caller; the registry logs a warning and hands back a process-wide sink of
+// the requested type so the call site keeps working and the original metric
+// is not corrupted. The `obs.register` fault-injection site forces that
+// collision path in tests.
+//
+// set_metrics_enabled(false) turns every update into a relaxed load + an
+// untaken branch — the knob BM_MetricsHotPath uses to price the
+// instrumentation, and an escape hatch for pathological deployments.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace sublet::obs {
+
+namespace detail {
+extern std::atomic<bool> g_metrics_enabled;
+}  // namespace detail
+
+/// Process-wide kill switch for metric *updates* (reads still work).
+inline bool metrics_enabled() {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+void set_metrics_enabled(bool on);
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (!metrics_enabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  /// Benches re-zero between comparison runs; production code never calls.
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time level (RIB size, live generation, active connections).
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    if (!metrics_enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) {
+    if (!metrics_enabled()) return;
+    value_.fetch_add(d, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Point-in-time copy of a histogram, taken by snapshot()/exposition.
+struct HistogramSnapshot {
+  std::array<std::uint64_t, 65> buckets{};
+  std::uint64_t sum = 0;
+  std::uint64_t count = 0;
+};
+
+/// Lock-free histogram: one bucket per power-of-two value range (bucket 0
+/// holds zeros, bucket b>0 holds [2^(b-1), 2^b)). Quantiles are
+/// bucket-midpoint approximations — the same scheme the serving layer's
+/// latency percentiles have always used.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  void record(std::uint64_t v) {
+    if (!metrics_enabled()) return;
+    int bucket = v == 0 ? 0 : 64 - std::countl_zero(v);
+    buckets_[static_cast<std::size_t>(bucket)].fetch_add(
+        1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const;
+  std::uint64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
+  /// Approximate `q`-quantile (0 < q < 1) in recorded units: the midpoint
+  /// of the bucket holding the target rank (0.0 for the zero bucket).
+  double quantile(double q) const;
+
+  HistogramSnapshot snapshot() const;
+
+  /// Inclusive upper bound of bucket `b` (0, 1, 3, 7, ... 2^b - 1); used
+  /// as the Prometheus `le` label.
+  static std::uint64_t bucket_upper_bound(std::size_t b) {
+    if (b == 0) return 0;
+    if (b >= 64) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << b) - 1;
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// One registered metric, as captured by MetricsRegistry::snapshot().
+struct MetricValue {
+  std::string name;  ///< registered name, labels included
+  std::string help;
+  MetricType type = MetricType::kCounter;
+  std::uint64_t counter_value = 0;
+  std::int64_t gauge_value = 0;
+  HistogramSnapshot histogram;
+};
+
+/// Escape a Prometheus label value: backslash, double quote, newline.
+std::string label_escape(std::string_view value);
+
+/// Build `family{key="value"}` with the value escaped.
+std::string labeled(std::string_view family, std::string_view key,
+                    std::string_view value);
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Register (or re-fetch) a metric. Returned references live as long as
+  /// the registry. `help` is kept from the first registration that
+  /// provides one.
+  Counter& counter(std::string_view name, std::string_view help = {});
+  Gauge& gauge(std::string_view name, std::string_view help = {});
+  Histogram& histogram(std::string_view name, std::string_view help = {});
+
+  std::size_t size() const;
+
+  /// Point-in-time values of every registered metric, in registration
+  /// order.
+  std::vector<MetricValue> snapshot() const;
+
+  /// Prometheus text exposition (format 0.0.4): families in first-seen
+  /// order with # HELP/# TYPE headers; histograms expand to cumulative
+  /// _bucket{le=...} series plus _sum and _count.
+  std::string prometheus_text() const;
+
+  /// The process-wide registry the pipeline instruments.
+  static MetricsRegistry& global();
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string help;
+    MetricType type;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  /// nullptr = fresh name (caller registers); otherwise the existing or
+  /// sink entry resolved for (name, type).
+  Entry* resolve(std::string_view name, MetricType type);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+  std::unordered_map<std::string_view, std::size_t> index_;
+};
+
+}  // namespace sublet::obs

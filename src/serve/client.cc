@@ -183,6 +183,63 @@ Expected<std::string> QueryClient::request(std::string_view line) {
   }
 }
 
+Expected<std::string> QueryClient::request_multiline(
+    std::string_view line, std::string_view terminator) {
+  if (fd_ < 0) return fail("client is closed");
+  const bool has_deadline = timeouts_.io_ms > 0;
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(
+                         has_deadline ? timeouts_.io_ms : 0);
+  std::string out(line);
+  out += '\n';
+  std::string_view data = out;
+  while (!data.empty()) {
+    int ready = wait_fd(fd_, POLLOUT, remaining_ms(has_deadline, deadline));
+    if (ready == 0) {
+      return fail_code("timeout: request write exceeded " +
+                           std::to_string(timeouts_.io_ms) + "ms",
+                       ETIMEDOUT);
+    }
+    if (ready < 0) return fail("poll(): " + std::string(strerror(errno)));
+    ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+      return fail("send(): connection lost");
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  std::string body;
+  char chunk[4096];
+  for (;;) {
+    std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string response = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!response.empty() && response.back() == '\r') response.pop_back();
+      body += response;
+      body += '\n';
+      if (response == terminator) return body;
+      continue;
+    }
+    int ready = wait_fd(fd_, POLLIN, remaining_ms(has_deadline, deadline));
+    if (ready == 0) {
+      return fail_code("timeout: no response within " +
+                           std::to_string(timeouts_.io_ms) + "ms",
+                       ETIMEDOUT);
+    }
+    if (ready < 0) return fail("poll(): " + std::string(strerror(errno)));
+    if (int injected = 0; fault::inject("client.recv", &injected)) {
+      return fail_code(
+          "recv(): " + std::string(strerror(injected)) + " (injected)",
+          injected);
+    }
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+    if (n <= 0) return fail("recv(): connection closed mid-response");
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
 Expected<std::string> QueryClient::request_with_retry(
     const std::string& host, std::uint16_t port, std::string_view line,
     const RetryPolicy& policy, Timeouts timeouts) {

@@ -64,6 +64,14 @@ class QueryClient {
   /// timeout error (is_timeout) when the deadline passes first.
   Expected<std::string> request(std::string_view line);
 
+  /// Send one request line and read a multi-line response, ending at the
+  /// line that equals `terminator` (the METRICS verb ends its Prometheus
+  /// text with "# EOF"). Returns the full body including the terminator
+  /// line, each line newline-terminated. Same deadlines as request().
+  Expected<std::string> request_multiline(std::string_view line,
+                                          std::string_view terminator =
+                                              "# EOF");
+
   /// One-shot round trip with retries: each attempt opens a fresh
   /// connection, sends `line`, and reads the response; failed attempts
   /// back off exponentially with jitter. Returns the first successful

@@ -1,84 +1,15 @@
-// Minimal JSON emission for the wire protocol (docs/SERVING.md).
+// JSON emission for the wire protocol (docs/SERVING.md).
 //
-// Responses are single-line JSON objects; we only ever *write* JSON, so a
-// tiny append-only builder is all the subsystem needs (no parser, no DOM).
+// The builder itself moved to util/jsonw.h when the observability layer's
+// structured logger started emitting JSON too; this header keeps the
+// historical sublet::serve names working for the serving code and tests.
 #pragma once
 
-#include <cstdint>
-#include <string>
-#include <string_view>
+#include "util/jsonw.h"
 
 namespace sublet::serve {
 
-/// Escape per RFC 8259: quote, backslash, and control characters.
-std::string json_escape(std::string_view s);
-
-/// Append-only single-line JSON object/array builder. Keys and values are
-/// emitted in call order; the caller is responsible for nesting balance.
-class JsonWriter {
- public:
-  JsonWriter& begin_object() { return open('{'); }
-  JsonWriter& end_object() { return close('}'); }
-  JsonWriter& begin_array(std::string_view key) {
-    return this->key(key).open('[');
-  }
-  JsonWriter& end_array() { return close(']'); }
-
-  JsonWriter& key(std::string_view k) {
-    comma();
-    out_ += '"';
-    out_ += json_escape(k);
-    out_ += "\":";
-    pending_value_ = true;
-    return *this;
-  }
-
-  JsonWriter& value(std::string_view v) {
-    comma();
-    out_ += '"';
-    out_ += json_escape(v);
-    out_ += '"';
-    return *this;
-  }
-  JsonWriter& value(bool v) {
-    comma();
-    out_ += v ? "true" : "false";
-    return *this;
-  }
-  JsonWriter& value(std::uint64_t v) {
-    comma();
-    out_ += std::to_string(v);
-    return *this;
-  }
-  JsonWriter& value(double v);
-
-  const std::string& str() const { return out_; }
-  std::string take() { return std::move(out_); }
-
- private:
-  JsonWriter& open(char c) {
-    comma();
-    out_ += c;
-    first_ = true;
-    return *this;
-  }
-  JsonWriter& close(char c) {
-    out_ += c;
-    first_ = false;
-    return *this;
-  }
-  void comma() {
-    if (pending_value_) {
-      pending_value_ = false;
-      return;  // value follows its key directly
-    }
-    if (!first_ && !out_.empty()) out_ += ',';
-    first_ = false;
-  }
-
-  std::string out_;
-  bool first_ = true;
-  bool pending_value_ = false;
-};
+using sublet::JsonWriter;
+using sublet::json_escape;
 
 }  // namespace sublet::serve

@@ -82,29 +82,36 @@ std::string StatsSnapshot::to_json() const {
   return json.take();
 }
 
-double LatencyHistogram::quantile_us(double q) const {
-  std::uint64_t total = 0;
-  for (const auto& bucket : buckets_) {
-    total += bucket.load(std::memory_order_relaxed);
-  }
-  if (total == 0) return 0.0;
-  auto target = static_cast<std::uint64_t>(q * static_cast<double>(total));
-  if (target >= total) target = total - 1;
-  std::uint64_t seen = 0;
-  for (std::size_t b = 0; b < buckets_.size(); ++b) {
-    seen += buckets_[b].load(std::memory_order_relaxed);
-    if (seen > target) {
-      if (b == 0) return 0.0;
-      // Bucket b holds [2^(b-1), 2^b) ns; report the midpoint in us.
-      return 1.5 * static_cast<double>(std::uint64_t{1} << (b - 1)) / 1000.0;
-    }
-  }
-  return 0.0;
-}
-
 QueryServer::QueryServer(std::shared_ptr<const EngineState> engine,
                          Options options)
-    : options_(options), engine_(std::move(engine)) {}
+    : options_(options),
+      engine_(std::move(engine)),
+      requests_(registry_.counter("sublet_serve_requests_total",
+                                  "Requests handled (all verbs)")),
+      hits_(registry_.counter("sublet_serve_hits_total",
+                              "EXACT/LPM lookups that found a record")),
+      misses_(registry_.counter("sublet_serve_misses_total",
+                                "EXACT/LPM lookups with no record")),
+      malformed_(registry_.counter("sublet_serve_malformed_total",
+                                   "Requests rejected as malformed")),
+      shed_(registry_.counter("sublet_serve_shed_total",
+                              "Connections refused at the concurrency cap")),
+      timeouts_(registry_.counter("sublet_serve_timeouts_total",
+                                  "Connections cut at an idle/write deadline")),
+      accept_retries_(registry_.counter(
+          "sublet_serve_accept_retries_total",
+          "Transient accept() errors survived by the accept loop")),
+      reloads_(registry_.counter("sublet_serve_reloads_total",
+                                 "Successful snapshot hot swaps")),
+      reload_failures_(registry_.counter(
+          "sublet_serve_reload_failures_total",
+          "Rejected RELOADs (previous engine kept serving)")),
+      generation_gauge_(registry_.gauge("sublet_serve_generation",
+                                        "Current engine generation")),
+      active_conns_gauge_(registry_.gauge(
+          "sublet_serve_active_connections", "Currently open connections")),
+      latency_(registry_.histogram("sublet_serve_latency_ns",
+                                   "Per-request handling latency")) {}
 
 QueryServer::~QueryServer() { stop(); }
 
@@ -168,7 +175,7 @@ void QueryServer::accept_loop() {
       if (errno == EINTR) continue;
       if (stop_.load(std::memory_order_acquire)) return;
       if (transient_accept_error(errno)) {
-        accept_retries_.fetch_add(1, std::memory_order_relaxed);
+        accept_retries_.add(1);
         backoff_ms = backoff_ms == 0 ? 1 : std::min(backoff_ms * 2, 200);
         SUBLET_LOG(kWarn) << "accept(): " << strerror(errno)
                           << "; retrying in " << backoff_ms << "ms";
@@ -190,7 +197,7 @@ void QueryServer::accept_loop() {
     if (options_.max_conns > 0 &&
         active_connections() >= options_.max_conns) {
       // Shed instead of queueing unboundedly: one line, then close.
-      shed_.fetch_add(1, std::memory_order_relaxed);
+      shed_.add(1);
       write_deadline(fd, "{\"error\":\"overloaded\"}\n");
       ::close(fd);
       continue;
@@ -212,12 +219,12 @@ bool QueryServer::write_deadline(int fd, std::string_view data) {
                            deadline - steady_clock::now())
                            .count();
       if (remaining <= 0) {
-        timeouts_.fetch_add(1, std::memory_order_relaxed);
+        timeouts_.add(1);
         return false;
       }
       int ready = wait_fd(fd, POLLOUT, static_cast<int>(remaining));
       if (ready == 0) {
-        timeouts_.fetch_add(1, std::memory_order_relaxed);
+        timeouts_.add(1);
         return false;
       }
       if (ready < 0) return false;
@@ -284,7 +291,7 @@ void QueryServer::handle_connection(int fd) {
     if (idle_expired) {
       // A slow-loris peer (bytes but never a newline, or silence) is cut
       // at the deadline; the notice is best-effort.
-      timeouts_.fetch_add(1, std::memory_order_relaxed);
+      timeouts_.add(1);
       write_deadline(fd, "{\"error\":\"idle timeout\"}\n");
       break;
     }
@@ -316,7 +323,7 @@ Expected<std::uint64_t> QueryServer::reload(const std::string& path) {
   const std::uint64_t next_generation = engine()->generation() + 1;
   auto next = EngineState::load(path, options_.reload_mode, next_generation);
   if (!next) {
-    reload_failures_.fetch_add(1, std::memory_order_relaxed);
+    reload_failures_.add(1);
     SUBLET_LOG(kWarn) << "reload of " << path
                       << " rejected: " << next.error().to_string()
                       << " (keeping generation "
@@ -327,7 +334,7 @@ Expected<std::uint64_t> QueryServer::reload(const std::string& path) {
     std::lock_guard<std::mutex> lock(engine_mu_);
     engine_ = std::move(*next);
   }
-  reloads_.fetch_add(1, std::memory_order_relaxed);
+  reloads_.add(1);
   SUBLET_LOG(kInfo) << "reloaded generation " << next_generation << " from "
                     << path;
   return next_generation;
@@ -350,14 +357,14 @@ std::string QueryServer::health_json() const {
   json.key("draining").value(stop_.load(std::memory_order_acquire));
   json.key("active_conns").value(
       static_cast<std::uint64_t>(active_connections()));
-  json.key("reloads").value(reloads_.load(std::memory_order_relaxed));
+  json.key("reloads").value(reloads_.value());
   json.end_object();
   return json.take();
 }
 
 std::string QueryServer::handle_request(std::string_view line) {
   const auto start = std::chrono::steady_clock::now();
-  requests_.fetch_add(1, std::memory_order_relaxed);
+  requests_.add(1);
   std::string response;
   std::vector<std::string_view> parts = split_ws(line);
   const std::string_view verb = parts.empty() ? std::string_view() : parts[0];
@@ -370,6 +377,10 @@ std::string QueryServer::handle_request(std::string_view line) {
   };
   if (iequals(verb, "STATS") && parts.size() == 1) {
     response = stats().to_json();
+  } else if (iequals(verb, "METRICS") && parts.size() == 1) {
+    // The one multi-line response in the protocol; metrics_text() ends
+    // with a "# EOF" line so clients know where the body stops.
+    response = metrics_text();
   } else if (iequals(verb, "HEALTH") && parts.size() == 1) {
     response = health_json();
   } else if (iequals(verb, "RELOAD") && parts.size() == 2) {
@@ -399,7 +410,7 @@ std::string QueryServer::handle_request(std::string_view line) {
              parts.size() == 2) {
     std::optional<Prefix> query = parse_query(parts[1]);
     if (!query) {
-      malformed_.fetch_add(1, std::memory_order_relaxed);
+      malformed_.add(1);
       response = error_json("bad prefix '" + std::string(parts[1]) + "'");
     } else {
       // One shared_ptr acquire per request: a concurrent RELOAD swap can
@@ -412,10 +423,10 @@ std::string QueryServer::handle_request(std::string_view line) {
         idx = hit->second;
       }
       if (idx) {
-        hits_.fetch_add(1, std::memory_order_relaxed);
+        hits_.add(1);
         response = state->engine().record_json(*idx);
       } else {
-        misses_.fetch_add(1, std::memory_order_relaxed);
+        misses_.add(1);
         JsonWriter json;
         json.begin_object();
         json.key("found").value(false);
@@ -424,10 +435,10 @@ std::string QueryServer::handle_request(std::string_view line) {
       }
     }
   } else {
-    malformed_.fetch_add(1, std::memory_order_relaxed);
+    malformed_.add(1);
     response = error_json(
         "unknown request '" + std::string(verb) +
-        "' (want EXACT|LPM|STATS|HEALTH|RELOAD|SHUTDOWN)");
+        "' (want EXACT|LPM|STATS|HEALTH|METRICS|RELOAD|SHUTDOWN)");
   }
   const auto elapsed = std::chrono::steady_clock::now() - start;
   latency_.record(static_cast<std::uint64_t>(
@@ -437,18 +448,31 @@ std::string QueryServer::handle_request(std::string_view line) {
 
 StatsSnapshot QueryServer::stats() const {
   StatsSnapshot out;
-  out.requests = requests_.load(std::memory_order_relaxed);
-  out.hits = hits_.load(std::memory_order_relaxed);
-  out.misses = misses_.load(std::memory_order_relaxed);
-  out.malformed = malformed_.load(std::memory_order_relaxed);
-  out.shed = shed_.load(std::memory_order_relaxed);
-  out.timeouts = timeouts_.load(std::memory_order_relaxed);
-  out.accept_retries = accept_retries_.load(std::memory_order_relaxed);
-  out.reloads = reloads_.load(std::memory_order_relaxed);
-  out.reload_failures = reload_failures_.load(std::memory_order_relaxed);
+  out.requests = requests_.value();
+  out.hits = hits_.value();
+  out.misses = misses_.value();
+  out.malformed = malformed_.value();
+  out.shed = shed_.value();
+  out.timeouts = timeouts_.value();
+  out.accept_retries = accept_retries_.value();
+  out.reloads = reloads_.value();
+  out.reload_failures = reload_failures_.value();
   out.generation = engine()->generation();
-  out.p50_us = latency_.quantile_us(0.50);
-  out.p99_us = latency_.quantile_us(0.99);
+  // quantile() returns the bucket-midpoint in nanoseconds; dividing here
+  // reproduces the old LatencyHistogram::quantile_us doubles bit-for-bit.
+  out.p50_us = latency_.quantile(0.50) / 1000.0;
+  out.p99_us = latency_.quantile(0.99) / 1000.0;
+  return out;
+}
+
+std::string QueryServer::metrics_text() const {
+  // Gauges are sampled, not event-driven: refresh them at scrape time.
+  generation_gauge_.set(static_cast<std::int64_t>(engine()->generation()));
+  active_conns_gauge_.set(
+      static_cast<std::int64_t>(active_connections()));
+  std::string out = obs::MetricsRegistry::global().prometheus_text();
+  out += registry_.prometheus_text();
+  out += "# EOF";
   return out;
 }
 

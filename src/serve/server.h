@@ -31,9 +31,7 @@
 //    sockets are forced closed at the drain deadline.
 #pragma once
 
-#include <array>
 #include <atomic>
-#include <bit>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -44,6 +42,7 @@
 #include <thread>
 #include <unordered_set>
 
+#include "obs/metrics.h"
 #include "serve/engine_state.h"
 #include "util/expected.h"
 #include "util/parallel.h"
@@ -66,24 +65,6 @@ struct StatsSnapshot {
   double p99_us = 0.0;
 
   std::string to_json() const;
-};
-
-/// Lock-free latency histogram: one bucket per power-of-two nanosecond
-/// range. Percentiles are bucket-midpoint approximations — plenty for the
-/// p50/p99 the STATS command reports.
-class LatencyHistogram {
- public:
-  void record(std::uint64_t nanos) {
-    int bucket = nanos == 0 ? 0 : 64 - std::countl_zero(nanos);
-    buckets_[static_cast<std::size_t>(bucket)].fetch_add(
-        1, std::memory_order_relaxed);
-  }
-
-  /// Approximate `q`-quantile (0 < q < 1) in microseconds.
-  double quantile_us(double q) const;
-
- private:
-  std::array<std::atomic<std::uint64_t>, 65> buckets_{};
 };
 
 class QueryServer {
@@ -155,6 +136,19 @@ class QueryServer {
   /// socket; counters are updated exactly as for a network request.
   std::string handle_request(std::string_view line);
 
+  /// Prometheus text exposition for the METRICS verb: the process-global
+  /// registry (pipeline, snapshot, trie families) followed by this server's
+  /// own registry, terminated by a "# EOF" line so clients reading the
+  /// newline-delimited wire protocol know where the multi-line body ends.
+  /// Also usable without a socket.
+  std::string metrics_text() const;
+
+  /// This server's private registry (sublet_serve_* families). Each
+  /// QueryServer owns its own so multiple servers in one process keep
+  /// independent counters; exported by metrics_text() after the global
+  /// registry.
+  const obs::MetricsRegistry& registry() const { return registry_; }
+
  private:
   void accept_loop();
   void handle_connection(int fd);
@@ -180,16 +174,22 @@ class QueryServer {
   mutable std::mutex conns_mu_;
   std::unordered_set<int> conns_;
 
-  std::atomic<std::uint64_t> requests_{0};
-  std::atomic<std::uint64_t> hits_{0};
-  std::atomic<std::uint64_t> misses_{0};
-  std::atomic<std::uint64_t> malformed_{0};
-  std::atomic<std::uint64_t> shed_{0};
-  std::atomic<std::uint64_t> timeouts_{0};
-  std::atomic<std::uint64_t> accept_retries_{0};
-  std::atomic<std::uint64_t> reloads_{0};
-  std::atomic<std::uint64_t> reload_failures_{0};
-  LatencyHistogram latency_;
+  // Per-server metrics live in an owned registry (declared before the
+  // references into it). The references are the request hot path: one
+  // relaxed fetch_add each, exactly what the old private atomics cost.
+  obs::MetricsRegistry registry_;
+  obs::Counter& requests_;
+  obs::Counter& hits_;
+  obs::Counter& misses_;
+  obs::Counter& malformed_;
+  obs::Counter& shed_;
+  obs::Counter& timeouts_;
+  obs::Counter& accept_retries_;
+  obs::Counter& reloads_;
+  obs::Counter& reload_failures_;
+  obs::Gauge& generation_gauge_;
+  obs::Gauge& active_conns_gauge_;
+  obs::Histogram& latency_;
 };
 
 }  // namespace sublet::serve

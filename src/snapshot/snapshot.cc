@@ -10,6 +10,8 @@
 #include <fstream>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/binio.h"
 #include "util/faultinject.h"
 
@@ -104,16 +106,45 @@ struct SectionView {
 
 }  // namespace
 
+namespace {
+
+struct LoadMetrics {
+  obs::Counter& loads;
+  obs::Counter& load_failures;
+};
+
+LoadMetrics& load_metrics() {
+  static LoadMetrics metrics{
+      obs::MetricsRegistry::global().counter(
+          "sublet_snapshot_loads_total", "Snapshot files opened and parsed"),
+      obs::MetricsRegistry::global().counter(
+          "sublet_snapshot_load_failures_total",
+          "Snapshot opens rejected (I/O error, corruption, bad header)")};
+  return metrics;
+}
+
+const bool g_load_metrics_registered = (load_metrics(), true);
+
+}  // namespace
+
 Expected<Snapshot> Snapshot::open(const std::string& path, Mode mode) {
+  obs::ScopedSpan span("snapshot.load");
   auto buffer = mode == Mode::kMap ? Buffer::map_file(path)
                                    : Buffer::read_file(path);
-  if (!buffer) return buffer.error();
+  if (!buffer) {
+    load_metrics().load_failures.add(1);
+    return buffer.error();
+  }
   auto snap = parse(std::move(*buffer));
   if (!snap) {
+    load_metrics().load_failures.add(1);
     Error error = snap.error();
     error.source = path;
     return error;
   }
+  load_metrics().loads.add(1);
+  span.add_bytes(snap->file_bytes());
+  span.add_records(snap->record_count());
   return snap;
 }
 

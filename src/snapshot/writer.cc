@@ -11,6 +11,8 @@
 #include <utility>
 
 #include "netbase/prefix_trie.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "snapshot/format.h"
 #include "util/binio.h"
 #include "util/faultinject.h"
@@ -55,6 +57,8 @@ struct SectionEntry {
 
 std::vector<std::uint8_t> encode_snapshot(
     const std::vector<leasing::LeaseInference>& inferences) {
+  obs::ScopedSpan span("snapshot.encode");
+  span.add_records(inferences.size());
   StringPool strings;
   strings.intern(std::string());  // id 0 = empty string
   std::vector<std::uint32_t> asn_pool;
@@ -183,10 +187,39 @@ bool write_fully(int fd, const std::uint8_t* data, std::size_t size) {
 
 }  // namespace
 
+namespace {
+
+struct WriteMetrics {
+  obs::Counter& writes;
+  obs::Counter& write_bytes;
+  obs::Counter& write_failures;
+};
+
+WriteMetrics& write_metrics() {
+  static WriteMetrics metrics{
+      obs::MetricsRegistry::global().counter(
+          "sublet_snapshot_writes_total",
+          "Snapshot files published (write + fsync + rename)"),
+      obs::MetricsRegistry::global().counter(
+          "sublet_snapshot_write_bytes_total",
+          "Bytes written into published snapshot files"),
+      obs::MetricsRegistry::global().counter(
+          "sublet_snapshot_write_failures_total",
+          "Snapshot publishes aborted by I/O errors")};
+  return metrics;
+}
+
+const bool g_write_metrics_registered = (write_metrics(), true);
+
+}  // namespace
+
 void write_snapshot_file(
     const std::string& path,
     const std::vector<leasing::LeaseInference>& inferences) {
+  obs::ScopedSpan span("snapshot.write");
   std::vector<std::uint8_t> bytes = encode_snapshot(inferences);
+  span.add_bytes(bytes.size());
+  span.add_records(inferences.size());
   // Crash-safe publish: write <path>.tmp, fsync, then rename into place.
   // A crash (or injected fault) at any step leaves the previous snapshot
   // at `path` untouched — a reader never sees a truncated file.
@@ -194,6 +227,7 @@ void write_snapshot_file(
   int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
                   0644);
   if (fd < 0) {
+    write_metrics().write_failures.add(1);
     throw std::runtime_error("cannot write " + tmp + ": " +
                              std::strerror(errno));
   }
@@ -201,6 +235,7 @@ void write_snapshot_file(
     int saved = errno;
     ::close(fd);
     ::unlink(tmp.c_str());
+    write_metrics().write_failures.add(1);
     throw std::runtime_error(what + " " + tmp + ": " +
                              std::strerror(saved));
   };
@@ -226,9 +261,12 @@ void write_snapshot_file(
   if (rc != 0) {
     int saved = errno;
     ::unlink(tmp.c_str());
+    write_metrics().write_failures.add(1);
     throw std::runtime_error("cannot rename " + tmp + " to " + path + ": " +
                              std::strerror(saved));
   }
+  write_metrics().writes.add(1);
+  write_metrics().write_bytes.add(bytes.size());
   // Make the rename itself durable (best-effort: some filesystems refuse
   // O_RDONLY directory fsync, and the data is already safe at `path`).
   std::string dir = path;

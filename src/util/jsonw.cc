@@ -1,8 +1,8 @@
-#include "serve/json.h"
+#include "util/jsonw.h"
 
 #include <cstdio>
 
-namespace sublet::serve {
+namespace sublet {
 
 std::string json_escape(std::string_view s) {
   std::string out;
@@ -38,4 +38,4 @@ JsonWriter& JsonWriter::value(double v) {
   return *this;
 }
 
-}  // namespace sublet::serve
+}  // namespace sublet

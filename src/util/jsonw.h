@@ -1,0 +1,99 @@
+// Minimal JSON emission shared by the serving wire protocol and the
+// structured logger (docs/SERVING.md, docs/OBSERVABILITY.md).
+//
+// Emitted payloads are single-line JSON objects; the codebase only ever
+// *writes* JSON, so a tiny append-only builder is all that is needed (no
+// parser, no DOM). Lived in src/serve/ until the observability layer also
+// needed it; serve/json.h re-exports the old names.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sublet {
+
+/// Escape per RFC 8259: quote, backslash, and control characters.
+std::string json_escape(std::string_view s);
+
+/// Append-only single-line JSON object/array builder. Keys and values are
+/// emitted in call order; the caller is responsible for nesting balance.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array(std::string_view key) {
+    return this->key(key).open('[');
+  }
+  JsonWriter& end_array() { return close(']'); }
+
+  JsonWriter& key(std::string_view k) {
+    comma();
+    out_ += '"';
+    out_ += json_escape(k);
+    out_ += "\":";
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    comma();
+    out_ += '"';
+    out_ += json_escape(v);
+    out_ += '"';
+    return *this;
+  }
+  // Without this, a string literal converts to bool (the built-in pointer
+  // conversion beats the string_view user conversion) and "X" comes out as
+  // `true`.
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(double v);
+
+  /// Verbatim append of pre-rendered JSON (e.g. a number with custom
+  /// precision). The caller guarantees `raw` is valid JSON in context.
+  JsonWriter& raw_value(std::string_view raw) {
+    comma();
+    out_ += raw;
+    return *this;
+  }
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  JsonWriter& open(char c) {
+    comma();
+    out_ += c;
+    first_ = true;
+    return *this;
+  }
+  JsonWriter& close(char c) {
+    out_ += c;
+    first_ = false;
+    return *this;
+  }
+  void comma() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;  // value follows its key directly
+    }
+    if (!first_ && !out_.empty()) out_ += ',';
+    first_ = false;
+  }
+
+  std::string out_;
+  bool first_ = true;
+  bool pending_value_ = false;
+};
+
+}  // namespace sublet

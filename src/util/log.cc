@@ -1,12 +1,27 @@
 #include "util/log.h"
 
+#include <unistd.h>
+
 #include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+
+#include "util/jsonw.h"
 
 namespace sublet {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+LogFormat initial_format() {
+  const char* env = std::getenv("SUBLET_LOG_JSON");
+  if (env && *env && std::string_view(env) != "0") return LogFormat::kJson;
+  return LogFormat::kText;
+}
+
+std::atomic<LogFormat> g_format{initial_format()};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -18,14 +33,105 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+const char* level_name_lower(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+/// UTC wall-clock timestamp with millisecond precision, RFC 3339 shaped.
+std::string timestamp_utc() {
+  using namespace std::chrono;
+  auto now = system_clock::now();
+  auto secs = time_point_cast<seconds>(now);
+  auto millis =
+      duration_cast<milliseconds>(now - secs).count();
+  std::time_t t = system_clock::to_time_t(now);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[80];  // worst-case tm fields stay within the format's 78 bytes
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(millis));
+  return buf;
+}
+
+/// One write(2) for the whole line: concurrent loggers (ThreadPool
+/// workers, the server's accept loop) never interleave partial lines the
+/// way a multi-part fprintf could. Short writes are continued — for the
+/// line lengths logging produces they effectively never happen on a
+/// console, file, or pipe.
+void emit(std::string line) {
+  line += '\n';
+  const char* data = line.data();
+  std::size_t left = line.size();
+  while (left > 0) {
+    ssize_t n = ::write(STDERR_FILENO, data, left);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // stderr is gone; nothing sensible to do
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+bool passes(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(g_level.load());
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+void set_log_format(LogFormat format) { g_format.store(format); }
+LogFormat log_format() { return g_format.load(); }
+
 void log_line(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  if (!passes(level)) return;
+  log_structured(level, {}, message, {});
+}
+
+void log_structured(
+    LogLevel level, std::string_view component, const std::string& message,
+    const std::vector<std::pair<std::string, std::string>>& fields) {
+  if (!passes(level)) return;
+  if (g_format.load() == LogFormat::kJson) {
+    JsonWriter json;
+    json.begin_object();
+    json.key("ts").value(timestamp_utc());
+    json.key("level").value(level_name_lower(level));
+    if (!component.empty()) json.key("component").value(component);
+    json.key("msg").value(message);
+    for (const auto& [key, value] : fields) {
+      json.key(key).value(value);
+    }
+    json.end_object();
+    emit(json.take());
+    return;
+  }
+  std::string line = "[";
+  line += level_name(level);
+  line += "] ";
+  if (!component.empty()) {
+    line += component;
+    line += ": ";
+  }
+  line += message;
+  for (const auto& [key, value] : fields) {
+    line += ' ';
+    line += key;
+    line += '=';
+    line += value;
+  }
+  emit(std::move(line));
 }
 
 }  // namespace sublet

@@ -1,31 +1,69 @@
-// Minimal leveled logger.
+// Minimal leveled logger with an opt-in structured (JSON) output format
+// (docs/OBSERVABILITY.md).
 //
 // Parsers log per-record diagnostics at kDebug, pipeline stage summaries at
 // kInfo, and recoverable data problems at kWarn. There is intentionally no
 // kFatal: fatal conditions throw.
+//
+// Two formats, selected process-wide:
+//  - kText (default): the historical "[LEVEL] message" stderr lines;
+//  - kJson: one JSON object per line with ts/level/component/msg plus any
+//    key=value fields attached via .kv(). Also enabled by setting the
+//    SUBLET_LOG_JSON environment variable to anything but "" or "0".
+//
+// Existing SUBLET_LOG(level) call sites are unchanged; SUBLET_LOGC adds a
+// component tag and .kv("key", value) structured fields:
+//
+//   SUBLET_LOGC(kInfo, "serve").kv("port", port) << "listening";
+//
+// Every line is emitted with a single write(2) so concurrent ThreadPool
+// workers never interleave partial lines.
 #pragma once
 
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 namespace sublet {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+enum class LogFormat { kText = 0, kJson = 1 };
 
 /// Process-wide minimum level; defaults to kWarn so library users are quiet
 /// by default. Benches/examples raise it to kInfo.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Process-wide output format. The initial value honors SUBLET_LOG_JSON.
+void set_log_format(LogFormat format);
+LogFormat log_format();
+
 /// Emit one line to stderr if `level` passes the threshold.
 void log_line(LogLevel level, const std::string& message);
+
+/// Structured emission: `component` may be empty; `fields` are appended as
+/// key=value (text) or extra JSON members (json), in call order.
+void log_structured(
+    LogLevel level, std::string_view component, const std::string& message,
+    const std::vector<std::pair<std::string, std::string>>& fields);
 
 namespace detail {
 /// Stream-style log statement: destructor emits the line.
 class LogMessage {
  public:
   explicit LogMessage(LogLevel level) : level_(level) {}
-  ~LogMessage() { log_line(level_, stream_.str()); }
+  LogMessage(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogMessage() {
+    if (component_.empty() && fields_.empty()) {
+      log_line(level_, stream_.str());
+    } else {
+      log_structured(level_, component_, stream_.str(), fields_);
+    }
+  }
   LogMessage(const LogMessage&) = delete;
   LogMessage& operator=(const LogMessage&) = delete;
 
@@ -35,8 +73,20 @@ class LogMessage {
     return *this;
   }
 
+  /// Attach one structured field. Values are stringified with the same
+  /// stream formatting as the message body.
+  template <typename T>
+  LogMessage& kv(std::string_view key, const T& value) {
+    std::ostringstream s;
+    s << value;
+    fields_.emplace_back(std::string(key), s.str());
+    return *this;
+  }
+
  private:
   LogLevel level_;
+  std::string component_;
+  std::vector<std::pair<std::string, std::string>> fields_;
   std::ostringstream stream_;
 };
 }  // namespace detail
@@ -44,3 +94,5 @@ class LogMessage {
 }  // namespace sublet
 
 #define SUBLET_LOG(level) ::sublet::detail::LogMessage(::sublet::LogLevel::level)
+#define SUBLET_LOGC(level, component) \
+  ::sublet::detail::LogMessage(::sublet::LogLevel::level, component)

@@ -1,8 +1,12 @@
 #include "whoisdb/alloc_tree.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace sublet::whois {
 
 AllocationTree AllocationTree::build(const WhoisDb& db, AllocOptions options) {
+  obs::ScopedSpan span("alloc_tree.build");
   AllocationTree tree;
   // Collect (prefix, block) pairs in parse order and bulk-build the trie in
   // one freeze() pass. freeze() keeps the last occurrence of a duplicate
@@ -31,6 +35,14 @@ AllocationTree AllocationTree::build(const WhoisDb& db, AllocOptions options) {
   for (auto& [prefix, value] : tree.trie_.leaves()) {
     tree.leaves_.emplace_back(prefix, *value);
   }
+  span.add_records(tree.leaves_.size());
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("sublet_alloc_tree_builds_total",
+              "Allocation trie freeze passes")
+      .add(1);
+  reg.gauge("sublet_alloc_tree_leaves",
+            "Leaf allocations in the most recent trie build")
+      .set(static_cast<std::int64_t>(tree.leaves_.size()));
   return tree;
 }
 

@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <streambuf>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rpsl/rpsl.h"
 #include "util/parallel.h"
 #include "util/strings.h"
@@ -16,6 +18,53 @@
 namespace sublet::whois {
 
 namespace {
+
+// ------------------------------------------------------------- metrics ----
+
+struct RirParseMetrics {
+  obs::Counter& records;     ///< blocks + aut-nums + orgs added to the db
+  obs::Counter& paragraphs;  ///< objects the RPSL parser produced
+  obs::Counter& errors;      ///< parse/consume diagnostics
+};
+
+std::string rir_label(Rir rir) {
+  std::string lower;
+  for (char c : rir_name(rir)) {
+    lower += static_cast<char>(c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c);
+  }
+  return lower;
+}
+
+RirParseMetrics& parse_metrics(Rir rir) {
+  static std::array<RirParseMetrics, kAllRirs.size()> metrics = [] {
+    auto& reg = obs::MetricsRegistry::global();
+    auto make = [&](Rir r) {
+      std::string label = rir_label(r);
+      return RirParseMetrics{
+          reg.counter(
+              obs::labeled("sublet_whois_records_total", "rir", label),
+              "WHOIS records (address blocks, aut-nums, orgs) parsed"),
+          reg.counter(
+              obs::labeled("sublet_whois_paragraphs_total", "rir", label),
+              "WHOIS paragraph objects consumed by the parser"),
+          reg.counter(
+              obs::labeled("sublet_whois_parse_errors_total", "rir", label),
+              "WHOIS parse and consume diagnostics"),
+      };
+    };
+    return std::array<RirParseMetrics, kAllRirs.size()>{
+        make(Rir::kRipe), make(Rir::kArin), make(Rir::kApnic),
+        make(Rir::kAfrinic), make(Rir::kLacnic)};
+  }();
+  return metrics[static_cast<std::size_t>(rir)];
+}
+
+/// Register the per-RIR families at program start so a process that never
+/// parses (e.g. `sublet serve` on a snapshot) still exports them at zero.
+const bool g_parse_metrics_registered = [] {
+  for (Rir rir : kAllRirs) parse_metrics(rir);
+  return true;
+}();
 
 void note(std::vector<Error>* diagnostics, Error error) {
   if (diagnostics) diagnostics->push_back(std::move(error));
@@ -246,16 +295,32 @@ void parse_slice(std::string_view text, Rir rir, WhoisDb& db,
       static_cast<std::size_t>(std::count(text.begin(), text.end(), '\n'));
   db.reserve(lines / 8, lines / 32);
 
+  std::size_t blocks_before = db.blocks().size();
+  std::size_t autnums_before = db.autnums().size();
+  std::size_t orgs_before = db.all_orgs().size();
+  std::size_t consume_diags_before = consume_diags ? consume_diags->size() : 0;
+  std::size_t paragraphs = 0;
+
   ViewBuf buf(text);
   std::istream in(&buf);
   rpsl::Parser parser(in, source, line_offset);
   while (auto obj = parser.next()) {
+    ++paragraphs;
     consume_object(*obj, rir, db, source, consume_diags);
   }
   if (parser_diags) {
     parser_diags->insert(parser_diags->end(), parser.diagnostics().begin(),
                          parser.diagnostics().end());
   }
+
+  RirParseMetrics& metrics = parse_metrics(rir);
+  metrics.paragraphs.add(paragraphs);
+  metrics.records.add((db.blocks().size() - blocks_before) +
+                      (db.autnums().size() - autnums_before) +
+                      (db.all_orgs().size() - orgs_before));
+  std::size_t errors = parser.diagnostics().size();
+  if (consume_diags) errors += consume_diags->size() - consume_diags_before;
+  metrics.errors.add(errors);
 }
 
 struct Slice {
@@ -297,6 +362,8 @@ struct SliceResult {
 
 WhoisDb parse_whois_text(std::string_view text, Rir rir, std::string source,
                          std::vector<Error>* diagnostics, unsigned threads) {
+  obs::ScopedSpan span("whois.parse");
+  span.add_bytes(text.size());
   unsigned t = par::resolve_threads(threads);
   // Below ~2 slices of 16 KiB the fan-out costs more than it saves.
   constexpr std::size_t kMinSliceBytes = 1 << 14;
@@ -312,16 +379,24 @@ WhoisDb parse_whois_text(std::string_view text, Rir rir, std::string source,
       diagnostics->insert(diagnostics->end(), parser_diags.begin(),
                           parser_diags.end());
     }
+    span.add_records(db.blocks().size() + db.autnums().size());
     return db;
   }
 
   auto slices = split_paragraph_slices(text, max_slices);
+  // Chunk spans run on pool threads: hand them the stage span explicitly so
+  // they nest under it in the trace.
+  obs::SpanId parse_span = span.id();
   auto results = par::parallel_map(
       slices,
       [&](const Slice& slice) {
+        obs::ScopedSpan chunk("whois.parse.chunk", parse_span);
+        chunk.add_bytes(slice.text.size());
         SliceResult result{WhoisDb(rir), {}, {}};
         parse_slice(slice.text, rir, result.db, source, slice.line_offset,
                     &result.consume_diags, &result.parser_diags);
+        chunk.add_records(result.db.blocks().size() +
+                          result.db.autnums().size());
         return result;
       },
       t);
@@ -345,6 +420,7 @@ WhoisDb parse_whois_text(std::string_view text, Rir rir, std::string source,
                           result.parser_diags.end());
     }
   }
+  span.add_records(db.blocks().size() + db.autnums().size());
   return db;
 }
 
@@ -357,14 +433,29 @@ WhoisDb parse_whois_db(std::istream& in, Rir rir, std::string source,
     return parse_whois_text(buffer.view(), rir, std::move(source),
                             diagnostics, t);
   }
+  obs::ScopedSpan span("whois.parse");
   WhoisDb db(rir);
+  std::size_t paragraphs = 0;
+  std::size_t consume_diags_before = diagnostics ? diagnostics->size() : 0;
   rpsl::Parser parser(in, source);
   while (auto obj = parser.next()) {
+    ++paragraphs;
     consume_object(*obj, rir, db, source, diagnostics);
   }
   if (diagnostics) {
     for (const auto& d : parser.diagnostics()) diagnostics->push_back(d);
   }
+  RirParseMetrics& metrics = parse_metrics(rir);
+  metrics.paragraphs.add(paragraphs);
+  metrics.records.add(db.blocks().size() + db.autnums().size() +
+                      db.all_orgs().size());
+  std::size_t errors = parser.diagnostics().size();
+  if (diagnostics) {
+    errors += diagnostics->size() - consume_diags_before -
+              parser.diagnostics().size();
+  }
+  metrics.errors.add(errors);
+  span.add_records(db.blocks().size() + db.autnums().size());
   return db;
 }
 

@@ -1,0 +1,497 @@
+// Observability layer tests (docs/OBSERVABILITY.md): metric primitives,
+// registry semantics (idempotent registration, collision sinks, fault
+// injection), Prometheus text exposition, span tracing, structured JSON
+// logging, and the tsan-targeted concurrency suites (snapshot under
+// concurrent increments; no torn log lines).
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/faultinject.h"
+#include "util/log.h"
+
+namespace sublet::obs {
+namespace {
+
+/// Restore the metrics kill switch even when an assertion bails out early.
+struct MetricsEnabledGuard {
+  explicit MetricsEnabledGuard(bool on) { set_metrics_enabled(on); }
+  ~MetricsEnabledGuard() { set_metrics_enabled(true); }
+};
+
+// --- primitives ---
+
+TEST(ObsCounter, AddValueReset) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("c_total", "help");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(3);
+  EXPECT_EQ(c.value(), 4u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsCounter, KillSwitchDropsUpdates) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("c_total");
+  {
+    MetricsEnabledGuard off(false);
+    c.add(100);
+    EXPECT_EQ(c.value(), 0u);  // reads still work, updates are dropped
+  }
+  c.add(1);
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(ObsGauge, SetAndAdd) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("g");
+  g.set(7);
+  g.add(-2);
+  EXPECT_EQ(g.value(), 5);
+  {
+    MetricsEnabledGuard off(false);
+    g.set(99);
+    EXPECT_EQ(g.value(), 5);
+  }
+}
+
+TEST(ObsHistogram, PowerOfTwoBuckets) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("h");
+  h.record(0);     // bucket 0
+  h.record(1);     // bucket 1: [1, 2)
+  h.record(2);     // bucket 2: [2, 4)
+  h.record(3);     // bucket 2
+  h.record(1024);  // bucket 11: [1024, 2048)
+  HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_EQ(snap.sum, 1030u);
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.buckets[1], 1u);
+  EXPECT_EQ(snap.buckets[2], 2u);
+  EXPECT_EQ(snap.buckets[11], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 1030u);
+}
+
+TEST(ObsHistogram, QuantileIsBucketMidpoint) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("h");
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // empty
+  h.record(0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // zero bucket
+  Histogram& h2 = registry.histogram("h2");
+  for (int i = 0; i < 10; ++i) h2.record(1024);
+  // All mass in [1024, 2048): every quantile is the midpoint 1536.
+  EXPECT_EQ(h2.quantile(0.5), 1536.0);
+  EXPECT_EQ(h2.quantile(0.99), 1536.0);
+}
+
+TEST(ObsHistogram, BucketUpperBounds) {
+  EXPECT_EQ(Histogram::bucket_upper_bound(0), 0u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(1), 1u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(5), 31u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(64), ~std::uint64_t{0});
+}
+
+// --- registry semantics ---
+
+TEST(ObsRegistry, RegistrationIsIdempotent) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("dup_total", "first help");
+  Counter& b = registry.counter("dup_total", "second help");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(registry.size(), 1u);
+  // Help is kept from the first registration that provided one.
+  EXPECT_EQ(registry.snapshot()[0].help, "first help");
+}
+
+TEST(ObsRegistry, LateHelpFillsEmpty) {
+  MetricsRegistry registry;
+  registry.counter("c_total");
+  registry.counter("c_total", "late help");
+  EXPECT_EQ(registry.snapshot()[0].help, "late help");
+}
+
+TEST(ObsRegistry, TypeCollisionReturnsUnexportedSink) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("clash", "a counter");
+  c.add(5);
+  // Re-registering the same name as a gauge is a caller bug: the call site
+  // gets a working sink, the original metric is untouched and the registry
+  // does not grow.
+  Gauge& sink = registry.gauge("clash");
+  sink.set(123);
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(c.value(), 5u);
+  std::vector<MetricValue> snap = registry.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].type, MetricType::kCounter);
+  EXPECT_EQ(snap[0].counter_value, 5u);
+  // The sink is process-wide: a second collision resolves to the same one.
+  EXPECT_EQ(&registry.gauge("clash"), &sink);
+}
+
+TEST(ObsRegistryFault, InjectedRegistrationCollision) {
+  if (!fault::enabled()) GTEST_SKIP() << "fault injection compiled out";
+  fault::disarm_all();
+  MetricsRegistry registry;
+  {
+    fault::ScopedFault f("obs.register", EIO, /*skip=*/0, /*times=*/1);
+    Counter& sink = registry.counter("faulted_total", "never exported");
+    EXPECT_EQ(f.trips(), 1u);
+    sink.add(7);  // must be usable even though the registration failed
+    EXPECT_EQ(registry.size(), 0u);
+  }
+  // With the fault disarmed, the same name registers normally.
+  Counter& real = registry.counter("faulted_total", "now exported");
+  real.add(1);
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.snapshot()[0].counter_value, 1u);
+}
+
+TEST(ObsRegistry, LabeledBuildsEscapedName) {
+  EXPECT_EQ(labeled("fam", "rir", "ripe"), "fam{rir=\"ripe\"}");
+  EXPECT_EQ(label_escape("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+  EXPECT_EQ(labeled("fam", "k", "v\"x"), "fam{k=\"v\\\"x\"}");
+}
+
+// --- Prometheus text exposition ---
+
+TEST(ObsPrometheus, FamiliesAreGroupedInFirstSeenOrder) {
+  MetricsRegistry registry;
+  // Interleave registrations across two families: exposition must still
+  // emit one # TYPE header per family with all its samples beneath it.
+  registry.counter(labeled("fam_a_total", "rir", "ripe"), "family A").add(1);
+  registry.gauge("fam_b", "family B").set(-3);
+  registry.counter(labeled("fam_a_total", "rir", "arin")).add(2);
+  std::string text = registry.prometheus_text();
+  std::string expected =
+      "# HELP fam_a_total family A\n"
+      "# TYPE fam_a_total counter\n"
+      "fam_a_total{rir=\"ripe\"} 1\n"
+      "fam_a_total{rir=\"arin\"} 2\n"
+      "# HELP fam_b family B\n"
+      "# TYPE fam_b gauge\n"
+      "fam_b -3\n";
+  EXPECT_EQ(text, expected);
+}
+
+TEST(ObsPrometheus, HelpIsEscaped) {
+  MetricsRegistry registry;
+  registry.counter("c_total", "line1\nline2 \\ backslash");
+  std::string text = registry.prometheus_text();
+  EXPECT_NE(text.find("# HELP c_total line1\\nline2 \\\\ backslash\n"),
+            std::string::npos);
+}
+
+TEST(ObsPrometheus, HistogramExpandsToCumulativeBuckets) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram(labeled("lat_ns", "op", "lpm"), "lat");
+  h.record(0);
+  h.record(1);
+  h.record(3);
+  std::string text = registry.prometheus_text();
+  std::string expected =
+      "# HELP lat_ns lat\n"
+      "# TYPE lat_ns histogram\n"
+      "lat_ns_bucket{op=\"lpm\",le=\"0\"} 1\n"
+      "lat_ns_bucket{op=\"lpm\",le=\"1\"} 2\n"
+      "lat_ns_bucket{op=\"lpm\",le=\"3\"} 3\n"
+      "lat_ns_bucket{op=\"lpm\",le=\"+Inf\"} 3\n"
+      "lat_ns_sum{op=\"lpm\"} 4\n"
+      "lat_ns_count{op=\"lpm\"} 3\n";
+  EXPECT_EQ(text, expected);
+}
+
+TEST(ObsPrometheus, EmptyHistogramEmitsOnlyInfSumCount) {
+  MetricsRegistry registry;
+  registry.histogram("empty_ns");
+  std::string text = registry.prometheus_text();
+  std::string expected =
+      "# TYPE empty_ns histogram\n"
+      "empty_ns_bucket{le=\"+Inf\"} 0\n"
+      "empty_ns_sum 0\n"
+      "empty_ns_count 0\n";
+  EXPECT_EQ(text, expected);
+}
+
+// --- concurrency (run under the tsan preset) ---
+
+TEST(ObsConcurrency, SnapshotUnderConcurrentIncrements) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("hammer_total");
+  Histogram& h = registry.histogram("hammer_ns");
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  std::atomic<bool> stop{false};
+  // Scrape continuously while writers hammer: snapshots must be readable
+  // mid-flight (values are relaxed, per-metric monotonic).
+  std::thread reader([&] {
+    std::uint64_t last = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      std::uint64_t seen = 0;
+      for (const MetricValue& v : registry.snapshot()) {
+        if (v.name == "hammer_total") seen = v.counter_value;
+      }
+      EXPECT_GE(seen, last);
+      last = seen;
+      std::string text = registry.prometheus_text();
+      EXPECT_NE(text.find("# TYPE hammer_total counter"), std::string::npos);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        c.add(1);
+        h.record(static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(ObsConcurrency, ConcurrentRegistrationSameName) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      seen[static_cast<std::size_t>(t)] =
+          &registry.counter("raced_total", "racy");
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(t)], seen[0]);
+  }
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+// --- tracing ---
+
+/// Enable the global tracer for one test; restores disabled + empty.
+struct TracerGuard {
+  TracerGuard() {
+    Tracer::global().clear();
+    Tracer::global().set_enabled(true);
+  }
+  ~TracerGuard() {
+    Tracer::global().set_enabled(false);
+    Tracer::global().clear();
+  }
+};
+
+TEST(ObsTrace, SpansNestOnOneThread) {
+  TracerGuard guard;
+  SpanId outer_id = 0;
+  {
+    ScopedSpan outer("outer");
+    outer_id = outer.id();
+    EXPECT_TRUE(outer.active());
+    EXPECT_EQ(Tracer::current(), outer_id);
+    {
+      ScopedSpan inner("inner");
+      EXPECT_EQ(Tracer::current(), inner.id());
+      inner.add_bytes(10);
+      inner.add_records(3);
+    }
+    EXPECT_EQ(Tracer::current(), outer_id);
+    outer.add_bytes(100);
+  }
+  EXPECT_EQ(Tracer::current(), SpanId{0});
+  std::vector<SpanRecord> spans = Tracer::global().spans();
+  ASSERT_EQ(spans.size(), 2u);  // completion order: inner first
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[0].parent, outer_id);
+  EXPECT_EQ(spans[0].bytes, 10u);
+  EXPECT_EQ(spans[0].records, 3u);
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[1].parent, SpanId{0});
+  EXPECT_EQ(spans[1].bytes, 100u);
+}
+
+TEST(ObsTrace, ExplicitParentCrossesThreads) {
+  TracerGuard guard;
+  SpanId parent_id = 0;
+  {
+    ScopedSpan stage("stage");
+    parent_id = stage.id();
+    std::thread worker([parent = stage.id()] {
+      ScopedSpan chunk("stage.chunk", parent);
+      EXPECT_TRUE(chunk.active());
+    });
+    worker.join();
+  }
+  std::vector<SpanRecord> spans = Tracer::global().spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "stage.chunk");
+  EXPECT_EQ(spans[0].parent, parent_id);
+  // Worker thread got its own small ordinal, distinct from the main thread.
+  EXPECT_NE(spans[0].tid, spans[1].tid);
+}
+
+TEST(ObsTrace, DisabledTracerIsInert) {
+  Tracer::global().set_enabled(false);
+  Tracer::global().clear();
+  {
+    ScopedSpan span("ghost");
+    EXPECT_FALSE(span.active());
+    EXPECT_EQ(span.id(), SpanId{0});
+  }
+  EXPECT_EQ(Tracer::global().span_count(), 0u);
+}
+
+TEST(ObsTrace, ChromeTraceJsonShape) {
+  TracerGuard guard;
+  {
+    ScopedSpan span("alpha.stage");
+    span.add_bytes(42);
+  }
+  std::string json = Tracer::global().chrome_trace_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"alpha.stage\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"bytes\":42"), std::string::npos);
+
+  std::string path = testing::TempDir() + "/sublet_obs_trace_" +
+                     std::to_string(::getpid()) + ".json";
+  ASSERT_TRUE(Tracer::global().write_chrome_trace(path));
+  std::ifstream in(path);
+  std::stringstream file_contents;
+  file_contents << in.rdbuf();
+  EXPECT_EQ(file_contents.str(), json + "\n");  // file gets a final newline
+  ::unlink(path.c_str());
+}
+
+// --- structured logging ---
+
+/// Redirect stderr (fd 2) to a temp file for the guard's lifetime, so the
+/// single-write(2) contract can be checked byte-for-byte.
+struct StderrCapture {
+  StderrCapture() {
+    path = testing::TempDir() + "/sublet_obs_log_" +
+           std::to_string(::getpid()) + ".txt";
+    file = std::fopen(path.c_str(), "w+");
+    saved_fd = ::dup(STDERR_FILENO);
+    ::dup2(::fileno(file), STDERR_FILENO);
+  }
+  ~StderrCapture() {
+    restore();
+    std::fclose(file);
+    ::unlink(path.c_str());
+  }
+  void restore() {
+    if (saved_fd < 0) return;
+    ::dup2(saved_fd, STDERR_FILENO);
+    ::close(saved_fd);
+    saved_fd = -1;
+  }
+  std::string contents() {
+    restore();
+    std::ifstream in(path);
+    std::stringstream out;
+    out << in.rdbuf();
+    return out.str();
+  }
+
+  std::string path;
+  std::FILE* file = nullptr;
+  int saved_fd = -1;
+};
+
+/// Restore level + format after a test that changes them.
+struct LogConfigGuard {
+  LogLevel level = log_level();
+  LogFormat format = log_format();
+  ~LogConfigGuard() {
+    set_log_level(level);
+    set_log_format(format);
+  }
+};
+
+TEST(ObsLogJson, OneJsonObjectPerLine) {
+  LogConfigGuard config;
+  set_log_level(LogLevel::kInfo);
+  set_log_format(LogFormat::kJson);
+  StderrCapture capture;
+  SUBLET_LOGC(kInfo, "serve").kv("port", 8080).kv("q", "a\"b") << "listening";
+  std::string out = capture.contents();
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.front(), '{');
+  EXPECT_EQ(out.back(), '\n');
+  EXPECT_NE(out.find("\"ts\":\""), std::string::npos);
+  EXPECT_NE(out.find("\"level\":\"info\""), std::string::npos);
+  EXPECT_NE(out.find("\"component\":\"serve\""), std::string::npos);
+  EXPECT_NE(out.find("\"msg\":\"listening\""), std::string::npos);
+  EXPECT_NE(out.find("\"port\":\"8080\""), std::string::npos);
+  EXPECT_NE(out.find("\"q\":\"a\\\"b\""), std::string::npos);
+}
+
+TEST(ObsLogJson, TextFormatKeepsHistoricalShape) {
+  LogConfigGuard config;
+  set_log_level(LogLevel::kInfo);
+  set_log_format(LogFormat::kText);
+  StderrCapture capture;
+  SUBLET_LOGC(kInfo, "obs").kv("n", 3) << "hello";
+  SUBLET_LOG(kInfo) << "plain";
+  std::string out = capture.contents();
+  EXPECT_NE(out.find("[INFO] obs: hello n=3\n"), std::string::npos);
+  EXPECT_NE(out.find("[INFO] plain\n"), std::string::npos);
+}
+
+TEST(ObsLogConcurrency, NoTornLinesAcrossThreads) {
+  LogConfigGuard config;
+  set_log_level(LogLevel::kInfo);
+  set_log_format(LogFormat::kText);
+  constexpr int kThreads = 8;
+  constexpr int kLines = 200;
+  // Long payloads maximize the window a multi-part writer would have to
+  // interleave; the single-write(2) contract says it never happens.
+  const std::string pad(120, 'x');
+  StderrCapture capture;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kLines; ++i) {
+        SUBLET_LOGC(kInfo, "worker")
+                .kv("thread", t)
+                .kv("line", i)
+            << pad;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::string out = capture.contents();
+  std::istringstream lines(out);
+  std::string line;
+  int complete = 0;
+  const std::string prefix = "[INFO] worker: " + pad + " thread=";
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.rfind(prefix, 0), 0u) << "torn line: " << line;
+    EXPECT_NE(line.find(" line="), std::string::npos) << "torn line: " << line;
+    ++complete;
+  }
+  EXPECT_EQ(complete, kThreads * kLines);
+}
+
+}  // namespace
+}  // namespace sublet::obs

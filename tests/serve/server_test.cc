@@ -13,6 +13,7 @@
 
 #include "leasing/dataset.h"
 #include "leasing/pipeline.h"
+#include "obs/metrics.h"
 #include "leasing/report.h"
 #include "serve/client.h"
 #include "serve/engine_state.h"
@@ -122,6 +123,95 @@ TEST(ServeProtocol, StatsCountersAdvance) {
   std::string json = rig.server->handle_request("STATS");
   EXPECT_NE(json.find("\"requests\":4"), std::string::npos);
   EXPECT_NE(json.find("\"p99_us\":"), std::string::npos);
+}
+
+TEST(ServeProtocol, MetricsVerbReturnsPrometheusText) {
+  Rig rig(sample());
+  rig.server->handle_request("EXACT 10.0.0.0/24");
+  std::string text = rig.server->handle_request("METRICS");
+  EXPECT_NE(text.find("# TYPE sublet_serve_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("sublet_serve_hits_total 1"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE sublet_serve_latency_ns histogram"),
+            std::string::npos);
+  // Global pipeline/snapshot families are exported too, even when zero.
+  EXPECT_NE(text.find("sublet_snapshot_loads_total"), std::string::npos);
+  // The body is framed for the newline-delimited wire protocol.
+  EXPECT_EQ(text.substr(text.size() - 5), "# EOF");
+}
+
+// Differential check for the registry migration: every STATS field must be
+// derivable from the server's metrics registry, and the latency quantiles
+// must reproduce the historical LatencyHistogram bucket-midpoint estimate
+// bit for bit.
+TEST(ServeStatsDifferential, StatsJsonDerivesFromRegistry) {
+  Rig rig(sample());
+  rig.server->handle_request("EXACT 10.0.0.0/24");   // hit
+  rig.server->handle_request("LPM 10.0.3.9");        // hit
+  rig.server->handle_request("EXACT 192.0.2.0/24");  // miss
+  rig.server->handle_request("BOGUS");               // malformed
+  StatsSnapshot stats = rig.server->stats();
+  std::vector<obs::MetricValue> values = rig.server->registry().snapshot();
+  auto counter = [&](std::string_view name) -> std::uint64_t {
+    for (const obs::MetricValue& v : values) {
+      if (v.name == name) return v.counter_value;
+    }
+    ADD_FAILURE() << "registry is missing " << name;
+    return ~std::uint64_t{0};
+  };
+  EXPECT_EQ(stats.requests, counter("sublet_serve_requests_total"));
+  EXPECT_EQ(stats.hits, counter("sublet_serve_hits_total"));
+  EXPECT_EQ(stats.misses, counter("sublet_serve_misses_total"));
+  EXPECT_EQ(stats.malformed, counter("sublet_serve_malformed_total"));
+  EXPECT_EQ(stats.shed, counter("sublet_serve_shed_total"));
+  EXPECT_EQ(stats.timeouts, counter("sublet_serve_timeouts_total"));
+  EXPECT_EQ(stats.accept_retries,
+            counter("sublet_serve_accept_retries_total"));
+  EXPECT_EQ(stats.reloads, counter("sublet_serve_reloads_total"));
+  EXPECT_EQ(stats.reload_failures,
+            counter("sublet_serve_reload_failures_total"));
+
+  obs::HistogramSnapshot latency;
+  bool found_latency = false;
+  for (const obs::MetricValue& v : values) {
+    if (v.name == "sublet_serve_latency_ns") {
+      latency = v.histogram;
+      found_latency = true;
+    }
+  }
+  ASSERT_TRUE(found_latency);
+  EXPECT_EQ(latency.count, stats.requests);
+  // Independent reimplementation of the pre-registry LatencyHistogram
+  // quantile: midpoint of the power-of-two bucket holding the target rank,
+  // nanoseconds scaled to microseconds. Exact double equality is the test.
+  auto legacy_quantile_us = [&](double q) -> double {
+    if (latency.count == 0) return 0.0;
+    auto target =
+        static_cast<std::uint64_t>(q * static_cast<double>(latency.count));
+    if (target >= latency.count) target = latency.count - 1;
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < latency.buckets.size(); ++b) {
+      seen += latency.buckets[b];
+      if (seen > target) {
+        if (b == 0) return 0.0;
+        return 1.5 * static_cast<double>(std::uint64_t{1} << (b - 1)) /
+               1000.0;
+      }
+    }
+    return 0.0;
+  };
+  EXPECT_EQ(stats.p50_us, legacy_quantile_us(0.50));
+  EXPECT_EQ(stats.p99_us, legacy_quantile_us(0.99));
+}
+
+TEST(ServeStatsDifferential, MultipleServersKeepIndependentCounters) {
+  Rig a(sample());
+  Rig b(sample());
+  a.server->handle_request("EXACT 10.0.0.0/24");
+  a.server->handle_request("EXACT 10.0.1.0/24");
+  b.server->handle_request("EXACT 10.0.0.0/24");
+  EXPECT_EQ(a.server->stats().requests, 2u);
+  EXPECT_EQ(b.server->stats().requests, 1u);
 }
 
 TEST(ServeProtocol, ShutdownRequestsStop) {

@@ -46,6 +46,21 @@ if(NOT STEP_OUTPUT MATCHES "inferred leased")
   message(FATAL_ERROR "infer produced no summary: ${STEP_OUTPUT}")
 endif()
 
+# --- observability: --trace-json writes a Chrome trace with the pipeline
+# stage spans (docs/OBSERVABILITY.md) ---
+run_step("${SUBLET_BIN}" --trace-json "${DATA}/trace.json" --log-json
+         infer "${DATA}" -o "${DATA}/leases-traced.csv")
+file(READ "${DATA}/trace.json" TRACE_JSON)
+if(NOT TRACE_JSON MATCHES "\"traceEvents\"")
+  message(FATAL_ERROR "trace file is not Chrome trace JSON: ${TRACE_JSON}")
+endif()
+foreach(span "dataset.load" "whois.parse" "rib.load" "alloc_tree.build"
+        "classify")
+  if(NOT TRACE_JSON MATCHES "\"name\":\"${span}\"")
+    message(FATAL_ERROR "trace is missing the ${span} stage span")
+  endif()
+endforeach()
+
 run_step("${SUBLET_BIN}" evaluate "${DATA}")
 if(NOT STEP_OUTPUT MATCHES "precision")
   message(FATAL_ERROR "evaluate printed no metrics: ${STEP_OUTPUT}")
@@ -196,6 +211,21 @@ if(SH_BIN)
   run_step("${SUBLET_BIN}" query "127.0.0.1:${PORT}" 20.0.0.0/24)
   if(NOT STEP_OUTPUT MATCHES "\"found\":true")
     message(FATAL_ERROR "server stopped serving after a bad RELOAD: ${STEP_OUTPUT}")
+  endif()
+
+  # METRICS: Prometheus text covering the serve, snapshot, and pipeline
+  # families (pipeline families are pre-registered at zero in a serve-only
+  # process), framed by the "# EOF" terminator line.
+  run_step("${SUBLET_BIN}" query "127.0.0.1:${PORT}" --metrics)
+  foreach(family "sublet_serve_requests_total" "sublet_serve_latency_ns"
+          "sublet_snapshot_loads_total" "sublet_classify_leaves_total"
+          "sublet_whois_records_total")
+    if(NOT STEP_OUTPUT MATCHES "# TYPE ${family}")
+      message(FATAL_ERROR "METRICS missing family ${family}: ${STEP_OUTPUT}")
+    endif()
+  endforeach()
+  if(NOT STEP_OUTPUT MATCHES "# EOF")
+    message(FATAL_ERROR "METRICS body not terminated by # EOF")
   endif()
 
   run_step("${SUBLET_BIN}" query "127.0.0.1:${PORT}" --stats --shutdown)

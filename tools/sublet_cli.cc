@@ -22,6 +22,7 @@
 #include "asgraph/as_graph.h"
 #include "bgp/origin_tracker.h"
 #include "mrt/bgpdump_text.h"
+#include "obs/trace.h"
 #include "leasing/abuse_analysis.h"
 #include "leasing/dataset.h"
 #include "leasing/evaluation.h"
@@ -48,9 +49,12 @@ namespace {
 
 int usage() {
   std::cerr <<
-      "usage: sublet [--threads N] <command> [args]\n"
-      "  --threads N   worker threads for parse/load/classify/emit\n"
-      "                (default: hardware concurrency; 1 = serial)\n"
+      "usage: sublet [--threads N] [--trace-json F] [--log-json] <command> [args]\n"
+      "  --threads N     worker threads for parse/load/classify/emit\n"
+      "                  (default: hardware concurrency; 1 = serial)\n"
+      "  --trace-json F  write a Chrome trace-viewer span file for the run\n"
+      "                  (docs/OBSERVABILITY.md)\n"
+      "  --log-json      one-line JSON log records instead of [LEVEL] text\n"
       "  generate <dir> [--scale S] [--seed N]   emit a synthetic dataset\n"
       "  infer <dataset> [-o leases.csv]         classify and export\n"
       "  explain <dataset> <prefix>...           per-prefix walkthrough\n"
@@ -70,7 +74,7 @@ int usage() {
       "                                          prefix-query server (see\n"
       "                                          docs/SERVING.md and\n"
       "                                          docs/ROBUSTNESS.md)\n"
-      "  query <host:port> [--lpm|--stats|--health|--shutdown]\n"
+      "  query <host:port> [--lpm|--stats|--health|--metrics|--shutdown]\n"
       "        [--reload <path.snap>] [--timeout-ms N] [--retries N]\n"
       "        <prefix>...                       one-shot loopback client\n";
   return 2;
@@ -480,6 +484,7 @@ int cmd_serve(const std::vector<std::string>& args) {
 int cmd_query(const std::vector<std::string>& args) {
   if (args.empty()) return usage();
   bool lpm = false, stats = false, health = false, shutdown = false;
+  bool metrics = false;
   std::optional<std::string> reload_path;
   serve::QueryClient::Timeouts timeouts;
   serve::QueryClient::RetryPolicy retry;
@@ -493,6 +498,8 @@ int cmd_query(const std::vector<std::string>& args) {
       stats = true;
     } else if (arg == "--health") {
       health = true;
+    } else if (arg == "--metrics") {
+      metrics = true;
     } else if (arg == "--shutdown") {
       shutdown = true;
     } else if (arg == "--reload") {
@@ -535,7 +542,8 @@ int cmd_query(const std::vector<std::string>& args) {
   }
   std::string host = rest[0].substr(0, colon);
   std::vector<std::string> prefixes(rest.begin() + 1, rest.end());
-  if (prefixes.empty() && !stats && !health && !reload_path && !shutdown) {
+  if (prefixes.empty() && !stats && !health && !metrics && !reload_path &&
+      !shutdown) {
     return usage();
   }
   auto port16 = static_cast<std::uint16_t>(*port);
@@ -563,6 +571,20 @@ int cmd_query(const std::vector<std::string>& args) {
   if (reload_path && !round_trip("RELOAD " + *reload_path)) return 1;
   if (health && !round_trip("HEALTH")) return 1;
   if (stats && !round_trip("STATS")) return 1;
+  if (metrics) {
+    // METRICS is the one multi-line verb: read until the "# EOF" line.
+    auto client = serve::QueryClient::connect(host, port16, timeouts);
+    if (!client) {
+      std::cerr << client.error().to_string() << "\n";
+      return 1;
+    }
+    auto body = client->request_multiline("METRICS");
+    if (!body) {
+      std::cerr << body.error().to_string() << "\n";
+      return 1;
+    }
+    std::cout << *body;
+  }
   if (shutdown && !round_trip("SHUTDOWN")) return 1;
   return 0;
 }
@@ -571,8 +593,9 @@ int cmd_query(const std::vector<std::string>& args) {
 
 int main(int argc, char** argv) {
   set_log_level(LogLevel::kWarn);
-  // Global --threads flag: accepted anywhere, consumed before dispatch.
+  // Global flags: accepted anywhere, consumed before dispatch.
   std::vector<std::string> all(argv + 1, argv + argc);
+  std::optional<std::string> trace_path;
   for (std::size_t i = 0; i < all.size();) {
     std::optional<std::uint32_t> threads;
     if (all[i] == "--threads" && i + 1 < all.size()) {
@@ -590,31 +613,57 @@ int main(int argc, char** argv) {
         return 2;
       }
       all.erase(all.begin() + static_cast<std::ptrdiff_t>(i));
+    } else if (all[i] == "--trace-json" && i + 1 < all.size()) {
+      trace_path = all[i + 1];
+      all.erase(all.begin() + static_cast<std::ptrdiff_t>(i),
+                all.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      continue;
+    } else if (all[i].rfind("--trace-json=", 0) == 0) {
+      trace_path = all[i].substr(13);
+      all.erase(all.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
+    } else if (all[i] == "--log-json") {
+      set_log_format(LogFormat::kJson);
+      all.erase(all.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
     } else {
       ++i;
       continue;
     }
     par::set_default_threads(*threads);
   }
+  if (trace_path && trace_path->empty()) {
+    std::cerr << "--trace-json expects a file path\n";
+    return 2;
+  }
+  if (trace_path) obs::Tracer::global().set_enabled(true);
   if (all.empty()) return usage();
   std::string command = all[0];
   std::vector<std::string> args(all.begin() + 1, all.end());
+  int rc = -1;
   try {
-    if (command == "generate") return cmd_generate(args);
-    if (command == "infer") return cmd_infer(args);
-    if (command == "explain") return cmd_explain(args);
-    if (command == "evaluate") return cmd_evaluate(args);
-    if (command == "abuse") return cmd_abuse(args);
-    if (command == "timeline") return cmd_timeline(args);
-    if (command == "churn") return cmd_churn(args);
-    if (command == "report") return cmd_report(args);
-    if (command == "dump") return cmd_dump(args);
-    if (command == "snapshot") return cmd_snapshot(args);
-    if (command == "serve") return cmd_serve(args);
-    if (command == "query") return cmd_query(args);
+    if (command == "generate") rc = cmd_generate(args);
+    else if (command == "infer") rc = cmd_infer(args);
+    else if (command == "explain") rc = cmd_explain(args);
+    else if (command == "evaluate") rc = cmd_evaluate(args);
+    else if (command == "abuse") rc = cmd_abuse(args);
+    else if (command == "timeline") rc = cmd_timeline(args);
+    else if (command == "churn") rc = cmd_churn(args);
+    else if (command == "report") rc = cmd_report(args);
+    else if (command == "dump") rc = cmd_dump(args);
+    else if (command == "snapshot") rc = cmd_snapshot(args);
+    else if (command == "serve") rc = cmd_serve(args);
+    else if (command == "query") rc = cmd_query(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    rc = 1;
   }
-  return usage();
+  if (rc == -1) return usage();
+  // Spans are flushed even when the command failed — a trace of the run up
+  // to the failure is exactly what the flag is for.
+  if (trace_path &&
+      !obs::Tracer::global().write_chrome_trace(*trace_path)) {
+    std::cerr << "warning: could not write trace to " << *trace_path << "\n";
+  }
+  return rc;
 }
