@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <span>
 #include <thread>
 #include <type_traits>
 
@@ -242,6 +243,160 @@ void BM_TrieCoveringWalkLegacy(benchmark::State& state) {
   trie_covering_walk<LegacyPrefixTrie<int>>(state);
 }
 BENCHMARK(BM_TrieCoveringWalkLegacy)->Arg(10000)->Arg(100000);
+
+// ---------------------------------------------------------------------------
+// DIR-24-8 stride table (docs/PERF.md): single-address LPM through the flat
+// table, and the prefetched batch entry point vs a plain lookup loop.
+// ---------------------------------------------------------------------------
+
+const PrefixTrie<int>& stride_trie(std::size_t n) {
+  static std::map<std::size_t, PrefixTrie<int>> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    it = cache.emplace(n, PrefixTrie<int>::freeze(trie_workload(n).entries,
+                                                  TrieStride::kBuild))
+             .first;
+  }
+  return it->second;
+}
+
+std::vector<std::uint32_t> stride_addrs(std::size_t n) {
+  std::vector<std::uint32_t> addrs;
+  const auto& queries = trie_workload(n).queries;
+  addrs.reserve(queries.size());
+  for (const Prefix& q : queries) addrs.push_back(q.network().value());
+  return addrs;
+}
+
+/// Single-address LPM through the stride table. The ">= 5M lookups/s
+/// single-thread" acceptance bar is enforced here: the rate is re-measured
+/// outside the benchmark loop (best of three passes over the query stream)
+/// so the judgment is not polluted by per-iteration timer overhead.
+void BM_LpmStride(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const PrefixTrie<int>& trie = stride_trie(n);
+  const std::vector<std::uint32_t> addrs = stride_addrs(n);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.lpm_handle(addrs[i % addrs.size()]));
+    ++i;
+  }
+  using clock = std::chrono::steady_clock;
+  constexpr int kPasses = 16;  // ~128k lookups per timed sample
+  double best_ns = 1e18;
+  for (int round = 0; round < 3; ++round) {
+    std::uint64_t sink = 0;
+    auto t0 = clock::now();
+    for (int pass = 0; pass < kPasses; ++pass) {
+      for (std::uint32_t addr : addrs) sink += trie.lpm_handle(addr);
+    }
+    auto t1 = clock::now();
+    benchmark::DoNotOptimize(sink);
+    best_ns = std::min(
+        best_ns,
+        static_cast<double>(std::chrono::nanoseconds(t1 - t0).count()));
+  }
+  const double lookups = static_cast<double>(kPasses) *
+                         static_cast<double>(addrs.size());
+  const double rate = lookups / (best_ns / 1e9);
+  state.counters["lookups_per_s"] = rate;
+  state.counters["mem_mb"] = static_cast<double>(trie.memory_bytes()) / 1e6;
+  state.counters["peak_rss_mb"] = bench::peak_rss_megabytes();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  if (rate < 5e6) {
+    state.SkipWithError("stride LPM is under 5M lookups/s single-thread");
+  }
+}
+BENCHMARK(BM_LpmStride)->Arg(100000)->Arg(1000000);
+
+/// Batched prefetched lookups vs the same addresses through the
+/// single-lookup loop. The speedup counter is a median of paired rounds
+/// (alternating order) so scheduler noise on a small box hits both sides
+/// of each pair; the acceptance check — batch must not be slower — runs at
+/// the largest batch size, where prefetch has the most misses to hide.
+void BM_LpmBatch(benchmark::State& state) {
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  const PrefixTrie<int>& trie = stride_trie(100000);
+  // A ~1M-address uniform pool touches ~1M distinct first-level table
+  // lines (~64 MiB) as the samples stream through it — far beyond L2, so
+  // the timed passes measure the cache-miss regime batching exists for,
+  // not a loop over a few thousand hot lines (where a prefetch is pure
+  // overhead and always loses).
+  constexpr std::size_t kPool = std::size_t{1} << 20;
+  static std::vector<std::uint32_t> pool;
+  if (pool.empty()) {
+    pool.resize(kPool);
+    Rng rng(314159);
+    for (auto& a : pool) a = static_cast<std::uint32_t>(rng.next_u64());
+  }
+  std::vector<std::uint32_t> out(batch);
+  std::size_t cursor = 0;
+  auto next_span = [&] {
+    if (cursor + batch > kPool) cursor = 0;
+    std::span<const std::uint32_t> s(pool.data() + cursor, batch);
+    cursor += batch;
+    return s;
+  };
+  for (auto _ : state) {
+    trie.lookup_batch(next_span(), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  using clock = std::chrono::steady_clock;
+  // Each timed sample resolves 64k addresses from a fresh pool region;
+  // chunking keeps the per-call span at the benchmarked batch size.
+  constexpr std::size_t kLookupsPerSample = std::size_t{1} << 16;
+  const std::size_t chunks = kLookupsPerSample / batch;
+  auto batch_ns = [&] {
+    auto t0 = clock::now();
+    for (std::size_t c = 0; c < chunks; ++c) {
+      trie.lookup_batch(next_span(), out);
+    }
+    auto t1 = clock::now();
+    benchmark::DoNotOptimize(out.data());
+    return static_cast<double>(std::chrono::nanoseconds(t1 - t0).count());
+  };
+  auto single_ns = [&] {
+    auto t0 = clock::now();
+    for (std::size_t c = 0; c < chunks; ++c) {
+      std::span<const std::uint32_t> s = next_span();
+      for (std::size_t j = 0; j < batch; ++j) {
+        out[j] = trie.lpm_handle(s[j]);
+      }
+    }
+    auto t1 = clock::now();
+    benchmark::DoNotOptimize(out.data());
+    return static_cast<double>(std::chrono::nanoseconds(t1 - t0).count());
+  };
+  constexpr int kRounds = 41;
+  std::vector<double> ratios;
+  double best_batch = 1e18, best_single = 1e18;
+  for (int round = 0; round < kRounds; ++round) {
+    double b, s;
+    if (round % 2 == 0) {
+      b = batch_ns();
+      s = single_ns();
+    } else {
+      s = single_ns();
+      b = batch_ns();
+    }
+    ratios.push_back(s / b);
+    best_batch = std::min(best_batch, b);
+    best_single = std::min(best_single, s);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  const double speedup = ratios[ratios.size() / 2];
+  const double count = static_cast<double>(kLookupsPerSample);
+  state.counters["batch_ns_per_lookup"] = best_batch / count;
+  state.counters["single_ns_per_lookup"] = best_single / count;
+  state.counters["batch_speedup"] = speedup;
+  state.counters["peak_rss_mb"] = bench::peak_rss_megabytes();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+  if (state.range(0) >= 4096 && speedup < 1.0) {
+    state.SkipWithError("batched lookup is slower than the single loop");
+  }
+}
+BENCHMARK(BM_LpmBatch)->Arg(256)->Arg(4096);
 
 void BM_WorldGeneration(benchmark::State& state) {
   auto config = config_for(static_cast<int>(state.range(0)));
@@ -676,6 +831,83 @@ void BM_ServeReloadUnderLoad(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(reloads));
 }
 BENCHMARK(BM_ServeReloadUnderLoad)->Unit(benchmark::kMillisecond);
+
+bool aggregates_equal(const serve::QueryEngine::SnapshotAggregate& a,
+                      const serve::QueryEngine::SnapshotAggregate& b) {
+  for (std::size_t g = 0; g < a.groups.size(); ++g) {
+    if (a.groups[g].records != b.groups[g].records ||
+        a.groups[g].addresses != b.groups[g].addresses) {
+      return false;
+    }
+  }
+  for (std::size_t r = 0; r < a.rir_records.size(); ++r) {
+    if (a.rir_records[r] != b.rir_records[r]) return false;
+  }
+  return a.leased_records == b.leased_records &&
+         a.leased_addresses == b.leased_addresses &&
+         a.top_origins == b.top_origins;
+}
+
+/// The STATS columnar aggregation: SIMD pass timed in the benchmark loop,
+/// and a paired SIMD-vs-scalar comparison (median of alternating rounds)
+/// recorded as counters. The two passes must agree bit for bit on the
+/// bench dataset before any timing counts — a divergence aborts the row.
+void BM_StatsSimd(benchmark::State& state) {
+  const auto& files =
+      snapshot_bench_files(static_cast<std::size_t>(state.range(0)));
+  auto snap = snapshot::Snapshot::open(files.snap,
+                                       snapshot::Snapshot::Mode::kRead);
+  if (!snap) {
+    state.SkipWithError("snapshot load failed");
+    return;
+  }
+  auto engine = serve::QueryEngine::create(&*snap);
+  if (!engine) {
+    state.SkipWithError("engine build failed");
+    return;
+  }
+  if (!aggregates_equal(engine->aggregate(), engine->aggregate_scalar())) {
+    state.SkipWithError("SIMD aggregate diverges from the scalar pass");
+    return;
+  }
+  for (auto _ : state) {
+    auto agg = engine->aggregate();
+    benchmark::DoNotOptimize(agg);
+  }
+  using clock = std::chrono::steady_clock;
+  auto time_ns = [&](bool use_simd) {
+    auto t0 = clock::now();
+    auto agg = use_simd ? engine->aggregate() : engine->aggregate_scalar();
+    auto t1 = clock::now();
+    benchmark::DoNotOptimize(agg);
+    return static_cast<double>(std::chrono::nanoseconds(t1 - t0).count());
+  };
+  constexpr int kRounds = 41;
+  std::vector<double> ratios;
+  double best_simd = 1e18, best_scalar = 1e18;
+  for (int round = 0; round < kRounds; ++round) {
+    double v, s;
+    if (round % 2 == 0) {
+      v = time_ns(true);
+      s = time_ns(false);
+    } else {
+      s = time_ns(false);
+      v = time_ns(true);
+    }
+    ratios.push_back(s / v);
+    best_simd = std::min(best_simd, v);
+    best_scalar = std::min(best_scalar, s);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  state.counters["records"] = static_cast<double>(snap->record_count());
+  state.counters["simd_us"] = best_simd / 1e3;
+  state.counters["scalar_us"] = best_scalar / 1e3;
+  state.counters["simd_speedup"] = ratios[ratios.size() / 2];
+  state.counters["peak_rss_mb"] = bench::peak_rss_megabytes();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(snap->record_count()));
+}
+BENCHMARK(BM_StatsSimd)->Arg(10000)->Arg(100000);
 
 // ---------------------------------------------------------------------------
 // Observability overhead + per-stage trace summaries (docs/OBSERVABILITY.md).

@@ -71,10 +71,18 @@ class LegacyPrefixTrie {
   std::vector<std::pair<Prefix, const T*>> all_covering(
       const Prefix& prefix) const {
     std::vector<std::pair<Prefix, const T*>> out;
+    all_covering(prefix, out);
+    return out;
+  }
+
+  /// Out-param variant mirroring PrefixTrie's, so differential tests can
+  /// exercise both tries through the same call shape.
+  void all_covering(const Prefix& prefix,
+                    std::vector<std::pair<Prefix, const T*>>& out) const {
+    out.clear();
     walk_path(prefix, [&](const Prefix& p, const Node& n) {
       out.emplace_back(p, &*n.value);
     });
-    return out;
   }
 
   /// All entries covered by `prefix` (strictly more specific; excludes the

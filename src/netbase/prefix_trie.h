@@ -43,10 +43,19 @@
 
 namespace sublet {
 
+/// Whether freeze()/from_arena() should also build the DIR-24-8 stride
+/// table (64 MiB of first-level array; serve-path adoption wants it, the
+/// inference pipeline's short-lived tries do not).
+enum class TrieStride { kOff, kBuild };
+
 template <typename T>
 class PrefixTrie {
  public:
   PrefixTrie() { nodes_.push_back(Node{}); }  // arena slot 0 is the /0 root
+
+  /// Sentinel handle returned by lpm_handle()/lookup_batch() when no entry
+  /// covers the queried address.
+  static constexpr std::uint32_t kNoEntry = 0xFFFFFFFFu;
 
   /// Pre-size the arena for `entries` prefixes (at most one fork per entry).
   void reserve(std::size_t entries) {
@@ -58,7 +67,8 @@ class PrefixTrie {
   /// maintaining the rightmost path as a stack — no per-entry root-down
   /// descent. Duplicate prefixes keep the last occurrence, matching
   /// repeated `insert` overwrite semantics.
-  static PrefixTrie freeze(std::vector<std::pair<Prefix, T>> entries) {
+  static PrefixTrie freeze(std::vector<std::pair<Prefix, T>> entries,
+                           TrieStride stride = TrieStride::kOff) {
     std::stable_sort(
         entries.begin(), entries.end(),
         [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -109,6 +119,7 @@ class PrefixTrie {
       stack[++depth] = leaf;
     }
     trie.build_jump_table();
+    if (stride == TrieStride::kBuild) trie.build_stride_table();
     return trie;
   }
 
@@ -116,6 +127,8 @@ class PrefixTrie {
   /// stored value (valid until the next insert/freeze).
   T& insert(const Prefix& prefix, T value) {
     jump_.clear();  // structure changes; the fast path would be stale
+    stride24_ = {};  // drop (not clear) the stride table: release its 64 MiB
+    stride8_ = {};
     const std::uint32_t key = prefix.network().value();
     const int len = prefix.length();
     std::uint32_t cur = 0;
@@ -153,6 +166,20 @@ class PrefixTrie {
 
   /// Value stored exactly at `prefix`, or nullptr.
   T* find(const Prefix& prefix) {
+    if (!stride24_.empty()) {
+      // Stride fast path: the deepest valued covering entry decides exact
+      // matches too. Shallower than the query => nothing sits exactly at
+      // the query (a valued node there would cover it); equal length =>
+      // that node IS the exact match (covering at equal length means equal
+      // keys). Only a *deeper* cover forces the Patricia walk, because an
+      // unvalued-or-valued node may still sit exactly at the query prefix.
+      const std::uint32_t e =
+          stride_resolve(prefix.network().value(), prefix.length());
+      if (e == kNil) return nullptr;
+      const int el = len_of(nodes_[e]);
+      if (el < prefix.length()) return nullptr;
+      if (el == prefix.length()) return &values_[slot_of(nodes_[e])];
+    }
     const std::uint32_t idx = locate(prefix);
     if (idx == kNil || slot_of(nodes_[idx]) == kNoSlot) return nullptr;
     return &values_[slot_of(nodes_[idx])];
@@ -168,6 +195,15 @@ class PrefixTrie {
       const Prefix& prefix) const {
     const std::uint32_t key = prefix.network().value();
     const int len = prefix.length();
+    if (!stride24_.empty()) {
+      // DIR-24-8 fast path: one or two array loads. The stored entry is
+      // the deepest valued node covering the address; it answers the query
+      // outright unless it is deeper than the query length (then the true
+      // answer is some shallower ancestor — fall through to the walk).
+      const std::uint32_t e = stride_resolve(key, len);
+      if (e == kNil) return std::nullopt;
+      if (len_of(nodes_[e]) <= len) return entry_at(e);
+    }
     std::uint32_t best = kNil;
     if (!jump_.empty() && len >= kJumpBits) {
       const JumpEntry& e = jump_[key >> (32 - kJumpBits)];
@@ -206,12 +242,21 @@ class PrefixTrie {
   std::vector<std::pair<Prefix, const T*>> all_covering(
       const Prefix& prefix) const {
     std::vector<std::pair<Prefix, const T*>> out;
+    all_covering(prefix, out);
+    return out;
+  }
+
+  /// Out-param variant for hot paths: clears and refills `out`, so a caller
+  /// with a reused scratch vector pays zero allocations once the vector has
+  /// grown to its steady-state capacity.
+  void all_covering(const Prefix& prefix,
+                    std::vector<std::pair<Prefix, const T*>>& out) const {
+    out.clear();
     walk_path(prefix.network().value(), prefix.length(),
               [&](std::uint32_t idx) {
                 out.emplace_back(prefix_of(nodes_[idx]),
                                  &values_[slot_of(nodes_[idx])]);
               });
-    return out;
   }
 
   /// Precompute the level-compressed fast path for covering queries: one
@@ -226,6 +271,82 @@ class PrefixTrie {
   void build_jump_table() {
     jump_.assign(std::size_t{1} << kJumpBits, JumpEntry{});
     fill_jump(0, kNil, kNil);
+  }
+
+  // ---- DIR-24-8 stride table (docs/PERF.md) -----------------------------
+  //
+  // A flat 2^24-entry first-level array answers covering queries for every
+  // address whose deepest match is <= /24 in a single load; buckets that
+  // contain longer masks point at a second-level 256-slot chunk (one more
+  // load). Entries are node handles into the arena — the trie stays the
+  // single source of truth, the table is a read-only index over it.
+
+  /// Precompute the stride table. Like the jump table this is a frozen-trie
+  /// accelerator: any later `insert` drops it (rebuild when mutation
+  /// stops). Costs 64 MiB for the first level plus ~1 KiB per bucket that
+  /// holds >24-bit prefixes, which is why the inference pipeline's
+  /// short-lived tries skip it (TrieStride::kOff) and the serve adoption
+  /// path builds it (TrieStride::kBuild).
+  void build_stride_table() {
+    assert(nodes_.size() < kChunkFlag);
+    stride24_.assign(std::size_t{1} << 24, kNil);
+    stride8_.clear();
+    fill_stride(0);
+  }
+
+  bool has_stride_table() const { return !stride24_.empty(); }
+
+  /// Longest-prefix-match handle for a /32 address: at most two dependent
+  /// loads, never a trie walk (a /32 query cannot be shadowed by a deeper
+  /// entry). Returns kNoEntry when nothing covers the address. Requires
+  /// has_stride_table().
+  std::uint32_t lpm_handle(std::uint32_t addr) const {
+    assert(has_stride_table());
+    return stride_resolve(addr, 32);
+  }
+
+  /// Batched LPM over /32 addresses, software-prefetched: first-level lines
+  /// are prefetched kPrefetchAhead keys ahead, and second-level chunk slots
+  /// are prefetched in pass one and resolved in pass two, so a batch never
+  /// stalls on a dependent cache miss the way a lookup-per-call loop does.
+  /// Writes one handle (or kNoEntry) per address; allocation-free.
+  /// Requires has_stride_table() and out.size() >= addrs.size().
+  void lookup_batch(std::span<const std::uint32_t> addrs,
+                    std::span<std::uint32_t> out) const {
+    assert(has_stride_table() && out.size() >= addrs.size());
+    // Distance and locality were tuned on an L2-cold uniform address
+    // stream: 32 keys ahead buys enough lead time to cover an L2/L3 miss
+    // at ~10ns/lookup, and locality 3 (keep in L1) beats the streaming
+    // hints because the demand load follows within a few dozen iterations.
+    constexpr std::size_t kPrefetchAhead = 32;
+    const std::size_t n = addrs.size();
+    std::size_t chunked = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i + kPrefetchAhead < n) {
+        __builtin_prefetch(&stride24_[addrs[i + kPrefetchAhead] >> 8],
+                           /*rw=*/0, /*locality=*/3);
+      }
+      const std::uint32_t e = stride24_[addrs[i] >> 8];
+      out[i] = e;
+      if (e >= kChunkFlag && e != kNil) {
+        __builtin_prefetch(&stride8_[e & ~kChunkFlag].slot[addrs[i] & 0xFFu],
+                           /*rw=*/0, /*locality=*/3);
+        ++chunked;
+      }
+    }
+    if (chunked == 0) return;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t e = out[i];
+      if (e >= kChunkFlag && e != kNil) {
+        out[i] = stride8_[e & ~kChunkFlag].slot[addrs[i] & 0xFFu];
+      }
+    }
+  }
+
+  /// Materialize the (prefix, value) behind a handle returned by
+  /// lpm_handle()/lookup_batch(). The handle must not be kNoEntry.
+  std::pair<Prefix, const T*> entry(std::uint32_t handle) const {
+    return {prefix_of(nodes_[handle]), &values_[slot_of(nodes_[handle])]};
   }
 
   /// All entries covered by `prefix` (strictly more specific; excludes the
@@ -317,7 +438,8 @@ class PrefixTrie {
   /// child indices in range, prefix lengths strictly increasing downward,
   /// canonical keys, value slots in range. Returns Error, never crashes.
   static Expected<PrefixTrie> from_arena(std::span<const std::uint8_t> nodes,
-                                         std::span<const std::uint8_t> values) {
+                                         std::span<const std::uint8_t> values,
+                                         TrieStride stride = TrieStride::kOff) {
     static_assert(std::is_trivially_copyable_v<T>,
                   "arena adoption requires a trivially copyable T");
     if (nodes.size() % sizeof(Node) != 0 || nodes.empty()) {
@@ -372,18 +494,37 @@ class PrefixTrie {
     }
     trie.size_ = valued;
     trie.build_jump_table();
+    if (stride == TrieStride::kBuild) trie.build_stride_table();
     return trie;
   }
 
   /// Arena footprint, for benchmarks and capacity planning.
   std::size_t node_count() const { return nodes_.size(); }
-  std::size_t memory_bytes() const {
-    return nodes_.size() * sizeof(Node) + values_.size() * sizeof(T) +
-           jump_.size() * sizeof(JumpEntry);
+
+  /// Per-structure footprint; STATS surfaces this breakdown so capacity
+  /// planning sees where the bytes go (the stride table dominates once
+  /// built: its first level alone is 64 MiB regardless of entry count).
+  struct MemoryBreakdown {
+    std::size_t node_bytes = 0;
+    std::size_t value_bytes = 0;
+    std::size_t jump_bytes = 0;
+    std::size_t stride24_bytes = 0;
+    std::size_t stride8_bytes = 0;
+    std::size_t total() const {
+      return node_bytes + value_bytes + jump_bytes + stride24_bytes +
+             stride8_bytes;
+    }
+  };
+  MemoryBreakdown memory_breakdown() const {
+    return {nodes_.size() * sizeof(Node), values_.size() * sizeof(T),
+            jump_.size() * sizeof(JumpEntry),
+            stride24_.size() * sizeof(std::uint32_t),
+            stride8_.size() * sizeof(StrideChunk)};
   }
+  std::size_t memory_bytes() const { return memory_breakdown().total(); }
 
  private:
-  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;   // child sentinel
+  static constexpr std::uint32_t kNil = kNoEntry;      // child sentinel
   static constexpr std::uint32_t kSlotMask = (1u << 26) - 1;
   static constexpr std::uint32_t kNoSlot = kSlotMask;   // "no value" slot
 
@@ -409,6 +550,16 @@ class PrefixTrie {
     std::uint32_t start = 0;        // deepest depth<=kJumpBits covering node
     std::uint32_t shallow = kNil;   // first valued node on root..start path
     std::uint32_t deep = kNil;      // last valued node on root..start path
+  };
+
+  /// stride24_ entry encoding: kNil = no valued entry covers the bucket;
+  /// bit 31 set (and != kNil) = stride8_ chunk index in the low bits;
+  /// otherwise the handle of the deepest valued node (length <= 24)
+  /// covering the whole /24 bucket.
+  static constexpr std::uint32_t kChunkFlag = 0x80000000u;
+  struct StrideChunk {
+    std::uint32_t base = kNil;  // deepest valued <=24 cover of the bucket
+    std::uint32_t slot[256];    // deepest valued cover per address (any len)
   };
 
   static int bit_at(std::uint32_t key, int pos) {
@@ -538,6 +689,60 @@ class PrefixTrie {
     }
   }
 
+  /// Resolve the deepest valued node covering address `key` that can answer
+  /// a covering query of length `len` from the stride table: at most two
+  /// dependent loads. kNil means no valued entry covers the address at all.
+  /// A non-kNil result deeper than `len` means the query is shadowed by a
+  /// more specific entry — the caller must fall back to the trie walk (for
+  /// len == 32 that can never happen).
+  std::uint32_t stride_resolve(std::uint32_t key, int len) const {
+    std::uint32_t e = stride24_[key >> 8];
+    if (e >= kChunkFlag && e != kNil) {
+      const StrideChunk& chunk = stride8_[e & ~kChunkFlag];
+      e = len > 24 ? chunk.slot[key & 0xFFu] : chunk.base;
+    }
+    return e;
+  }
+
+  /// DFS fill for build_stride_table(). Pre-order guarantees every node is
+  /// written after all its ancestors, so deeper (more specific) entries
+  /// overwrite the sub-range their ancestors already covered:
+  ///  - a valued node with length <= 24 covers whole /24 buckets and
+  ///    range-fills the first level with its own handle;
+  ///  - a node with length > 24 lives inside exactly one bucket; the first
+  ///    such node materializes the bucket's chunk, seeding base and every
+  ///    slot with the first level's current (deepest <=24) handle, and
+  ///    valued ones then range-fill their slice of the 256 slots.
+  /// No chunk can exist inside a <=24 node's range when it writes, because
+  /// >24-bit nodes under it are all its descendants and visited later.
+  void fill_stride(std::uint32_t idx) {
+    const Node& n = nodes_[idx];
+    if (len_of(n) <= 24) {
+      if (slot_of(n) != kNoSlot) {
+        std::fill_n(stride24_.begin() + (n.key >> 8),
+                    std::size_t{1} << (24 - len_of(n)), idx);
+      }
+    } else {
+      const std::size_t bucket = n.key >> 8;
+      std::uint32_t e = stride24_[bucket];
+      if (!(e & kChunkFlag) || e == kNil) {  // first >24 node in this bucket
+        const auto chunk = static_cast<std::uint32_t>(stride8_.size());
+        stride8_.push_back(StrideChunk{});
+        stride8_.back().base = e;
+        std::fill_n(stride8_.back().slot, 256, e);
+        e = kChunkFlag | chunk;
+        stride24_[bucket] = e;
+      }
+      if (slot_of(n) != kNoSlot) {
+        std::fill_n(stride8_[e & ~kChunkFlag].slot + (n.key & 0xFFu),
+                    std::size_t{1} << (32 - len_of(n)), idx);
+      }
+    }
+    for (int side = 0; side < 2; ++side) {
+      if (n.child[side] != kNil) fill_stride(n.child[side]);
+    }
+  }
+
   /// Pre-order (node, then 0-branch, then 1-branch) == address order: a
   /// node's prefix sorts before everything below it, and the whole 0-branch
   /// sorts before the 1-branch. Depth is bounded by 33, so recursion is
@@ -582,6 +787,8 @@ class PrefixTrie {
   std::vector<Node> nodes_;
   std::vector<T> values_;
   std::vector<JumpEntry> jump_;  // empty until build_jump_table()
+  std::vector<std::uint32_t> stride24_;  // empty until build_stride_table()
+  std::vector<StrideChunk> stride8_;     // one chunk per bucket with >24 masks
   std::size_t size_ = 0;
 };
 

@@ -27,7 +27,13 @@ VrpSet VrpSet::clone() const {
 }
 
 Validity VrpSet::validate(const Prefix& prefix, Asn origin) const {
-  auto covering_entries = trie_.all_covering(prefix);
+  // validate() is the abuse analysis' hot loop: reuse a thread-local
+  // scratch vector through the out-param overload so steady state does
+  // zero allocations per call.
+  static thread_local std::vector<
+      std::pair<Prefix, const std::vector<Roa>*>>
+      covering_entries;
+  trie_.all_covering(prefix, covering_entries);
   if (covering_entries.empty()) return Validity::kNotFound;
   for (const auto& [vrp_prefix, bucket] : covering_entries) {
     for (const Roa& roa : *bucket) {

@@ -1,13 +1,181 @@
 #include "serve/query_engine.h"
 
+#include <algorithm>
+#include <unordered_map>
+
 #include "serve/json.h"
+#include "util/simd.h"
 
 namespace sublet::serve {
+
+namespace {
+
+/// How many leaf-origin ASNs the STATS aggregate ranks.
+constexpr std::size_t kTopOrigins = 8;
+
+/// One aggregation pass, templated on the primitive set so the SIMD and
+/// scalar variants share every line of control flow — any divergence
+/// between them is in util/simd.h, exactly what the differential pins.
+template <bool kUseSimd>
+QueryEngine::SnapshotAggregate run_aggregate(
+    std::span<const std::uint8_t> groups, std::span<const std::uint8_t> rirs,
+    std::span<const std::uint64_t> sizes,
+    std::span<const std::uint32_t> origins,
+    std::span<const std::uint32_t> top_asns) {
+  auto count8 = [](std::span<const std::uint8_t> keys, std::uint8_t t) {
+    if constexpr (kUseSimd) return simd::count_eq_u8(keys, t);
+    else return simd::count_eq_u8_scalar(keys, t);
+  };
+  auto count32 = [](std::span<const std::uint32_t> keys, std::uint32_t t) {
+    if constexpr (kUseSimd) return simd::count_eq_u32(keys, t);
+    else return simd::count_eq_u32_scalar(keys, t);
+  };
+  auto sum = [](std::span<const std::uint8_t> keys, std::uint8_t t,
+                std::span<const std::uint64_t> values) {
+    if constexpr (kUseSimd) return simd::masked_sum_u64(keys, t, values);
+    else return simd::masked_sum_u64_scalar(keys, t, values);
+  };
+  QueryEngine::SnapshotAggregate agg;
+  for (std::size_t g = 0; g < leasing::kAllInferenceGroups.size(); ++g) {
+    const leasing::InferenceGroup group = leasing::kAllInferenceGroups[g];
+    const auto key = static_cast<std::uint8_t>(group);
+    agg.groups[g].records = count8(groups, key);
+    agg.groups[g].addresses = sum(groups, key, sizes);
+    if (leasing::is_leased(group)) {
+      agg.leased_records += agg.groups[g].records;
+      agg.leased_addresses += agg.groups[g].addresses;
+    }
+  }
+  for (std::size_t r = 0; r < whois::kAllRirs.size(); ++r) {
+    agg.rir_records[r] =
+        count8(rirs, static_cast<std::uint8_t>(whois::kAllRirs[r]));
+  }
+  agg.top_origins.reserve(top_asns.size());
+  for (std::uint32_t asn : top_asns) {
+    agg.top_origins.emplace_back(asn, count32(origins, asn));
+  }
+  return agg;
+}
+
+}  // namespace
 
 Expected<QueryEngine> QueryEngine::create(const snapshot::Snapshot* snap) {
   auto trie = snap->build_trie();
   if (!trie) return trie.error();
-  return QueryEngine(snap, std::move(*trie));
+  QueryEngine engine(snap, std::move(*trie));
+  engine.build_columns();
+  return engine;
+}
+
+void QueryEngine::build_columns() {
+  const std::size_t n = snap_->record_count();
+  group_col_.resize(n);
+  rir_col_.resize(n);
+  size_col_.resize(n);
+  origin_col_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const snapshot::RecordRow& row = snap_->record(i);
+    group_col_[i] = row.group;
+    rir_col_[i] = row.rir;
+    size_col_[i] = std::uint64_t{1} << (32 - row.prefix_len);
+    origin_col_[i] = snap_->first_leaf_origin(row);
+  }
+  // Rank leaf-origin ASNs by record count (ties toward the smaller ASN).
+  // Only the ranking is precomputed; aggregate() recounts through the
+  // SIMD primitives so STATS always reflects a measured pass.
+  std::unordered_map<std::uint32_t, std::uint64_t> counts;
+  for (std::uint32_t asn : origin_col_) {
+    if (asn != 0) ++counts[asn];
+  }
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> ranked(counts.begin(),
+                                                              counts.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  ranked.resize(std::min(ranked.size(), kTopOrigins));
+  top_origin_asns_.reserve(ranked.size());
+  for (const auto& [asn, count] : ranked) top_origin_asns_.push_back(asn);
+}
+
+void QueryEngine::lookup_batch(std::span<const std::uint32_t> addrs,
+                               std::span<std::uint32_t> out) const {
+  if (!trie_.has_stride_table()) {
+    // Defensive fallback for engines built over a strideless trie.
+    for (std::size_t i = 0; i < addrs.size(); ++i) {
+      auto hit = trie_.most_specific_covering(
+          *Prefix::make(Ipv4Addr(addrs[i]), 32));
+      out[i] = hit ? *hit->second : kNoRecord;
+    }
+    return;
+  }
+  trie_.lookup_batch(addrs, out);
+  // The trie hands back node handles; resolve each to its record index
+  // (the stored value) in place.
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    if (out[i] != kNoRecord) out[i] = *trie_.entry(out[i]).second;
+  }
+}
+
+QueryEngine::SnapshotAggregate QueryEngine::aggregate() const {
+  return run_aggregate<true>(group_col_, rir_col_, size_col_, origin_col_,
+                             top_origin_asns_);
+}
+
+QueryEngine::SnapshotAggregate QueryEngine::aggregate_scalar() const {
+  return run_aggregate<false>(group_col_, rir_col_, size_col_, origin_col_,
+                              top_origin_asns_);
+}
+
+std::string QueryEngine::snapshot_stats_json() const {
+  const SnapshotAggregate agg = aggregate();
+  const auto mem = trie_.memory_breakdown();
+  JsonWriter json;
+  json.begin_object();
+  json.key("records").value(
+      static_cast<std::uint64_t>(snap_->record_count()));
+  json.key("lookup_backend")
+      .value(trie_.has_stride_table() ? "stride24-8" : "patricia");
+  json.key("simd_backend").value(simd::backend_name());
+  json.key("groups");
+  json.begin_object();
+  for (std::size_t g = 0; g < agg.groups.size(); ++g) {
+    json.key(leasing::group_name(leasing::kAllInferenceGroups[g]));
+    json.begin_object();
+    json.key("records").value(agg.groups[g].records);
+    json.key("addresses").value(agg.groups[g].addresses);
+    json.end_object();
+  }
+  json.end_object();
+  json.key("leased");
+  json.begin_object();
+  json.key("records").value(agg.leased_records);
+  json.key("addresses").value(agg.leased_addresses);
+  json.end_object();
+  json.key("rirs");
+  json.begin_object();
+  for (std::size_t r = 0; r < agg.rir_records.size(); ++r) {
+    json.key(whois::rir_name(whois::kAllRirs[r])).value(agg.rir_records[r]);
+  }
+  json.end_object();
+  json.key("top_origins");
+  json.begin_object();
+  for (const auto& [asn, records] : agg.top_origins) {
+    json.key(std::to_string(asn)).value(records);
+  }
+  json.end_object();
+  json.key("memory");
+  json.begin_object();
+  json.key("trie_nodes").value(static_cast<std::uint64_t>(mem.node_bytes));
+  json.key("trie_values").value(static_cast<std::uint64_t>(mem.value_bytes));
+  json.key("jump_table").value(static_cast<std::uint64_t>(mem.jump_bytes));
+  json.key("stride24").value(static_cast<std::uint64_t>(mem.stride24_bytes));
+  json.key("stride8").value(static_cast<std::uint64_t>(mem.stride8_bytes));
+  json.key("columns").value(static_cast<std::uint64_t>(columns_bytes()));
+  json.key("total").value(
+      static_cast<std::uint64_t>(mem.total() + columns_bytes()));
+  json.end_object();
+  json.end_object();
+  return json.take();
 }
 
 std::string QueryEngine::record_json(std::uint32_t idx) const {

@@ -1,27 +1,41 @@
 // In-memory query engine over a loaded snapshot.
 //
-// Wraps the adopted leaf-prefix trie and answers the two lookups the wire
-// protocol exposes: exact match and longest-prefix match, each returning
-// the record index whose full inference (evidence included) the caller can
-// materialize or render as JSON. Everything is const after construction —
+// Wraps the adopted leaf-prefix trie and answers the lookups the wire
+// protocol exposes: exact match, longest-prefix match, and batched LPM,
+// each returning the record index whose full inference (evidence included)
+// the caller can materialize or render as JSON. The adopted trie carries
+// the DIR-24-8 stride table, so single lookups take one or two array
+// loads and lookup_batch() streams software-prefetched batches. STATS
+// aggregation runs over columnar copies of the RecordRow fields via the
+// SIMD primitives in util/simd.h. Everything is const after construction —
 // one engine is shared by every server thread without locks.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "leasing/types.h"
 #include "netbase/prefix_trie.h"
 #include "snapshot/snapshot.h"
 #include "util/expected.h"
+#include "whoisdb/rir.h"
 
 namespace sublet::serve {
 
 class QueryEngine {
  public:
-  /// Build from a loaded snapshot (adopts the trie arena). The snapshot
-  /// must outlive the engine; Error if the trie section is corrupt.
+  /// Sentinel written by lookup_batch() for addresses no record covers.
+  static constexpr std::uint32_t kNoRecord =
+      PrefixTrie<std::uint32_t>::kNoEntry;
+
+  /// Build from a loaded snapshot (adopts the trie arena and builds the
+  /// stride table + aggregation columns). The snapshot must outlive the
+  /// engine; Error if the trie section is corrupt.
   static Expected<QueryEngine> create(const snapshot::Snapshot* snap);
 
   /// Record stored exactly at `prefix`.
@@ -40,6 +54,14 @@ class QueryEngine {
     return std::pair<Prefix, std::uint32_t>{hit->first, *hit->second};
   }
 
+  /// Batched longest-prefix match over /32 addresses (host-order values):
+  /// writes one record index (or kNoRecord) per address into `out`.
+  /// Allocation-free — the MLPM handler reuses its scratch buffers — and
+  /// routed through the stride table's prefetched two-pass lookup.
+  /// Requires out.size() >= addrs.size().
+  void lookup_batch(std::span<const std::uint32_t> addrs,
+                    std::span<std::uint32_t> out) const;
+
   /// Full inference record for `idx`, identical to the pipeline's output.
   leasing::LeaseInference materialize(std::uint32_t idx) const {
     return snap_->materialize(idx);
@@ -48,6 +70,47 @@ class QueryEngine {
   /// One-line JSON rendering of record `idx` (the wire response body).
   std::string record_json(std::uint32_t idx) const;
 
+  // ---- STATS aggregation (columnar, SIMD-dispatched) --------------------
+
+  struct GroupAggregate {
+    std::uint64_t records = 0;
+    std::uint64_t addresses = 0;  ///< sum of 2^(32-len) over the records
+  };
+
+  /// Whole-snapshot totals the STATS verb reports: per-group record and
+  /// address counts, per-RIR record counts, leased totals, and record
+  /// counts for the most common leaf-origin ASNs.
+  struct SnapshotAggregate {
+    std::array<GroupAggregate, leasing::kAllInferenceGroups.size()> groups{};
+    std::array<std::uint64_t, whois::kAllRirs.size()> rir_records{};
+    std::uint64_t leased_records = 0;
+    std::uint64_t leased_addresses = 0;
+    std::vector<std::pair<std::uint32_t, std::uint64_t>>
+        top_origins;  ///< (asn, records), most records first
+  };
+
+  /// Columnar pass over every record via the build's SIMD backend.
+  SnapshotAggregate aggregate() const;
+  /// Same pass pinned to the scalar primitives — the differential tests'
+  /// reference; results must match aggregate() bit-for-bit.
+  SnapshotAggregate aggregate_scalar() const;
+
+  /// One-line JSON for the STATS verb's "snapshot" section: the aggregate
+  /// plus the trie/column memory breakdown.
+  std::string snapshot_stats_json() const;
+
+  /// Trie footprint by structure (nodes, values, jump, stride levels).
+  PrefixTrie<std::uint32_t>::MemoryBreakdown trie_memory() const {
+    return trie_.memory_breakdown();
+  }
+  /// Bytes held by the aggregation columns.
+  std::size_t columns_bytes() const {
+    return group_col_.size() * sizeof(std::uint8_t) +
+           rir_col_.size() * sizeof(std::uint8_t) +
+           size_col_.size() * sizeof(std::uint64_t) +
+           origin_col_.size() * sizeof(std::uint32_t);
+  }
+
   const snapshot::Snapshot& snapshot() const { return *snap_; }
   std::size_t size() const { return trie_.size(); }
 
@@ -55,8 +118,21 @@ class QueryEngine {
   QueryEngine(const snapshot::Snapshot* snap, PrefixTrie<std::uint32_t> trie)
       : snap_(snap), trie_(std::move(trie)) {}
 
+  void build_columns();
+
   const snapshot::Snapshot* snap_;
   PrefixTrie<std::uint32_t> trie_;
+
+  // Columnar copies of the RecordRow fields STATS aggregates over; built
+  // once at create() so the per-request pass touches dense arrays instead
+  // of striding through 60-byte rows.
+  std::vector<std::uint8_t> group_col_;
+  std::vector<std::uint8_t> rir_col_;
+  std::vector<std::uint64_t> size_col_;    // addresses covered per record
+  std::vector<std::uint32_t> origin_col_;  // first leaf origin (0 = none)
+  // Most common leaf-origin ASNs (ranked at build); their counts are
+  // recomputed through the SIMD primitives on every aggregate() call.
+  std::vector<std::uint32_t> top_origin_asns_;
 };
 
 }  // namespace sublet::serve

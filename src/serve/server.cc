@@ -377,6 +377,11 @@ std::string QueryServer::handle_request(std::string_view line) {
   };
   if (iequals(verb, "STATS") && parts.size() == 1) {
     response = stats().to_json();
+    // Splice in the engine-level aggregate + memory breakdown as a
+    // trailing "snapshot" object. The counter fields stay first and
+    // unchanged so existing scrapers' substring checks keep passing.
+    const std::string snap_json = engine()->engine().snapshot_stats_json();
+    response.insert(response.size() - 1, ",\"snapshot\":" + snap_json);
   } else if (iequals(verb, "METRICS") && parts.size() == 1) {
     // The one multi-line response in the protocol; metrics_text() ends
     // with a "# EOF" line so clients know where the body stops.
@@ -406,6 +411,64 @@ std::string QueryServer::handle_request(std::string_view line) {
     response = json.take();
     stop_.store(true, std::memory_order_release);
     stop_cv_.notify_all();
+  } else if (iequals(verb, "MLPM") && parts.size() >= 2) {
+    constexpr std::size_t kMaxBatch = 1024;
+    if (parts.size() - 1 > kMaxBatch) {
+      malformed_.add(1);
+      response = error_json("batch too large (max 1024 addresses)");
+    } else {
+      // Scratch buffers are thread_local so a connection streaming MLPM
+      // lines allocates nothing once they reach steady-state capacity;
+      // the batch itself goes through the stride table's prefetched
+      // two-pass lookup instead of one dependent-miss walk per address.
+      static thread_local std::vector<std::uint32_t> addrs;
+      static thread_local std::vector<std::uint32_t> records;
+      addrs.clear();
+      std::string_view bad;
+      for (std::size_t i = 1; i < parts.size(); ++i) {
+        auto addr = Ipv4Addr::parse(parts[i]);
+        if (!addr) {
+          bad = parts[i];
+          break;
+        }
+        addrs.push_back(addr->value());
+      }
+      if (!bad.empty()) {
+        malformed_.add(1);
+        response = error_json("bad address '" + std::string(bad) + "'");
+      } else {
+        std::shared_ptr<const EngineState> state = engine();
+        records.resize(addrs.size());
+        state->engine().lookup_batch(addrs, records);
+        JsonWriter json;
+        json.begin_object();
+        json.key("count").value(static_cast<std::uint64_t>(addrs.size()));
+        json.begin_array("results");
+        for (std::size_t i = 0; i < addrs.size(); ++i) {
+          json.begin_object();
+          json.key("query").value(Ipv4Addr(addrs[i]).to_string());
+          if (records[i] == QueryEngine::kNoRecord) {
+            misses_.add(1);
+            json.key("found").value(false);
+          } else {
+            hits_.add(1);
+            const snapshot::RecordRow& row =
+                state->snapshot().record(records[i]);
+            json.key("found").value(true);
+            json.key("prefix").value(
+                state->snapshot().prefix_of(row).to_string());
+            json.key("group").value(leasing::group_name(
+                static_cast<leasing::InferenceGroup>(row.group)));
+            json.key("leased").value(leasing::is_leased(
+                static_cast<leasing::InferenceGroup>(row.group)));
+          }
+          json.end_object();
+        }
+        json.end_array();
+        json.end_object();
+        response = json.take();
+      }
+    }
   } else if ((iequals(verb, "EXACT") || iequals(verb, "LPM")) &&
              parts.size() == 2) {
     std::optional<Prefix> query = parse_query(parts[1]);
@@ -438,7 +501,7 @@ std::string QueryServer::handle_request(std::string_view line) {
     malformed_.add(1);
     response = error_json(
         "unknown request '" + std::string(verb) +
-        "' (want EXACT|LPM|STATS|HEALTH|METRICS|RELOAD|SHUTDOWN)");
+        "' (want EXACT|LPM|MLPM|STATS|HEALTH|METRICS|RELOAD|SHUTDOWN)");
   }
   const auto elapsed = std::chrono::steady_clock::now() - start;
   latency_.record(static_cast<std::uint64_t>(

@@ -6,7 +6,10 @@
 //
 //   EXACT <prefix>        record stored exactly at the prefix
 //   LPM <prefix|address>  longest-prefix match (an address means /32)
-//   STATS                 counters + latency percentiles
+//   MLPM <addr> [...]     batched LPM over up to 1024 addresses, routed
+//                         through the stride table's prefetched batch path
+//   STATS                 counters + latency percentiles + the engine's
+//                         snapshot aggregate and memory breakdown
 //   HEALTH                engine generation, snapshot path, uptime, drain
 //   RELOAD <path>         hot-swap to a freshly validated snapshot
 //   SHUTDOWN              acknowledge, then ask the owner to stop

@@ -392,8 +392,10 @@ leasing::LeaseInference Snapshot::materialize(std::size_t idx) const {
   return r;
 }
 
-Expected<PrefixTrie<std::uint32_t>> Snapshot::build_trie() const {
-  return PrefixTrie<std::uint32_t>::from_arena(trie_nodes_, trie_values_);
+Expected<PrefixTrie<std::uint32_t>> Snapshot::build_trie(
+    TrieStride stride) const {
+  return PrefixTrie<std::uint32_t>::from_arena(trie_nodes_, trie_values_,
+                                               stride);
 }
 
 }  // namespace sublet::snapshot

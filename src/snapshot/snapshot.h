@@ -73,12 +73,22 @@ class Snapshot {
     return *Prefix::make(Ipv4Addr(row.root_key), row.root_len);
   }
 
+  /// First leaf-origin ASN of `row`, 0 if the record has none — the serving
+  /// layer's columnar STATS aggregation keys "top origin" counts off this
+  /// without materializing the full record.
+  std::uint32_t first_leaf_origin(const RecordRow& row) const {
+    return row.leaf_origins_count == 0 ? 0u : asn_pool_[row.leaf_origins_off];
+  }
+
   /// Rebuild the full LeaseInference (evidence included) for record `idx`.
   leasing::LeaseInference materialize(std::size_t idx) const;
 
   /// Adopt the frozen trie arena: leaf prefix -> record index. O(sections)
-  /// bulk copy plus jump-table rebuild; no per-entry inserts.
-  Expected<PrefixTrie<std::uint32_t>> build_trie() const;
+  /// bulk copy plus jump-table rebuild; no per-entry inserts. The serving
+  /// path keeps the default and gets the DIR-24-8 stride table with it;
+  /// pass TrieStride::kOff to skip the 64 MiB table.
+  Expected<PrefixTrie<std::uint32_t>> build_trie(
+      TrieStride stride = TrieStride::kBuild) const;
 
   std::uint16_t version() const { return version_; }
   std::size_t file_bytes() const { return buffer_.bytes().size(); }

@@ -23,7 +23,14 @@ bool TransferLog::covers(const Prefix& prefix) const {
 std::vector<const Transfer*> TransferLog::covering(
     const Prefix& prefix) const {
   std::vector<const Transfer*> out;
-  for (const auto& [block, bucket] : by_prefix_.all_covering(prefix)) {
+  // Out-param overload + thread-local scratch: covering() runs once per
+  // candidate prefix in the timeline sweep, so the walk itself should not
+  // allocate (the returned vector still does, sized to real hits).
+  static thread_local std::vector<
+      std::pair<Prefix, const std::vector<std::size_t>*>>
+      scratch;
+  by_prefix_.all_covering(prefix, scratch);
+  for (const auto& [block, bucket] : scratch) {
     for (std::size_t index : *bucket) out.push_back(&transfers_[index]);
   }
   return out;

@@ -1,0 +1,253 @@
+// Compile-time-dispatched SIMD primitives for columnar aggregation
+// (docs/PERF.md "SIMD STATS").
+//
+// The serving layer keeps RecordRow fields it aggregates over in plain
+// columnar arrays (one u8 per record for group/RIR, u64 for address
+// counts, u32 for origin ASNs); these primitives give the STATS verb a
+// vectorized pass over those columns. Backend is chosen once at compile
+// time: SSE2 on x86-64 (baseline, no -m flags needed), NEON on ARM,
+// scalar everywhere else. The `_scalar` variants are always compiled and
+// always callable so differential tests can pin the SIMD results
+// bit-for-bit, and building with -DSUBLET_FORCE_SCALAR=ON (CMake option)
+// forces the dispatching wrappers onto the scalar path on any
+// architecture — that configuration runs as its own ctest variant.
+//
+// All sums are exact integer arithmetic, so "bit-for-bit identical to
+// scalar" is a hard guarantee, not a tolerance.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#if !defined(SUBLET_FORCE_SCALAR)
+#if defined(__SSE2__) || defined(_M_X64) || \
+    (defined(_M_IX86_FP) && _M_IX86_FP >= 2)
+#define SUBLET_SIMD_SSE2 1
+#include <emmintrin.h>
+#elif defined(__ARM_NEON) || defined(__ARM_NEON__) || defined(__aarch64__)
+#define SUBLET_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+#endif
+
+namespace sublet::simd {
+
+/// Which backend the dispatching wrappers use in this build.
+constexpr const char* backend_name() {
+#if defined(SUBLET_SIMD_SSE2)
+  return "sse2";
+#elif defined(SUBLET_SIMD_NEON)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+constexpr bool vectorized() {
+#if defined(SUBLET_SIMD_SSE2) || defined(SUBLET_SIMD_NEON)
+  return true;
+#else
+  return false;
+#endif
+}
+
+// ---- reference implementations (always compiled) --------------------------
+
+/// Number of elements equal to `target`.
+inline std::uint64_t count_eq_u8_scalar(std::span<const std::uint8_t> keys,
+                                        std::uint8_t target) {
+  std::uint64_t total = 0;
+  for (std::uint8_t k : keys) total += (k == target);
+  return total;
+}
+
+inline std::uint64_t count_eq_u32_scalar(std::span<const std::uint32_t> keys,
+                                         std::uint32_t target) {
+  std::uint64_t total = 0;
+  for (std::uint32_t k : keys) total += (k == target);
+  return total;
+}
+
+/// Sum of values[i] over every i with keys[i] == target (wrapping u64
+/// arithmetic, same as the vector paths). keys and values are parallel.
+inline std::uint64_t masked_sum_u64_scalar(std::span<const std::uint8_t> keys,
+                                           std::uint8_t target,
+                                           std::span<const std::uint64_t> values) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (keys[i] == target) total += values[i];
+  }
+  return total;
+}
+
+// ---- dispatching wrappers -------------------------------------------------
+
+inline std::uint64_t count_eq_u8(std::span<const std::uint8_t> keys,
+                                 std::uint8_t target) {
+#if defined(SUBLET_SIMD_SSE2)
+  const std::uint8_t* p = keys.data();
+  std::size_t n = keys.size();
+  std::uint64_t total = 0;
+  const __m128i needle = _mm_set1_epi8(static_cast<char>(target));
+  while (n >= 16) {
+    // Each compare lane is 0xFF (-1) on match; subtracting accumulates a
+    // per-lane match count, safe for up to 255 blocks before a u8 lane
+    // could overflow, then one psadbw folds the 16 lanes into two u16s.
+    const std::size_t blocks = std::min<std::size_t>(n / 16, 255);
+    __m128i acc = _mm_setzero_si128();
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const __m128i v =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+      acc = _mm_sub_epi8(acc, _mm_cmpeq_epi8(v, needle));
+      p += 16;
+    }
+    n -= blocks * 16;
+    const __m128i sums = _mm_sad_epu8(acc, _mm_setzero_si128());
+    total += static_cast<std::uint32_t>(_mm_cvtsi128_si32(sums));
+    total += static_cast<std::uint32_t>(
+        _mm_cvtsi128_si32(_mm_srli_si128(sums, 8)));
+  }
+  for (; n > 0; --n, ++p) total += (*p == target);
+  return total;
+#elif defined(SUBLET_SIMD_NEON)
+  const std::uint8_t* p = keys.data();
+  std::size_t n = keys.size();
+  std::uint64_t total = 0;
+  const uint8x16_t needle = vdupq_n_u8(target);
+  while (n >= 16) {
+    const std::size_t blocks = std::min<std::size_t>(n / 16, 255);
+    uint8x16_t acc = vdupq_n_u8(0);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      acc = vsubq_u8(acc, vceqq_u8(vld1q_u8(p), needle));
+      p += 16;
+    }
+    n -= blocks * 16;
+    const uint64x2_t folded = vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(acc)));
+    total += vgetq_lane_u64(folded, 0) + vgetq_lane_u64(folded, 1);
+  }
+  for (; n > 0; --n, ++p) total += (*p == target);
+  return total;
+#else
+  return count_eq_u8_scalar(keys, target);
+#endif
+}
+
+inline std::uint64_t count_eq_u32(std::span<const std::uint32_t> keys,
+                                  std::uint32_t target) {
+#if defined(SUBLET_SIMD_SSE2)
+  const std::uint32_t* p = keys.data();
+  std::size_t n = keys.size();
+  std::uint64_t total = 0;
+  const __m128i needle = _mm_set1_epi32(static_cast<int>(target));
+  while (n >= 4) {
+    // 32-bit lanes: 2^31 blocks would be needed to overflow, so one
+    // accumulator covers any realistic column without re-folding.
+    const std::size_t blocks = n / 4;
+    __m128i acc = _mm_setzero_si128();
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const __m128i v =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+      acc = _mm_sub_epi32(acc, _mm_cmpeq_epi32(v, needle));
+      p += 4;
+    }
+    n -= blocks * 4;
+    alignas(16) std::uint32_t lanes[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(lanes), acc);
+    total += std::uint64_t{lanes[0]} + lanes[1] + lanes[2] + lanes[3];
+  }
+  for (; n > 0; --n, ++p) total += (*p == target);
+  return total;
+#elif defined(SUBLET_SIMD_NEON)
+  const std::uint32_t* p = keys.data();
+  std::size_t n = keys.size();
+  std::uint64_t total = 0;
+  const uint32x4_t needle = vdupq_n_u32(target);
+  while (n >= 4) {
+    const std::size_t blocks = n / 4;
+    uint32x4_t acc = vdupq_n_u32(0);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      acc = vsubq_u32(acc, vceqq_u32(vld1q_u32(p), needle));
+      p += 4;
+    }
+    n -= blocks * 4;
+    const uint64x2_t folded = vpaddlq_u32(acc);
+    total += vgetq_lane_u64(folded, 0) + vgetq_lane_u64(folded, 1);
+  }
+  for (; n > 0; --n, ++p) total += (*p == target);
+  return total;
+#else
+  return count_eq_u32_scalar(keys, target);
+#endif
+}
+
+inline std::uint64_t masked_sum_u64(std::span<const std::uint8_t> keys,
+                                    std::uint8_t target,
+                                    std::span<const std::uint64_t> values) {
+#if defined(SUBLET_SIMD_SSE2)
+  const std::size_t n = keys.size();
+  std::uint64_t total = 0;
+  __m128i acc = _mm_setzero_si128();
+  const __m128i needle = _mm_set1_epi8(static_cast<char>(target));
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(keys.data() + i));
+    const int mask = _mm_movemask_epi8(_mm_cmpeq_epi8(v, needle));
+    if (mask == 0) continue;  // a sparse group skips 16 records per test
+    if (mask == 0xFFFF) {
+      // Dense run (one group dominating a region): add all 16 values with
+      // wide loads instead of 16 scalar adds.
+      for (int j = 0; j < 16; j += 2) {
+        acc = _mm_add_epi64(
+            acc, _mm_loadu_si128(
+                     reinterpret_cast<const __m128i*>(values.data() + i + j)));
+      }
+    } else {
+      for (int m = mask; m != 0; m &= m - 1) {
+        total += values[i + static_cast<std::size_t>(std::countr_zero(
+                             static_cast<unsigned>(m)))];
+      }
+    }
+  }
+  alignas(16) std::uint64_t lanes[2];
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes), acc);
+  total += lanes[0] + lanes[1];
+  for (; i < n; ++i) {
+    if (keys[i] == target) total += values[i];
+  }
+  return total;
+#elif defined(SUBLET_SIMD_NEON) && defined(__aarch64__)
+  const std::size_t n = keys.size();
+  std::uint64_t total = 0;
+  uint64x2_t acc = vdupq_n_u64(0);
+  const uint8x16_t needle = vdupq_n_u8(target);
+  std::size_t i = 0;
+  alignas(16) std::uint8_t matched[16];
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t eq = vceqq_u8(vld1q_u8(keys.data() + i), needle);
+    if (vmaxvq_u8(eq) == 0) continue;
+    if (vminvq_u8(eq) == 0xFF) {
+      for (int j = 0; j < 16; j += 2) {
+        acc = vaddq_u64(acc, vld1q_u64(values.data() + i + j));
+      }
+    } else {
+      vst1q_u8(matched, eq);
+      for (int j = 0; j < 16; ++j) {
+        if (matched[j]) total += values[i + static_cast<std::size_t>(j)];
+      }
+    }
+  }
+  total += vgetq_lane_u64(acc, 0) + vgetq_lane_u64(acc, 1);
+  for (; i < n; ++i) {
+    if (keys[i] == target) total += values[i];
+  }
+  return total;
+#else
+  return masked_sum_u64_scalar(keys, target, values);
+#endif
+}
+
+}  // namespace sublet::simd

@@ -125,6 +125,73 @@ TEST(ServeProtocol, StatsCountersAdvance) {
   EXPECT_NE(json.find("\"p99_us\":"), std::string::npos);
 }
 
+TEST(ServeProtocol, StatsIncludesSnapshotAggregate) {
+  Rig rig(sample());
+  std::string json = rig.server->handle_request("STATS");
+  // Counter fields stay first (scrapers substring-match on them); the
+  // snapshot aggregate rides along under its own key.
+  EXPECT_NE(json.find("\"requests\":"), std::string::npos);
+  EXPECT_NE(json.find("\"snapshot\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"lookup_backend\":\"stride24-8\""), std::string::npos);
+  // 16 leased(g4) /24s out of the 32-record sample.
+  EXPECT_NE(json.find("\"leased\":{\"records\":16,\"addresses\":4096}"),
+            std::string::npos)
+      << json;
+  const std::string stride24 =
+      "\"stride24\":" + std::to_string((std::size_t{1} << 24) * 4);
+  EXPECT_NE(json.find(stride24), std::string::npos) << json;
+}
+
+TEST(ServeProtocol, MlpmBatchedLookups) {
+  Rig rig(sample());
+  std::string json =
+      rig.server->handle_request("MLPM 10.0.3.200 8.8.8.8 10.0.7.1");
+  EXPECT_NE(json.find("\"count\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("{\"query\":\"10.0.3.200\",\"found\":true,"
+                      "\"prefix\":\"10.0.3.0/24\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("{\"query\":\"8.8.8.8\",\"found\":false}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"prefix\":\"10.0.7.0/24\""), std::string::npos)
+      << json;
+  StatsSnapshot stats = rig.server->stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(ServeProtocol, MlpmMatchesSingleLpmAnswers) {
+  Rig rig(sample());
+  // The batched path must return byte-identical per-address records to the
+  // single-lookup verb.
+  std::string batch = rig.server->handle_request("MLPM 10.0.5.99 10.0.6.1");
+  for (const char* addr : {"10.0.5.99", "10.0.6.1"}) {
+    std::string single = rig.server->handle_request(std::string("LPM ") + addr);
+    ASSERT_NE(single.find("\"prefix\":"), std::string::npos);
+    const std::string prefix = single.substr(
+        single.find("\"prefix\":"),
+        single.find(',', single.find("\"prefix\":")) -
+            single.find("\"prefix\":"));
+    EXPECT_NE(batch.find(prefix), std::string::npos) << addr;
+  }
+}
+
+TEST(ServeProtocol, MlpmRejectsBadInput) {
+  Rig rig(sample());
+  EXPECT_NE(rig.server->handle_request("MLPM").find("\"error\""),
+            std::string::npos);
+  EXPECT_NE(
+      rig.server->handle_request("MLPM 10.0.0.1 not-an-address")
+          .find("bad address 'not-an-address'"),
+      std::string::npos);
+  std::string big = "MLPM";
+  for (int i = 0; i < 1025; ++i) big += " 10.0.0.1";
+  EXPECT_NE(rig.server->handle_request(big).find("batch too large"),
+            std::string::npos);
+  EXPECT_EQ(rig.server->stats().malformed, 3u);
+}
+
 TEST(ServeProtocol, MetricsVerbReturnsPrometheusText) {
   Rig rig(sample());
   rig.server->handle_request("EXACT 10.0.0.0/24");

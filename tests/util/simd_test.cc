@@ -1,0 +1,108 @@
+// SIMD-vs-scalar differential: every dispatched primitive in util/simd.h
+// must be bit-for-bit identical to its always-compiled scalar reference on
+// arbitrary inputs. The suite is built twice — test_simd with the native
+// backend and test_simd_scalar with SUBLET_FORCE_SCALAR=1 — so both sides
+// of the compile-time dispatch stay exercised (the scalar build is a
+// self-differential that keeps the reference path under sanitizers too).
+#include "util/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sublet {
+namespace {
+
+TEST(SimdBackend, NameMatchesVectorizedFlag) {
+#if defined(SUBLET_FORCE_SCALAR)
+  EXPECT_STREQ(simd::backend_name(), "scalar");
+  EXPECT_FALSE(simd::vectorized());
+#else
+  EXPECT_EQ(simd::vectorized(),
+            std::string_view(simd::backend_name()) != "scalar");
+#endif
+}
+
+TEST(SimdCountEq, EmptyAndTinySpans) {
+  const std::vector<std::uint8_t> none;
+  EXPECT_EQ(simd::count_eq_u8(none, 7), 0u);
+  EXPECT_EQ(simd::count_eq_u8_scalar(none, 7), 0u);
+  for (std::size_t n = 1; n < 40; ++n) {  // below/around one vector width
+    std::vector<std::uint8_t> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<std::uint8_t>(i % 3);
+    for (int t = 0; t < 4; ++t) {
+      const auto target = static_cast<std::uint8_t>(t);
+      EXPECT_EQ(simd::count_eq_u8(v, target),
+                simd::count_eq_u8_scalar(v, target))
+          << "n=" << n << " t=" << t;
+    }
+  }
+}
+
+TEST(SimdCountEq, AllMatchAndNoMatch) {
+  const std::vector<std::uint8_t> same(100'000, 42);
+  EXPECT_EQ(simd::count_eq_u8(same, 42), 100'000u);
+  EXPECT_EQ(simd::count_eq_u8(same, 41), 0u);
+  // > 255 * 16 elements: crosses the SSE2 byte-accumulator flush boundary.
+  EXPECT_EQ(simd::count_eq_u8_scalar(same, 42), 100'000u);
+
+  const std::vector<std::uint32_t> words(10'000, 0xDEADBEEFu);
+  EXPECT_EQ(simd::count_eq_u32(words, 0xDEADBEEFu), 10'000u);
+  EXPECT_EQ(simd::count_eq_u32(words, 0xDEADBEEEu), 0u);
+}
+
+TEST(SimdMaskedSum, DenseSparseAndSaturatingValues) {
+  // Dense keys (few distinct values → long all-match runs) and huge values
+  // near 2^63 verify there is no intermediate narrowing in the sum.
+  std::vector<std::uint8_t> keys(3000);
+  std::vector<std::uint64_t> values(3000);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = static_cast<std::uint8_t>(i < 2900 ? 1 : i % 7);
+    values[i] = (std::uint64_t{1} << 62) + i;
+  }
+  for (int t = 0; t < 8; ++t) {
+    const auto target = static_cast<std::uint8_t>(t);
+    EXPECT_EQ(simd::masked_sum_u64(keys, target, values),
+              simd::masked_sum_u64_scalar(keys, target, values))
+        << t;
+  }
+}
+
+class SimdDifferential : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimdDifferential, MatchesScalarOnRandomColumns) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    const auto n = static_cast<std::size_t>(rng.next_in(0, 700));
+    // Vary key cardinality so match density sweeps dense → sparse → none.
+    const auto cardinality = static_cast<std::uint32_t>(rng.next_in(1, 200));
+    std::vector<std::uint8_t> keys(n);
+    std::vector<std::uint32_t> words(n);
+    std::vector<std::uint64_t> values(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      keys[i] = static_cast<std::uint8_t>(rng.next_below(cardinality));
+      words[i] = static_cast<std::uint32_t>(rng.next_below(cardinality));
+      values[i] = rng.next_u64();
+    }
+    for (int probe = 0; probe < 6; ++probe) {
+      const auto t8 = static_cast<std::uint8_t>(rng.next_in(0, 255));
+      const auto t32 = static_cast<std::uint32_t>(rng.next_below(256));
+      EXPECT_EQ(simd::count_eq_u8(keys, t8),
+                simd::count_eq_u8_scalar(keys, t8));
+      EXPECT_EQ(simd::count_eq_u32(words, t32),
+                simd::count_eq_u32_scalar(words, t32));
+      EXPECT_EQ(simd::masked_sum_u64(keys, t8, values),
+                simd::masked_sum_u64_scalar(keys, t8, values));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimdDifferential,
+                         testing::Values(5, 1211, 987654321));
+
+}  // namespace
+}  // namespace sublet
