@@ -2,6 +2,13 @@
 // and serving throughput as the world grows (google-benchmark).
 #include <benchmark/benchmark.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -831,6 +838,309 @@ void BM_ServeReloadUnderLoad(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(reloads));
 }
 BENCHMARK(BM_ServeReloadUnderLoad)->Unit(benchmark::kMillisecond);
+
+/// Arg: event-loop shards. One pipelined client streams binary LPM frames
+/// (512 addresses each, 4 frames in flight); items/sec is lookups/sec
+/// end-to-end. A text-protocol baseline is timed outside the benchmark
+/// loop on the same server and the ratio recorded; the acceptance gate —
+/// binary >= 10x the text BM_ServeQueries throughput — is enforced at 8
+/// shards (one frame replaces hundreds of per-line JSON round trips).
+void BM_ServeBinaryBatch(benchmark::State& state) {
+  const auto& files = snapshot_bench_files(100000);
+  auto engine_state = serve::EngineState::load(files.snap);
+  if (!engine_state) {
+    state.SkipWithError("snapshot load failed");
+    return;
+  }
+  serve::QueryServer::Options options;
+  options.shards = static_cast<unsigned>(state.range(0));
+  serve::QueryServer server(*engine_state, options);
+  auto port = server.start();
+  if (!port) {
+    state.SkipWithError("server failed to start");
+    return;
+  }
+  constexpr std::size_t kFrameAddrs = 512;
+  constexpr std::size_t kDepth = 4;
+  std::vector<std::vector<std::uint32_t>> batches(kDepth);
+  for (std::size_t k = 0; k < kDepth; ++k) {
+    for (std::size_t i = 0; i < kFrameAddrs; ++i) {
+      std::uint32_t record =
+          static_cast<std::uint32_t>((k * kFrameAddrs + i) * 97u % 100000u);
+      batches[k].push_back((record << 8) | 1u);  // inside a known /24 leaf
+    }
+  }
+  auto client = serve::QueryClient::connect("127.0.0.1", *port);
+  if (!client) {
+    state.SkipWithError("client failed to connect");
+    return;
+  }
+  bool failed = false;
+  for (auto _ : state) {
+    auto responses = client->pipeline_binary(batches);
+    if (!responses || responses->size() != kDepth) {
+      failed = true;
+      break;
+    }
+    benchmark::DoNotOptimize(responses);
+  }
+  if (failed) {
+    server.stop();
+    state.SkipWithError("pipelined binary round trips failed");
+    return;
+  }
+  // Paired baseline, timed outside the benchmark loop: text EXACT round
+  // trips (the BM_ServeQueries shape) vs pipelined binary lookups on the
+  // very same server and connection.
+  using clock = std::chrono::steady_clock;
+  constexpr int kTextProbe = 512;
+  std::vector<std::string> queries;
+  for (std::uint32_t i = 0; i < 1024; ++i) {
+    queries.push_back(
+        "EXACT " +
+        Prefix::make(Ipv4Addr((i * 97u % 100000u) << 8), 24)->to_string());
+  }
+  auto t0 = clock::now();
+  for (int i = 0; i < kTextProbe; ++i) {
+    auto response = client->request(queries[static_cast<std::size_t>(i) %
+                                            queries.size()]);
+    if (!response) {
+      server.stop();
+      state.SkipWithError("text baseline round trip failed");
+      return;
+    }
+  }
+  auto t1 = clock::now();
+  constexpr int kBinProbe = 16;
+  for (int r = 0; r < kBinProbe; ++r) {
+    auto responses = client->pipeline_binary(batches);
+    if (!responses) {
+      server.stop();
+      state.SkipWithError("binary probe round trip failed");
+      return;
+    }
+    benchmark::DoNotOptimize(responses);
+  }
+  auto t2 = clock::now();
+  server.stop();
+  const double text_ns =
+      static_cast<double>(std::chrono::nanoseconds(t1 - t0).count());
+  const double bin_ns =
+      static_cast<double>(std::chrono::nanoseconds(t2 - t1).count());
+  const double text_qps = kTextProbe / (text_ns / 1e9);
+  const double bin_qps =
+      static_cast<double>(kBinProbe * kDepth * kFrameAddrs) / (bin_ns / 1e9);
+  const double speedup = bin_qps / text_qps;
+  state.counters["shards"] = static_cast<double>(state.range(0));
+  state.counters["frame_addrs"] = kFrameAddrs;
+  state.counters["pipeline_depth"] = kDepth;
+  state.counters["text_qps"] = text_qps;
+  state.counters["bin_lookups_per_s"] = bin_qps;
+  state.counters["speedup_vs_text"] = speedup;
+  state.counters["peak_rss_mb"] = bench::peak_rss_megabytes();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kDepth * kFrameAddrs));
+  if (state.range(0) >= 8 && speedup < 10.0) {
+    state.SkipWithError(
+        "binary batch is not >= 10x the text protocol at 8 shards");
+  }
+}
+BENCHMARK(BM_ServeBinaryBatch)
+    ->Arg(1)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/// Connection-scaling soak: request p99 on a live connection while the
+/// server holds ~10k idle connections. The idle fds live in a forked child
+/// (each side of the soak needs ~10k fds against a 20k RLIMIT_NOFILE);
+/// chunked acks keep the accept backlog from overflowing. Arg: shards.
+void BM_ServeConnScaling(benchmark::State& state) {
+  constexpr std::size_t kIdleConns = 10000;
+  constexpr std::size_t kChunk = 100;
+  rlimit limit{};
+  if (getrlimit(RLIMIT_NOFILE, &limit) == 0 &&
+      limit.rlim_cur < limit.rlim_max) {
+    rlimit raised = limit;
+    raised.rlim_cur = limit.rlim_max;
+    setrlimit(RLIMIT_NOFILE, &raised);
+    limit = raised;
+  }
+  if (limit.rlim_cur < kIdleConns + 300) {
+    state.SkipWithError("RLIMIT_NOFILE too low for a 10k-connection soak");
+    return;
+  }
+  int control[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, control) != 0) {
+    state.SkipWithError("socketpair failed");
+    return;
+  }
+  // Fork before the server spawns threads; the child only makes raw
+  // syscalls (socket/connect/read/write) and exits via _exit.
+  pid_t child = ::fork();
+  if (child < 0) {
+    ::close(control[0]);
+    ::close(control[1]);
+    state.SkipWithError("fork failed");
+    return;
+  }
+  if (child == 0) {
+    ::close(control[0]);
+    unsigned char port_bytes[2];
+    std::size_t got = 0;
+    while (got < 2) {
+      ssize_t n = ::read(control[1], port_bytes + got, 2 - got);
+      if (n <= 0) ::_exit(1);
+      got += static_cast<std::size_t>(n);
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(
+        port_bytes[0] | (port_bytes[1] << 8)));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    std::vector<int> fds;
+    fds.reserve(kIdleConns);
+    for (std::size_t i = 0; i < kIdleConns; ++i) {
+      int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) ::_exit(1);
+      if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                    sizeof(addr)) != 0) {
+        ::_exit(1);
+      }
+      fds.push_back(fd);
+      if (fds.size() % kChunk == 0) {
+        char c = 'c';
+        if (::write(control[1], &c, 1) != 1) ::_exit(1);
+        char ack = 0;
+        if (::read(control[1], &ack, 1) != 1 || ack != 'a') ::_exit(1);
+      }
+    }
+    char d = 'd';
+    if (::write(control[1], &d, 1) != 1) ::_exit(1);
+    char parked = 0;
+    [[maybe_unused]] ssize_t rc = ::read(control[1], &parked, 1);
+    for (int fd : fds) ::close(fd);
+    ::_exit(0);
+  }
+  ::close(control[1]);
+
+  const auto& files = snapshot_bench_files(100000);
+  auto engine_state = serve::EngineState::load(files.snap);
+  bool setup_ok = engine_state.has_value();
+  serve::QueryServer::Options options;
+  options.shards = static_cast<unsigned>(state.range(0));
+  options.max_conns = 0;
+  options.idle_timeout_ms = 600000;
+  std::unique_ptr<serve::QueryServer> server;
+  std::uint16_t port = 0;
+  if (setup_ok) {
+    server = std::make_unique<serve::QueryServer>(*engine_state, options);
+    auto started = server->start();
+    setup_ok = started.has_value();
+    if (setup_ok) port = *started;
+  }
+  auto abort_child = [&](const char* why) {
+    char done = 'x';
+    [[maybe_unused]] ssize_t rc = ::write(control[0], &done, 1);
+    int status = 0;
+    ::waitpid(child, &status, 0);
+    ::close(control[0]);
+    state.SkipWithError(why);
+  };
+  if (!setup_ok) {
+    abort_child("server setup failed");
+    return;
+  }
+  unsigned char port_bytes[2] = {
+      static_cast<unsigned char>(port & 0xFF),
+      static_cast<unsigned char>((port >> 8) & 0xFF)};
+  if (::write(control[0], port_bytes, 2) != 2) {
+    abort_child("control write failed");
+    return;
+  }
+  std::size_t acked = 0;
+  for (;;) {
+    char byte = 0;
+    if (::read(control[0], &byte, 1) != 1 || byte == 'f') {
+      abort_child("soak child failed");
+      return;
+    }
+    if (byte == 'd') break;
+    acked += kChunk;
+    while (server->active_connections() < acked) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    char ack = 'a';
+    if (::write(control[0], &ack, 1) != 1) {
+      abort_child("control ack failed");
+      return;
+    }
+  }
+
+  auto client = serve::QueryClient::connect("127.0.0.1", port);
+  if (!client) {
+    abort_child("client failed to connect");
+    return;
+  }
+  std::vector<std::string> queries;
+  for (std::uint32_t i = 0; i < 1024; ++i) {
+    queries.push_back(
+        "EXACT " +
+        Prefix::make(Ipv4Addr((i * 97u % 100000u) << 8), 24)->to_string());
+  }
+  // 1us-bucket latency histogram over every timed request; p99 of request
+  // latency while 10k idle connections sit on the same epoll sets is the
+  // acceptance number.
+  constexpr std::size_t kBuckets = 100000;
+  std::vector<std::uint32_t> histogram(kBuckets, 0);
+  std::uint64_t sampled = 0;
+  std::size_t i = 0;
+  bool failed = false;
+  for (auto _ : state) {
+    auto t0 = std::chrono::steady_clock::now();
+    auto response = client->request(queries[i++ % queries.size()]);
+    auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    if (!response) {
+      failed = true;
+      break;
+    }
+    ++sampled;
+    histogram[std::min<std::size_t>(static_cast<std::size_t>(us),
+                                    kBuckets - 1)]++;
+  }
+  const std::size_t held = server->active_connections();
+  char done = 'x';
+  [[maybe_unused]] ssize_t rc = ::write(control[0], &done, 1);
+  int status = 0;
+  ::waitpid(child, &status, 0);
+  ::close(control[0]);
+  server->stop();
+  if (failed) {
+    state.SkipWithError("request failed during the soak");
+    return;
+  }
+  double p99 = 0.0;
+  if (sampled > 0) {
+    std::uint64_t target = sampled - sampled / 100;
+    std::uint64_t seen = 0;
+    for (std::size_t us = 0; us < kBuckets; ++us) {
+      seen += histogram[us];
+      if (seen >= target) {
+        p99 = static_cast<double>(us);
+        break;
+      }
+    }
+  }
+  state.counters["shards"] = static_cast<double>(state.range(0));
+  state.counters["idle_conns"] = static_cast<double>(held);
+  state.counters["p99_us"] = p99;
+  state.counters["peak_rss_mb"] = bench::peak_rss_megabytes();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServeConnScaling)
+    ->Arg(1)->Arg(8)
+    ->Iterations(500)
+    ->Unit(benchmark::kMillisecond);
 
 bool aggregates_equal(const serve::QueryEngine::SnapshotAggregate& a,
                       const serve::QueryEngine::SnapshotAggregate& b) {

@@ -14,6 +14,7 @@
 #include <thread>
 #include <utility>
 
+#include "serve/wire.h"
 #include "util/faultinject.h"
 #include "util/rng.h"
 
@@ -238,6 +239,162 @@ Expected<std::string> QueryClient::request_multiline(
     if (n <= 0) return fail("recv(): connection closed mid-response");
     buffer_.append(chunk, static_cast<std::size_t>(n));
   }
+}
+
+Expected<bool> QueryClient::send_all(std::string_view data, bool has_deadline,
+                                     Clock::time_point deadline) {
+  while (!data.empty()) {
+    int ready = wait_fd(fd_, POLLOUT, remaining_ms(has_deadline, deadline));
+    if (ready == 0) {
+      return fail_code("timeout: request write exceeded " +
+                           std::to_string(timeouts_.io_ms) + "ms",
+                       ETIMEDOUT);
+    }
+    if (ready < 0) return fail("poll(): " + std::string(strerror(errno)));
+    ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+      return fail("send(): connection lost");
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+Expected<BinResponse> QueryClient::recv_frame(bool has_deadline,
+                                              Clock::time_point deadline) {
+  char chunk[4096];
+  auto fill_to = [&](std::size_t need) -> Expected<bool> {
+    while (buffer_.size() < need) {
+      int ready = wait_fd(fd_, POLLIN, remaining_ms(has_deadline, deadline));
+      if (ready == 0) {
+        return fail_code("timeout: no response within " +
+                             std::to_string(timeouts_.io_ms) + "ms",
+                         ETIMEDOUT);
+      }
+      if (ready < 0) return fail("poll(): " + std::string(strerror(errno)));
+      if (int injected = 0; fault::inject("client.recv", &injected)) {
+        return fail_code(
+            "recv(): " + std::string(strerror(injected)) + " (injected)",
+            injected);
+      }
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+      if (n <= 0) return fail("recv(): connection closed mid-response");
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+    return true;
+  };
+  if (auto ok = fill_to(wire::kHeaderSize); !ok) return ok.error();
+  wire::FrameHeader header;
+  if (!wire::decode_header(buffer_.data(), header)) {
+    return fail("binary response: bad frame magic");
+  }
+  if (header.payload_len > wire::kMaxPayload ||
+      header.payload_len % wire::kResultSize != 0) {
+    return fail("binary response: invalid payload length " +
+                std::to_string(header.payload_len));
+  }
+  if (auto ok = fill_to(wire::kHeaderSize + header.payload_len); !ok) {
+    return ok.error();
+  }
+  BinResponse response;
+  response.request_id = header.request_id;
+  response.opcode = header.opcode;
+  response.status = header.status;
+  const std::size_t count = header.payload_len / wire::kResultSize;
+  response.results.reserve(count);
+  const char* payload = buffer_.data() + wire::kHeaderSize;
+  for (std::size_t i = 0; i < count; ++i) {
+    const wire::Result raw =
+        wire::decode_result(payload + i * wire::kResultSize);
+    BinResult result;
+    result.found = raw.prefix_len != wire::kMissLen;
+    if (result.found) {
+      result.prefix_addr = raw.prefix_addr;
+      result.prefix_len = raw.prefix_len;
+      result.group = raw.group;
+      result.leased = (raw.flags & wire::kFlagLeased) != 0;
+    }
+    response.results.push_back(result);
+  }
+  buffer_.erase(0, wire::kHeaderSize + header.payload_len);
+  return response;
+}
+
+Expected<BinResponse> QueryClient::request_binary_batch(
+    std::span<const std::uint32_t> addrs) {
+  if (fd_ < 0) return fail("client is closed");
+  const bool has_deadline = timeouts_.io_ms > 0;
+  const auto deadline =
+      Clock::now() +
+      std::chrono::milliseconds(has_deadline ? timeouts_.io_ms : 0);
+  wire::FrameHeader header;
+  header.opcode = wire::kOpLpmBatch;
+  header.request_id = next_request_id_++;
+  header.payload_len = static_cast<std::uint32_t>(addrs.size() * 4);
+  std::string frame;
+  frame.reserve(wire::kHeaderSize + addrs.size() * 4);
+  wire::append_header(frame, header);
+  for (std::uint32_t addr : addrs) {
+    char buf[4];
+    wire::store_u32le(buf, addr);
+    frame.append(buf, 4);
+  }
+  if (auto sent = send_all(frame, has_deadline, deadline); !sent) {
+    return sent.error();
+  }
+  auto response = recv_frame(has_deadline, deadline);
+  if (!response) return response.error();
+  if (response->request_id != header.request_id) {
+    return fail("binary response id " + std::to_string(response->request_id) +
+                " does not match request id " +
+                std::to_string(header.request_id));
+  }
+  return response;
+}
+
+Expected<std::vector<BinResponse>> QueryClient::pipeline_binary(
+    std::span<const std::vector<std::uint32_t>> batches) {
+  if (fd_ < 0) return fail("client is closed");
+  const bool has_deadline = timeouts_.io_ms > 0;
+  const auto deadline =
+      Clock::now() +
+      std::chrono::milliseconds(has_deadline ? timeouts_.io_ms : 0);
+  // Send every frame in one burst: the server answers them in arrival
+  // order, but responses are matched by the echoed id, not position.
+  const std::uint32_t first_id = next_request_id_;
+  std::string burst;
+  for (const std::vector<std::uint32_t>& batch : batches) {
+    wire::FrameHeader header;
+    header.opcode = wire::kOpLpmBatch;
+    header.request_id = next_request_id_++;
+    header.payload_len = static_cast<std::uint32_t>(batch.size() * 4);
+    wire::append_header(burst, header);
+    for (std::uint32_t addr : batch) {
+      char buf[4];
+      wire::store_u32le(buf, addr);
+      burst.append(buf, 4);
+    }
+  }
+  if (auto sent = send_all(burst, has_deadline, deadline); !sent) {
+    return sent.error();
+  }
+  std::vector<BinResponse> responses(batches.size());
+  std::vector<bool> seen(batches.size(), false);
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    auto response = recv_frame(has_deadline, deadline);
+    if (!response) return response.error();
+    const std::uint32_t id = response->request_id;
+    if (id < first_id || id - first_id >= batches.size() ||
+        seen[id - first_id]) {
+      return fail("binary response id " + std::to_string(id) +
+                  " does not match any in-flight request");
+    }
+    seen[id - first_id] = true;
+    responses[id - first_id] = std::move(*response);
+  }
+  return responses;
 }
 
 Expected<std::string> QueryClient::request_with_retry(

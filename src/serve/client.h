@@ -11,9 +11,12 @@
 #pragma once
 
 #include <cerrno>
+#include <chrono>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "util/expected.h"
 
@@ -38,6 +41,24 @@ struct ClientRetryPolicy {
   int max_backoff_ms = 1000;
   double jitter = 0.5;
   std::uint64_t seed = 0x5eedu;
+};
+
+/// One per-address answer decoded from a binary response frame
+/// (serve/wire.h Result).
+struct BinResult {
+  bool found = false;
+  std::uint32_t prefix_addr = 0;  ///< matched prefix network, host order
+  std::uint8_t prefix_len = 0;
+  std::uint8_t group = 0;  ///< raw leasing::InferenceGroup value
+  bool leased = false;
+};
+
+/// One decoded binary response frame.
+struct BinResponse {
+  std::uint32_t request_id = 0;
+  std::uint8_t opcode = 0;
+  std::uint8_t status = 0;  ///< wire::Status; results empty unless kOk
+  std::vector<BinResult> results;
 };
 
 class QueryClient {
@@ -72,6 +93,22 @@ class QueryClient {
                                           std::string_view terminator =
                                               "# EOF");
 
+  // ---- binary frame protocol (serve/wire.h) -----------------------------
+
+  /// One LPM batch frame: send the raw host-order /32 addresses, wait for
+  /// the matching response, and decode it. Same io_ms deadline and typed
+  /// timeout errors as request(). Binary frames and text requests can be
+  /// interleaved freely on one connection.
+  Expected<BinResponse> request_binary_batch(
+      std::span<const std::uint32_t> addrs);
+
+  /// Pipelining: send all K batch frames back-to-back (one write burst,
+  /// no round-trip stalls), then collect the K responses, matching each
+  /// to its batch by echoed request id. The returned vector is in batch
+  /// order. Any frame-level error status or unmatched id fails the call.
+  Expected<std::vector<BinResponse>> pipeline_binary(
+      std::span<const std::vector<std::uint32_t>> batches);
+
   /// One-shot round trip with retries: each attempt opens a fresh
   /// connection, sends `line`, and reads the response; failed attempts
   /// back off exponentially with jitter. Returns the first successful
@@ -85,8 +122,19 @@ class QueryClient {
  private:
   QueryClient(int fd, Timeouts timeouts) : fd_(fd), timeouts_(timeouts) {}
 
+  /// Send `data` fully within the deadline (shared by text and binary
+  /// paths). `deadline` only applies when `has_deadline`.
+  Expected<bool> send_all(std::string_view data, bool has_deadline,
+                          std::chrono::steady_clock::time_point deadline);
+  /// Read one complete binary frame from the connection (consuming it
+  /// from the internal buffer) and decode it.
+  Expected<BinResponse> recv_frame(bool has_deadline,
+                                   std::chrono::steady_clock::time_point
+                                       deadline);
+
   int fd_ = -1;
   Timeouts timeouts_;
+  std::uint32_t next_request_id_ = 1;
   std::string buffer_;  // bytes past the last returned response line
 };
 

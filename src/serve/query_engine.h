@@ -67,6 +67,22 @@ class QueryEngine {
     return snap_->materialize(idx);
   }
 
+  /// Fixed-size answer for the binary frame protocol: the matched leaf and
+  /// the classification bits a batch consumer needs, read straight off the
+  /// 60-byte RecordRow — no string pool touches, no JSON, no allocation.
+  struct Brief {
+    std::uint32_t prefix_addr = 0;  ///< leaf network bits, host order
+    std::uint8_t prefix_len = 0;
+    std::uint8_t group = 0;  ///< raw leasing::InferenceGroup value
+    bool leased = false;
+  };
+  Brief brief(std::uint32_t idx) const {
+    const snapshot::RecordRow& row = snap_->record(idx);
+    return Brief{row.prefix_key, row.prefix_len, row.group,
+                 leasing::is_leased(
+                     static_cast<leasing::InferenceGroup>(row.group))};
+  }
+
   /// One-line JSON rendering of record `idx` (the wire response body).
   std::string record_json(std::uint32_t idx) const;
 

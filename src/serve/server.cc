@@ -1,8 +1,11 @@
 #include "serve/server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -11,9 +14,11 @@
 #include <chrono>
 #include <cstring>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "serve/json.h"
+#include "serve/wire.h"
 #include "util/faultinject.h"
 #include "util/log.h"
 #include "util/strings.h"
@@ -24,14 +29,22 @@ namespace {
 
 using std::chrono::steady_clock;
 
-/// One request line must fit in this much buffered input; a client that
-/// streams more without a newline is cut off (defensive bound, not a
-/// protocol limit any legitimate request approaches).
+/// One text request line must fit in this much buffered input; a client
+/// that streams more without a newline is cut off (defensive bound, not a
+/// protocol limit any legitimate request approaches). Binary frames carry
+/// their own length and are bounded by wire::kMaxPayload.
 constexpr std::size_t kMaxBufferedInput = 1 << 20;
 
-/// Handlers and the accept loop poll in slices of at most this long so
-/// stop() and deadline checks stay responsive.
+/// The accept loop and wait() poll in slices of at most this long so
+/// stop() stays responsive; the shard loops need no slices — their
+/// epoll_wait timeout tracks the earliest timer deadline and an eventfd
+/// wakes them for everything else.
 constexpr int kPollSliceMs = 100;
+
+/// recv() size per readiness event. Reads land in a shard-owned scratch
+/// buffer and only the received bytes are appended to the connection, so
+/// an idle connection's input buffer stays at zero capacity.
+constexpr std::size_t kReadChunk = 64 * 1024;
 
 std::string error_json(std::string_view message) {
   JsonWriter json;
@@ -52,6 +65,12 @@ int wait_fd(int fd, short events, int timeout_ms) {
   }
 }
 
+bool set_nonblocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) >= 0;
+}
+
 /// accept() errors the loop must survive: resource exhaustion and peers
 /// that gave up while queued. Everything else (EBADF/EINVAL once stop()
 /// shut the listener down) ends the loop.
@@ -59,6 +78,25 @@ bool transient_accept_error(int err) {
   return err == EMFILE || err == ENFILE || err == ECONNABORTED ||
          err == EAGAIN || err == EWOULDBLOCK || err == ENOBUFS ||
          err == ENOMEM || err == EPROTO;
+}
+
+/// The registry Histogram's quantile over an externally merged snapshot:
+/// same target-rank rule, same bucket-midpoint estimate, so summing the
+/// per-verb series reproduces the old single-histogram doubles exactly.
+double snapshot_quantile(const obs::HistogramSnapshot& snap, double q) {
+  if (snap.count == 0) return 0.0;
+  auto target =
+      static_cast<std::uint64_t>(q * static_cast<double>(snap.count));
+  if (target >= snap.count) target = snap.count - 1;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < snap.buckets.size(); ++b) {
+    seen += snap.buckets[b];
+    if (seen > target) {
+      if (b == 0) return 0.0;
+      return 1.5 * static_cast<double>(std::uint64_t{1} << (b - 1));
+    }
+  }
+  return 0.0;
 }
 
 }  // namespace
@@ -82,6 +120,597 @@ std::string StatsSnapshot::to_json() const {
   return json.take();
 }
 
+// ---- per-connection state machine ----------------------------------------
+
+struct QueryServer::Conn {
+  /// Intrusive links for one timer list. Timeouts are per-server
+  /// constants, so arming appends to the list tail and the head is always
+  /// the earliest deadline — O(1) arm, cancel, and expiry.
+  struct Link {
+    Conn* prev = nullptr;
+    Conn* next = nullptr;
+    bool armed = false;
+    steady_clock::time_point deadline{};
+  };
+
+  int fd = -1;
+  /// Buffered input; [in_off, in.size()) is not yet consumed. Requests are
+  /// parsed by advancing in_off, never by erasing the front (compact()
+  /// reclaims the consumed prefix once it grows past a threshold).
+  std::string in;
+  std::size_t in_off = 0;
+  /// Two-buffer output: out_front[out_off..] is draining to the socket,
+  /// out_back accumulates new responses. The flush sends both with one
+  /// vectored write and swaps them when the front empties — no front-erase
+  /// memmove, and buffer capacity is reused at steady state.
+  std::string out_front;
+  std::size_t out_off = 0;
+  std::string out_back;
+  std::uint32_t armed_events = 0;  ///< epoll interest currently installed
+  bool closing = false;  ///< flush remaining output, then close
+  bool seen_binary = false;  ///< suppresses the text idle-timeout notice
+  std::size_t accounted = 0;  ///< footprint last added to the shard total
+  Link idle_link;
+  Link write_link;
+
+  std::size_t avail() const { return in.size() - in_off; }
+  bool has_output() const {
+    return out_off < out_front.size() || !out_back.empty();
+  }
+  std::size_t footprint() const {
+    return sizeof(Conn) + in.capacity() + out_front.capacity() +
+           out_back.capacity();
+  }
+  void compact() {
+    if (in_off == in.size()) {
+      in.clear();
+      in_off = 0;
+    } else if (in_off >= 4096) {
+      in.erase(0, in_off);
+      in_off = 0;
+    }
+  }
+};
+
+// ---- event-loop shard -----------------------------------------------------
+
+struct QueryServer::Shard {
+  class TimerList {
+   public:
+    explicit TimerList(Conn::Link Conn::* link) : link_(link) {}
+
+    void arm(Conn* conn, steady_clock::time_point deadline) {
+      cancel(conn);
+      Conn::Link& link = conn->*link_;
+      link.deadline = deadline;
+      link.armed = true;
+      link.prev = tail_;
+      link.next = nullptr;
+      if (tail_ != nullptr) {
+        (tail_->*link_).next = conn;
+      } else {
+        head_ = conn;
+      }
+      tail_ = conn;
+    }
+
+    void cancel(Conn* conn) {
+      Conn::Link& link = conn->*link_;
+      if (!link.armed) return;
+      if (link.prev != nullptr) {
+        (link.prev->*link_).next = link.next;
+      } else {
+        head_ = link.next;
+      }
+      if (link.next != nullptr) {
+        (link.next->*link_).prev = link.prev;
+      } else {
+        tail_ = link.prev;
+      }
+      link.prev = link.next = nullptr;
+      link.armed = false;
+    }
+
+    Conn* front() const { return head_; }
+
+   private:
+    Conn::Link Conn::* link_;
+    Conn* head_ = nullptr;
+    Conn* tail_ = nullptr;
+  };
+
+  QueryServer* srv = nullptr;
+  unsigned index = 0;
+  int epoll_fd = -1;
+  int event_fd = -1;
+  std::thread thread;
+
+  std::mutex inbox_mu;
+  std::vector<int> inbox;  ///< fds handed over by the accept thread
+
+  std::unordered_map<int, std::unique_ptr<Conn>> conns;  ///< owner-thread only
+  TimerList idle_timers{&Conn::idle_link};
+  TimerList write_timers{&Conn::write_link};
+
+  std::atomic<std::size_t> mem_bytes{0};  ///< sum of Conn footprints
+  obs::Gauge* conn_gauge = nullptr;
+
+  // Scratch reused across requests: the recv landing zone and the binary
+  // batch address/record arrays — zero allocation at steady state.
+  std::vector<char> chunk = std::vector<char>(kReadChunk);
+  std::vector<std::uint32_t> addrs;
+  std::vector<std::uint32_t> records;
+
+  void loop();
+  void adopt_inbox();
+  void apply_drain(bool force);
+  int compute_timeout(steady_clock::time_point now) const;
+  void expire_timers(steady_clock::time_point now);
+  void on_readable(Conn& conn);
+  bool process(Conn& conn);
+  bool process_frame(Conn& conn);
+  bool flush(Conn& conn);
+  bool finish_io(Conn& conn);
+  void update_interest(Conn& conn);
+  void account(Conn& conn);
+  void close_conn(Conn& conn);
+};
+
+void QueryServer::Shard::account(Conn& conn) {
+  const std::size_t current = conn.footprint();
+  if (current > conn.accounted) {
+    mem_bytes.fetch_add(current - conn.accounted, std::memory_order_relaxed);
+  } else if (current < conn.accounted) {
+    mem_bytes.fetch_sub(conn.accounted - current, std::memory_order_relaxed);
+  }
+  conn.accounted = current;
+}
+
+void QueryServer::Shard::close_conn(Conn& conn) {
+  idle_timers.cancel(&conn);
+  write_timers.cancel(&conn);
+  ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, conn.fd, nullptr);
+  ::close(conn.fd);
+  mem_bytes.fetch_sub(conn.accounted, std::memory_order_relaxed);
+  if (conn_gauge != nullptr) conn_gauge->add(-1);
+  const int fd = conn.fd;
+  conns.erase(fd);  // destroys conn — must be the last touch
+  if (srv->live_conns_.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+      (srv->drain_.load(std::memory_order_acquire) ||
+       srv->stop_.load(std::memory_order_acquire))) {
+    // The drain CV wakes stop() the instant the last connection closes;
+    // the empty critical section pairs with the wait_for's lock so the
+    // notify cannot slip between its predicate check and its sleep.
+    { std::lock_guard<std::mutex> lock(srv->drain_mu_); }
+    srv->drain_cv_.notify_all();
+  }
+}
+
+void QueryServer::Shard::update_interest(Conn& conn) {
+  std::uint32_t want = 0;
+  if (!conn.closing) want |= EPOLLIN;
+  if (conn.has_output()) want |= EPOLLOUT;
+  if (want == conn.armed_events) return;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.fd = conn.fd;
+  ::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev);
+  conn.armed_events = want;
+}
+
+bool QueryServer::Shard::flush(Conn& conn) {
+  while (conn.has_output()) {
+    iovec iov[2];
+    std::size_t iov_count = 0;
+    if (conn.out_off < conn.out_front.size()) {
+      iov[iov_count++] = {conn.out_front.data() + conn.out_off,
+                          conn.out_front.size() - conn.out_off};
+    }
+    if (!conn.out_back.empty()) {
+      iov[iov_count++] = {conn.out_back.data(), conn.out_back.size()};
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = iov_count;
+    ssize_t n;
+    int injected = 0;
+    if (fault::inject("serve.write", &injected)) {
+      n = -1;
+      errno = injected;
+    } else {
+      n = ::sendmsg(conn.fd, &msg, MSG_NOSIGNAL);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;  // full
+      return false;  // peer gone / hard error
+    }
+    srv->bytes_written_.add(static_cast<std::uint64_t>(n));
+    std::size_t wrote = static_cast<std::size_t>(n);
+    while (wrote > 0) {
+      const std::size_t front_left = conn.out_front.size() - conn.out_off;
+      if (wrote < front_left) {
+        conn.out_off += wrote;
+        wrote = 0;
+      } else {
+        wrote -= front_left;
+        conn.out_front.clear();
+        conn.out_off = 0;
+        std::swap(conn.out_front, conn.out_back);
+      }
+    }
+  }
+  return true;
+}
+
+bool QueryServer::Shard::finish_io(Conn& conn) {
+  if (!flush(conn)) {
+    close_conn(conn);
+    return false;
+  }
+  if (!conn.has_output()) {
+    write_timers.cancel(&conn);
+    if (conn.closing) {
+      close_conn(conn);
+      return false;
+    }
+  } else if (srv->options_.io_timeout_ms > 0 && !conn.write_link.armed) {
+    // Armed when output first becomes pending, not re-armed on partial
+    // progress: the whole backlog must drain within one write deadline.
+    write_timers.arm(&conn,
+                     steady_clock::now() + std::chrono::milliseconds(
+                                               srv->options_.io_timeout_ms));
+  }
+  account(conn);
+  update_interest(conn);
+  return true;
+}
+
+bool QueryServer::Shard::process_frame(Conn& conn) {
+  conn.seen_binary = true;
+  if (conn.avail() < wire::kHeaderSize) return true;  // torn header: wait
+  wire::FrameHeader header;
+  if (!wire::decode_header(conn.in.data() + conn.in_off, header)) {
+    // Bad magic means framing itself is lost; there is no safe resync.
+    srv->malformed_.add(1);
+    return false;
+  }
+  wire::FrameHeader resp;
+  resp.opcode = header.opcode;
+  resp.request_id = header.request_id;
+  if (header.payload_len > wire::kMaxPayload) {
+    // Refuse to buffer it: error frame, then close once it flushes.
+    srv->malformed_.add(1);
+    resp.status = wire::kTooLarge;
+    wire::append_header(conn.out_back, resp);
+    conn.closing = true;
+    return true;
+  }
+  if (conn.avail() < wire::kHeaderSize + header.payload_len) {
+    return true;  // torn payload: wait for the rest
+  }
+  const char* payload = conn.in.data() + conn.in_off + wire::kHeaderSize;
+  conn.in_off += wire::kHeaderSize + header.payload_len;
+
+  const auto start = steady_clock::now();
+  srv->requests_.add(1);
+  srv->bin_frames_.add(1);
+  switch (header.opcode) {
+    case wire::kOpLpmBatch: {
+      if (header.payload_len % 4 != 0 ||
+          header.payload_len / 4 > wire::kMaxFrameEntries) {
+        srv->malformed_.add(1);
+        resp.status = wire::kBadFrame;
+        wire::append_header(conn.out_back, resp);
+        break;
+      }
+      const std::size_t n = header.payload_len / 4;
+      addrs.resize(n);
+      records.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        addrs[i] = wire::load_u32le(payload + 4 * i);
+      }
+      std::shared_ptr<const EngineState> state = srv->engine();
+      const QueryEngine& engine = state->engine();
+      engine.lookup_batch(addrs, records);
+      srv->bin_lookups_.add(n);
+      resp.status = wire::kOk;
+      resp.payload_len = static_cast<std::uint32_t>(n * wire::kResultSize);
+      wire::append_header(conn.out_back, resp);
+      std::uint64_t hit_count = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        wire::Result result;
+        if (records[i] == QueryEngine::kNoRecord) {
+          result.prefix_len = wire::kMissLen;
+        } else {
+          ++hit_count;
+          const QueryEngine::Brief brief = engine.brief(records[i]);
+          result.prefix_addr = brief.prefix_addr;
+          result.prefix_len = brief.prefix_len;
+          result.group = brief.group;
+          result.flags = brief.leased ? wire::kFlagLeased : 0;
+        }
+        wire::append_result(conn.out_back, result);
+      }
+      srv->hits_.add(hit_count);
+      srv->misses_.add(n - hit_count);
+      break;
+    }
+    case wire::kOpExactBatch: {
+      if (header.payload_len % 8 != 0 ||
+          header.payload_len / 8 > wire::kMaxFrameEntries) {
+        srv->malformed_.add(1);
+        resp.status = wire::kBadFrame;
+        wire::append_header(conn.out_back, resp);
+        break;
+      }
+      const std::size_t n = header.payload_len / 8;
+      bool bad_entry = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (static_cast<unsigned char>(payload[8 * i + 4]) > 32) {
+          bad_entry = true;
+          break;
+        }
+      }
+      if (bad_entry) {
+        srv->malformed_.add(1);
+        resp.status = wire::kBadFrame;
+        wire::append_header(conn.out_back, resp);
+        break;
+      }
+      std::shared_ptr<const EngineState> state = srv->engine();
+      const QueryEngine& engine = state->engine();
+      srv->bin_lookups_.add(n);
+      resp.status = wire::kOk;
+      resp.payload_len = static_cast<std::uint32_t>(n * wire::kResultSize);
+      wire::append_header(conn.out_back, resp);
+      std::uint64_t hit_count = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t addr = wire::load_u32le(payload + 8 * i);
+        const int len = static_cast<unsigned char>(payload[8 * i + 4]);
+        auto prefix = Prefix::make(Ipv4Addr(addr), len);  // canonicalizes
+        wire::Result result;
+        std::optional<std::uint32_t> idx =
+            prefix ? engine.exact(*prefix) : std::nullopt;
+        if (!idx) {
+          result.prefix_len = wire::kMissLen;
+        } else {
+          ++hit_count;
+          const QueryEngine::Brief brief = engine.brief(*idx);
+          result.prefix_addr = brief.prefix_addr;
+          result.prefix_len = brief.prefix_len;
+          result.group = brief.group;
+          result.flags = brief.leased ? wire::kFlagLeased : 0;
+        }
+        wire::append_result(conn.out_back, result);
+      }
+      srv->hits_.add(hit_count);
+      srv->misses_.add(n - hit_count);
+      break;
+    }
+    default: {
+      srv->malformed_.add(1);
+      resp.status = wire::kBadOpcode;
+      wire::append_header(conn.out_back, resp);
+      break;
+    }
+  }
+  const auto elapsed = steady_clock::now() - start;
+  srv->latency_bin_.record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
+  return true;
+}
+
+bool QueryServer::Shard::process(Conn& conn) {
+  for (;;) {
+    if (conn.closing || conn.avail() == 0) return true;
+    if (static_cast<unsigned char>(conn.in[conn.in_off]) ==
+        wire::kMagicByte0) {
+      const std::size_t before = conn.in_off;
+      if (!process_frame(conn)) return false;
+      if (conn.in_off == before && !conn.closing) return true;  // torn
+      continue;
+    }
+    const std::size_t nl = conn.in.find('\n', conn.in_off);
+    if (nl == std::string::npos) {
+      // No complete line; a peer streaming unbounded junk is cut off.
+      return conn.avail() <= kMaxBufferedInput;
+    }
+    std::string_view line(conn.in.data() + conn.in_off, nl - conn.in_off);
+    conn.in_off = nl + 1;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) continue;
+    std::string response = srv->handle_request(line);
+    conn.out_back += response;
+    conn.out_back += '\n';
+    if (srv->stop_.load(std::memory_order_acquire)) {
+      // SHUTDOWN (from this or any connection): answer what is in flight,
+      // drop the rest of the pipeline, flush, close.
+      conn.closing = true;
+      return true;
+    }
+  }
+}
+
+void QueryServer::Shard::on_readable(Conn& conn) {
+  if (conn.closing) return;
+  ssize_t n;
+  int injected = 0;
+  if (fault::inject("serve.read", &injected)) {
+    n = -1;
+    errno = injected;
+  } else {
+    n = ::recv(conn.fd, chunk.data(), chunk.size(), 0);
+  }
+  if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+    return;  // level-triggered epoll re-reports anything still pending
+  }
+  if (n <= 0) {
+    close_conn(conn);  // peer closed or hard error
+    return;
+  }
+  srv->bytes_read_.add(static_cast<std::uint64_t>(n));
+  conn.in.append(chunk.data(), static_cast<std::size_t>(n));
+  if (srv->options_.idle_timeout_ms > 0) {
+    idle_timers.arm(&conn,
+                    steady_clock::now() + std::chrono::milliseconds(
+                                              srv->options_.idle_timeout_ms));
+  }
+  if (!process(conn)) {
+    close_conn(conn);
+    return;
+  }
+  conn.compact();
+  finish_io(conn);
+}
+
+void QueryServer::Shard::expire_timers(steady_clock::time_point now) {
+  while (Conn* conn = idle_timers.front()) {
+    if (conn->idle_link.deadline > now) break;
+    idle_timers.cancel(conn);
+    srv->timeouts_.add(1);
+    // Best-effort farewell for text peers; a binary peer would read it as
+    // a corrupt frame, so it just gets the close.
+    if (!conn->seen_binary) conn->out_back += "{\"error\":\"idle timeout\"}\n";
+    conn->closing = true;
+    finish_io(*conn);  // flushes + closes, or arms the write deadline
+  }
+  while (Conn* conn = write_timers.front()) {
+    if (conn->write_link.deadline > now) break;
+    srv->timeouts_.add(1);
+    close_conn(*conn);
+  }
+}
+
+int QueryServer::Shard::compute_timeout(steady_clock::time_point now) const {
+  long long best = -1;
+  auto consider = [&](steady_clock::time_point deadline) {
+    auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                    now)
+                  .count() +
+              1;  // round up so we wake at-or-after the deadline
+    ms = std::max<long long>(ms, 0);
+    if (best < 0 || ms < best) best = ms;
+  };
+  if (const Conn* conn = idle_timers.front()) {
+    consider(conn->idle_link.deadline);
+  }
+  if (const Conn* conn = write_timers.front()) {
+    consider(conn->write_link.deadline);
+  }
+  if (best < 0) return -1;  // no timers: the eventfd is the only wake-up
+  return static_cast<int>(std::min<long long>(best, 60'000));
+}
+
+void QueryServer::Shard::adopt_inbox() {
+  std::vector<int> fds;
+  {
+    std::lock_guard<std::mutex> lock(inbox_mu);
+    fds.swap(inbox);
+  }
+  for (int fd : fds) {
+    auto owned = std::make_unique<Conn>();
+    owned->fd = fd;
+    Conn* conn = owned.get();
+    conns.emplace(fd, std::move(owned));
+    if (conn_gauge != nullptr) conn_gauge->add(1);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      close_conn(*conn);
+      continue;
+    }
+    conn->armed_events = EPOLLIN;
+    if (srv->options_.idle_timeout_ms > 0) {
+      idle_timers.arm(conn, steady_clock::now() +
+                                std::chrono::milliseconds(
+                                    srv->options_.idle_timeout_ms));
+    }
+    account(*conn);
+  }
+  // A RELOAD wakeup lands here too: re-sample the generation gauge so
+  // scrapes right after a swap see the new generation.
+  srv->generation_gauge_.set(
+      static_cast<std::int64_t>(srv->engine()->generation()));
+}
+
+void QueryServer::Shard::apply_drain(bool force) {
+  std::vector<Conn*> doomed;
+  for (auto& [fd, conn] : conns) {
+    if (force || !conn->has_output()) {
+      doomed.push_back(conn.get());
+    } else if (!conn->closing) {
+      // Pending responses flush first; the write deadline (or force at the
+      // drain deadline) bounds how long a non-reading peer can hold us.
+      conn->closing = true;
+      idle_timers.cancel(conn.get());
+      if (srv->options_.io_timeout_ms > 0 && !conn->write_link.armed) {
+        write_timers.arm(conn.get(),
+                         steady_clock::now() +
+                             std::chrono::milliseconds(
+                                 srv->options_.io_timeout_ms));
+      }
+      update_interest(*conn);
+    }
+  }
+  for (Conn* conn : doomed) close_conn(*conn);
+}
+
+void QueryServer::Shard::loop() {
+  std::vector<epoll_event> events(128);
+  for (;;) {
+    const bool draining = srv->drain_.load(std::memory_order_acquire) ||
+                          srv->stop_.load(std::memory_order_acquire);
+    const bool forcing = srv->force_.load(std::memory_order_acquire);
+    if (draining || forcing) {
+      adopt_inbox();  // late handovers get closed with correct accounting
+      apply_drain(forcing);
+      if (conns.empty()) return;
+    }
+    const int timeout_ms = compute_timeout(steady_clock::now());
+    int n;
+    int injected = 0;
+    if (fault::inject("serve.epoll_wait", &injected)) {
+      n = -1;
+      errno = injected;
+    } else {
+      n = ::epoll_wait(epoll_fd, events.data(),
+                       static_cast<int>(events.size()), timeout_ms);
+    }
+    if (n < 0) {
+      if (errno != EINTR) {
+        srv->epoll_retries_.add(1);
+        SUBLET_LOG(kWarn) << "epoll_wait(shard " << index
+                          << "): " << strerror(errno) << "; retrying";
+      }
+      continue;
+    }
+    for (int i = 0; i < n; ++i) {
+      const epoll_event& ev = events[i];
+      if (ev.data.fd == event_fd) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] ssize_t rc =
+            ::read(event_fd, &drained, sizeof(drained));
+        adopt_inbox();
+        continue;
+      }
+      auto it = conns.find(ev.data.fd);
+      if (it == conns.end()) continue;  // closed earlier in this batch
+      Conn& conn = *it->second;
+      if (ev.events & (EPOLLERR | EPOLLHUP)) {
+        close_conn(conn);
+        continue;
+      }
+      if ((ev.events & EPOLLOUT) != 0 && !finish_io(conn)) continue;
+      if ((ev.events & EPOLLIN) != 0) on_readable(conn);
+    }
+    expire_timers(steady_clock::now());
+  }
+}
+
+// ---- server ---------------------------------------------------------------
+
 QueryServer::QueryServer(std::shared_ptr<const EngineState> engine,
                          Options options)
     : options_(options),
@@ -101,17 +730,38 @@ QueryServer::QueryServer(std::shared_ptr<const EngineState> engine,
       accept_retries_(registry_.counter(
           "sublet_serve_accept_retries_total",
           "Transient accept() errors survived by the accept loop")),
+      epoll_retries_(registry_.counter(
+          "sublet_serve_epoll_retries_total",
+          "epoll_wait() errors survived by the shard event loops")),
       reloads_(registry_.counter("sublet_serve_reloads_total",
                                  "Successful snapshot hot swaps")),
       reload_failures_(registry_.counter(
           "sublet_serve_reload_failures_total",
           "Rejected RELOADs (previous engine kept serving)")),
+      bin_frames_(registry_.counter("sublet_serve_bin_frames_total",
+                                    "Binary protocol frames handled")),
+      bin_lookups_(registry_.counter(
+          "sublet_serve_bin_lookups_total",
+          "Addresses resolved through binary batch frames")),
+      bytes_read_(registry_.counter("sublet_serve_bytes_read_total",
+                                    "Bytes received from clients")),
+      bytes_written_(registry_.counter("sublet_serve_bytes_written_total",
+                                       "Bytes sent to clients")),
       generation_gauge_(registry_.gauge("sublet_serve_generation",
                                         "Current engine generation")),
       active_conns_gauge_(registry_.gauge(
           "sublet_serve_active_connections", "Currently open connections")),
-      latency_(registry_.histogram("sublet_serve_latency_ns",
-                                   "Per-request handling latency")) {}
+      latency_exact_(registry_.histogram(
+          obs::labeled("sublet_serve_latency_ns", "verb", "exact"),
+          "Per-request handling latency")),
+      latency_lpm_(registry_.histogram(
+          obs::labeled("sublet_serve_latency_ns", "verb", "lpm"))),
+      latency_mlpm_(registry_.histogram(
+          obs::labeled("sublet_serve_latency_ns", "verb", "mlpm"))),
+      latency_bin_(registry_.histogram(
+          obs::labeled("sublet_serve_latency_ns", "verb", "bin"))),
+      latency_other_(registry_.histogram(
+          obs::labeled("sublet_serve_latency_ns", "verb", "other"))) {}
 
 QueryServer::~QueryServer() { stop(); }
 
@@ -120,9 +770,23 @@ std::shared_ptr<const EngineState> QueryServer::engine() const {
   return engine_;
 }
 
-std::size_t QueryServer::active_connections() const {
-  std::lock_guard<std::mutex> lock(conns_mu_);
-  return conns_.size();
+obs::Histogram& QueryServer::verb_histogram(Verb verb) {
+  switch (verb) {
+    case Verb::kExact: return latency_exact_;
+    case Verb::kLpm: return latency_lpm_;
+    case Verb::kMlpm: return latency_mlpm_;
+    case Verb::kBin: return latency_bin_;
+    case Verb::kOther: break;
+  }
+  return latency_other_;
+}
+
+std::size_t QueryServer::connection_memory_bytes() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->mem_bytes.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 Expected<std::uint16_t> QueryServer::start() {
@@ -151,13 +815,68 @@ Expected<std::uint16_t> QueryServer::start() {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
   start_time_ = steady_clock::now();
-  pool_ = std::make_unique<par::ThreadPool>(options_.threads);
+
+  unsigned shards = options_.shards != 0 ? options_.shards : options_.threads;
+  if (shards == 0) shards = std::max(1u, std::thread::hardware_concurrency());
+  shard_count_ = shards;
+  auto teardown = [this] {
+    for (auto& shard : shards_) {
+      if (shard->epoll_fd >= 0) ::close(shard->epoll_fd);
+      if (shard->event_fd >= 0) ::close(shard->event_fd);
+    }
+    shards_.clear();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  };
+  for (unsigned i = 0; i < shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->srv = this;
+    shard->index = i;
+    shard->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    shard->event_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (shard->epoll_fd < 0 || shard->event_fd < 0) {
+      std::string message =
+          "epoll/eventfd setup: " + std::string(strerror(errno));
+      shards_.push_back(std::move(shard));
+      teardown();
+      return fail(std::move(message));
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = shard->event_fd;
+    if (::epoll_ctl(shard->epoll_fd, EPOLL_CTL_ADD, shard->event_fd, &ev) !=
+        0) {
+      std::string message = "epoll_ctl(): " + std::string(strerror(errno));
+      shards_.push_back(std::move(shard));
+      teardown();
+      return fail(std::move(message));
+    }
+    shard->conn_gauge = &registry_.gauge(
+        obs::labeled("sublet_serve_shard_connections", "shard",
+                     std::to_string(i)),
+        "Open connections owned by this event-loop shard");
+    shards_.push_back(std::move(shard));
+  }
+  for (auto& shard : shards_) {
+    Shard* raw = shard.get();
+    shard->thread = std::thread([raw] { raw->loop(); });
+  }
   accept_thread_ = std::thread([this] { accept_loop(); });
   return port_;
 }
 
+void QueryServer::wake_all_shards() {
+  for (auto& shard : shards_) {
+    if (shard->event_fd < 0) continue;
+    std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t rc =
+        ::write(shard->event_fd, &one, sizeof(one));
+  }
+}
+
 void QueryServer::accept_loop() {
   int backoff_ms = 0;
+  std::size_t next_shard = 0;
   for (;;) {
     if (stop_.load(std::memory_order_acquire)) return;
     int ready = wait_fd(listen_fd_, POLLIN, kPollSliceMs);
@@ -194,23 +913,29 @@ void QueryServer::accept_loop() {
       ::close(fd);
       return;
     }
-    if (options_.max_conns > 0 &&
-        active_connections() >= options_.max_conns) {
-      // Shed instead of queueing unboundedly: one line, then close.
+    const std::size_t current =
+        live_conns_.fetch_add(1, std::memory_order_acq_rel);
+    if (options_.max_conns > 0 && current >= options_.max_conns) {
+      // Shed instead of queueing unboundedly: one line, then close. The
+      // fd stays blocking here — it never reaches a shard.
+      live_conns_.fetch_sub(1, std::memory_order_acq_rel);
       shed_.add(1);
-      write_deadline(fd, "{\"error\":\"overloaded\"}\n");
+      send_with_deadline(fd, "{\"error\":\"overloaded\"}\n");
       ::close(fd);
       continue;
     }
+    set_nonblocking(fd);
+    Shard& shard = *shards_[next_shard++ % shard_count_];
     {
-      std::lock_guard<std::mutex> lock(conns_mu_);
-      conns_.insert(fd);
+      std::lock_guard<std::mutex> lock(shard.inbox_mu);
+      shard.inbox.push_back(fd);
     }
-    pool_->submit([this, fd] { handle_connection(fd); });
+    std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t rc = ::write(shard.event_fd, &one, sizeof(one));
   }
 }
 
-bool QueryServer::write_deadline(int fd, std::string_view data) {
+bool QueryServer::send_with_deadline(int fd, std::string_view data) {
   const auto deadline =
       steady_clock::now() + std::chrono::milliseconds(options_.io_timeout_ms);
   while (!data.empty()) {
@@ -238,7 +963,7 @@ bool QueryServer::write_deadline(int fd, std::string_view data) {
       n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
     }
     if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
       return false;
     }
     data.remove_prefix(static_cast<std::size_t>(n));
@@ -246,79 +971,9 @@ bool QueryServer::write_deadline(int fd, std::string_view data) {
   return true;
 }
 
-void QueryServer::handle_connection(int fd) {
-  std::string buffer;
-  char chunk[4096];
-  auto last_activity = steady_clock::now();
-  for (;;) {
-    std::size_t nl = buffer.find('\n');
-    if (nl != std::string::npos) {
-      std::string line = buffer.substr(0, nl);
-      buffer.erase(0, nl + 1);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (line.empty()) continue;
-      std::string response = handle_request(line);
-      response += '\n';
-      if (!write_deadline(fd, response)) break;
-      if (stop_.load(std::memory_order_acquire)) break;
-      last_activity = steady_clock::now();
-      continue;
-    }
-    if (buffer.size() > kMaxBufferedInput) break;
-    // Wait for more input in short slices so both the idle deadline and a
-    // concurrent stop() are honored promptly.
-    bool idle_expired = false;
-    int ready = -1;
-    for (;;) {
-      if (stop_.load(std::memory_order_acquire)) break;
-      int slice = kPollSliceMs;
-      if (options_.idle_timeout_ms > 0) {
-        auto idle_ms =
-            std::chrono::duration_cast<std::chrono::milliseconds>(
-                steady_clock::now() - last_activity)
-                .count();
-        auto remaining = options_.idle_timeout_ms - idle_ms;
-        if (remaining <= 0) {
-          idle_expired = true;
-          break;
-        }
-        slice = static_cast<int>(std::min<long long>(slice, remaining));
-      }
-      ready = wait_fd(fd, POLLIN, slice);
-      if (ready != 0) break;  // readable, hung up, or error
-    }
-    if (stop_.load(std::memory_order_acquire)) break;
-    if (idle_expired) {
-      // A slow-loris peer (bytes but never a newline, or silence) is cut
-      // at the deadline; the notice is best-effort.
-      timeouts_.add(1);
-      write_deadline(fd, "{\"error\":\"idle timeout\"}\n");
-      break;
-    }
-    if (ready < 0) break;
-    int injected = 0;
-    ssize_t n;
-    if (fault::inject("serve.read", &injected)) {
-      n = -1;
-      errno = injected;
-    } else {
-      n = ::recv(fd, chunk, sizeof(chunk), 0);
-    }
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;  // client closed, or stop() shut the socket down
-    buffer.append(chunk, static_cast<std::size_t>(n));
-    last_activity = steady_clock::now();
-  }
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    conns_.erase(fd);
-  }
-  ::close(fd);
-}
-
 Expected<std::uint64_t> QueryServer::reload(const std::string& path) {
   // One RELOAD at a time; the load + validation runs here, off the other
-  // handlers' hot path — they keep answering from the current engine.
+  // shards' hot path — they keep answering from the current engine.
   std::lock_guard<std::mutex> reload_lock(reload_mu_);
   const std::uint64_t next_generation = engine()->generation() + 1;
   auto next = EngineState::load(path, options_.reload_mode, next_generation);
@@ -335,6 +990,9 @@ Expected<std::uint64_t> QueryServer::reload(const std::string& path) {
     engine_ = std::move(*next);
   }
   reloads_.add(1);
+  // Shards hold no engine references between requests (one shared_ptr
+  // acquire per request), so the wakeup just refreshes their gauges.
+  wake_all_shards();
   SUBLET_LOG(kInfo) << "reloaded generation " << next_generation << " from "
                     << path;
   return next_generation;
@@ -365,6 +1023,7 @@ std::string QueryServer::health_json() const {
 std::string QueryServer::handle_request(std::string_view line) {
   const auto start = std::chrono::steady_clock::now();
   requests_.add(1);
+  Verb verb_class = Verb::kOther;
   std::string response;
   std::vector<std::string_view> parts = split_ws(line);
   const std::string_view verb = parts.empty() ? std::string_view() : parts[0];
@@ -411,7 +1070,9 @@ std::string QueryServer::handle_request(std::string_view line) {
     response = json.take();
     stop_.store(true, std::memory_order_release);
     stop_cv_.notify_all();
+    wake_all_shards();
   } else if (iequals(verb, "MLPM") && parts.size() >= 2) {
+    verb_class = Verb::kMlpm;
     constexpr std::size_t kMaxBatch = 1024;
     if (parts.size() - 1 > kMaxBatch) {
       malformed_.add(1);
@@ -471,6 +1132,7 @@ std::string QueryServer::handle_request(std::string_view line) {
     }
   } else if ((iequals(verb, "EXACT") || iequals(verb, "LPM")) &&
              parts.size() == 2) {
+    verb_class = iequals(verb, "EXACT") ? Verb::kExact : Verb::kLpm;
     std::optional<Prefix> query = parse_query(parts[1]);
     if (!query) {
       malformed_.add(1);
@@ -504,8 +1166,10 @@ std::string QueryServer::handle_request(std::string_view line) {
         "' (want EXACT|LPM|MLPM|STATS|HEALTH|METRICS|RELOAD|SHUTDOWN)");
   }
   const auto elapsed = std::chrono::steady_clock::now() - start;
-  latency_.record(static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
+  verb_histogram(verb_class)
+      .record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count()));
   return response;
 }
 
@@ -521,10 +1185,25 @@ StatsSnapshot QueryServer::stats() const {
   out.reloads = reloads_.value();
   out.reload_failures = reload_failures_.value();
   out.generation = engine()->generation();
-  // quantile() returns the bucket-midpoint in nanoseconds; dividing here
-  // reproduces the old LatencyHistogram::quantile_us doubles bit-for-bit.
-  out.p50_us = latency_.quantile(0.50) / 1000.0;
-  out.p99_us = latency_.quantile(0.99) / 1000.0;
+  // Merge the per-verb latency series bucket-by-bucket, then apply the
+  // registry histogram's exact quantile math: every request is recorded in
+  // exactly one verb series, so the merge equals the old single histogram
+  // and the p50/p99 doubles stay bit-identical. quantile units are
+  // nanoseconds; dividing reproduces the legacy microsecond doubles.
+  obs::HistogramSnapshot merged;
+  const obs::Histogram* series[] = {&latency_exact_, &latency_lpm_,
+                                    &latency_mlpm_, &latency_bin_,
+                                    &latency_other_};
+  for (const obs::Histogram* histogram : series) {
+    const obs::HistogramSnapshot snap = histogram->snapshot();
+    for (std::size_t b = 0; b < snap.buckets.size(); ++b) {
+      merged.buckets[b] += snap.buckets[b];
+    }
+    merged.count += snap.count;
+    merged.sum += snap.sum;
+  }
+  out.p50_us = snapshot_quantile(merged, 0.50) / 1000.0;
+  out.p99_us = snapshot_quantile(merged, 0.99) / 1000.0;
   return out;
 }
 
@@ -542,36 +1221,50 @@ std::string QueryServer::metrics_text() const {
 void QueryServer::wait(const std::function<bool()>& predicate) {
   std::unique_lock<std::mutex> lock(stop_mu_);
   while (!stop_requested() && !(predicate && predicate())) {
-    stop_cv_.wait_for(lock, std::chrono::milliseconds(100));
+    stop_cv_.wait_for(lock, std::chrono::milliseconds(kPollSliceMs));
   }
 }
 
 void QueryServer::stop() {
   stop_.store(true, std::memory_order_release);
   stop_cv_.notify_all();
+  if (stopped_.exchange(true)) return;  // idempotent
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-  // Graceful drain: handlers notice stop_ within one poll slice, finish
-  // the request in flight, and close. Only connections still open at the
-  // deadline are forced.
-  const auto deadline =
-      steady_clock::now() +
-      std::chrono::milliseconds(std::max(0, options_.drain_timeout_ms));
-  while (steady_clock::now() < deadline) {
-    if (active_connections() == 0) break;
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
-  }
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    for (int fd : conns_) ::shutdown(fd, SHUT_RDWR);
-  }
   if (accept_thread_.joinable()) accept_thread_.join();
+  // Graceful drain: shards flush buffered responses and close; the CV
+  // fires the instant the live count reaches zero, so shutdown latency is
+  // the actual drain time, not a sleep quantum.
+  drain_.store(true, std::memory_order_release);
+  wake_all_shards();
   {
-    // Connections accepted while stop() was running registered after the
-    // first pass; the accept thread is joined, so this pass is complete.
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    for (int fd : conns_) ::shutdown(fd, SHUT_RDWR);
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    drain_cv_.wait_for(
+        lock, std::chrono::milliseconds(std::max(0, options_.drain_timeout_ms)),
+        [this] { return live_conns_.load(std::memory_order_acquire) == 0; });
   }
-  pool_.reset();  // drains queued handlers, then joins the workers
+  force_.store(true, std::memory_order_release);
+  wake_all_shards();
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+  for (auto& shard : shards_) {
+    // Accepted fds raced into an inbox after its shard exited are closed
+    // here so nothing leaks (the accept thread is already joined).
+    std::lock_guard<std::mutex> lock(shard->inbox_mu);
+    for (int fd : shard->inbox) {
+      ::close(fd);
+      live_conns_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    shard->inbox.clear();
+    if (shard->epoll_fd >= 0) {
+      ::close(shard->epoll_fd);
+      shard->epoll_fd = -1;
+    }
+    if (shard->event_fd >= 0) {
+      ::close(shard->event_fd);
+      shard->event_fd = -1;
+    }
+  }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;

@@ -1,37 +1,47 @@
-// Multi-threaded TCP prefix-query server (docs/SERVING.md,
+// Event-driven TCP prefix-query server (docs/SERVING.md,
 // docs/ROBUSTNESS.md).
 //
-// Wire protocol: newline-delimited requests, one single-line JSON response
-// per request:
+// Two protocols share one port, distinguished by the first byte of each
+// request:
 //
-//   EXACT <prefix>        record stored exactly at the prefix
-//   LPM <prefix|address>  longest-prefix match (an address means /32)
-//   MLPM <addr> [...]     batched LPM over up to 1024 addresses, routed
-//                         through the stride table's prefetched batch path
-//   STATS                 counters + latency percentiles + the engine's
-//                         snapshot aggregate and memory breakdown
-//   HEALTH                engine generation, snapshot path, uptime, drain
-//   RELOAD <path>         hot-swap to a freshly validated snapshot
-//   SHUTDOWN              acknowledge, then ask the owner to stop
+//  - text: newline-delimited verbs, one single-line JSON response each
+//    (EXACT / LPM / MLPM / STATS / HEALTH / METRICS / RELOAD / SHUTDOWN —
+//    byte-identical to the pre-epoll server, pinned by a differential
+//    test);
+//  - binary: length-prefixed frames (serve/wire.h) whose magic byte 0xB5
+//    can never open a text verb. One frame carries a batch of raw u32
+//    addresses answered straight off QueryEngine::lookup_batch into the
+//    connection's output buffer — hundreds of lookups per syscall
+//    round-trip with zero steady-state allocation.
 //
-// The accept loop runs on its own thread; each accepted connection is
-// handled on the PR-1 ThreadPool (threads == 1 keeps the pool in inline
-// mode: connections are served one at a time on the accept thread, the
-// exact serial semantics the rest of the codebase uses for --threads 1).
+// Concurrency model: an accept thread plus `--shards N` event-loop threads
+// (default: hardware concurrency). Each shard owns an epoll fd, an eventfd
+// for cross-thread wakeup (reload / drain / stop), and the full state of
+// the connections the accept thread round-robins to it — non-blocking fds,
+// per-connection read/write state machines, and two intrusive timer lists
+// (idle and write deadlines; timeouts are per-server constants, so arming
+// appends to the tail and the head is always the earliest deadline — O(1)
+// arm/cancel/expire, no poll slices). Connections never migrate between
+// shards, so all per-connection state is owned by exactly one thread and
+// needs no locks.
 //
-// Fault tolerance:
+// Fault tolerance (all PR-4 semantics survive the rewrite):
 //  - the serving state (snapshot + engine) lives behind an RCU-style
 //    shared_ptr; RELOAD validates the new snapshot off the hot path and
 //    swaps atomically — in-flight queries finish on the old engine and a
 //    failed load keeps the old generation serving;
-//  - per-connection poll-based idle/write deadlines disconnect slow-loris
-//    peers instead of parking a handler forever;
+//  - per-connection idle/write deadlines disconnect slow-loris peers;
 //  - a max-concurrent-connections cap sheds load with a one-line
 //    {"error":"overloaded"} response instead of queueing unboundedly;
 //  - transient accept() errors (EMFILE/ENFILE/ECONNABORTED/EAGAIN) log,
-//    back off, and continue rather than killing the accept thread;
-//  - stop() drains gracefully: in-flight requests finish, then remaining
-//    sockets are forced closed at the drain deadline.
+//    back off, and continue rather than killing the accept thread, and an
+//    injected epoll_wait failure (serve.epoll_wait) is survived the same
+//    way;
+//  - stop() drains gracefully: buffered responses flush, idle connections
+//    close, and a condition variable fires the moment the live-connection
+//    count reaches zero (shutdown latency is bounded by the actual drain,
+//    not a sleep quantum); stragglers are forced closed at the drain
+//    deadline.
 #pragma once
 
 #include <atomic>
@@ -43,12 +53,11 @@
 #include <mutex>
 #include <string>
 #include <thread>
-#include <unordered_set>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "serve/engine_state.h"
 #include "util/expected.h"
-#include "util/parallel.h"
 
 namespace sublet::serve {
 
@@ -74,15 +83,19 @@ class QueryServer {
  public:
   struct Options {
     std::uint16_t port = 0;  ///< 0 = ephemeral; read back via port()
-    unsigned threads = 0;    ///< handler threads; 0 = default, 1 = inline
+    /// Event-loop shards (one epoll thread each); 0 = default.
+    unsigned shards = 0;
+    /// Legacy alias for `shards` (the pre-epoll server's handler-thread
+    /// knob); used only when `shards` is 0.
+    unsigned threads = 0;
     /// Max concurrently accepted connections; one over the cap is answered
     /// {"error":"overloaded"} and closed. 0 = unlimited (legacy).
     unsigned max_conns = 256;
     /// Close a connection after this long with no complete request.
     /// 0 = no idle deadline.
     int idle_timeout_ms = 60000;
-    /// Per-response write deadline (a peer that stops reading is cut).
-    /// 0 = no write deadline.
+    /// Deadline for draining a pending response to a peer that stopped
+    /// reading. 0 = no write deadline.
     int io_timeout_ms = 10000;
     /// How long stop() waits for in-flight connections to finish before
     /// forcing them closed.
@@ -99,12 +112,16 @@ class QueryServer {
   QueryServer(const QueryServer&) = delete;
   QueryServer& operator=(const QueryServer&) = delete;
 
-  /// Bind 127.0.0.1, listen, and spawn the accept loop. Returns the bound
-  /// port (useful with port 0) or an Error if the socket setup fails.
+  /// Bind 127.0.0.1, listen, and spawn the accept loop + shard threads.
+  /// Returns the bound port (useful with port 0) or an Error if the socket
+  /// or epoll setup fails.
   Expected<std::uint16_t> start();
 
   std::uint16_t port() const { return port_; }
   StatsSnapshot stats() const;
+
+  /// Event-loop shards actually running (resolved from Options).
+  unsigned shard_count() const { return shard_count_; }
 
   /// The current serving generation. Request handlers grab one shared_ptr
   /// per request, so a concurrent RELOAD never invalidates what they read.
@@ -152,30 +169,57 @@ class QueryServer {
   /// registry.
   const obs::MetricsRegistry& registry() const { return registry_; }
 
+  /// Currently open connections across all shards (accepted, not yet
+  /// closed). Exposed for the HEALTH verb and the soak tests.
+  std::size_t active_connections() const {
+    return live_conns_.load(std::memory_order_relaxed);
+  }
+
+  /// Bytes of per-connection state held across all shards: the Conn
+  /// objects themselves plus the capacity of every input/output buffer.
+  /// The 10k-idle-connection soak divides this by active_connections() to
+  /// enforce a per-connection memory budget.
+  std::size_t connection_memory_bytes() const;
+
  private:
+  // Per-connection state machine and the event-loop shard that owns it.
+  // Both are defined in server.cc; Shard's methods implement the epoll
+  // loop and have full access to the server's counters (nested types see
+  // the enclosing class's private members).
+  struct Conn;
+  struct Shard;
+
   void accept_loop();
-  void handle_connection(int fd);
-  /// Send all of `data` within the write deadline; false cuts the peer.
-  bool write_deadline(int fd, std::string_view data);
-  std::size_t active_connections() const;
+  void wake_all_shards();
+  /// Blocking best-effort send with the write deadline applied; used for
+  /// the pre-dispatch shed response only (the fd never reaches a shard).
+  bool send_with_deadline(int fd, std::string_view data);
+
+  enum class Verb { kExact, kLpm, kMlpm, kBin, kOther };
+  obs::Histogram& verb_histogram(Verb verb);
 
   Options options_;
+  unsigned shard_count_ = 1;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::thread accept_thread_;
-  std::unique_ptr<par::ThreadPool> pool_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::chrono::steady_clock::time_point start_time_;
 
   mutable std::mutex engine_mu_;
   std::shared_ptr<const EngineState> engine_;
   std::mutex reload_mu_;  ///< serializes RELOADs (not the swap itself)
 
-  std::atomic<bool> stop_{false};
+  std::atomic<bool> stop_{false};   ///< SHUTDOWN seen / stop() began
+  std::atomic<bool> drain_{false};  ///< shards: flush + close, no new reads
+  std::atomic<bool> force_{false};  ///< shards: close everything now
   std::mutex stop_mu_;
   std::condition_variable stop_cv_;
+  std::atomic<bool> stopped_{false};  ///< stop() already ran to completion
 
-  mutable std::mutex conns_mu_;
-  std::unordered_set<int> conns_;
+  std::atomic<std::size_t> live_conns_{0};
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;  ///< signalled when live_conns_ hits 0
 
   // Per-server metrics live in an owned registry (declared before the
   // references into it). The references are the request hot path: one
@@ -188,11 +232,23 @@ class QueryServer {
   obs::Counter& shed_;
   obs::Counter& timeouts_;
   obs::Counter& accept_retries_;
+  obs::Counter& epoll_retries_;
   obs::Counter& reloads_;
   obs::Counter& reload_failures_;
+  obs::Counter& bin_frames_;
+  obs::Counter& bin_lookups_;
+  obs::Counter& bytes_read_;
+  obs::Counter& bytes_written_;
   obs::Gauge& generation_gauge_;
   obs::Gauge& active_conns_gauge_;
-  obs::Histogram& latency_;
+  // Latency split per verb (satellite: per-verb histograms). STATS merges
+  // the five series bucket-by-bucket, so its p50/p99 doubles are
+  // bit-identical to the old single-histogram math.
+  obs::Histogram& latency_exact_;
+  obs::Histogram& latency_lpm_;
+  obs::Histogram& latency_mlpm_;
+  obs::Histogram& latency_bin_;
+  obs::Histogram& latency_other_;
 };
 
 }  // namespace sublet::serve

@@ -1,0 +1,338 @@
+// Adversarial binary-frame matrix (docs/SERVING.md): bad magic, oversized
+// payload length, truncated frames, ragged payloads, and unknown opcodes.
+// Runs as its own suite binary carrying the `frames` label so the
+// asan-ubsan preset exercises the frame parser under sanitizers.
+//
+// The expected behavior is deliberately asymmetric (see serve/wire.h):
+//   bad magic      -> close (framing is lost; nothing can be trusted)
+//   oversized len  -> kTooLarge error frame, then close (refuse to buffer)
+//   ragged payload -> kBadFrame error frame, connection survives
+//   bad opcode     -> kBadOpcode error frame, connection survives
+//   truncation     -> the server waits (torn read), and a peer that gives
+//                     up mid-frame just gets its connection reaped
+// In every case the server itself must keep serving other connections.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/engine_state.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+#include "snapshot/writer.h"
+
+namespace sublet::serve {
+namespace {
+
+using leasing::InferenceGroup;
+using leasing::LeaseInference;
+
+std::shared_ptr<const EngineState> memory_state() {
+  std::vector<LeaseInference> records;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    LeaseInference r;
+    r.prefix = *Prefix::make(Ipv4Addr((10u << 24) | (i << 8)), 24);
+    r.root_prefix = *Prefix::parse("10.0.0.0/8");
+    r.rir = whois::Rir::kRipe;
+    r.group = InferenceGroup::kLeasedWithRoot;
+    r.holder_org = "ORG";
+    r.holder_asns = {Asn(64512)};
+    r.netname = "NET-" + std::to_string(i);
+    records.push_back(std::move(r));
+  }
+  auto loaded = snapshot::Snapshot::from_bytes(
+      snapshot::encode_snapshot(records));
+  EXPECT_TRUE(loaded) << loaded.error().to_string();
+  auto state = EngineState::adopt(
+      std::make_unique<snapshot::Snapshot>(std::move(*loaded)), "<memory>");
+  EXPECT_TRUE(state) << state.error().to_string();
+  return *state;
+}
+
+struct RawConn {
+  int fd = -1;
+
+  static std::optional<RawConn> open(std::uint16_t port) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return std::nullopt;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    return RawConn{fd};
+  }
+
+  bool send_all(std::string_view data) {
+    while (!data.empty()) {
+      ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      data.remove_prefix(static_cast<std::size_t>(n));
+    }
+    return true;
+  }
+
+  /// Read until EOF or `timeout_ms`; returns everything received.
+  std::string read_to_eof(int timeout_ms) {
+    std::string out;
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeout_ms);
+    char chunk[4096];
+    for (;;) {
+      auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      deadline - std::chrono::steady_clock::now())
+                      .count();
+      if (left <= 0) return out;
+      pollfd pfd{fd, POLLIN, 0};
+      int rc = ::poll(&pfd, 1, static_cast<int>(left));
+      if (rc < 0 && errno == EINTR) continue;
+      if (rc <= 0) return out;
+      ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return out;  // EOF
+      out.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  bool read_exact(std::string& out, std::size_t want, int timeout_ms) {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeout_ms);
+    char chunk[4096];
+    while (out.size() < want) {
+      auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      deadline - std::chrono::steady_clock::now())
+                      .count();
+      if (left <= 0) return false;
+      pollfd pfd{fd, POLLIN, 0};
+      int rc = ::poll(&pfd, 1, static_cast<int>(left));
+      if (rc < 0 && errno == EINTR) continue;
+      if (rc <= 0) return false;
+      ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      out.append(chunk, static_cast<std::size_t>(n));
+    }
+    return true;
+  }
+
+  ~RawConn() {
+    if (fd >= 0) ::close(fd);
+  }
+  RawConn(RawConn&& other) noexcept : fd(other.fd) { other.fd = -1; }
+  explicit RawConn(int fd) : fd(fd) {}
+  RawConn(const RawConn&) = delete;
+};
+
+std::string lpm_frame(std::uint32_t request_id,
+                      const std::vector<std::uint32_t>& addrs) {
+  std::string frame;
+  wire::FrameHeader header;
+  header.opcode = wire::kOpLpmBatch;
+  header.request_id = request_id;
+  header.payload_len = static_cast<std::uint32_t>(addrs.size() * 4);
+  wire::append_header(frame, header);
+  for (std::uint32_t addr : addrs) {
+    char buf[4];
+    wire::store_u32le(buf, addr);
+    frame.append(buf, 4);
+  }
+  return frame;
+}
+
+class FrameFuzz : public testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<QueryServer>(
+        memory_state(), QueryServer::Options{.port = 0, .shards = 1});
+    auto port = server_->start();
+    ASSERT_TRUE(port) << port.error().to_string();
+    port_ = *port;
+  }
+
+  void TearDown() override {
+    // Whatever the fuzz case did, the server must still answer a clean
+    // request on a fresh connection before it shuts down.
+    auto client = QueryClient::connect("127.0.0.1", port_);
+    ASSERT_TRUE(client) << client.error().to_string();
+    auto response = client->request("EXACT 10.0.1.0/24");
+    ASSERT_TRUE(response) << response.error().to_string();
+    EXPECT_NE(response->find("\"found\":true"), std::string::npos);
+    server_->stop();
+  }
+
+  std::unique_ptr<QueryServer> server_;
+  std::uint16_t port_ = 0;
+};
+
+TEST_F(FrameFuzz, BadMagicClosesTheConnection) {
+  auto conn = RawConn::open(port_);
+  ASSERT_TRUE(conn);
+  // First byte matches the sniff (0xB5) but the full magic is wrong, so
+  // this cannot be routed as text either: framing is lost, close.
+  std::string junk = "\xB5\x42\x4C";
+  junk.push_back('\0');  // magic byte 3: 0x00 instead of 0x54
+  junk += " garbage that is not a frame";
+  ASSERT_TRUE(conn->send_all(junk));
+  std::string received = conn->read_to_eof(5000);
+  EXPECT_TRUE(received.empty()) << "got: " << received;
+  EXPECT_GE(server_->stats().malformed, 1u);
+}
+
+TEST_F(FrameFuzz, OversizedLengthGetsTooLargeThenClose) {
+  auto conn = RawConn::open(port_);
+  ASSERT_TRUE(conn);
+  std::string frame;
+  wire::FrameHeader header;
+  header.opcode = wire::kOpLpmBatch;
+  header.request_id = 99;
+  header.payload_len = wire::kMaxPayload + 1;
+  wire::append_header(frame, header);
+  ASSERT_TRUE(conn->send_all(frame));
+  // The error frame comes back, then EOF: the server refuses to buffer an
+  // unbounded payload and cuts the connection.
+  std::string received = conn->read_to_eof(5000);
+  ASSERT_GE(received.size(), wire::kHeaderSize);
+  wire::FrameHeader echoed;
+  ASSERT_TRUE(wire::decode_header(received.data(), echoed));
+  EXPECT_EQ(echoed.status, wire::kTooLarge);
+  EXPECT_EQ(echoed.request_id, 99u);
+  EXPECT_EQ(echoed.payload_len, 0u);
+  EXPECT_EQ(received.size(), wire::kHeaderSize);  // then EOF, nothing more
+}
+
+TEST_F(FrameFuzz, RaggedPayloadSurvivesWithBadFrameStatus) {
+  auto conn = RawConn::open(port_);
+  ASSERT_TRUE(conn);
+  std::string frame;
+  wire::FrameHeader header;
+  header.opcode = wire::kOpLpmBatch;
+  header.request_id = 7;
+  header.payload_len = 6;  // not a multiple of 4: ragged LPM batch
+  wire::append_header(frame, header);
+  frame.append(6, '\0');
+  ASSERT_TRUE(conn->send_all(frame));
+  std::string response;
+  ASSERT_TRUE(conn->read_exact(response, wire::kHeaderSize, 5000));
+  wire::FrameHeader echoed;
+  ASSERT_TRUE(wire::decode_header(response.data(), echoed));
+  EXPECT_EQ(echoed.status, wire::kBadFrame);
+  EXPECT_EQ(echoed.request_id, 7u);
+
+  // The stream is still framed: a valid frame on the same connection works.
+  ASSERT_TRUE(conn->send_all(lpm_frame(8, {(10u << 24) | (1u << 8)})));
+  std::string ok;
+  ASSERT_TRUE(conn->read_exact(
+      ok, wire::kHeaderSize + wire::kResultSize, 5000));
+  ASSERT_TRUE(wire::decode_header(ok.data(), echoed));
+  EXPECT_EQ(echoed.status, wire::kOk);
+  EXPECT_EQ(echoed.request_id, 8u);
+}
+
+TEST_F(FrameFuzz, UnknownOpcodeSurvivesWithBadOpcodeStatus) {
+  auto conn = RawConn::open(port_);
+  ASSERT_TRUE(conn);
+  std::string frame;
+  wire::FrameHeader header;
+  header.opcode = 0x7F;
+  header.request_id = 11;
+  header.payload_len = 4;
+  wire::append_header(frame, header);
+  frame.append(4, '\0');
+  ASSERT_TRUE(conn->send_all(frame));
+  std::string response;
+  ASSERT_TRUE(conn->read_exact(response, wire::kHeaderSize, 5000));
+  wire::FrameHeader echoed;
+  ASSERT_TRUE(wire::decode_header(response.data(), echoed));
+  EXPECT_EQ(echoed.status, wire::kBadOpcode);
+  EXPECT_EQ(echoed.request_id, 11u);
+
+  ASSERT_TRUE(conn->send_all(lpm_frame(12, {(10u << 24) | (2u << 8)})));
+  std::string ok;
+  ASSERT_TRUE(conn->read_exact(
+      ok, wire::kHeaderSize + wire::kResultSize, 5000));
+  ASSERT_TRUE(wire::decode_header(ok.data(), echoed));
+  EXPECT_EQ(echoed.status, wire::kOk);
+}
+
+TEST_F(FrameFuzz, TruncatedFramesNeverGetAPartialAnswer) {
+  // Every strict prefix of a valid two-address frame: the server must wait
+  // silently (torn read) and never answer or crash; the abandoning client
+  // just closes.
+  const std::string full =
+      lpm_frame(21, {(10u << 24) | (3u << 8) | 200u, 0x08080808u});
+  for (std::size_t cut = 1; cut < full.size(); ++cut) {
+    SCOPED_TRACE("cut=" + std::to_string(cut));
+    auto conn = RawConn::open(port_);
+    ASSERT_TRUE(conn);
+    ASSERT_TRUE(conn->send_all(std::string_view(full).substr(0, cut)));
+    // No response may arrive for an incomplete frame.
+    std::string received = conn->read_to_eof(50);
+    EXPECT_TRUE(received.empty()) << "got " << received.size() << " bytes";
+  }
+  // And the completed frame still works after all that abuse.
+  auto conn = RawConn::open(port_);
+  ASSERT_TRUE(conn);
+  ASSERT_TRUE(conn->send_all(full));
+  std::string response;
+  ASSERT_TRUE(conn->read_exact(
+      response, wire::kHeaderSize + 2 * wire::kResultSize, 5000));
+  wire::FrameHeader echoed;
+  ASSERT_TRUE(wire::decode_header(response.data(), echoed));
+  EXPECT_EQ(echoed.status, wire::kOk);
+  EXPECT_EQ(echoed.request_id, 21u);
+}
+
+TEST_F(FrameFuzz, ExactBatchValidatesPrefixLengths) {
+  auto conn = RawConn::open(port_);
+  ASSERT_TRUE(conn);
+  // One entry with prefix_len 33: invalid, the whole frame is rejected.
+  std::string frame;
+  wire::FrameHeader header;
+  header.opcode = wire::kOpExactBatch;
+  header.request_id = 31;
+  header.payload_len = 8;
+  wire::append_header(frame, header);
+  char entry[8] = {};
+  wire::store_u32le(entry, (10u << 24) | (1u << 8));
+  entry[4] = 33;
+  frame.append(entry, 8);
+  ASSERT_TRUE(conn->send_all(frame));
+  std::string response;
+  ASSERT_TRUE(conn->read_exact(response, wire::kHeaderSize, 5000));
+  wire::FrameHeader echoed;
+  ASSERT_TRUE(wire::decode_header(response.data(), echoed));
+  EXPECT_EQ(echoed.status, wire::kBadFrame);
+
+  // A valid exact batch on the same connection answers normally.
+  frame.clear();
+  header.request_id = 32;
+  wire::append_header(frame, header);
+  entry[4] = 24;
+  frame.append(entry, 8);
+  ASSERT_TRUE(conn->send_all(frame));
+  std::string ok;
+  ASSERT_TRUE(conn->read_exact(
+      ok, wire::kHeaderSize + wire::kResultSize, 5000));
+  ASSERT_TRUE(wire::decode_header(ok.data(), echoed));
+  EXPECT_EQ(echoed.status, wire::kOk);
+  wire::Result hit = wire::decode_result(ok.data() + wire::kHeaderSize);
+  EXPECT_EQ(hit.prefix_addr, (10u << 24) | (1u << 8));
+  EXPECT_EQ(hit.prefix_len, 24);
+}
+
+}  // namespace
+}  // namespace sublet::serve

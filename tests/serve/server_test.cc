@@ -238,15 +238,21 @@ TEST(ServeStatsDifferential, StatsJsonDerivesFromRegistry) {
   EXPECT_EQ(stats.reload_failures,
             counter("sublet_serve_reload_failures_total"));
 
+  // The latency family is split per verb (exact/lpm/mlpm/bin/other); the
+  // differential merges every series bucket-by-bucket, exactly as stats()
+  // does, and the result must reproduce the old single-histogram math.
   obs::HistogramSnapshot latency;
-  bool found_latency = false;
+  std::size_t series = 0;
   for (const obs::MetricValue& v : values) {
-    if (v.name == "sublet_serve_latency_ns") {
-      latency = v.histogram;
-      found_latency = true;
+    if (v.name.rfind("sublet_serve_latency_ns{", 0) != 0) continue;
+    ++series;
+    latency.count += v.histogram.count;
+    latency.sum += v.histogram.sum;
+    for (std::size_t b = 0; b < latency.buckets.size(); ++b) {
+      latency.buckets[b] += v.histogram.buckets[b];
     }
   }
-  ASSERT_TRUE(found_latency);
+  ASSERT_EQ(series, 5u);  // exact, lpm, mlpm, bin, other
   EXPECT_EQ(latency.count, stats.requests);
   // Independent reimplementation of the pre-registry LatencyHistogram
   // quantile: midpoint of the power-of-two bucket holding the target rank,

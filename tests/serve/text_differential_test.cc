@@ -1,0 +1,168 @@
+// Text-protocol differential: the epoll rewrite must answer every text
+// verb byte-identically to handle_request(), which is itself pinned by the
+// protocol tests. Two servers are built from the same records; one serves
+// over a real socket, the other acts as the in-process oracle. The same
+// request sequence runs against both in the same order, so even the
+// counter-bearing verbs (STATS) agree on every deterministic field.
+//
+// This reuses the legacy-differential pattern from the snapshot layer
+// (PR 2): drive the old path and the new path with identical inputs and
+// require identical outputs, rather than asserting on hand-written
+// expectations that could drift with the code.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/engine_state.h"
+#include "serve/server.h"
+#include "snapshot/writer.h"
+
+namespace sublet::serve {
+namespace {
+
+using leasing::InferenceGroup;
+using leasing::LeaseInference;
+
+Prefix P(const char* s) { return *Prefix::parse(s); }
+
+std::vector<LeaseInference> sample() {
+  std::vector<LeaseInference> out;
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    LeaseInference r;
+    r.prefix = *Prefix::make(Ipv4Addr((10u << 24) | (i << 8)), 24);
+    r.root_prefix = P("10.0.0.0/8");
+    r.rir = whois::Rir::kRipe;
+    r.group = i % 2 ? InferenceGroup::kLeasedWithRoot
+                    : InferenceGroup::kAggregatedCustomer;
+    r.holder_org = "ORG-" + std::to_string(i);
+    r.holder_asns = {Asn(64512 + i)};
+    r.netname = "NET-" + std::to_string(i);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::shared_ptr<const EngineState> memory_state() {
+  auto loaded =
+      snapshot::Snapshot::from_bytes(snapshot::encode_snapshot(sample()));
+  EXPECT_TRUE(loaded) << loaded.error().to_string();
+  auto state = EngineState::adopt(
+      std::make_unique<snapshot::Snapshot>(std::move(*loaded)), "<memory>");
+  EXPECT_TRUE(state) << state.error().to_string();
+  return *state;
+}
+
+/// Every deterministic request the text protocol can express: hits,
+/// misses, every malformed shape, batches, case-insensitivity.
+std::vector<std::string> request_sequence() {
+  std::vector<std::string> lines;
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    lines.push_back("EXACT 10.0." + std::to_string(i) + ".0/24");
+    lines.push_back("LPM 10.0." + std::to_string(i) + ".200");
+  }
+  lines.push_back("EXACT 192.0.2.0/24");   // miss
+  lines.push_back("LPM 8.8.8.8");          // miss
+  lines.push_back("exact 10.0.3.0/24");    // lower-case verb
+  lines.push_back("lpm 10.0.3.9");
+  lines.push_back("MLPM 10.0.3.200 8.8.8.8 10.0.7.1");
+  lines.push_back("MLPM 10.0.0.1");
+  lines.push_back("EXACT");                // missing argument
+  lines.push_back("EXACT not-a-prefix");   // bad argument
+  lines.push_back("EXACT 1.2.3.0/24 x");   // trailing junk
+  lines.push_back("MLPM");                 // empty batch
+  lines.push_back("MLPM 10.0.0.1 bogus");  // bad batch entry
+  lines.push_back("FROB 10.0.0.0/24");     // unknown verb
+  std::string big = "MLPM";
+  for (int i = 0; i < 1025; ++i) big += " 10.0.0.1";
+  lines.push_back(big);  // over the batch cap
+  lines.push_back("HEALTH");
+  return lines;
+}
+
+/// STATS and HEALTH carry wall-clock fields (latency quantiles, uptime)
+/// that legitimately differ between the wire run and the oracle run; strip
+/// them before comparing and check the keys are present instead.
+std::string strip_timing(std::string json) {
+  for (const char* key : {"\"p50_us\":", "\"p99_us\":", "\"uptime_s\":",
+                          "\"active_conns\":"}) {
+    std::size_t at = json.find(key);
+    if (at == std::string::npos) continue;
+    std::size_t end = at + std::string(key).size();
+    while (end < json.size() && json[end] != ',' && json[end] != '}') ++end;
+    json.erase(at + std::string(key).size(), end - (at + std::string(key).size()));
+  }
+  return json;
+}
+
+TEST(ServeTextDifferential, WireMatchesHandleRequestByteForByte) {
+  // Oracle: answers in process. Subject: answers over the socket. Same
+  // records, same request order, so the counters embedded in STATS agree.
+  QueryServer oracle(memory_state(), QueryServer::Options{});
+  QueryServer subject(memory_state(),
+                      QueryServer::Options{.port = 0, .shards = 2});
+  auto port = subject.start();
+  ASSERT_TRUE(port) << port.error().to_string();
+  auto client = QueryClient::connect("127.0.0.1", *port);
+  ASSERT_TRUE(client) << client.error().to_string();
+
+  for (const std::string& line : request_sequence()) {
+    SCOPED_TRACE(line.substr(0, 64));
+    std::string expected = oracle.handle_request(line);
+    auto got = client->request(line);
+    ASSERT_TRUE(got) << got.error().to_string();
+    if (line == "HEALTH") {
+      EXPECT_EQ(strip_timing(*got), strip_timing(expected));
+    } else {
+      EXPECT_EQ(*got, expected);
+    }
+  }
+
+  // STATS last: every counter advanced identically on both sides. Only the
+  // latency quantiles may differ (wall clock), so they are stripped.
+  std::string expected = oracle.handle_request("STATS");
+  auto got = client->request("STATS");
+  ASSERT_TRUE(got);
+  EXPECT_EQ(strip_timing(*got), strip_timing(expected));
+  EXPECT_NE(got->find("\"p50_us\":"), std::string::npos);
+  EXPECT_NE(got->find("\"p99_us\":"), std::string::npos);
+
+  // METRICS still frames the multi-line Prometheus body with "# EOF".
+  auto metrics = client->request_multiline("METRICS");
+  ASSERT_TRUE(metrics);
+  EXPECT_NE(metrics->find("# TYPE sublet_serve_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(metrics->find("# EOF"), std::string::npos);
+  subject.stop();
+}
+
+// Text verbs and binary frames interleave freely on one connection; the
+// text answers must be exactly what a text-only connection would get.
+TEST(ServeTextDifferential, TextUnchangedWhenInterleavedWithBinary) {
+  QueryServer oracle(memory_state(), QueryServer::Options{});
+  QueryServer subject(memory_state(),
+                      QueryServer::Options{.port = 0, .shards = 1});
+  auto port = subject.start();
+  ASSERT_TRUE(port);
+  auto client = QueryClient::connect("127.0.0.1", *port);
+  ASSERT_TRUE(client);
+
+  std::vector<std::uint32_t> addrs = {(10u << 24) | (3u << 8) | 200u};
+  for (int round = 0; round < 8; ++round) {
+    std::string line = "EXACT 10.0." + std::to_string(round) + ".0/24";
+    std::string expected = oracle.handle_request(line);
+    auto text = client->request(line);
+    ASSERT_TRUE(text) << text.error().to_string();
+    EXPECT_EQ(*text, expected);
+    auto bin = client->request_binary_batch(addrs);
+    ASSERT_TRUE(bin) << bin.error().to_string();
+    ASSERT_EQ(bin->results.size(), 1u);
+    EXPECT_TRUE(bin->results[0].found);
+  }
+  subject.stop();
+}
+
+}  // namespace
+}  // namespace sublet::serve

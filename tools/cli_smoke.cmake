@@ -103,6 +103,8 @@ run_fail("${SUBLET_BIN}" snapshot write "${DATA}/leases-a.csv")
 run_fail("${SUBLET_BIN}" serve)
 run_fail("${SUBLET_BIN}" serve "${DATA}/nope.snap" --bad-flag)
 run_fail("${SUBLET_BIN}" serve "${DATA}/nope.snap" --max-conns junk)
+run_fail("${SUBLET_BIN}" serve "${DATA}/nope.snap" --shards junk)
+run_fail("${SUBLET_BIN}" serve "${DATA}/nope.snap" --shards 0)
 run_fail("${SUBLET_BIN}" query not-a-host-port)
 run_fail("${SUBLET_BIN}" query 127.0.0.1:1 --reload)
 
@@ -144,7 +146,7 @@ if(SH_BIN)
   file(REMOVE "${DATA}/port.txt")
   execute_process(
     COMMAND "${SH_BIN}" -c
-      "'${SUBLET_BIN}' serve '${DATA}/leases.snap' --port-file '${DATA}/port.txt' > '${DATA}/serve.log' 2>&1 &"
+      "'${SUBLET_BIN}' serve '${DATA}/leases.snap' --shards 2 --port-file '${DATA}/port.txt' > '${DATA}/serve.log' 2>&1 &"
     RESULT_VARIABLE code)
   if(NOT code EQUAL 0)
     message(FATAL_ERROR "failed to launch background server")
@@ -176,6 +178,17 @@ if(SH_BIN)
   run_step("${SUBLET_BIN}" query "127.0.0.1:${PORT}" --lpm 20.0.0.99)
   if(NOT STEP_OUTPUT MATCHES "\"prefix\":\"20.0.0.0/24\"")
     message(FATAL_ERROR "LPM did not resolve to the covering leaf: ${STEP_OUTPUT}")
+  endif()
+
+  # --bin sends the addresses as one binary LPM frame; the hit must agree
+  # with the text LPM above, and the miss must come back found:false.
+  run_step("${SUBLET_BIN}" query "127.0.0.1:${PORT}" --bin 20.0.0.99
+           203.0.113.9)
+  if(NOT STEP_OUTPUT MATCHES "\"addr\":\"20.0.0.99\",\"found\":true,\"prefix\":\"20.0.0.0/24\"")
+    message(FATAL_ERROR "binary LPM disagrees with text LPM: ${STEP_OUTPUT}")
+  endif()
+  if(NOT STEP_OUTPUT MATCHES "\"addr\":\"203.0.113.9\",\"found\":false")
+    message(FATAL_ERROR "binary LPM invented a record for a miss: ${STEP_OUTPUT}")
   endif()
 
   # --- robustness surface: HEALTH, hot RELOAD, generation bump ---

@@ -68,15 +68,17 @@ int usage() {
       "  snapshot write <leases.csv> <out.snap>  pack inferences for serving\n"
       "  snapshot read <in.snap> [-o out.csv]    unpack back to the artifact\n"
       "  snapshot verify <in.snap>               check magic/version/CRC\n"
-      "  serve <in.snap> [--port N] [--port-file F] [--max-conns N]\n"
-      "        [--idle-timeout-ms N] [--io-timeout-ms N] [--drain-ms N]\n"
-      "        [--reload-on-sighup]\n"
+      "  serve <in.snap> [--port N] [--port-file F] [--shards N]\n"
+      "        [--max-conns N] [--idle-timeout-ms N] [--io-timeout-ms N]\n"
+      "        [--drain-ms N] [--reload-on-sighup]\n"
       "                                          prefix-query server (see\n"
       "                                          docs/SERVING.md and\n"
       "                                          docs/ROBUSTNESS.md)\n"
-      "  query <host:port> [--lpm|--stats|--health|--metrics|--shutdown]\n"
+      "  query <host:port> [--lpm|--bin|--stats|--health|--metrics|--shutdown]\n"
       "        [--reload <path.snap>] [--timeout-ms N] [--retries N]\n"
-      "        <prefix>...                       one-shot loopback client\n";
+      "        <prefix>...                       one-shot loopback client\n"
+      "                                          (--bin batches the addresses\n"
+      "                                          into one binary LPM frame)\n";
   return 2;
 }
 
@@ -400,6 +402,13 @@ int cmd_serve(const std::vector<std::string>& args) {
       options.port = static_cast<std::uint16_t>(*port);
     } else if (args[i] == "--port-file" && i + 1 < args.size()) {
       port_file = args[++i];
+    } else if (args[i] == "--shards" && i + 1 < args.size()) {
+      auto shards = parse_u32(args[++i]);
+      if (!shards || *shards == 0) {
+        std::cerr << "--shards expects a positive integer\n";
+        return usage();
+      }
+      options.shards = *shards;
     } else if (args[i] == "--max-conns" && i + 1 < args.size()) {
       auto cap = parse_u32(args[++i]);
       if (!cap) {
@@ -484,7 +493,7 @@ int cmd_serve(const std::vector<std::string>& args) {
 int cmd_query(const std::vector<std::string>& args) {
   if (args.empty()) return usage();
   bool lpm = false, stats = false, health = false, shutdown = false;
-  bool metrics = false;
+  bool metrics = false, bin = false;
   std::optional<std::string> reload_path;
   serve::QueryClient::Timeouts timeouts;
   serve::QueryClient::RetryPolicy retry;
@@ -494,6 +503,8 @@ int cmd_query(const std::vector<std::string>& args) {
     const std::string& arg = args[i];
     if (arg == "--lpm") {
       lpm = true;
+    } else if (arg == "--bin") {
+      bin = true;
     } else if (arg == "--stats") {
       stats = true;
     } else if (arg == "--health") {
@@ -565,6 +576,57 @@ int cmd_query(const std::vector<std::string>& args) {
     std::cout << *response << "\n";
     return true;
   };
+  if (bin && !prefixes.empty()) {
+    // One binary LPM frame carrying every address (serve/wire.h); answers
+    // print in argument order as one-line JSON, mirroring the text verbs.
+    std::vector<std::uint32_t> addrs;
+    addrs.reserve(prefixes.size());
+    for (const std::string& text : prefixes) {
+      auto addr = Ipv4Addr::parse(text);
+      if (!addr) {
+        // Accept "a.b.c.d/len" too: a binary LPM looks up the network bits.
+        auto prefix = Prefix::parse(text, /*canonicalize=*/true);
+        if (!prefix) {
+          std::cerr << "bad address '" << text << "'\n";
+          return 1;
+        }
+        addr = prefix->network();
+      }
+      addrs.push_back(addr->value());
+    }
+    auto client = serve::QueryClient::connect(host, port16, timeouts);
+    if (!client) {
+      std::cerr << client.error().to_string() << "\n";
+      return 1;
+    }
+    auto response = client->request_binary_batch(addrs);
+    if (!response) {
+      std::cerr << response.error().to_string() << "\n";
+      return 1;
+    }
+    if (response->status != 0) {
+      std::cerr << "binary frame rejected (status "
+                << static_cast<int>(response->status) << ")\n";
+      return 1;
+    }
+    for (std::size_t i = 0; i < response->results.size(); ++i) {
+      const serve::BinResult& result = response->results[i];
+      std::cout << "{\"addr\":\"" << Ipv4Addr(addrs[i]).to_string() << "\",";
+      if (!result.found) {
+        std::cout << "\"found\":false}\n";
+        continue;
+      }
+      auto matched = Prefix::make(Ipv4Addr(result.prefix_addr),
+                                  result.prefix_len);
+      std::cout << "\"found\":true,\"prefix\":\""
+                << (matched ? matched->to_string() : "?") << "\",\"group\":\""
+                << leasing::group_name(
+                       static_cast<leasing::InferenceGroup>(result.group))
+                << "\",\"leased\":" << (result.leased ? "true" : "false")
+                << "}\n";
+    }
+    prefixes.clear();
+  }
   for (const std::string& prefix : prefixes) {
     if (!round_trip((lpm ? "LPM " : "EXACT ") + prefix)) return 1;
   }
