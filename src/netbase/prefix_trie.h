@@ -164,6 +164,46 @@ class PrefixTrie {
     }
   }
 
+  /// Remove the value stored exactly at `prefix`. Returns false when no
+  /// entry sits there. Like insert() this drops the derived tables; the
+  /// node and its value slot stay in the arena (the slot is unreferenced
+  /// until the next freeze), so removal is an O(depth) metadata edit —
+  /// the catalog's delta apply leans on this to retire leaves without
+  /// rebuilding the trie. An erased trie no longer round-trips through
+  /// node_bytes()/value_bytes() (from_arena insists every slot is
+  /// referenced); serialize by re-freezing instead.
+  bool erase(const Prefix& prefix) {
+    const std::uint32_t idx = locate(prefix);
+    if (idx == kNil || slot_of(nodes_[idx]) == kNoSlot) return false;
+    jump_.clear();
+    stride24_ = {};
+    stride8_ = {};
+    nodes_[idx].meta = (nodes_[idx].meta & ~kSlotMask) | kNoSlot;
+    --size_;
+    return true;
+  }
+
+  /// Copy of the structural core (node arena + value slots) without the
+  /// jump/stride tables — the cheap starting point for applying a batch of
+  /// inserts/erases to a frozen trie: the 64 MiB stride table is never
+  /// duplicated only to be dropped by the first mutation. Rebuild the
+  /// tables on the copy once mutation stops.
+  PrefixTrie core_copy() const {
+    PrefixTrie out;
+    out.nodes_ = nodes_;
+    out.values_ = values_;
+    out.size_ = size_;
+    return out;
+  }
+
+  /// Copy `other`'s jump table verbatim instead of rebuilding it. Valid
+  /// ONLY when this trie's structure is node-for-node identical to
+  /// `other`'s — e.g. a core_copy() whose stored values were reassigned
+  /// but that saw no insert/erase (the catalog's in-place-only delta
+  /// applies): jump entries hold node indices, which such a copy
+  /// preserves exactly.
+  void adopt_jump_table(const PrefixTrie& other) { jump_ = other.jump_; }
+
   /// Value stored exactly at `prefix`, or nullptr.
   T* find(const Prefix& prefix) {
     if (!stride24_.empty()) {

@@ -302,6 +302,7 @@ Expected<BinResponse> QueryClient::recv_frame(bool has_deadline,
   response.request_id = header.request_id;
   response.opcode = header.opcode;
   response.status = header.status;
+  response.epoch = header.epoch;
   const std::size_t count = header.payload_len / wire::kResultSize;
   response.results.reserve(count);
   const char* payload = buffer_.data() + wire::kHeaderSize;
@@ -323,7 +324,7 @@ Expected<BinResponse> QueryClient::recv_frame(bool has_deadline,
 }
 
 Expected<BinResponse> QueryClient::request_binary_batch(
-    std::span<const std::uint32_t> addrs) {
+    std::span<const std::uint32_t> addrs, std::uint32_t epoch) {
   if (fd_ < 0) return fail("client is closed");
   const bool has_deadline = timeouts_.io_ms > 0;
   const auto deadline =
@@ -333,6 +334,7 @@ Expected<BinResponse> QueryClient::request_binary_batch(
   header.opcode = wire::kOpLpmBatch;
   header.request_id = next_request_id_++;
   header.payload_len = static_cast<std::uint32_t>(addrs.size() * 4);
+  header.epoch = epoch;
   std::string frame;
   frame.reserve(wire::kHeaderSize + addrs.size() * 4);
   wire::append_header(frame, header);
@@ -355,7 +357,8 @@ Expected<BinResponse> QueryClient::request_binary_batch(
 }
 
 Expected<std::vector<BinResponse>> QueryClient::pipeline_binary(
-    std::span<const std::vector<std::uint32_t>> batches) {
+    std::span<const std::vector<std::uint32_t>> batches,
+    std::uint32_t epoch) {
   if (fd_ < 0) return fail("client is closed");
   const bool has_deadline = timeouts_.io_ms > 0;
   const auto deadline =
@@ -370,6 +373,7 @@ Expected<std::vector<BinResponse>> QueryClient::pipeline_binary(
     header.opcode = wire::kOpLpmBatch;
     header.request_id = next_request_id_++;
     header.payload_len = static_cast<std::uint32_t>(batch.size() * 4);
+    header.epoch = epoch;
     wire::append_header(burst, header);
     for (std::uint32_t addr : batch) {
       char buf[4];

@@ -58,6 +58,7 @@ struct BinResponse {
   std::uint32_t request_id = 0;
   std::uint8_t opcode = 0;
   std::uint8_t status = 0;  ///< wire::Status; results empty unless kOk
+  std::uint32_t epoch = 0;  ///< epoch echoed by the server (0 = latest)
   std::vector<BinResult> results;
 };
 
@@ -98,16 +99,20 @@ class QueryClient {
   /// One LPM batch frame: send the raw host-order /32 addresses, wait for
   /// the matching response, and decode it. Same io_ms deadline and typed
   /// timeout errors as request(). Binary frames and text requests can be
-  /// interleaved freely on one connection.
+  /// interleaved freely on one connection. `epoch` != 0 asks a
+  /// catalog-mode server to answer from that epoch (as-of semantics); a
+  /// server that cannot resolve it responds status kBadEpoch.
   Expected<BinResponse> request_binary_batch(
-      std::span<const std::uint32_t> addrs);
+      std::span<const std::uint32_t> addrs, std::uint32_t epoch = 0);
 
   /// Pipelining: send all K batch frames back-to-back (one write burst,
   /// no round-trip stalls), then collect the K responses, matching each
   /// to its batch by echoed request id. The returned vector is in batch
   /// order. Any frame-level error status or unmatched id fails the call.
+  /// All frames carry the same `epoch` (0 = latest).
   Expected<std::vector<BinResponse>> pipeline_binary(
-      std::span<const std::vector<std::uint32_t>> batches);
+      std::span<const std::vector<std::uint32_t>> batches,
+      std::uint32_t epoch = 0);
 
   /// One-shot round trip with retries: each attempt opens a fresh
   /// connection, sends `line`, and reads the response; failed attempts

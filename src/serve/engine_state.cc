@@ -4,20 +4,45 @@ namespace sublet::serve {
 
 Expected<std::shared_ptr<const EngineState>> EngineState::load(
     const std::string& path, snapshot::Snapshot::Mode mode,
-    std::uint64_t generation) {
+    std::uint64_t generation, std::uint32_t epoch) {
   auto snap = snapshot::Snapshot::open(path, mode);
   if (!snap) return snap.error();
   return adopt(std::make_unique<snapshot::Snapshot>(std::move(*snap)), path,
-               generation);
+               generation, epoch);
 }
 
 Expected<std::shared_ptr<const EngineState>> EngineState::adopt(
     std::unique_ptr<snapshot::Snapshot> snap, std::string path,
-    std::uint64_t generation) {
+    std::uint64_t generation, std::uint32_t epoch) {
   auto engine = QueryEngine::create(snap.get());
   if (!engine) return engine.error();
-  return std::shared_ptr<const EngineState>(new EngineState(
-      std::move(snap), std::move(*engine), std::move(path), generation));
+  return std::shared_ptr<const EngineState>(
+      new EngineState(std::move(snap), std::move(*engine), std::move(path),
+                      generation, epoch));
+}
+
+Expected<std::shared_ptr<const EngineState>> EngineState::adopt_with_trie(
+    std::unique_ptr<snapshot::Snapshot> snap, PrefixTrie<std::uint32_t> trie,
+    std::string path, std::uint64_t generation, std::uint32_t epoch) {
+  auto engine = QueryEngine::create(snap.get(), std::move(trie));
+  if (!engine) return engine.error();
+  return std::shared_ptr<const EngineState>(
+      new EngineState(std::move(snap), std::move(*engine), std::move(path),
+                      generation, epoch));
+}
+
+Expected<std::shared_ptr<const EngineState>> EngineState::adopt_patched(
+    std::unique_ptr<snapshot::Snapshot> snap,
+    std::shared_ptr<const PrefixTrie<std::uint32_t>> trie,
+    const QueryEngine& base, std::span<const std::uint32_t> surviving,
+    std::span<const std::uint32_t> patched, std::string path,
+    std::uint64_t generation, std::uint32_t epoch) {
+  auto engine = QueryEngine::create_patched(snap.get(), std::move(trie),
+                                            base, surviving, patched);
+  if (!engine) return engine.error();
+  return std::shared_ptr<const EngineState>(
+      new EngineState(std::move(snap), std::move(*engine), std::move(path),
+                      generation, epoch));
 }
 
 }  // namespace sublet::serve

@@ -6,10 +6,16 @@
 // shared_ptr they grabbed and finish on the old engine; the old snapshot
 // is retired automatically when the last reference drops. A failed load
 // never touches the currently-served state (docs/ROBUSTNESS.md).
+//
+// With the multi-epoch catalog (docs/TIMETRAVEL.md) a process can hold
+// several EngineStates at once — one per materialized epoch — so every
+// state carries its epoch identity: the unix timestamp of the snapshot it
+// serves, or 0 for single-snapshot mode where time travel is off.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <utility>
 
@@ -27,25 +33,49 @@ class EngineState {
   static Expected<std::shared_ptr<const EngineState>> load(
       const std::string& path,
       snapshot::Snapshot::Mode mode = snapshot::Snapshot::Mode::kMap,
-      std::uint64_t generation = 1);
+      std::uint64_t generation = 1, std::uint32_t epoch = 0);
 
   /// Adopt an already-validated snapshot (tests, benches, in-memory use).
   static Expected<std::shared_ptr<const EngineState>> adopt(
       std::unique_ptr<snapshot::Snapshot> snap, std::string path,
-      std::uint64_t generation = 1);
+      std::uint64_t generation = 1, std::uint32_t epoch = 0);
+
+  /// Adopt a snapshot together with a caller-built trie — the catalog's
+  /// delta-materialization path, where the snapshot is an in-memory parts
+  /// merge and the trie was patched from the base epoch rather than
+  /// adopted from a file.
+  static Expected<std::shared_ptr<const EngineState>> adopt_with_trie(
+      std::unique_ptr<snapshot::Snapshot> snap,
+      PrefixTrie<std::uint32_t> trie, std::string path,
+      std::uint64_t generation, std::uint32_t epoch);
+
+  /// adopt_with_trie, but the engine's aggregation columns are patched
+  /// from `base`'s instead of rebuilt (QueryEngine::create_patched) —
+  /// the delta-apply fast path, where almost every row carries over from
+  /// the base epoch unchanged. The trie is shared, not owned: an
+  /// in-place-only delta passes the base epoch's trie handle verbatim.
+  static Expected<std::shared_ptr<const EngineState>> adopt_patched(
+      std::unique_ptr<snapshot::Snapshot> snap,
+      std::shared_ptr<const PrefixTrie<std::uint32_t>> trie,
+      const QueryEngine& base, std::span<const std::uint32_t> surviving,
+      std::span<const std::uint32_t> patched, std::string path,
+      std::uint64_t generation, std::uint32_t epoch);
 
   const QueryEngine& engine() const { return engine_; }
   const snapshot::Snapshot& snapshot() const { return *snap_; }
   std::uint64_t generation() const { return generation_; }
+  /// Epoch timestamp this state serves; 0 = single-snapshot (no catalog).
+  std::uint32_t epoch() const { return epoch_; }
   const std::string& path() const { return path_; }
 
  private:
   EngineState(std::unique_ptr<snapshot::Snapshot> snap, QueryEngine engine,
-              std::string path, std::uint64_t generation)
+              std::string path, std::uint64_t generation, std::uint32_t epoch)
       : snap_(std::move(snap)),
         engine_(std::move(engine)),
         path_(std::move(path)),
-        generation_(generation) {}
+        generation_(generation),
+        epoch_(epoch) {}
 
   // unique_ptr keeps the snapshot's address stable: the engine's trie and
   // record accessors point into it.
@@ -53,6 +83,7 @@ class EngineState {
   QueryEngine engine_;
   std::string path_;
   std::uint64_t generation_;
+  std::uint32_t epoch_;
 };
 
 }  // namespace sublet::serve

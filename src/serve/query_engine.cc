@@ -62,9 +62,86 @@ QueryEngine::SnapshotAggregate run_aggregate(
 Expected<QueryEngine> QueryEngine::create(const snapshot::Snapshot* snap) {
   auto trie = snap->build_trie();
   if (!trie) return trie.error();
-  QueryEngine engine(snap, std::move(*trie));
+  return create(snap, std::move(*trie));
+}
+
+Expected<QueryEngine> QueryEngine::create(const snapshot::Snapshot* snap,
+                                          PrefixTrie<std::uint32_t> trie) {
+  QueryEngine engine(
+      snap, std::make_shared<const PrefixTrie<std::uint32_t>>(
+                std::move(trie)));
   engine.build_columns();
   return engine;
+}
+
+Expected<QueryEngine> QueryEngine::create_patched(
+    const snapshot::Snapshot* snap,
+    std::shared_ptr<const PrefixTrie<std::uint32_t>> trie,
+    const QueryEngine& base, std::span<const std::uint32_t> surviving,
+    std::span<const std::uint32_t> patched) {
+  QueryEngine engine(snap, std::move(trie));
+  const std::size_t n = snap->record_count();
+  const std::size_t base_n = base.origin_col_.size();
+  const std::size_t copied =
+      surviving.empty() ? std::min(base_n, n) : surviving.size();
+  if (copied > n) return fail("patched engine has fewer rows than survive");
+  engine.group_col_.resize(n);
+  engine.rir_col_.resize(n);
+  engine.size_col_.resize(n);
+  engine.origin_col_.resize(n);
+  engine.origin_counts_ = base.origin_counts_;
+  auto dec = [&engine](std::uint32_t asn) {
+    if (asn == 0) return;
+    auto it = engine.origin_counts_.find(asn);
+    if (it == engine.origin_counts_.end()) return;
+    if (--it->second == 0) engine.origin_counts_.erase(it);
+  };
+  if (surviving.empty()) {
+    std::copy_n(base.group_col_.begin(), copied, engine.group_col_.begin());
+    std::copy_n(base.rir_col_.begin(), copied, engine.rir_col_.begin());
+    std::copy_n(base.size_col_.begin(), copied, engine.size_col_.begin());
+    std::copy_n(base.origin_col_.begin(), copied,
+                engine.origin_col_.begin());
+  } else {
+    // Compacted copy, then uncount the rows the delta removed (the base
+    // rows `surviving` skips — it is strictly increasing by construction).
+    std::size_t s = 0;
+    for (std::uint32_t old = 0; old < base_n; ++old) {
+      if (s < surviving.size() && surviving[s] == old) {
+        engine.group_col_[s] = base.group_col_[old];
+        engine.rir_col_[s] = base.rir_col_[old];
+        engine.size_col_[s] = base.size_col_[old];
+        engine.origin_col_[s] = base.origin_col_[old];
+        ++s;
+      } else {
+        dec(base.origin_col_[old]);
+      }
+    }
+    if (s != surviving.size()) {
+      return fail("surviving rows are not an increasing base subset");
+    }
+  }
+  for (std::uint32_t i : patched) {
+    if (i >= copied) continue;  // appended rows recompute below anyway
+    dec(engine.origin_col_[i]);
+    const std::uint32_t asn = engine.recompute_row(i);
+    if (asn != 0) ++engine.origin_counts_[asn];
+  }
+  for (std::size_t i = copied; i < n; ++i) {
+    const std::uint32_t asn = engine.recompute_row(i);
+    if (asn != 0) ++engine.origin_counts_[asn];
+  }
+  engine.rank_origins();
+  return engine;
+}
+
+std::uint32_t QueryEngine::recompute_row(std::size_t i) {
+  const snapshot::RecordRow& row = snap_->record(i);
+  group_col_[i] = row.group;
+  rir_col_[i] = row.rir;
+  size_col_[i] = std::uint64_t{1} << (32 - row.prefix_len);
+  origin_col_[i] = snap_->first_leaf_origin(row);
+  return origin_col_[i];
 }
 
 void QueryEngine::build_columns() {
@@ -73,46 +150,44 @@ void QueryEngine::build_columns() {
   rir_col_.resize(n);
   size_col_.resize(n);
   origin_col_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const snapshot::RecordRow& row = snap_->record(i);
-    group_col_[i] = row.group;
-    rir_col_[i] = row.rir;
-    size_col_[i] = std::uint64_t{1} << (32 - row.prefix_len);
-    origin_col_[i] = snap_->first_leaf_origin(row);
-  }
-  // Rank leaf-origin ASNs by record count (ties toward the smaller ASN).
-  // Only the ranking is precomputed; aggregate() recounts through the
-  // SIMD primitives so STATS always reflects a measured pass.
-  std::unordered_map<std::uint32_t, std::uint64_t> counts;
+  for (std::size_t i = 0; i < n; ++i) recompute_row(i);
   for (std::uint32_t asn : origin_col_) {
-    if (asn != 0) ++counts[asn];
+    if (asn != 0) ++origin_counts_[asn];
   }
-  std::vector<std::pair<std::uint32_t, std::uint64_t>> ranked(counts.begin(),
-                                                              counts.end());
+  rank_origins();
+}
+
+/// Rank leaf-origin ASNs by record count (ties toward the smaller ASN).
+/// Only the ranking is precomputed; aggregate() recounts through the
+/// SIMD primitives so STATS always reflects a measured pass.
+void QueryEngine::rank_origins() {
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> ranked(
+      origin_counts_.begin(), origin_counts_.end());
   std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
     return a.second != b.second ? a.second > b.second : a.first < b.first;
   });
   ranked.resize(std::min(ranked.size(), kTopOrigins));
+  top_origin_asns_.clear();
   top_origin_asns_.reserve(ranked.size());
   for (const auto& [asn, count] : ranked) top_origin_asns_.push_back(asn);
 }
 
 void QueryEngine::lookup_batch(std::span<const std::uint32_t> addrs,
                                std::span<std::uint32_t> out) const {
-  if (!trie_.has_stride_table()) {
+  if (!trie_->has_stride_table()) {
     // Defensive fallback for engines built over a strideless trie.
     for (std::size_t i = 0; i < addrs.size(); ++i) {
-      auto hit = trie_.most_specific_covering(
+      auto hit = trie_->most_specific_covering(
           *Prefix::make(Ipv4Addr(addrs[i]), 32));
       out[i] = hit ? *hit->second : kNoRecord;
     }
     return;
   }
-  trie_.lookup_batch(addrs, out);
+  trie_->lookup_batch(addrs, out);
   // The trie hands back node handles; resolve each to its record index
   // (the stored value) in place.
   for (std::size_t i = 0; i < addrs.size(); ++i) {
-    if (out[i] != kNoRecord) out[i] = *trie_.entry(out[i]).second;
+    if (out[i] != kNoRecord) out[i] = *trie_->entry(out[i]).second;
   }
 }
 
@@ -128,13 +203,13 @@ QueryEngine::SnapshotAggregate QueryEngine::aggregate_scalar() const {
 
 std::string QueryEngine::snapshot_stats_json() const {
   const SnapshotAggregate agg = aggregate();
-  const auto mem = trie_.memory_breakdown();
+  const auto mem = trie_->memory_breakdown();
   JsonWriter json;
   json.begin_object();
   json.key("records").value(
       static_cast<std::uint64_t>(snap_->record_count()));
   json.key("lookup_backend")
-      .value(trie_.has_stride_table() ? "stride24-8" : "patricia");
+      .value(trie_->has_stride_table() ? "stride24-8" : "patricia");
   json.key("simd_backend").value(simd::backend_name());
   json.key("groups");
   json.begin_object();

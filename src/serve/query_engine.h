@@ -13,9 +13,11 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -38,9 +40,37 @@ class QueryEngine {
   /// engine; Error if the trie section is corrupt.
   static Expected<QueryEngine> create(const snapshot::Snapshot* snap);
 
+  /// Build from a snapshot plus a caller-built trie (leaf prefix -> record
+  /// index). The catalog's delta apply uses this: a parts snapshot carries
+  /// no trie arena, and the trie arrives patched from the base epoch
+  /// instead of adopted from a file. The trie is taken as-is — whether it
+  /// carries the stride table is the caller's time/memory trade-off.
+  static Expected<QueryEngine> create(const snapshot::Snapshot* snap,
+                                      PrefixTrie<std::uint32_t> trie);
+
+  /// Build from a snapshot plus a caller-built trie by PATCHING `base`'s
+  /// aggregation columns instead of recomputing them row-by-row — the
+  /// catalog's delta-apply fast path, where almost every row is unchanged
+  /// from the base epoch. `surviving` maps each new row in
+  /// [0, surviving.size()) to the base row it was compacted from (pass an
+  /// empty span when no rows were removed: the first base-row-count rows
+  /// then copy positionally). `patched` lists new row indices whose
+  /// contents changed in place; rows beyond the copied region (appends)
+  /// are always recomputed from the snapshot. The leaf-origin ranking is
+  /// adjusted incrementally from the base's counts, so the result is
+  /// field-for-field identical to a full create() over the same snapshot.
+  /// The trie arrives behind a shared_ptr: an in-place-only delta leaves
+  /// the base trie bit-identical (structure, values, jump, stride), so
+  /// the catalog shares it across epochs instead of copying the arena.
+  static Expected<QueryEngine> create_patched(
+      const snapshot::Snapshot* snap,
+      std::shared_ptr<const PrefixTrie<std::uint32_t>> trie,
+      const QueryEngine& base, std::span<const std::uint32_t> surviving,
+      std::span<const std::uint32_t> patched);
+
   /// Record stored exactly at `prefix`.
   std::optional<std::uint32_t> exact(const Prefix& prefix) const {
-    const std::uint32_t* idx = trie_.find(prefix);
+    const std::uint32_t* idx = trie_->find(prefix);
     if (idx == nullptr) return std::nullopt;
     return *idx;
   }
@@ -49,7 +79,7 @@ class QueryEngine {
   /// includes an exact hit). Returns the matched leaf and record index.
   std::optional<std::pair<Prefix, std::uint32_t>> longest_match(
       const Prefix& prefix) const {
-    auto hit = trie_.most_specific_covering(prefix);
+    auto hit = trie_->most_specific_covering(prefix);
     if (!hit) return std::nullopt;
     return std::pair<Prefix, std::uint32_t>{hit->first, *hit->second};
   }
@@ -117,7 +147,7 @@ class QueryEngine {
 
   /// Trie footprint by structure (nodes, values, jump, stride levels).
   PrefixTrie<std::uint32_t>::MemoryBreakdown trie_memory() const {
-    return trie_.memory_breakdown();
+    return trie_->memory_breakdown();
   }
   /// Bytes held by the aggregation columns.
   std::size_t columns_bytes() const {
@@ -128,16 +158,31 @@ class QueryEngine {
   }
 
   const snapshot::Snapshot& snapshot() const { return *snap_; }
-  std::size_t size() const { return trie_.size(); }
+  /// The adopted trie (read-only) — the catalog clones its structural core
+  /// to apply the next epoch's delta on top.
+  const PrefixTrie<std::uint32_t>& trie() const { return *trie_; }
+  /// Shared handle to the trie: an epoch materialized from an
+  /// in-place-only delta holds the very same arena as its base
+  /// (docs/TIMETRAVEL.md), so N cached epochs need not mean N tries.
+  std::shared_ptr<const PrefixTrie<std::uint32_t>> shared_trie() const {
+    return trie_;
+  }
+  std::size_t size() const { return trie_->size(); }
 
  private:
-  QueryEngine(const snapshot::Snapshot* snap, PrefixTrie<std::uint32_t> trie)
+  QueryEngine(const snapshot::Snapshot* snap,
+              std::shared_ptr<const PrefixTrie<std::uint32_t>> trie)
       : snap_(snap), trie_(std::move(trie)) {}
 
   void build_columns();
+  /// Recompute the columns for row `i` from the snapshot and return the
+  /// row's leaf-origin ASN (0 = none).
+  std::uint32_t recompute_row(std::size_t i);
+  /// Rank origin_counts_ into top_origin_asns_ (ties toward smaller ASN).
+  void rank_origins();
 
   const snapshot::Snapshot* snap_;
-  PrefixTrie<std::uint32_t> trie_;
+  std::shared_ptr<const PrefixTrie<std::uint32_t>> trie_;
 
   // Columnar copies of the RecordRow fields STATS aggregates over; built
   // once at create() so the per-request pass touches dense arrays instead
@@ -146,6 +191,9 @@ class QueryEngine {
   std::vector<std::uint8_t> rir_col_;
   std::vector<std::uint64_t> size_col_;    // addresses covered per record
   std::vector<std::uint32_t> origin_col_;  // first leaf origin (0 = none)
+  // Per-origin record counts behind the ranking, kept so create_patched()
+  // can adjust them incrementally instead of recounting every row.
+  std::unordered_map<std::uint32_t, std::uint64_t> origin_counts_;
   // Most common leaf-origin ASNs (ranked at build); their counts are
   // recomputed through the SIMD primitives on every aggregate() call.
   std::vector<std::uint32_t> top_origin_asns_;

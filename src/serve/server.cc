@@ -378,6 +378,7 @@ bool QueryServer::Shard::process_frame(Conn& conn) {
   wire::FrameHeader resp;
   resp.opcode = header.opcode;
   resp.request_id = header.request_id;
+  resp.epoch = header.epoch;
   if (header.payload_len > wire::kMaxPayload) {
     // Refuse to buffer it: error frame, then close once it flushes.
     srv->malformed_.add(1);
@@ -404,13 +405,22 @@ bool QueryServer::Shard::process_frame(Conn& conn) {
         wire::append_header(conn.out_back, resp);
         break;
       }
+      auto resolved = srv->engine_for(header.epoch);
+      if (!resolved) {
+        // Body-level error: the stream is still framed, so the peer can
+        // keep pipelining other epochs over the same connection.
+        srv->malformed_.add(1);
+        resp.status = wire::kBadEpoch;
+        wire::append_header(conn.out_back, resp);
+        break;
+      }
       const std::size_t n = header.payload_len / 4;
       addrs.resize(n);
       records.resize(n);
       for (std::size_t i = 0; i < n; ++i) {
         addrs[i] = wire::load_u32le(payload + 4 * i);
       }
-      std::shared_ptr<const EngineState> state = srv->engine();
+      std::shared_ptr<const EngineState> state = std::move(*resolved);
       const QueryEngine& engine = state->engine();
       engine.lookup_batch(addrs, records);
       srv->bin_lookups_.add(n);
@@ -458,7 +468,14 @@ bool QueryServer::Shard::process_frame(Conn& conn) {
         wire::append_header(conn.out_back, resp);
         break;
       }
-      std::shared_ptr<const EngineState> state = srv->engine();
+      auto resolved = srv->engine_for(header.epoch);
+      if (!resolved) {
+        srv->malformed_.add(1);
+        resp.status = wire::kBadEpoch;
+        wire::append_header(conn.out_back, resp);
+        break;
+      }
+      std::shared_ptr<const EngineState> state = std::move(*resolved);
       const QueryEngine& engine = state->engine();
       srv->bin_lookups_.add(n);
       resp.status = wire::kOk;
@@ -760,8 +777,19 @@ QueryServer::QueryServer(std::shared_ptr<const EngineState> engine,
           obs::labeled("sublet_serve_latency_ns", "verb", "mlpm"))),
       latency_bin_(registry_.histogram(
           obs::labeled("sublet_serve_latency_ns", "verb", "bin"))),
+      latency_at_(registry_.histogram(
+          obs::labeled("sublet_serve_latency_ns", "verb", "at"))),
+      latency_history_(registry_.histogram(
+          obs::labeled("sublet_serve_latency_ns", "verb", "history"))),
       latency_other_(registry_.histogram(
           obs::labeled("sublet_serve_latency_ns", "verb", "other"))) {}
+
+QueryServer::QueryServer(std::shared_ptr<EpochSource> source,
+                         std::shared_ptr<const EngineState> initial,
+                         Options options)
+    : QueryServer(std::move(initial), options) {
+  source_ = std::move(source);
+}
 
 QueryServer::~QueryServer() { stop(); }
 
@@ -776,9 +804,20 @@ obs::Histogram& QueryServer::verb_histogram(Verb verb) {
     case Verb::kLpm: return latency_lpm_;
     case Verb::kMlpm: return latency_mlpm_;
     case Verb::kBin: return latency_bin_;
+    case Verb::kAt: return latency_at_;
+    case Verb::kHistory: return latency_history_;
     case Verb::kOther: break;
   }
   return latency_other_;
+}
+
+Expected<std::shared_ptr<const EngineState>> QueryServer::engine_for(
+    std::uint32_t epoch) {
+  if (epoch == 0) return engine();
+  if (source_ == nullptr) {
+    return fail("epoch queries need a catalog-mode server");
+  }
+  return source_->epoch_at(epoch);
 }
 
 std::size_t QueryServer::connection_memory_bytes() const {
@@ -998,6 +1037,109 @@ Expected<std::uint64_t> QueryServer::reload(const std::string& path) {
   return next_generation;
 }
 
+Expected<std::uint64_t> QueryServer::refresh_catalog() {
+  // Catalog-mode RELOAD: re-scan the index for appended epochs and swap
+  // the latest in. Same failure contract as a snapshot RELOAD — a broken
+  // index or chain keeps every currently-served epoch untouched.
+  std::lock_guard<std::mutex> reload_lock(reload_mu_);
+  auto next = source_->refresh();
+  if (!next) {
+    reload_failures_.add(1);
+    SUBLET_LOG(kWarn) << "catalog refresh rejected: "
+                      << next.error().to_string()
+                      << " (keeping current epochs)";
+    return next.error();
+  }
+  const std::uint64_t generation = (*next)->generation();
+  {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    engine_ = std::move(*next);
+  }
+  reloads_.add(1);
+  wake_all_shards();
+  SUBLET_LOG(kInfo) << "catalog refreshed; serving epoch generation "
+                    << generation;
+  return generation;
+}
+
+std::string QueryServer::history_json(const Prefix& query) {
+  // Replay the classification of `query` across every epoch, oldest
+  // first, and coalesce runs of identical answers into segments. One
+  // longest-match per epoch; epochs whose chain fails to materialize are
+  // listed under "unavailable" rather than failing the whole replay.
+  const std::vector<std::uint32_t> epochs = source_->epochs();
+  struct Answer {
+    bool found = false;
+    std::string prefix;
+    std::uint8_t group = 0;
+  };
+  struct Segment {
+    std::uint32_t from = 0;
+    std::uint32_t to = 0;
+    Answer answer;
+  };
+  std::vector<Segment> segments;
+  std::vector<std::uint32_t> unavailable;
+  for (std::uint32_t epoch : epochs) {
+    auto resolved = source_->epoch_at(epoch);
+    if (!resolved) {
+      unavailable.push_back(epoch);
+      continue;
+    }
+    const std::shared_ptr<const EngineState> state = std::move(*resolved);
+    Answer answer;
+    if (auto hit = state->engine().longest_match(query)) {
+      const snapshot::RecordRow& row = state->snapshot().record(hit->second);
+      answer.found = true;
+      answer.prefix = state->snapshot().prefix_of(row).to_string();
+      answer.group = row.group;
+    }
+    if (!segments.empty() && segments.back().answer.found == answer.found &&
+        segments.back().answer.prefix == answer.prefix &&
+        segments.back().answer.group == answer.group) {
+      segments.back().to = epoch;
+    } else {
+      segments.push_back(Segment{epoch, epoch, std::move(answer)});
+    }
+  }
+  JsonWriter json;
+  json.begin_object();
+  json.key("query").value(query.to_string());
+  json.key("epochs").value(static_cast<std::uint64_t>(epochs.size()));
+  if (!epochs.empty()) {
+    json.key("first_epoch").value(static_cast<std::uint64_t>(epochs.front()));
+    json.key("last_epoch").value(static_cast<std::uint64_t>(epochs.back()));
+  }
+  json.begin_array("segments");
+  for (const Segment& segment : segments) {
+    json.begin_object();
+    json.key("from_epoch").value(static_cast<std::uint64_t>(segment.from));
+    json.key("to_epoch").value(static_cast<std::uint64_t>(segment.to));
+    json.key("found").value(segment.answer.found);
+    if (segment.answer.found) {
+      json.key("prefix").value(segment.answer.prefix);
+      json.key("group").value(leasing::group_name(
+          static_cast<leasing::InferenceGroup>(segment.answer.group)));
+      json.key("leased").value(leasing::is_leased(
+          static_cast<leasing::InferenceGroup>(segment.answer.group)));
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.key("transitions")
+      .value(static_cast<std::uint64_t>(
+          segments.empty() ? 0 : segments.size() - 1));
+  if (!unavailable.empty()) {
+    json.begin_array("unavailable");
+    for (std::uint32_t epoch : unavailable) {
+      json.value(static_cast<std::uint64_t>(epoch));
+    }
+    json.end_array();
+  }
+  json.end_object();
+  return json.take();
+}
+
 std::string QueryServer::health_json() const {
   std::shared_ptr<const EngineState> state = engine();
   const double uptime =
@@ -1034,6 +1176,16 @@ std::string QueryServer::handle_request(std::string_view line) {
     if (auto addr = Ipv4Addr::parse(text)) return Prefix::make(*addr, 32);
     return std::nullopt;
   };
+  auto parse_epoch = [](std::string_view text) -> std::optional<std::uint32_t> {
+    if (text.empty() || text.size() > 10) return std::nullopt;
+    std::uint64_t v = 0;
+    for (char c : text) {
+      if (c < '0' || c > '9') return std::nullopt;
+      v = v * 10 + static_cast<unsigned>(c - '0');
+    }
+    if (v == 0 || v > 0xFFFFFFFFull) return std::nullopt;
+    return static_cast<std::uint32_t>(v);
+  };
   if (iequals(verb, "STATS") && parts.size() == 1) {
     response = stats().to_json();
     // Splice in the engine-level aggregate + memory breakdown as a
@@ -1041,14 +1193,32 @@ std::string QueryServer::handle_request(std::string_view line) {
     // unchanged so existing scrapers' substring checks keep passing.
     const std::string snap_json = engine()->engine().snapshot_stats_json();
     response.insert(response.size() - 1, ",\"snapshot\":" + snap_json);
+    if (catalog_mode()) {
+      // Catalog mode only: the single-snapshot response shape is pinned
+      // byte-identical by the differential suite.
+      const std::vector<std::uint32_t> epochs = source_->epochs();
+      JsonWriter ej;
+      ej.begin_object();
+      ej.key("count").value(static_cast<std::uint64_t>(epochs.size()));
+      if (!epochs.empty()) {
+        ej.key("first").value(static_cast<std::uint64_t>(epochs.front()));
+        ej.key("last").value(static_cast<std::uint64_t>(epochs.back()));
+      }
+      ej.end_object();
+      response.insert(response.size() - 1, ",\"epochs\":" + ej.take());
+    }
   } else if (iequals(verb, "METRICS") && parts.size() == 1) {
     // The one multi-line response in the protocol; metrics_text() ends
     // with a "# EOF" line so clients know where the body stops.
     response = metrics_text();
   } else if (iequals(verb, "HEALTH") && parts.size() == 1) {
     response = health_json();
-  } else if (iequals(verb, "RELOAD") && parts.size() == 2) {
-    auto swapped = reload(std::string(parts[1]));
+  } else if (iequals(verb, "RELOAD") &&
+             (catalog_mode() ? parts.size() == 1 : parts.size() == 2)) {
+    // Single-snapshot mode reloads from an explicit path; catalog mode
+    // re-scans the catalog directory for appended epochs (bare RELOAD).
+    auto swapped = catalog_mode() ? refresh_catalog()
+                                  : reload(std::string(parts[1]));
     if (swapped) {
       JsonWriter json;
       json.begin_object();
@@ -1056,6 +1226,10 @@ std::string QueryServer::handle_request(std::string_view line) {
       json.key("generation").value(*swapped);
       json.key("records").value(
           static_cast<std::uint64_t>(engine()->snapshot().record_count()));
+      if (catalog_mode()) {
+        json.key("epochs").value(
+            static_cast<std::uint64_t>(source_->epochs().size()));
+      }
       json.end_object();
       response = json.take();
     } else {
@@ -1131,39 +1305,82 @@ std::string QueryServer::handle_request(std::string_view line) {
       }
     }
   } else if ((iequals(verb, "EXACT") || iequals(verb, "LPM")) &&
-             parts.size() == 2) {
-    verb_class = iequals(verb, "EXACT") ? Verb::kExact : Verb::kLpm;
+             (parts.size() == 2 ||
+              (parts.size() == 4 && iequals(parts[2], "AT")))) {
+    // `EXACT <q>` / `LPM <q>` answer from the current engine;
+    // `... AT <epoch-ts>` answers from the newest catalog epoch at or
+    // before that timestamp (docs/TIMETRAVEL.md).
+    const bool at_query = parts.size() == 4;
+    verb_class = at_query ? Verb::kAt
+                          : (iequals(verb, "EXACT") ? Verb::kExact
+                                                    : Verb::kLpm);
     std::optional<Prefix> query = parse_query(parts[1]);
+    std::optional<std::uint32_t> at;
+    if (at_query) at = parse_epoch(parts[3]);
     if (!query) {
       malformed_.add(1);
       response = error_json("bad prefix '" + std::string(parts[1]) + "'");
+    } else if (at_query && !at) {
+      malformed_.add(1);
+      response =
+          error_json("bad epoch timestamp '" + std::string(parts[3]) + "'");
     } else {
       // One shared_ptr acquire per request: a concurrent RELOAD swap can
       // retire the old state only after this request drops its reference.
-      std::shared_ptr<const EngineState> state = engine();
-      std::optional<std::uint32_t> idx;
-      if (iequals(verb, "EXACT")) {
-        idx = state->engine().exact(*query);
-      } else if (auto hit = state->engine().longest_match(*query)) {
-        idx = hit->second;
-      }
-      if (idx) {
-        hits_.add(1);
-        response = state->engine().record_json(*idx);
+      auto resolved = engine_for(at_query ? *at : 0);
+      if (!resolved) {
+        malformed_.add(1);
+        response = error_json("AT " + std::to_string(*at) + ": " +
+                              resolved.error().to_string());
       } else {
-        misses_.add(1);
-        JsonWriter json;
-        json.begin_object();
-        json.key("found").value(false);
-        json.end_object();
-        response = json.take();
+        std::shared_ptr<const EngineState> state = std::move(*resolved);
+        std::optional<std::uint32_t> idx;
+        if (iequals(verb, "EXACT")) {
+          idx = state->engine().exact(*query);
+        } else if (auto hit = state->engine().longest_match(*query)) {
+          idx = hit->second;
+        }
+        if (idx) {
+          hits_.add(1);
+          response = state->engine().record_json(*idx);
+        } else {
+          misses_.add(1);
+          JsonWriter json;
+          json.begin_object();
+          json.key("found").value(false);
+          json.end_object();
+          response = json.take();
+        }
+        if (at_query) {
+          // Tell the client which epoch actually answered (as-of
+          // resolution may land before the requested timestamp).
+          response.insert(
+              response.size() - 1,
+              ",\"epoch\":" + std::to_string(state->epoch()));
+        }
+      }
+    }
+  } else if (iequals(verb, "HISTORY") && parts.size() == 2) {
+    verb_class = Verb::kHistory;
+    if (!catalog_mode()) {
+      malformed_.add(1);
+      response =
+          error_json("HISTORY needs a catalog-mode server (serve --catalog)");
+    } else {
+      std::optional<Prefix> query = parse_query(parts[1]);
+      if (!query) {
+        malformed_.add(1);
+        response = error_json("bad prefix '" + std::string(parts[1]) + "'");
+      } else {
+        response = history_json(*query);
       }
     }
   } else {
     malformed_.add(1);
     response = error_json(
         "unknown request '" + std::string(verb) +
-        "' (want EXACT|LPM|MLPM|STATS|HEALTH|METRICS|RELOAD|SHUTDOWN)");
+        "' (want EXACT|LPM|MLPM|STATS|HEALTH|METRICS|RELOAD|SHUTDOWN|"
+        "HISTORY, EXACT/LPM accept a trailing AT <epoch-ts>)");
   }
   const auto elapsed = std::chrono::steady_clock::now() - start;
   verb_histogram(verb_class)
@@ -1185,14 +1402,15 @@ StatsSnapshot QueryServer::stats() const {
   out.reloads = reloads_.value();
   out.reload_failures = reload_failures_.value();
   out.generation = engine()->generation();
-  // Merge the per-verb latency series bucket-by-bucket, then apply the
+  // Merge every per-verb latency series bucket-by-bucket, then apply the
   // registry histogram's exact quantile math: every request is recorded in
   // exactly one verb series, so the merge equals the old single histogram
   // and the p50/p99 doubles stay bit-identical. quantile units are
   // nanoseconds; dividing reproduces the legacy microsecond doubles.
   obs::HistogramSnapshot merged;
-  const obs::Histogram* series[] = {&latency_exact_, &latency_lpm_,
-                                    &latency_mlpm_, &latency_bin_,
+  const obs::Histogram* series[] = {&latency_exact_,   &latency_lpm_,
+                                    &latency_mlpm_,    &latency_bin_,
+                                    &latency_at_,      &latency_history_,
                                     &latency_other_};
   for (const obs::Histogram* histogram : series) {
     const obs::HistogramSnapshot snap = histogram->snapshot();

@@ -7,7 +7,8 @@
 //  - text: newline-delimited verbs, one single-line JSON response each
 //    (EXACT / LPM / MLPM / STATS / HEALTH / METRICS / RELOAD / SHUTDOWN —
 //    byte-identical to the pre-epoll server, pinned by a differential
-//    test);
+//    test — plus, in catalog mode, an `AT <epoch-ts>` qualifier on
+//    EXACT/LPM and a HISTORY verb, docs/TIMETRAVEL.md);
 //  - binary: length-prefixed frames (serve/wire.h) whose magic byte 0xB5
 //    can never open a text verb. One frame carries a batch of raw u32
 //    addresses answered straight off QueryEngine::lookup_batch into the
@@ -57,6 +58,7 @@
 
 #include "obs/metrics.h"
 #include "serve/engine_state.h"
+#include "serve/epoch_source.h"
 #include "util/expected.h"
 
 namespace sublet::serve {
@@ -107,6 +109,12 @@ class QueryServer {
   QueryServer(std::shared_ptr<const EngineState> engine, Options options);
   explicit QueryServer(std::shared_ptr<const EngineState> engine)
       : QueryServer(std::move(engine), Options{}) {}
+  /// Catalog (time-travel) mode: `initial` is the already-materialized
+  /// latest epoch, `source` resolves AT / HISTORY / binary-frame epochs.
+  /// RELOAD becomes "re-scan the catalog for appended epochs"
+  /// (docs/TIMETRAVEL.md).
+  QueryServer(std::shared_ptr<EpochSource> source,
+              std::shared_ptr<const EngineState> initial, Options options);
   ~QueryServer();
 
   QueryServer(const QueryServer&) = delete;
@@ -126,6 +134,15 @@ class QueryServer {
   /// The current serving generation. Request handlers grab one shared_ptr
   /// per request, so a concurrent RELOAD never invalidates what they read.
   std::shared_ptr<const EngineState> engine() const;
+
+  /// True when this server resolves epochs through an EpochSource.
+  bool catalog_mode() const { return source_ != nullptr; }
+
+  /// Serving state for `epoch` (0 = the current engine). Epochs other
+  /// than 0 require catalog mode; failures never disturb what is being
+  /// served.
+  Expected<std::shared_ptr<const EngineState>> engine_for(
+      std::uint32_t epoch);
 
   /// Load + fully validate the snapshot at `path` off the hot path, then
   /// atomically swap it in. Returns the new generation number, or an Error
@@ -195,8 +212,13 @@ class QueryServer {
   /// the pre-dispatch shed response only (the fd never reaches a shard).
   bool send_with_deadline(int fd, std::string_view data);
 
-  enum class Verb { kExact, kLpm, kMlpm, kBin, kOther };
+  enum class Verb { kExact, kLpm, kMlpm, kBin, kAt, kHistory, kOther };
   obs::Histogram& verb_histogram(Verb verb);
+
+  /// Refresh the catalog (RELOAD in catalog mode) and swap in the new
+  /// latest epoch. Returns its generation.
+  Expected<std::uint64_t> refresh_catalog();
+  std::string history_json(const Prefix& query);
 
   Options options_;
   unsigned shard_count_ = 1;
@@ -209,6 +231,7 @@ class QueryServer {
   mutable std::mutex engine_mu_;
   std::shared_ptr<const EngineState> engine_;
   std::mutex reload_mu_;  ///< serializes RELOADs (not the swap itself)
+  std::shared_ptr<EpochSource> source_;  ///< null = single-snapshot mode
 
   std::atomic<bool> stop_{false};   ///< SHUTDOWN seen / stop() began
   std::atomic<bool> drain_{false};  ///< shards: flush + close, no new reads
@@ -242,12 +265,14 @@ class QueryServer {
   obs::Gauge& generation_gauge_;
   obs::Gauge& active_conns_gauge_;
   // Latency split per verb (satellite: per-verb histograms). STATS merges
-  // the five series bucket-by-bucket, so its p50/p99 doubles are
+  // all the series bucket-by-bucket, so its p50/p99 doubles are
   // bit-identical to the old single-histogram math.
   obs::Histogram& latency_exact_;
   obs::Histogram& latency_lpm_;
   obs::Histogram& latency_mlpm_;
   obs::Histogram& latency_bin_;
+  obs::Histogram& latency_at_;
+  obs::Histogram& latency_history_;
   obs::Histogram& latency_other_;
 };
 

@@ -8,7 +8,7 @@
 // server sniffs the first byte of each request — 0xB5 (never a printable
 // verb letter) opens a frame header, anything else is a text line.
 //
-// Every frame, both directions, is a fixed 16-byte little-endian header
+// Every frame, both directions, is a fixed 20-byte little-endian header
 // followed by `payload_len` payload bytes:
 //
 //   offset  size  field
@@ -19,6 +19,9 @@
 //        6     2  reserved    0
 //        8     4  request_id  echoed verbatim so clients can pipeline
 //       12     4  payload_len payload bytes after the header
+//       16     4  epoch       request: epoch timestamp to answer from
+//                             (0 = latest; needs a catalog-mode server,
+//                             docs/TIMETRAVEL.md); response: echoed
 //
 // Request payloads:
 //   kOpLpmBatch    N x u32 LE host-order addresses (payload_len = 4N)
@@ -32,7 +35,10 @@
 // connection survives — the stream is still framed, so the peer can
 // resync. A bad *magic* means framing itself is lost and the only safe
 // move is to close. An oversized payload_len is answered with kTooLarge
-// and then closed (the server refuses to buffer it).
+// and then closed (the server refuses to buffer it). An epoch the server
+// cannot resolve (no catalog, predates the first epoch, or its chain
+// fails to materialize) is a body-level error too: kBadEpoch with an
+// empty payload, and the connection survives.
 #pragma once
 
 #include <cstdint>
@@ -46,7 +52,7 @@ namespace sublet::serve::wire {
 inline constexpr std::uint8_t kMagicByte0 = 0xB5;
 inline constexpr std::uint32_t kMagic = 0x544C42B5u;  // LE: B5 42 4C 54
 
-inline constexpr std::size_t kHeaderSize = 16;
+inline constexpr std::size_t kHeaderSize = 20;
 
 enum Opcode : std::uint8_t {
   kOpLpmBatch = 1,    ///< payload: raw u32 addresses, /32 LPM each
@@ -58,6 +64,7 @@ enum Status : std::uint8_t {
   kBadFrame = 1,   ///< ragged payload length / invalid entry
   kTooLarge = 2,   ///< payload_len over kMaxPayload (connection closes)
   kBadOpcode = 3,  ///< unknown opcode byte
+  kBadEpoch = 4,   ///< epoch unresolvable (connection survives)
 };
 
 /// Cap on addresses per frame (64x the text MLPM cap — one frame is meant
@@ -74,6 +81,7 @@ struct FrameHeader {
   std::uint16_t reserved = 0;
   std::uint32_t request_id = 0;
   std::uint32_t payload_len = 0;
+  std::uint32_t epoch = 0;  ///< 0 = latest epoch (or single-snapshot mode)
 };
 
 /// One per-address answer. `prefix_len == kMissLen` means no covering
@@ -118,6 +126,7 @@ inline bool decode_header(const char* p, FrameHeader& out) {
       (static_cast<unsigned char>(p[7]) << 8));
   out.request_id = load_u32le(p + 8);
   out.payload_len = load_u32le(p + 12);
+  out.epoch = load_u32le(p + 16);
   return true;
 }
 
@@ -131,6 +140,7 @@ inline void append_header(std::string& out, const FrameHeader& h) {
   buf[7] = static_cast<char>((h.reserved >> 8) & 0xFF);
   store_u32le(buf + 8, h.request_id);
   store_u32le(buf + 12, h.payload_len);
+  store_u32le(buf + 16, h.epoch);
   out.append(buf, kHeaderSize);
 }
 

@@ -63,4 +63,57 @@ World advance_epoch(const World& world, const EpochOptions& options) {
   return next;
 }
 
+std::vector<leasing::LeaseInference> epoch_inferences(const World& world) {
+  std::vector<leasing::LeaseInference> out;
+  out.reserve(world.leaves.size());
+  for (const SimLeaf& leaf : world.leaves) {
+    if (leaf.legacy) continue;  // the pipeline excludes legacy space too
+    const SimRoot& root = world.roots[leaf.root_index];
+    const SimOrg& holder = world.orgs[root.holder_org];
+    leasing::LeaseInference inference;
+    inference.prefix = leaf.prefix;
+    inference.rir = leaf.rir;
+    const bool originated = leaf.origin.has_value() && leaf.lease_active;
+    if (!originated) {
+      inference.group = root.originated
+                            ? leasing::InferenceGroup::kAggregatedCustomer
+                            : leasing::InferenceGroup::kUnused;
+    } else {
+      switch (leaf.truth) {
+        case TruthCategory::kLeased:
+          inference.group = root.originated
+                                ? leasing::InferenceGroup::kLeasedWithRoot
+                                : leasing::InferenceGroup::kLeasedNoRoot;
+          break;
+        case TruthCategory::kIspCustomer:
+          inference.group = leasing::InferenceGroup::kIspCustomer;
+          break;
+        case TruthCategory::kDelegatedCustomer:
+          inference.group = leasing::InferenceGroup::kDelegatedCustomer;
+          break;
+        case TruthCategory::kAggregatedCustomer:
+          inference.group = leasing::InferenceGroup::kAggregatedCustomer;
+          break;
+        case TruthCategory::kUnused:
+          inference.group = leasing::InferenceGroup::kUnused;
+          break;
+      }
+    }
+    inference.root_prefix = root.prefix;
+    inference.holder_org = holder.id;
+    inference.holder_asns.push_back(root.holder_asn);
+    if (originated) inference.leaf_origins.push_back(*leaf.origin);
+    if (root.originated) inference.root_origins.push_back(root.holder_asn);
+    if (!leaf.maintainer.empty()) {
+      inference.leaf_maintainers.push_back(leaf.maintainer);
+    }
+    if (!holder.maintainer.empty()) {
+      inference.root_maintainers.push_back(holder.maintainer);
+    }
+    inference.netname = leaf.org_id;
+    out.push_back(std::move(inference));
+  }
+  return out;
+}
+
 }  // namespace sublet::sim

@@ -6,6 +6,9 @@
 // previously idle sub-allocations get leased out.
 #pragma once
 
+#include <vector>
+
+#include "leasing/types.h"
 #include "simnet/world.h"
 
 namespace sublet::sim {
@@ -22,5 +25,13 @@ struct EpochOptions {
 /// organisations, and the allocation forest stay fixed — exactly what a
 /// month of market activity looks like in the registries.
 World advance_epoch(const World& world, const EpochOptions& options = {});
+
+/// What a perfect classifier would output for the world's current lease
+/// state: one LeaseInference per non-legacy leaf, evidence populated from
+/// the ground truth. This is the per-epoch record set the snapshot catalog
+/// is built from (docs/TIMETRAVEL.md) — running the full emit + classify
+/// pipeline per epoch would dominate a 10-epoch catalog build without
+/// changing what the catalog layer exercises.
+std::vector<leasing::LeaseInference> epoch_inferences(const World& world);
 
 }  // namespace sublet::sim

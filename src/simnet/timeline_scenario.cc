@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "mrt/bgp4mp.h"
+#include "simnet/builder.h"
 
 namespace sublet::sim {
 
@@ -92,6 +93,28 @@ void write_updates_mrt(const TimelineScenario& scenario,
                  static_cast<std::uint16_t>(mrt::Bgp4mpSubtype::kMessageAs4),
                  mrt::encode_bgp4mp(msg, mrt::Bgp4mpSubtype::kMessageAs4));
   }
+}
+
+EpochSeries build_epoch_series(const WorldConfig& config,
+                               const EpochSeriesOptions& options) {
+  if (options.epochs == 0) {
+    throw std::invalid_argument("build_epoch_series: epochs must be > 0");
+  }
+  EpochSeries series;
+  series.timestamps.reserve(options.epochs);
+  series.inferences.reserve(options.epochs);
+  World world = build_world(config);
+  for (std::size_t k = 0; k < options.epochs; ++k) {
+    if (k > 0) {
+      EpochOptions step = options.churn;
+      step.epoch = k;  // stirred into the RNG: each step is distinct
+      world = advance_epoch(world, step);
+    }
+    series.timestamps.push_back(
+        options.start + static_cast<std::uint32_t>(k) * options.step);
+    series.inferences.push_back(epoch_inferences(world));
+  }
+  return series;
 }
 
 }  // namespace sublet::sim

@@ -7,9 +7,12 @@
 #include <vector>
 
 #include "leasing/timeline.h"
+#include "leasing/types.h"
 #include "netbase/asn.h"
 #include "netbase/ipv4.h"
 #include "rpki/archive.h"
+#include "simnet/config.h"
+#include "simnet/epoch.h"
 
 namespace sublet::sim {
 
@@ -41,5 +44,29 @@ TimelineScenario build_timeline_scenario(const TimelineOptions& options = {});
 /// replay path (`bgp::replay_updates_file`) can be exercised end to end.
 void write_updates_mrt(const TimelineScenario& scenario,
                        const std::string& path);
+
+// ---- multi-epoch world series (snapshot catalog input) ------------------
+
+/// Knobs for build_epoch_series: a dated run of monthly measurement
+/// epochs over one evolving world.
+struct EpochSeriesOptions {
+  std::uint32_t start = 1704067200;  ///< 2024-01-01, epoch 1's timestamp
+  std::uint32_t step = 2592000;      ///< 30 days between epochs
+  std::size_t epochs = 10;
+  EpochOptions churn;                ///< per-step market dynamics
+};
+
+/// One evolving world observed at `epochs` successive timestamps: element
+/// k of `inferences` is what a perfect classifier outputs at
+/// `timestamps[k]`. Deterministic for (config.seed, options); this is the
+/// generator behind `sublet catalog build` and the time-travel test
+/// fixtures (docs/TIMETRAVEL.md).
+struct EpochSeries {
+  std::vector<std::uint32_t> timestamps;
+  std::vector<std::vector<leasing::LeaseInference>> inferences;
+};
+
+EpochSeries build_epoch_series(const WorldConfig& config,
+                               const EpochSeriesOptions& options = {});
 
 }  // namespace sublet::sim

@@ -152,6 +152,28 @@ Expected<Snapshot> Snapshot::from_bytes(std::vector<std::uint8_t> bytes) {
   return parse(Buffer(std::move(bytes)));
 }
 
+Snapshot Snapshot::from_parts(OwnedParts parts) {
+  Snapshot snap;
+  snap.version_ = kVersion;
+  snap.parts_ = std::make_unique<OwnedParts>(std::move(parts));
+  const OwnedParts& p = *snap.parts_;
+  snap.records_ = {p.rows.data(), p.rows.size()};
+  snap.string_blob_ = {p.string_blob.data(), p.string_blob.size()};
+  snap.string_offsets_ = {p.string_offsets.data(), p.string_offsets.size()};
+  snap.asn_pool_ = {p.asn_pool.data(), p.asn_pool.size()};
+  snap.handle_pool_ = {p.handle_pool.data(), p.handle_pool.size()};
+  return snap;
+}
+
+std::size_t Snapshot::file_bytes() const {
+  if (parts_ == nullptr) return buffer_.bytes().size();
+  return parts_->rows.size() * sizeof(RecordRow) +
+         parts_->string_blob.size() +
+         (parts_->string_offsets.size() + parts_->asn_pool.size() +
+          parts_->handle_pool.size()) *
+             sizeof(std::uint32_t);
+}
+
 Expected<Snapshot> Snapshot::parse(Buffer buffer) {
   const std::span<const std::uint8_t> file = buffer.bytes();
   if (file.size() < kHeaderSize) return fail("truncated snapshot header");

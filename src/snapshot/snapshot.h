@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -57,6 +58,26 @@ class Snapshot {
   /// Validate an in-memory image (tests and the loopback bench).
   static Expected<Snapshot> from_bytes(std::vector<std::uint8_t> bytes);
 
+  /// Owned section data for an in-memory snapshot that never touched a
+  /// file: the catalog's delta apply merges validated base + delta
+  /// sections into these vectors and adopts them directly, skipping the
+  /// serialize/CRC/re-validate round trip a full image would cost.
+  struct OwnedParts {
+    std::vector<RecordRow> rows;
+    std::string string_blob;
+    std::vector<std::uint32_t> string_offsets;  ///< string_count + 1
+    std::vector<std::uint32_t> asn_pool;
+    std::vector<std::uint32_t> handle_pool;
+  };
+
+  /// Adopt owned parts without re-validation. The caller guarantees
+  /// internal consistency (every row/pool reference in range, offsets
+  /// monotone) — upheld by construction when the parts are a merge of
+  /// individually validated snapshots and deltas (src/catalog/). A parts
+  /// snapshot has no trie sections: pair it with a caller-built trie via
+  /// QueryEngine::create(snap, trie).
+  static Snapshot from_parts(OwnedParts parts);
+
   std::size_t record_count() const { return records_.size(); }
   const RecordRow& record(std::size_t idx) const { return records_[idx]; }
   std::span<const RecordRow> records() const { return records_; }
@@ -91,14 +112,29 @@ class Snapshot {
       TrieStride stride = TrieStride::kBuild) const;
 
   std::uint16_t version() const { return version_; }
-  std::size_t file_bytes() const { return buffer_.bytes().size(); }
+  /// Bytes backing the snapshot: the file image, or the owned parts' total
+  /// for an in-memory parts snapshot.
+  std::size_t file_bytes() const;
   std::size_t string_count() const { return string_offsets_.size() - 1; }
   bool mapped() const { return buffer_.mapped(); }
+
+  // Raw section views (read-only), uniform across file-backed and parts
+  // snapshots — the catalog's delta apply concatenates these to build the
+  // next epoch's parts.
+  std::span<const char> string_blob() const { return string_blob_; }
+  std::span<const std::uint32_t> string_offsets() const {
+    return string_offsets_;
+  }
+  std::span<const std::uint32_t> asn_pool() const { return asn_pool_; }
+  std::span<const std::uint32_t> handle_pool() const { return handle_pool_; }
 
  private:
   static Expected<Snapshot> parse(Buffer buffer);
 
   Buffer buffer_;
+  // Set only for from_parts snapshots; unique_ptr keeps the vectors'
+  // addresses stable across Snapshot moves so the spans below stay valid.
+  std::unique_ptr<OwnedParts> parts_;
   std::uint16_t version_ = 0;
   // Typed views into buffer_ (set by parse; never outlive buffer_).
   std::span<const RecordRow> records_;

@@ -334,5 +334,75 @@ TEST_F(FrameFuzz, ExactBatchValidatesPrefixLengths) {
   EXPECT_EQ(hit.prefix_len, 24);
 }
 
+TEST_F(FrameFuzz, EpochFieldEchoesInTheResponseHeader) {
+  // Epoch 0 (latest) on a single-snapshot server: answered, echoed back.
+  auto conn = RawConn::open(port_);
+  ASSERT_TRUE(conn);
+  ASSERT_TRUE(conn->send_all(lpm_frame(41, {(10u << 24) | (1u << 8)})));
+  std::string response;
+  ASSERT_TRUE(conn->read_exact(
+      response, wire::kHeaderSize + wire::kResultSize, 5000));
+  wire::FrameHeader echoed;
+  ASSERT_TRUE(wire::decode_header(response.data(), echoed));
+  EXPECT_EQ(echoed.status, wire::kOk);
+  EXPECT_EQ(echoed.epoch, 0u);
+}
+
+TEST_F(FrameFuzz, NonzeroEpochWithoutCatalogSurvivesWithBadEpochStatus) {
+  // This server has no catalog behind it: a nonzero epoch is a body-level
+  // error (kBadEpoch), and — like kBadFrame — the connection survives.
+  auto conn = RawConn::open(port_);
+  ASSERT_TRUE(conn);
+  std::string frame;
+  wire::FrameHeader header;
+  header.opcode = wire::kOpLpmBatch;
+  header.request_id = 51;
+  header.epoch = 1704067200;
+  header.payload_len = 4;
+  wire::append_header(frame, header);
+  char buf[4];
+  wire::store_u32le(buf, (10u << 24) | (1u << 8));
+  frame.append(buf, 4);
+  ASSERT_TRUE(conn->send_all(frame));
+  std::string response;
+  ASSERT_TRUE(conn->read_exact(response, wire::kHeaderSize, 5000));
+  wire::FrameHeader echoed;
+  ASSERT_TRUE(wire::decode_header(response.data(), echoed));
+  EXPECT_EQ(echoed.status, wire::kBadEpoch);
+  EXPECT_EQ(echoed.request_id, 51u);
+  EXPECT_EQ(echoed.payload_len, 0u);
+
+  // The stream stays framed: a normal epoch-0 frame answers afterwards.
+  ASSERT_TRUE(conn->send_all(lpm_frame(52, {(10u << 24) | (1u << 8)})));
+  std::string ok;
+  ASSERT_TRUE(conn->read_exact(
+      ok, wire::kHeaderSize + wire::kResultSize, 5000));
+  ASSERT_TRUE(wire::decode_header(ok.data(), echoed));
+  EXPECT_EQ(echoed.status, wire::kOk);
+  EXPECT_EQ(echoed.request_id, 52u);
+}
+
+TEST_F(FrameFuzz, EpochFieldIsIgnoredForMalformedFrames) {
+  // A ragged payload with a nonzero epoch: frame validation wins, the
+  // error status is kBadFrame (not kBadEpoch), connection survives.
+  auto conn = RawConn::open(port_);
+  ASSERT_TRUE(conn);
+  std::string frame;
+  wire::FrameHeader header;
+  header.opcode = wire::kOpLpmBatch;
+  header.request_id = 61;
+  header.epoch = 12345;
+  header.payload_len = 6;  // ragged
+  wire::append_header(frame, header);
+  frame.append(6, '\0');
+  ASSERT_TRUE(conn->send_all(frame));
+  std::string response;
+  ASSERT_TRUE(conn->read_exact(response, wire::kHeaderSize, 5000));
+  wire::FrameHeader echoed;
+  ASSERT_TRUE(wire::decode_header(response.data(), echoed));
+  EXPECT_EQ(echoed.status, wire::kBadFrame);
+  EXPECT_EQ(echoed.request_id, 61u);
+}
+
 }  // namespace
 }  // namespace sublet::serve

@@ -238,9 +238,10 @@ TEST(ServeStatsDifferential, StatsJsonDerivesFromRegistry) {
   EXPECT_EQ(stats.reload_failures,
             counter("sublet_serve_reload_failures_total"));
 
-  // The latency family is split per verb (exact/lpm/mlpm/bin/other); the
-  // differential merges every series bucket-by-bucket, exactly as stats()
-  // does, and the result must reproduce the old single-histogram math.
+  // The latency family is split per verb (exact/lpm/mlpm/bin/history/at/
+  // other); the differential merges every series bucket-by-bucket, exactly
+  // as stats() does, and the result must reproduce the old
+  // single-histogram math.
   obs::HistogramSnapshot latency;
   std::size_t series = 0;
   for (const obs::MetricValue& v : values) {
@@ -252,7 +253,7 @@ TEST(ServeStatsDifferential, StatsJsonDerivesFromRegistry) {
       latency.buckets[b] += v.histogram.buckets[b];
     }
   }
-  ASSERT_EQ(series, 5u);  // exact, lpm, mlpm, bin, other
+  ASSERT_EQ(series, 7u);  // exact, lpm, mlpm, bin, history, at, other
   EXPECT_EQ(latency.count, stats.requests);
   // Independent reimplementation of the pre-registry LatencyHistogram
   // quantile: midpoint of the power-of-two bucket holding the target rank,

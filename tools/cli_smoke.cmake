@@ -140,6 +140,48 @@ if(code EQUAL 0)
   message(FATAL_ERROR "snapshot verify accepted a truncated file")
 endif()
 
+# --- catalog: multi-epoch build -> ls -> deep verify -> CSV append ---
+set(CAT "${DATA}/catalog")
+run_step("${SUBLET_BIN}" catalog build "${CAT}" --epochs 4 --scale 0.03
+         --seed 11 --start 1704067200 --step 2592000)
+if(NOT STEP_OUTPUT MATCHES "epoch 1704067200: full")
+  message(FATAL_ERROR "catalog build did not anchor a full snapshot: ${STEP_OUTPUT}")
+endif()
+if(NOT STEP_OUTPUT MATCHES "4 epochs")
+  message(FATAL_ERROR "catalog build epoch count wrong: ${STEP_OUTPUT}")
+endif()
+
+run_step("${SUBLET_BIN}" catalog ls "${CAT}")
+if(NOT STEP_OUTPUT MATCHES "4 epochs")
+  message(FATAL_ERROR "catalog ls epoch count wrong: ${STEP_OUTPUT}")
+endif()
+
+# Deep verify replays every chain and re-encodes: byte-identity checked.
+run_step("${SUBLET_BIN}" catalog verify "${CAT}" --deep)
+if(NOT STEP_OUTPUT MATCHES "ok: 4 epochs \\(deep\\)")
+  message(FATAL_ERROR "catalog deep verify failed: ${STEP_OUTPUT}")
+endif()
+
+# Append a fifth epoch from a pipeline artifact CSV.
+run_step("${SUBLET_BIN}" catalog append "${CAT}" "${DATA}/leases-a.csv"
+         --epoch 1800000000)
+if(NOT STEP_OUTPUT MATCHES "epoch 1800000000:")
+  message(FATAL_ERROR "catalog append did not report its epoch: ${STEP_OUTPUT}")
+endif()
+run_step("${SUBLET_BIN}" catalog ls "${CAT}")
+if(NOT STEP_OUTPUT MATCHES "5 epochs")
+  message(FATAL_ERROR "appended epoch missing from ls: ${STEP_OUTPUT}")
+endif()
+run_step("${SUBLET_BIN}" catalog verify "${CAT}")
+if(NOT STEP_OUTPUT MATCHES "ok: 5 epochs")
+  message(FATAL_ERROR "catalog verify failed after append: ${STEP_OUTPUT}")
+endif()
+
+run_fail("${SUBLET_BIN}" catalog)
+run_fail("${SUBLET_BIN}" catalog frob "${CAT}")
+run_fail("${SUBLET_BIN}" catalog append "${CAT}" "${DATA}/leases-a.csv")
+run_fail("${SUBLET_BIN}" catalog build "${CAT}" --epochs junk)
+
 # --- serving: background server -> port file -> query -> shutdown ---
 find_program(SH_BIN sh)
 if(SH_BIN)
@@ -261,6 +303,85 @@ if(SH_BIN)
   endforeach()
   if(code EQUAL 0)
     message(FATAL_ERROR "server still accepting after SHUTDOWN")
+  endif()
+
+  # --- time travel: serve --catalog -> STATS epochs -> AT -> HISTORY ---
+  file(REMOVE "${DATA}/port.txt")
+  execute_process(
+    COMMAND "${SH_BIN}" -c
+      "'${SUBLET_BIN}' serve --catalog '${CAT}' --shards 2 --port-file '${DATA}/port.txt' > '${DATA}/serve-catalog.log' 2>&1 &"
+    RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "failed to launch catalog-mode server")
+  endif()
+  set(PORT "")
+  foreach(attempt RANGE 100)
+    if(EXISTS "${DATA}/port.txt")
+      file(READ "${DATA}/port.txt" PORT)
+      string(STRIP "${PORT}" PORT)
+      if(NOT PORT STREQUAL "")
+        break()
+      endif()
+    endif()
+    execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+  endforeach()
+  if(PORT STREQUAL "")
+    file(READ "${DATA}/serve-catalog.log" SERVE_LOG)
+    message(FATAL_ERROR "catalog server never published its port:\n${SERVE_LOG}")
+  endif()
+
+  run_step("${SUBLET_BIN}" query "127.0.0.1:${PORT}" --stats)
+  if(NOT STEP_OUTPUT MATCHES "\"epochs\":{\"count\":5,\"first\":1704067200,\"last\":1800000000}")
+    message(FATAL_ERROR "catalog STATS missing the epoch range: ${STEP_OUTPUT}")
+  endif()
+
+  # AT pins the answer to epoch 1 and echoes the resolved epoch.
+  run_step("${SUBLET_BIN}" query "127.0.0.1:${PORT}" --at 1704067200
+           20.0.0.0/24)
+  if(NOT STEP_OUTPUT MATCHES "\"epoch\":1704067200")
+    message(FATAL_ERROR "AT did not resolve to the first epoch: ${STEP_OUTPUT}")
+  endif()
+  # Between epochs 1 and 2: as-of resolves back to epoch 1.
+  run_step("${SUBLET_BIN}" query "127.0.0.1:${PORT}" --at 1704067201
+           --lpm 20.0.0.99)
+  if(NOT STEP_OUTPUT MATCHES "\"epoch\":1704067200")
+    message(FATAL_ERROR "AT as-of semantics broken: ${STEP_OUTPUT}")
+  endif()
+
+  # HISTORY replays the prefix across all five epochs in one line.
+  run_step("${SUBLET_BIN}" query "127.0.0.1:${PORT}" --history 20.0.0.0/24)
+  if(NOT STEP_OUTPUT MATCHES "\"query\":\"20.0.0.0/24\"")
+    message(FATAL_ERROR "HISTORY did not echo the query: ${STEP_OUTPUT}")
+  endif()
+  if(NOT STEP_OUTPUT MATCHES "\"epochs\":5")
+    message(FATAL_ERROR "HISTORY replayed the wrong epoch count: ${STEP_OUTPUT}")
+  endif()
+  if(NOT STEP_OUTPUT MATCHES "\"transitions\":")
+    message(FATAL_ERROR "HISTORY output missing transitions: ${STEP_OUTPUT}")
+  endif()
+
+  # The binary frame carries the epoch field too.
+  run_step("${SUBLET_BIN}" query "127.0.0.1:${PORT}" --bin
+           --at 1704067200 20.0.0.99)
+  if(NOT STEP_OUTPUT MATCHES "\"addr\":\"20.0.0.99\"")
+    message(FATAL_ERROR "binary AT batch returned nothing: ${STEP_OUTPUT}")
+  endif()
+
+  run_step("${SUBLET_BIN}" query "127.0.0.1:${PORT}" --shutdown)
+  if(NOT STEP_OUTPUT MATCHES "\"stopping\":true")
+    message(FATAL_ERROR "catalog server SHUTDOWN not acknowledged: ${STEP_OUTPUT}")
+  endif()
+  foreach(attempt RANGE 50)
+    execute_process(COMMAND "${SUBLET_BIN}" query "127.0.0.1:${PORT}"
+                    20.0.0.0/24
+                    RESULT_VARIABLE code OUTPUT_QUIET ERROR_QUIET)
+    if(NOT code EQUAL 0)
+      break()
+    endif()
+    execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+  endforeach()
+  if(code EQUAL 0)
+    message(FATAL_ERROR "catalog server still accepting after SHUTDOWN")
   endif()
 else()
   message(STATUS "sh not found; skipping background server smoke")

@@ -8,7 +8,9 @@
 //   sublet timeline <updates.mrt> <rpki-dir> <prefix> [from] [to]
 //                                                  lease-history (Figure 3)
 //   sublet snapshot write|read|verify ...          binary inference snapshots
+//   sublet catalog build|append|ls|verify ...      multi-epoch catalogs
 //   sublet serve <file.snap> [--port N]            TCP prefix-query server
+//   sublet serve --catalog <dir> [--port N]        time-travel serving
 //   sublet query <host:port> <prefix>...           one-shot protocol client
 #include <atomic>
 #include <csignal>
@@ -21,6 +23,7 @@
 
 #include "asgraph/as_graph.h"
 #include "bgp/origin_tracker.h"
+#include "catalog/catalog.h"
 #include "mrt/bgpdump_text.h"
 #include "obs/trace.h"
 #include "leasing/abuse_analysis.h"
@@ -36,6 +39,7 @@
 #include "serve/server.h"
 #include "simnet/builder.h"
 #include "simnet/emit.h"
+#include "simnet/timeline_scenario.h"
 #include "snapshot/snapshot.h"
 #include "snapshot/writer.h"
 #include "util/log.h"
@@ -68,17 +72,32 @@ int usage() {
       "  snapshot write <leases.csv> <out.snap>  pack inferences for serving\n"
       "  snapshot read <in.snap> [-o out.csv]    unpack back to the artifact\n"
       "  snapshot verify <in.snap>               check magic/version/CRC\n"
+      "  catalog build <dir> [--epochs N] [--scale S] [--seed N]\n"
+      "        [--start TS] [--step SECONDS]     synthesize a multi-epoch\n"
+      "                                          catalog (docs/TIMETRAVEL.md)\n"
+      "  catalog append <dir> <leases.csv> --epoch TS [--max-delta-frac F]\n"
+      "        [--full]                          append one epoch (delta or\n"
+      "                                          full per the size guard)\n"
+      "  catalog ls <dir>                        list epochs\n"
+      "  catalog verify <dir> [--deep]           check every epoch + chain\n"
       "  serve <in.snap> [--port N] [--port-file F] [--shards N]\n"
       "        [--max-conns N] [--idle-timeout-ms N] [--io-timeout-ms N]\n"
       "        [--drain-ms N] [--reload-on-sighup]\n"
       "                                          prefix-query server (see\n"
       "                                          docs/SERVING.md and\n"
       "                                          docs/ROBUSTNESS.md)\n"
+      "  serve --catalog <dir> [same flags]      time-travel server: AT and\n"
+      "                                          HISTORY answer from any\n"
+      "                                          epoch; RELOAD re-scans the\n"
+      "                                          catalog for appended epochs\n"
       "  query <host:port> [--lpm|--bin|--stats|--health|--metrics|--shutdown]\n"
-      "        [--reload <path.snap>] [--timeout-ms N] [--retries N]\n"
+      "        [--at TS] [--history] [--reload <path.snap>]\n"
+      "        [--timeout-ms N] [--retries N]\n"
       "        <prefix>...                       one-shot loopback client\n"
       "                                          (--bin batches the addresses\n"
-      "                                          into one binary LPM frame)\n";
+      "                                          into one binary LPM frame;\n"
+      "                                          --at / --history need a\n"
+      "                                          catalog-mode server)\n";
   return 2;
 }
 
@@ -369,6 +388,170 @@ int cmd_snapshot(const std::vector<std::string>& args) {
   return usage();
 }
 
+int cmd_catalog(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const std::string& verb = args[0];
+  if (verb == "build") {
+    // Synthesize a catalog from an evolving simnet world: epoch 1 is a
+    // full snapshot, later epochs go through the append path (delta or
+    // full per the size guard) — the same code a production ingest runs.
+    if (args.size() < 2) return usage();
+    const std::string& dir = args[1];
+    sim::WorldConfig config;
+    config.scale = 0.05;
+    config.seed = 42;
+    sim::EpochSeriesOptions series_options;
+    for (std::size_t i = 2; i < args.size(); ++i) {
+      if (args[i] == "--epochs" && i + 1 < args.size()) {
+        auto n = parse_u32(args[++i]);
+        if (!n || *n == 0) {
+          std::cerr << "--epochs expects a positive integer\n";
+          return usage();
+        }
+        series_options.epochs = *n;
+      } else if (args[i] == "--scale" && i + 1 < args.size()) {
+        config.scale = std::stod(args[++i]);
+      } else if (args[i] == "--seed" && i + 1 < args.size()) {
+        config.seed = std::stoull(args[++i]);
+      } else if (args[i] == "--start" && i + 1 < args.size()) {
+        auto ts = parse_u32(args[++i]);
+        if (!ts || *ts == 0) {
+          std::cerr << "--start expects a positive unix timestamp\n";
+          return usage();
+        }
+        series_options.start = *ts;
+      } else if (args[i] == "--step" && i + 1 < args.size()) {
+        auto step = parse_u32(args[++i]);
+        if (!step || *step == 0) {
+          std::cerr << "--step expects a positive number of seconds\n";
+          return usage();
+        }
+        series_options.step = *step;
+      } else {
+        std::cerr << "unknown option " << args[i] << "\n";
+        return usage();
+      }
+    }
+    sim::EpochSeries series = sim::build_epoch_series(config, series_options);
+    for (std::size_t k = 0; k < series.timestamps.size(); ++k) {
+      auto entry = k == 0
+                       ? catalog::catalog_init(dir, series.timestamps[k],
+                                               std::move(series.inferences[k]))
+                       : catalog::catalog_append(
+                             dir, series.timestamps[k],
+                             std::move(series.inferences[k]));
+      if (!entry) {
+        std::cerr << entry.error().to_string() << "\n";
+        return 1;
+      }
+      std::cout << "epoch " << entry->epoch << ": "
+                << (entry->kind == catalog::EpochKind::kFull ? "full" : "delta")
+                << ", " << with_commas(entry->records) << " records, "
+                << with_commas(entry->bytes) << " bytes (" << entry->name
+                << ")\n";
+    }
+    std::cout << "catalog " << dir << ": " << series.timestamps.size()
+              << " epochs\n";
+    return 0;
+  }
+  if (verb == "append") {
+    if (args.size() < 3) return usage();
+    const std::string& dir = args[1];
+    const std::string& csv = args[2];
+    std::optional<std::uint32_t> epoch;
+    catalog::AppendOptions options;
+    for (std::size_t i = 3; i < args.size(); ++i) {
+      if (args[i] == "--epoch" && i + 1 < args.size()) {
+        epoch = parse_u32(args[++i]);
+        if (!epoch || *epoch == 0) {
+          std::cerr << "--epoch expects a positive unix timestamp\n";
+          return usage();
+        }
+      } else if (args[i] == "--max-delta-frac" && i + 1 < args.size()) {
+        options.max_delta_fraction = std::stod(args[++i]);
+      } else if (args[i] == "--full") {
+        options.force_full = true;
+      } else {
+        std::cerr << "unknown option " << args[i] << "\n";
+        return usage();
+      }
+    }
+    if (!epoch) {
+      std::cerr << "catalog append requires --epoch TS\n";
+      return usage();
+    }
+    auto inferences = leasing::load_inferences_csv(csv);
+    if (!inferences) {
+      std::cerr << inferences.error().to_string() << "\n";
+      return 1;
+    }
+    auto entry = catalog::read_index(dir)
+                     ? catalog::catalog_append(dir, *epoch,
+                                               std::move(*inferences), options)
+                     : catalog::catalog_init(dir, *epoch,
+                                             std::move(*inferences));
+    if (!entry) {
+      std::cerr << entry.error().to_string() << "\n";
+      return 1;
+    }
+    std::cout << "epoch " << entry->epoch << ": "
+              << (entry->kind == catalog::EpochKind::kFull ? "full" : "delta")
+              << ", " << with_commas(entry->records) << " records, "
+              << with_commas(entry->bytes) << " bytes (" << entry->name
+              << ")\n";
+    return 0;
+  }
+  if (verb == "ls") {
+    if (args.size() != 2) return usage();
+    auto entries = catalog::read_index(args[1]);
+    if (!entries) {
+      std::cerr << entries.error().to_string() << "\n";
+      return 1;
+    }
+    for (const catalog::EpochEntry& entry : *entries) {
+      std::cout << entry.epoch << "  "
+                << (entry.kind == catalog::EpochKind::kFull ? "full " : "delta")
+                << "  base=" << entry.base_epoch << "  records="
+                << entry.records << "  bytes=" << entry.bytes << "  "
+                << entry.name << "\n";
+    }
+    std::cout << entries->size() << " epochs\n";
+    return 0;
+  }
+  if (verb == "verify") {
+    if (args.size() < 2) return usage();
+    bool deep = false;
+    for (std::size_t i = 2; i < args.size(); ++i) {
+      if (args[i] == "--deep") {
+        deep = true;
+      } else {
+        std::cerr << "unknown option " << args[i] << "\n";
+        return usage();
+      }
+    }
+    auto opened = catalog::Catalog::open(args[1]);
+    if (!opened) {
+      std::cerr << "invalid catalog: " << opened.error().to_string() << "\n";
+      return 1;
+    }
+    auto report = (*opened)->verify(deep);
+    for (const auto& check : report.checks) {
+      std::cout << check.epoch << "  "
+                << (check.ok ? "ok" : "BROKEN: " + check.detail) << "\n";
+    }
+    if (!report.ok()) {
+      std::cerr << report.broken << " of " << report.checks.size()
+                << " epochs broken\n";
+      return 1;
+    }
+    std::cout << "ok: " << report.checks.size() << " epochs"
+              << (deep ? " (deep)" : "") << "\n";
+    return 0;
+  }
+  std::cerr << "unknown catalog verb '" << verb << "'\n";
+  return usage();
+}
+
 // Signal handlers may only touch lock-free atomics; the server's wait()
 // polls this flag so SIGTERM/SIGINT still dump the final counters.
 std::atomic<int> g_signal{0};
@@ -380,6 +563,7 @@ extern "C" void sublet_on_signal(int sig) {
 int cmd_serve(const std::vector<std::string>& args) {
   serve::QueryServer::Options options;
   std::optional<std::string> port_file;
+  std::optional<std::string> catalog_dir;
   bool reload_on_sighup = false;
   std::vector<std::string> rest;
   auto int_flag = [&](std::size_t& i, const char* name,
@@ -402,6 +586,8 @@ int cmd_serve(const std::vector<std::string>& args) {
       options.port = static_cast<std::uint16_t>(*port);
     } else if (args[i] == "--port-file" && i + 1 < args.size()) {
       port_file = args[++i];
+    } else if (args[i] == "--catalog" && i + 1 < args.size()) {
+      catalog_dir = args[++i];
     } else if (args[i] == "--shards" && i + 1 < args.size()) {
       auto shards = parse_u32(args[++i]);
       if (!shards || *shards == 0) {
@@ -437,14 +623,41 @@ int cmd_serve(const std::vector<std::string>& args) {
       rest.push_back(args[i]);
     }
   }
-  if (rest.size() != 1) return usage();
-  const std::string snapshot_path = rest[0];
-  auto state = serve::EngineState::load(snapshot_path);
-  if (!state) {
-    std::cerr << state.error().to_string() << "\n";
-    return 1;
+  if (rest.size() != (catalog_dir ? 0u : 1u)) return usage();
+  std::shared_ptr<serve::EpochSource> source;
+  std::shared_ptr<const serve::EngineState> initial;
+  std::string snapshot_path;
+  if (catalog_dir) {
+    // Time-travel mode: materialize the latest epoch up front so startup
+    // fails loudly on a broken catalog, then serve AT / HISTORY / binary
+    // epoch frames through the catalog's LRU (docs/TIMETRAVEL.md).
+    auto opened = catalog::Catalog::open(*catalog_dir);
+    if (!opened) {
+      std::cerr << opened.error().to_string() << "\n";
+      return 1;
+    }
+    source = std::shared_ptr<serve::EpochSource>(std::move(*opened));
+    auto latest = source->epoch_at(0);
+    if (!latest) {
+      std::cerr << latest.error().to_string() << "\n";
+      return 1;
+    }
+    initial = std::move(*latest);
+  } else {
+    snapshot_path = rest[0];
+    auto state = serve::EngineState::load(snapshot_path);
+    if (!state) {
+      std::cerr << state.error().to_string() << "\n";
+      return 1;
+    }
+    initial = std::move(*state);
   }
-  serve::QueryServer server(*state, options);
+  auto server_ptr =
+      catalog_dir
+          ? std::make_unique<serve::QueryServer>(source, std::move(initial),
+                                                 options)
+          : std::make_unique<serve::QueryServer>(std::move(initial), options);
+  serve::QueryServer& server = *server_ptr;
   auto port = server.start();
   if (!port) {
     std::cerr << port.error().to_string() << "\n";
@@ -470,6 +683,12 @@ int cmd_serve(const std::vector<std::string>& args) {
         [] { return g_signal.load(std::memory_order_relaxed) != 0; });
     int sig = g_signal.exchange(0, std::memory_order_relaxed);
     if (sig == SIGHUP && reload_on_sighup && !server.stop_requested()) {
+      if (catalog_dir) {
+        // Catalog mode: re-scan the index for appended epochs — the text
+        // RELOAD verb does exactly that, counters included.
+        std::cout << server.handle_request("RELOAD") << "\n" << std::flush;
+        continue;
+      }
       // Hot reload: re-read the snapshot path we were started with. A
       // failed load logs and keeps the old generation serving.
       auto generation = server.reload(snapshot_path);
@@ -493,7 +712,8 @@ int cmd_serve(const std::vector<std::string>& args) {
 int cmd_query(const std::vector<std::string>& args) {
   if (args.empty()) return usage();
   bool lpm = false, stats = false, health = false, shutdown = false;
-  bool metrics = false, bin = false;
+  bool metrics = false, bin = false, history = false;
+  std::optional<std::uint32_t> at_epoch;
   std::optional<std::string> reload_path;
   serve::QueryClient::Timeouts timeouts;
   serve::QueryClient::RetryPolicy retry;
@@ -513,6 +733,18 @@ int cmd_query(const std::vector<std::string>& args) {
       metrics = true;
     } else if (arg == "--shutdown") {
       shutdown = true;
+    } else if (arg == "--history") {
+      history = true;
+    } else if (arg == "--at") {
+      if (i + 1 >= args.size()) {
+        std::cerr << "--at expects an epoch timestamp\n";
+        return usage();
+      }
+      at_epoch = parse_u32(args[++i]);
+      if (!at_epoch || *at_epoch == 0) {
+        std::cerr << "--at expects a positive unix timestamp\n";
+        return usage();
+      }
     } else if (arg == "--reload") {
       if (i + 1 >= args.size()) {
         std::cerr << "--reload expects a snapshot path\n";
@@ -599,7 +831,7 @@ int cmd_query(const std::vector<std::string>& args) {
       std::cerr << client.error().to_string() << "\n";
       return 1;
     }
-    auto response = client->request_binary_batch(addrs);
+    auto response = client->request_binary_batch(addrs, at_epoch.value_or(0));
     if (!response) {
       std::cerr << response.error().to_string() << "\n";
       return 1;
@@ -628,7 +860,10 @@ int cmd_query(const std::vector<std::string>& args) {
     prefixes.clear();
   }
   for (const std::string& prefix : prefixes) {
-    if (!round_trip((lpm ? "LPM " : "EXACT ") + prefix)) return 1;
+    std::string line = history ? "HISTORY " + prefix
+                               : (lpm ? "LPM " : "EXACT ") + prefix;
+    if (at_epoch && !history) line += " AT " + std::to_string(*at_epoch);
+    if (!round_trip(line)) return 1;
   }
   if (reload_path && !round_trip("RELOAD " + *reload_path)) return 1;
   if (health && !round_trip("HEALTH")) return 1;
@@ -714,6 +949,7 @@ int main(int argc, char** argv) {
     else if (command == "report") rc = cmd_report(args);
     else if (command == "dump") rc = cmd_dump(args);
     else if (command == "snapshot") rc = cmd_snapshot(args);
+    else if (command == "catalog") rc = cmd_catalog(args);
     else if (command == "serve") rc = cmd_serve(args);
     else if (command == "query") rc = cmd_query(args);
   } catch (const std::exception& e) {
