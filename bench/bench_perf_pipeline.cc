@@ -25,6 +25,7 @@
 #include "catalog/delta.h"
 #include "leasing/dataset.h"
 #include "leasing/pipeline.h"
+#include "loadgen/loadgen.h"
 #include "leasing/report.h"
 #include "memstats.h"
 #include "mrt/rib_file.h"
@@ -1620,6 +1621,64 @@ void BM_RibLookup(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_RibLookup);
+
+/// Arg: event-loop shards. One full pass of the soak driver (src/loadgen)
+/// against an in-process server: 4 workers replaying the seed-keyed verb
+/// mix flat out (the open-loop qps target is set far above what the box
+/// can do, so pacing never sleeps). soak_lookups_per_s is the aggregate
+/// end-to-end rate across every verb; the acceptance gate — >= 1M
+/// lookups/s with zero wrong answers and zero uninjected errors — is
+/// enforced at 8 shards.
+void BM_SoakThroughput(benchmark::State& state) {
+  loadgen::LoadOptions options;
+  options.seed = 4242;
+  options.workers = 4;
+  // Saturation sizing: the schedule is duration_ms x qps ops, and workers
+  // drain ALL of it as fast as the box allows (pacing never waits at this
+  // qps) — so these two knobs set the op count (~60k, a few seconds), not
+  // the wall time.
+  options.duration_ms = 1000;
+  options.qps = 60000.0;
+  options.batch_size = 512;
+  options.pipeline_depth = 4;
+  options.world.scale = 0.05;
+  options.world.epochs = 3;
+  options.world.pending = 0;
+  options.shards = static_cast<unsigned>(state.range(0));
+  options.spot_check_every = 1024;
+  double lookups_per_s = 0.0;
+  double achieved_qps = 0.0;
+  std::uint64_t requests = 0;
+  for (auto _ : state) {
+    auto report = loadgen::run_load(options);
+    if (!report) {
+      state.SkipWithError(report.error().to_string().c_str());
+      return;
+    }
+    if (report->wrong_answers != 0 || report->uninjected_errors != 0) {
+      state.SkipWithError("soak saw wrong answers or uninjected errors");
+      return;
+    }
+    lookups_per_s = report->lookups_per_s;
+    achieved_qps = report->achieved_qps;
+    requests = report->total_requests;
+    state.SetIterationTime(static_cast<double>(report->elapsed_ms) / 1e3);
+  }
+  state.counters["shards"] = static_cast<double>(state.range(0));
+  state.counters["workers"] = static_cast<double>(options.workers);
+  state.counters["soak_lookups_per_s"] = lookups_per_s;
+  state.counters["achieved_qps"] = achieved_qps;
+  state.counters["requests"] = static_cast<double>(requests);
+  state.counters["peak_rss_mb"] = bench::peak_rss_megabytes();
+  state.SetItemsProcessed(static_cast<std::int64_t>(requests));
+  if (state.range(0) >= 8 && lookups_per_s < 1e6) {
+    state.SkipWithError("soak aggregate below 1M lookups/s at 8 shards");
+  }
+}
+BENCHMARK(BM_SoakThroughput)
+    ->Arg(1)->Arg(8)
+    ->Iterations(1)->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -95,6 +95,9 @@ Expected<std::vector<const EpochEntry*>> chain_for(
 
 /// Crash-safe small-file publish, same scheme as the snapshot writer:
 /// <path>.tmp + fsync + rename, then a best-effort directory fsync.
+/// Fault site `catalog.rename` forces the rename step to fail (or, armed
+/// with fault::kCrash, kills the process with the `.tmp` still on disk —
+/// the kill-restart tests' torn-index artifact).
 void write_file_atomic(const std::string& path,
                        std::span<const std::uint8_t> bytes) {
   const std::string tmp = path + ".tmp";
@@ -125,7 +128,15 @@ void write_file_atomic(const std::string& path,
                              std::strerror(saved));
   }
   ::close(fd);
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+  int rename_rc;
+  int injected = 0;
+  if (fault::inject("catalog.rename", &injected)) {
+    rename_rc = -1;
+    errno = injected;
+  } else {
+    rename_rc = ::rename(tmp.c_str(), path.c_str());
+  }
+  if (rename_rc != 0) {
     int saved = errno;
     ::unlink(tmp.c_str());
     throw std::runtime_error("cannot rename " + tmp + " to " + path + ": " +
@@ -323,6 +334,45 @@ Catalog::Catalog(std::string dir, CatalogOptions options,
       entries_(std::make_shared<const std::vector<EpochEntry>>(
           std::move(entries))) {}
 
+namespace {
+
+/// Sweep crash leftovers from a killed append (docs/ROBUSTNESS.md): any
+/// `*.tmp` (a torn atomic publish that never renamed) and any
+/// `epoch-*.snap` / `epoch-*.dsnap` the index does not reference (the
+/// epoch file landed but the process died before the index rename).
+/// Best-effort — an unreadable directory just skips the sweep — and only
+/// safe because open() is never run concurrently with an in-flight
+/// append to the same directory.
+std::size_t sweep_crash_leftovers(const std::string& dir,
+                                  const std::vector<EpochEntry>& entries) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return 0;
+  std::size_t removed = 0;
+  for (const auto& dirent : it) {
+    if (!dirent.is_regular_file(ec)) continue;
+    const std::string name = dirent.path().filename().string();
+    bool stale = false;
+    if (name.size() > 4 && name.ends_with(".tmp")) {
+      stale = true;
+    } else if (name.starts_with("epoch-") &&
+               (name.ends_with(".snap") || name.ends_with(".dsnap"))) {
+      stale = true;
+      for (const EpochEntry& entry : entries) {
+        if (entry.name == name) {
+          stale = false;
+          break;
+        }
+      }
+    }
+    if (!stale) continue;
+    if (std::filesystem::remove(dirent.path(), ec) && !ec) ++removed;
+  }
+  return removed;
+}
+
+}  // namespace
+
 Expected<std::unique_ptr<Catalog>> Catalog::open(std::string dir,
                                                  CatalogOptions options) {
   int err = 0;
@@ -331,6 +381,7 @@ Expected<std::unique_ptr<Catalog>> Catalog::open(std::string dir,
   }
   auto entries = read_index(dir);
   if (!entries) return entries.error();
+  sweep_crash_leftovers(dir, *entries);
   metrics().epochs.set(static_cast<std::int64_t>(entries->size()));
   return std::unique_ptr<Catalog>(
       new Catalog(std::move(dir), options, std::move(*entries)));
@@ -821,6 +872,15 @@ Expected<EpochEntry> catalog_append(
       entry.name = "epoch-" + std::to_string(epoch) + ".dsnap";
       write_file_atomic(join(dir, entry.name), delta_bytes);
       entry.bytes = delta_bytes.size();
+    }
+    // The epoch file is on disk but the index does not name it yet — the
+    // append's crash window. A death here (fault site armed with
+    // fault::kCrash, or a real machine crash) leaves an orphaned epoch
+    // file the next Catalog::open sweeps away.
+    int err = 0;
+    if (fault::inject("catalog.append_publish", &err)) {
+      return fail_code("injected catalog.append_publish fault for " + dir,
+                       err);
     }
     entries->push_back(entry);
     write_index_file(dir, *entries);

@@ -76,7 +76,11 @@ struct CatalogOptions {
 class Catalog : public serve::EpochSource {
  public:
   /// Open `<dir>/catalog.idx` and validate the epoch list. No epoch is
-  /// materialized yet. Fault site `catalog.open` forces the error path.
+  /// materialized yet. Crash leftovers from a killed append — `*.tmp`
+  /// files and epoch files the index does not reference — are swept
+  /// (best-effort) before the catalog is returned, so open() must never
+  /// run concurrently with an in-flight catalog_append() on the same
+  /// directory. Fault site `catalog.open` forces the error path.
   static Expected<std::unique_ptr<Catalog>> open(std::string dir,
                                                  CatalogOptions options = {});
 

@@ -1,0 +1,77 @@
+// Multi-threaded open-loop load driver + chaos harness
+// (docs/ROBUSTNESS.md "Soak & chaos").
+//
+// run_load() replays seed-keyed Zipf-distributed query traffic over the
+// server's full verb surface — EXACT / LPM / MLPM / AT / HISTORY / STATS /
+// METRICS text verbs plus pipelined LPM_BATCH and EXACT_BATCH binary
+// frames — against a catalog-mode QueryServer it either hosts in-process
+// or forks as a child (`server_argv`). The request schedule is fully
+// precomputed from the seed before the first byte is sent: two runs with
+// the same (seed, scenario, load shape) replay the identical request
+// sequence, summarized by the report's `schedule_digest`.
+//
+// While workers drive traffic, a scenario (loadgen/scenario.h) schedules
+// chaos on a deterministic timeline: catalog appends + RELOADs, fault
+// storms through util/faultinject.h, connection churn, slow readers that
+// pipeline requests without ever reading (tripping the server's
+// per-connection output cap), and a SIGKILL of an appender process in the
+// middle of a catalog append — followed by reopen-and-verify, exercising
+// the catalog's crash-leftover sweep.
+//
+// A sampled fraction of requests is differentially spot-checked against
+// the driver's own Catalog materialization of the pinned epoch, so "zero
+// wrong answers" in the SLO contract is a real end-to-end assertion, not
+// a status-code count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "loadgen/report.h"
+#include "loadgen/worldcache.h"
+#include "util/expected.h"
+
+namespace sublet::loadgen {
+
+struct LoadOptions {
+  std::uint64_t seed = 1;
+  unsigned workers = 4;
+  std::uint64_t duration_ms = 10'000;
+  double qps = 2000.0;  ///< aggregate target across all workers
+  double zipf_alpha = 1.0;
+  std::size_t batch_size = 256;     ///< addresses per binary frame
+  std::size_t pipeline_depth = 4;   ///< frames per LPM_BATCH burst
+  std::string scenario;             ///< chaos timeline (loadgen/scenario.h)
+
+  /// World to serve: built/cached via ensure_soak_world unless
+  /// `catalog_dir` points at an existing catalog (which the run will
+  /// clone into its scratch dir before any chaos append mutates it).
+  SoakWorldSpec world;
+  std::string catalog_dir;
+
+  /// Non-empty: fork `server_argv + [serve flags]` as a child process
+  /// instead of hosting the server in-process (required for the
+  /// killserver event; the faults event requires in-process).
+  std::vector<std::string> server_argv;
+  unsigned shards = 0;  ///< 0 = server default
+  std::size_t max_outbuf_bytes = 8u << 20;
+  int io_timeout_ms = 10'000;
+
+  // ---- SLO contract ----
+  double p99_bound_us = 50'000.0;        ///< point-lookup verbs
+  double heavy_p99_bound_us = 2'000'000.0;
+  /// Differentially verify every Nth scheduled op (0 = off).
+  std::uint32_t spot_check_every = 64;
+
+  std::string run_dir;      ///< scratch; "" = fresh dir under /tmp
+  std::string report_path;  ///< write the JSON report here ("" = don't)
+  bool keep_run_dir = false;
+};
+
+/// Run the soak. An Error means the harness itself could not run (bad
+/// scenario, world build failure, server never came up); a run that
+/// executed but violated the SLO returns a report with slo.pass == false.
+Expected<LoadReport> run_load(const LoadOptions& options);
+
+}  // namespace sublet::loadgen

@@ -1,0 +1,122 @@
+#include "loadgen/report.h"
+
+#include <cstdio>
+
+#include "util/jsonw.h"
+
+namespace sublet::loadgen {
+
+namespace {
+
+/// JsonWriter::value(double) rounds to one decimal — fine for latencies,
+/// lossy for knobs like world_scale=0.02 whose exact value the
+/// reproduce-from-report workflow depends on.
+std::string precise(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* verb_name(LoadVerb verb) {
+  switch (verb) {
+    case LoadVerb::kExact: return "exact";
+    case LoadVerb::kLpm: return "lpm";
+    case LoadVerb::kMlpm: return "mlpm";
+    case LoadVerb::kLpmBatch: return "lpm_batch";
+    case LoadVerb::kExactBatch: return "exact_batch";
+    case LoadVerb::kAt: return "at";
+    case LoadVerb::kHistory: return "history";
+    case LoadVerb::kStats: return "stats";
+    case LoadVerb::kMetrics: return "metrics";
+  }
+  return "?";
+}
+
+bool is_point_verb(LoadVerb verb) {
+  switch (verb) {
+    case LoadVerb::kExact:
+    case LoadVerb::kLpm:
+    case LoadVerb::kLpmBatch:
+    case LoadVerb::kExactBatch:
+    case LoadVerb::kAt:
+      return true;
+    case LoadVerb::kMlpm:
+    case LoadVerb::kHistory:
+    case LoadVerb::kStats:
+    case LoadVerb::kMetrics:
+      return false;
+  }
+  return false;
+}
+
+std::string LoadReport::deterministic_json() const {
+  JsonWriter json;
+  json.begin_object();
+  json.key("seed").value(seed);
+  json.key("scenario").value(scenario);
+  json.key("workers").value(static_cast<std::uint64_t>(workers));
+  json.key("duration_ms").value(duration_ms);
+  json.key("qps").raw_value(precise(qps));
+  json.key("zipf_alpha").raw_value(precise(zipf_alpha));
+  json.key("world_seed").value(world_seed);
+  json.key("world_scale").raw_value(precise(world_scale));
+  json.key("records").value(records);
+  json.key("schedule_digest").value(schedule_digest);
+  json.key("planned").begin_object();
+  for (std::size_t v = 0; v < kVerbCount; ++v) {
+    json.key(verb_name(static_cast<LoadVerb>(v))).value(planned[v]);
+  }
+  json.end_object();
+  json.end_object();
+  return json.take();
+}
+
+std::string LoadReport::to_json() const {
+  JsonWriter json;
+  json.begin_object();
+  json.key("deterministic").raw_value(deterministic_json());
+  json.key("verbs").begin_object();
+  for (std::size_t v = 0; v < kVerbCount; ++v) {
+    const VerbReport& verb = verbs[v];
+    json.key(verb_name(static_cast<LoadVerb>(v))).begin_object();
+    json.key("completed").value(verb.completed);
+    json.key("errors").value(verb.errors);
+    json.key("p50_us").value(verb.p50_us);
+    json.key("p99_us").value(verb.p99_us);
+    json.end_object();
+  }
+  json.end_object();
+  json.key("total_requests").value(total_requests);
+  json.key("total_lookups").value(total_lookups);
+  json.key("spot_checks").value(spot_checks);
+  json.key("wrong_answers").value(wrong_answers);
+  json.key("injected_errors").value(injected_errors);
+  json.key("uninjected_errors").value(uninjected_errors);
+  json.key("elapsed_ms").value(elapsed_ms);
+  json.key("achieved_qps").value(achieved_qps);
+  json.key("lookups_per_s").value(lookups_per_s);
+  json.key("chaos").begin_object();
+  json.key("events_run").value(chaos.events_run);
+  json.key("appends").value(chaos.appends);
+  json.key("reloads").value(chaos.reloads);
+  json.key("fault_storms").value(chaos.fault_storms);
+  json.key("kills").value(chaos.kills);
+  json.key("churn_conns").value(chaos.churn_conns);
+  json.key("slow_readers").value(chaos.slow_readers);
+  json.key("outbuf_overflows").value(chaos.outbuf_overflows);
+  json.end_object();
+  json.key("slo").begin_object();
+  json.key("p99_bound_us").value(slo.p99_bound_us);
+  json.key("heavy_p99_bound_us").value(slo.heavy_p99_bound_us);
+  json.key("p99_ok").value(slo.p99_ok);
+  json.key("zero_wrong_answers").value(slo.zero_wrong_answers);
+  json.key("zero_uninjected_errors").value(slo.zero_uninjected_errors);
+  json.key("pass").value(slo.pass);
+  json.end_object();
+  json.end_object();
+  return json.take();
+}
+
+}  // namespace sublet::loadgen

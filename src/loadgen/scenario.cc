@@ -1,0 +1,92 @@
+#include "loadgen/scenario.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace sublet::loadgen {
+
+const char* chaos_name(ChaosKind kind) {
+  switch (kind) {
+    case ChaosKind::kAppend: return "append";
+    case ChaosKind::kReload: return "reload";
+    case ChaosKind::kFaults: return "faults";
+    case ChaosKind::kKillAppend: return "killappend";
+    case ChaosKind::kKillServer: return "killserver";
+    case ChaosKind::kChurn: return "churn";
+    case ChaosKind::kSlowReader: return "slowreader";
+  }
+  return "?";
+}
+
+std::string ChaosEvent::to_string() const {
+  std::string out = chaos_name(kind);
+  out += '@';
+  out += std::to_string(at_ms);
+  if (!arg.empty()) {
+    out += ':';
+    out += arg;
+  }
+  return out;
+}
+
+Expected<std::vector<ChaosEvent>> parse_scenario(std::string_view spec) {
+  std::vector<ChaosEvent> events;
+  for (std::string_view token : split(spec, ';')) {
+    token = trim(token);
+    if (token.empty()) continue;
+    const std::size_t at = token.find('@');
+    if (at == std::string_view::npos || at == 0) {
+      return fail("scenario event '" + std::string(token) +
+                  "' is not kind@at_ms[:arg]");
+    }
+    const std::string_view kind_text = trim(token.substr(0, at));
+    std::string_view rest = token.substr(at + 1);
+    ChaosEvent event;
+    // Everything after the first ':' is the argument verbatim — a faults
+    // spec legitimately contains more ':' of its own.
+    if (const std::size_t colon = rest.find(':');
+        colon != std::string_view::npos) {
+      event.arg = std::string(trim(rest.substr(colon + 1)));
+      rest = rest.substr(0, colon);
+    }
+    auto ms = parse_u64(trim(rest));
+    if (!ms) {
+      return fail("scenario event '" + std::string(token) +
+                  "' has a bad timestamp");
+    }
+    event.at_ms = *ms;
+    bool known = false;
+    for (ChaosKind kind :
+         {ChaosKind::kAppend, ChaosKind::kReload, ChaosKind::kFaults,
+          ChaosKind::kKillAppend, ChaosKind::kKillServer, ChaosKind::kChurn,
+          ChaosKind::kSlowReader}) {
+      if (kind_text == chaos_name(kind)) {
+        event.kind = kind;
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return fail("unknown scenario event kind '" + std::string(kind_text) +
+                  "'");
+    }
+    events.push_back(std::move(event));
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ChaosEvent& a, const ChaosEvent& b) {
+                     return a.at_ms < b.at_ms;
+                   });
+  return events;
+}
+
+std::string canonical_scenario(const std::vector<ChaosEvent>& events) {
+  std::string out;
+  for (const ChaosEvent& event : events) {
+    if (!out.empty()) out += ';';
+    out += event.to_string();
+  }
+  return out;
+}
+
+}  // namespace sublet::loadgen

@@ -1,0 +1,62 @@
+// Chaos scenario grammar for the soak/load harness (docs/ROBUSTNESS.md).
+//
+// A scenario is a deterministic timeline of chaos events fired while the
+// load driver replays query traffic:
+//
+//   scenario := event (';' event)*
+//   event    := kind '@' at_ms [':' arg]
+//
+//   append@15000                 catalog append + RELOAD at t=15s
+//   reload@20000                 bare RELOAD (catalog re-scan)
+//   faults@30000:serve.read=EIO:5,serve.accept=EMFILE:2
+//                                arm a SUBLET_FAULTS-grammar storm
+//   killappend@45000             SIGKILL an appender mid catalog-append,
+//                                then restart-and-verify
+//   killserver@50000             SIGKILL the forked server, restart it
+//   churn@10000:50               50 rapid connect/close cycles
+//   slowreader@25000:20000       pipeline 20k requests, never read
+//
+// Events are sorted by at_ms; everything after the first ':' is the
+// event's argument verbatim (so a faults spec may itself contain ':').
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/expected.h"
+
+namespace sublet::loadgen {
+
+enum class ChaosKind : std::uint8_t {
+  kAppend,
+  kReload,
+  kFaults,
+  kKillAppend,
+  kKillServer,
+  kChurn,
+  kSlowReader,
+};
+
+const char* chaos_name(ChaosKind kind);
+
+struct ChaosEvent {
+  ChaosKind kind = ChaosKind::kReload;
+  std::uint64_t at_ms = 0;
+  std::string arg;  ///< raw text after the first ':' (may be empty)
+
+  /// `kind@at_ms[:arg]` — the canonical single-event spelling.
+  std::string to_string() const;
+};
+
+/// Parse a scenario string into events sorted by at_ms (stable, so equal
+/// timestamps keep their written order). Empty input is a valid empty
+/// scenario; an unknown kind or unparseable timestamp is an Error.
+Expected<std::vector<ChaosEvent>> parse_scenario(std::string_view spec);
+
+/// The normalized ';'-joined form embedded in the soak report — identical
+/// for every spelling that parses to the same event list.
+std::string canonical_scenario(const std::vector<ChaosEvent>& events);
+
+}  // namespace sublet::loadgen

@@ -1,0 +1,112 @@
+#include "loadgen/worldcache.h"
+
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "catalog/catalog.h"
+#include "leasing/report.h"
+#include "simnet/config.h"
+#include "simnet/timeline_scenario.h"
+
+namespace sublet::loadgen {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string cache_dir_for(const SoakWorldSpec& spec,
+                          const std::string& cache_root) {
+  const auto permille = static_cast<long long>(spec.scale * 1000.0 + 0.5);
+  return cache_root + "/sublet-soak-v1-" + std::to_string(spec.seed) + "-" +
+         std::to_string(permille) + "-" + std::to_string(spec.epochs) + "-" +
+         std::to_string(spec.pending);
+}
+
+std::vector<PendingEpoch> pending_for(const SoakWorldSpec& spec,
+                                      const std::string& dir) {
+  std::vector<PendingEpoch> pending;
+  for (std::size_t k = 0; k < spec.pending; ++k) {
+    const std::size_t index = spec.epochs + k;
+    PendingEpoch entry;
+    entry.timestamp =
+        spec.start + static_cast<std::uint32_t>(index) * spec.step;
+    entry.csv_path = dir + "/pending-" + std::to_string(index) + ".csv";
+    pending.push_back(std::move(entry));
+  }
+  return pending;
+}
+
+}  // namespace
+
+Expected<SoakWorld> ensure_soak_world(const SoakWorldSpec& spec,
+                                      const std::string& cache_root) {
+  if (spec.epochs == 0) return fail("soak world needs at least one epoch");
+  SoakWorld world;
+  world.dir = cache_dir_for(spec, cache_root);
+  world.catalog_dir = world.dir + "/catalog";
+  world.pending = pending_for(spec, world.dir);
+  const std::string marker = world.dir + "/.complete";
+  std::error_code ec;
+  if (fs::exists(marker, ec)) return world;
+
+  // (Re)build from scratch: a half-built cache (no marker) is garbage.
+  fs::remove_all(world.dir, ec);
+  fs::create_directories(world.dir, ec);
+  if (ec) {
+    return fail("cannot create soak cache dir " + world.dir + ": " +
+                ec.message());
+  }
+
+  sim::WorldConfig config;
+  config.seed = spec.seed;
+  config.scale = spec.scale;
+  sim::EpochSeriesOptions series_options;
+  series_options.start = spec.start;
+  series_options.step = spec.step;
+  series_options.epochs = spec.epochs + spec.pending;
+  sim::EpochSeries series = sim::build_epoch_series(config, series_options);
+
+  for (std::size_t k = 0; k < spec.epochs; ++k) {
+    auto entry =
+        k == 0 ? catalog::catalog_init(world.catalog_dir, series.timestamps[k],
+                                       std::move(series.inferences[k]))
+               : catalog::catalog_append(world.catalog_dir,
+                                         series.timestamps[k],
+                                         std::move(series.inferences[k]));
+    if (!entry) return entry.error();
+  }
+  for (std::size_t k = 0; k < spec.pending; ++k) {
+    const std::size_t index = spec.epochs + k;
+    leasing::save_inferences_csv(world.pending[k].csv_path,
+                                 series.inferences[index]);
+  }
+  std::ofstream(marker) << "ok\n";
+  if (!fs::exists(marker, ec)) {
+    return fail("cannot write soak cache marker " + marker);
+  }
+  return world;
+}
+
+Expected<std::string> clone_catalog(const SoakWorld& world,
+                                    const std::string& dest_dir) {
+  std::error_code ec;
+  fs::remove_all(dest_dir, ec);
+  fs::create_directories(dest_dir, ec);
+  if (ec) {
+    return fail("cannot create run catalog dir " + dest_dir + ": " +
+                ec.message());
+  }
+  // `recursive` is load-bearing: with only `overwrite_existing` set,
+  // fs::copy skips the directory-content branch and clones nothing.
+  fs::copy(world.catalog_dir, dest_dir,
+           fs::copy_options::recursive | fs::copy_options::overwrite_existing,
+           ec);
+  if (ec) {
+    return fail("cannot clone catalog " + world.catalog_dir + " -> " +
+                dest_dir + ": " + ec.message());
+  }
+  return dest_dir;
+}
+
+}  // namespace sublet::loadgen

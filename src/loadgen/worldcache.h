@@ -1,0 +1,57 @@
+// Seed-keyed cached soak worlds (docs/ROBUSTNESS.md "Soak & chaos").
+//
+// A soak run needs an internet-scale catalog (scale ~6 is about a million
+// routed prefixes) plus deterministic append payloads for its mid-run
+// chaos events. Generating that takes minutes at full scale, so the world
+// is built once per (seed, scale, epochs, pending) into a cache directory
+// under /tmp — the same `.complete`-marker idiom the perf benches use —
+// and every run clones the immutable catalog into its own scratch
+// directory before mutating it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/expected.h"
+
+namespace sublet::loadgen {
+
+struct SoakWorldSpec {
+  std::uint64_t seed = 42;
+  double scale = 0.05;  ///< 1.0 ≈ 167k routed prefixes; ~6 ≈ 1M
+  std::size_t epochs = 4;  ///< epochs pre-built into the catalog
+  /// Extra epochs generated but *not* appended: their inference sets are
+  /// cached as CSVs so append/killappend chaos events replay them
+  /// deterministically mid-run.
+  std::size_t pending = 3;
+  std::uint32_t start = 1704067200;  ///< epoch 1's timestamp (2024-01-01)
+  std::uint32_t step = 2592000;      ///< 30 days between epochs
+};
+
+/// One not-yet-appended epoch: the timestamp it will be published as and
+/// the cached CSV holding its full inference set.
+struct PendingEpoch {
+  std::uint32_t timestamp = 0;
+  std::string csv_path;
+};
+
+struct SoakWorld {
+  std::string dir;          ///< cache directory (immutable once complete)
+  std::string catalog_dir;  ///< `<dir>/catalog` — clone before appending!
+  std::vector<PendingEpoch> pending;  ///< in append order
+};
+
+/// Build (or reuse) the cached world for `spec`. Deterministic: the same
+/// spec always yields byte-identical catalog + pending payloads, so a
+/// failed soak reproduces from its printed seed alone.
+Expected<SoakWorld> ensure_soak_world(const SoakWorldSpec& spec,
+                                      const std::string& cache_root = "/tmp");
+
+/// Copy the cached catalog into `dest_dir` (created fresh; an existing
+/// directory is removed first) so a run can append to it without dirtying
+/// the cache. Returns `dest_dir`.
+Expected<std::string> clone_catalog(const SoakWorld& world,
+                                    const std::string& dest_dir);
+
+}  // namespace sublet::loadgen

@@ -140,21 +140,8 @@ Expected<std::string> QueryClient::request(std::string_view line) {
                          has_deadline ? timeouts_.io_ms : 0);
   std::string out(line);
   out += '\n';
-  std::string_view data = out;
-  while (!data.empty()) {
-    int ready = wait_fd(fd_, POLLOUT, remaining_ms(has_deadline, deadline));
-    if (ready == 0) {
-      return fail_code("timeout: request write exceeded " +
-                           std::to_string(timeouts_.io_ms) + "ms",
-                       ETIMEDOUT);
-    }
-    if (ready < 0) return fail("poll(): " + std::string(strerror(errno)));
-    ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
-      return fail("send(): connection lost");
-    }
-    data.remove_prefix(static_cast<std::size_t>(n));
+  if (auto sent = send_all(out, has_deadline, deadline); !sent) {
+    return sent.error();
   }
   char chunk[4096];
   for (;;) {
@@ -193,21 +180,8 @@ Expected<std::string> QueryClient::request_multiline(
                          has_deadline ? timeouts_.io_ms : 0);
   std::string out(line);
   out += '\n';
-  std::string_view data = out;
-  while (!data.empty()) {
-    int ready = wait_fd(fd_, POLLOUT, remaining_ms(has_deadline, deadline));
-    if (ready == 0) {
-      return fail_code("timeout: request write exceeded " +
-                           std::to_string(timeouts_.io_ms) + "ms",
-                       ETIMEDOUT);
-    }
-    if (ready < 0) return fail("poll(): " + std::string(strerror(errno)));
-    ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
-      return fail("send(): connection lost");
-    }
-    data.remove_prefix(static_cast<std::size_t>(n));
+  if (auto sent = send_all(out, has_deadline, deadline); !sent) {
+    return sent.error();
   }
   std::string body;
   char chunk[4096];
@@ -356,6 +330,40 @@ Expected<BinResponse> QueryClient::request_binary_batch(
   return response;
 }
 
+Expected<BinResponse> QueryClient::request_exact_batch(
+    std::span<const ExactQuery> prefixes, std::uint32_t epoch) {
+  if (fd_ < 0) return fail("client is closed");
+  const bool has_deadline = timeouts_.io_ms > 0;
+  const auto deadline =
+      Clock::now() +
+      std::chrono::milliseconds(has_deadline ? timeouts_.io_ms : 0);
+  wire::FrameHeader header;
+  header.opcode = wire::kOpExactBatch;
+  header.request_id = next_request_id_++;
+  header.payload_len = static_cast<std::uint32_t>(prefixes.size() * 8);
+  header.epoch = epoch;
+  std::string frame;
+  frame.reserve(wire::kHeaderSize + prefixes.size() * 8);
+  wire::append_header(frame, header);
+  for (const ExactQuery& query : prefixes) {
+    char buf[8] = {};
+    wire::store_u32le(buf, query.addr);
+    buf[4] = static_cast<char>(query.len);
+    frame.append(buf, 8);
+  }
+  if (auto sent = send_all(frame, has_deadline, deadline); !sent) {
+    return sent.error();
+  }
+  auto response = recv_frame(has_deadline, deadline);
+  if (!response) return response.error();
+  if (response->request_id != header.request_id) {
+    return fail("binary response id " + std::to_string(response->request_id) +
+                " does not match request id " +
+                std::to_string(header.request_id));
+  }
+  return response;
+}
+
 Expected<std::vector<BinResponse>> QueryClient::pipeline_binary(
     std::span<const std::vector<std::uint32_t>> batches,
     std::uint32_t epoch) {
@@ -401,11 +409,18 @@ Expected<std::vector<BinResponse>> QueryClient::pipeline_binary(
   return responses;
 }
 
-Expected<std::string> QueryClient::request_with_retry(
-    const std::string& host, std::uint16_t port, std::string_view line,
-    const RetryPolicy& policy, Timeouts timeouts) {
+namespace {
+
+/// Shared reconnect-per-attempt retry driver: `op(client)` runs each
+/// attempt on a fresh connection; failures back off exponentially with
+/// deterministic +/- jitter. The last attempt's error — typed timeout
+/// codes included — is returned verbatim.
+template <typename Op>
+auto retry_attempts(const std::string& host, std::uint16_t port,
+                    const ClientRetryPolicy& policy, ClientTimeouts timeouts,
+                    Op&& op) -> decltype(op(std::declval<QueryClient&>())) {
   Rng rng(policy.seed);
-  Error last = fail("request_with_retry: no attempts configured");
+  Error last = fail("retry: no attempts configured");
   int attempts = std::max(policy.attempts, 1);
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
@@ -418,16 +433,47 @@ Expected<std::string> QueryClient::request_with_retry(
       auto sleep_ms = static_cast<long long>(std::max(base * factor, 0.0));
       std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
     }
-    auto client = connect(host, port, timeouts);
+    auto client = QueryClient::connect(host, port, timeouts);
     if (!client) {
       last = client.error();
       continue;
     }
-    auto response = client->request(line);
+    auto response = op(*client);
     if (response) return response;
     last = response.error();
   }
   return last;
+}
+
+}  // namespace
+
+Expected<std::string> QueryClient::request_with_retry(
+    const std::string& host, std::uint16_t port, std::string_view line,
+    const RetryPolicy& policy, Timeouts timeouts) {
+  return retry_attempts(host, port, policy, timeouts,
+                        [&](QueryClient& client) {
+                          return client.request(line);
+                        });
+}
+
+Expected<std::string> QueryClient::request_multiline_with_retry(
+    const std::string& host, std::uint16_t port, std::string_view line,
+    std::string_view terminator, const RetryPolicy& policy,
+    Timeouts timeouts) {
+  return retry_attempts(host, port, policy, timeouts,
+                        [&](QueryClient& client) {
+                          return client.request_multiline(line, terminator);
+                        });
+}
+
+Expected<BinResponse> QueryClient::request_binary_batch_with_retry(
+    const std::string& host, std::uint16_t port,
+    std::span<const std::uint32_t> addrs, std::uint32_t epoch,
+    const RetryPolicy& policy, Timeouts timeouts) {
+  return retry_attempts(host, port, policy, timeouts,
+                        [&](QueryClient& client) {
+                          return client.request_binary_batch(addrs, epoch);
+                        });
 }
 
 }  // namespace sublet::serve

@@ -114,12 +114,40 @@ class QueryClient {
       std::span<const std::vector<std::uint32_t>> batches,
       std::uint32_t epoch = 0);
 
+  /// One (addr, len) entry of an EXACT_BATCH frame.
+  struct ExactQuery {
+    std::uint32_t addr = 0;  ///< network bits, host order
+    std::uint8_t len = 0;
+  };
+
+  /// One EXACT_BATCH frame: exact-match each (addr, len) prefix, same
+  /// deadlines, epoch pinning, and error typing as request_binary_batch.
+  Expected<BinResponse> request_exact_batch(
+      std::span<const ExactQuery> prefixes, std::uint32_t epoch = 0);
+
   /// One-shot round trip with retries: each attempt opens a fresh
   /// connection, sends `line`, and reads the response; failed attempts
   /// back off exponentially with jitter. Returns the first successful
-  /// response or the last attempt's error.
+  /// response or the last attempt's error (typed timeout errors from the
+  /// final attempt surface unchanged, so is_timeout still works).
   static Expected<std::string> request_with_retry(
       const std::string& host, std::uint16_t port, std::string_view line,
+      const RetryPolicy& policy = {}, Timeouts timeouts = {});
+
+  /// request_multiline() under the same reconnect-per-attempt retry loop
+  /// (METRICS scrapes and other multi-line verbs).
+  static Expected<std::string> request_multiline_with_retry(
+      const std::string& host, std::uint16_t port, std::string_view line,
+      std::string_view terminator = "# EOF", const RetryPolicy& policy = {},
+      Timeouts timeouts = {});
+
+  /// request_binary_batch() under the same retry loop: every attempt
+  /// reconnects and resends the whole frame. A frame-level error status
+  /// (kBadEpoch, kBadFrame, ...) is a completed round trip — it is
+  /// returned, not retried; only transport failures retry.
+  static Expected<BinResponse> request_binary_batch_with_retry(
+      const std::string& host, std::uint16_t port,
+      std::span<const std::uint32_t> addrs, std::uint32_t epoch = 0,
       const RetryPolicy& policy = {}, Timeouts timeouts = {});
 
   void close();

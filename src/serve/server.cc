@@ -46,6 +46,15 @@ constexpr int kPollSliceMs = 100;
 /// an idle connection's input buffer stays at zero capacity.
 constexpr std::size_t kReadChunk = 64 * 1024;
 
+/// Fairness budget: at most this many requests are answered for one
+/// connection per event-loop pass. A peer that pipelines thousands of
+/// requests in one burst (a 64KB read chunk holds ~11k "STATS\n" lines)
+/// would otherwise pin the shard thread for the whole synchronous drain,
+/// stalling every other connection on the shard past its io deadline; at
+/// the budget the connection is parked on the shard's work list and the
+/// loop resumes it next pass, interleaving everyone else's requests.
+constexpr std::size_t kMaxRequestsPerPass = 128;
+
 std::string error_json(std::string_view message) {
   JsonWriter json;
   json.begin_object();
@@ -149,6 +158,7 @@ struct QueryServer::Conn {
   std::uint32_t armed_events = 0;  ///< epoll interest currently installed
   bool closing = false;  ///< flush remaining output, then close
   bool seen_binary = false;  ///< suppresses the text idle-timeout notice
+  bool work_pending = false;  ///< parked on the shard's fairness work list
   std::size_t accounted = 0;  ///< footprint last added to the shard total
   Link idle_link;
   Link write_link;
@@ -232,6 +242,13 @@ struct QueryServer::Shard {
   TimerList idle_timers{&Conn::idle_link};
   TimerList write_timers{&Conn::write_link};
 
+  /// Connections with buffered complete requests beyond the per-pass
+  /// budget, resumed before the next epoll_wait (which then uses a zero
+  /// timeout). Stored as fds, not pointers: a connection closed while
+  /// parked simply misses the conns lookup on resume.
+  std::vector<int> work_fds;
+  std::vector<int> work_scratch;
+
   std::atomic<std::size_t> mem_bytes{0};  ///< sum of Conn footprints
   obs::Gauge* conn_gauge = nullptr;
 
@@ -242,6 +259,7 @@ struct QueryServer::Shard {
   std::vector<std::uint32_t> records;
 
   void loop();
+  void note_work(Conn& conn);
   void adopt_inbox();
   void apply_drain(bool force);
   int compute_timeout(steady_clock::time_point now) const;
@@ -286,9 +304,19 @@ void QueryServer::Shard::close_conn(Conn& conn) {
   }
 }
 
+void QueryServer::Shard::note_work(Conn& conn) {
+  if (conn.work_pending) return;
+  conn.work_pending = true;
+  work_fds.push_back(conn.fd);
+}
+
 void QueryServer::Shard::update_interest(Conn& conn) {
   std::uint32_t want = 0;
-  if (!conn.closing) want |= EPOLLIN;
+  // Input-side backpressure: once the unconsumed backlog passes the cap
+  // (only reachable via fairness yields), stop reading until the work
+  // list drains it back under — the peer is throttled by TCP instead of
+  // growing our buffer without bound.
+  if (!conn.closing && conn.avail() <= kMaxBufferedInput) want |= EPOLLIN;
   if (conn.has_output()) want |= EPOLLOUT;
   if (want == conn.armed_events) return;
   epoll_event ev{};
@@ -347,6 +375,19 @@ bool QueryServer::Shard::finish_io(Conn& conn) {
   if (!flush(conn)) {
     close_conn(conn);
     return false;
+  }
+  // Backpressure: a peer that keeps pipelining requests without reading
+  // the responses grows the pending output without bound. Over the cap
+  // the connection is cut — the kernel socket buffer plus the cap is all
+  // a slow reader can ever pin.
+  if (const std::size_t cap = srv->options_.max_outbuf_bytes; cap > 0) {
+    const std::size_t pending =
+        (conn.out_front.size() - conn.out_off) + conn.out_back.size();
+    if (pending > cap) {
+      srv->outbuf_overflow_.add(1);
+      close_conn(conn);
+      return false;
+    }
   }
   if (!conn.has_output()) {
     write_timers.cancel(&conn);
@@ -519,13 +560,20 @@ bool QueryServer::Shard::process_frame(Conn& conn) {
 }
 
 bool QueryServer::Shard::process(Conn& conn) {
+  std::size_t handled = 0;
   for (;;) {
     if (conn.closing || conn.avail() == 0) return true;
+    if (handled >= kMaxRequestsPerPass) {
+      srv->fair_yields_.add(1);
+      note_work(conn);  // resume next pass; others on the shard run first
+      return true;
+    }
     if (static_cast<unsigned char>(conn.in[conn.in_off]) ==
         wire::kMagicByte0) {
       const std::size_t before = conn.in_off;
       if (!process_frame(conn)) return false;
       if (conn.in_off == before && !conn.closing) return true;  // torn
+      ++handled;
       continue;
     }
     const std::size_t nl = conn.in.find('\n', conn.in_off);
@@ -540,6 +588,7 @@ bool QueryServer::Shard::process(Conn& conn) {
     std::string response = srv->handle_request(line);
     conn.out_back += response;
     conn.out_back += '\n';
+    ++handled;
     if (srv->stop_.load(std::memory_order_acquire)) {
       // SHUTDOWN (from this or any connection): answer what is in flight,
       // drop the rest of the pipeline, flush, close.
@@ -685,7 +734,8 @@ void QueryServer::Shard::loop() {
       apply_drain(forcing);
       if (conns.empty()) return;
     }
-    const int timeout_ms = compute_timeout(steady_clock::now());
+    const int timeout_ms =
+        work_fds.empty() ? compute_timeout(steady_clock::now()) : 0;
     int n;
     int injected = 0;
     if (fault::inject("serve.epoll_wait", &injected)) {
@@ -722,6 +772,24 @@ void QueryServer::Shard::loop() {
       if ((ev.events & EPOLLOUT) != 0 && !finish_io(conn)) continue;
       if ((ev.events & EPOLLIN) != 0) on_readable(conn);
     }
+    // Resume connections parked at the fairness budget, one budget each;
+    // a still-backlogged connection re-parks itself for the next pass.
+    if (!work_fds.empty()) {
+      work_scratch.clear();
+      work_scratch.swap(work_fds);
+      for (int fd : work_scratch) {
+        auto it = conns.find(fd);
+        if (it == conns.end()) continue;  // closed while parked
+        Conn& conn = *it->second;
+        conn.work_pending = false;
+        if (!process(conn)) {
+          close_conn(conn);
+          continue;
+        }
+        conn.compact();
+        finish_io(conn);
+      }
+    }
     expire_timers(steady_clock::now());
   }
 }
@@ -755,6 +823,13 @@ QueryServer::QueryServer(std::shared_ptr<const EngineState> engine,
       reload_failures_(registry_.counter(
           "sublet_serve_reload_failures_total",
           "Rejected RELOADs (previous engine kept serving)")),
+      outbuf_overflow_(registry_.counter(
+          "sublet_serve_outbuf_overflow_total",
+          "Connections closed for exceeding the pending-output cap")),
+      fair_yields_(registry_.counter(
+          "sublet_serve_fair_yields_total",
+          "Event-loop passes that stopped at the per-connection request "
+          "budget so other connections on the shard could run")),
       bin_frames_(registry_.counter("sublet_serve_bin_frames_total",
                                     "Binary protocol frames handled")),
       bin_lookups_(registry_.counter(
@@ -1067,7 +1142,19 @@ std::string QueryServer::history_json(const Prefix& query) {
   // first, and coalesce runs of identical answers into segments. One
   // longest-match per epoch; epochs whose chain fails to materialize are
   // listed under "unavailable" rather than failing the whole replay.
-  const std::vector<std::uint32_t> epochs = source_->epochs();
+  std::vector<std::uint32_t> epochs = source_->epochs();
+  // Bound the replay cost: one request walks at most max_history_epochs
+  // recent epochs (each one is a materialize + longest_match), so a
+  // thousand-epoch catalog cannot turn a single HISTORY line into an
+  // unbounded amount of work. Dropped older epochs are reported in
+  // "truncated_epochs".
+  std::size_t truncated = 0;
+  if (const std::size_t cap = options_.max_history_epochs;
+      cap > 0 && epochs.size() > cap) {
+    truncated = epochs.size() - cap;
+    epochs.erase(epochs.begin(),
+                 epochs.begin() + static_cast<std::ptrdiff_t>(truncated));
+  }
   struct Answer {
     bool found = false;
     std::string prefix;
@@ -1129,6 +1216,9 @@ std::string QueryServer::history_json(const Prefix& query) {
   json.key("transitions")
       .value(static_cast<std::uint64_t>(
           segments.empty() ? 0 : segments.size() - 1));
+  if (truncated > 0) {
+    json.key("truncated_epochs").value(static_cast<std::uint64_t>(truncated));
+  }
   if (!unavailable.empty()) {
     json.begin_array("unavailable");
     for (std::uint32_t epoch : unavailable) {

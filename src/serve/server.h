@@ -102,6 +102,17 @@ class QueryServer {
     /// How long stop() waits for in-flight connections to finish before
     /// forcing them closed.
     int drain_timeout_ms = 2000;
+    /// Per-connection cap on pending (unflushed) output bytes. A peer
+    /// that pipelines requests but stops reading the responses — the
+    /// slow-reader attack the soak harness replays — would otherwise grow
+    /// the output buffer without bound; over the cap the connection is
+    /// closed and counted in sublet_serve_outbuf_overflow_total.
+    /// 0 = unlimited.
+    std::size_t max_outbuf_bytes = 8u << 20;
+    /// Most recent epochs a single HISTORY request will replay; older
+    /// epochs are summarized in the response's "truncated_epochs" count so
+    /// one request can never walk an unbounded catalog. 0 = no cap.
+    std::size_t max_history_epochs = 64;
     /// Snapshot load mode used by RELOAD.
     snapshot::Snapshot::Mode reload_mode = snapshot::Snapshot::Mode::kMap;
   };
@@ -258,6 +269,8 @@ class QueryServer {
   obs::Counter& epoll_retries_;
   obs::Counter& reloads_;
   obs::Counter& reload_failures_;
+  obs::Counter& outbuf_overflow_;
+  obs::Counter& fair_yields_;
   obs::Counter& bin_frames_;
   obs::Counter& bin_lookups_;
   obs::Counter& bytes_read_;

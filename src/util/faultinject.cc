@@ -2,6 +2,9 @@
 
 #if SUBLET_FAULT_INJECTION
 
+#include <signal.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <cerrno>
 #include <cstdlib>
@@ -50,6 +53,7 @@ int parse_errno(std::string_view name) {
   };
   auto it = kNames.find(name);
   if (it != kNames.end()) return it->second;
+  if (name == "KILL") return kCrash;  // crash point: SIGKILL at the site
   if (auto number = parse_u32(name)) return static_cast<int>(*number);
   return 0;
 }
@@ -71,6 +75,12 @@ bool inject(const char* site, int* injected_errno) {
   if (s.times == 0) return false;
   if (s.times > 0) --s.times;
   ++s.trips;
+  if (s.error == kCrash) {
+    // Crash point: die exactly here, as an external SIGKILL would — no
+    // destructors, no atexit, no buffered-I/O flush.
+    ::kill(::getpid(), SIGKILL);
+    ::_exit(137);  // unreachable unless SIGKILL delivery is deferred
+  }
   if (injected_errno != nullptr) *injected_errno = s.error;
   return true;
 }
@@ -110,8 +120,12 @@ std::uint64_t trip_count(const std::string& site) {
 std::size_t load_env(const char* var) {
   const char* value = std::getenv(var);
   if (value == nullptr || *value == '\0') return 0;
+  return load_spec(value);
+}
+
+std::size_t load_spec(std::string_view spec) {
   std::size_t armed = 0;
-  for (std::string_view entry : split(value, ',')) {
+  for (std::string_view entry : split(spec, ',')) {
     entry = trim(entry);
     if (entry.empty()) continue;
     std::size_t eq = entry.find('=');

@@ -16,6 +16,13 @@
 // the first N calls through first. Armed sites count their trips so tests
 // can assert a point actually fired (trip_count).
 //
+// Crash points: arming a site with `kCrash` (env token "KILL") makes the
+// process raise SIGKILL the moment the site trips — the deterministic way
+// to die *between* two specific I/O steps. The kill-restart tests and the
+// soak harness's mid-append chaos both use this to leave exactly the
+// artifacts a machine crash would (a published epoch file with no index,
+// a torn `catalog.idx.tmp`, ...).
+//
 // When the build disables SUBLET_FAULT_INJECTION (release deployments),
 // every function here is an inline no-op returning "no fault" and the
 // branches at the failure points fold away.
@@ -23,8 +30,13 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace sublet::fault {
+
+/// Sentinel "errno" for crash points: a site armed with kCrash raises
+/// SIGKILL instead of reporting a failure (never a valid errno value).
+inline constexpr int kCrash = -0x0C'DEAD;
 
 #if SUBLET_FAULT_INJECTION
 
@@ -54,6 +66,12 @@ std::uint64_t trip_count(const std::string& site);
 /// Returns the number of sites armed; unparseable entries are skipped.
 /// The first inject() call runs this automatically, once per process.
 std::size_t load_env(const char* var = "SUBLET_FAULTS");
+
+/// Arm sites from a spec string in the SUBLET_FAULTS grammar
+/// (`site=errno[:times[:skip]]`, comma-separated) without touching the
+/// environment — how the soak harness schedules mid-run fault storms.
+/// Returns the number of sites armed.
+std::size_t load_spec(std::string_view spec);
 
 /// RAII arming for tests: arms in the constructor, disarms that one site
 /// in the destructor.
@@ -85,6 +103,7 @@ inline void disarm(const std::string&) {}
 inline void disarm_all() {}
 inline std::uint64_t trip_count(const std::string&) { return 0; }
 inline std::size_t load_env(const char* = "SUBLET_FAULTS") { return 0; }
+inline std::size_t load_spec(std::string_view) { return 0; }
 
 class ScopedFault {
  public:

@@ -1,0 +1,158 @@
+// Catalog append crash-safety (label `fault`): a SIGKILL between
+// publishing an epoch file and rewriting the index must leave the catalog
+// exactly as it was — the next open sweeps the orphan, and retrying the
+// same append completes cleanly (docs/ROBUSTNESS.md "Soak & chaos").
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "leasing/report.h"
+#include "util/faultinject.h"
+
+namespace sublet {
+namespace {
+
+namespace fs = std::filesystem;
+using leasing::InferenceGroup;
+using leasing::LeaseInference;
+
+std::vector<LeaseInference> epoch_records(std::uint32_t stamp,
+                                          std::uint32_t count) {
+  std::vector<LeaseInference> out;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    LeaseInference r;
+    r.prefix = *Prefix::make(Ipv4Addr((10u << 24) | (i << 8)), 24);
+    r.root_prefix = *Prefix::parse("10.0.0.0/8");
+    r.rir = whois::Rir::kRipe;
+    r.group = i % 2 == 0 ? InferenceGroup::kLeasedWithRoot
+                         : InferenceGroup::kIspCustomer;
+    r.holder_org = "ORG-" + std::to_string(stamp) + "-" + std::to_string(i);
+    r.holder_asns = {Asn(64512 + i)};
+    r.netname = "NET-" + std::to_string(i);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+class FaultCatalogCrash : public testing::Test {
+ protected:
+  void SetUp() override {
+    fault::disarm_all();
+    dir_ = testing::TempDir() + "/sublet_catcrash_" +
+           std::to_string(::getpid()) + "_" +
+           testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+    ASSERT_TRUE(catalog::catalog_init(dir_, 1000, epoch_records(1000, 16))
+                    .has_value());
+    ASSERT_TRUE(
+        catalog::catalog_append(dir_, 2000, epoch_records(2000, 17))
+            .has_value());
+  }
+  void TearDown() override {
+    fault::disarm_all();
+    fs::remove_all(dir_);
+  }
+
+  std::vector<std::string> dir_names() const {
+    std::vector<std::string> names;
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      names.push_back(entry.path().filename().string());
+    }
+    return names;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(FaultCatalogCrash, OpenSweepsTmpAndOrphanEpochFiles) {
+  std::ofstream(dir_ + "/catalog.idx.tmp") << "torn index publish";
+  std::ofstream(dir_ + "/epoch-999000.snap") << "orphan full epoch";
+  std::ofstream(dir_ + "/epoch-999001.dsnap") << "orphan delta epoch";
+
+  auto catalog = catalog::Catalog::open(dir_);
+  ASSERT_TRUE(catalog.has_value()) << catalog.error().to_string();
+  EXPECT_EQ((*catalog)->epochs(), (std::vector<std::uint32_t>{1000, 2000}));
+
+  EXPECT_FALSE(fs::exists(dir_ + "/catalog.idx.tmp"));
+  EXPECT_FALSE(fs::exists(dir_ + "/epoch-999000.snap"));
+  EXPECT_FALSE(fs::exists(dir_ + "/epoch-999001.dsnap"));
+  // The referenced epochs themselves are untouched and still materialize.
+  ASSERT_TRUE((*catalog)->epoch_at(2000).has_value());
+}
+
+TEST_F(FaultCatalogCrash, OpenKeepsEveryReferencedEpochFile) {
+  const auto before = dir_names();
+  auto catalog = catalog::Catalog::open(dir_);
+  ASSERT_TRUE(catalog.has_value());
+  EXPECT_EQ(dir_names(), before);  // a clean directory is left alone
+}
+
+TEST_F(FaultCatalogCrash, RenameFaultFailsCleanlyAndRetrySucceeds) {
+  if (!fault::enabled()) GTEST_SKIP() << "fault injection compiled out";
+  fault::arm("catalog.rename", EIO);
+  auto torn = catalog::catalog_append(dir_, 3000, epoch_records(3000, 18));
+  EXPECT_FALSE(torn.has_value());
+  fault::disarm_all();
+
+  // The failed publish left no index entry; reopen sweeps any leftovers
+  // and the identical append then lands.
+  auto catalog = catalog::Catalog::open(dir_);
+  ASSERT_TRUE(catalog.has_value());
+  EXPECT_EQ((*catalog)->epochs(), (std::vector<std::uint32_t>{1000, 2000}));
+  ASSERT_TRUE(catalog::catalog_append(dir_, 3000, epoch_records(3000, 18))
+                  .has_value());
+  auto reopened = catalog::Catalog::open(dir_);
+  ASSERT_TRUE(reopened.has_value());
+  EXPECT_EQ((*reopened)->epochs(),
+            (std::vector<std::uint32_t>{1000, 2000, 3000}));
+}
+
+TEST_F(FaultCatalogCrash, SigkillMidAppendThenRestartRecovers) {
+  if (!fault::enabled()) GTEST_SKIP() << "fault injection compiled out";
+  // The child dies by SIGKILL at catalog.append_publish: after the epoch
+  // file is written, before the index rename — the worst-case torn state.
+  fault::disarm_all();
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    fault::arm("catalog.append_publish", fault::kCrash);
+    (void)catalog::catalog_append(dir_, 4000, epoch_records(4000, 19));
+    ::_exit(42);  // the crash point did not fire
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+  // "Restart": a fresh open sees the pre-kill epoch list and sweeps the
+  // orphan epoch file the killed appender left behind.
+  auto catalog = catalog::Catalog::open(dir_);
+  ASSERT_TRUE(catalog.has_value()) << catalog.error().to_string();
+  EXPECT_EQ((*catalog)->epochs(), (std::vector<std::uint32_t>{1000, 2000}));
+  for (const std::string& name : dir_names()) {
+    EXPECT_EQ(name.find("epoch-4000"), std::string::npos)
+        << "orphan " << name << " survived the sweep";
+    EXPECT_EQ(name.find(".tmp"), std::string::npos)
+        << "tmp file " << name << " survived the sweep";
+  }
+
+  // The interrupted append, retried, completes as if nothing happened.
+  ASSERT_TRUE(catalog::catalog_append(dir_, 4000, epoch_records(4000, 19))
+                  .has_value());
+  auto reopened = catalog::Catalog::open(dir_);
+  ASSERT_TRUE(reopened.has_value());
+  EXPECT_EQ((*reopened)->epochs(),
+            (std::vector<std::uint32_t>{1000, 2000, 4000}));
+  ASSERT_TRUE((*reopened)->epoch_at(4000).has_value());
+}
+
+}  // namespace
+}  // namespace sublet

@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <memory>
 #include <optional>
 #include <string>
@@ -536,6 +537,68 @@ TEST(ServeReloadBinary, PipelinedHammerAcrossSwapsZeroFailures) {
   server.stop();
   ::unlink(path_a.c_str());
   ::unlink(path_b.c_str());
+}
+
+// --- fairness: a pipeline flood cannot starve its shard ---
+
+std::uint64_t scrape_counter(const std::string& metrics,
+                             const std::string& family) {
+  const std::string needle = "\n" + family + " ";
+  const auto pos = metrics.find(needle);
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(metrics.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+TEST(ServeFairness, PipelineFloodCannotStarveTheShard) {
+  QueryServer server(memory_state(),
+                     QueryServer::Options{.port = 0,
+                                          .shards = 1,
+                                          .max_outbuf_bytes = 64u << 20});
+  auto started = server.start();
+  ASSERT_TRUE(started) << started.error().to_string();
+  const std::uint16_t port = *started;
+
+  // One connection bursts far more pipelined requests than the per-pass
+  // budget without reading a byte back. A 64KB read chunk holds ~10900
+  // of these lines, so at least one process() pass sees a backlog far
+  // past the budget no matter how TCP segments the burst.
+  constexpr std::size_t kFlood = 20000;
+  auto flood = RawConn::open(port);
+  ASSERT_TRUE(flood.has_value());
+  std::string burst;
+  burst.reserve(kFlood * 6);
+  for (std::size_t i = 0; i < kFlood; ++i) burst += "STATS\n";
+  ASSERT_TRUE(flood->send_all(burst));
+
+  // A second connection on the same (only) shard is answered while the
+  // flood drains: without the budget the shard would synchronously
+  // generate the whole flood's responses before looking at anyone else.
+  auto client = QueryClient::connect("127.0.0.1", port);
+  ASSERT_TRUE(client) << client.error().to_string();
+  auto resp = client->request("EXACT 10.0.0.0/24");
+  ASSERT_TRUE(resp) << resp.error().to_string();
+  EXPECT_NE(resp->find("\"found\":true"), std::string::npos) << *resp;
+
+  // Every flooded response still arrives, nothing dropped at the yield
+  // boundaries. STATS responses are single-line JSON, so counting
+  // newlines counts responses.
+  std::size_t lines = 0;
+  char buf[65536];
+  while (lines < kFlood) {
+    pollfd pfd{flood->fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 10000);
+    if (rc < 0 && errno == EINTR) continue;
+    ASSERT_GT(rc, 0) << "flood drain stalled at " << lines << " responses";
+    const ssize_t n = ::recv(flood->fd, buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0) << "flood connection died at " << lines << " responses";
+    for (ssize_t i = 0; i < n; ++i) lines += buf[i] == '\n';
+  }
+  EXPECT_EQ(lines, kFlood);
+
+  auto metrics = client->request_multiline("METRICS");
+  ASSERT_TRUE(metrics) << metrics.error().to_string();
+  EXPECT_GE(scrape_counter(*metrics, "sublet_serve_fair_yields_total"), 1u);
+  server.stop();
 }
 
 }  // namespace

@@ -444,5 +444,48 @@ TEST(ServeClient, RetryPolicySurvivesTransientConnectFailures) {
   server.stop();
 }
 
+TEST(ServeClient, MultilineRetryHelperSurvivesTransientConnectFailures) {
+  if (!fault::enabled()) GTEST_SKIP() << "fault injection compiled out";
+  QueryServer server(memory_state("A"),
+                     QueryServer::Options{.port = 0, .threads = 2});
+  auto port = server.start();
+  ASSERT_TRUE(port);
+  {
+    fault::ScopedFault refused("client.connect", ECONNREFUSED, /*skip=*/0,
+                               /*times=*/2);
+    QueryClient::RetryPolicy policy;
+    policy.attempts = 3;
+    policy.base_backoff_ms = 1;
+    auto body = QueryClient::request_multiline_with_retry(
+        "127.0.0.1", *port, "METRICS", "# EOF", policy);
+    ASSERT_TRUE(body) << body.error().to_string();
+    EXPECT_NE(body->find("# EOF"), std::string::npos);
+  }
+  server.stop();
+}
+
+TEST(ServeClient, BinaryBatchRetryHelperSurvivesTransientConnectFailures) {
+  if (!fault::enabled()) GTEST_SKIP() << "fault injection compiled out";
+  QueryServer server(memory_state("A"),
+                     QueryServer::Options{.port = 0, .threads = 2});
+  auto port = server.start();
+  ASSERT_TRUE(port);
+  const std::vector<std::uint32_t> addrs = {(10u << 24) | 1u};
+  {
+    fault::ScopedFault refused("client.connect", ECONNREFUSED, /*skip=*/0,
+                               /*times=*/2);
+    QueryClient::RetryPolicy policy;
+    policy.attempts = 3;
+    policy.base_backoff_ms = 1;
+    auto response = QueryClient::request_binary_batch_with_retry(
+        "127.0.0.1", *port, addrs, /*epoch=*/0, policy);
+    ASSERT_TRUE(response) << response.error().to_string();
+    EXPECT_EQ(response->status, 0);
+    ASSERT_EQ(response->results.size(), 1u);
+    EXPECT_TRUE(response->results[0].found);
+  }
+  server.stop();
+}
+
 }  // namespace
 }  // namespace sublet::serve

@@ -387,5 +387,40 @@ else()
   message(STATUS "sh not found; skipping background server smoke")
 endif()
 
+# --- mini-soak: ~5s of `sublet load` with chaos, gated on the SLO ---
+# (docs/ROBUSTNESS.md "Soak & chaos"; exit code mirrors slo.pass).
+# Called directly, not via run_step: the scenario string contains `;`,
+# which would be re-split as a list by ${ARGV} inside a function.
+execute_process(COMMAND "${SUBLET_BIN}" load --seed 23 --workers 2
+                --duration-ms 4000 --qps 250 --world-scale 0.02
+                --world-epochs 3 --world-pending 2
+                --scenario "append@1200;reload@2200;churn@3000:10"
+                --spot-every 16 --report "${DATA}/soak-report.json"
+                RESULT_VARIABLE code
+                OUTPUT_VARIABLE STEP_OUTPUT
+                ERROR_VARIABLE err)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "mini-soak failed (${code}):\n${STEP_OUTPUT}\n${err}")
+endif()
+foreach(key "\"schedule_digest\"" "\"spot_checks\"" "\"wrong_answers\":0"
+        "\"uninjected_errors\":0" "\"pass\":true" "\"appends\":1")
+  if(NOT STEP_OUTPUT MATCHES "${key}")
+    message(FATAL_ERROR "mini-soak report missing ${key}: ${STEP_OUTPUT}")
+  endif()
+endforeach()
+if(NOT EXISTS "${DATA}/soak-report.json")
+  message(FATAL_ERROR "mini-soak did not write --report file")
+endif()
+
+run_fail("${SUBLET_BIN}" load --bogus-flag)
+run_fail("${SUBLET_BIN}" load --workers junk)
+run_fail("${SUBLET_BIN}" load --workers 0)
+run_fail("${SUBLET_BIN}" serve nope.snap --max-outbuf-bytes junk)
+execute_process(COMMAND "${SUBLET_BIN}" load --scenario "meteor@1000"
+                RESULT_VARIABLE code OUTPUT_QUIET ERROR_VARIABLE err)
+if(code EQUAL 0)
+  message(FATAL_ERROR "load accepted an unknown chaos kind")
+endif()
+
 file(REMOVE_RECURSE "${DATA}")
 message(STATUS "cli smoke ok")

@@ -37,6 +37,7 @@
 #include "serve/client.h"
 #include "serve/engine_state.h"
 #include "serve/server.h"
+#include "loadgen/loadgen.h"
 #include "simnet/builder.h"
 #include "simnet/emit.h"
 #include "simnet/timeline_scenario.h"
@@ -82,7 +83,7 @@ int usage() {
       "  catalog verify <dir> [--deep]           check every epoch + chain\n"
       "  serve <in.snap> [--port N] [--port-file F] [--shards N]\n"
       "        [--max-conns N] [--idle-timeout-ms N] [--io-timeout-ms N]\n"
-      "        [--drain-ms N] [--reload-on-sighup]\n"
+      "        [--drain-ms N] [--max-outbuf-bytes N] [--reload-on-sighup]\n"
       "                                          prefix-query server (see\n"
       "                                          docs/SERVING.md and\n"
       "                                          docs/ROBUSTNESS.md)\n"
@@ -90,6 +91,17 @@ int usage() {
       "                                          HISTORY answer from any\n"
       "                                          epoch; RELOAD re-scans the\n"
       "                                          catalog for appended epochs\n"
+      "  load [--seed N] [--workers N] [--duration-ms N] [--qps F]\n"
+      "        [--zipf-alpha F] [--scenario S] [--world-scale F]\n"
+      "        [--world-seed N] [--world-epochs N] [--world-pending N]\n"
+      "        [--catalog <dir>] [--shards N] [--batch N] [--depth N]\n"
+      "        [--p99-us F] [--heavy-p99-us F] [--spot-every N]\n"
+      "        [--max-outbuf-bytes N] [--report F] [--run-dir D]\n"
+      "        [--keep-run-dir] [--fork-server]    seed-keyed soak + chaos\n"
+      "                                          driver; prints the SLO\n"
+      "                                          report JSON and exits 0\n"
+      "                                          only if slo.pass (see\n"
+      "                                          docs/ROBUSTNESS.md)\n"
       "  query <host:port> [--lpm|--bin|--stats|--health|--metrics|--shutdown]\n"
       "        [--at TS] [--history] [--reload <path.snap>]\n"
       "        [--timeout-ms N] [--retries N]\n"
@@ -602,6 +614,13 @@ int cmd_serve(const std::vector<std::string>& args) {
         return usage();
       }
       options.max_conns = *cap;
+    } else if (args[i] == "--max-outbuf-bytes" && i + 1 < args.size()) {
+      auto cap = parse_u64(args[++i]);
+      if (!cap || *cap == 0) {
+        std::cerr << "--max-outbuf-bytes expects a positive integer\n";
+        return usage();
+      }
+      options.max_outbuf_bytes = *cap;
     } else if (args[i] == "--idle-timeout-ms" && i + 1 < args.size()) {
       if (!int_flag(i, "--idle-timeout-ms", &options.idle_timeout_ms)) {
         return usage();
@@ -886,6 +905,107 @@ int cmd_query(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_load(const std::vector<std::string>& args) {
+  loadgen::LoadOptions options;
+  auto f64_flag = [&](std::size_t& i, const char* name,
+                      double* out) -> bool {
+    char* end = nullptr;
+    const std::string& text = args[++i];
+    const double value = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || value < 0.0) {
+      std::cerr << name << " expects a non-negative number\n";
+      return false;
+    }
+    *out = value;
+    return true;
+  };
+  auto u64_flag = [&](std::size_t& i, const char* name,
+                      std::uint64_t* out) -> bool {
+    auto value = parse_u64(args[++i]);
+    if (!value) {
+      std::cerr << name << " expects a non-negative integer\n";
+      return false;
+    }
+    *out = *value;
+    return true;
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    std::uint64_t u = 0;
+    if (args[i] == "--seed" && i + 1 < args.size()) {
+      if (!u64_flag(i, "--seed", &options.seed)) return usage();
+    } else if (args[i] == "--workers" && i + 1 < args.size()) {
+      if (!u64_flag(i, "--workers", &u) || u == 0) return usage();
+      options.workers = static_cast<unsigned>(u);
+    } else if (args[i] == "--duration-ms" && i + 1 < args.size()) {
+      if (!u64_flag(i, "--duration-ms", &options.duration_ms)) {
+        return usage();
+      }
+    } else if (args[i] == "--qps" && i + 1 < args.size()) {
+      if (!f64_flag(i, "--qps", &options.qps)) return usage();
+    } else if (args[i] == "--zipf-alpha" && i + 1 < args.size()) {
+      if (!f64_flag(i, "--zipf-alpha", &options.zipf_alpha)) return usage();
+    } else if (args[i] == "--scenario" && i + 1 < args.size()) {
+      options.scenario = args[++i];
+    } else if (args[i] == "--world-scale" && i + 1 < args.size()) {
+      if (!f64_flag(i, "--world-scale", &options.world.scale)) {
+        return usage();
+      }
+    } else if (args[i] == "--world-seed" && i + 1 < args.size()) {
+      if (!u64_flag(i, "--world-seed", &options.world.seed)) return usage();
+    } else if (args[i] == "--world-epochs" && i + 1 < args.size()) {
+      if (!u64_flag(i, "--world-epochs", &u) || u == 0) return usage();
+      options.world.epochs = u;
+    } else if (args[i] == "--world-pending" && i + 1 < args.size()) {
+      if (!u64_flag(i, "--world-pending", &u)) return usage();
+      options.world.pending = u;
+    } else if (args[i] == "--catalog" && i + 1 < args.size()) {
+      options.catalog_dir = args[++i];
+    } else if (args[i] == "--shards" && i + 1 < args.size()) {
+      if (!u64_flag(i, "--shards", &u)) return usage();
+      options.shards = static_cast<unsigned>(u);
+    } else if (args[i] == "--batch" && i + 1 < args.size()) {
+      if (!u64_flag(i, "--batch", &u) || u == 0 || u > 65536) {
+        return usage();
+      }
+      options.batch_size = u;
+    } else if (args[i] == "--depth" && i + 1 < args.size()) {
+      if (!u64_flag(i, "--depth", &u) || u == 0) return usage();
+      options.pipeline_depth = u;
+    } else if (args[i] == "--p99-us" && i + 1 < args.size()) {
+      if (!f64_flag(i, "--p99-us", &options.p99_bound_us)) return usage();
+    } else if (args[i] == "--heavy-p99-us" && i + 1 < args.size()) {
+      if (!f64_flag(i, "--heavy-p99-us", &options.heavy_p99_bound_us)) {
+        return usage();
+      }
+    } else if (args[i] == "--spot-every" && i + 1 < args.size()) {
+      if (!u64_flag(i, "--spot-every", &u)) return usage();
+      options.spot_check_every = static_cast<std::uint32_t>(u);
+    } else if (args[i] == "--max-outbuf-bytes" && i + 1 < args.size()) {
+      if (!u64_flag(i, "--max-outbuf-bytes", &u) || u == 0) return usage();
+      options.max_outbuf_bytes = u;
+    } else if (args[i] == "--report" && i + 1 < args.size()) {
+      options.report_path = args[++i];
+    } else if (args[i] == "--run-dir" && i + 1 < args.size()) {
+      options.run_dir = args[++i];
+    } else if (args[i] == "--keep-run-dir") {
+      options.keep_run_dir = true;
+    } else if (args[i] == "--fork-server") {
+      options.server_argv = {"/proc/self/exe", "serve"};
+    } else {
+      std::cerr << "unknown option " << args[i] << "\n";
+      return usage();
+    }
+  }
+  auto report = loadgen::run_load(options);
+  if (!report) {
+    std::cerr << report.error().to_string() << "\n";
+    return 1;
+  }
+  std::cout << report->to_json() << "\n" << std::flush;
+  // The exit code IS the SLO verdict — CI gates on it directly.
+  return report->slo.pass ? 0 : 3;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -952,6 +1072,7 @@ int main(int argc, char** argv) {
     else if (command == "catalog") rc = cmd_catalog(args);
     else if (command == "serve") rc = cmd_serve(args);
     else if (command == "query") rc = cmd_query(args);
+    else if (command == "load") rc = cmd_load(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     rc = 1;
