@@ -30,6 +30,7 @@
 #include "serve/client.h"
 #include "serve/server.h"
 #include "util/faultinject.h"
+#include "util/jsonr.h"
 #include "util/rng.h"
 #include "util/strings.h"
 
@@ -475,6 +476,7 @@ struct ForkedServer {
   std::string log_path;  ///< child stdout/stderr land here, not on ours
   unsigned shards = 0;
   std::size_t max_outbuf_bytes = 0;
+  std::uint64_t slow_threshold_us = 0;  ///< 0 keeps the server default
   pid_t pid = -1;
 
   Expected<std::uint16_t> launch() {
@@ -490,6 +492,10 @@ struct ForkedServer {
     if (max_outbuf_bytes != 0) {
       argv.insert(argv.end(),
                   {"--max-outbuf-bytes", std::to_string(max_outbuf_bytes)});
+    }
+    if (slow_threshold_us != 0) {
+      argv.insert(argv.end(),
+                  {"--slow-threshold-us", std::to_string(slow_threshold_us)});
     }
     std::vector<char*> cargv;
     cargv.reserve(argv.size() + 1);
@@ -815,6 +821,46 @@ std::uint64_t scrape_counter(const std::string& text,
   return 0;
 }
 
+/// Pull the server's flight-recorder slow log via INSPECT and flatten it
+/// across shards, worst-first. Best-effort: any transport or parse
+/// failure just yields no evidence — the report's SLO verdict must not
+/// depend on the introspection path.
+std::vector<SlowRequestEvidence> collect_slow_evidence(
+    const std::string& host, std::uint16_t port) {
+  std::vector<SlowRequestEvidence> out;
+  auto body = serve::QueryClient::request_with_retry(host, port, "INSPECT");
+  if (!body) return out;
+  auto doc = JsonValue::parse(*body);
+  if (!doc) return out;
+  for (const JsonValue& shard : (*doc)["shards"].items()) {
+    const auto shard_id =
+        static_cast<std::uint32_t>(shard["shard"].as_u64());
+    for (const JsonValue& slow : shard["slow_requests"].items()) {
+      SlowRequestEvidence ev;
+      ev.shard = shard_id;
+      ev.seq = slow["seq"].as_u64();
+      ev.verb = slow["verb"].as_string();
+      ev.status = slow["status"].as_string();
+      ev.read_us = slow["read_us"].as_double();
+      ev.parse_us = slow["parse_us"].as_double();
+      ev.engine_us = slow["engine_us"].as_double();
+      ev.write_us = slow["write_us"].as_double();
+      ev.total_us = slow["total_us"].as_double();
+      ev.detail = slow["detail"].as_string();
+      out.push_back(std::move(ev));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SlowRequestEvidence& a, const SlowRequestEvidence& b) {
+              if (a.total_us != b.total_us) return a.total_us > b.total_us;
+              if (a.shard != b.shard) return a.shard < b.shard;
+              return a.seq < b.seq;
+            });
+  constexpr std::size_t kMaxEvidence = 16;
+  if (out.size() > kMaxEvidence) out.resize(kMaxEvidence);
+  return out;
+}
+
 }  // namespace
 
 Expected<LoadReport> run_load(const LoadOptions& options) {
@@ -882,6 +928,11 @@ Expected<LoadReport> run_load(const LoadOptions& options) {
   }
 
   // Server: in-process by default, forked when server_argv is given.
+  // Align the flight recorder's "slow" with the SLO contract so a bound
+  // violation always ships concrete slow-request evidence (the server
+  // default of 1ms could sit above a tight --p99-us bound).
+  const auto slow_threshold_us = static_cast<std::uint64_t>(std::max(
+      1.0, std::min(options.p99_bound_us, options.heavy_p99_bound_us)));
   std::unique_ptr<serve::QueryServer> local_server;
   ForkedServer forked;
   if (forked_mode) {
@@ -891,6 +942,7 @@ Expected<LoadReport> run_load(const LoadOptions& options) {
     forked.log_path = run_dir + "/server.log";
     forked.shards = options.shards;
     forked.max_outbuf_bytes = options.max_outbuf_bytes;
+    forked.slow_threshold_us = slow_threshold_us;
     auto port = forked.launch();
     if (!port) return port.error();
     st.port.store(*port);
@@ -903,6 +955,7 @@ Expected<LoadReport> run_load(const LoadOptions& options) {
     server_options.shards = options.shards;
     server_options.max_conns = 1024;
     server_options.max_outbuf_bytes = options.max_outbuf_bytes;
+    server_options.slow_threshold_us = slow_threshold_us;
     local_server = std::make_unique<serve::QueryServer>(
         std::shared_ptr<serve::EpochSource>(std::move(*served)),
         std::move(*initial), server_options);
@@ -952,6 +1005,8 @@ Expected<LoadReport> run_load(const LoadOptions& options) {
       chaos.report.outbuf_overflows =
           scrape_counter(*metrics, "sublet_serve_outbuf_overflow_total");
     }
+    report.slow_requests = collect_slow_evidence(
+        st.host, static_cast<std::uint16_t>(st.port.load()));
   }
   if (local_server) {
     local_server->stop();

@@ -115,6 +115,26 @@ std::string LoadReport::to_json() const {
   json.key("zero_uninjected_errors").value(slo.zero_uninjected_errors);
   json.key("pass").value(slo.pass);
   json.end_object();
+  if (!slo.pass) {
+    // Failed runs carry the flight-recorder evidence scraped via INSPECT
+    // right before shutdown — worst requests first.
+    json.begin_array("slow_requests");
+    for (const SlowRequestEvidence& ev : slow_requests) {
+      json.begin_object();
+      json.key("shard").value(static_cast<std::uint64_t>(ev.shard));
+      json.key("seq").value(ev.seq);
+      json.key("verb").value(ev.verb);
+      json.key("status").value(ev.status);
+      json.key("read_us").value(ev.read_us);
+      json.key("parse_us").value(ev.parse_us);
+      json.key("engine_us").value(ev.engine_us);
+      json.key("write_us").value(ev.write_us);
+      json.key("total_us").value(ev.total_us);
+      if (!ev.detail.empty()) json.key("detail").value(ev.detail);
+      json.end_object();
+    }
+    json.end_array();
+  }
   json.end_object();
   return json.take();
 }

@@ -11,6 +11,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace sublet::loadgen {
 
@@ -53,6 +54,22 @@ struct ChaosReport {
   std::uint64_t outbuf_overflows = 0;
 };
 
+/// One slow request lifted from the server's flight recorder (the
+/// INSPECT scrape at shutdown). Embedded in the report only when the SLO
+/// fails, so a red run carries its own where-did-the-time-go evidence.
+struct SlowRequestEvidence {
+  std::uint32_t shard = 0;
+  std::uint64_t seq = 0;
+  std::string verb;
+  std::string status;
+  double read_us = 0.0;
+  double parse_us = 0.0;
+  double engine_us = 0.0;
+  double write_us = 0.0;
+  double total_us = 0.0;
+  std::string detail;  ///< request text (slow log copies it, capped)
+};
+
 struct SloReport {
   double p99_bound_us = 0.0;        ///< point-lookup verbs
   double heavy_p99_bound_us = 0.0;  ///< MLPM / HISTORY / STATS / METRICS
@@ -92,6 +109,10 @@ struct LoadReport {
   double lookups_per_s = 0.0;
   ChaosReport chaos;
   SloReport slo;
+  /// Worst requests the server's flight recorder held at shutdown,
+  /// worst-first. Always collected; to_json() emits them only on a
+  /// failed SLO.
+  std::vector<SlowRequestEvidence> slow_requests;
 
   /// Just the deterministic section (the determinism tests compare this).
   std::string deterministic_json() const;

@@ -1,0 +1,204 @@
+#include "obs/flight.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+namespace sublet::obs {
+
+namespace {
+
+/// Same bucketing as obs::Histogram: bucket 0 holds zeros, bucket b>0
+/// holds [2^(b-1), 2^b).
+std::size_t bucket_of(std::uint64_t v) {
+  return v == 0 ? 0
+               : static_cast<std::size_t>(64 - std::countl_zero(v));
+}
+
+std::uint64_t bucket_upper_bound(std::size_t b) {
+  if (b == 0) return 0;
+  if (b >= 64) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << b) - 1;
+}
+
+std::uint64_t sat32(std::uint64_t v) {
+  return std::min<std::uint64_t>(v, 0xFFFFFFFFu);
+}
+
+}  // namespace
+
+std::array<std::uint64_t, FlightRecorder::kWords> FlightRecorder::pack(
+    const FlightRecord& rec) {
+  return {
+      rec.seq,
+      rec.start_ns / 1000,  // µs: 8 bytes of sub-µs arrival don't earn a line
+      sat32(rec.read_ns) | sat32(rec.parse_ns) << 32,
+      sat32(rec.engine_ns) | sat32(rec.write_ns) << 32,
+      sat32(rec.total_ns) | sat32(rec.bytes_in) << 32,
+      sat32(rec.bytes_out) | std::uint64_t{rec.peer_addr} << 32,
+      std::uint64_t{rec.epoch} |
+          std::uint64_t{static_cast<std::uint32_t>(rec.fd)} << 32,
+      std::uint64_t{rec.peer_port} | std::uint64_t{rec.verb} << 16 |
+          std::uint64_t{rec.status} << 24,
+  };
+}
+
+FlightRecord FlightRecorder::unpack(
+    const std::array<std::uint64_t, kWords>& words) {
+  FlightRecord rec;
+  rec.seq = words[0];
+  rec.start_ns = words[1] * 1000;
+  rec.read_ns = words[2] & 0xFFFFFFFFu;
+  rec.parse_ns = words[2] >> 32;
+  rec.engine_ns = words[3] & 0xFFFFFFFFu;
+  rec.write_ns = words[3] >> 32;
+  rec.total_ns = words[4] & 0xFFFFFFFFu;
+  rec.bytes_in = words[4] >> 32;
+  rec.bytes_out = words[5] & 0xFFFFFFFFu;
+  rec.peer_addr = static_cast<std::uint32_t>(words[5] >> 32);
+  rec.epoch = static_cast<std::uint32_t>(words[6] & 0xFFFFFFFFu);
+  rec.fd = static_cast<std::int32_t>(static_cast<std::uint32_t>(words[6] >> 32));
+  rec.peer_port = static_cast<std::uint16_t>(words[7] & 0xFFFF);
+  rec.verb = static_cast<std::uint8_t>((words[7] >> 16) & 0xFF);
+  rec.status = static_cast<std::uint8_t>((words[7] >> 24) & 0xFF);
+  return rec;
+}
+
+FlightRecorder::FlightRecorder(Options options)
+    : threshold_ns_(options.slow_threshold_ns),
+      slow_capacity_(options.slow_capacity) {
+  if (options.ring_capacity > 0) {
+    slots_ = std::vector<Slot>(std::bit_ceil(options.ring_capacity));
+    mask_ = slots_.size() - 1;
+  }
+  slow_.reserve(slow_capacity_);
+  enabled_.store(options.enabled && !slots_.empty(),
+                 std::memory_order_relaxed);
+}
+
+std::uint64_t FlightRecorder::record(const FlightRecord& record,
+                                     std::string_view detail) {
+  if (!enabled()) return 0;
+  const std::uint64_t seq =
+      next_.fetch_add(1, std::memory_order_relaxed) + 1;
+  FlightRecord rec = record;
+  rec.seq = seq;
+
+  // Seqlock write: zero the seq word (readers treat 0 as mid-write),
+  // store the payload as relaxed word stores, publish the seq with
+  // release so a reader that sees it sees the words. The recorder is
+  // single-writer per shard; a slot's seq strictly increases lap over
+  // lap, so a reader re-checking an unchanged nonzero seq cannot be
+  // fooled by a concurrent overwrite.
+  Slot& slot = slots_[static_cast<std::size_t>(seq) & mask_];
+  slot.words[0].store(0, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  const std::array<std::uint64_t, kWords> words = pack(rec);
+  for (std::size_t i = 1; i < kWords; ++i) {
+    slot.words[i].store(words[i], std::memory_order_relaxed);
+  }
+  slot.words[0].store(seq, std::memory_order_release);
+
+  const std::size_t bucket = bucket_of(rec.total_ns);
+  exemplar_ns_[bucket].store(rec.total_ns, std::memory_order_relaxed);
+  exemplar_seq_[bucket].store(seq, std::memory_order_relaxed);
+
+  if (rec.total_ns >= threshold_ns_ && slow_capacity_ > 0) {
+    std::lock_guard<std::mutex> lock(slow_mu_);
+    if (slow_.size() < slow_capacity_) {
+      slow_.push_back(SlowFlight{rec, std::string(detail)});
+    } else {
+      // Replace the current minimum if this request is worse; linear scan
+      // is fine at top-K sizes (K defaults to 16).
+      std::size_t min_at = 0;
+      for (std::size_t i = 1; i < slow_.size(); ++i) {
+        if (slow_[i].record.total_ns < slow_[min_at].record.total_ns) {
+          min_at = i;
+        }
+      }
+      if (slow_[min_at].record.total_ns < rec.total_ns) {
+        slow_[min_at].record = rec;
+        slow_[min_at].detail.assign(detail.data(), detail.size());
+      }
+    }
+  }
+  return seq;
+}
+
+std::vector<FlightRecord> FlightRecorder::tail(
+    std::size_t max_records) const {
+  std::vector<FlightRecord> out;
+  if (slots_.empty()) return out;
+  const std::uint64_t head = next_.load(std::memory_order_acquire);
+  std::uint64_t want = std::min<std::uint64_t>(
+      {head, slots_.size(), max_records});
+  out.reserve(static_cast<std::size_t>(want));
+  // Newest first, then reverse: the oldest slots are the ones the writer
+  // overwrites next, so scanning from the head loses at most the tail
+  // end to concurrent writes.
+  for (std::uint64_t seq = head; seq > head - want; --seq) {
+    const Slot& slot = slots_[static_cast<std::size_t>(seq) & mask_];
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      std::array<std::uint64_t, kWords> words;
+      words[0] = slot.words[0].load(std::memory_order_acquire);
+      if (words[0] != seq) break;  // mid-write (0) or already lapped
+      for (std::size_t i = 1; i < kWords; ++i) {
+        words[i] = slot.words[i].load(std::memory_order_relaxed);
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.words[0].load(std::memory_order_relaxed) != seq) {
+        continue;  // torn by a concurrent write
+      }
+      out.push_back(unpack(words));
+      break;
+    }
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::vector<SlowFlight> FlightRecorder::slow_log() const {
+  std::vector<SlowFlight> out;
+  {
+    std::lock_guard<std::mutex> lock(slow_mu_);
+    out = slow_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SlowFlight& a, const SlowFlight& b) {
+              if (a.record.total_ns != b.record.total_ns) {
+                return a.record.total_ns > b.record.total_ns;
+              }
+              return a.record.seq < b.record.seq;
+            });
+  return out;
+}
+
+std::vector<FlightExemplar> FlightRecorder::exemplars() const {
+  std::vector<FlightExemplar> out;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const std::uint64_t seq =
+        exemplar_seq_[b].load(std::memory_order_relaxed);
+    if (seq == 0) continue;
+    out.push_back(FlightExemplar{
+        bucket_upper_bound(b), seq,
+        exemplar_ns_[b].load(std::memory_order_relaxed)});
+  }
+  return out;
+}
+
+void FlightRecorder::clear() {
+  next_.store(0, std::memory_order_relaxed);
+  for (Slot& slot : slots_) {
+    for (auto& word : slot.words) {
+      word.store(0, std::memory_order_relaxed);
+    }
+  }
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    exemplar_seq_[b].store(0, std::memory_order_relaxed);
+    exemplar_ns_[b].store(0, std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  slow_.clear();
+}
+
+}  // namespace sublet::obs

@@ -1,0 +1,192 @@
+// Per-request flight recorder for the serving stack
+// (docs/OBSERVABILITY.md).
+//
+// One recorder per event-loop shard. The shard thread is the only writer;
+// INSPECT handlers on other threads read concurrently, so every shared
+// word is an atomic and the ring uses a per-slot seqlock (version odd =
+// write in progress, readers retry). Recording a request is a handful of
+// relaxed stores into a preallocated slot — no locks, no allocation — so
+// the recorder can stay on at production QPS (BM_FlightRecorderOverhead
+// prices it under 2% of the serve path).
+//
+// Three views of the same stream of FlightRecords:
+//  - the **ring**: the last `ring_capacity` requests, each with a
+//    monotonic read→parse→engine→write stage breakdown captured at the
+//    server's state-machine boundaries;
+//  - the **slow-request log**: the top-K worst requests by total latency
+//    over `slow_threshold_ns`, kept with the request text (`detail`).
+//    Only requests already past the threshold pay the mutex + copy, so
+//    the log is off the fast path by construction;
+//  - **exemplars**: for each power-of-two latency bucket (the same
+//    bucketing as obs::Histogram), the sequence number of the most
+//    recent request that landed there — the link from a histogram
+//    spike to a concrete recorded request.
+//
+// set_enabled(false) makes record() a single relaxed load + untaken
+// branch (the recorder keeps, but stops adding, data) — the knob the
+// overhead bench toggles.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sublet::obs {
+
+/// One recorded request. The ring stores it packed into one cache line
+/// (stage/total ns saturate at u32, start rounds to µs); this unpacked
+/// form is what callers fill and readers get back. Stage semantics
+/// (docs/OBSERVABILITY.md):
+///   read_ns   — time the complete request sat buffered between the recv
+///               that delivered its last byte and dispatch (includes
+///               fairness parking);
+///   parse_ns  — request tokenization / frame decoding;
+///   engine_ns — verb execution (argument parsing + engine lookups +
+///               response rendering);
+///   write_ns  — response time in the output buffer up to the flush
+///               attempt that followed it.
+struct FlightRecord {
+  std::uint64_t seq = 0;       ///< recorder-assigned, 1-based; 0 = empty
+  std::uint64_t start_ns = 0;  ///< arrival, ns on the caller's clock base
+  std::uint64_t read_ns = 0;
+  std::uint64_t parse_ns = 0;
+  std::uint64_t engine_ns = 0;
+  std::uint64_t write_ns = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint32_t epoch = 0;      ///< 0 = current engine
+  std::uint32_t peer_addr = 0;  ///< IPv4, host byte order
+  std::int32_t fd = -1;
+  std::uint16_t peer_port = 0;
+  std::uint8_t verb = 0;    ///< caller-defined verb code
+  std::uint8_t status = 0;  ///< 0 = ok, 1 = error response
+};
+static_assert(sizeof(FlightRecord) % 8 == 0);
+
+/// A slow-log entry: the record plus the (truncated) request text.
+struct SlowFlight {
+  FlightRecord record;
+  std::string detail;
+};
+
+/// One histogram-bucket exemplar: the latest recorded request whose
+/// total latency fell in the bucket with inclusive upper bound `le_ns`.
+struct FlightExemplar {
+  std::uint64_t le_ns = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t total_ns = 0;
+};
+
+class FlightRecorder {
+ public:
+  struct Options {
+    /// Ring slots (rounded up to a power of two). 0 keeps the recorder
+    /// permanently inert.
+    std::size_t ring_capacity = 256;
+    /// Worst requests kept with detail text.
+    std::size_t slow_capacity = 16;
+    /// total_ns at or above this enters the slow log.
+    std::uint64_t slow_threshold_ns = 1'000'000;
+    bool enabled = true;
+  };
+
+  explicit FlightRecorder(Options options);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) {
+    enabled_.store(on && !slots_.empty(), std::memory_order_relaxed);
+  }
+
+  std::uint64_t slow_threshold_ns() const { return threshold_ns_; }
+  std::size_t ring_capacity() const { return slots_.size(); }
+  std::size_t slow_capacity() const { return slow_capacity_; }
+
+  /// Requests recorded since construction (ring overwrites, so this can
+  /// exceed ring_capacity).
+  std::uint64_t recorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+  /// Record one request; `record.seq` is assigned here. `detail` is
+  /// copied only if the request enters the slow log (callers may pass an
+  /// empty view when they know the request is fast). Returns the assigned
+  /// sequence number, or 0 when disabled.
+  std::uint64_t record(const FlightRecord& record, std::string_view detail);
+
+  /// Warm the slot the next record() will write. The ring cycles through
+  /// more memory than stays cache-resident at production sizes, so that
+  /// line is cold by request time; issuing the prefetch when the request
+  /// starts being read overlaps the miss with the request's own work
+  /// (prefetching at record() time is too early — the line is evicted
+  /// again before the shard's next request arrives).
+  void prefetch_next() const {
+#if defined(__GNUC__) || defined(__clang__)
+    if (slots_.empty()) return;
+    const std::uint64_t seq = next_.load(std::memory_order_relaxed) + 1;
+    __builtin_prefetch(&slots_[static_cast<std::size_t>(seq) & mask_], 1, 3);
+#endif
+  }
+
+  /// The newest `max_records` ring entries, oldest first. Slots a writer
+  /// is mid-update on (or that got lapped during the copy) are skipped.
+  std::vector<FlightRecord> tail(std::size_t max_records) const;
+
+  /// The slow log, slowest first.
+  std::vector<SlowFlight> slow_log() const;
+
+  /// Exemplars for every latency bucket that has one, ascending by bound.
+  std::vector<FlightExemplar> exemplars() const;
+
+  /// Drop everything (tests/benches only; not thread-safe vs writers).
+  void clear();
+
+ private:
+  // Seqlock slot, packed to exactly one cache line: the ring cycles
+  // through more memory than stays cache-resident at production ring
+  // sizes, so every record() write misses — one line halves that cost
+  // versus storing FlightRecord verbatim (two lines). word 0 is the
+  // record's seq and doubles as the seqlock version: 0 while the writer
+  // is mid-copy, and since a slot's seq strictly increases lap over lap
+  // an unchanged nonzero seq proves a consistent read (no ABA). Payload
+  // words are relaxed atomics so concurrent reads are race-free
+  // (TSAN-clean) and at worst skipped, never torn. Packing rounds the
+  // ring's start_ns to µs and saturates stage/total ns at ~4.29s
+  // (u32); the slow log keeps the full-precision FlightRecord.
+  static constexpr std::size_t kWords = 8;
+  struct alignas(64) Slot {
+    std::array<std::atomic<std::uint64_t>, kWords> words{};
+  };
+  static std::array<std::uint64_t, kWords> pack(const FlightRecord& rec);
+  static FlightRecord unpack(const std::array<std::uint64_t, kWords>& words);
+
+  std::atomic<bool> enabled_{false};
+  std::uint64_t threshold_ns_ = 0;
+  std::size_t slow_capacity_ = 0;
+
+  std::atomic<std::uint64_t> next_{0};  ///< seqs issued; head = next_
+  std::vector<Slot> slots_;             ///< power-of-two sized
+  std::size_t mask_ = 0;
+
+  // Exemplars: obs::Histogram's power-of-two buckets (65 of them);
+  // [bucket] holds the seq + total_ns of the latest request that landed
+  // there. seq 0 = bucket never hit.
+  static constexpr std::size_t kBuckets = 65;
+  std::array<std::atomic<std::uint64_t>, kBuckets> exemplar_seq_{};
+  std::array<std::atomic<std::uint64_t>, kBuckets> exemplar_ns_{};
+
+  // Slow log: only requests already past the threshold take this mutex.
+  mutable std::mutex slow_mu_;
+  std::vector<SlowFlight> slow_;  ///< unordered; min replaced at capacity
+};
+
+}  // namespace sublet::obs

@@ -297,6 +297,25 @@ Expected<BinResponse> QueryClient::recv_frame(bool has_deadline,
   return response;
 }
 
+Expected<BinResponse> QueryClient::recv_matched(
+    std::uint32_t first_id, std::size_t window, std::vector<bool>* seen,
+    bool has_deadline, std::chrono::steady_clock::time_point deadline) {
+  auto response = recv_frame(has_deadline, deadline);
+  if (!response) return response.error();
+  const std::uint32_t id = response->request_id;
+  const bool in_window = id >= first_id && id - first_id < window;
+  if (!in_window || (seen != nullptr && (*seen)[id - first_id])) {
+    if (window == 1) {
+      return fail("binary response id " + std::to_string(id) +
+                  " does not match request id " + std::to_string(first_id));
+    }
+    return fail("binary response id " + std::to_string(id) +
+                " does not match any in-flight request");
+  }
+  if (seen != nullptr) (*seen)[id - first_id] = true;
+  return response;
+}
+
 Expected<BinResponse> QueryClient::request_binary_batch(
     std::span<const std::uint32_t> addrs, std::uint32_t epoch) {
   if (fd_ < 0) return fail("client is closed");
@@ -320,14 +339,7 @@ Expected<BinResponse> QueryClient::request_binary_batch(
   if (auto sent = send_all(frame, has_deadline, deadline); !sent) {
     return sent.error();
   }
-  auto response = recv_frame(has_deadline, deadline);
-  if (!response) return response.error();
-  if (response->request_id != header.request_id) {
-    return fail("binary response id " + std::to_string(response->request_id) +
-                " does not match request id " +
-                std::to_string(header.request_id));
-  }
-  return response;
+  return recv_matched(header.request_id, 1, nullptr, has_deadline, deadline);
 }
 
 Expected<BinResponse> QueryClient::request_exact_batch(
@@ -354,14 +366,7 @@ Expected<BinResponse> QueryClient::request_exact_batch(
   if (auto sent = send_all(frame, has_deadline, deadline); !sent) {
     return sent.error();
   }
-  auto response = recv_frame(has_deadline, deadline);
-  if (!response) return response.error();
-  if (response->request_id != header.request_id) {
-    return fail("binary response id " + std::to_string(response->request_id) +
-                " does not match request id " +
-                std::to_string(header.request_id));
-  }
-  return response;
+  return recv_matched(header.request_id, 1, nullptr, has_deadline, deadline);
 }
 
 Expected<std::vector<BinResponse>> QueryClient::pipeline_binary(
@@ -395,16 +400,10 @@ Expected<std::vector<BinResponse>> QueryClient::pipeline_binary(
   std::vector<BinResponse> responses(batches.size());
   std::vector<bool> seen(batches.size(), false);
   for (std::size_t i = 0; i < batches.size(); ++i) {
-    auto response = recv_frame(has_deadline, deadline);
+    auto response =
+        recv_matched(first_id, batches.size(), &seen, has_deadline, deadline);
     if (!response) return response.error();
-    const std::uint32_t id = response->request_id;
-    if (id < first_id || id - first_id >= batches.size() ||
-        seen[id - first_id]) {
-      return fail("binary response id " + std::to_string(id) +
-                  " does not match any in-flight request");
-    }
-    seen[id - first_id] = true;
-    responses[id - first_id] = std::move(*response);
+    responses[response->request_id - first_id] = std::move(*response);
   }
   return responses;
 }

@@ -164,6 +164,16 @@ class QueryClient {
   Expected<BinResponse> recv_frame(bool has_deadline,
                                    std::chrono::steady_clock::time_point
                                        deadline);
+  /// recv_frame plus request-id validation: the echoed id must fall in
+  /// [first_id, first_id + window) and, when `seen` is given, must not be
+  /// a duplicate. `seen` is marked on success. window == 1 is the
+  /// single-request form used by the *_batch calls.
+  Expected<BinResponse> recv_matched(std::uint32_t first_id,
+                                     std::size_t window,
+                                     std::vector<bool>* seen,
+                                     bool has_deadline,
+                                     std::chrono::steady_clock::time_point
+                                         deadline);
 
   int fd_ = -1;
   Timeouts timeouts_;

@@ -12,11 +12,15 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <condition_variable>
+#include <cstdio>
 #include <cstring>
 #include <optional>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "obs/flight.h"
 #include "serve/json.h"
 #include "serve/wire.h"
 #include "util/faultinject.h"
@@ -108,6 +112,57 @@ double snapshot_quantile(const obs::HistogramSnapshot& snap, double q) {
   return 0.0;
 }
 
+std::uint64_t elapsed_ns(steady_clock::time_point from,
+                         steady_clock::time_point to) {
+  if (to <= from) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+          .count());
+}
+
+const char* verb_name(std::uint8_t verb) {
+  switch (verb) {
+    case 0: return "exact";
+    case 1: return "lpm";
+    case 2: return "mlpm";
+    case 3: return "bin";
+    case 4: return "at";
+    case 5: return "history";
+    default: return "other";
+  }
+}
+
+/// Emit one flight record as a JSON object (shared by the ring tail and
+/// the slow log; the latter adds "detail").
+void flight_record_json(JsonWriter& json, const obs::FlightRecord& rec,
+                        const std::string* detail = nullptr) {
+  json.begin_object();
+  json.key("seq").value(rec.seq);
+  json.key("verb").value(verb_name(rec.verb));
+  json.key("status").value(rec.status == 0 ? "ok" : "error");
+  if (rec.epoch != 0) {
+    json.key("epoch").value(static_cast<std::uint64_t>(rec.epoch));
+  }
+  json.key("fd").value(static_cast<std::uint64_t>(
+      rec.fd < 0 ? 0 : static_cast<std::uint32_t>(rec.fd)));
+  char peer[32];
+  std::snprintf(peer, sizeof(peer), "%u.%u.%u.%u:%u",
+                (rec.peer_addr >> 24) & 0xFF, (rec.peer_addr >> 16) & 0xFF,
+                (rec.peer_addr >> 8) & 0xFF, rec.peer_addr & 0xFF,
+                rec.peer_port);
+  json.key("peer").value(peer);
+  json.key("bytes_in").value(rec.bytes_in);
+  json.key("bytes_out").value(rec.bytes_out);
+  json.key("start_ms").value(static_cast<double>(rec.start_ns) / 1e6);
+  json.key("read_us").value(static_cast<double>(rec.read_ns) / 1e3);
+  json.key("parse_us").value(static_cast<double>(rec.parse_ns) / 1e3);
+  json.key("engine_us").value(static_cast<double>(rec.engine_ns) / 1e3);
+  json.key("write_us").value(static_cast<double>(rec.write_ns) / 1e3);
+  json.key("total_us").value(static_cast<double>(rec.total_ns) / 1e3);
+  if (detail != nullptr) json.key("detail").value(*detail);
+  json.end_object();
+}
+
 }  // namespace
 
 std::string StatsSnapshot::to_json() const {
@@ -160,6 +215,14 @@ struct QueryServer::Conn {
   bool seen_binary = false;  ///< suppresses the text idle-timeout notice
   bool work_pending = false;  ///< parked on the shard's fairness work list
   std::size_t accounted = 0;  ///< footprint last added to the shard total
+  /// Why `closing` was set — the conn_closed label finish_io() uses when
+  /// the deferred flush-then-close completes.
+  CloseReason close_reason = CloseReason::kPeer;
+  std::uint32_t peer_addr = 0;   ///< IPv4, host order (INSPECT / recorder)
+  std::uint16_t peer_port = 0;
+  std::uint64_t requests = 0;    ///< requests answered on this connection
+  steady_clock::time_point opened{};     ///< accept time (fd age)
+  steady_clock::time_point last_recv{};  ///< last recv() that added bytes
   Link idle_link;
   Link write_link;
 
@@ -202,6 +265,7 @@ struct QueryServer::Shard {
         head_ = conn;
       }
       tail_ = conn;
+      ++size_;
     }
 
     void cancel(Conn* conn) {
@@ -219,14 +283,41 @@ struct QueryServer::Shard {
       }
       link.prev = link.next = nullptr;
       link.armed = false;
+      --size_;
     }
 
     Conn* front() const { return head_; }
+    std::size_t size() const { return size_; }
 
    private:
     Conn::Link Conn::* link_;
     Conn* head_ = nullptr;
     Conn* tail_ = nullptr;
+    std::size_t size_ = 0;
+  };
+
+  /// Owner-thread snapshot of one connection for INSPECT. Deadlines are
+  /// milliseconds-until (-1 = not armed) so the JSON is self-contained.
+  struct ConnView {
+    int fd = -1;
+    std::uint32_t peer_addr = 0;
+    std::uint16_t peer_port = 0;
+    std::uint64_t age_ms = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t inbuf_bytes = 0;
+    std::uint64_t outbuf_bytes = 0;
+    bool parked = false;
+    bool closing = false;
+    bool binary = false;
+    std::int64_t idle_deadline_ms = -1;
+    std::int64_t write_deadline_ms = -1;
+  };
+
+  struct ShardView {
+    std::vector<ConnView> conns;
+    std::size_t idle_timers = 0;
+    std::size_t write_timers = 0;
+    std::size_t work_queue = 0;
   };
 
   QueryServer* srv = nullptr;
@@ -258,6 +349,36 @@ struct QueryServer::Shard {
   std::vector<std::uint32_t> addrs;
   std::vector<std::uint32_t> records;
 
+  /// Per-shard flight recorder (null when Options::flight_ring is 0).
+  /// This thread is its only writer; INSPECT handlers read it directly.
+  std::unique_ptr<obs::FlightRecorder> recorder;
+
+  /// Requests answered in the current event-loop pass, waiting for the
+  /// flush attempt that stamps their write stage (commit_flights()).
+  struct PendingFlight {
+    obs::FlightRecord rec;
+    steady_clock::time_point engine_done{};
+    std::string detail;  ///< request text, kept only if already slow
+  };
+  std::vector<PendingFlight> inflight;
+
+  // INSPECT view handshake: an inspecting thread sets view_wanted and
+  // kicks the eventfd; this thread publishes a fresh ShardView under
+  // view_mu and bumps view_seq. The inspector waits on view_cv with a
+  // bounded deadline, so a wedged shard yields a stale row instead of a
+  // stuck INSPECT (docs/OBSERVABILITY.md).
+  std::atomic<bool> view_wanted{false};
+  std::mutex view_mu;
+  std::condition_variable view_cv;
+  std::uint64_t view_seq = 0;  ///< guarded by view_mu
+  ShardView view;              ///< guarded by view_mu
+
+  /// The shard whose event loop runs on this thread (null on accept /
+  /// test / bench threads). Lets an INSPECT handled on a shard thread
+  /// fill its own view synchronously — required so two concurrent
+  /// INSPECTs on different shards can never wait on each other.
+  static inline thread_local Shard* t_current = nullptr;
+
   void loop();
   void note_work(Conn& conn);
   void adopt_inbox();
@@ -271,7 +392,11 @@ struct QueryServer::Shard {
   bool finish_io(Conn& conn);
   void update_interest(Conn& conn);
   void account(Conn& conn);
-  void close_conn(Conn& conn);
+  void close_conn(Conn& conn, CloseReason reason);
+  void note_flight(Conn& conn, const RequestFlight& rf,
+                   std::string_view line, std::size_t bytes_out);
+  void commit_flights();
+  void publish_view();
 };
 
 void QueryServer::Shard::account(Conn& conn) {
@@ -284,7 +409,8 @@ void QueryServer::Shard::account(Conn& conn) {
   conn.accounted = current;
 }
 
-void QueryServer::Shard::close_conn(Conn& conn) {
+void QueryServer::Shard::close_conn(Conn& conn, CloseReason reason) {
+  srv->closed_counter(reason).add(1);
   idle_timers.cancel(&conn);
   write_timers.cancel(&conn);
   ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, conn.fd, nullptr);
@@ -308,6 +434,89 @@ void QueryServer::Shard::note_work(Conn& conn) {
   if (conn.work_pending) return;
   conn.work_pending = true;
   work_fds.push_back(conn.fd);
+}
+
+void QueryServer::Shard::note_flight(Conn& conn, const RequestFlight& rf,
+                                     std::string_view line,
+                                     std::size_t bytes_out) {
+  // All three stage stamps come out of handle_request's own timing — the
+  // recorder adds no clock reads of its own on the text path.
+  const auto engine_done = rf.done;
+  PendingFlight pf;
+  pf.rec.start_ns = elapsed_ns(srv->start_time_, conn.last_recv);
+  pf.rec.read_ns = elapsed_ns(conn.last_recv, rf.start);
+  pf.rec.parse_ns = elapsed_ns(rf.start, rf.parse_done);
+  pf.rec.engine_ns = elapsed_ns(rf.parse_done, engine_done);
+  pf.rec.bytes_in = line.size() + 1;
+  pf.rec.bytes_out = bytes_out;
+  pf.rec.epoch = rf.epoch;
+  pf.rec.verb = rf.verb;
+  pf.rec.status = rf.error ? 1 : 0;
+  pf.rec.fd = conn.fd;
+  pf.rec.peer_addr = conn.peer_addr;
+  pf.rec.peer_port = conn.peer_port;
+  pf.engine_done = engine_done;
+  // The write stage is still unknown, so the slow log's detail text is
+  // copied once the pre-write stages alone reach half the threshold — a
+  // request made slow purely by output-buffer wait keeps its record but
+  // loses the request text (documented in docs/OBSERVABILITY.md). Fast
+  // requests — the overwhelming majority — never pay the copy.
+  if (pf.rec.read_ns + pf.rec.parse_ns + pf.rec.engine_ns >=
+      recorder->slow_threshold_ns() / 2) {
+    pf.detail = std::string(line.substr(0, 128));
+  }
+  inflight.push_back(std::move(pf));
+}
+
+void QueryServer::Shard::commit_flights() {
+  if (inflight.empty()) return;
+  const auto now = steady_clock::now();
+  for (PendingFlight& pf : inflight) {
+    pf.rec.write_ns = elapsed_ns(pf.engine_done, now);
+    pf.rec.total_ns =
+        pf.rec.read_ns + pf.rec.parse_ns + pf.rec.engine_ns + pf.rec.write_ns;
+    recorder->record(pf.rec, pf.detail);
+  }
+  inflight.clear();
+}
+
+void QueryServer::Shard::publish_view() {
+  const auto now = steady_clock::now();
+  ShardView fresh;
+  fresh.conns.reserve(conns.size());
+  auto ms_until = [&](const Conn::Link& link) -> std::int64_t {
+    if (!link.armed) return -1;
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        link.deadline - now)
+                        .count();
+    return std::max<std::int64_t>(ms, 0);
+  };
+  for (const auto& [fd, conn] : conns) {
+    ConnView cv;
+    cv.fd = fd;
+    cv.peer_addr = conn->peer_addr;
+    cv.peer_port = conn->peer_port;
+    cv.age_ms = elapsed_ns(conn->opened, now) / 1'000'000;
+    cv.requests = conn->requests;
+    cv.inbuf_bytes = conn->avail();
+    cv.outbuf_bytes =
+        (conn->out_front.size() - conn->out_off) + conn->out_back.size();
+    cv.parked = conn->work_pending;
+    cv.closing = conn->closing;
+    cv.binary = conn->seen_binary;
+    cv.idle_deadline_ms = ms_until(conn->idle_link);
+    cv.write_deadline_ms = ms_until(conn->write_link);
+    fresh.conns.push_back(cv);
+  }
+  fresh.idle_timers = idle_timers.size();
+  fresh.write_timers = write_timers.size();
+  fresh.work_queue = work_fds.size();
+  {
+    std::lock_guard<std::mutex> lock(view_mu);
+    view = std::move(fresh);
+    ++view_seq;
+  }
+  view_cv.notify_all();
 }
 
 void QueryServer::Shard::update_interest(Conn& conn) {
@@ -373,7 +582,7 @@ bool QueryServer::Shard::flush(Conn& conn) {
 
 bool QueryServer::Shard::finish_io(Conn& conn) {
   if (!flush(conn)) {
-    close_conn(conn);
+    close_conn(conn, CloseReason::kPeer);
     return false;
   }
   // Backpressure: a peer that keeps pipelining requests without reading
@@ -385,14 +594,14 @@ bool QueryServer::Shard::finish_io(Conn& conn) {
         (conn.out_front.size() - conn.out_off) + conn.out_back.size();
     if (pending > cap) {
       srv->outbuf_overflow_.add(1);
-      close_conn(conn);
+      close_conn(conn, CloseReason::kOutbufOverflow);
       return false;
     }
   }
   if (!conn.has_output()) {
     write_timers.cancel(&conn);
     if (conn.closing) {
-      close_conn(conn);
+      close_conn(conn, conn.close_reason);
       return false;
     }
   } else if (srv->options_.io_timeout_ms > 0 && !conn.write_link.armed) {
@@ -426,6 +635,7 @@ bool QueryServer::Shard::process_frame(Conn& conn) {
     resp.status = wire::kTooLarge;
     wire::append_header(conn.out_back, resp);
     conn.closing = true;
+    conn.close_reason = CloseReason::kError;
     return true;
   }
   if (conn.avail() < wire::kHeaderSize + header.payload_len) {
@@ -434,6 +644,8 @@ bool QueryServer::Shard::process_frame(Conn& conn) {
   const char* payload = conn.in.data() + conn.in_off + wire::kHeaderSize;
   conn.in_off += wire::kHeaderSize + header.payload_len;
 
+  const bool recording = recorder != nullptr && recorder->enabled();
+  const std::size_t out_before = conn.out_back.size();
   const auto start = steady_clock::now();
   srv->requests_.add(1);
   srv->bin_frames_.add(1);
@@ -553,9 +765,35 @@ bool QueryServer::Shard::process_frame(Conn& conn) {
       break;
     }
   }
-  const auto elapsed = steady_clock::now() - start;
-  srv->latency_bin_.record(static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
+  const auto engine_done = steady_clock::now();
+  srv->latency_bin_.record(elapsed_ns(start, engine_done));
+  if (recording) {
+    PendingFlight pf;
+    pf.rec.start_ns = elapsed_ns(srv->start_time_, conn.last_recv);
+    pf.rec.read_ns = elapsed_ns(conn.last_recv, start);
+    // Frame decoding happens inline with dispatch; the binary path has no
+    // separate tokenize step, so "parse" is folded into "engine".
+    pf.rec.engine_ns = elapsed_ns(start, engine_done);
+    pf.rec.bytes_in = wire::kHeaderSize + header.payload_len;
+    pf.rec.bytes_out = conn.out_back.size() - out_before;
+    pf.rec.epoch = header.epoch;
+    pf.rec.verb = static_cast<std::uint8_t>(Verb::kBin);
+    pf.rec.status = resp.status == wire::kOk ? 0 : 1;
+    pf.rec.fd = conn.fd;
+    pf.rec.peer_addr = conn.peer_addr;
+    pf.rec.peer_port = conn.peer_port;
+    pf.engine_done = engine_done;
+    if (pf.rec.read_ns + pf.rec.engine_ns >=
+        recorder->slow_threshold_ns() / 2) {
+      char detail[64];
+      std::snprintf(detail, sizeof(detail), "BIN opcode=%u payload=%u",
+                    static_cast<unsigned>(header.opcode),
+                    static_cast<unsigned>(header.payload_len));
+      pf.detail = detail;
+    }
+    inflight.push_back(std::move(pf));
+  }
+  ++conn.requests;
   return true;
 }
 
@@ -585,14 +823,22 @@ bool QueryServer::Shard::process(Conn& conn) {
     conn.in_off = nl + 1;
     if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
     if (line.empty()) continue;
-    std::string response = srv->handle_request(line);
+    const bool recording = recorder != nullptr && recorder->enabled();
+    RequestFlight rf;
+    std::string response =
+        srv->handle_request(line, recording ? &rf : nullptr);
+    if (recording) {
+      note_flight(conn, rf, line, response.size() + 1);
+    }
     conn.out_back += response;
     conn.out_back += '\n';
+    ++conn.requests;
     ++handled;
     if (srv->stop_.load(std::memory_order_acquire)) {
       // SHUTDOWN (from this or any connection): answer what is in flight,
       // drop the rest of the pipeline, flush, close.
       conn.closing = true;
+      conn.close_reason = CloseReason::kDrain;
       return true;
     }
   }
@@ -600,6 +846,11 @@ bool QueryServer::Shard::process(Conn& conn) {
 
 void QueryServer::Shard::on_readable(Conn& conn) {
   if (conn.closing) return;
+  if (recorder != nullptr && recorder->enabled()) {
+    // Warm the next ring slot while the recv and the request's own work
+    // overlap the miss (see FlightRecorder::prefetch_next).
+    recorder->prefetch_next();
+  }
   ssize_t n;
   int injected = 0;
   if (fault::inject("serve.read", &injected)) {
@@ -612,22 +863,27 @@ void QueryServer::Shard::on_readable(Conn& conn) {
     return;  // level-triggered epoll re-reports anything still pending
   }
   if (n <= 0) {
-    close_conn(conn);  // peer closed or hard error
+    close_conn(conn, n == 0 ? CloseReason::kPeer : CloseReason::kError);
     return;
   }
   srv->bytes_read_.add(static_cast<std::uint64_t>(n));
   conn.in.append(chunk.data(), static_cast<std::size_t>(n));
+  conn.last_recv = steady_clock::now();
   if (srv->options_.idle_timeout_ms > 0) {
-    idle_timers.arm(&conn,
-                    steady_clock::now() + std::chrono::milliseconds(
-                                              srv->options_.idle_timeout_ms));
+    idle_timers.arm(&conn, conn.last_recv + std::chrono::milliseconds(
+                                                srv->options_.idle_timeout_ms));
   }
   if (!process(conn)) {
-    close_conn(conn);
+    close_conn(conn, CloseReason::kError);
+    commit_flights();
     return;
   }
   conn.compact();
   finish_io(conn);
+  // The flush attempt just happened: stamp the write stage of everything
+  // answered in this pass and hand the records to the recorder. Safe even
+  // if finish_io closed the connection — pending records are value copies.
+  commit_flights();
 }
 
 void QueryServer::Shard::expire_timers(steady_clock::time_point now) {
@@ -639,12 +895,13 @@ void QueryServer::Shard::expire_timers(steady_clock::time_point now) {
     // a corrupt frame, so it just gets the close.
     if (!conn->seen_binary) conn->out_back += "{\"error\":\"idle timeout\"}\n";
     conn->closing = true;
+    conn->close_reason = CloseReason::kIdleTimeout;
     finish_io(*conn);  // flushes + closes, or arms the write deadline
   }
   while (Conn* conn = write_timers.front()) {
     if (conn->write_link.deadline > now) break;
     srv->timeouts_.add(1);
-    close_conn(*conn);
+    close_conn(*conn, CloseReason::kWriteTimeout);
   }
 }
 
@@ -677,6 +934,16 @@ void QueryServer::Shard::adopt_inbox() {
   for (int fd : fds) {
     auto owned = std::make_unique<Conn>();
     owned->fd = fd;
+    owned->opened = steady_clock::now();
+    owned->last_recv = owned->opened;
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof(peer);
+    if (::getpeername(fd, reinterpret_cast<sockaddr*>(&peer), &peer_len) ==
+            0 &&
+        peer.sin_family == AF_INET) {
+      owned->peer_addr = ntohl(peer.sin_addr.s_addr);
+      owned->peer_port = ntohs(peer.sin_port);
+    }
     Conn* conn = owned.get();
     conns.emplace(fd, std::move(owned));
     if (conn_gauge != nullptr) conn_gauge->add(1);
@@ -684,7 +951,7 @@ void QueryServer::Shard::adopt_inbox() {
     ev.events = EPOLLIN;
     ev.data.fd = fd;
     if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
-      close_conn(*conn);
+      close_conn(*conn, CloseReason::kError);
       continue;
     }
     conn->armed_events = EPOLLIN;
@@ -710,6 +977,7 @@ void QueryServer::Shard::apply_drain(bool force) {
       // Pending responses flush first; the write deadline (or force at the
       // drain deadline) bounds how long a non-reading peer can hold us.
       conn->closing = true;
+      conn->close_reason = CloseReason::kDrain;
       idle_timers.cancel(conn.get());
       if (srv->options_.io_timeout_ms > 0 && !conn->write_link.armed) {
         write_timers.arm(conn.get(),
@@ -720,10 +988,11 @@ void QueryServer::Shard::apply_drain(bool force) {
       update_interest(*conn);
     }
   }
-  for (Conn* conn : doomed) close_conn(*conn);
+  for (Conn* conn : doomed) close_conn(*conn, CloseReason::kDrain);
 }
 
 void QueryServer::Shard::loop() {
+  t_current = this;
   std::vector<epoll_event> events(128);
   for (;;) {
     const bool draining = srv->drain_.load(std::memory_order_acquire) ||
@@ -766,7 +1035,7 @@ void QueryServer::Shard::loop() {
       if (it == conns.end()) continue;  // closed earlier in this batch
       Conn& conn = *it->second;
       if (ev.events & (EPOLLERR | EPOLLHUP)) {
-        close_conn(conn);
+        close_conn(conn, CloseReason::kError);
         continue;
       }
       if ((ev.events & EPOLLOUT) != 0 && !finish_io(conn)) continue;
@@ -783,12 +1052,17 @@ void QueryServer::Shard::loop() {
         Conn& conn = *it->second;
         conn.work_pending = false;
         if (!process(conn)) {
-          close_conn(conn);
+          close_conn(conn, CloseReason::kError);
+          commit_flights();
           continue;
         }
         conn.compact();
         finish_io(conn);
+        commit_flights();
       }
+    }
+    if (view_wanted.exchange(false, std::memory_order_acq_rel)) {
+      publish_view();
     }
     expire_timers(steady_clock::now());
   }
@@ -857,7 +1131,23 @@ QueryServer::QueryServer(std::shared_ptr<const EngineState> engine,
       latency_history_(registry_.histogram(
           obs::labeled("sublet_serve_latency_ns", "verb", "history"))),
       latency_other_(registry_.histogram(
-          obs::labeled("sublet_serve_latency_ns", "verb", "other"))) {}
+          obs::labeled("sublet_serve_latency_ns", "verb", "other"))),
+      closed_idle_(registry_.counter(
+          obs::labeled("sublet_serve_conn_closed_total", "reason",
+                       "idle_timeout"),
+          "Connections closed, by reason")),
+      closed_write_(registry_.counter(obs::labeled(
+          "sublet_serve_conn_closed_total", "reason", "write_timeout"))),
+      closed_overflow_(registry_.counter(obs::labeled(
+          "sublet_serve_conn_closed_total", "reason", "outbuf_overflow"))),
+      closed_shed_(registry_.counter(
+          obs::labeled("sublet_serve_conn_closed_total", "reason", "shed"))),
+      closed_drain_(registry_.counter(
+          obs::labeled("sublet_serve_conn_closed_total", "reason", "drain"))),
+      closed_peer_(registry_.counter(
+          obs::labeled("sublet_serve_conn_closed_total", "reason", "peer"))),
+      closed_error_(registry_.counter(
+          obs::labeled("sublet_serve_conn_closed_total", "reason", "error"))) {}
 
 QueryServer::QueryServer(std::shared_ptr<EpochSource> source,
                          std::shared_ptr<const EngineState> initial,
@@ -884,6 +1174,30 @@ obs::Histogram& QueryServer::verb_histogram(Verb verb) {
     case Verb::kOther: break;
   }
   return latency_other_;
+}
+
+obs::Counter& QueryServer::closed_counter(CloseReason reason) {
+  switch (reason) {
+    case CloseReason::kIdleTimeout: return closed_idle_;
+    case CloseReason::kWriteTimeout: return closed_write_;
+    case CloseReason::kOutbufOverflow: return closed_overflow_;
+    case CloseReason::kShed: return closed_shed_;
+    case CloseReason::kDrain: return closed_drain_;
+    case CloseReason::kPeer: return closed_peer_;
+    case CloseReason::kError: break;
+  }
+  return closed_error_;
+}
+
+void QueryServer::set_flight_recording(bool on) {
+  flight_enabled_.store(on, std::memory_order_release);
+  for (auto& shard : shards_) {
+    if (shard->recorder != nullptr) shard->recorder->set_enabled(on);
+  }
+}
+
+bool QueryServer::flight_recording() const {
+  return flight_enabled_.load(std::memory_order_acquire);
 }
 
 Expected<std::shared_ptr<const EngineState>> QueryServer::engine_for(
@@ -969,8 +1283,17 @@ Expected<std::uint16_t> QueryServer::start() {
         obs::labeled("sublet_serve_shard_connections", "shard",
                      std::to_string(i)),
         "Open connections owned by this event-loop shard");
+    if (options_.flight_ring > 0) {
+      obs::FlightRecorder::Options recorder_options;
+      recorder_options.ring_capacity = options_.flight_ring;
+      recorder_options.slow_capacity = options_.slow_log;
+      recorder_options.slow_threshold_ns = options_.slow_threshold_us * 1000;
+      shard->recorder =
+          std::make_unique<obs::FlightRecorder>(recorder_options);
+    }
     shards_.push_back(std::move(shard));
   }
+  flight_enabled_.store(options_.flight_ring > 0, std::memory_order_release);
   for (auto& shard : shards_) {
     Shard* raw = shard.get();
     shard->thread = std::thread([raw] { raw->loop(); });
@@ -1033,7 +1356,8 @@ void QueryServer::accept_loop() {
       // Shed instead of queueing unboundedly: one line, then close. The
       // fd stays blocking here — it never reaches a shard.
       live_conns_.fetch_sub(1, std::memory_order_acq_rel);
-      shed_.add(1);
+      shed_.add(1);  // legacy name; the labeled family is the new home
+      closed_shed_.add(1);
       send_with_deadline(fd, "{\"error\":\"overloaded\"}\n");
       ::close(fd);
       continue;
@@ -1252,13 +1576,162 @@ std::string QueryServer::health_json() const {
   return json.take();
 }
 
+std::string QueryServer::inspect_json() {
+  // Ask every shard thread for a fresh view of its connection table. A
+  // shard fills its own view synchronously when INSPECT arrived on its
+  // event loop (t_loop_shard) — otherwise two concurrent INSPECTs on
+  // different shards would each wait for the other's thread, which is
+  // busy waiting for them. Remote shards answer at their next event-loop
+  // pass; one that misses the shared deadline yields its last published
+  // view marked "stale" instead of wedging the INSPECT.
+  struct Pending {
+    Shard* shard = nullptr;
+    std::uint64_t seq0 = 0;
+    bool own = false;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    Pending p;
+    p.shard = shard.get();
+    p.own = Shard::t_current == shard.get();
+    if (p.own) {
+      shard->publish_view();
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(shard->view_mu);
+        p.seq0 = shard->view_seq;
+      }
+      shard->view_wanted.store(true, std::memory_order_release);
+      if (shard->event_fd >= 0) {
+        std::uint64_t one = 1;
+        [[maybe_unused]] ssize_t rc =
+            ::write(shard->event_fd, &one, sizeof(one));
+      }
+    }
+    pending.push_back(p);
+  }
+  const auto view_deadline =
+      steady_clock::now() + std::chrono::milliseconds(250);
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("ok").value(true);
+  json.key("generation").value(engine()->generation());
+  json.key("shard_count").value(static_cast<std::uint64_t>(shard_count_));
+  json.key("active_conns").value(
+      static_cast<std::uint64_t>(active_connections()));
+  json.key("recorder").begin_object();
+  json.key("enabled").value(flight_recording());
+  json.key("ring_capacity").value(
+      static_cast<std::uint64_t>(options_.flight_ring));
+  json.key("slow_log_capacity").value(
+      static_cast<std::uint64_t>(options_.slow_log));
+  json.key("slow_threshold_us").value(options_.slow_threshold_us);
+  json.end_object();
+  json.begin_array("shards");
+  for (Pending& p : pending) {
+    Shard& shard = *p.shard;
+    Shard::ShardView snapshot;
+    bool stale = false;
+    {
+      std::unique_lock<std::mutex> lock(shard.view_mu);
+      if (!p.own) {
+        stale = !shard.view_cv.wait_until(
+            lock, view_deadline, [&] { return shard.view_seq > p.seq0; });
+      }
+      snapshot = shard.view;
+    }
+    json.begin_object();
+    json.key("shard").value(static_cast<std::uint64_t>(shard.index));
+    json.key("stale").value(stale);
+    json.begin_array("connections");
+    for (const Shard::ConnView& cv : snapshot.conns) {
+      json.begin_object();
+      json.key("fd").value(static_cast<std::uint64_t>(
+          cv.fd < 0 ? 0 : static_cast<std::uint32_t>(cv.fd)));
+      char peer[32];
+      std::snprintf(peer, sizeof(peer), "%u.%u.%u.%u:%u",
+                    (cv.peer_addr >> 24) & 0xFF, (cv.peer_addr >> 16) & 0xFF,
+                    (cv.peer_addr >> 8) & 0xFF, cv.peer_addr & 0xFF,
+                    cv.peer_port);
+      json.key("peer").value(peer);
+      json.key("age_ms").value(cv.age_ms);
+      json.key("requests").value(cv.requests);
+      json.key("inbuf_bytes").value(cv.inbuf_bytes);
+      json.key("outbuf_bytes").value(cv.outbuf_bytes);
+      json.key("parked").value(cv.parked);
+      json.key("closing").value(cv.closing);
+      json.key("binary").value(cv.binary);
+      json.key("idle_deadline_ms")
+          .raw_value(std::to_string(cv.idle_deadline_ms));
+      json.key("write_deadline_ms")
+          .raw_value(std::to_string(cv.write_deadline_ms));
+      json.end_object();
+    }
+    json.end_array();
+    json.key("timers").begin_object();
+    json.key("idle").value(static_cast<std::uint64_t>(snapshot.idle_timers));
+    json.key("write").value(static_cast<std::uint64_t>(snapshot.write_timers));
+    json.end_object();
+    json.key("work_queue").value(
+        static_cast<std::uint64_t>(snapshot.work_queue));
+    // The recorder structures are safe to read from this thread: the ring
+    // is a seqlock, the slow log takes its own mutex.
+    if (shard.recorder != nullptr) {
+      json.key("recorded").value(shard.recorder->recorded());
+      json.begin_array("ring_tail");
+      for (const obs::FlightRecord& rec : shard.recorder->tail(32)) {
+        flight_record_json(json, rec);
+      }
+      json.end_array();
+      json.begin_array("slow_requests");
+      for (const obs::SlowFlight& slow : shard.recorder->slow_log()) {
+        flight_record_json(json, slow.record, &slow.detail);
+      }
+      json.end_array();
+      json.begin_array("exemplars");
+      for (const obs::FlightExemplar& ex : shard.recorder->exemplars()) {
+        json.begin_object();
+        json.key("le_ns").value(ex.le_ns);
+        json.key("seq").value(ex.seq);
+        json.key("total_us").value(static_cast<double>(ex.total_ns) / 1e3);
+        json.end_object();
+      }
+      json.end_array();
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.take();
+}
+
 std::string QueryServer::handle_request(std::string_view line) {
+  return handle_request(line, nullptr);
+}
+
+std::string QueryServer::handle_request(std::string_view line,
+                                        RequestFlight* flight) {
   const auto start = std::chrono::steady_clock::now();
   requests_.add(1);
   Verb verb_class = Verb::kOther;
   std::string response;
   std::vector<std::string_view> parts = split_ws(line);
   const std::string_view verb = parts.empty() ? std::string_view() : parts[0];
+  // Tokenization is done; everything from here to the response is the
+  // engine stage of the flight-recorder breakdown.
+  if (flight != nullptr) {
+    flight->start = start;
+    flight->parse_done = std::chrono::steady_clock::now();
+  }
+  // Test hook: `SUBLET_FAULTS=serve.engine_delay=<ms>` stretches the
+  // engine stage so the slow-request log and INSPECT output can be
+  // exercised deterministically (the numeric "errno" carries the delay).
+  int delay_ms = 0;
+  if (fault::inject("serve.engine_delay", &delay_ms) && delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
   auto parse_query = [](std::string_view text) -> std::optional<Prefix> {
     if (auto prefix = Prefix::parse(text, /*canonicalize=*/true)) {
       return prefix;
@@ -1303,6 +1776,8 @@ std::string QueryServer::handle_request(std::string_view line) {
     response = metrics_text();
   } else if (iequals(verb, "HEALTH") && parts.size() == 1) {
     response = health_json();
+  } else if (iequals(verb, "INSPECT") && parts.size() == 1) {
+    response = inspect_json();
   } else if (iequals(verb, "RELOAD") &&
              (catalog_mode() ? parts.size() == 1 : parts.size() == 2)) {
     // Single-snapshot mode reloads from an explicit path; catalog mode
@@ -1417,6 +1892,7 @@ std::string QueryServer::handle_request(std::string_view line) {
     } else {
       // One shared_ptr acquire per request: a concurrent RELOAD swap can
       // retire the old state only after this request drops its reference.
+      if (flight != nullptr && at_query) flight->epoch = *at;
       auto resolved = engine_for(at_query ? *at : 0);
       if (!resolved) {
         malformed_.add(1);
@@ -1469,14 +1945,19 @@ std::string QueryServer::handle_request(std::string_view line) {
     malformed_.add(1);
     response = error_json(
         "unknown request '" + std::string(verb) +
-        "' (want EXACT|LPM|MLPM|STATS|HEALTH|METRICS|RELOAD|SHUTDOWN|"
-        "HISTORY, EXACT/LPM accept a trailing AT <epoch-ts>)");
+        "' (want EXACT|LPM|MLPM|STATS|HEALTH|METRICS|INSPECT|RELOAD|"
+        "SHUTDOWN|HISTORY, EXACT/LPM accept a trailing AT <epoch-ts>)");
   }
-  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const auto done = std::chrono::steady_clock::now();
   verb_histogram(verb_class)
       .record(static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+          std::chrono::duration_cast<std::chrono::nanoseconds>(done - start)
               .count()));
+  if (flight != nullptr) {
+    flight->done = done;
+    flight->verb = static_cast<std::uint8_t>(verb_class);
+    flight->error = response.rfind("{\"error\"", 0) == 0;
+  }
   return response;
 }
 
@@ -1561,6 +2042,7 @@ void QueryServer::stop() {
     std::lock_guard<std::mutex> lock(shard->inbox_mu);
     for (int fd : shard->inbox) {
       ::close(fd);
+      closed_drain_.add(1);
       live_conns_.fetch_sub(1, std::memory_order_acq_rel);
     }
     shard->inbox.clear();

@@ -115,6 +115,14 @@ class QueryServer {
     std::size_t max_history_epochs = 64;
     /// Snapshot load mode used by RELOAD.
     snapshot::Snapshot::Mode reload_mode = snapshot::Snapshot::Mode::kMap;
+    /// Flight recorder (docs/OBSERVABILITY.md): per-shard ring of recent
+    /// request records with a read→parse→engine→write stage breakdown,
+    /// dumped by the INSPECT verb. 0 disables recording entirely.
+    std::size_t flight_ring = 256;
+    /// Worst requests kept per shard with full detail (the slow log).
+    std::size_t slow_log = 16;
+    /// A request slower than this end-to-end enters the slow log.
+    std::uint64_t slow_threshold_us = 1000;
   };
 
   QueryServer(std::shared_ptr<const EngineState> engine, Options options);
@@ -184,6 +192,21 @@ class QueryServer {
   /// socket; counters are updated exactly as for a network request.
   std::string handle_request(std::string_view line);
 
+  /// One-line JSON for the INSPECT verb (docs/OBSERVABILITY.md): per
+  /// shard, the live connection table (fd age, buffered bytes, parked
+  /// flag, deadline arm state), timer-list depths, the flight-recorder
+  /// ring tail, the slow-request log, and latency exemplars. Shard
+  /// views are captured by the owning event-loop threads (requested via
+  /// their eventfds); a shard that does not respond within the bounded
+  /// wait is reported with "stale": true. Also usable without a socket
+  /// (the shard array is simply empty before start()).
+  std::string inspect_json();
+
+  /// Toggle per-request flight recording on every shard (the overhead
+  /// bench's knob; recording defaults to Options::flight_ring > 0).
+  void set_flight_recording(bool on);
+  bool flight_recording() const;
+
   /// Prometheus text exposition for the METRICS verb: the process-global
   /// registry (pipeline, snapshot, trie families) followed by this server's
   /// own registry, terminated by a "# EOF" line so clients reading the
@@ -225,6 +248,35 @@ class QueryServer {
 
   enum class Verb { kExact, kLpm, kMlpm, kBin, kAt, kHistory, kOther };
   obs::Histogram& verb_histogram(Verb verb);
+
+  /// Why an accepted connection ended — one label value each in the
+  /// sublet_serve_conn_closed_total counter family. The legacy scattered
+  /// counters (timeouts, outbuf_overflow, shed) stay incremented as
+  /// aliases for one release (docs/OBSERVABILITY.md).
+  enum class CloseReason {
+    kIdleTimeout,
+    kWriteTimeout,
+    kOutbufOverflow,
+    kShed,
+    kDrain,
+    kPeer,
+    kError,
+  };
+  obs::Counter& closed_counter(CloseReason reason);
+
+  /// Per-request stage info handed back by handle_request() to the shard
+  /// that is building a flight record for the request.
+  struct RequestFlight {
+    /// Stamps reused from handle_request's own histogram timing, so
+    /// recording adds no extra clock reads for dispatch/engine-done.
+    std::chrono::steady_clock::time_point start{};
+    std::chrono::steady_clock::time_point parse_done{};
+    std::chrono::steady_clock::time_point done{};
+    std::uint32_t epoch = 0;  ///< catalog epoch answered (AT queries)
+    std::uint8_t verb = 0;    ///< Verb, as stored in FlightRecords
+    bool error = false;       ///< response was an {"error": ...} line
+  };
+  std::string handle_request(std::string_view line, RequestFlight* flight);
 
   /// Refresh the catalog (RELOAD in catalog mode) and swap in the new
   /// latest epoch. Returns its generation.
@@ -287,6 +339,17 @@ class QueryServer {
   obs::Histogram& latency_at_;
   obs::Histogram& latency_history_;
   obs::Histogram& latency_other_;
+  // Labeled close-accounting family (CloseReason order; see
+  // closed_counter()).
+  obs::Counter& closed_idle_;
+  obs::Counter& closed_write_;
+  obs::Counter& closed_overflow_;
+  obs::Counter& closed_shed_;
+  obs::Counter& closed_drain_;
+  obs::Counter& closed_peer_;
+  obs::Counter& closed_error_;
+
+  std::atomic<bool> flight_enabled_{false};
 };
 
 }  // namespace sublet::serve

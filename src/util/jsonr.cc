@@ -1,0 +1,280 @@
+#include "util/jsonr.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace sublet {
+
+namespace {
+
+const JsonValue& null_value() {
+  static const JsonValue* kNull = new JsonValue();
+  return *kNull;
+}
+
+const std::vector<JsonValue>& empty_array() {
+  static const auto* kEmpty = new std::vector<JsonValue>();
+  return *kEmpty;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& empty_object() {
+  static const auto* kEmpty =
+      new std::vector<std::pair<std::string, JsonValue>>();
+  return *kEmpty;
+}
+
+const std::string& empty_string() {
+  static const std::string* kEmpty = new std::string();
+  return *kEmpty;
+}
+
+}  // namespace
+
+struct JsonValue::Parser {
+  std::string_view text;
+  std::size_t at = 0;
+  int depth = 0;
+  static constexpr int kMaxDepth = 64;
+
+  bool done() const { return at >= text.size(); }
+  char peek() const { return text[at]; }
+
+  void skip_ws() {
+    while (!done() && (text[at] == ' ' || text[at] == '\t' ||
+                       text[at] == '\n' || text[at] == '\r')) {
+      ++at;
+    }
+  }
+
+  bool consume(char c) {
+    if (done() || text[at] != c) return false;
+    ++at;
+    return true;
+  }
+
+  Expected<JsonValue> error(std::string_view what) const {
+    return fail("json parse error at byte " + std::to_string(at) + ": " +
+                std::string(what));
+  }
+
+  Expected<std::string> parse_string() {
+    if (!consume('"')) {
+      return fail("json parse error at byte " + std::to_string(at) +
+                  ": expected string");
+    }
+    std::string out;
+    while (!done()) {
+      char c = text[at++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) break;  // raw control byte
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (done()) break;
+      char esc = text[at++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (at + 4 > text.size()) {
+            return fail("json parse error: truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text[at++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("json parse error: bad \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs — absent
+          // from our own emitter's output — decode as two 3-byte units).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return fail("json parse error: bad escape");
+      }
+    }
+    return fail("json parse error: unterminated string");
+  }
+
+  Expected<JsonValue> parse_value() {
+    skip_ws();
+    if (done()) return error("unexpected end of input");
+    if (++depth > kMaxDepth) return error("nesting too deep");
+    struct DepthGuard {
+      int& d;
+      ~DepthGuard() { --d; }
+    } guard{depth};
+    JsonValue v;
+    const char c = peek();
+    if (c == '{') {
+      ++at;
+      v.type_ = Type::kObject;
+      skip_ws();
+      if (consume('}')) return v;
+      for (;;) {
+        skip_ws();
+        auto key = parse_string();
+        if (!key) return key.error();
+        skip_ws();
+        if (!consume(':')) return error("expected ':'");
+        auto member = parse_value();
+        if (!member) return member.error();
+        v.object_.emplace_back(std::move(*key), std::move(*member));
+        skip_ws();
+        if (consume(',')) continue;
+        if (consume('}')) return v;
+        return error("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++at;
+      v.type_ = Type::kArray;
+      skip_ws();
+      if (consume(']')) return v;
+      for (;;) {
+        auto item = parse_value();
+        if (!item) return item.error();
+        v.array_.push_back(std::move(*item));
+        skip_ws();
+        if (consume(',')) continue;
+        if (consume(']')) return v;
+        return error("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      auto s = parse_string();
+      if (!s) return s.error();
+      v.type_ = Type::kString;
+      v.string_ = std::move(*s);
+      return v;
+    }
+    if (text.compare(at, 4, "true") == 0) {
+      at += 4;
+      v.type_ = Type::kBool;
+      v.bool_ = true;
+      return v;
+    }
+    if (text.compare(at, 5, "false") == 0) {
+      at += 5;
+      v.type_ = Type::kBool;
+      return v;
+    }
+    if (text.compare(at, 4, "null") == 0) {
+      at += 4;
+      return v;
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      const std::size_t start = at;
+      if (consume('-')) {}
+      while (!done() && peek() >= '0' && peek() <= '9') ++at;
+      if (consume('.')) {
+        while (!done() && peek() >= '0' && peek() <= '9') ++at;
+      }
+      if (!done() && (peek() == 'e' || peek() == 'E')) {
+        ++at;
+        if (!done() && (peek() == '+' || peek() == '-')) ++at;
+        while (!done() && peek() >= '0' && peek() <= '9') ++at;
+      }
+      const std::string token(text.substr(start, at - start));
+      char* end = nullptr;
+      const double parsed = std::strtod(token.c_str(), &end);
+      if (end == token.c_str() || !std::isfinite(parsed)) {
+        return error("bad number");
+      }
+      v.type_ = Type::kNumber;
+      v.number_ = parsed;
+      return v;
+    }
+    return error("unexpected character");
+  }
+};
+
+Expected<JsonValue> JsonValue::parse(std::string_view text) {
+  Parser parser{text};
+  auto value = parser.parse_value();
+  if (!value) return value;
+  parser.skip_ws();
+  if (!parser.done()) return parser.error("trailing content");
+  return value;
+}
+
+const JsonValue& JsonValue::operator[](std::string_view key) const {
+  if (type_ == Type::kObject) {
+    for (const auto& [k, v] : object_) {
+      if (k == key) return v;
+    }
+  }
+  return null_value();
+}
+
+const JsonValue& JsonValue::operator[](std::size_t index) const {
+  if (type_ == Type::kArray && index < array_.size()) return array_[index];
+  return null_value();
+}
+
+bool JsonValue::has(std::string_view key) const {
+  if (type_ != Type::kObject) return false;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+std::size_t JsonValue::size() const {
+  if (type_ == Type::kArray) return array_.size();
+  if (type_ == Type::kObject) return object_.size();
+  return 0;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  return type_ == Type::kArray ? array_ : empty_array();
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  return type_ == Type::kObject ? object_ : empty_object();
+}
+
+double JsonValue::as_double(double fallback) const {
+  return type_ == Type::kNumber ? number_ : fallback;
+}
+
+std::uint64_t JsonValue::as_u64(std::uint64_t fallback) const {
+  if (type_ != Type::kNumber || number_ < 0) return fallback;
+  return static_cast<std::uint64_t>(number_);
+}
+
+std::int64_t JsonValue::as_i64(std::int64_t fallback) const {
+  if (type_ != Type::kNumber) return fallback;
+  return static_cast<std::int64_t>(number_);
+}
+
+bool JsonValue::as_bool(bool fallback) const {
+  return type_ == Type::kBool ? bool_ : fallback;
+}
+
+const std::string& JsonValue::as_string() const {
+  return type_ == Type::kString ? string_ : empty_string();
+}
+
+}  // namespace sublet

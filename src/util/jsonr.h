@@ -1,0 +1,82 @@
+// Minimal JSON reader (the write side lives in util/jsonw.h).
+//
+// The codebase emits JSON everywhere but only three consumers need to
+// read it back — `sublet top` (rendering INSPECT dumps), the soak
+// harness (embedding slow-request evidence in failed-SLO reports), and
+// the INSPECT wire tests — so this is a small recursive-descent parser
+// producing an immutable value tree, not a streaming API or a DOM with
+// editing. Strict enough for our own output (RFC 8259 escapes, nesting
+// depth capped), tolerant of nothing else.
+//
+//   auto doc = JsonValue::parse(text);
+//   if (!doc) ...;
+//   for (const JsonValue& shard : (*doc)["shards"].items()) {
+//     std::uint64_t fd = shard["connections"][0]["fd"].as_u64();
+//   }
+//
+// Lookup never fails: a missing key / out-of-range index / wrong-type
+// access returns a null value (as_* then yields the fallback), so render
+// code can chain accessors without checking at every step.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/expected.h"
+
+namespace sublet {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  /// Parse one complete JSON document; trailing non-whitespace is an
+  /// error. Nesting past 64 levels is rejected (stack safety).
+  static Expected<JsonValue> parse(std::string_view text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_bool() const { return type_ == Type::kBool; }
+
+  /// Object member by key; null value if not an object / key absent.
+  const JsonValue& operator[](std::string_view key) const;
+  /// Array element by index; null value if not an array / out of range.
+  const JsonValue& operator[](std::size_t index) const;
+  /// True when this is an object containing `key`.
+  bool has(std::string_view key) const;
+
+  std::size_t size() const;  ///< array/object element count, else 0
+
+  /// Array elements (empty for non-arrays) — `for (auto& v : x.items())`.
+  const std::vector<JsonValue>& items() const;
+  /// Object members in document order (empty for non-objects).
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  double as_double(double fallback = 0.0) const;
+  std::uint64_t as_u64(std::uint64_t fallback = 0) const;
+  std::int64_t as_i64(std::int64_t fallback = 0) const;
+  bool as_bool(bool fallback = false) const;
+  const std::string& as_string() const;  ///< empty for non-strings
+
+ private:
+  struct Parser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+}  // namespace sublet

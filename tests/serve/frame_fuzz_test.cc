@@ -382,6 +382,47 @@ TEST_F(FrameFuzz, NonzeroEpochWithoutCatalogSurvivesWithBadEpochStatus) {
   EXPECT_EQ(echoed.request_id, 52u);
 }
 
+TEST_F(FrameFuzz, InspectOnABinarySpeakingConnectionIsNotMisrouted) {
+  // The dual-protocol sniff is per request, not per connection: a peer
+  // that has already spoken binary frames can still issue the text
+  // INSPECT verb (first byte 'I' != 0xB5) and must get the JSON dump —
+  // not a bad-magic close — and the stream must stay framed for binary
+  // traffic afterwards.
+  auto conn = RawConn::open(port_);
+  ASSERT_TRUE(conn);
+  ASSERT_TRUE(conn->send_all(lpm_frame(71, {(10u << 24) | (1u << 8)})));
+  std::string bin;
+  ASSERT_TRUE(conn->read_exact(
+      bin, wire::kHeaderSize + wire::kResultSize, 5000));
+  wire::FrameHeader echoed;
+  ASSERT_TRUE(wire::decode_header(bin.data(), echoed));
+  EXPECT_EQ(echoed.status, wire::kOk);
+
+  ASSERT_TRUE(conn->send_all("INSPECT\n"));
+  std::string line;
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (line.find('\n') == std::string::npos &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::string chunk;
+    if (!conn->read_exact(chunk, 1, 1000)) break;
+    line += chunk;
+  }
+  ASSERT_NE(line.find('\n'), std::string::npos) << "got: " << line;
+  EXPECT_EQ(line.rfind("{\"ok\":true", 0), 0u) << line;
+  // The connection-table row for this very connection is flagged binary.
+  EXPECT_NE(line.find("\"binary\":true"), std::string::npos) << line;
+
+  // And binary frames still answer on the same connection.
+  ASSERT_TRUE(conn->send_all(lpm_frame(72, {(10u << 24) | (2u << 8)})));
+  std::string ok;
+  ASSERT_TRUE(conn->read_exact(
+      ok, wire::kHeaderSize + wire::kResultSize, 5000));
+  ASSERT_TRUE(wire::decode_header(ok.data(), echoed));
+  EXPECT_EQ(echoed.status, wire::kOk);
+  EXPECT_EQ(echoed.request_id, 72u);
+}
+
 TEST_F(FrameFuzz, EpochFieldIsIgnoredForMalformedFrames) {
   // A ragged payload with a nonzero epoch: frame validation wins, the
   // error status is kBadFrame (not kBadEpoch), connection survives.

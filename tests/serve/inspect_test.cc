@@ -1,0 +1,217 @@
+// INSPECT wire tests (docs/SERVING.md): the verb answers one JSON line
+// whose shape `sublet top` and the soak harness parse back, carries live
+// connection-table rows for the inspecting client itself, and its slow
+// log populates when the engine is slowed via the `serve.engine_delay`
+// fault site.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/engine_state.h"
+#include "serve/server.h"
+#include "snapshot/writer.h"
+#include "util/faultinject.h"
+#include "util/jsonr.h"
+
+namespace sublet::serve {
+namespace {
+
+using leasing::InferenceGroup;
+using leasing::LeaseInference;
+
+std::shared_ptr<const EngineState> memory_state() {
+  std::vector<LeaseInference> records;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    LeaseInference r;
+    r.prefix = *Prefix::make(Ipv4Addr((10u << 24) | (i << 8)), 24);
+    r.root_prefix = *Prefix::parse("10.0.0.0/8");
+    r.rir = whois::Rir::kRipe;
+    r.group = InferenceGroup::kLeasedWithRoot;
+    r.holder_org = "ORG";
+    r.holder_asns = {Asn(64512)};
+    r.netname = "NET-" + std::to_string(i);
+    records.push_back(std::move(r));
+  }
+  auto loaded =
+      snapshot::Snapshot::from_bytes(snapshot::encode_snapshot(records));
+  EXPECT_TRUE(loaded) << loaded.error().to_string();
+  auto state = EngineState::adopt(
+      std::make_unique<snapshot::Snapshot>(std::move(*loaded)), "<memory>");
+  EXPECT_TRUE(state) << state.error().to_string();
+  return *state;
+}
+
+/// Start a server, run `warmup` text requests on one connection, then
+/// INSPECT on that same connection and parse the reply.
+struct InspectRig {
+  explicit InspectRig(QueryServer::Options options = {.port = 0,
+                                                      .shards = 2}) {
+    server = std::make_unique<QueryServer>(memory_state(), options);
+    auto port = server->start();
+    EXPECT_TRUE(port) << port.error().to_string();
+    auto connected = QueryClient::connect("127.0.0.1", *port);
+    EXPECT_TRUE(connected) << connected.error().to_string();
+    client = std::make_unique<QueryClient>(std::move(*connected));
+  }
+
+  ~InspectRig() { server->stop(); }
+
+  JsonValue inspect() {
+    auto line = client->request("INSPECT");
+    EXPECT_TRUE(line) << line.error().to_string();
+    auto doc = JsonValue::parse(*line);
+    EXPECT_TRUE(doc) << doc.error().to_string();
+    return doc ? std::move(*doc) : JsonValue();
+  }
+
+  std::unique_ptr<QueryServer> server;
+  std::unique_ptr<QueryClient> client;
+};
+
+TEST(Inspect, WireShapeAndLiveConnectionRow) {
+  InspectRig rig;
+  ASSERT_TRUE(rig.client->request("LPM 10.0.1.5"));
+  ASSERT_TRUE(rig.client->request("EXACT 10.0.2.0/24"));
+  JsonValue doc = rig.inspect();
+
+  EXPECT_TRUE(doc["ok"].as_bool());
+  EXPECT_EQ(doc["shard_count"].as_u64(), 2u);
+  ASSERT_EQ(doc["shards"].size(), 2u);
+  EXPECT_GE(doc["active_conns"].as_u64(), 1u);
+
+  // Recorder config echoes the server options (defaults here).
+  EXPECT_TRUE(doc["recorder"]["enabled"].as_bool());
+  EXPECT_GT(doc["recorder"]["ring_capacity"].as_u64(), 0u);
+  EXPECT_GT(doc["recorder"]["slow_log_capacity"].as_u64(), 0u);
+  EXPECT_GT(doc["recorder"]["slow_threshold_us"].as_u64(), 0u);
+
+  // Exactly one client connection is open: its row must appear on the
+  // shard that owns it, alive (not closing), in text mode, with its idle
+  // timer armed.
+  int conn_rows = 0;
+  for (const JsonValue& shard : doc["shards"].items()) {
+    EXPECT_FALSE(shard["stale"].as_bool());
+    for (const JsonValue& conn : shard["connections"].items()) {
+      ++conn_rows;
+      EXPECT_EQ(conn["peer"].as_string().rfind("127.0.0.1:", 0), 0u)
+          << conn["peer"].as_string();
+      EXPECT_GT(conn["fd"].as_u64(), 0u);
+      EXPECT_GE(conn["requests"].as_u64(), 2u);
+      EXPECT_FALSE(conn["closing"].as_bool());
+      EXPECT_FALSE(conn["binary"].as_bool());
+      EXPECT_GE(conn["idle_deadline_ms"].as_i64(), 0);
+      EXPECT_EQ(conn["write_deadline_ms"].as_i64(), -1);  // not armed
+      EXPECT_GE(shard["timers"]["idle"].as_u64(), 1u);
+    }
+  }
+  EXPECT_EQ(conn_rows, 1);
+}
+
+TEST(Inspect, RingTailAndExemplarsRecordServedRequests) {
+  InspectRig rig;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(rig.client->request("LPM 10.0.1.5"));
+  }
+  JsonValue doc = rig.inspect();
+
+  // One connection serves every request, so exactly one shard recorded
+  // them all; the others stay at zero.
+  std::uint64_t recorded = 0;
+  std::size_t tail_len = 0;
+  bool saw_lpm = false;
+  std::uint64_t exemplar_count = 0;
+  for (const JsonValue& shard : doc["shards"].items()) {
+    recorded += shard["recorded"].as_u64();
+    for (const JsonValue& rec : shard["ring_tail"].items()) {
+      ++tail_len;
+      EXPECT_GT(rec["seq"].as_u64(), 0u);
+      if (rec["verb"].as_string() == "lpm") saw_lpm = true;
+      EXPECT_EQ(rec["status"].as_string(), "ok");
+    }
+    for (const JsonValue& ex : shard["exemplars"].items()) {
+      ++exemplar_count;
+      EXPECT_GT(ex["seq"].as_u64(), 0u);
+      EXPECT_LE(ex["seq"].as_u64(), recorded);
+    }
+  }
+  EXPECT_GE(recorded, 5u);
+  EXPECT_GE(tail_len, 5u);
+  EXPECT_TRUE(saw_lpm);
+  EXPECT_GE(exemplar_count, 1u);
+}
+
+TEST(Inspect, SlowLogPopulatesUnderEngineDelay) {
+  if (!fault::enabled()) GTEST_SKIP() << "fault injection compiled out";
+  InspectRig rig;
+  {
+    // The injected "errno" is repurposed as a sleep in milliseconds; two
+    // 20ms requests clear the default 1ms slow threshold easily.
+    fault::ScopedFault delay("serve.engine_delay", 20, 0, 2);
+    ASSERT_TRUE(rig.client->request("LPM 10.0.1.5"));
+    ASSERT_TRUE(rig.client->request("EXACT 10.0.2.0/24"));
+  }
+  ASSERT_TRUE(rig.client->request("LPM 10.0.3.9"));  // fast, not logged
+  JsonValue doc = rig.inspect();
+
+  std::vector<const JsonValue*> slow;
+  for (const JsonValue& shard : doc["shards"].items()) {
+    for (const JsonValue& s : shard["slow_requests"].items()) {
+      slow.push_back(&s);
+    }
+  }
+  ASSERT_EQ(slow.size(), 2u);
+  double prev_total = 1e18;
+  bool saw_lpm_detail = false;
+  for (const JsonValue* s : slow) {
+    EXPECT_GE((*s)["engine_us"].as_double(), 15'000.0);
+    EXPECT_GE((*s)["total_us"].as_double(), (*s)["engine_us"].as_double());
+    // Per-shard logs are worst-first; with one serving shard this holds
+    // across the flattened list too.
+    EXPECT_LE((*s)["total_us"].as_double(), prev_total);
+    prev_total = (*s)["total_us"].as_double();
+    const std::string& detail = (*s)["detail"].as_string();
+    EXPECT_FALSE(detail.empty());
+    if (detail.rfind("LPM ", 0) == 0) saw_lpm_detail = true;
+  }
+  EXPECT_TRUE(saw_lpm_detail);
+}
+
+TEST(Inspect, RecorderDisabledByOptionsStaysInert) {
+  InspectRig rig(QueryServer::Options{.port = 0, .shards = 1,
+                                      .flight_ring = 0});
+  ASSERT_TRUE(rig.client->request("LPM 10.0.1.5"));
+  JsonValue doc = rig.inspect();
+  EXPECT_TRUE(doc["ok"].as_bool());
+  EXPECT_FALSE(doc["recorder"]["enabled"].as_bool());
+  ASSERT_EQ(doc["shards"].size(), 1u);
+  // No recorder: the per-shard recorder keys are absent entirely.
+  EXPECT_FALSE(doc["shards"][0].has("recorded"));
+  EXPECT_FALSE(doc["shards"][0].has("ring_tail"));
+}
+
+TEST(Inspect, RuntimeToggleStopsRecording) {
+  InspectRig rig(QueryServer::Options{.port = 0, .shards = 1});
+  ASSERT_TRUE(rig.client->request("LPM 10.0.1.5"));
+  rig.server->set_flight_recording(false);
+  // Baseline after the toggle (the pre-toggle request may or may not have
+  // committed before the switch flipped — both are fine)...
+  const std::uint64_t r0 = rig.inspect()["shards"][0]["recorded"].as_u64();
+  // ...but once off, further requests (INSPECT included) record nothing.
+  ASSERT_TRUE(rig.client->request("LPM 10.0.2.5"));
+  ASSERT_TRUE(rig.client->request("LPM 10.0.3.5"));
+  JsonValue doc = rig.inspect();
+  EXPECT_FALSE(doc["recorder"]["enabled"].as_bool());
+  EXPECT_EQ(doc["shards"][0]["recorded"].as_u64(), r0);
+
+  rig.server->set_flight_recording(true);
+  ASSERT_TRUE(rig.client->request("LPM 10.0.4.5"));
+  JsonValue doc2 = rig.inspect();
+  EXPECT_TRUE(doc2["recorder"]["enabled"].as_bool());
+  EXPECT_GE(doc2["shards"][0]["recorded"].as_u64(), r0 + 1);
+}
+
+}  // namespace
+}  // namespace sublet::serve

@@ -283,6 +283,44 @@ if(SH_BIN)
     message(FATAL_ERROR "METRICS body not terminated by # EOF")
   endif()
 
+  # INSPECT: one JSON line of per-shard introspection — live connection
+  # table, timer depths, flight-recorder ring tail (docs/OBSERVABILITY.md).
+  run_step("${SUBLET_BIN}" query "127.0.0.1:${PORT}" --inspect)
+  if(NOT STEP_OUTPUT MATCHES "\"ok\":true")
+    message(FATAL_ERROR "INSPECT did not answer ok: ${STEP_OUTPUT}")
+  endif()
+  if(NOT STEP_OUTPUT MATCHES "\"shard_count\":2")
+    message(FATAL_ERROR "INSPECT shard count wrong: ${STEP_OUTPUT}")
+  endif()
+  foreach(key "\"connections\"" "\"timers\"" "\"ring_tail\"" "\"recorded\""
+          "\"exemplars\"")
+    if(NOT STEP_OUTPUT MATCHES "${key}")
+      message(FATAL_ERROR "INSPECT missing ${key}: ${STEP_OUTPUT}")
+    endif()
+  endforeach()
+  # The inspecting connection itself must show up as a live row.
+  if(NOT STEP_OUTPUT MATCHES "\"peer\":\"127.0.0.1:")
+    message(FATAL_ERROR "INSPECT has no live connection row: ${STEP_OUTPUT}")
+  endif()
+
+  # `sublet top --once`: one plain (no ANSI) dashboard sample polled from
+  # METRICS + INSPECT — the scriptable form.
+  run_step("${SUBLET_BIN}" top "127.0.0.1:${PORT}" --once)
+  if(NOT STEP_OUTPUT MATCHES "sublet top")
+    message(FATAL_ERROR "top --once printed no header: ${STEP_OUTPUT}")
+  endif()
+  if(NOT STEP_OUTPUT MATCHES "shards=2")
+    message(FATAL_ERROR "top --once missing shard count: ${STEP_OUTPUT}")
+  endif()
+  if(NOT STEP_OUTPUT MATCHES "recorder=on")
+    message(FATAL_ERROR "top --once missing recorder state: ${STEP_OUTPUT}")
+  endif()
+  if(NOT STEP_OUTPUT MATCHES "verb     requests")
+    message(FATAL_ERROR "top --once missing the verb table: ${STEP_OUTPUT}")
+  endif()
+  run_fail("${SUBLET_BIN}" top)
+  run_fail("${SUBLET_BIN}" top "127.0.0.1:${PORT}" --interval-ms junk)
+
   run_step("${SUBLET_BIN}" query "127.0.0.1:${PORT}" --stats --shutdown)
   if(NOT STEP_OUTPUT MATCHES "\"requests\":")
     message(FATAL_ERROR "STATS returned no counters: ${STEP_OUTPUT}")

@@ -43,6 +43,7 @@
 #include "simnet/timeline_scenario.h"
 #include "snapshot/snapshot.h"
 #include "snapshot/writer.h"
+#include "top.h"
 #include "util/log.h"
 #include "util/parallel.h"
 #include "util/strings.h"
@@ -83,7 +84,8 @@ int usage() {
       "  catalog verify <dir> [--deep]           check every epoch + chain\n"
       "  serve <in.snap> [--port N] [--port-file F] [--shards N]\n"
       "        [--max-conns N] [--idle-timeout-ms N] [--io-timeout-ms N]\n"
-      "        [--drain-ms N] [--max-outbuf-bytes N] [--reload-on-sighup]\n"
+      "        [--drain-ms N] [--max-outbuf-bytes N] [--slow-threshold-us N]\n"
+      "        [--reload-on-sighup]\n"
       "                                          prefix-query server (see\n"
       "                                          docs/SERVING.md and\n"
       "                                          docs/ROBUSTNESS.md)\n"
@@ -103,13 +105,20 @@ int usage() {
       "                                          only if slo.pass (see\n"
       "                                          docs/ROBUSTNESS.md)\n"
       "  query <host:port> [--lpm|--bin|--stats|--health|--metrics|--shutdown]\n"
-      "        [--at TS] [--history] [--reload <path.snap>]\n"
+      "        [--inspect] [--at TS] [--history] [--reload <path.snap>]\n"
       "        [--timeout-ms N] [--retries N]\n"
       "        <prefix>...                       one-shot loopback client\n"
       "                                          (--bin batches the addresses\n"
       "                                          into one binary LPM frame;\n"
       "                                          --at / --history need a\n"
-      "                                          catalog-mode server)\n";
+      "                                          catalog-mode server;\n"
+      "                                          --inspect dumps the per-shard\n"
+      "                                          flight-recorder JSON)\n"
+      "  top <host:port> [--interval-ms N] [--count N] [--once]\n"
+      "                                          live dashboard: per-verb QPS\n"
+      "                                          and p50/p99, per-shard conns,\n"
+      "                                          slow-request table (--once\n"
+      "                                          prints one plain sample)\n";
   return 2;
 }
 
@@ -621,6 +630,13 @@ int cmd_serve(const std::vector<std::string>& args) {
         return usage();
       }
       options.max_outbuf_bytes = *cap;
+    } else if (args[i] == "--slow-threshold-us" && i + 1 < args.size()) {
+      auto threshold = parse_u64(args[++i]);
+      if (!threshold || *threshold == 0) {
+        std::cerr << "--slow-threshold-us expects a positive integer\n";
+        return usage();
+      }
+      options.slow_threshold_us = *threshold;
     } else if (args[i] == "--idle-timeout-ms" && i + 1 < args.size()) {
       if (!int_flag(i, "--idle-timeout-ms", &options.idle_timeout_ms)) {
         return usage();
@@ -731,7 +747,7 @@ int cmd_serve(const std::vector<std::string>& args) {
 int cmd_query(const std::vector<std::string>& args) {
   if (args.empty()) return usage();
   bool lpm = false, stats = false, health = false, shutdown = false;
-  bool metrics = false, bin = false, history = false;
+  bool metrics = false, bin = false, history = false, inspect = false;
   std::optional<std::uint32_t> at_epoch;
   std::optional<std::string> reload_path;
   serve::QueryClient::Timeouts timeouts;
@@ -752,6 +768,8 @@ int cmd_query(const std::vector<std::string>& args) {
       metrics = true;
     } else if (arg == "--shutdown") {
       shutdown = true;
+    } else if (arg == "--inspect") {
+      inspect = true;
     } else if (arg == "--history") {
       history = true;
     } else if (arg == "--at") {
@@ -805,7 +823,7 @@ int cmd_query(const std::vector<std::string>& args) {
   std::string host = rest[0].substr(0, colon);
   std::vector<std::string> prefixes(rest.begin() + 1, rest.end());
   if (prefixes.empty() && !stats && !health && !metrics && !reload_path &&
-      !shutdown) {
+      !shutdown && !inspect) {
     return usage();
   }
   auto port16 = static_cast<std::uint16_t>(*port);
@@ -887,6 +905,7 @@ int cmd_query(const std::vector<std::string>& args) {
   if (reload_path && !round_trip("RELOAD " + *reload_path)) return 1;
   if (health && !round_trip("HEALTH")) return 1;
   if (stats && !round_trip("STATS")) return 1;
+  if (inspect && !round_trip("INSPECT")) return 1;
   if (metrics) {
     // METRICS is the one multi-line verb: read until the "# EOF" line.
     auto client = serve::QueryClient::connect(host, port16, timeouts);
@@ -1072,6 +1091,7 @@ int main(int argc, char** argv) {
     else if (command == "catalog") rc = cmd_catalog(args);
     else if (command == "serve") rc = cmd_serve(args);
     else if (command == "query") rc = cmd_query(args);
+    else if (command == "top") rc = cli::cmd_top(args);
     else if (command == "load") rc = cmd_load(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -1,0 +1,387 @@
+// `sublet top`: a small text dashboard over the wire protocol. Each
+// refresh opens one connection and issues METRICS (Prometheus text) plus
+// INSPECT (per-shard JSON), then renders:
+//
+//   - per-verb request totals, windowed QPS, and windowed p50/p99 derived
+//     from the latency histogram's le-bucket deltas between refreshes
+//     (the first sample, and --once, fall back to lifetime quantiles);
+//   - per-shard live-connection/parked/timer/work-queue counts from the
+//     INSPECT connection table;
+//   - the slowest recorded requests across all shards, with the
+//     read/parse/engine/write stage breakdown and request text.
+//
+// Everything is computed client-side from public verbs — `sublet top`
+// needs no more server support than a curl loop would.
+#include "top.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+#include "util/jsonr.h"
+#include "util/strings.h"
+
+namespace sublet::cli {
+
+namespace {
+
+constexpr const char* kVerbs[] = {"exact", "lpm",     "mlpm", "bin",
+                                 "at",    "history", "other"};
+
+struct MetricsSample {
+  std::map<std::string, double, std::less<>> series;
+  std::chrono::steady_clock::time_point taken{};
+};
+
+MetricsSample parse_metrics(std::string_view text) {
+  MetricsSample out;
+  out.taken = std::chrono::steady_clock::now();
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t sp = line.rfind(' ');
+    if (sp == std::string_view::npos) continue;
+    const std::string value_text(line.substr(sp + 1));
+    char* end = nullptr;
+    const double value = std::strtod(value_text.c_str(), &end);
+    if (end == value_text.c_str()) continue;
+    out.series.emplace(std::string(line.substr(0, sp)), value);
+  }
+  return out;
+}
+
+double series_value(const MetricsSample& sample, std::string_view name) {
+  auto it = sample.series.find(name);
+  return it == sample.series.end() ? 0.0 : it->second;
+}
+
+/// Cumulative latency buckets for one verb: (le, cumulative count),
+/// ascending by bound. The "+Inf" bucket is included with le = -1.
+std::vector<std::pair<double, double>> verb_buckets(
+    const MetricsSample& sample, std::string_view verb) {
+  std::vector<std::pair<double, double>> out;
+  const std::string prefix = "sublet_serve_latency_ns_bucket{verb=\"" +
+                             std::string(verb) + "\",le=\"";
+  for (auto it = sample.series.lower_bound(prefix);
+       it != sample.series.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    std::string_view le_text(it->first);
+    le_text.remove_prefix(prefix.size());
+    le_text.remove_suffix(2);  // trailing '"}'
+    if (le_text == "+Inf") {
+      out.emplace_back(-1.0, it->second);
+      continue;
+    }
+    const std::string le(le_text);
+    out.emplace_back(std::strtod(le.c_str(), nullptr), it->second);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.first < 0) return false;  // +Inf last
+    if (b.first < 0) return true;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+/// Quantile over per-bucket counts using the server's own estimate rule:
+/// bucket 0 (le=0) reports 0, bucket b reports 0.75*(le+1) = 1.5*2^(b-1).
+double bucket_quantile(const std::vector<std::pair<double, double>>& counts,
+                       double q) {
+  double total = 0;
+  for (const auto& [le, n] : counts) total += n;
+  if (total <= 0) return 0.0;
+  double target = q * total;
+  if (target >= total) target = total - 1;
+  double seen = 0;
+  double last_le = 0;
+  for (const auto& [le, n] : counts) {
+    seen += n;
+    if (seen > target) {
+      if (le < 0) return 1.5 * (last_le + 1);  // +Inf: past the top bucket
+      if (le <= 0) return 0.0;
+      return 0.75 * (le + 1);
+    }
+    if (le > 0) last_le = le;
+  }
+  return 0.0;
+}
+
+/// Windowed per-bucket counts: current minus previous cumulative (counter
+/// resets — a restarted server — fall back to the current totals).
+std::vector<std::pair<double, double>> window_buckets(
+    const std::vector<std::pair<double, double>>& now,
+    const std::vector<std::pair<double, double>>* prev) {
+  // Cumulative-over-le to per-bucket first.
+  auto to_counts = [](const std::vector<std::pair<double, double>>& cum) {
+    std::vector<std::pair<double, double>> counts;
+    counts.reserve(cum.size());
+    double before = 0;
+    for (const auto& [le, c] : cum) {
+      counts.emplace_back(le, c - before);
+      before = c;
+    }
+    return counts;
+  };
+  std::vector<std::pair<double, double>> counts = to_counts(now);
+  if (prev == nullptr) return counts;
+  const std::vector<std::pair<double, double>> old = to_counts(*prev);
+  std::size_t j = 0;
+  for (auto& [le, n] : counts) {
+    while (j < old.size() && old[j].first >= 0 && le >= 0 &&
+           old[j].first < le) {
+      ++j;
+    }
+    if (j < old.size() && old[j].first == le) {
+      n -= old[j].second;
+      if (n < 0) return to_counts(now);  // counter reset
+      ++j;
+    }
+  }
+  return counts;
+}
+
+std::string fixed1(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+void render(const std::string& target, const MetricsSample& now,
+            const MetricsSample* prev, const JsonValue& inspect,
+            bool ansi) {
+  std::string out;
+  if (ansi) out += "\x1b[H\x1b[2J";  // home + clear
+  const double dt =
+      prev == nullptr
+          ? 0.0
+          : std::chrono::duration_cast<std::chrono::duration<double>>(
+                now.taken - prev->taken)
+                .count();
+
+  out += "sublet top — " + target;
+  out += "  gen=" + std::to_string(inspect["generation"].as_u64());
+  out += "  shards=" + std::to_string(inspect["shard_count"].as_u64());
+  out += "  conns=" + std::to_string(inspect["active_conns"].as_u64());
+  const JsonValue& recorder = inspect["recorder"];
+  out += "  recorder=";
+  out += recorder["enabled"].as_bool() ? "on" : "off";
+  out += "\n\n";
+
+  // ---- per-verb table ----
+  out += "  verb     requests        qps    p50_us     p99_us\n";
+  for (const char* verb : kVerbs) {
+    const std::string count_key =
+        "sublet_serve_latency_ns_count{verb=\"" + std::string(verb) + "\"}";
+    const double count = series_value(now, count_key);
+    if (count <= 0) continue;
+    const double qps =
+        (prev != nullptr && dt > 0)
+            ? (count - series_value(*prev, count_key)) / dt
+            : 0.0;
+    const std::vector<std::pair<double, double>> cum = verb_buckets(now, verb);
+    std::vector<std::pair<double, double>> prev_cum;
+    if (prev != nullptr) prev_cum = verb_buckets(*prev, verb);
+    std::vector<std::pair<double, double>> counts = window_buckets(
+        cum, prev != nullptr && !prev_cum.empty() ? &prev_cum : nullptr);
+    double window_total = 0;
+    for (const auto& [le, n] : counts) window_total += n;
+    // An idle window has nothing to rank: show the lifetime quantiles.
+    if (window_total <= 0) counts = window_buckets(cum, nullptr);
+    char row[128];
+    std::snprintf(row, sizeof(row), "  %-7s %9.0f %10.1f %9.1f %10.1f\n",
+                  verb, count, qps, bucket_quantile(counts, 0.50) / 1000.0,
+                  bucket_quantile(counts, 0.99) / 1000.0);
+    out += row;
+  }
+
+  // ---- close reasons (labeled counter family) ----
+  {
+    std::string closes;
+    const std::string prefix = "sublet_serve_conn_closed_total{reason=\"";
+    for (auto it = now.series.lower_bound(prefix); it != now.series.end();
+         ++it) {
+      if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+      if (it->second <= 0) continue;
+      std::string_view reason(it->first);
+      reason.remove_prefix(prefix.size());
+      reason.remove_suffix(2);
+      if (!closes.empty()) closes += "  ";
+      closes += std::string(reason) + "=" +
+                std::to_string(static_cast<std::uint64_t>(it->second));
+    }
+    if (!closes.empty()) out += "\n  closed: " + closes + "\n";
+  }
+
+  // ---- per-shard table ----
+  out += "\n  shard   conns  parked  closing  idle_t  write_t  work  "
+         "recorded\n";
+  for (const JsonValue& shard : inspect["shards"].items()) {
+    std::uint64_t parked = 0;
+    std::uint64_t closing = 0;
+    for (const JsonValue& conn : shard["connections"].items()) {
+      if (conn["parked"].as_bool()) ++parked;
+      if (conn["closing"].as_bool()) ++closing;
+    }
+    char row[160];
+    std::snprintf(row, sizeof(row),
+                  "  %-5llu %7zu %7llu %8llu %7llu %8llu %5llu %9llu%s\n",
+                  static_cast<unsigned long long>(shard["shard"].as_u64()),
+                  shard["connections"].size(),
+                  static_cast<unsigned long long>(parked),
+                  static_cast<unsigned long long>(closing),
+                  static_cast<unsigned long long>(
+                      shard["timers"]["idle"].as_u64()),
+                  static_cast<unsigned long long>(
+                      shard["timers"]["write"].as_u64()),
+                  static_cast<unsigned long long>(
+                      shard["work_queue"].as_u64()),
+                  static_cast<unsigned long long>(
+                      shard["recorded"].as_u64()),
+                  shard["stale"].as_bool() ? "  (stale)" : "");
+    out += row;
+  }
+
+  // ---- slow-request table (merged across shards, worst first) ----
+  struct SlowRow {
+    std::uint64_t shard = 0;
+    const JsonValue* record = nullptr;
+  };
+  std::vector<SlowRow> slow;
+  for (const JsonValue& shard : inspect["shards"].items()) {
+    for (const JsonValue& record : shard["slow_requests"].items()) {
+      slow.push_back({shard["shard"].as_u64(), &record});
+    }
+  }
+  std::sort(slow.begin(), slow.end(), [](const SlowRow& a, const SlowRow& b) {
+    return (*a.record)["total_us"].as_double() >
+           (*b.record)["total_us"].as_double();
+  });
+  if (!slow.empty()) {
+    out += "\n  slowest requests (total_us = read+parse+engine+write):\n";
+    out += "  shard  verb     total_us    read   parse  engine   write  "
+           "detail\n";
+    const std::size_t limit = std::min<std::size_t>(slow.size(), 10);
+    for (std::size_t i = 0; i < limit; ++i) {
+      const JsonValue& r = *slow[i].record;
+      std::string detail = r["detail"].as_string();
+      if (detail.size() > 40) detail = detail.substr(0, 37) + "...";
+      char row[256];
+      std::snprintf(row, sizeof(row),
+                    "  %-6llu %-8s %8s %7s %7s %7s %7s  %s\n",
+                    static_cast<unsigned long long>(slow[i].shard),
+                    r["verb"].as_string().c_str(),
+                    fixed1(r["total_us"].as_double()).c_str(),
+                    fixed1(r["read_us"].as_double()).c_str(),
+                    fixed1(r["parse_us"].as_double()).c_str(),
+                    fixed1(r["engine_us"].as_double()).c_str(),
+                    fixed1(r["write_us"].as_double()).c_str(),
+                    detail.c_str());
+      out += row;
+    }
+  }
+  std::cout << out << std::flush;
+}
+
+int top_usage() {
+  std::cerr
+      << "usage: sublet top <host:port> [--interval-ms N] [--count N] "
+         "[--once]\n"
+         "  polls METRICS + INSPECT and renders per-verb QPS/p50/p99,\n"
+         "  per-shard connection/park counts, and the slow-request table\n"
+         "  (docs/OBSERVABILITY.md). --once prints one plain sample and\n"
+         "  exits; --count N stops after N refreshes.\n";
+  return 2;
+}
+
+}  // namespace
+
+int cmd_top(const std::vector<std::string>& args) {
+  std::uint32_t interval_ms = 1000;
+  std::uint64_t count = 0;  // 0 = until interrupted
+  bool once = false;
+  std::vector<std::string> rest;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--interval-ms" && i + 1 < args.size()) {
+      auto value = parse_u32(args[++i]);
+      if (!value || *value == 0) {
+        std::cerr << "--interval-ms expects a positive integer\n";
+        return top_usage();
+      }
+      interval_ms = *value;
+    } else if (args[i] == "--count" && i + 1 < args.size()) {
+      auto value = parse_u64(args[++i]);
+      if (!value || *value == 0) {
+        std::cerr << "--count expects a positive integer\n";
+        return top_usage();
+      }
+      count = *value;
+    } else if (args[i] == "--once") {
+      once = true;
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      std::cerr << "unknown option " << args[i] << "\n";
+      return top_usage();
+    } else {
+      rest.push_back(args[i]);
+    }
+  }
+  if (rest.size() != 1) return top_usage();
+  const std::size_t colon = rest[0].rfind(':');
+  std::optional<std::uint32_t> port;
+  if (colon != std::string::npos) {
+    port = parse_u32(std::string_view(rest[0]).substr(colon + 1));
+  }
+  if (!port || *port == 0 || *port > 65535) {
+    std::cerr << "expected <host:port>, got '" << rest[0] << "'\n";
+    return top_usage();
+  }
+  const std::string host = rest[0].substr(0, colon);
+  const auto port16 = static_cast<std::uint16_t>(*port);
+  if (once) count = 1;
+
+  std::optional<MetricsSample> prev;
+  for (std::uint64_t tick = 0; count == 0 || tick < count; ++tick) {
+    if (tick > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    auto client = serve::QueryClient::connect(host, port16);
+    if (!client) {
+      std::cerr << client.error().to_string() << "\n";
+      return 1;
+    }
+    auto metrics_body = client->request_multiline("METRICS");
+    if (!metrics_body) {
+      std::cerr << metrics_body.error().to_string() << "\n";
+      return 1;
+    }
+    auto inspect_body = client->request("INSPECT");
+    if (!inspect_body) {
+      std::cerr << inspect_body.error().to_string() << "\n";
+      return 1;
+    }
+    auto inspect = JsonValue::parse(*inspect_body);
+    if (!inspect) {
+      std::cerr << "INSPECT: " << inspect.error().to_string() << "\n";
+      return 1;
+    }
+    MetricsSample sample = parse_metrics(*metrics_body);
+    render(rest[0], sample, prev ? &*prev : nullptr, *inspect, !once);
+    prev = std::move(sample);
+  }
+  return 0;
+}
+
+}  // namespace sublet::cli

@@ -1,0 +1,17 @@
+// `sublet top` — refresh-loop dashboard over a running query server
+// (docs/OBSERVABILITY.md). Split out of sublet_cli.cc: the dashboard is
+// the only part of the CLI that parses METRICS/INSPECT responses back.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sublet::cli {
+
+/// `sublet top <host:port> [--interval-ms N] [--count N] [--once]`.
+/// Polls METRICS + INSPECT, renders per-verb QPS/p50/p99, per-shard
+/// connection and park counts, and the slow-request table. --once prints
+/// one plain (no ANSI) sample and exits — the scriptable form.
+int cmd_top(const std::vector<std::string>& args);
+
+}  // namespace sublet::cli
